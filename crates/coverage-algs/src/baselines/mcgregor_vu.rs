@@ -1,0 +1,186 @@
+//! Universe-hashing k-cover in the spirit of McGregor & Vu (paper's `[36]`).
+//!
+//! The paper notes simultaneous independent work by McGregor and Vu: a
+//! single-pass `1−1/e−ε` k-cover algorithm in `Õ(n)`-ish space that —
+//! instead of a transferable sketch — *directly* analyzes greedy on a
+//! hash-compressed universe. The core device is **universe hashing**:
+//! pick `h : E → [t]` for `t = Θ(k/ε²)` buckets and replace every element
+//! by its bucket id. Bucket collisions can only *merge* elements, which
+//! changes any family's coverage by at most an `ε` fraction when `t` is
+//! large enough relative to the optimum coverage; greedy on the bucketed
+//! instance then inherits `1−1/e−O(ε)`.
+//!
+//! What we implement (documented deviation from `[36]`): the
+//! universe-hashing reduction with a configurable bucket count, feeding a
+//! per-set sparse bucket profile and an offline lazy greedy after the
+//! pass. We omit their guessing/thresholding refinements — the point of
+//! this baseline is the *space shape*: per-set profiles cost
+//! `Θ(Σ_S min(|S|, t))`, i.e. the space grows with `n·min(avg_size, t)`,
+//! in contrast to the `H≤n` sketch's global `Õ(n)` budget with degree
+//! capping. The Table 1 experiment reports both.
+//!
+//! Unlike the set-arrival baselines, universe hashing is **edge-arrival
+//! compatible** — each arriving edge updates one profile independently —
+//! which is why this is the strongest prior-art comparator for Algorithm 3.
+
+use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::CoverageInstance;
+use coverage_hash::{FxHashSet, UnitHash};
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use super::BaselineResult;
+
+/// Configuration for [`mcgregor_vu_k_cover`].
+#[derive(Clone, Copy, Debug)]
+pub struct MvConfig {
+    /// Number of hash buckets `t` the universe is compressed to.
+    pub buckets: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl MvConfig {
+    /// The analysis-shaped bucket count `⌈c·k/ε²⌉·ln(n+2)`.
+    ///
+    /// Caveat measured by the Table 1 experiment: this is the right
+    /// *sample-size* scale for `[36]`'s estimates, but a bucketed
+    /// instance only preserves greedy's *selection quality* when the
+    /// bucket count also dominates the optimum coverage — in `[36]` that
+    /// is arranged by guessing `OPT` geometrically and subsampling at
+    /// rate `∝ k/(ε²·OPT)`. When `OPT ≫ buckets`, fat sets all saturate
+    /// the bucket space and become indistinguishable. Use an OPT-scaled
+    /// [`MvConfig::new`] when the optimum is large.
+    pub fn paper_buckets(n: usize, k: usize, epsilon: f64, c: f64) -> usize {
+        assert!(epsilon > 0.0 && epsilon <= 1.0);
+        ((c * k as f64 / (epsilon * epsilon)) * ((n + 2) as f64).ln()).ceil() as usize
+    }
+
+    /// Config with an explicit bucket count.
+    pub fn new(buckets: usize, seed: u64) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        MvConfig { buckets, seed }
+    }
+}
+
+/// Single-pass k-cover via universe hashing + offline greedy.
+pub fn mcgregor_vu_k_cover(stream: &dyn EdgeStream, k: usize, cfg: &MvConfig) -> BaselineResult {
+    let n = stream.num_sets();
+    let hash = UnitHash::new(cfg.seed);
+    let t = cfg.buckets as u64;
+    // Sparse per-set bucket profiles.
+    let mut profiles: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    let mut stored = 0u64;
+    let mut peak = 0u64;
+    stream.for_each(&mut |e| {
+        let bucket = ((hash.hash(e.element.0) as u128 * t as u128) >> 64) as u32;
+        if profiles[e.set.index()].insert(bucket) {
+            stored += 1;
+            peak = peak.max(stored);
+        }
+    });
+
+    // Bucketed instance: one pseudo-element per occupied bucket.
+    let mut b = CoverageInstance::builder(n);
+    for (s, profile) in profiles.iter().enumerate() {
+        for &bucket in profile {
+            b.add_edge(coverage_core::Edge::new(s as u32, bucket as u64));
+        }
+    }
+    let bucketed = b.build();
+    let trace = lazy_greedy_k_cover(&bucketed, k);
+    BaselineResult {
+        family: trace.family(),
+        value_estimate: trace.coverage() as f64,
+        space: SpaceReport {
+            peak_edges: peak,
+            // One word per profile entry + n set headers.
+            peak_aux_words: peak + n as u64,
+            passes: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::planted_k_cover;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    #[test]
+    fn quality_near_greedy_with_ample_buckets() {
+        for seed in 0..5u64 {
+            let p = planted_k_cover(30, 2_000, 5, 80, seed);
+            let mut stream = VecStream::from_instance(&p.instance);
+            ArrivalOrder::Random(seed).apply(stream.edges_mut());
+            let cfg = MvConfig::new(50_000, seed + 1); // t ≫ m: no collisions
+            let res = mcgregor_vu_k_cover(&stream, 5, &cfg);
+            let achieved = p.instance.coverage(&res.family);
+            assert!(
+                achieved as f64 >= (1.0 - 1.0 / std::f64::consts::E) * p.optimal_value as f64,
+                "seed {seed}: {achieved} vs OPT {}",
+                p.optimal_value
+            );
+        }
+    }
+
+    #[test]
+    fn aggressive_compression_degrades_gracefully() {
+        let p = planted_k_cover(30, 2_000, 5, 80, 7);
+        let mut stream = VecStream::from_instance(&p.instance);
+        ArrivalOrder::Random(7).apply(stream.edges_mut());
+        // t barely above k: heavy collisions, still a valid family —
+        // possibly shorter than k (greedy stops when every bucket is hit).
+        let res = mcgregor_vu_k_cover(&stream, 5, &MvConfig::new(16, 3));
+        assert!((1..=5).contains(&res.family.len()));
+        let achieved = p.instance.coverage(&res.family);
+        assert!(achieved > 0);
+        // Space must be bounded by n·t regardless of m.
+        assert!(res.space.peak_edges <= 30 * 16);
+    }
+
+    #[test]
+    fn space_capped_by_buckets_per_set() {
+        let p = planted_k_cover(20, 10_000, 4, 500, 2);
+        let stream = VecStream::from_instance(&p.instance);
+        let t = 64;
+        let res = mcgregor_vu_k_cover(&stream, 4, &MvConfig::new(t, 5));
+        assert!(
+            res.space.peak_edges <= (20 * t) as u64,
+            "profiles exceed n·t"
+        );
+    }
+
+    #[test]
+    fn edge_arrival_order_does_not_matter() {
+        let p = planted_k_cover(15, 800, 3, 40, 9);
+        let base = VecStream::from_instance(&p.instance);
+        let cfg = MvConfig::new(4_096, 11);
+        let mut families = Vec::new();
+        for order in [
+            ArrivalOrder::AsIs,
+            ArrivalOrder::Random(1),
+            ArrivalOrder::SetGrouped(2),
+        ] {
+            let mut s = base.clone();
+            order.apply(s.edges_mut());
+            families.push(mcgregor_vu_k_cover(&s, 3, &cfg).family);
+        }
+        assert_eq!(families[0], families[1]);
+        assert_eq!(families[1], families[2]);
+    }
+
+    #[test]
+    fn paper_buckets_formula_scales() {
+        let a = MvConfig::paper_buckets(100, 5, 0.2, 1.0);
+        let b = MvConfig::paper_buckets(100, 5, 0.1, 1.0);
+        assert!(b > 3 * a, "buckets must grow ~1/ε²");
+        let c = MvConfig::paper_buckets(100, 10, 0.2, 1.0);
+        assert!(c > a, "buckets must grow with k");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        MvConfig::new(0, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Baselines the paper compares against (Table 1).
+//!
+//! * [`saha_getoor`] — the swap-based single-pass `1/4`-approximation for
+//!   k-cover of Saha & Getoor (paper's `[44]`). Set-arrival, `Õ(m)` space.
+//! * [`sieve`] — SieveStreaming (Badanidiyuru et al., paper's `[9]`):
+//!   single-pass `1/2−ε` for k-cover. Set-arrival, `Õ(n+m)` space.
+//! * [`l0`] — the Appendix D `ℓ₀`-sketch algorithm: per-set KMV distinct
+//!   counters, `Õ(nk)` space, edge-arrival.
+//! * [`mcgregor_vu`] — universe hashing + offline greedy in the spirit of
+//!   McGregor & Vu (paper's `[36]`, the simultaneous independent work).
+//!   Edge-arrival, `Õ(n·k/ε²)` space.
+//! * [`progressive`] — multipass progressive threshold greedy for set
+//!   cover (Demaine et al. `[18]` / Chakrabarti & Wirth `[13]` family):
+//!   `Θ((p+1)·m^{1/(p+1)})` approximation, `Õ(m)` space — Algorithm 6's
+//!   prior art.
+//! * [`store_all`] — the trivial "keep everything, solve offline"
+//!   algorithm: quality ceiling, `Θ(|E|)` space.
+//!
+//! All report the same [`BaselineResult`] so Table 1 can be printed from
+//! one code path.
+
+pub mod l0;
+pub mod mcgregor_vu;
+pub mod progressive;
+pub mod saha_getoor;
+pub mod sieve;
+pub mod store_all;
+
+use coverage_core::SetId;
+use coverage_stream::SpaceReport;
+
+/// Common result shape for all baselines.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The selected family.
+    pub family: Vec<SetId>,
+    /// The algorithm's own estimate of its objective value (exact for
+    /// baselines that track coverage exactly; sketched for ℓ₀).
+    pub value_estimate: f64,
+    /// Space used.
+    pub space: SpaceReport,
+}
+
+pub use l0::{l0_exhaustive_k_cover, l0_greedy_k_cover, L0Config};
+pub use mcgregor_vu::{mcgregor_vu_k_cover, MvConfig};
+pub use progressive::{progressive_set_cover, ProgressiveResult};
+pub use saha_getoor::saha_getoor_k_cover;
+pub use sieve::sieve_k_cover;
+pub use store_all::{store_all_k_cover, store_all_set_cover};

@@ -1,0 +1,223 @@
+//! Saha & Getoor's swap-based single-pass k-cover (paper's `[44]`).
+//!
+//! The SDM 2009 algorithm for "maximum coverage in the streaming model":
+//! maintain a solution of at most `k` sets, each *owning* the elements it
+//! contributed when it entered. When a new set arrives:
+//!
+//! * if fewer than `k` slots are filled, take the set (owning its fresh
+//!   elements);
+//! * otherwise find the incumbent with the smallest owned contribution;
+//!   if the newcomer's fresh coverage is more than **twice** that
+//!   contribution, swap it in — the evicted set's owned elements are
+//!   forgotten (they may be re-covered by later arrivals).
+//!
+//! The factor-2 swap rule is what gives the `1/4` guarantee: total
+//! forgotten coverage telescopes into at most the final solution's value.
+//!
+//! This is a **set-arrival** algorithm: it needs each set's edges to
+//! arrive contiguously (feed it an
+//! [`ArrivalOrder::SetGrouped`](coverage_stream::ArrivalOrder) stream; any
+//! other order is rejected). Space is `O(m)` words — the owner table — the
+//! very dependence on `m` the paper eliminates.
+
+use coverage_core::{ElementId, SetId};
+use coverage_hash::FxHashMap;
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use super::BaselineResult;
+
+/// Run the Saha–Getoor swap algorithm on a set-grouped stream.
+///
+/// # Panics
+///
+/// Panics if the stream is not grouped by set (a set's edges interleave
+/// with another's) — the algorithm is only defined for set arrival.
+pub fn saha_getoor_k_cover(stream: &dyn EdgeStream, k: usize) -> BaselineResult {
+    let mut state = SgState::new(k);
+    let mut current: Option<(SetId, Vec<ElementId>)> = None;
+    let mut seen_done: Vec<bool> = vec![false; stream.num_sets()];
+    stream.for_each(&mut |e| {
+        match &mut current {
+            Some((sid, elems)) if *sid == e.set => elems.push(e.element),
+            Some((sid, elems)) => {
+                let done = std::mem::take(elems);
+                let finished = *sid;
+                assert!(
+                    !seen_done[finished.index()],
+                    "set {finished} arrived in two runs — not a set-arrival stream"
+                );
+                seen_done[finished.index()] = true;
+                state.offer(finished, &done);
+                current = Some((e.set, vec![e.element]));
+            }
+            None => current = Some((e.set, vec![e.element])),
+        }
+        assert!(
+            !seen_done[e.set.index()],
+            "set {} arrived in two runs — not a set-arrival stream",
+            e.set
+        );
+    });
+    if let Some((sid, elems)) = current.take() {
+        state.offer(sid, &elems);
+    }
+    state.into_result()
+}
+
+struct SgState {
+    k: usize,
+    /// element → index of the owning slot.
+    owner: FxHashMap<u64, usize>,
+    /// Filled slots: (set, owned element keys).
+    slots: Vec<(SetId, Vec<u64>)>,
+    peak_owner: usize,
+    peak_buffer: usize,
+}
+
+impl SgState {
+    fn new(k: usize) -> Self {
+        SgState {
+            k,
+            owner: FxHashMap::default(),
+            slots: Vec::with_capacity(k),
+            peak_owner: 0,
+            peak_buffer: 0,
+        }
+    }
+
+    fn offer(&mut self, set: SetId, elements: &[ElementId]) {
+        self.peak_buffer = self.peak_buffer.max(elements.len());
+        // Fresh = elements not currently covered by any slot. Dedup the
+        // arriving list on the fly.
+        let mut fresh: Vec<u64> = Vec::new();
+        for e in elements {
+            if !self.owner.contains_key(&e.0) && !fresh.contains(&e.0) {
+                fresh.push(e.0);
+            }
+        }
+        if self.k == 0 {
+            return;
+        }
+        if fresh.is_empty() {
+            return; // a set with no fresh coverage can never help
+        }
+        if self.slots.len() < self.k {
+            let idx = self.slots.len();
+            for &e in &fresh {
+                self.owner.insert(e, idx);
+            }
+            self.slots.push((set, fresh));
+        } else {
+            let (weakest, weakest_owned) = self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, (_, owned))| (i, owned.len()))
+                .min_by_key(|&(i, len)| (len, i))
+                .expect("k ≥ 1 slots");
+            if fresh.len() > 2 * weakest_owned {
+                // Evict: forget the weakest slot's owned elements …
+                let (_, old_owned) = std::mem::replace(&mut self.slots[weakest], (set, Vec::new()));
+                for e in old_owned {
+                    self.owner.remove(&e);
+                }
+                // … then own everything the newcomer covers freshly,
+                // including elements just released by the eviction.
+                let mut owned: Vec<u64> = Vec::new();
+                for e in elements {
+                    if !self.owner.contains_key(&e.0) && !owned.contains(&e.0) {
+                        self.owner.insert(e.0, weakest);
+                        owned.push(e.0);
+                    }
+                }
+                self.slots[weakest].1 = owned;
+            }
+        }
+        self.peak_owner = self.peak_owner.max(self.owner.len());
+    }
+
+    fn into_result(self) -> BaselineResult {
+        let family: Vec<SetId> = self.slots.iter().map(|(s, _)| *s).collect();
+        let covered = self.owner.len();
+        BaselineResult {
+            family,
+            value_estimate: covered as f64,
+            space: SpaceReport {
+                peak_edges: 0,
+                // Owner table: 2 words per entry; plus the arrival buffer.
+                peak_aux_words: (2 * self.peak_owner + self.peak_buffer) as u64,
+                passes: 1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::planted_k_cover;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    fn grouped_stream(inst: &coverage_core::CoverageInstance, seed: u64) -> VecStream {
+        let mut s = VecStream::from_instance(inst);
+        ArrivalOrder::SetGrouped(seed).apply(s.edges_mut());
+        s
+    }
+
+    #[test]
+    fn achieves_quarter_of_optimum() {
+        for seed in 0..6u64 {
+            let p = planted_k_cover(30, 2_000, 5, 80, seed);
+            let stream = grouped_stream(&p.instance, seed);
+            let res = saha_getoor_k_cover(&stream, 5);
+            let achieved = p.instance.coverage(&res.family);
+            assert!(
+                achieved * 4 >= p.optimal_value,
+                "seed {seed}: {achieved} < OPT/4 = {}",
+                p.optimal_value / 4
+            );
+            assert!(res.family.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn value_estimate_lower_bounds_truth() {
+        // Forgotten elements may be re-covered by surviving sets, so the
+        // owner count never exceeds the family's true coverage.
+        let p = planted_k_cover(20, 1_000, 4, 60, 3);
+        let stream = grouped_stream(&p.instance, 3);
+        let res = saha_getoor_k_cover(&stream, 4);
+        let truth = p.instance.coverage(&res.family);
+        assert!(res.value_estimate as usize <= truth);
+        assert!(res.value_estimate > 0.0);
+    }
+
+    #[test]
+    fn space_scales_with_m_not_n() {
+        let p = planted_k_cover(10, 5_000, 2, 100, 4);
+        let stream = grouped_stream(&p.instance, 4);
+        let res = saha_getoor_k_cover(&stream, 2);
+        // The owner table is Ω(covered elements) — the Õ(m) dependence.
+        assert!(res.space.peak_aux_words as usize >= p.instance.num_elements() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "set-arrival")]
+    fn rejects_interleaved_stream() {
+        let edges = vec![
+            coverage_core::Edge::new(0u32, 1u64),
+            coverage_core::Edge::new(1u32, 2u64),
+            coverage_core::Edge::new(0u32, 3u64),
+        ];
+        let stream = VecStream::new(2, edges);
+        saha_getoor_k_cover(&stream, 1);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let p = planted_k_cover(5, 100, 2, 10, 5);
+        let stream = grouped_stream(&p.instance, 5);
+        let res = saha_getoor_k_cover(&stream, 0);
+        assert!(res.family.is_empty());
+    }
+}

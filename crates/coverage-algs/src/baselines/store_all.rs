@@ -1,0 +1,66 @@
+//! The trivial baseline: store the entire stream, solve offline.
+//!
+//! Quality ceiling (offline greedy = `1−1/e` / `ln m`) at the price of
+//! `Θ(|E|)` space — the thing the paper's sketch exists to avoid. Table 1
+//! and experiment E2 use it as the "what if memory were free" reference.
+
+use coverage_core::offline::{greedy_set_cover, lazy_greedy_k_cover};
+use coverage_stream::{materialize, EdgeStream, SpaceReport};
+
+use super::BaselineResult;
+
+/// Store everything; run offline greedy k-cover.
+pub fn store_all_k_cover(stream: &dyn EdgeStream, k: usize) -> BaselineResult {
+    let inst = materialize(stream);
+    let trace = lazy_greedy_k_cover(&inst, k);
+    BaselineResult {
+        family: trace.family(),
+        value_estimate: trace.coverage() as f64,
+        space: SpaceReport {
+            peak_edges: inst.num_edges() as u64,
+            // Dense compaction table: one word per element.
+            peak_aux_words: inst.num_elements() as u64,
+            passes: 1,
+        },
+    }
+}
+
+/// Store everything; run offline greedy set cover.
+pub fn store_all_set_cover(stream: &dyn EdgeStream) -> BaselineResult {
+    let inst = materialize(stream);
+    let trace = greedy_set_cover(&inst);
+    BaselineResult {
+        family: trace.family(),
+        value_estimate: trace.coverage() as f64,
+        space: SpaceReport {
+            peak_edges: inst.num_edges() as u64,
+            peak_aux_words: inst.num_elements() as u64,
+            passes: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::planted_k_cover;
+    use coverage_stream::VecStream;
+
+    #[test]
+    fn k_cover_matches_offline_greedy() {
+        let p = planted_k_cover(15, 800, 3, 40, 1);
+        let stream = VecStream::from_instance(&p.instance);
+        let res = store_all_k_cover(&stream, 3);
+        let offline = coverage_core::offline::lazy_greedy_k_cover(&p.instance, 3);
+        assert_eq!(res.family, offline.family());
+        assert_eq!(res.space.peak_edges, p.instance.num_edges() as u64);
+    }
+
+    #[test]
+    fn set_cover_covers() {
+        let p = coverage_data::planted_set_cover(15, 400, 4, 20, 2);
+        let stream = VecStream::from_instance(&p.instance);
+        let res = store_all_set_cover(&stream);
+        assert!(p.instance.is_cover(&res.family));
+    }
+}

@@ -1,0 +1,37 @@
+//! # coverage-algs
+//!
+//! The streaming algorithms of
+//!
+//! > Bateni, Esfandiari, Mirrokni.
+//! > **Almost Optimal Streaming Algorithms for Coverage Problems.**
+//! > SPAA 2017 (arXiv:1610.08096).
+//!
+//! plus the baselines they are compared against:
+//!
+//! | Module | Paper artifact | Guarantee | Passes | Space |
+//! |---|---|---|---|---|
+//! | [`kcover`] | Algorithm 3 | `1−1/e−ε` for k-cover | 1 | `Õ(n)` |
+//! | [`set_cover`] | Algorithms 4–5 | `(1+ε)·ln(1/λ)` for set cover with λ outliers | 1 | `Õ_λ(n)` |
+//! | [`multipass`] | Algorithm 6 | `(1+ε)·ln m` for set cover | `2r−1` | `Õ(n·m^{3/(2+r)} + m)` |
+//! | [`baselines::saha_getoor`] | `[44]` | `1/4` for k-cover | 1 (set-arrival) | `Õ(m)` |
+//! | [`baselines::sieve`] | `[9]` | `1/2−ε` for k-cover | 1 (set-arrival) | `Õ(n+m)` |
+//! | [`baselines::l0`] | Appendix D | `1−ε` (exp. time) / greedy | 1 | `Õ(nk)` |
+//! | [`baselines::store_all`] | trivial | offline greedy quality | 1 | `Θ(|E|)` |
+//!
+//! Every algorithm consumes a replayable
+//! [`EdgeStream`](coverage_stream::EdgeStream), never materializes the
+//! input, and reports a [`SpaceReport`](coverage_stream::SpaceReport).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod preprocess;
+pub mod kcover;
+pub mod multipass;
+pub mod set_cover;
+
+pub use preprocess::{apply_prune, prune_near_duplicates, PruneResult};
+pub use kcover::{k_cover_streaming, KCoverConfig, KCoverResult};
+pub use multipass::{set_cover_multipass, MultiPassConfig, MultiPassResult};
+pub use set_cover::{set_cover_outliers, OutlierConfig, OutlierResult};

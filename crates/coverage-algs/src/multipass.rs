@@ -1,0 +1,314 @@
+//! Algorithm 6: multi-pass `(1+ε)·ln m`-approximate set cover.
+//!
+//! The driver makes `r−1` rounds of Algorithm 5 with outlier fraction
+//! `λ = m^{−1/(2+r)}`, each round running on the *residual* instance
+//! (elements covered so far are filtered out of the stream), then stores
+//! the final residual graph `G_r` — which has shrunk to
+//! `≤ n·m^{3/(2+r)}` edges — and finishes it off with offline greedy.
+//!
+//! Pass accounting (Section 3): each round costs two passes (one to build
+//! the round's sketch bank on the filtered stream, one to mark the
+//! elements its solution covers), and the final residual store costs one,
+//! for `2(r−1)+1` total. Knowing `m` up front is assumed by the paper
+//! (λ depends on it); when the caller does not know `m`, we spend one more
+//! pass on a KMV distinct-count estimate — a nice dividend of having built
+//! the Appendix D machinery.
+
+use coverage_core::offline::greedy_set_cover;
+use coverage_core::{InstanceBuilder, SetId};
+use coverage_hash::{FxHashSet, KmvSketch, UnitHash};
+use coverage_sketch::SketchSizing;
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use crate::set_cover::{set_cover_outliers, OutlierConfig};
+
+/// Configuration of a multi-pass set-cover run.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiPassConfig {
+    /// Round parameter `r ≥ 1`: `r−1` sketch rounds plus a final stored
+    /// residual. `r = 1` degenerates to store-everything + offline greedy.
+    pub r: usize,
+    /// Accuracy parameter ε.
+    pub epsilon: f64,
+    /// Sketch sizing policy for the inner Algorithm 5 calls.
+    pub sizing: SketchSizing,
+    /// Hash seed; round `i` uses `seed + i` so rounds sample independently.
+    pub seed: u64,
+    /// The number of distinct elements `m`, if known. `None` adds one
+    /// KMV-estimation pass.
+    pub m_hint: Option<usize>,
+}
+
+impl MultiPassConfig {
+    /// Practical defaults.
+    pub fn new(r: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(r >= 1, "need r ≥ 1");
+        assert!(epsilon > 0.0 && epsilon <= 1.0);
+        MultiPassConfig {
+            r,
+            epsilon,
+            sizing: SketchSizing::Practical { c: 2.0 },
+            seed,
+            m_hint: None,
+        }
+    }
+
+    /// Provide `m` (skips the estimation pass).
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m_hint = Some(m);
+        self
+    }
+
+    /// Override sketch sizing.
+    pub fn with_sizing(mut self, sizing: SketchSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// `λ = m^{−1/(2+r)}`, clamped into `(0, 1/e]` as Algorithm 5 needs.
+    pub fn lambda(&self, m: usize) -> f64 {
+        let m = m.max(2) as f64;
+        m.powf(-1.0 / (2.0 + self.r as f64))
+            .clamp(1e-9, std::f64::consts::E.recip())
+    }
+}
+
+/// Per-round diagnostics.
+#[derive(Clone, Debug)]
+pub struct RoundStat {
+    /// Sets chosen this round.
+    pub chosen: usize,
+    /// Elements marked covered after this round (cumulative).
+    pub covered_after: usize,
+    /// Whether the round's Algorithm 5 verification succeeded.
+    pub verified: bool,
+}
+
+/// Result of a multi-pass set-cover run.
+#[derive(Clone, Debug)]
+pub struct MultiPassResult {
+    /// The cover (deduplicated, in selection order).
+    pub family: Vec<SetId>,
+    /// Total space: max over rounds of bank space, coexisting with the
+    /// covered-element table and the stored residual.
+    pub space: SpaceReport,
+    /// Total passes consumed (including the m-estimation pass if any).
+    pub passes: u32,
+    /// Edges stored for the final residual graph `G_r`.
+    pub residual_edges: usize,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundStat>,
+}
+
+/// A stream view with covered elements filtered out (the residual `G_i`).
+struct ResidualStream<'a> {
+    inner: &'a dyn EdgeStream,
+    covered: &'a FxHashSet<u64>,
+}
+
+impl EdgeStream for ResidualStream<'_> {
+    fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(coverage_core::Edge)) {
+        self.inner.for_each(&mut |e| {
+            if !self.covered.contains(&e.element.0) {
+                f(e);
+            }
+        });
+    }
+}
+
+/// Run Algorithm 6 over `2(r−1)+1` passes of `stream` (plus one
+/// m-estimation pass when `m_hint` is absent).
+pub fn set_cover_multipass(stream: &dyn EdgeStream, config: &MultiPassConfig) -> MultiPassResult {
+    let n = stream.num_sets();
+    let mut passes = 0u32;
+
+    // Obtain m: caller-provided or estimated with a KMV distinct counter
+    // (Õ(1/ε²) words — negligible next to the sketches).
+    let m = match config.m_hint {
+        Some(m) => m,
+        None => {
+            let mut kmv = KmvSketch::new(1026, UnitHash::new(config.seed ^ 0x0E57));
+            stream.for_each(&mut |e| kmv.insert(e.element.0));
+            passes += 1;
+            kmv.estimate().round() as usize
+        }
+    };
+    let lambda = config.lambda(m);
+
+    let mut covered: FxHashSet<u64> = FxHashSet::default();
+    let mut family: Vec<SetId> = Vec::new();
+    let mut in_family = vec![false; n];
+    let mut rounds: Vec<RoundStat> = Vec::new();
+    let mut round_space = SpaceReport::default();
+
+    for round in 0..config.r.saturating_sub(1) {
+        // Pass A: Algorithm 5 on the residual stream.
+        let residual = ResidualStream {
+            inner: stream,
+            covered: &covered,
+        };
+        let cfg = OutlierConfig::new(lambda, config.epsilon, config.seed + 1 + round as u64)
+            .with_sizing(config.sizing);
+        let res = set_cover_outliers(&residual, &cfg);
+        passes += 1;
+        round_space = round_space.sequential(res.space);
+
+        let mut members = vec![false; n];
+        let mut chosen = 0usize;
+        for s in &res.family {
+            members[s.index()] = true;
+            if !in_family[s.index()] {
+                in_family[s.index()] = true;
+                family.push(*s);
+            }
+            chosen += 1;
+        }
+
+        // Pass B: mark everything the round's solution covers.
+        stream.for_each(&mut |e| {
+            if members[e.set.index()] {
+                covered.insert(e.element.0);
+            }
+        });
+        passes += 1;
+
+        rounds.push(RoundStat {
+            chosen,
+            covered_after: covered.len(),
+            verified: res.verified,
+        });
+    }
+
+    // Final pass: store the residual graph G_r and finish offline.
+    let mut b = InstanceBuilder::new(n);
+    let mut residual_edges = 0usize;
+    stream.for_each(&mut |e| {
+        if !covered.contains(&e.element.0) {
+            b.add_edge(e);
+            residual_edges += 1;
+        }
+    });
+    passes += 1;
+    let residual_inst = b.build();
+    let residual_edges_dedup = residual_inst.num_edges();
+    let tail = greedy_set_cover(&residual_inst);
+    for s in tail.family() {
+        if !in_family[s.index()] {
+            in_family[s.index()] = true;
+            family.push(s);
+        }
+    }
+
+    // Space: the covered table (≤ m words) and the stored residual coexist
+    // with (at most) one round's bank; rounds themselves are sequential.
+    let aux = SpaceReport {
+        peak_edges: residual_edges_dedup as u64,
+        peak_aux_words: covered.len() as u64,
+        passes: 0,
+    };
+    let mut space = round_space.coexist(aux);
+    space.passes = passes;
+
+    MultiPassResult {
+        family,
+        space,
+        passes,
+        residual_edges: residual_edges_dedup,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::planted_set_cover;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    fn planted_stream(seed: u64) -> (VecStream, coverage_core::CoverageInstance, usize) {
+        let p = planted_set_cover(25, 2_000, 5, 50, seed);
+        let mut s = VecStream::from_instance(&p.instance);
+        ArrivalOrder::Random(seed ^ 1).apply(s.edges_mut());
+        (s, p.instance, p.optimal_value)
+    }
+
+    #[test]
+    fn returns_a_complete_cover() {
+        let (stream, inst, _) = planted_stream(1);
+        let cfg = MultiPassConfig::new(3, 0.5, 9)
+            .with_m(inst.num_elements())
+            .with_sizing(SketchSizing::Budget(3_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        assert!(inst.is_cover(&res.family), "multipass output must cover");
+        assert_eq!(res.passes, 2 * 2 + 1);
+    }
+
+    #[test]
+    fn r1_degenerates_to_store_all_greedy() {
+        let (stream, inst, _) = planted_stream(2);
+        let cfg = MultiPassConfig::new(1, 0.5, 9).with_m(inst.num_elements());
+        let res = set_cover_multipass(&stream, &cfg);
+        assert!(inst.is_cover(&res.family));
+        assert_eq!(res.passes, 1);
+        assert_eq!(res.residual_edges, inst.num_edges());
+        assert!(res.rounds.is_empty());
+    }
+
+    #[test]
+    fn more_rounds_store_fewer_residual_edges() {
+        let (stream, inst, _) = planted_stream(3);
+        let mut residuals = Vec::new();
+        for r in [1usize, 3, 5] {
+            let cfg = MultiPassConfig::new(r, 0.5, 11)
+                .with_m(inst.num_elements())
+                .with_sizing(SketchSizing::Budget(3_000));
+            let res = set_cover_multipass(&stream, &cfg);
+            assert!(inst.is_cover(&res.family));
+            residuals.push(res.residual_edges);
+        }
+        assert!(
+            residuals[2] < residuals[0],
+            "residual should shrink with rounds: {residuals:?}"
+        );
+    }
+
+    #[test]
+    fn cover_size_stays_near_optimum() {
+        let (stream, inst, k_star) = planted_stream(4);
+        let cfg = MultiPassConfig::new(4, 0.5, 13)
+            .with_m(inst.num_elements())
+            .with_sizing(SketchSizing::Budget(3_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        assert!(inst.is_cover(&res.family));
+        // Theorem 3.4 bound: (1+ε)·ln(m)·k*. m=2000 → ln ≈ 7.6.
+        let bound = (1.0 + 0.5) * (inst.num_elements() as f64).ln() * k_star as f64;
+        assert!(
+            (res.family.len() as f64) <= bound,
+            "cover {} exceeds (1+ε)ln(m)k* = {bound}",
+            res.family.len()
+        );
+    }
+
+    #[test]
+    fn m_estimation_pass_is_counted() {
+        let (stream, inst, _) = planted_stream(5);
+        let cfg = MultiPassConfig::new(2, 0.5, 15).with_sizing(SketchSizing::Budget(3_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        assert!(inst.is_cover(&res.family));
+        assert_eq!(res.passes, 1 + 2 + 1, "estimation + round + residual");
+    }
+
+    #[test]
+    fn lambda_clamps_to_inv_e() {
+        let cfg = MultiPassConfig::new(8, 0.5, 1);
+        // Tiny m would give λ close to 1; must clamp to 1/e.
+        assert!(cfg.lambda(3) <= 1.0 / std::f64::consts::E + 1e-12);
+        // Large m: λ = m^{-1/(2+r)}.
+        let m = 1_000_000usize;
+        let expect = (m as f64).powf(-0.1);
+        assert!((cfg.lambda(m) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Instance preprocessing: near-duplicate set pruning.
+//!
+//! Real set systems (web pages, blog feeds — the paper's motivating data)
+//! contain clusters of near-identical sets. They cannot raise `Opt_k`
+//! beyond what one cluster representative achieves, but each one costs a
+//! slot in every per-set structure and a column in every `Õ(n)` bound.
+//! Pruning them first shrinks `n` — and every space bound in this
+//! repository is a function of `n`.
+//!
+//! Strategy: min-wise signatures (`coverage-hash::minwise`) give each set
+//! a constant-size sketch; sets whose estimated Jaccard similarity to an
+//! already-kept set exceeds `threshold` are dropped, keeping the
+//! *largest* set of each near-duplicate cluster. Exact pairwise
+//! comparison over signatures is `O(n²·h)` — fine for the `n ≤ 10⁴`
+//! regime this library targets (the paper's "n much smaller than m").
+//!
+//! Quality: dropping a ρ-similar set costs at most a `(1−ρ)` fraction of
+//! that set's private contribution; the test
+//! `pruning_preserves_greedy_quality` measures the end-to-end effect.
+
+use coverage_core::{CoverageInstance, SetId};
+use coverage_hash::minwise::MinHasher;
+
+/// Result of a pruning pass.
+#[derive(Clone, Debug)]
+pub struct PruneResult {
+    /// Kept set ids, ascending.
+    pub kept: Vec<SetId>,
+    /// For each dropped set, the kept representative it duplicated.
+    pub dropped: Vec<(SetId, SetId)>,
+}
+
+impl PruneResult {
+    /// Number of kept sets.
+    pub fn kept_count(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Translate a family over the pruned ids back to original ids (the
+    /// identity here — kept sets keep their ids — provided for symmetry
+    /// and future re-indexing changes).
+    pub fn restore(&self, family: &[SetId]) -> Vec<SetId> {
+        family.to_vec()
+    }
+}
+
+/// Prune near-duplicate sets: keep the largest representative of every
+/// cluster of sets with pairwise estimated Jaccard ≥ `threshold`.
+///
+/// `signature_width` controls the estimator (standard error `~1/√width`);
+/// 64–128 is plenty for thresholds ≥ 0.8.
+pub fn prune_near_duplicates(
+    inst: &CoverageInstance,
+    threshold: f64,
+    signature_width: usize,
+    seed: u64,
+) -> PruneResult {
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must lie in [0,1]"
+    );
+    let hasher = MinHasher::new(signature_width, seed);
+    let n = inst.num_sets();
+    let sigs: Vec<_> = inst
+        .set_ids()
+        .map(|s| hasher.signature(inst.set_elements(s).map(|e| e.0)))
+        .collect();
+
+    // Largest-first: the biggest set of a cluster becomes its keeper.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&s| (std::cmp::Reverse(inst.set_size(SetId(s))), s));
+
+    let mut kept: Vec<SetId> = Vec::new();
+    let mut dropped: Vec<(SetId, SetId)> = Vec::new();
+    for &cand in &order {
+        if inst.set_size(SetId(cand)) == 0 {
+            // Empty sets are pure dead weight; drop without representative
+            // unless everything is empty.
+            continue;
+        }
+        let dup_of = kept
+            .iter()
+            .find(|&&keeper| sigs[cand as usize].jaccard(&sigs[keeper.index()]) >= threshold);
+        match dup_of {
+            Some(&keeper) => dropped.push((SetId(cand), keeper)),
+            None => kept.push(SetId(cand)),
+        }
+    }
+    kept.sort_unstable();
+    dropped.sort_unstable();
+    PruneResult { kept, dropped }
+}
+
+/// Build the pruned instance (kept sets keep their original ids; dropped
+/// sets become empty). Keeping ids stable means families remain valid in
+/// the original instance with no translation.
+pub fn apply_prune(inst: &CoverageInstance, prune: &PruneResult) -> CoverageInstance {
+    let mut keep = vec![false; inst.num_sets()];
+    for s in &prune.kept {
+        keep[s.index()] = true;
+    }
+    let mut b = CoverageInstance::builder(inst.num_sets());
+    for e in inst.edges() {
+        if keep[e.set.index()] {
+            b.add_edge(e);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::offline::lazy_greedy_k_cover;
+    use coverage_core::Edge;
+    use coverage_hash::SplitMix64;
+
+    /// An instance where each "true" set appears with `copies` noisy
+    /// near-duplicates (95% overlap).
+    fn duplicated_instance(
+        true_sets: usize,
+        copies: usize,
+        size: u64,
+        seed: u64,
+    ) -> CoverageInstance {
+        let mut rng = SplitMix64::new(seed);
+        let mut b = CoverageInstance::builder(true_sets * (1 + copies));
+        for t in 0..true_sets {
+            let base = t as u64 * 10 * size;
+            let original: Vec<u64> = (0..size).map(|i| base + i).collect();
+            let sid = (t * (1 + copies)) as u32;
+            for &e in &original {
+                b.add_edge(Edge::new(sid, e));
+            }
+            for c in 0..copies {
+                let dup = (t * (1 + copies) + 1 + c) as u32;
+                for &e in &original {
+                    // Keep ~95% of the original, swap the rest for noise.
+                    if rng.next_f64() < 0.95 {
+                        b.add_edge(Edge::new(dup, e));
+                    } else {
+                        b.add_edge(Edge::new(dup, base + size + rng.next_below(size)));
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn prunes_planted_duplicates() {
+        let inst = duplicated_instance(8, 4, 300, 3);
+        let prune = prune_near_duplicates(&inst, 0.8, 128, 7);
+        assert_eq!(
+            prune.kept_count(),
+            8,
+            "one representative per cluster, got {:?}",
+            prune.kept
+        );
+        assert_eq!(prune.dropped.len(), 8 * 4);
+    }
+
+    #[test]
+    fn distinct_sets_survive() {
+        // Fully disjoint sets: nothing prunable.
+        let mut b = CoverageInstance::builder(6);
+        for s in 0..6u32 {
+            for e in 0..50u64 {
+                b.add_edge(Edge::new(s, s as u64 * 100 + e));
+            }
+        }
+        let inst = b.build();
+        let prune = prune_near_duplicates(&inst, 0.7, 64, 1);
+        assert_eq!(prune.kept_count(), 6);
+        assert!(prune.dropped.is_empty());
+    }
+
+    #[test]
+    fn pruning_preserves_greedy_quality() {
+        let inst = duplicated_instance(10, 5, 400, 9);
+        let k = 6;
+        let before = lazy_greedy_k_cover(&inst, k).coverage();
+        let prune = prune_near_duplicates(&inst, 0.8, 128, 11);
+        let pruned = apply_prune(&inst, &prune);
+        let family = lazy_greedy_k_cover(&pruned, k).family();
+        // Families over the pruned instance are valid on the original.
+        let after = inst.coverage(&family);
+        assert!(
+            after as f64 >= 0.95 * before as f64,
+            "quality dropped: {after} vs {before}"
+        );
+        // And n shrank six-fold.
+        assert_eq!(prune.kept_count(), 10);
+    }
+
+    #[test]
+    fn representative_is_the_larger_set() {
+        // Two near-identical sets of different sizes: keep the larger.
+        let mut b = CoverageInstance::builder(2);
+        for e in 0..100u64 {
+            b.add_edge(Edge::new(0u32, e));
+        }
+        for e in 0..95u64 {
+            b.add_edge(Edge::new(1u32, e));
+        }
+        let inst = b.build();
+        let prune = prune_near_duplicates(&inst, 0.8, 128, 5);
+        assert_eq!(prune.kept, vec![SetId(0)]);
+        assert_eq!(prune.dropped, vec![(SetId(1), SetId(0))]);
+    }
+
+    #[test]
+    fn empty_sets_are_dropped_silently() {
+        let mut b = CoverageInstance::builder(3);
+        b.add_edge(Edge::new(0u32, 1u64));
+        // Sets 1 and 2 stay empty.
+        let inst = b.build();
+        let prune = prune_near_duplicates(&inst, 0.9, 32, 2);
+        assert_eq!(prune.kept, vec![SetId(0)]);
+        assert!(prune.dropped.is_empty());
+    }
+
+    #[test]
+    fn threshold_one_only_merges_exact_duplicates() {
+        let mut b = CoverageInstance::builder(3);
+        for e in 0..60u64 {
+            b.add_edge(Edge::new(0u32, e));
+            b.add_edge(Edge::new(1u32, e)); // exact duplicate of S0
+            if e < 59 {
+                b.add_edge(Edge::new(2u32, e)); // one element short
+            }
+        }
+        let inst = b.build();
+        let prune = prune_near_duplicates(&inst, 1.0, 256, 3);
+        assert_eq!(prune.kept.len(), 2, "kept {:?}", prune.kept);
+        assert_eq!(prune.dropped.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie in [0,1]")]
+    fn bad_threshold_rejected() {
+        let inst = CoverageInstance::builder(1).build();
+        prune_near_duplicates(&inst, 1.5, 16, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! End-to-end Criterion benchmarks: full Algorithm 3 / Algorithm 5 runs
+//! against the store-all baseline on identical streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coverage_algs::baselines::store_all_k_cover;
+use coverage_algs::{k_cover_streaming, set_cover_outliers, KCoverConfig, OutlierConfig};
+use coverage_data::planted_k_cover;
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+
+fn bench_kcover_e2e(c: &mut Criterion) {
+    let planted = planted_k_cover(300, 50_000, 8, 300, 3);
+    let mut stream = VecStream::from_instance(&planted.instance);
+    ArrivalOrder::Random(1).apply(stream.edges_mut());
+
+    c.bench_function("alg3_kcover_n300_m50k", |b| {
+        let cfg = KCoverConfig::new(8, 0.25, 5).with_sizing(SketchSizing::Budget(5_000));
+        b.iter(|| black_box(k_cover_streaming(&stream, &cfg).family.len()))
+    });
+    c.bench_function("store_all_kcover_n300_m50k", |b| {
+        b.iter(|| black_box(store_all_k_cover(&stream, 8).family.len()))
+    });
+}
+
+fn bench_outliers_e2e(c: &mut Criterion) {
+    let planted = coverage_data::planted_set_cover(150, 20_000, 8, 200, 5);
+    let mut stream = VecStream::from_instance(&planted.instance);
+    ArrivalOrder::Random(2).apply(stream.edges_mut());
+
+    let mut group = c.benchmark_group("alg5_outliers");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        group.bench_function(if parallel { "parallel" } else { "sequential" }, |b| {
+            let cfg = OutlierConfig::new(0.1, 0.5, 7)
+                .with_sizing(SketchSizing::Budget(3_000))
+                .with_parallel(parallel);
+            b.iter(|| black_box(set_cover_outliers(&stream, &cfg).family.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcover_e2e, bench_outliers_e2e);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the greedy engines: lazy (Minoux) vs naive
+//! rescanning greedy, on instances shaped like sketch contents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coverage_core::offline::{
+    greedy_k_cover, greedy_set_cover, lazy_greedy_k_cover, stochastic_greedy_k_cover,
+};
+use coverage_data::uniform_instance;
+
+fn bench_lazy_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_kcover");
+    for n in [200usize, 800] {
+        let inst = uniform_instance(n, 20_000, 300, 11);
+        let k = 20;
+        group.bench_with_input(BenchmarkId::new("lazy", n), &inst, |b, inst| {
+            b.iter(|| black_box(lazy_greedy_k_cover(inst, k).coverage()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &inst, |b, inst| {
+            b.iter(|| black_box(greedy_k_cover(inst, k).coverage()))
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic", n), &inst, |b, inst| {
+            b.iter(|| black_box(stochastic_greedy_k_cover(inst, k, 0.1, 7).coverage()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_cover(c: &mut Criterion) {
+    let inst = uniform_instance(400, 10_000, 200, 13);
+    c.bench_function("greedy_set_cover_400x10k", |b| {
+        b.iter(|| black_box(greedy_set_cover(&inst).len()))
+    });
+}
+
+criterion_group!(benches, bench_lazy_vs_naive, bench_set_cover);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the hashing substrate: the per-edge hash
+//! is the innermost operation of every streaming update, so its cost gates
+//! the whole pipeline. Compares the default SplitMix64 element hash with
+//! the 3-wise-independent tabulation alternative (A4's performance side),
+//! plus the KMV distinct-counter update used by the ℓ₀ baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coverage_hash::{ElementHasher, KmvSketch, TabulationHash, UnitHash};
+
+const KEYS: u64 = 100_000;
+
+fn bench_element_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("element_hash");
+    group.throughput(Throughput::Elements(KEYS));
+
+    let unit = UnitHash::new(42);
+    group.bench_function("splitmix64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..KEYS {
+                acc ^= unit.hash(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+
+    let tab = TabulationHash::new(42);
+    group.bench_function("tabulation", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..KEYS {
+                acc ^= tab.hash64(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmv_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmv_update");
+    group.throughput(Throughput::Elements(KEYS));
+    for t in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("t", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut s = KmvSketch::new(t, UnitHash::new(7));
+                for k in 0..KEYS {
+                    s.insert(black_box(k));
+                }
+                black_box(s.estimate())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmv_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmv_merge");
+    for t in [64usize, 1024] {
+        let mut a = KmvSketch::new(t, UnitHash::new(7));
+        let mut b2 = KmvSketch::new(t, UnitHash::new(7));
+        for k in 0..50_000u64 {
+            a.insert(k);
+            b2.insert(k + 25_000);
+        }
+        group.bench_with_input(BenchmarkId::new("t", t), &t, |b, _| {
+            b.iter(|| {
+                let mut m = a.clone();
+                m.merge_from(black_box(&b2));
+                black_box(m.estimate())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_element_hashes,
+    bench_kmv_update,
+    bench_kmv_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the distinct-count substrates (KMV vs
+//! LogLog): insert throughput and merge/estimate cost — the inner loop of
+//! the Appendix D baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coverage_hash::{KmvSketch, LogLogCounter, UnitHash};
+
+fn bench_inserts(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..100_000u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9))
+        .collect();
+    let mut group = c.benchmark_group("distinct_insert");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for t in [256usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("kmv", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut s = KmvSketch::new(t, UnitHash::new(1));
+                for &k in &keys {
+                    s.insert(k);
+                }
+                black_box(s.estimate())
+            })
+        });
+    }
+    group.bench_function("hll_b12", |b| {
+        b.iter(|| {
+            let mut s = LogLogCounter::new(12, UnitHash::new(1));
+            for &k in &keys {
+                s.insert(k);
+            }
+            black_box(s.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let t = 1024;
+    let h = UnitHash::new(2);
+    let sketches: Vec<KmvSketch> = (0..16)
+        .map(|i| {
+            let mut s = KmvSketch::new(t, h);
+            for k in 0..20_000u64 {
+                s.insert(k.wrapping_mul(31).wrapping_add(i * 1_000_000));
+            }
+            s
+        })
+        .collect();
+    c.bench_function("kmv_merge_16x1024", |b| {
+        b.iter(|| black_box(KmvSketch::merged(sketches.iter()).estimate()))
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_merge);
+criterion_main!(benches);

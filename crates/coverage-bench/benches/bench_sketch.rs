@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the `H≤n` sketch update path (the E9
+//! claim: `Õ(1)` per edge, independent of stream length and budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coverage_data::stream_uniform;
+use coverage_sketch::{SketchParams, ThresholdSketch};
+use coverage_stream::EdgeStream;
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let n = 1_000;
+    let mut group = c.benchmark_group("sketch_update");
+    for budget in [1_000usize, 10_000, 100_000] {
+        let edges_per_set = 200;
+        let total = (n * edges_per_set) as u64;
+        let stream = stream_uniform(n, 1_000_000, edges_per_set, 3);
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            let params = SketchParams::with_budget(n, 10, 0.2, budget);
+            b.iter(|| {
+                let mut s = ThresholdSketch::new(params, 7);
+                stream.for_each(&mut |e| s.update(e));
+                black_box(s.edges_stored())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_vs_m(c: &mut Criterion) {
+    // Update cost must not depend on the universe size m.
+    let n = 500;
+    let mut group = c.benchmark_group("sketch_update_vs_m");
+    for m in [10_000u64, 10_000_000] {
+        let stream = stream_uniform(n, m, 200, 5);
+        group.throughput(Throughput::Elements((n * 200) as u64));
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            let params = SketchParams::with_budget(n, 8, 0.25, 5_000);
+            b.iter(|| {
+                let mut s = ThresholdSketch::new(params, 9);
+                stream.for_each(&mut |e| s.update(e));
+                black_box(s.elements_stored())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput, bench_update_vs_m);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `ablation_adaptive_p` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::ablation_adaptive_p::run().emit();
+}

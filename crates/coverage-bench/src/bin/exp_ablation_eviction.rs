@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `ablation_eviction` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::ablation_eviction::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `disjointness` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::disjointness::run().emit();
+}

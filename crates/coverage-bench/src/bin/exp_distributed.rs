@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `distributed` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::distributed::run().emit();
+}

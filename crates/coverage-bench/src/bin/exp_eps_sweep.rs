@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `eps_sweep` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::eps_sweep::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `hash_ablation` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::hash_ablation::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `l0_vs_sketch` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::l0_vs_sketch::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `lemma_chain` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::lemma_chain::run().emit();
+}

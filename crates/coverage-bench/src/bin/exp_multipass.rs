@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `multipass` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::multipass::run().emit();
+}

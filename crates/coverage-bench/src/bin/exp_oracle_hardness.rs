@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `oracle_hardness` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::oracle_hardness::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `order_sensitivity` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::order_sensitivity::run().emit();
+}

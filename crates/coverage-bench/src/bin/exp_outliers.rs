@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `outliers` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::outliers::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `solver_transfer` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::solver_transfer::run().emit();
+}

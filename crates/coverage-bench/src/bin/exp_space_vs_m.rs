@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `space_vs_m` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::space_vs_m::run().emit();
+}

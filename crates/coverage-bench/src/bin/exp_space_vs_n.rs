@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `space_vs_n` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::space_vs_n::run().emit();
+}

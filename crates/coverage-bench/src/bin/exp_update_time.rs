@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `update_time` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::update_time::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `weighted` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::weighted::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `fig1` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::fig1::run().emit();
+}

@@ -1,0 +1,7 @@
+//! Run every experiment in DESIGN.md's index, in order.
+fn main() {
+    for out in coverage_bench::experiments::run_all() {
+        println!("########## experiment {} ##########\n", out.id);
+        out.emit();
+    }
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `table1` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::table1::run().emit();
+}

@@ -1,0 +1,115 @@
+//! A1 — ablating Lemma 2.4's degree cap.
+//!
+//! On heavy-tailed (Zipf) instances a few elements belong to most sets.
+//! Without the cap, those elements monopolize the edge budget, forcing
+//! the adaptive threshold `p*` far down — the sketch then contains very
+//! few *distinct* elements and greedy quality collapses. The cap trades a
+//! bounded per-element information loss (an ε-fraction, by the
+//! probabilistic argument of Lemma 2.4) for many more sampled elements.
+
+use coverage_algs::kcover::solve_on_sketch;
+use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_data::zipf_instance;
+use coverage_sketch::{SketchParams, ThresholdSketch};
+use coverage_stream::VecStream;
+use serde::Serialize;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    degree_cap: usize,
+    elements_kept: usize,
+    sampling_p: f64,
+    coverage: usize,
+    ratio_vs_offline: f64,
+}
+
+/// Run experiment A1.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("A1");
+    let n = 300;
+    // Large k drives the cap far below n (cap = n·ln(1/ε)/(εk) ≈ 60 ≪
+    // 300), so elements living in most sets save hundreds of edges each
+    // when capped. Strong popularity skew makes such elements common.
+    let k = 20;
+    let inst = zipf_instance(n, 30_000, 0.3, 1.3, 3_000, 5);
+    let stream = VecStream::from_instance(&inst);
+    let offline = lazy_greedy_k_cover(&inst, k).coverage() as f64;
+
+    let budget = 4_000;
+    let mut t = Table::new(
+        "A1: degree cap on/off (Zipf workload, n=300, k=20, budget=4000)",
+        &[
+            "variant",
+            "cap",
+            "elements kept",
+            "p*",
+            "true coverage",
+            "vs offline",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (variant, params) in [
+        ("paper cap", SketchParams::with_budget(n, k, 0.3, budget)),
+        (
+            "no cap",
+            SketchParams::with_budget(n, k, 0.3, budget).with_degree_cap(usize::MAX),
+        ),
+    ] {
+        let sketch = ThresholdSketch::from_stream(params, 23, &stream);
+        let res = solve_on_sketch(&sketch, k);
+        let coverage = inst.coverage(&res.family);
+        let ratio = coverage as f64 / offline;
+        t.row(vec![
+            variant.to_string(),
+            if params.degree_cap == usize::MAX {
+                "inf".into()
+            } else {
+                fmt_count(params.degree_cap as u64)
+            },
+            fmt_count(sketch.elements_stored() as u64),
+            fmt_f(sketch.sampling_p(), 5),
+            fmt_count(coverage as u64),
+            fmt_f(ratio, 3),
+        ]);
+        rows.push(Row {
+            variant: variant.to_string(),
+            degree_cap: params.degree_cap,
+            elements_kept: sketch.elements_stored(),
+            sampling_p: sketch.sampling_p(),
+            coverage,
+            ratio_vs_offline: ratio,
+        });
+    }
+    out.table(&t);
+    out.note(
+        "Without the cap, heavy elements eat the budget: far fewer distinct\n\
+         elements survive (smaller p*), and solution quality drops. The cap\n\
+         is what makes Õ(n) edges enough — Lemma 2.4 in action.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cap_keeps_more_elements_and_quality() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        let capped = &rows[0];
+        let uncapped = &rows[1];
+        assert!(
+            capped["elements_kept"].as_u64().unwrap() > uncapped["elements_kept"].as_u64().unwrap(),
+            "cap must retain more distinct elements"
+        );
+        assert!(
+            capped["ratio_vs_offline"].as_f64().unwrap()
+                >= uncapped["ratio_vs_offline"].as_f64().unwrap() - 0.02,
+            "cap should not hurt quality"
+        );
+    }
+}

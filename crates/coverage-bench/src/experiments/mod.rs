@@ -1,0 +1,50 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod ablation_adaptive_p;
+pub mod ablation_degcap;
+pub mod ablation_eviction;
+pub mod disjointness;
+pub mod distributed;
+pub mod eps_sweep;
+pub mod fig1;
+pub mod hash_ablation;
+pub mod l0_vs_sketch;
+pub mod lemma_chain;
+pub mod multipass;
+pub mod oracle_hardness;
+pub mod order_sensitivity;
+pub mod outliers;
+pub mod solver_transfer;
+pub mod space_vs_m;
+pub mod space_vs_n;
+pub mod table1;
+pub mod update_time;
+pub mod weighted;
+
+use crate::harness::ExperimentOutput;
+
+/// Run every experiment in index order (the `run_all` binary).
+pub fn run_all() -> Vec<ExperimentOutput> {
+    vec![
+        table1::run(),
+        fig1::run(),
+        lemma_chain::run(),
+        eps_sweep::run(),
+        space_vs_m::run(),
+        space_vs_n::run(),
+        outliers::run(),
+        multipass::run(),
+        l0_vs_sketch::run(),
+        oracle_hardness::run(),
+        disjointness::run(),
+        update_time::run(),
+        solver_transfer::run(),
+        weighted::run(),
+        ablation_degcap::run(),
+        ablation_adaptive_p::run(),
+        ablation_eviction::run(),
+        hash_ablation::run(),
+        order_sensitivity::run(),
+        distributed::run(),
+    ]
+}

@@ -1,0 +1,105 @@
+//! E5 — Theorem 3.4's pass/space trade-off: full set cover in `2r−1`
+//! passes with the residual shrinking as `m^{3/(2+r)}`.
+
+use coverage_algs::{set_cover_multipass, MultiPassConfig};
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_data::planted_set_cover;
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    r: usize,
+    passes: u32,
+    cover_size: usize,
+    size_ratio: f64,
+    residual_edges: usize,
+    predicted_residual_elems: f64,
+    peak_edges: u64,
+    is_cover: bool,
+}
+
+/// Run experiment E5.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E5");
+    let planted = planted_set_cover(200, 40_000, 10, 300, 8);
+    let inst = &planted.instance;
+    let m = inst.num_elements() as f64;
+    let k_star = planted.optimal_value as f64;
+    let mut stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(2).apply(stream.edges_mut());
+
+    let mut t = Table::new(
+        "E5: multipass set cover (n=200, m=40_000, k*=10, eps=0.5)",
+        &[
+            "r",
+            "passes",
+            "cover",
+            "|S|/k*",
+            "residual edges",
+            "bound m^(3/(2+r))",
+            "peak edges",
+            "cover?",
+        ],
+    );
+    let mut rows = Vec::new();
+    for r in [1usize, 2, 3, 4, 6] {
+        let cfg = MultiPassConfig::new(r, 0.5, 19)
+            .with_m(inst.num_elements())
+            .with_sizing(SketchSizing::Budget(4_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        let is_cover = inst.is_cover(&res.family);
+        let predicted = m.powf(3.0 / (2.0 + r as f64));
+        t.row(vec![
+            r.to_string(),
+            res.passes.to_string(),
+            res.family.len().to_string(),
+            fmt_f(res.family.len() as f64 / k_star, 2),
+            fmt_count(res.residual_edges as u64),
+            fmt_count(predicted as u64),
+            fmt_count(res.space.peak_edges),
+            is_cover.to_string(),
+        ]);
+        rows.push(Row {
+            r,
+            passes: res.passes,
+            cover_size: res.family.len(),
+            size_ratio: res.family.len() as f64 / k_star,
+            residual_edges: res.residual_edges,
+            predicted_residual_elems: predicted,
+            peak_edges: res.space.peak_edges,
+            is_cover,
+        });
+    }
+    out.table(&t);
+    out.note(
+        "r=1 is the trivial store-everything algorithm; each extra round\n\
+         shrinks the stored residual, which Theorem 3.4 bounds by\n\
+         m^(3/(2+r)) (rounds usually overdeliver — covering more than the\n\
+         required 1-lambda fraction — so measured residuals sit well below\n\
+         the bound). The cover stays within (1+eps)·ln m of k*.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_rounds_cover_and_residual_shrinks() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        for r in rows {
+            assert!(r["is_cover"].as_bool().unwrap());
+        }
+        let first = rows[0]["residual_edges"].as_u64().unwrap();
+        let last = rows[rows.len() - 1]["residual_edges"].as_u64().unwrap();
+        assert!(
+            last < first / 4,
+            "residual should shrink strongly: {first} → {last}"
+        );
+    }
+}

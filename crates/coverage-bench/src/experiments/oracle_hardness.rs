@@ -1,0 +1,163 @@
+//! E7 — Theorem 1.3 / Appendix A made measurable:
+//!
+//! 1. **k-purification success decay**: the probability that a random-
+//!    query strategy finds a `Pure_ε` witness collapses as `ε²k²/n`
+//!    grows, matching the `exp(−Ω(ε²k²/n))` per-query bound.
+//! 2. **The punchline**: on the same gold/brass instance, greedy driven
+//!    by the adversarial `(1±ε)` oracle collapses to `O(k/n)`-quality,
+//!    while Algorithm 3 — which streams the *edges* instead of querying
+//!    the *function* — recovers near-optimal coverage.
+
+use coverage_algs::{k_cover_streaming, KCoverConfig};
+use coverage_core::oracle_greedy_k_cover;
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_lb::purification::random_subset_strategy;
+use coverage_lb::{GoldBrassInstance, PurificationInstance};
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct PurityRow {
+    n: usize,
+    k: usize,
+    hardness: f64,
+    success_rate: f64,
+}
+
+#[derive(Serialize)]
+struct PunchlineRow {
+    n: usize,
+    k: usize,
+    oracle_ratio: f64,
+    oracle_queries: u64,
+    streaming_ratio: f64,
+    streaming_space_edges: u64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    purification: Vec<PurityRow>,
+    punchline: Vec<PunchlineRow>,
+}
+
+/// Run experiment E7.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E7");
+    let eps = 0.5;
+
+    // --- 1. success decay of random probing -----------------------------
+    let mut t1 = Table::new(
+        "E7a: k-purification — random-probe success vs hardness eps²k²/n (25 probes, 20 trials)",
+        &["n", "k", "eps²k²/n", "success rate"],
+    );
+    let mut purification = Vec::new();
+    let n = 900;
+    for k in [6usize, 15, 30, 60, 120, 240] {
+        let mut successes = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let p = PurificationInstance::random(n, k, seed * 31 + k as u64);
+            let o = p.oracle(eps);
+            if random_subset_strategy(&o, n / 2, 25, seed).is_some() {
+                successes += 1;
+            }
+        }
+        let hardness = eps * eps * (k * k) as f64 / n as f64;
+        let rate = successes as f64 / trials as f64;
+        t1.row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt_f(hardness, 2),
+            fmt_f(rate, 2),
+        ]);
+        purification.push(PurityRow {
+            n,
+            k,
+            hardness,
+            success_rate: rate,
+        });
+    }
+    out.table(&t1);
+
+    // --- 2. oracle access vs stream access -------------------------------
+    let mut t2 = Table::new(
+        "E7b: same instance, two access models (gold/brass, eps=0.5)",
+        &[
+            "n",
+            "k",
+            "oracle-greedy ratio",
+            "queries",
+            "Alg 3 ratio",
+            "Alg 3 space (edges)",
+        ],
+    );
+    let mut punchline = Vec::new();
+    for (n, k) in [(600usize, 60usize), (1200, 120)] {
+        let gb = GoldBrassInstance::random(n, k, 7);
+        let oracle = gb.noisy_oracle(eps);
+        let via_oracle = oracle_greedy_k_cover(&oracle, k);
+        let oracle_ratio = gb.true_coverage(&via_oracle) as f64 / gb.optimal_value() as f64;
+
+        let inst = gb.to_instance();
+        let mut stream = VecStream::from_instance(&inst);
+        ArrivalOrder::Random(3).apply(stream.edges_mut());
+        let ours = k_cover_streaming(
+            &stream,
+            &KCoverConfig::new(k, 0.2, 5).with_sizing(SketchSizing::Budget(20_000)),
+        );
+        let streaming_ratio = inst.coverage(&ours.family) as f64 / gb.optimal_value() as f64;
+
+        t2.row(vec![
+            n.to_string(),
+            k.to_string(),
+            fmt_f(oracle_ratio, 3),
+            fmt_count(oracle.queries().max(1)),
+            fmt_f(streaming_ratio, 3),
+            fmt_count(ours.space.peak_edges),
+        ]);
+        punchline.push(PunchlineRow {
+            n,
+            k,
+            oracle_ratio,
+            oracle_queries: oracle.queries(),
+            streaming_ratio,
+            streaming_space_edges: ours.space.peak_edges,
+        });
+    }
+    out.table(&t2);
+    out.note(
+        "E7a: success decays once eps²k²/n passes ~1 (the exp(−Ω(·)) bound).\n\
+         E7b: a polynomial number of (1±eps)-oracle queries is worthless on\n\
+         this instance, while the edge stream solves it in Õ(n) space —\n\
+         sketching the graph beats sketching the function (Theorem 1.3).",
+    );
+    out.set_json(Record {
+        purification,
+        punchline,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hardness_grows_success_falls_and_punchline_holds() {
+        let out = super::run();
+        let rec = &out.json;
+        let purity = rec["purification"].as_array().unwrap();
+        // Easiest regime succeeds often; hardest essentially never.
+        let first = purity[0]["success_rate"].as_f64().unwrap();
+        let last = purity[purity.len() - 1]["success_rate"].as_f64().unwrap();
+        assert!(first > 0.5, "easy regime should succeed: {first}");
+        assert!(last < 0.2, "hard regime should fail: {last}");
+        for p in rec["punchline"].as_array().unwrap() {
+            let o = p["oracle_ratio"].as_f64().unwrap();
+            let s = p["streaming_ratio"].as_f64().unwrap();
+            assert!(o < 0.45, "oracle ratio {o}");
+            assert!(s > 0.6, "streaming ratio {s}");
+        }
+    }
+}

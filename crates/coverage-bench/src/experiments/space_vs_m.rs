@@ -1,0 +1,112 @@
+//! E2 — the headline space claim: the sketch's footprint is independent
+//! of `m`, while set-arrival baselines and store-all grow linearly.
+//!
+//! Fix `n` and sweep `m` over three orders of magnitude (input edges grow
+//! proportionally); record each algorithm's peak words.
+
+use coverage_algs::baselines::{saha_getoor_k_cover, store_all_k_cover};
+use coverage_algs::{k_cover_streaming, KCoverConfig};
+use coverage_core::report::{fmt_count, Table};
+use coverage_data::uniform_instance;
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+use coverage_core::plot::AsciiChart;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    m: u64,
+    input_edges: usize,
+    sketch_words: u64,
+    saha_getoor_words: u64,
+    store_all_words: u64,
+}
+
+/// Run experiment E2.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E2");
+    let n = 300;
+    let k = 8;
+    let mut t = Table::new(
+        "E2: peak space (words) vs m at fixed n=300 (input grows with m)",
+        &["m", "input |E|", "H<=n sketch", "Saha-Getoor", "store-all"],
+    );
+    let mut rows = Vec::new();
+    for m in [20_000u64, 100_000, 500_000, 1_000_000] {
+        // Keep |E| comfortably above the sketch budget at every m so the
+        // sketch is always saturated (a universe smaller than the budget
+        // would under-fill it and make the "flat" column an artifact).
+        let edges_per_set = (m / 100).max(120) as usize;
+        let inst = uniform_instance(n, m, edges_per_set, m ^ 5);
+        let mut edge_stream = VecStream::from_instance(&inst);
+        ArrivalOrder::Random(1).apply(edge_stream.edges_mut());
+        let mut set_stream = VecStream::from_instance(&inst);
+        ArrivalOrder::SetGrouped(1).apply(set_stream.edges_mut());
+
+        let ours = k_cover_streaming(
+            &edge_stream,
+            &KCoverConfig::new(k, 0.25, 2).with_sizing(SketchSizing::Budget(5_000)),
+        );
+        let sg = saha_getoor_k_cover(&set_stream, k);
+        let all = store_all_k_cover(&edge_stream, k);
+
+        t.row(vec![
+            fmt_count(m),
+            fmt_count(inst.num_edges() as u64),
+            fmt_count(ours.space.total_words()),
+            fmt_count(sg.space.total_words()),
+            fmt_count(all.space.total_words()),
+        ]);
+        rows.push(Row {
+            m,
+            input_edges: inst.num_edges(),
+            sketch_words: ours.space.total_words(),
+            saha_getoor_words: sg.space.total_words(),
+            store_all_words: all.space.total_words(),
+        });
+    }
+    out.table(&t);
+    let mut chart = AsciiChart::new(56, 12)
+        .log_x()
+        .log_y()
+        .labels("m (log)", "peak words (log): s=sketch, a=store-all, g=Saha-Getoor");
+    chart.series('s', &rows.iter().map(|r| (r.m as f64, r.sketch_words as f64)).collect::<Vec<_>>());
+    chart.series('a', &rows.iter().map(|r| (r.m as f64, r.store_all_words as f64)).collect::<Vec<_>>());
+    chart.series('g', &rows.iter().map(|r| (r.m as f64, r.saha_getoor_words as f64)).collect::<Vec<_>>());
+    out.note(chart.render());
+    out.note(
+        "The sketch column is flat — Õ(n), independent of m — while both\n\
+         baselines track the input size. This is the paper's core claim.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sketch_flat_baselines_grow() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        let sk_growth = last["sketch_words"].as_u64().unwrap() as f64
+            / first["sketch_words"].as_u64().unwrap() as f64;
+        let sg_growth = last["saha_getoor_words"].as_u64().unwrap() as f64
+            / first["saha_getoor_words"].as_u64().unwrap() as f64;
+        let all_growth = last["store_all_words"].as_u64().unwrap() as f64
+            / first["store_all_words"].as_u64().unwrap() as f64;
+        assert!(sk_growth < 1.3, "sketch grew {sk_growth}x with m");
+        assert!(
+            sg_growth > 20.0,
+            "Saha-Getoor should grow with m: {sg_growth}x"
+        );
+        assert!(
+            all_growth > 20.0,
+            "store-all should grow with m: {all_growth}x"
+        );
+    }
+}

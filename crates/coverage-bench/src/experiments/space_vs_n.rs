@@ -1,0 +1,68 @@
+//! E3 — sketch space scales as `Õ(n)`: sweep `n` at fixed `m` with the
+//! paper-shaped practical budget `c·n·ln n/ε²` and confirm the measured
+//! peak tracks `n·ln n` (so `space / (n·ln n)` stays flat).
+
+use coverage_algs::{k_cover_streaming, KCoverConfig};
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_data::uniform_instance;
+use coverage_sketch::SketchSizing;
+use coverage_stream::VecStream;
+use serde::Serialize;
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    space_edges: u64,
+    per_n_log_n: f64,
+}
+
+/// Run experiment E3.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E3");
+    let m = 50_000u64;
+    let k = 8;
+    let mut t = Table::new(
+        "E3: sketch peak edges vs n at fixed m=50_000 (practical budget c·n·ln n/eps²)",
+        &["n", "space (edges)", "space / (n·ln n)"],
+    );
+    let mut rows = Vec::new();
+    for n in [100usize, 200, 400, 800, 1600] {
+        let inst = uniform_instance(n, m, 400, n as u64);
+        let stream = VecStream::from_instance(&inst);
+        let cfg = KCoverConfig::new(k, 0.25, 3).with_sizing(SketchSizing::Practical { c: 0.05 });
+        let res = k_cover_streaming(&stream, &cfg);
+        let norm = res.space.peak_edges as f64 / (n as f64 * (n as f64).ln());
+        t.row(vec![
+            fmt_count(n as u64),
+            fmt_count(res.space.peak_edges),
+            fmt_f(norm, 3),
+        ]);
+        rows.push(Row {
+            n,
+            space_edges: res.space.peak_edges,
+            per_n_log_n: norm,
+        });
+    }
+    out.table(&t);
+    out.note("The normalized column is ~constant: space grows as n·ln n, not with m.");
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn normalized_space_is_flat() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        let norms: Vec<f64> = rows
+            .iter()
+            .map(|r| r["per_n_log_n"].as_f64().unwrap())
+            .collect();
+        let min = norms.iter().cloned().fold(f64::MAX, f64::min);
+        let max = norms.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 2.0, "n·ln n normalization not flat: {norms:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! E11 — the weighted-elements extension (paper's future-work direction).
+//!
+//! Weighted coverage (`C_w(S) = Σ_{e∈∪S} w(e)`) is the extension the
+//! applications in the paper's introduction actually need. Two claims are
+//! measured:
+//!
+//! 1. **Offline**: weighted lazy greedy achieves `≥ (1 − 1/e)` of the
+//!    exact weighted optimum (small instances, exact by enumeration).
+//! 2. **Streaming by unit replication**: for bounded integer weights, an
+//!    element of weight `w` can be replaced by `w` unit-weight copies and
+//!    fed through the *unmodified* `H≤n` pipeline. The streamed family's
+//!    weighted coverage should track the offline weighted greedy on the
+//!    original instance.
+
+use coverage_core::offline::{
+    exact_weighted_k_cover, weighted_coverage, weighted_greedy_k_cover, ElementWeights,
+};
+use coverage_core::report::{fmt_f, Table};
+use coverage_core::{CoverageInstance, Edge};
+use coverage_data::uniform_instance;
+use coverage_hash::SplitMix64;
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+use coverage_algs::{k_cover_streaming, KCoverConfig};
+
+use crate::harness::ExperimentOutput;
+
+#[derive(Serialize)]
+struct OfflineRow {
+    seed: u64,
+    greedy_over_opt: f64,
+}
+
+#[derive(Serialize)]
+struct StreamRow {
+    k: usize,
+    streamed_weight: u64,
+    offline_weight: u64,
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    offline: Vec<OfflineRow>,
+    streaming: Vec<StreamRow>,
+}
+
+/// Replicate weighted elements into unit copies: element `e` of weight
+/// `w` becomes pseudo-elements `e·W + 0 … e·W + w−1` (`W` = max weight).
+fn replicate(inst: &CoverageInstance, w: &ElementWeights, max_w: u64) -> CoverageInstance {
+    let mut b = CoverageInstance::builder(inst.num_sets());
+    for s in inst.set_ids() {
+        for &d in inst.dense_set(s) {
+            let base = inst.element_id(d).0 * max_w;
+            for c in 0..w.get(d) {
+                b.add_edge(Edge::new(s.0, base + c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Run experiment E11.
+pub fn run() -> ExperimentOutput {
+    run_sized(12, 200, 30, 40, 2_500, 40)
+}
+
+/// Run with explicit dimensions (small ones keep exact enumeration fast).
+pub fn run_sized(
+    n_small: usize,
+    m_small: u64,
+    deg_small: usize,
+    n: usize,
+    m: u64,
+    deg: usize,
+) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("E11");
+    let max_w = 8u64;
+
+    // --- Part 1: offline guarantee vs exact optimum --------------------
+    let mut offline = Vec::new();
+    for seed in 1..=5u64 {
+        let inst = uniform_instance(n_small, m_small, deg_small, seed);
+        let mut rng = SplitMix64::new(seed * 31);
+        let w = ElementWeights::from_dense(
+            (0..inst.num_elements())
+                .map(|_| 1 + rng.next_below(max_w))
+                .collect(),
+        );
+        let k = 4;
+        let greedy = weighted_greedy_k_cover(&inst, &w, k).covered_weight();
+        let (_, opt) = exact_weighted_k_cover(&inst, &w, k);
+        offline.push(OfflineRow {
+            seed,
+            greedy_over_opt: greedy as f64 / opt.max(1) as f64,
+        });
+    }
+
+    // --- Part 2: streaming via unit replication ------------------------
+    let inst = uniform_instance(n, m, deg, 4242);
+    let mut rng = SplitMix64::new(7);
+    let w = ElementWeights::from_dense(
+        (0..inst.num_elements())
+            .map(|_| 1 + rng.next_below(max_w))
+            .collect(),
+    );
+    let replicated = replicate(&inst, &w, max_w);
+    let mut streaming = Vec::new();
+    for k in [2usize, 4, 8] {
+        let mut stream = VecStream::from_instance(&replicated);
+        ArrivalOrder::Random(k as u64).apply(stream.edges_mut());
+        let cfg = KCoverConfig::new(k, 0.2, 5)
+            .with_sizing(SketchSizing::Budget(replicated.num_edges() / 3 + 64));
+        let res = k_cover_streaming(&stream, &cfg);
+        let streamed = weighted_coverage(&inst, &w, &res.family);
+        let offline_w = weighted_greedy_k_cover(&inst, &w, k).covered_weight();
+        streaming.push(StreamRow {
+            k,
+            streamed_weight: streamed,
+            offline_weight: offline_w,
+            ratio: streamed as f64 / offline_w.max(1) as f64,
+        });
+    }
+
+    let mut t1 = Table::new(
+        "Weighted greedy vs exact optimum (offline, exact by enumeration)",
+        &["seed", "greedy/OPT_w"],
+    );
+    for r in &offline {
+        t1.row(vec![r.seed.to_string(), fmt_f(r.greedy_over_opt, 3)]);
+    }
+    out.note(format!(
+        "weights uniform in 1..={max_w}; offline: n={n_small}, m={m_small}; \
+         streaming: n={n}, m={m}, unit-replicated universe {} elements",
+        replicated.num_elements()
+    ));
+    out.table(&t1);
+
+    let mut t2 = Table::new(
+        "Streaming weighted k-cover via unit replication through H<=n",
+        &["k", "streamed C_w", "offline greedy C_w", "ratio"],
+    );
+    for r in &streaming {
+        t2.row(vec![
+            r.k.to_string(),
+            r.streamed_weight.to_string(),
+            r.offline_weight.to_string(),
+            fmt_f(r.ratio, 3),
+        ]);
+    }
+    out.table(&t2);
+    out.note(
+        "Reading: weighted greedy sits above 1−1/e ≈ 0.632 of the exact\n\
+         weighted optimum, and the unit-replication reduction lets the\n\
+         unmodified streaming pipeline solve weighted instances at a small\n\
+         quality cost — the paper's machinery extends as its conclusion\n\
+         anticipates.",
+    );
+    out.set_json(Record { offline, streaming });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn weighted_guarantees_hold() {
+        let out = super::run_sized(10, 120, 20, 20, 600, 25);
+        let rec = &out.json;
+        for r in rec["offline"].as_array().unwrap() {
+            let ratio = r["greedy_over_opt"].as_f64().unwrap();
+            assert!(
+                ratio >= 1.0 - 1.0 / std::f64::consts::E - 1e-9,
+                "offline ratio {ratio}"
+            );
+        }
+        for r in rec["streaming"].as_array().unwrap() {
+            let ratio = r["ratio"].as_f64().unwrap();
+            assert!(ratio > 0.55, "streaming ratio {ratio}");
+        }
+    }
+}

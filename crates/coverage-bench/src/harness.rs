@@ -1,0 +1,117 @@
+//! Shared experiment plumbing: output capture, JSON persistence, and the
+//! workload/algorithm shorthands every experiment reuses.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use coverage_core::report::Table;
+use serde::Serialize;
+
+/// Collected output of one experiment: rendered tables plus a JSON value.
+#[derive(Debug, Default)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. "E2").
+    pub id: String,
+    /// Rendered tables/notes in display order.
+    pub sections: Vec<String>,
+    /// Machine-readable record.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentOutput {
+    /// Fresh output for experiment `id`.
+    pub fn new(id: &str) -> Self {
+        ExperimentOutput {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a rendered table.
+    pub fn table(&mut self, t: &Table) {
+        self.sections.push(t.render());
+    }
+
+    /// Append a free-form note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.sections.push(s.into());
+    }
+
+    /// Attach the JSON record.
+    pub fn set_json(&mut self, v: impl Serialize) {
+        self.json = serde_json::to_value(v).expect("experiment records are serializable");
+    }
+
+    /// Render everything to one string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for sec in &self.sections {
+            s.push_str(sec);
+            if !sec.ends_with('\n') {
+                s.push('\n');
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Print to stdout and persist the JSON record under
+    /// `target/experiments/<id>.json`.
+    pub fn emit(&self) {
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(stdout, "{}", self.render());
+        if let Some(dir) = experiments_dir() {
+            let _ = std::fs::create_dir_all(&dir);
+            let path = dir.join(format!("{}.json", self.id));
+            if let Ok(s) = serde_json::to_string_pretty(&self.json) {
+                let _ = std::fs::write(path, s);
+            }
+        }
+    }
+}
+
+/// `target/experiments` relative to the workspace root (best effort).
+fn experiments_dir() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return Some(dir.join("target").join("experiments"));
+        }
+        if !dir.pop() {
+            return Some(PathBuf::from("target/experiments"));
+        }
+    }
+}
+
+/// Measured wall time of `f`, in nanoseconds per `per` items.
+pub fn time_per<T>(per: u64, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    let ns = start.elapsed().as_nanos() as f64 / per.max(1) as f64;
+    (out, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_renders_sections_in_order() {
+        let mut o = ExperimentOutput::new("T0");
+        o.note("first");
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        o.table(&t);
+        let s = o.render();
+        let f = s.find("first").unwrap();
+        let x = s.find("== x ==").unwrap();
+        assert!(f < x);
+    }
+
+    #[test]
+    fn time_per_returns_value() {
+        let (v, ns) = time_per(10, || 42);
+        assert_eq!(v, 42);
+        assert!(ns >= 0.0);
+    }
+}

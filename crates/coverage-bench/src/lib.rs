@@ -1,0 +1,33 @@
+//! # coverage-bench
+//!
+//! The experiment harness: one module (and one binary) per table, figure,
+//! theorem-shaped experiment, and ablation from DESIGN.md's experiment
+//! index. Each experiment renders the paper-style table to stdout and
+//! drops a JSON record under `target/experiments/`.
+//!
+//! | id | binary | paper artifact |
+//! |---|---|---|
+//! | T1 | `table1` | Table 1 (algorithm comparison) |
+//! | F1 | `fig1` | Figure 1 (`Hp` vs `H'p` worked example) |
+//! | E1 | `exp_eps_sweep` | Theorem 3.1 approximation shape |
+//! | E2 | `exp_space_vs_m` | `Õ(n)` independence of `m` |
+//! | E3 | `exp_space_vs_n` | `Õ(n)` scaling in `n` |
+//! | E4 | `exp_outliers` | Theorem 3.3 (`(1+ε)ln(1/λ)`) |
+//! | E5 | `exp_multipass` | Theorem 3.4 (pass/space trade-off) |
+//! | E6 | `exp_l0_vs_sketch` | Appendix D (`Õ(nk)` vs `Õ(n)`) |
+//! | E7 | `exp_oracle_hardness` | Theorem 1.3 / Appendix A |
+//! | E8 | `exp_disjointness` | Theorem 1.2 / Appendix E |
+//! | E9 | `exp_update_time` | `Õ(1)` update time |
+//! | A1 | `exp_ablation_degcap` | Lemma 2.4's degree cap |
+//! | A2 | `exp_ablation_adaptive_p` | Definition 2.1's adaptive `p*` |
+//! | A3 | `exp_order_sensitivity` | arrival-order robustness |
+//!
+//! `run_all` executes everything in sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::ExperimentOutput;

@@ -1,0 +1,238 @@
+//! A fixed-capacity bitset over dense indices.
+//!
+//! Offline algorithms (exact solvers, greedy over compacted instances) need
+//! fast membership sets over `0..m`. The standard library has no bitset and
+//! external bitset crates are outside the sanctioned dependency list, so we
+//! implement the small amount we need: set/clear/test, popcount, union,
+//! intersection-count, difference-count, and iteration over set bits.
+
+/// A fixed-size bitset over indices `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// An empty bitset of capacity `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the capacity is zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` to one. Returns the previous value.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *w & mask != 0;
+        *w |= mask;
+        !was
+    }
+
+    /// Clear bit `i`. Returns true if the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set all bits to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// `self |= other`. Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `|self ∪ other|` without materializing the union.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|other \ self|`: how many bits of `other` are not already in `self`.
+    ///
+    /// This is the *marginal gain* primitive of every greedy pass.
+    pub fn gain_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (b & !a).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate over the indices of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter { word: w }.map(move |b| wi * WORD_BITS + b))
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bitset sized to the maximum index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let idx: Vec<usize> = iter.into_iter().collect();
+        let len = idx.iter().copied().max().map_or(0, |x| x + 1);
+        let mut bs = BitSet::new(len);
+        for i in idx {
+            bs.insert(i);
+        }
+        bs
+    }
+}
+
+/// Iterator over set-bit positions within one word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            None
+        } else {
+            let b = self.word.trailing_zeros() as usize;
+            self.word &= self.word - 1;
+            Some(b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = BitSet::new(130);
+        assert!(b.insert(0));
+        assert!(b.insert(63));
+        assert!(b.insert(64));
+        assert!(b.insert(129));
+        assert!(!b.insert(129), "second insert reports existing bit");
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1));
+        assert_eq!(b.count(), 4);
+        assert!(b.remove(63));
+        assert!(!b.remove(63));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn union_and_counts() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in [1usize, 5, 70] {
+            a.insert(i);
+        }
+        for i in [5usize, 70, 99] {
+            b.insert(i);
+        }
+        assert_eq!(a.union_count(&b), 4);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.gain_count(&b), 1, "only bit 99 is new to a");
+        a.union_with(&b);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut b = BitSet::new(200);
+        let want = [3usize, 64, 65, 127, 128, 199];
+        for &i in &want {
+            b.insert(i);
+        }
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let b: BitSet = [2usize, 9, 4].into_iter().collect();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.count(), 3);
+        assert!(b.contains(9));
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut b = BitSet::new(70);
+        b.insert(69);
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.len(), 70);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+}

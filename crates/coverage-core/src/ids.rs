@@ -1,0 +1,157 @@
+//! Strongly-typed identifiers for sets, elements, and membership edges.
+//!
+//! The paper models a coverage instance as a bipartite graph `G` between a
+//! family `S` of `n` sets and a ground set `E` of `m` elements; information
+//! arrives as *edges* `(S, u)` denoting `u ∈ S`. We mirror that model with
+//! two newtypes and an [`Edge`] pair.
+//!
+//! Sets are indexed densely by `u32` (the paper's regime of interest is
+//! `n ≪ m`, and all algorithms store per-set state, so a dense index is both
+//! natural and cache-friendly). Elements come from a potentially enormous
+//! universe and are identified by sparse `u64` keys that are only ever
+//! hashed or compared, never used as array indices.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a set `S ∈ S` (dense index in `0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetId(pub u32);
+
+/// Identifier of a ground-set element `u ∈ E` (sparse 64-bit key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u64);
+
+impl SetId {
+    /// The dense index of this set, usable for `Vec` indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ElementId {
+    /// The raw 64-bit key of this element.
+    #[inline]
+    pub fn key(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u32> for SetId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        SetId(v)
+    }
+}
+
+impl From<usize> for SetId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "set index exceeds u32 range");
+        SetId(v as u32)
+    }
+}
+
+impl From<u64> for ElementId {
+    #[inline]
+    fn from(v: u64) -> Self {
+        ElementId(v)
+    }
+}
+
+impl From<usize> for ElementId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        ElementId(v as u64)
+    }
+}
+
+impl std::fmt::Debug for SetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl std::fmt::Display for SetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for ElementId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ElementId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One membership relation `element ∈ set`, the unit of the edge-arrival
+/// stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// The set endpoint.
+    pub set: SetId,
+    /// The element endpoint.
+    pub element: ElementId,
+}
+
+impl Edge {
+    /// Construct an edge from raw indices.
+    #[inline]
+    pub fn new(set: impl Into<SetId>, element: impl Into<ElementId>) -> Self {
+        Edge {
+            set: set.into(),
+            element: element.into(),
+        }
+    }
+}
+
+impl From<(u32, u64)> for Edge {
+    #[inline]
+    fn from((s, e): (u32, u64)) -> Self {
+        Edge::new(s, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_id_roundtrip() {
+        let s = SetId::from(17usize);
+        assert_eq!(s.index(), 17);
+        assert_eq!(s, SetId(17));
+    }
+
+    #[test]
+    fn element_id_roundtrip() {
+        let e = ElementId::from(123_456_789_012u64);
+        assert_eq!(e.key(), 123_456_789_012);
+    }
+
+    #[test]
+    fn edge_construction_from_tuple() {
+        let e: Edge = (3u32, 9u64).into();
+        assert_eq!(e.set, SetId(3));
+        assert_eq!(e.element, ElementId(9));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(SetId(1) < SetId(2));
+        assert!(ElementId(1) < ElementId(2));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", SetId(4)), "S4");
+        assert_eq!(format!("{:?}", ElementId(7)), "e7");
+        assert_eq!(format!("{}", SetId(4)), "S4");
+    }
+}

@@ -1,0 +1,406 @@
+//! In-memory coverage instances.
+//!
+//! A [`CoverageInstance`] is the bipartite graph `G` of the paper: `n` sets
+//! over `m` distinct elements, stored as per-set adjacency lists. Instances
+//! are built from an arbitrary multiset of membership [`Edge`]s (duplicates
+//! are deduplicated), so the same type backs
+//!
+//! * full offline inputs (ground truth for experiments),
+//! * the *content of a sketch* (a sketch is itself a small coverage
+//!   instance, per Section 2 of the paper), and
+//! * residual graphs in the multi-pass set-cover algorithm.
+//!
+//! Besides the raw [`ElementId`] adjacency, an instance maintains a dense
+//! compaction `E → 0..m` so that offline algorithms can run on bitsets and
+//! `u32` index lists regardless of how sparse the original universe is.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::ids::{Edge, ElementId, SetId};
+
+/// An immutable coverage instance (bipartite set–element graph).
+#[derive(Clone, Debug)]
+pub struct CoverageInstance {
+    /// `dense_sets[s]` = sorted dense element indices of set `s`.
+    dense_sets: Vec<Vec<u32>>,
+    /// Dense index → original element id.
+    elements: Vec<ElementId>,
+    /// Original element id → dense index.
+    elem_index: HashMap<ElementId, u32>,
+    /// Total number of (deduplicated) edges.
+    num_edges: usize,
+}
+
+impl CoverageInstance {
+    /// Start building an instance with `n` sets.
+    pub fn builder(num_sets: usize) -> InstanceBuilder {
+        InstanceBuilder::new(num_sets)
+    }
+
+    /// Build directly from an edge list. Duplicate edges are merged.
+    pub fn from_edges(num_sets: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut b = InstanceBuilder::new(num_sets);
+        for e in edges {
+            b.add_edge(e);
+        }
+        b.build()
+    }
+
+    /// Number of sets `n` (including empty sets).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.dense_sets.len()
+    }
+
+    /// Number of distinct elements `m` that appear in at least one set.
+    ///
+    /// The paper assumes no isolated elements, so `m` is exactly the number
+    /// of elements incident to an edge.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of distinct membership edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// All set ids `S0..S(n-1)`.
+    pub fn set_ids(&self) -> impl Iterator<Item = SetId> + '_ {
+        (0..self.dense_sets.len() as u32).map(SetId)
+    }
+
+    /// Sorted dense element indices of `set`.
+    #[inline]
+    pub fn dense_set(&self, set: SetId) -> &[u32] {
+        &self.dense_sets[set.index()]
+    }
+
+    /// Size (degree) of `set`.
+    #[inline]
+    pub fn set_size(&self, set: SetId) -> usize {
+        self.dense_sets[set.index()].len()
+    }
+
+    /// Original ids of the elements of `set` (in dense-index order).
+    pub fn set_elements(&self, set: SetId) -> impl Iterator<Item = ElementId> + '_ {
+        self.dense_sets[set.index()]
+            .iter()
+            .map(move |&d| self.elements[d as usize])
+    }
+
+    /// Original element id for a dense index.
+    #[inline]
+    pub fn element_id(&self, dense: u32) -> ElementId {
+        self.elements[dense as usize]
+    }
+
+    /// Dense index for an element id, if the element occurs in the instance.
+    #[inline]
+    pub fn dense_index(&self, element: ElementId) -> Option<u32> {
+        self.elem_index.get(&element).copied()
+    }
+
+    /// All element ids, in dense-index order.
+    pub fn element_ids(&self) -> &[ElementId] {
+        &self.elements
+    }
+
+    /// Iterate over every deduplicated edge (set-major order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.dense_sets.iter().enumerate().flat_map(move |(s, es)| {
+            es.iter().map(move |&d| Edge {
+                set: SetId(s as u32),
+                element: self.elements[d as usize],
+            })
+        })
+    }
+
+    /// The coverage function `C(S) = |∪_{s∈S} s|` for a family of sets.
+    pub fn coverage(&self, family: &[SetId]) -> usize {
+        let mut mark = BitSet::new(self.num_elements());
+        let mut covered = 0usize;
+        for &s in family {
+            for &d in &self.dense_sets[s.index()] {
+                if mark.insert(d as usize) {
+                    covered += 1;
+                }
+            }
+        }
+        covered
+    }
+
+    /// Coverage as a fraction of `m`. Returns 1.0 on an empty ground set.
+    pub fn coverage_fraction(&self, family: &[SetId]) -> f64 {
+        if self.num_elements() == 0 {
+            1.0
+        } else {
+            self.coverage(family) as f64 / self.num_elements() as f64
+        }
+    }
+
+    /// Does `family` cover every element?
+    pub fn is_cover(&self, family: &[SetId]) -> bool {
+        self.coverage(family) == self.num_elements()
+    }
+
+    /// The set of dense element indices covered by `family`, as a bitset.
+    pub fn covered_bitset(&self, family: &[SetId]) -> BitSet {
+        let mut mark = BitSet::new(self.num_elements());
+        for &s in family {
+            for &d in &self.dense_sets[s.index()] {
+                mark.insert(d as usize);
+            }
+        }
+        mark
+    }
+
+    /// Per-set bitsets over the dense element space (used by exact solvers
+    /// and by greedy variants that prefer word-parallel marginals).
+    pub fn set_bitsets(&self) -> Vec<BitSet> {
+        let m = self.num_elements();
+        self.dense_sets
+            .iter()
+            .map(|es| {
+                let mut b = BitSet::new(m);
+                for &d in es {
+                    b.insert(d as usize);
+                }
+                b
+            })
+            .collect()
+    }
+
+    /// Element degrees: `degree[d]` = number of sets containing dense
+    /// element `d`.
+    pub fn element_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_elements()];
+        for es in &self.dense_sets {
+            for &d in es {
+                deg[d as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Restrict the instance to elements for which `keep` returns true.
+    ///
+    /// Set ids are preserved; elements are re-compacted. This implements the
+    /// residual graph `G_{i+1}` of Algorithm 6 ("remove covered elements").
+    pub fn restrict_elements(&self, mut keep: impl FnMut(ElementId) -> bool) -> CoverageInstance {
+        let mut b = InstanceBuilder::new(self.num_sets());
+        for (s, es) in self.dense_sets.iter().enumerate() {
+            for &d in es {
+                let id = self.elements[d as usize];
+                if keep(id) {
+                    b.add_edge(Edge {
+                        set: SetId(s as u32),
+                        element: id,
+                    });
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder: feed edges in any order, then [`build`](Self::build).
+#[derive(Clone, Debug)]
+pub struct InstanceBuilder {
+    num_sets: usize,
+    /// Raw per-set element lists (possibly with duplicates until `build`).
+    raw: Vec<Vec<ElementId>>,
+}
+
+impl InstanceBuilder {
+    /// A builder for an instance with exactly `num_sets` sets.
+    pub fn new(num_sets: usize) -> Self {
+        InstanceBuilder {
+            num_sets,
+            raw: vec![Vec::new(); num_sets],
+        }
+    }
+
+    /// Record one membership edge. Edges referring to sets `≥ num_sets`
+    /// grow the family (useful when `n` is not known up front).
+    pub fn add_edge(&mut self, e: Edge) {
+        let idx = e.set.index();
+        if idx >= self.raw.len() {
+            self.raw.resize_with(idx + 1, Vec::new);
+            self.num_sets = idx + 1;
+        }
+        self.raw[idx].push(e.element);
+    }
+
+    /// Record a whole set at once.
+    pub fn add_set(&mut self, set: SetId, elements: impl IntoIterator<Item = ElementId>) {
+        for el in elements {
+            self.add_edge(Edge { set, element: el });
+        }
+    }
+
+    /// Finalize: dedup, compact elements densely, sort adjacency lists.
+    pub fn build(self) -> CoverageInstance {
+        let mut elem_index: HashMap<ElementId, u32> = HashMap::new();
+        let mut elements: Vec<ElementId> = Vec::new();
+        let mut dense_sets: Vec<Vec<u32>> = Vec::with_capacity(self.raw.len());
+        let mut num_edges = 0usize;
+        for list in self.raw {
+            let mut dense: Vec<u32> = list
+                .into_iter()
+                .map(|id| {
+                    *elem_index.entry(id).or_insert_with(|| {
+                        let d = elements.len() as u32;
+                        elements.push(id);
+                        d
+                    })
+                })
+                .collect();
+            dense.sort_unstable();
+            dense.dedup();
+            num_edges += dense.len();
+            dense_sets.push(dense);
+        }
+        CoverageInstance {
+            dense_sets,
+            elements,
+            elem_index,
+            num_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CoverageInstance {
+        // S0 = {a, b}, S1 = {b, c}, S2 = {d}
+        CoverageInstance::from_edges(
+            3,
+            [
+                Edge::new(0u32, 10u64),
+                Edge::new(0u32, 11u64),
+                Edge::new(1u32, 11u64),
+                Edge::new(1u32, 12u64),
+                Edge::new(2u32, 13u64),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.num_sets(), 3);
+        assert_eq!(g.num_elements(), 4);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let g = CoverageInstance::from_edges(
+            1,
+            [
+                Edge::new(0u32, 5u64),
+                Edge::new(0u32, 5u64),
+                Edge::new(0u32, 5u64),
+            ],
+        );
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.set_size(SetId(0)), 1);
+    }
+
+    #[test]
+    fn coverage_function() {
+        let g = tiny();
+        assert_eq!(g.coverage(&[SetId(0)]), 2);
+        assert_eq!(g.coverage(&[SetId(0), SetId(1)]), 3);
+        assert_eq!(g.coverage(&[SetId(0), SetId(1), SetId(2)]), 4);
+        assert_eq!(g.coverage(&[]), 0);
+        // Repeating a set does not double-count.
+        assert_eq!(g.coverage(&[SetId(0), SetId(0)]), 2);
+    }
+
+    #[test]
+    fn is_cover_and_fraction() {
+        let g = tiny();
+        assert!(g.is_cover(&[SetId(0), SetId(1), SetId(2)]));
+        assert!(!g.is_cover(&[SetId(0), SetId(1)]));
+        let f = g.coverage_fraction(&[SetId(0)]);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_compaction_roundtrip() {
+        let g = tiny();
+        for id in g.element_ids() {
+            let d = g.dense_index(*id).expect("element must be indexed");
+            assert_eq!(g.element_id(d), *id);
+        }
+        assert_eq!(g.dense_index(ElementId(999)), None);
+    }
+
+    #[test]
+    fn edges_iterator_matches_counts() {
+        let g = tiny();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), g.num_edges());
+        // Rebuilding from the iterator yields an identical instance.
+        let g2 = CoverageInstance::from_edges(g.num_sets(), edges);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_elements(), g.num_elements());
+        for s in g.set_ids() {
+            let a: Vec<ElementId> = g.set_elements(s).collect();
+            let b: Vec<ElementId> = g2.set_elements(s).collect();
+            let mut a = a;
+            let mut b = b;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn builder_grows_family_on_demand() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_edge(Edge::new(5u32, 1u64));
+        let g = b.build();
+        assert_eq!(g.num_sets(), 6);
+        assert_eq!(g.set_size(SetId(5)), 1);
+        assert_eq!(g.set_size(SetId(0)), 0);
+    }
+
+    #[test]
+    fn restrict_elements_builds_residual() {
+        let g = tiny();
+        // Remove element 11 (shared by S0 and S1).
+        let r = g.restrict_elements(|e| e != ElementId(11));
+        assert_eq!(r.num_sets(), 3);
+        assert_eq!(r.num_elements(), 3);
+        assert_eq!(r.set_size(SetId(0)), 1);
+        assert_eq!(r.set_size(SetId(1)), 1);
+        assert_eq!(r.set_size(SetId(2)), 1);
+    }
+
+    #[test]
+    fn element_degrees_count_incidence() {
+        let g = tiny();
+        let d11 = g.dense_index(ElementId(11)).unwrap();
+        let degs = g.element_degrees();
+        assert_eq!(degs[d11 as usize], 2);
+        assert_eq!(degs.iter().sum::<u32>() as usize, g.num_edges());
+    }
+
+    #[test]
+    fn set_bitsets_agree_with_coverage() {
+        let g = tiny();
+        let bs = g.set_bitsets();
+        let mut u = BitSet::new(g.num_elements());
+        u.union_with(&bs[0]);
+        u.union_with(&bs[1]);
+        assert_eq!(u.count(), g.coverage(&[SetId(0), SetId(1)]));
+    }
+}

@@ -1,0 +1,61 @@
+//! # coverage-core
+//!
+//! Problem model and offline algorithms for *coverage problems* — the
+//! shared substrate of a Rust reproduction of
+//!
+//! > Bateni, Esfandiari, Mirrokni.
+//! > **Almost Optimal Streaming Algorithms for Coverage Problems.**
+//! > SPAA 2017 (arXiv:1610.08096).
+//!
+//! A coverage instance is a bipartite graph between a family `S` of `n`
+//! sets and a ground set `E` of `m` elements. This crate provides:
+//!
+//! * [`ids`] — strongly-typed [`SetId`]/[`ElementId`]/[`Edge`] identifiers;
+//! * [`instance`] — the in-memory [`CoverageInstance`] graph with dense
+//!   element compaction;
+//! * [`bitset`] — the [`BitSet`] used by offline solvers;
+//! * [`func`] — the [`CoverageOracle`] abstraction (exact, sketched, or
+//!   adversarially noisy coverage functions behind one interface);
+//! * [`offline`] — greedy (`1−1/e` / `ln m`), lazy greedy, partial cover,
+//!   and exact branch-and-bound solvers;
+//! * [`validate`] — solution checking used by tests and experiments;
+//! * [`report`] — ASCII table rendering for experiment binaries;
+//! * [`plot`] — ASCII chart rendering for curve-shaped experiments.
+//!
+//! Streaming algorithms live in `coverage-algs`; the paper's sketch lives
+//! in `coverage-sketch`. This crate is deliberately free of randomness: all
+//! stochastic machinery (hashing, sampling, workload generation) sits in
+//! sibling crates so the core model stays deterministic.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use coverage_core::{CoverageInstance, SetId, Edge, offline};
+//!
+//! // S0 = {1,2,3}, S1 = {3,4}, S2 = {5}
+//! let inst = CoverageInstance::from_edges(3, [
+//!     Edge::new(0u32, 1u64), Edge::new(0u32, 2u64), Edge::new(0u32, 3u64),
+//!     Edge::new(1u32, 3u64), Edge::new(1u32, 4u64),
+//!     Edge::new(2u32, 5u64),
+//! ]);
+//! let sol = offline::lazy_greedy_k_cover(&inst, 2);
+//! assert_eq!(sol.family()[0], SetId(0));
+//! assert_eq!(sol.coverage(), 4); // S0 then S1 (or S2): 4 elements
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod func;
+pub mod ids;
+pub mod instance;
+pub mod offline;
+pub mod plot;
+pub mod report;
+pub mod validate;
+
+pub use bitset::BitSet;
+pub use func::{oracle_greedy_k_cover, CoverageOracle};
+pub use ids::{Edge, ElementId, SetId};
+pub use instance::{CoverageInstance, InstanceBuilder};

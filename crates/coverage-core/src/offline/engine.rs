@@ -1,0 +1,257 @@
+//! Shared lazy-greedy engine.
+//!
+//! Every greedy variant in this crate (k-cover, set cover, partial cover)
+//! is one stopping rule away from the same loop: repeatedly select the set
+//! with the largest marginal coverage gain. We implement the loop once,
+//! with Minoux's lazy evaluation: cached gains only ever shrink
+//! (submodularity), so a heap entry that is still maximal after
+//! recomputation is the true argmax and stale entries are re-pushed instead
+//! of rescanned.
+//!
+//! Tie-breaking is deterministic — among equal gains the smallest set id
+//! wins — so the lazy engine is *output-identical* to a naive rescanning
+//! greedy, which the tests exploit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::ids::SetId;
+use crate::instance::CoverageInstance;
+
+/// One selection made by a greedy run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreedyStep {
+    /// The set chosen in this round.
+    pub set: SetId,
+    /// Its marginal gain (newly covered elements) at selection time.
+    pub gain: usize,
+    /// Total elements covered after this selection.
+    pub covered_after: usize,
+}
+
+/// Full record of a greedy run: the chosen family plus per-step marginals.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyTrace {
+    /// Selections in order.
+    pub steps: Vec<GreedyStep>,
+}
+
+impl GreedyTrace {
+    /// The selected family, in selection order.
+    pub fn family(&self) -> Vec<SetId> {
+        self.steps.iter().map(|s| s.set).collect()
+    }
+
+    /// Number of elements covered by the family.
+    pub fn coverage(&self) -> usize {
+        self.steps.last().map_or(0, |s| s.covered_after)
+    }
+
+    /// Number of sets selected.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Run lazy greedy until `stop(selected_count, covered)` says to halt or no
+/// set has positive marginal gain.
+///
+/// `stop` is consulted *before* each selection; returning `true` ends the
+/// run. Zero-gain sets are never selected (they cannot change coverage).
+pub(crate) fn lazy_greedy_until(
+    inst: &CoverageInstance,
+    mut stop: impl FnMut(usize, usize) -> bool,
+) -> GreedyTrace {
+    let m = inst.num_elements();
+    let mut covered_mark = BitSet::new(m);
+    let mut covered = 0usize;
+    let mut trace = GreedyTrace::default();
+
+    // Heap of (cached_gain, Reverse(set_id)): max gain first, then min id.
+    let mut heap: BinaryHeap<(usize, Reverse<u32>)> = inst
+        .set_ids()
+        .map(|s| (inst.set_size(s), Reverse(s.0)))
+        .collect();
+
+    while !stop(trace.steps.len(), covered) {
+        // Lazy selection: pop, recompute, accept if still maximal.
+        let chosen = loop {
+            let Some((cached, Reverse(sid))) = heap.pop() else {
+                break None;
+            };
+            if cached == 0 {
+                // All remaining gains are 0 (heap is max-first).
+                break None;
+            }
+            let set = SetId(sid);
+            let fresh = fresh_gain(inst, &covered_mark, set);
+            debug_assert!(fresh <= cached, "gains must be monotone non-increasing");
+            if fresh == cached {
+                break Some((set, fresh));
+            }
+            // Peek: if the recomputed gain still beats (or ties with a
+            // smaller id than) the next candidate, accept without re-push.
+            match heap.peek() {
+                Some(&(next_g, Reverse(next_id)))
+                    if fresh < next_g || (fresh == next_g && sid > next_id) =>
+                {
+                    if fresh > 0 {
+                        heap.push((fresh, Reverse(sid)));
+                    }
+                }
+                _ => {
+                    if fresh == 0 {
+                        break None;
+                    }
+                    break Some((set, fresh));
+                }
+            }
+        };
+
+        let Some((set, gain)) = chosen else { break };
+        for &d in inst.dense_set(set) {
+            covered_mark.insert(d as usize);
+        }
+        covered += gain;
+        trace.steps.push(GreedyStep {
+            set,
+            gain,
+            covered_after: covered,
+        });
+    }
+    trace
+}
+
+/// Marginal gain of `set` against the current covered mark.
+#[inline]
+fn fresh_gain(inst: &CoverageInstance, covered: &BitSet, set: SetId) -> usize {
+    inst.dense_set(set)
+        .iter()
+        .filter(|&&d| !covered.contains(d as usize))
+        .count()
+}
+
+/// Naive greedy (full rescan each round) — reference implementation used by
+/// tests to validate the lazy engine, and by benches to quantify the
+/// speedup of lazy evaluation.
+pub(crate) fn naive_greedy_until(
+    inst: &CoverageInstance,
+    mut stop: impl FnMut(usize, usize) -> bool,
+) -> GreedyTrace {
+    let m = inst.num_elements();
+    let mut covered_mark = BitSet::new(m);
+    let mut covered = 0usize;
+    let mut trace = GreedyTrace::default();
+    let mut remaining: Vec<bool> = vec![true; inst.num_sets()];
+
+    while !stop(trace.steps.len(), covered) {
+        let mut best: Option<(usize, u32)> = None;
+        for s in 0..inst.num_sets() as u32 {
+            if !remaining[s as usize] {
+                continue;
+            }
+            let g = fresh_gain(inst, &covered_mark, SetId(s));
+            let better = match best {
+                None => g > 0,
+                Some((bg, bs)) => g > bg || (g == bg && s < bs && g > 0),
+            };
+            if better {
+                best = Some((g, s));
+            }
+        }
+        let Some((gain, sid)) = best else { break };
+        let set = SetId(sid);
+        remaining[sid as usize] = false;
+        for &d in inst.dense_set(set) {
+            covered_mark.insert(d as usize);
+        }
+        covered += gain;
+        trace.steps.push(GreedyStep {
+            set,
+            gain,
+            covered_after: covered,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_instance() -> CoverageInstance {
+        // S0={0,1,2,3}, S1={3,4,5}, S2={5,6}, S3={6}
+        let mut b = CoverageInstance::builder(4);
+        b.add_set(SetId(0), (0u64..4).map(Into::into));
+        b.add_set(SetId(1), (3u64..6).map(Into::into));
+        b.add_set(SetId(2), (5u64..7).map(Into::into));
+        b.add_set(SetId(3), [6u64.into()]);
+        b.build()
+    }
+
+    #[test]
+    fn lazy_matches_naive_on_chain() {
+        let g = chain_instance();
+        for k in 0..=4 {
+            let lazy = lazy_greedy_until(&g, |picked, _| picked >= k);
+            let naive = naive_greedy_until(&g, |picked, _| picked >= k);
+            assert_eq!(lazy.family(), naive.family(), "k={k}");
+            assert_eq!(lazy.coverage(), naive.coverage(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn greedy_chain_order() {
+        let g = chain_instance();
+        let t = lazy_greedy_until(&g, |picked, _| picked >= 3);
+        // Round 1: S0 (4). Round 2: S1 gains {4,5}=2. Round 3: S2 gains {6}=1.
+        assert_eq!(t.family(), vec![SetId(0), SetId(1), SetId(2)]);
+        assert_eq!(
+            t.steps.iter().map(|s| s.gain).collect::<Vec<_>>(),
+            vec![4, 2, 1]
+        );
+        assert_eq!(t.coverage(), 7);
+    }
+
+    #[test]
+    fn stops_on_zero_gain() {
+        let g = chain_instance();
+        // Ask for 10 sets; only 3 have positive marginal gain along the
+        // greedy path (S3 ⊂ S2's residual coverage).
+        let t = lazy_greedy_until(&g, |picked, _| picked >= 10);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.coverage(), 7);
+    }
+
+    #[test]
+    fn stop_by_coverage_threshold() {
+        let g = chain_instance();
+        let t = lazy_greedy_until(&g, |_, covered| covered >= 5);
+        assert!(t.coverage() >= 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = CoverageInstance::builder(0).build();
+        let t = lazy_greedy_until(&g, |picked, _| picked >= 3);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        // S0 and S1 both have 2 fresh elements; S0 must be chosen first.
+        let mut b = CoverageInstance::builder(2);
+        b.add_set(SetId(0), [0u64.into(), 1u64.into()]);
+        b.add_set(SetId(1), [2u64.into(), 3u64.into()]);
+        let g = b.build();
+        let t = lazy_greedy_until(&g, |picked, _| picked >= 2);
+        assert_eq!(t.family(), vec![SetId(0), SetId(1)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Exact solvers (branch and bound) for ground truth on small instances.
+//!
+//! Experiments report *measured* approximation ratios, which requires the
+//! true optimum. Both problems are NP-hard, so these solvers are only
+//! invoked on instances small enough for exhaustive reasoning (tests use
+//! `n ≤ ~25`); planted workloads with known optima cover the large-scale
+//! experiments instead.
+
+use crate::bitset::BitSet;
+use crate::ids::SetId;
+use crate::instance::CoverageInstance;
+
+/// Exact k-cover via branch and bound over set-inclusion decisions.
+///
+/// Returns `(optimal_family, optimal_coverage)`. Sets are pre-sorted by
+/// decreasing size; the bound at a node adds the sizes of the next
+/// `k - chosen` largest remaining sets (a valid upper bound because
+/// marginal gains never exceed set sizes).
+pub fn exact_k_cover(inst: &CoverageInstance, k: usize) -> (Vec<SetId>, usize) {
+    let n = inst.num_sets();
+    let k = k.min(n);
+    if k == 0 || n == 0 {
+        return (Vec::new(), 0);
+    }
+    let bitsets = inst.set_bitsets();
+    // Order sets by decreasing size for tighter bounds.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(bitsets[s].count()));
+    let sizes: Vec<usize> = order.iter().map(|&s| bitsets[s].count()).collect();
+    // suffix_best[i][j] = sum of j largest set sizes among order[i..]
+    // Since sizes are sorted descending, that's just the next j sizes.
+    let mut state = Search {
+        inst,
+        bitsets: &bitsets,
+        order: &order,
+        sizes: &sizes,
+        k,
+        best_cov: 0,
+        best_family: Vec::new(),
+        chosen: Vec::new(),
+    };
+    let m = inst.num_elements();
+    let covered = BitSet::new(m);
+    state.recurse(0, &covered, 0);
+    let mut family: Vec<SetId> = state.best_family;
+    family.sort();
+    (family, state.best_cov)
+}
+
+struct Search<'a> {
+    inst: &'a CoverageInstance,
+    bitsets: &'a [BitSet],
+    order: &'a [usize],
+    sizes: &'a [usize],
+    k: usize,
+    best_cov: usize,
+    best_family: Vec<SetId>,
+    chosen: Vec<SetId>,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, idx: usize, covered: &BitSet, cov: usize) {
+        if cov > self.best_cov {
+            self.best_cov = cov;
+            self.best_family = self.chosen.clone();
+        }
+        if self.chosen.len() == self.k || idx == self.order.len() {
+            return;
+        }
+        // Upper bound: current coverage + sizes of the next (k - chosen)
+        // sets in the (descending) size order.
+        let remaining = self.k - self.chosen.len();
+        let bound: usize = cov
+            + self.sizes[idx..]
+                .iter()
+                .take(remaining)
+                .sum::<usize>()
+                .min(self.inst.num_elements() - cov);
+        if bound <= self.best_cov {
+            return;
+        }
+        let s = self.order[idx];
+        // Branch 1: include set s (only if it adds something).
+        let gain = covered.gain_count(&self.bitsets[s]);
+        if gain > 0 {
+            let mut with = covered.clone();
+            with.union_with(&self.bitsets[s]);
+            self.chosen.push(SetId(s as u32));
+            self.recurse(idx + 1, &with, cov + gain);
+            self.chosen.pop();
+        }
+        // Branch 2: exclude set s.
+        self.recurse(idx + 1, covered, cov);
+    }
+}
+
+/// Exact minimum set cover: smallest family covering every element.
+///
+/// Implemented by binary-searching the cover size via [`exact_k_cover`]
+/// feasibility (a family of size `k` covering all `m` elements exists iff
+/// `exact_k_cover(k) = m`). Panics if the instance is not coverable, which
+/// cannot happen for instances built from their own edges.
+pub fn exact_set_cover(inst: &CoverageInstance) -> Vec<SetId> {
+    let m = inst.num_elements();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n = inst.num_sets();
+    // Greedy gives an upper bound to seed the search.
+    let upper = super::greedy_set_cover(inst).len();
+    assert!(
+        inst.coverage(&inst.set_ids().collect::<Vec<_>>()) == m,
+        "instance is not coverable by its own family"
+    );
+    let mut lo = 1usize;
+    let mut hi = upper.max(1).min(n);
+    let mut best: Option<Vec<SetId>> = None;
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let (family, cov) = exact_k_cover(inst, mid);
+        if cov == m {
+            best = Some(family);
+            if mid == 1 {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.expect("coverable instance must admit a cover")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+
+    #[test]
+    fn exact_beats_or_ties_greedy() {
+        // Classic greedy-trap: greedy takes the big middle set, optimum is
+        // the two halves.
+        // Elements 0..8. S0 = {0..6} (size 6, the trap),
+        // S1 = {0,1,2,6}, S2 = {3,4,5,7}.
+        let mut b = CoverageInstance::builder(3);
+        b.add_set(SetId(0), (0u64..6).map(Into::into));
+        b.add_set(SetId(1), [0u64, 1, 2, 6].map(Into::into));
+        b.add_set(SetId(2), [3u64, 4, 5, 7].map(Into::into));
+        let g = b.build();
+        let (fam, cov) = exact_k_cover(&g, 2);
+        assert_eq!(cov, 8);
+        assert_eq!(fam, vec![SetId(1), SetId(2)]);
+        let greedy = crate::offline::greedy_k_cover(&g, 2).coverage();
+        assert!(greedy < cov, "greedy is trapped: {greedy} vs {cov}");
+    }
+
+    #[test]
+    fn exact_k_cover_edge_cases() {
+        let g = CoverageInstance::from_edges(2, [Edge::new(0u32, 0u64), Edge::new(1u32, 0u64)]);
+        assert_eq!(exact_k_cover(&g, 0), (vec![], 0));
+        let (_, c1) = exact_k_cover(&g, 1);
+        assert_eq!(c1, 1);
+        let (_, c5) = exact_k_cover(&g, 5);
+        assert_eq!(c5, 1);
+    }
+
+    #[test]
+    fn exact_set_cover_finds_minimum() {
+        // Optimal cover is {S1, S2} (size 2); greedy would need 3 sets.
+        let mut b = CoverageInstance::builder(3);
+        b.add_set(SetId(0), (0u64..6).map(Into::into));
+        b.add_set(SetId(1), [0u64, 1, 2, 6].map(Into::into));
+        b.add_set(SetId(2), [3u64, 4, 5, 7].map(Into::into));
+        let g = b.build();
+        let cover = exact_set_cover(&g);
+        assert_eq!(cover.len(), 2);
+        assert!(g.is_cover(&cover));
+    }
+
+    #[test]
+    fn exact_set_cover_single_set() {
+        let g = CoverageInstance::from_edges(1, (0u64..5).map(|e| Edge::new(0u32, e)));
+        let cover = exact_set_cover(&g);
+        assert_eq!(cover, vec![SetId(0)]);
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small() {
+        // Brute-force all families of size k and compare with the solver.
+        let mut b = CoverageInstance::builder(6);
+        b.add_set(SetId(0), [0u64, 1, 2].map(Into::into));
+        b.add_set(SetId(1), [2u64, 3].map(Into::into));
+        b.add_set(SetId(2), [4u64].map(Into::into));
+        b.add_set(SetId(3), [0u64, 3, 4].map(Into::into));
+        b.add_set(SetId(4), [5u64, 6].map(Into::into));
+        b.add_set(SetId(5), [1u64, 6].map(Into::into));
+        let g = b.build();
+        for k in 1..=4usize {
+            let mut brute = 0usize;
+            let n = g.num_sets();
+            // Iterate over all subsets of size ≤ k via bitmasks.
+            for mask in 0u32..(1 << n) {
+                if (mask.count_ones() as usize) > k {
+                    continue;
+                }
+                let fam: Vec<SetId> = (0..n as u32)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(SetId)
+                    .collect();
+                brute = brute.max(g.coverage(&fam));
+            }
+            let (_, solver) = exact_k_cover(&g, k);
+            assert_eq!(solver, brute, "k={k}");
+        }
+    }
+}

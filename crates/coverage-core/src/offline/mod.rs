@@ -1,0 +1,39 @@
+//! Offline (in-memory) algorithms for coverage problems.
+//!
+//! These serve three roles in the reproduction:
+//!
+//! 1. **Substrate for the streaming algorithms.** The paper's Algorithms
+//!    3–6 all run an offline greedy *on the sketch*; Algorithm 6
+//!    additionally runs an offline greedy set cover on the stored residual
+//!    graph `G_r`.
+//! 2. **Baselines.** Offline greedy is the `1−1/e` (k-cover) and `ln m`
+//!    (set cover) yardstick the streaming results are measured against.
+//! 3. **Ground truth.** Exact branch-and-bound solvers provide true optima
+//!    on small instances so tests and experiments can report *measured*
+//!    approximation ratios.
+
+mod engine;
+mod exact;
+mod greedy;
+mod local_search;
+mod parallel;
+mod set_cover;
+mod stochastic;
+mod weighted;
+
+pub use engine::{GreedyStep, GreedyTrace};
+pub use exact::{exact_k_cover, exact_set_cover};
+pub use greedy::{greedy_k_cover, lazy_greedy_k_cover};
+pub use local_search::{
+    best_improving_swap, local_search_k_cover, local_search_k_cover_with, LocalSearchConfig,
+    LocalSearchResult,
+};
+pub use parallel::{parallel_greedy_k_cover, parallel_marginals};
+pub use set_cover::{
+    greedy_budgeted_cover, greedy_partial_cover, greedy_set_cover, PartialCoverResult,
+};
+pub use stochastic::stochastic_greedy_k_cover;
+pub use weighted::{
+    exact_weighted_k_cover, weighted_coverage, weighted_greedy_k_cover,
+    weighted_greedy_partial_cover, ElementWeights, WeightedStep, WeightedTrace,
+};

@@ -1,0 +1,269 @@
+//! Thread-parallel greedy for k-cover.
+//!
+//! The greedy selection loop is inherently sequential across *rounds*
+//! (each choice changes the marginals), but within a round the `n` gain
+//! evaluations are independent. This module parallelizes the per-round
+//! scan with `crossbeam` scoped threads: the set range is chunked, each
+//! worker finds its chunk's best `(gain, id)` against the shared covered
+//! bitset (read-only during the scan), and a deterministic reduction
+//! (max gain, ties to the smallest id) picks the winner.
+//!
+//! The result is **output-identical** to the sequential naive greedy —
+//! the tests assert this for every thread count — so the parallel engine
+//! can substitute for the sequential one anywhere, including inside the
+//! streaming algorithms when sketches are large. `bench_greedy`
+//! quantifies the speedup.
+
+use crossbeam::thread;
+
+use crate::bitset::BitSet;
+use crate::ids::SetId;
+use crate::instance::CoverageInstance;
+
+use super::engine::{GreedyStep, GreedyTrace};
+
+/// Parallel greedy k-cover over `threads` workers.
+///
+/// `threads = 1` degenerates to the sequential scan (no threads spawned).
+/// Panics if `threads == 0`.
+pub fn parallel_greedy_k_cover(inst: &CoverageInstance, k: usize, threads: usize) -> GreedyTrace {
+    assert!(threads > 0, "need at least one worker thread");
+    let n = inst.num_sets();
+    let m = inst.num_elements();
+    let mut covered_mark = BitSet::new(m);
+    let mut covered = 0usize;
+    let mut remaining: Vec<bool> = vec![true; n];
+    let mut trace = GreedyTrace::default();
+
+    while trace.steps.len() < k {
+        let best = if threads == 1 || n < 2 * threads {
+            scan_chunk(inst, &covered_mark, &remaining, 0, n)
+        } else {
+            parallel_scan(inst, &covered_mark, &remaining, threads)
+        };
+        let Some((gain, sid)) = best else { break };
+        if gain == 0 {
+            break;
+        }
+        let set = SetId(sid);
+        remaining[sid as usize] = false;
+        for &d in inst.dense_set(set) {
+            covered_mark.insert(d as usize);
+        }
+        covered += gain;
+        trace.steps.push(GreedyStep {
+            set,
+            gain,
+            covered_after: covered,
+        });
+    }
+    trace
+}
+
+/// Best `(gain, set_id)` in `[lo, hi)`, ties to the smallest id. Returns
+/// `None` when every candidate has zero gain (or the range is empty).
+fn scan_chunk(
+    inst: &CoverageInstance,
+    covered: &BitSet,
+    remaining: &[bool],
+    lo: usize,
+    hi: usize,
+) -> Option<(usize, u32)> {
+    let mut best: Option<(usize, u32)> = None;
+    for (s, &alive) in remaining.iter().enumerate().take(hi).skip(lo) {
+        if !alive {
+            continue;
+        }
+        let g = inst
+            .dense_set(SetId(s as u32))
+            .iter()
+            .filter(|&&d| !covered.contains(d as usize))
+            .count();
+        if g == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((bg, _)) => g > bg,
+        };
+        if better {
+            best = Some((g, s as u32));
+        }
+    }
+    best
+}
+
+fn parallel_scan(
+    inst: &CoverageInstance,
+    covered: &BitSet,
+    remaining: &[bool],
+    threads: usize,
+) -> Option<(usize, u32)> {
+    let n = inst.num_sets();
+    let chunk = n.div_ceil(threads);
+    let locals: Vec<Option<(usize, u32)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    if lo >= hi {
+                        None
+                    } else {
+                        scan_chunk(inst, covered, remaining, lo, hi)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    // Deterministic reduction: max gain, then smallest id. Chunks are in
+    // id order, so the first chunk achieving the max gain holds the
+    // smallest qualifying id.
+    let mut best: Option<(usize, u32)> = None;
+    for cand in locals.into_iter().flatten() {
+        let better = match best {
+            None => true,
+            Some((bg, bs)) => cand.0 > bg || (cand.0 == bg && cand.1 < bs),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+/// All marginal gains of `family ∪ {s}` over `family`, computed in
+/// parallel — used by experiment harnesses that inspect full marginal
+/// profiles (e.g. the oracle-hardness comparison).
+pub fn parallel_marginals(inst: &CoverageInstance, family: &[SetId], threads: usize) -> Vec<usize> {
+    assert!(threads > 0, "need at least one worker thread");
+    let covered = inst.covered_bitset(family);
+    let n = inst.num_sets();
+    if threads == 1 || n < 2 * threads {
+        return (0..n as u32)
+            .map(|s| {
+                inst.dense_set(SetId(s))
+                    .iter()
+                    .filter(|&&d| !covered.contains(d as usize))
+                    .count()
+            })
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0usize; n];
+    thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let lo = t * chunk;
+            let covered = &covered;
+            scope.spawn(move |_| {
+                for (i, o) in slice.iter_mut().enumerate() {
+                    let s = (lo + i) as u32;
+                    *o = inst
+                        .dense_set(SetId(s))
+                        .iter()
+                        .filter(|&&d| !covered.contains(d as usize))
+                        .count();
+                }
+            });
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+    use crate::offline::greedy_k_cover;
+
+    fn pseudo_random_instance(n: usize, m: u64, avg_deg: u64, seed: u64) -> CoverageInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let mut b = CoverageInstance::builder(n);
+        for s in 0..n as u32 {
+            let deg = 1 + next() % (2 * avg_deg);
+            for _ in 0..deg {
+                b.add_edge(Edge::new(s, next() % m));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_to_sequential_for_all_thread_counts() {
+        for seed in 1..=5u64 {
+            let g = pseudo_random_instance(40, 120, 8, seed);
+            let reference = greedy_k_cover(&g, 8);
+            for threads in [1usize, 2, 3, 4, 7] {
+                let par = parallel_greedy_k_cover(&g, 8, threads);
+                assert_eq!(
+                    par.family(),
+                    reference.family(),
+                    "seed={seed} threads={threads}"
+                );
+                assert_eq!(par.coverage(), reference.coverage());
+            }
+        }
+    }
+
+    #[test]
+    fn small_instance_fewer_sets_than_threads() {
+        let g = pseudo_random_instance(3, 10, 2, 1);
+        let par = parallel_greedy_k_cover(&g, 2, 16);
+        let seq = greedy_k_cover(&g, 2);
+        assert_eq!(par.family(), seq.family());
+    }
+
+    #[test]
+    fn stops_at_zero_gain() {
+        // One set covers everything; further picks would add nothing.
+        let mut b = CoverageInstance::builder(3);
+        b.add_set(SetId(0), (0u64..10).map(Into::into));
+        b.add_set(SetId(1), (0u64..5).map(Into::into));
+        b.add_set(SetId(2), (3u64..8).map(Into::into));
+        let g = b.build();
+        let t = parallel_greedy_k_cover(&g, 3, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.family(), vec![SetId(0)]);
+    }
+
+    #[test]
+    fn marginals_match_direct_computation() {
+        let g = pseudo_random_instance(25, 60, 6, 3);
+        let family = vec![SetId(1), SetId(4)];
+        for threads in [1usize, 3, 8] {
+            let par = parallel_marginals(&g, &family, threads);
+            for s in 0..g.num_sets() as u32 {
+                let direct =
+                    g.coverage(&[family.clone(), vec![SetId(s)]].concat()) - g.coverage(&family);
+                assert_eq!(par[s as usize], direct, "set {s} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let g = pseudo_random_instance(4, 10, 2, 1);
+        parallel_greedy_k_cover(&g, 1, 0);
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let g = CoverageInstance::builder(0).build();
+        let t = parallel_greedy_k_cover(&g, 3, 4);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! Weighted coverage: element-weighted k-cover and partial cover.
+//!
+//! The paper treats the unweighted coverage function `C(S) = |∪ S|`; its
+//! conclusion points at extensions as future work. Weighted ground sets
+//! (each element `e` has a weight `w(e) ≥ 0`, and
+//! `C_w(S) = Σ_{e ∈ ∪S} w(e)`) are the most common such extension in the
+//! data-summarization applications the introduction motivates — documents
+//! scored by PageRank, queries by frequency, nodes by activity.
+//!
+//! Weighted coverage is still monotone submodular, so
+//!
+//! * greedy is a `(1 − 1/e)`-approximation (Nemhauser–Wolsey–Fisher,
+//!   the paper's [40]) — implemented lazily here;
+//! * the `H≤n` sketch machinery applies *unchanged* whenever weights are
+//!   bounded integers, by conceptually replicating an element of weight
+//!   `w` into `w` unit copies (the experiment `exp_weighted` exercises
+//!   this reduction).
+//!
+//! Weights are `u64` so that gains are exact and runs are deterministic —
+//! float weights can be scaled to integers by the caller.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::ids::SetId;
+use crate::instance::CoverageInstance;
+
+/// Per-element weights, indexed by the instance's *dense* element index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElementWeights {
+    w: Vec<u64>,
+}
+
+impl ElementWeights {
+    /// Uniform weight 1 for every element — weighted coverage collapses to
+    /// the unweighted coverage function.
+    pub fn uniform(inst: &CoverageInstance) -> Self {
+        ElementWeights {
+            w: vec![1; inst.num_elements()],
+        }
+    }
+
+    /// Weights from a function of the original [`crate::ElementId`].
+    pub fn from_fn(inst: &CoverageInstance, mut f: impl FnMut(crate::ElementId) -> u64) -> Self {
+        ElementWeights {
+            w: inst.element_ids().iter().map(|&id| f(id)).collect(),
+        }
+    }
+
+    /// Weights from a dense vector (must have length `inst.num_elements()`).
+    pub fn from_dense(w: Vec<u64>) -> Self {
+        ElementWeights { w }
+    }
+
+    /// Weight of dense element `d`.
+    #[inline]
+    pub fn get(&self, d: u32) -> u64 {
+        self.w[d as usize]
+    }
+
+    /// Number of weighted elements.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Total weight of the ground set.
+    pub fn total(&self) -> u64 {
+        self.w.iter().sum()
+    }
+}
+
+/// One selection made by a weighted greedy run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightedStep {
+    /// The chosen set.
+    pub set: SetId,
+    /// Marginal weighted gain at selection time.
+    pub gain: u64,
+    /// Total covered weight after this selection.
+    pub covered_after: u64,
+}
+
+/// Record of a weighted greedy run.
+#[derive(Clone, Debug, Default)]
+pub struct WeightedTrace {
+    /// Selections in order.
+    pub steps: Vec<WeightedStep>,
+}
+
+impl WeightedTrace {
+    /// The selected family in selection order.
+    pub fn family(&self) -> Vec<SetId> {
+        self.steps.iter().map(|s| s.set).collect()
+    }
+
+    /// Total covered weight.
+    pub fn covered_weight(&self) -> u64 {
+        self.steps.last().map_or(0, |s| s.covered_after)
+    }
+
+    /// Number of selected sets.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if no set was selected.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The weighted coverage function `C_w(family) = Σ_{e covered} w(e)`.
+pub fn weighted_coverage(
+    inst: &CoverageInstance,
+    weights: &ElementWeights,
+    family: &[SetId],
+) -> u64 {
+    assert_eq!(weights.len(), inst.num_elements(), "weight vector length");
+    let mut mark = BitSet::new(inst.num_elements());
+    let mut total = 0u64;
+    for &s in family {
+        for &d in inst.dense_set(s) {
+            if mark.insert(d as usize) {
+                total += weights.get(d);
+            }
+        }
+    }
+    total
+}
+
+/// Weighted greedy k-cover with lazy (Minoux) evaluation.
+///
+/// Output-identical to a naive rescanning weighted greedy with
+/// smallest-id tie-breaking; `(1 − 1/e)`-approximate for `C_w`.
+pub fn weighted_greedy_k_cover(
+    inst: &CoverageInstance,
+    weights: &ElementWeights,
+    k: usize,
+) -> WeightedTrace {
+    weighted_greedy_until(inst, weights, |picked, _| picked >= k)
+}
+
+/// Weighted partial cover: select sets greedily until the covered weight
+/// reaches `(1 − lambda)` of the total ground-set weight.
+pub fn weighted_greedy_partial_cover(
+    inst: &CoverageInstance,
+    weights: &ElementWeights,
+    lambda: f64,
+) -> WeightedTrace {
+    let need = ((1.0 - lambda) * weights.total() as f64).ceil() as u64;
+    weighted_greedy_until(inst, weights, |_, covered| covered >= need)
+}
+
+fn weighted_greedy_until(
+    inst: &CoverageInstance,
+    weights: &ElementWeights,
+    mut stop: impl FnMut(usize, u64) -> bool,
+) -> WeightedTrace {
+    assert_eq!(weights.len(), inst.num_elements(), "weight vector length");
+    let m = inst.num_elements();
+    let mut covered_mark = BitSet::new(m);
+    let mut covered = 0u64;
+    let mut trace = WeightedTrace::default();
+
+    let initial_gain =
+        |s: SetId| -> u64 { inst.dense_set(s).iter().map(|&d| weights.get(d)).sum() };
+    let mut heap: BinaryHeap<(u64, Reverse<u32>)> = inst
+        .set_ids()
+        .map(|s| (initial_gain(s), Reverse(s.0)))
+        .collect();
+
+    let fresh_gain = |covered_mark: &BitSet, s: SetId| -> u64 {
+        inst.dense_set(s)
+            .iter()
+            .filter(|&&d| !covered_mark.contains(d as usize))
+            .map(|&d| weights.get(d))
+            .sum()
+    };
+
+    while !stop(trace.steps.len(), covered) {
+        let chosen = loop {
+            let Some((cached, Reverse(sid))) = heap.pop() else {
+                break None;
+            };
+            if cached == 0 {
+                break None;
+            }
+            let set = SetId(sid);
+            let fresh = fresh_gain(&covered_mark, set);
+            debug_assert!(fresh <= cached, "weighted gains must not increase");
+            if fresh == cached {
+                break Some((set, fresh));
+            }
+            match heap.peek() {
+                Some(&(next_g, Reverse(next_id)))
+                    if fresh < next_g || (fresh == next_g && sid > next_id) =>
+                {
+                    if fresh > 0 {
+                        heap.push((fresh, Reverse(sid)));
+                    }
+                }
+                _ => {
+                    if fresh == 0 {
+                        break None;
+                    }
+                    break Some((set, fresh));
+                }
+            }
+        };
+        let Some((set, gain)) = chosen else { break };
+        for &d in inst.dense_set(set) {
+            covered_mark.insert(d as usize);
+        }
+        covered += gain;
+        trace.steps.push(WeightedStep {
+            set,
+            gain,
+            covered_after: covered,
+        });
+    }
+    trace
+}
+
+/// Exact weighted k-cover by exhaustive enumeration (tests/ground truth;
+/// exponential in `k`, only for small instances).
+pub fn exact_weighted_k_cover(
+    inst: &CoverageInstance,
+    weights: &ElementWeights,
+    k: usize,
+) -> (Vec<SetId>, u64) {
+    let n = inst.num_sets();
+    let k = k.min(n);
+    let mut best: (Vec<SetId>, u64) = (Vec::new(), 0);
+    let mut current: Vec<SetId> = Vec::with_capacity(k);
+    fn rec(
+        inst: &CoverageInstance,
+        weights: &ElementWeights,
+        k: usize,
+        start: u32,
+        current: &mut Vec<SetId>,
+        best: &mut (Vec<SetId>, u64),
+    ) {
+        if current.len() == k {
+            let v = weighted_coverage(inst, weights, current);
+            if v > best.1 {
+                *best = (current.clone(), v);
+            }
+            return;
+        }
+        let remaining = k - current.len();
+        let n = inst.num_sets() as u32;
+        if start + remaining as u32 > n {
+            return;
+        }
+        for s in start..n {
+            current.push(SetId(s));
+            rec(inst, weights, k, s + 1, current, best);
+            current.pop();
+        }
+    }
+    rec(inst, weights, k, 0, &mut current, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+    use crate::offline::lazy_greedy_k_cover;
+
+    fn pseudo_random_instance(n: usize, m: u64, avg_deg: u64, seed: u64) -> CoverageInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let mut b = CoverageInstance::builder(n);
+        for s in 0..n as u32 {
+            let deg = 1 + next() % (2 * avg_deg);
+            for _ in 0..deg {
+                b.add_edge(Edge::new(s, next() % m));
+            }
+        }
+        b.build()
+    }
+
+    fn pseudo_weights(inst: &CoverageInstance, seed: u64) -> ElementWeights {
+        let mut state = seed | 1;
+        ElementWeights::from_dense(
+            (0..inst.num_elements())
+                .map(|_| {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    1 + state % 9
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_unweighted() {
+        for seed in 1..=6u64 {
+            let g = pseudo_random_instance(18, 50, 6, seed);
+            let w = ElementWeights::uniform(&g);
+            for k in [1usize, 3, 5] {
+                let wt = weighted_greedy_k_cover(&g, &w, k);
+                let ut = lazy_greedy_k_cover(&g, k);
+                assert_eq!(wt.family(), ut.family(), "seed={seed} k={k}");
+                assert_eq!(wt.covered_weight(), ut.coverage() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_meets_one_minus_one_over_e_weighted() {
+        for seed in 1..=6u64 {
+            let g = pseudo_random_instance(12, 36, 5, seed);
+            let w = pseudo_weights(&g, seed * 7 + 1);
+            for k in [2usize, 4] {
+                let greedy = weighted_greedy_k_cover(&g, &w, k).covered_weight();
+                let (_, opt) = exact_weighted_k_cover(&g, &w, k);
+                assert!(
+                    greedy as f64 >= (1.0 - 1.0 / std::f64::consts::E) * opt as f64 - 1e-9,
+                    "seed={seed} k={k}: greedy={greedy} opt={opt}"
+                );
+                assert!(greedy <= opt);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_element_dominates_choice() {
+        // S0 has many light elements; S1 holds one heavy element.
+        let mut b = CoverageInstance::builder(2);
+        b.add_set(SetId(0), (0u64..10).map(Into::into));
+        b.add_set(SetId(1), [100u64.into()]);
+        let g = b.build();
+        let w = ElementWeights::from_fn(&g, |id| if id.0 == 100 { 1000 } else { 1 });
+        let t = weighted_greedy_k_cover(&g, &w, 1);
+        assert_eq!(t.family(), vec![SetId(1)]);
+        assert_eq!(t.covered_weight(), 1000);
+    }
+
+    #[test]
+    fn zero_weight_elements_are_ignored() {
+        let mut b = CoverageInstance::builder(2);
+        b.add_set(SetId(0), (0u64..5).map(Into::into)); // all weight 0
+        b.add_set(SetId(1), [10u64.into()]); // weight 3
+        let g = b.build();
+        let w = ElementWeights::from_fn(&g, |id| if id.0 == 10 { 3 } else { 0 });
+        let t = weighted_greedy_k_cover(&g, &w, 2);
+        // S1 first (gain 3); S0 has zero gain and is never selected.
+        assert_eq!(t.family(), vec![SetId(1)]);
+        assert_eq!(t.covered_weight(), 3);
+    }
+
+    #[test]
+    fn weighted_coverage_matches_manual_sum() {
+        let g = pseudo_random_instance(8, 30, 4, 2);
+        let w = pseudo_weights(&g, 5);
+        let family = vec![SetId(0), SetId(3), SetId(5)];
+        let mut seen = std::collections::HashSet::new();
+        let mut manual = 0u64;
+        for &s in &family {
+            for &d in g.dense_set(s) {
+                if seen.insert(d) {
+                    manual += w.get(d);
+                }
+            }
+        }
+        assert_eq!(weighted_coverage(&g, &w, &family), manual);
+    }
+
+    #[test]
+    fn partial_cover_reaches_weight_threshold() {
+        for seed in 1..=4u64 {
+            let g = pseudo_random_instance(20, 50, 8, seed);
+            let w = pseudo_weights(&g, seed + 11);
+            let lambda = 0.2;
+            let t = weighted_greedy_partial_cover(&g, &w, lambda);
+            let need = ((1.0 - lambda) * w.total() as f64).ceil() as u64;
+            // The whole family covers everything, so the threshold is
+            // reachable and greedy must reach it.
+            assert!(
+                t.covered_weight() >= need,
+                "seed={seed}: covered {} < need {need}",
+                t.covered_weight()
+            );
+        }
+    }
+
+    #[test]
+    fn total_and_get_are_consistent() {
+        let g = pseudo_random_instance(5, 20, 3, 1);
+        let w = pseudo_weights(&g, 3);
+        let sum: u64 = (0..g.num_elements() as u32).map(|d| w.get(d)).sum();
+        assert_eq!(w.total(), sum);
+        assert_eq!(w.len(), g.num_elements());
+    }
+
+    #[test]
+    fn exact_weighted_on_tiny_instance() {
+        // S0={a(5)}, S1={b(3),c(3)}, S2={a(5),b(3)}
+        let mut b = CoverageInstance::builder(3);
+        b.add_set(SetId(0), [0u64.into()]);
+        b.add_set(SetId(1), [1u64.into(), 2u64.into()]);
+        b.add_set(SetId(2), [0u64.into(), 1u64.into()]);
+        let g = b.build();
+        let w = ElementWeights::from_fn(&g, |id| if id.0 == 0 { 5 } else { 3 });
+        let (fam, v) = exact_weighted_k_cover(&g, &w, 2);
+        // {S0,S1} and {S1,S2} both cover {a,b,c} = 11; enumeration keeps
+        // the lexicographically first maximizer.
+        assert_eq!(v, 11);
+        assert_eq!(fam, vec![SetId(0), SetId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length")]
+    fn length_mismatch_panics() {
+        let g = pseudo_random_instance(5, 20, 3, 1);
+        let w = ElementWeights::from_dense(vec![1; 3]);
+        weighted_coverage(&g, &w, &[SetId(0)]);
+    }
+}

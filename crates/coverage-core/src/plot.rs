@@ -1,0 +1,298 @@
+//! ASCII scatter/line charts for experiment output.
+//!
+//! The paper's artifacts are a table and a figure; our theorem-shaped
+//! experiments are naturally *curves* (quality vs budget, accuracy vs
+//! space, success vs hardness). [`AsciiChart`] renders such series as a
+//! fixed-size character grid so every experiment binary can show the
+//! shape directly in the terminal, next to the exact numbers in its
+//! table. No external plotting dependency, deterministic output.
+//!
+//! ```
+//! use coverage_core::plot::AsciiChart;
+//!
+//! let mut chart = AsciiChart::new(40, 10);
+//! chart.series('a', &[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+//! let s = chart.render();
+//! assert!(s.contains('a'));
+//! ```
+
+/// One rendered chart: a grid of `width × height` cells plus axes.
+#[derive(Clone, Debug)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    log_x: bool,
+    log_y: bool,
+    x_label: String,
+    y_label: String,
+}
+
+impl AsciiChart {
+    /// An empty chart with the given plot-area size in characters.
+    /// Panics if either dimension is smaller than 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+        AsciiChart {
+            width,
+            height,
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Use a log₁₀ x-axis (requires every x > 0 at render time).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Use a log₁₀ y-axis (requires every y > 0 at render time).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Axis labels shown under / beside the plot.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Add a data series drawn with marker `marker`. Non-finite points are
+    /// skipped at render time.
+    pub fn series(&mut self, marker: char, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((marker, points.to_vec()));
+        self
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.log10()
+        } else {
+            x
+        }
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.log10()
+        } else {
+            y
+        }
+    }
+
+    /// Render to a multi-line string. Returns a placeholder if no finite
+    /// points exist.
+    pub fn render(&self) -> String {
+        let pts: Vec<(char, f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(m, ps)| {
+                ps.iter()
+                    .filter(|(x, y)| {
+                        let ok_log = (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0);
+                        x.is_finite() && y.is_finite() && ok_log
+                    })
+                    .map(move |&(x, y)| (*m, self.tx(x), self.ty(y)))
+            })
+            .collect();
+        if pts.is_empty() {
+            return "(no data)\n".to_string();
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Degenerate ranges widen symmetrically so single points center.
+        if x1 - x0 < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y1 - y0 < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(m, x, y) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            grid[row][cx] = m;
+        }
+
+        let inv = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}\n", self.y_label));
+        }
+        let y_hi = format_tick(inv(y1, self.log_y));
+        let y_lo = format_tick(inv(y0, self.log_y));
+        let tick_w = y_hi.len().max(y_lo.len());
+        for (i, row) in grid.iter().enumerate() {
+            let tick = if i == 0 {
+                format!("{y_hi:>tick_w$}")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>tick_w$}")
+            } else {
+                " ".repeat(tick_w)
+            };
+            out.push_str(&tick);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(tick_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let x_lo = format_tick(inv(x0, self.log_x));
+        let x_hi = format_tick(inv(x1, self.log_x));
+        let gap = (self.width + 1).saturating_sub(x_lo.len() + x_hi.len());
+        out.push_str(&" ".repeat(tick_w));
+        out.push_str(&x_lo);
+        out.push_str(&" ".repeat(gap));
+        out.push_str(&x_hi);
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("  ({})", self.x_label));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Compact tick formatting: integers below 10⁶ verbatim, otherwise
+/// scientific-ish with 2 significant decimals.
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1e6 || (v.abs() < 1e-3 && v != 0.0) {
+        format!("{v:.1e}")
+    } else if (v.fract()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_corner_points() {
+        let mut c = AsciiChart::new(20, 5);
+        c.series('x', &[(0.0, 0.0), (10.0, 10.0)]);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Top row holds the max point at the right edge.
+        assert!(lines[0].ends_with('x'), "top line: {:?}", lines[0]);
+        // Bottom plot row holds the min point at the left edge.
+        let bottom = lines[4];
+        assert_eq!(bottom.chars().nth(bottom.find('|').unwrap() + 1), Some('x'));
+    }
+
+    #[test]
+    fn axis_ticks_show_data_range() {
+        let mut c = AsciiChart::new(30, 6);
+        c.series('o', &[(2.0, 100.0), (8.0, 400.0)]);
+        let s = c.render();
+        assert!(s.contains("400"));
+        assert!(s.contains("100"));
+        assert!(s.contains('2'));
+        assert!(s.contains('8'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_markers() {
+        let mut c = AsciiChart::new(24, 6);
+        c.series('a', &[(0.0, 0.0), (1.0, 1.0)]);
+        c.series('b', &[(0.0, 1.0), (1.0, 0.0)]);
+        let s = c.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn log_axes_spread_decades() {
+        let mut lin = AsciiChart::new(40, 8);
+        lin.series('x', &[(1.0, 1.0), (10.0, 1.0), (100.0, 1.0), (1000.0, 1.0)]);
+        let mut log = AsciiChart::new(40, 8).log_x();
+        log.series('x', &[(1.0, 1.0), (10.0, 1.0), (100.0, 1.0), (1000.0, 1.0)]);
+        // Linear: first three points crowd the left 10% of the axis.
+        // Log: they spread evenly — count marker columns in each render.
+        let cols = |s: &str| {
+            s.lines()
+                .map(|l| l.chars().filter(|&ch| ch == 'x').count())
+                .sum::<usize>()
+        };
+        // Crowding merges linear markers into fewer cells than log's 4.
+        assert_eq!(cols(&log.render()), 4);
+        assert!(cols(&lin.render()) < 4);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_data_is_safe() {
+        let mut c = AsciiChart::new(10, 4);
+        assert_eq!(c.render(), "(no data)\n");
+        c.series('x', &[(f64::NAN, 1.0), (1.0, f64::INFINITY)]);
+        assert_eq!(c.render(), "(no data)\n");
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut c = AsciiChart::new(12, 4);
+        c.series('x', &[(0.0, 1.0), (10.0, 2.0)]);
+        let plain = c.render();
+        assert!(plain.contains('x'));
+        let mut logc = AsciiChart::new(12, 4).log_x();
+        logc.series('x', &[(0.0, 1.0), (10.0, 2.0)]);
+        // Only the positive-x point survives.
+        let s = logc.render();
+        assert_eq!(s.chars().filter(|&ch| ch == 'x').count(), 1);
+    }
+
+    #[test]
+    fn single_point_centers() {
+        let mut c = AsciiChart::new(11, 5);
+        c.series('*', &[(5.0, 5.0)]);
+        let s = c.render();
+        let row: Vec<&str> = s.lines().collect();
+        let mid = row[2];
+        let bar = mid.find('|').unwrap();
+        assert_eq!(mid.chars().nth(bar + 1 + 5), Some('*'));
+    }
+
+    #[test]
+    fn labels_appear() {
+        let mut c = AsciiChart::new(10, 4);
+        c.series('x', &[(1.0, 1.0), (2.0, 2.0)]);
+        let c = {
+            let mut c2 = AsciiChart::new(10, 4).labels("budget", "ratio");
+            c2.series('x', &[(1.0, 1.0), (2.0, 2.0)]);
+            c2
+        };
+        let s = c.render();
+        assert!(s.contains("(budget)"));
+        assert!(s.starts_with("ratio\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_chart_rejected() {
+        AsciiChart::new(1, 5);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(5.0), "5");
+        assert_eq!(format_tick(0.5), "0.500");
+        assert_eq!(format_tick(2_000_000.0), "2.0e6");
+    }
+}

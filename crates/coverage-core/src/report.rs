@@ -1,0 +1,158 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints aligned ASCII tables shaped like the
+//! paper's Table 1; keeping the renderer here lets tests assert on layout
+//! without pulling a formatting dependency into the workspace.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with aligned columns, a title line and a rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let c = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{:<width$}", c, width = w + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{:.*}", prec, x)
+}
+
+/// Format a count with SI-style thousands grouping (`1_234_567`).
+pub fn fmt_count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    let bytes = s.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["alg", "space", "ratio"]);
+        t.row(vec!["ours".into(), "1_000".into(), "0.63".into()]);
+        t.row(vec![
+            "baseline-with-long-name".into(),
+            "99".into(),
+            "0.25".into(),
+        ]);
+        let s = t.render();
+        assert!(s.starts_with("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title, header, rule, 2 rows");
+        // The "space" column starts at the same offset in both data rows.
+        let off1 = lines[3].find("1_000").unwrap();
+        let off2 = lines[4].find("99").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1_000");
+        assert_eq!(fmt_count(1_234_567), "1_234_567");
+    }
+
+    #[test]
+    fn fmt_f_precision() {
+        assert_eq!(fmt_f(0.126, 2), "0.13");
+        assert_eq!(fmt_f(1.0, 3), "1.000");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("x", &["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

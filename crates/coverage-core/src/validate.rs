@@ -1,0 +1,201 @@
+//! Solution validation helpers shared by tests, examples and experiments.
+
+use crate::ids::SetId;
+use crate::instance::CoverageInstance;
+
+/// Why a proposed solution is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolutionError {
+    /// A set id ≥ n was referenced.
+    SetOutOfRange(SetId),
+    /// The same set appears twice.
+    DuplicateSet(SetId),
+    /// More than `k` sets were returned for a k-cover query.
+    TooManySets {
+        /// Number of sets in the proposed solution.
+        got: usize,
+        /// The cardinality limit `k`.
+        limit: usize,
+    },
+    /// A cover was required but `uncovered` elements remain.
+    NotACover {
+        /// How many elements the proposed cover misses.
+        uncovered: usize,
+    },
+    /// Partial cover required `required` covered elements, got `covered`.
+    InsufficientCoverage {
+        /// Elements covered by the proposed solution.
+        covered: usize,
+        /// Elements that had to be covered (`⌈(1−λ)·m⌉`).
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for SolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolutionError::SetOutOfRange(s) => write!(f, "set {s} out of range"),
+            SolutionError::DuplicateSet(s) => write!(f, "set {s} appears more than once"),
+            SolutionError::TooManySets { got, limit } => {
+                write!(f, "solution has {got} sets, limit {limit}")
+            }
+            SolutionError::NotACover { uncovered } => {
+                write!(f, "{uncovered} elements left uncovered")
+            }
+            SolutionError::InsufficientCoverage { covered, required } => {
+                write!(f, "covered {covered} < required {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolutionError {}
+
+/// Check that `family` is a well-formed family: ids in range, no
+/// duplicates, and (if `limit` is given) at most `limit` sets.
+pub fn check_family(
+    inst: &CoverageInstance,
+    family: &[SetId],
+    limit: Option<usize>,
+) -> Result<(), SolutionError> {
+    if let Some(k) = limit {
+        if family.len() > k {
+            return Err(SolutionError::TooManySets {
+                got: family.len(),
+                limit: k,
+            });
+        }
+    }
+    let mut seen = vec![false; inst.num_sets()];
+    for &s in family {
+        if s.index() >= inst.num_sets() {
+            return Err(SolutionError::SetOutOfRange(s));
+        }
+        if seen[s.index()] {
+            return Err(SolutionError::DuplicateSet(s));
+        }
+        seen[s.index()] = true;
+    }
+    Ok(())
+}
+
+/// Check that `family` is a valid k-cover solution (well-formed, ≤ k sets).
+pub fn check_k_cover(
+    inst: &CoverageInstance,
+    family: &[SetId],
+    k: usize,
+) -> Result<(), SolutionError> {
+    check_family(inst, family, Some(k))
+}
+
+/// Check that `family` fully covers the instance.
+pub fn check_set_cover(inst: &CoverageInstance, family: &[SetId]) -> Result<(), SolutionError> {
+    check_family(inst, family, None)?;
+    let covered = inst.coverage(family);
+    if covered < inst.num_elements() {
+        return Err(SolutionError::NotACover {
+            uncovered: inst.num_elements() - covered,
+        });
+    }
+    Ok(())
+}
+
+/// Check that `family` covers at least a `1−λ` fraction of the elements.
+pub fn check_partial_cover(
+    inst: &CoverageInstance,
+    family: &[SetId],
+    lambda: f64,
+) -> Result<(), SolutionError> {
+    check_family(inst, family, None)?;
+    let required = ((1.0 - lambda) * inst.num_elements() as f64).ceil() as usize;
+    let covered = inst.coverage(family);
+    if covered < required {
+        return Err(SolutionError::InsufficientCoverage { covered, required });
+    }
+    Ok(())
+}
+
+/// Measured approximation ratio of a maximization solution (`achieved /
+/// optimum`, in `[0,1]` when the optimum is correct).
+pub fn approx_ratio(achieved: usize, optimum: usize) -> f64 {
+    if optimum == 0 {
+        1.0
+    } else {
+        achieved as f64 / optimum as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+
+    fn g() -> CoverageInstance {
+        CoverageInstance::from_edges(
+            2,
+            [
+                Edge::new(0u32, 0u64),
+                Edge::new(0u32, 1u64),
+                Edge::new(1u32, 2u64),
+            ],
+        )
+    }
+
+    #[test]
+    fn accepts_valid_k_cover() {
+        assert!(check_k_cover(&g(), &[SetId(0)], 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            check_k_cover(&g(), &[SetId(9)], 3),
+            Err(SolutionError::SetOutOfRange(SetId(9)))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            check_k_cover(&g(), &[SetId(0), SetId(0)], 3),
+            Err(SolutionError::DuplicateSet(SetId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_family() {
+        assert_eq!(
+            check_k_cover(&g(), &[SetId(0), SetId(1)], 1),
+            Err(SolutionError::TooManySets { got: 2, limit: 1 })
+        );
+    }
+
+    #[test]
+    fn set_cover_requires_full_coverage() {
+        assert_eq!(
+            check_set_cover(&g(), &[SetId(0)]),
+            Err(SolutionError::NotACover { uncovered: 1 })
+        );
+        assert!(check_set_cover(&g(), &[SetId(0), SetId(1)]).is_ok());
+    }
+
+    #[test]
+    fn partial_cover_threshold() {
+        // m=3, λ=0.5 → required = ceil(1.5) = 2; S0 covers 2.
+        assert!(check_partial_cover(&g(), &[SetId(0)], 0.5).is_ok());
+        // S1 covers 1 < 2.
+        assert!(check_partial_cover(&g(), &[SetId(1)], 0.5).is_err());
+    }
+
+    #[test]
+    fn ratio_handles_zero_optimum() {
+        assert_eq!(approx_ratio(0, 0), 1.0);
+        assert!((approx_ratio(3, 4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SolutionError::NotACover { uncovered: 2 };
+        assert!(e.to_string().contains("2"));
+    }
+}

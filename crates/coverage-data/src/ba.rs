@@ -1,0 +1,82 @@
+//! Preferential-attachment (Barabási–Albert style) bipartite workloads.
+//!
+//! Web-graph-like inputs: each new set attaches `attach` edges, each edge
+//! choosing its element either uniformly (probability `1−q`) or by copying
+//! the element endpoint of a previously placed edge (probability `q`) —
+//! the classic rich-get-richer recipe producing power-law element degrees
+//! without any explicit popularity table.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::SplitMix64;
+
+/// Generate a preferential-attachment bipartite instance.
+///
+/// * `n` sets, element universe `0..m` for fresh draws;
+/// * each set places `attach` edges;
+/// * `copy_prob ∈ [0,1]` is the probability an edge copies the element of
+///   an earlier edge instead of drawing uniformly.
+pub fn preferential_attachment(
+    n: usize,
+    m: u64,
+    attach: usize,
+    copy_prob: f64,
+    seed: u64,
+) -> CoverageInstance {
+    assert!((0.0..=1.0).contains(&copy_prob));
+    let mut rng = SplitMix64::new(seed ^ 0x00BA_0BAB);
+    let mut b = InstanceBuilder::new(n);
+    let mut placed: Vec<u64> = Vec::with_capacity(n * attach);
+    for s in 0..n as u32 {
+        for _ in 0..attach {
+            let el = if !placed.is_empty() && rng.next_f64() < copy_prob {
+                placed[rng.next_below(placed.len() as u64) as usize]
+            } else {
+                rng.next_below(m)
+            };
+            placed.push(el);
+            b.add_edge(Edge::new(s, el));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_respected() {
+        let g = preferential_attachment(40, 5_000, 25, 0.5, 1);
+        assert_eq!(g.num_sets(), 40);
+        assert!(g.num_edges() <= 1000);
+        assert!(g.num_elements() <= 1000);
+    }
+
+    #[test]
+    fn copying_produces_skew() {
+        let skewed = preferential_attachment(60, 100_000, 30, 0.8, 2);
+        let flat = preferential_attachment(60, 100_000, 30, 0.0, 2);
+        let max_skew = skewed.element_degrees().into_iter().max().unwrap();
+        let max_flat = flat.element_degrees().into_iter().max().unwrap();
+        assert!(
+            max_skew > max_flat,
+            "copying should concentrate degree: {max_skew} vs {max_flat}"
+        );
+    }
+
+    #[test]
+    fn zero_copy_is_uniformish() {
+        let g = preferential_attachment(30, 1_000_000, 20, 0.0, 3);
+        // With a huge universe and no copying, collisions are rare.
+        assert!(g.num_elements() > 550, "got {}", g.num_elements());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = preferential_attachment(10, 100, 5, 0.5, 7);
+        let b = preferential_attachment(10, 100, 5, 0.5, 7);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

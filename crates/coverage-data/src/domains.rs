@@ -1,0 +1,78 @@
+//! Domain-flavored scenario generators used by the examples.
+//!
+//! Thin wrappers over the statistical generators that (a) fix parameters
+//! to something story-shaped and (b) name the parts: the paper's
+//! motivating applications are data summarization and web/blog coverage
+//! (Saha & Getoor's "multi-topic blog-watch" is citation `[44]`).
+
+use coverage_core::CoverageInstance;
+
+use crate::planted::planted_set_cover;
+use crate::zipf::zipf_instance;
+
+/// Blog-watch (k-cover): `n_blogs` blogs each covering a Zipf-popular set
+/// of `n_topics` topics; pick `k` blogs to follow to maximize topic
+/// coverage. Returns the instance (sets = blogs, elements = topics).
+pub fn blog_watch(n_blogs: usize, n_topics: u64, seed: u64) -> CoverageInstance {
+    zipf_instance(
+        n_blogs,
+        n_topics,
+        0.7,  // blog productivity decays
+        1.05, // topic popularity is heavy-tailed
+        (n_topics / 4).max(8) as usize,
+        seed,
+    )
+}
+
+/// Document summarization (k-cover): documents cover vocabulary terms;
+/// pick `k` documents maximizing vocabulary coverage. Same statistical
+/// family as [`blog_watch`] with a flatter size profile.
+pub fn summarization(n_docs: usize, vocab: u64, seed: u64) -> CoverageInstance {
+    zipf_instance(n_docs, vocab, 0.3, 0.9, (vocab / 8).max(8) as usize, seed)
+}
+
+/// Network monitoring (set cover with outliers): `n_probes` candidate
+/// monitor placements must observe `m_links` links; the planted optimum
+/// needs exactly `k_star` monitors. Returns `(instance, k_star)`.
+pub fn network_monitoring(
+    n_probes: usize,
+    m_links: u64,
+    k_star: usize,
+    seed: u64,
+) -> (CoverageInstance, usize) {
+    let p = planted_set_cover(
+        n_probes,
+        m_links,
+        k_star,
+        (m_links / 10).max(4) as usize,
+        seed,
+    );
+    (p.instance, p.optimal_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blog_watch_shape() {
+        let g = blog_watch(40, 2_000, 1);
+        assert_eq!(g.num_sets(), 40);
+        assert!(g.num_elements() > 100);
+    }
+
+    #[test]
+    fn summarization_shape() {
+        let g = summarization(30, 1_000, 2);
+        assert_eq!(g.num_sets(), 30);
+        assert!(g.num_edges() > 100);
+    }
+
+    #[test]
+    fn monitoring_is_coverable_with_k_star() {
+        let (g, k) = network_monitoring(25, 600, 6, 3);
+        assert_eq!(k, 6);
+        let golden: Vec<coverage_core::SetId> = (0..6u32).map(coverage_core::SetId).collect();
+        assert!(g.is_cover(&golden));
+    }
+}

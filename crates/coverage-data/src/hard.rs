@@ -1,0 +1,147 @@
+//! Adversarial instances with known structure.
+//!
+//! Worst-case constructions from the classical analysis literature, used
+//! to verify that the implementations actually *pay* their approximation
+//! factors (a reproduction that only ever shows algorithms near-optimal
+//! on easy data has not tested its guarantees):
+//!
+//! * [`greedy_trap`] — the textbook instance on which greedy set cover
+//!   outputs `p` sets while the optimum is 2, exhibiting the `Θ(ln m)`
+//!   gap that Feige's lower bound (paper's `[22]`) says is unavoidable;
+//!   restricted to `k = 2` it also pins greedy k-cover to a `3/4` ratio
+//!   (`= 1 − (1 − 1/2)²`).
+//! * [`disjoint_blocks`] — a trivially easy control instance (every
+//!   algorithm should be exactly optimal).
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+
+/// The greedy-trap instance and its ground truth.
+#[derive(Clone, Debug)]
+pub struct GreedyTrap {
+    /// The instance: `p + 2` sets over `2·(2^p − 1)` elements.
+    pub instance: CoverageInstance,
+    /// The two optimal cover sets (`A` then `B`).
+    pub optimal_cover: Vec<SetId>,
+    /// The trap sets greedy is drawn to, largest first.
+    pub trap_sets: Vec<SetId>,
+}
+
+/// Build the classic greedy-lower-bound instance with parameter `p ≥ 2`.
+///
+/// The universe is two disjoint rows `A` and `B` of `N = 2^p − 1` elements
+/// each. Sets `A` (id 0) and `B` (id 1) cover a full row apiece — the
+/// optimum cover of size 2. Trap set `T_i` (id `2+i`, `i = 0..p`) covers
+/// `2^{p−1−i}` fresh elements from *each* row, all traps disjoint, jointly
+/// exhausting the universe.
+///
+/// Greedy's trajectory: `|T_0| = 2^p > N = |A|`, so greedy takes `T_0`;
+/// thereafter the surviving gain of `A` is always one less than the next
+/// trap's size, so greedy walks down the whole trap chain — `p` sets
+/// instead of 2.
+pub fn greedy_trap(p: u32) -> GreedyTrap {
+    assert!(p >= 2, "need p ≥ 2 for a non-trivial trap");
+    let n_elems_per_row = (1u64 << p) - 1;
+    // Row A: ids [0, N); row B: ids [N, 2N).
+    let mut b = InstanceBuilder::new(2 + p as usize);
+    for e in 0..n_elems_per_row {
+        b.add_edge(Edge::new(0u32, e));
+        b.add_edge(Edge::new(1u32, n_elems_per_row + e));
+    }
+    // Trap T_i takes the next 2^{p-1-i} elements of each row.
+    let mut cursor = 0u64;
+    for i in 0..p {
+        let width = 1u64 << (p - 1 - i);
+        let sid = 2 + i;
+        for off in 0..width {
+            b.add_edge(Edge::new(sid, cursor + off));
+            b.add_edge(Edge::new(sid, n_elems_per_row + cursor + off));
+        }
+        cursor += width;
+    }
+    debug_assert_eq!(cursor, n_elems_per_row);
+    GreedyTrap {
+        instance: b.build(),
+        optimal_cover: vec![SetId(0), SetId(1)],
+        trap_sets: (0..p).map(|i| SetId(2 + i)).collect(),
+    }
+}
+
+/// `k` pairwise-disjoint sets of `size` elements each — the easiest
+/// possible instance (OPT is unique and every sensible algorithm finds it).
+pub fn disjoint_blocks(k: usize, size: u64) -> CoverageInstance {
+    let mut b = InstanceBuilder::new(k);
+    for s in 0..k as u32 {
+        for e in 0..size {
+            b.add_edge(Edge::new(s, s as u64 * size + e));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::offline::{greedy_set_cover, lazy_greedy_k_cover};
+
+    #[test]
+    fn trap_structure_is_sound() {
+        for p in [2u32, 3, 5, 8] {
+            let t = greedy_trap(p);
+            let n = ((1u64 << p) - 1) as usize;
+            assert_eq!(t.instance.num_sets(), 2 + p as usize);
+            assert_eq!(t.instance.num_elements(), 2 * n);
+            assert!(t.instance.is_cover(&t.optimal_cover), "p={p}");
+            assert!(t.instance.is_cover(&t.trap_sets), "p={p}: traps cover");
+        }
+    }
+
+    #[test]
+    fn greedy_walks_into_the_trap() {
+        for p in [3u32, 5, 7] {
+            let t = greedy_trap(p);
+            let cover = greedy_set_cover(&t.instance);
+            assert_eq!(
+                cover.family(),
+                t.trap_sets,
+                "p={p}: greedy must take exactly the trap chain"
+            );
+            assert_eq!(cover.len(), p as usize, "p={p}: gap vs OPT=2");
+        }
+    }
+
+    #[test]
+    fn greedy_k2_ratio_is_three_quarters() {
+        let t = greedy_trap(10);
+        let g = lazy_greedy_k_cover(&t.instance, 2);
+        let opt = t.instance.coverage(&t.optimal_cover);
+        let ratio = g.coverage() as f64 / opt as f64;
+        // T_0 (2^p) then one row's residual (2^{p-1}−1): ratio → 3/4.
+        assert!(
+            (0.74..0.76).contains(&ratio),
+            "ratio {ratio} should approach 3/4"
+        );
+    }
+
+    #[test]
+    fn traps_partition_the_universe() {
+        let t = greedy_trap(6);
+        let total: usize = t.trap_sets.iter().map(|&s| t.instance.set_size(s)).sum();
+        assert_eq!(total, t.instance.num_elements(), "traps are disjoint");
+    }
+
+    #[test]
+    fn disjoint_blocks_are_disjoint() {
+        let g = disjoint_blocks(5, 40);
+        assert_eq!(g.num_sets(), 5);
+        assert_eq!(g.num_elements(), 200);
+        assert_eq!(g.coverage(&[SetId(0), SetId(1)]), 80);
+        let t = lazy_greedy_k_cover(&g, 3);
+        assert_eq!(t.coverage(), 120, "greedy is optimal on disjoint blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "need p ≥ 2")]
+    fn tiny_p_rejected() {
+        greedy_trap(1);
+    }
+}

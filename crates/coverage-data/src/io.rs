@@ -1,0 +1,305 @@
+//! Instance persistence: save and load coverage instances.
+//!
+//! The paper's companion empirical work evaluates on public set-system
+//! datasets; we have no network access, so experiments run on the
+//! generators in this crate. Persistence closes the loop for users who
+//! *do* have real data: two formats, both self-describing and
+//! deterministic.
+//!
+//! * **Text** (`.sets`): line-oriented, one set per line —
+//!   `set_id: elem elem elem …` with `#` comments — the format used by
+//!   the classical max-cover benchmark collections, so real datasets can
+//!   be dropped in unchanged.
+//! * **JSON** (serde): the full instance plus provenance metadata; the
+//!   natural interchange format for toolchains.
+//!
+//! Round-trip tests guarantee load ∘ save = identity on the logical
+//! instance (sets, elements, edges) in both formats.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use serde::{Deserialize, Serialize};
+
+/// Provenance carried by the JSON format.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct InstanceMeta {
+    /// Human-readable instance name.
+    pub name: String,
+    /// Generator (or source) description, e.g. `"zipf(theta=1.1, seed=7)"`.
+    pub source: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct JsonInstance {
+    meta: InstanceMeta,
+    num_sets: usize,
+    /// `sets[s]` = element ids of set `s`.
+    sets: Vec<Vec<u64>>,
+}
+
+/// Serialize an instance (plus metadata) as a JSON string.
+pub fn to_json(inst: &CoverageInstance, meta: &InstanceMeta) -> String {
+    let sets: Vec<Vec<u64>> = inst
+        .set_ids()
+        .map(|s| inst.set_elements(s).map(|e| e.0).collect())
+        .collect();
+    serde_json::to_string(&JsonInstance {
+        meta: meta.clone(),
+        num_sets: inst.num_sets(),
+        sets,
+    })
+    .expect("instance serialization cannot fail")
+}
+
+/// Parse an instance from [`to_json`] output.
+pub fn from_json(s: &str) -> Result<(CoverageInstance, InstanceMeta), serde_json::Error> {
+    let j: JsonInstance = serde_json::from_str(s)?;
+    let mut b = InstanceBuilder::new(j.num_sets);
+    for (s, elems) in j.sets.iter().enumerate() {
+        for &e in elems {
+            b.add_edge(Edge::new(s as u32, e));
+        }
+    }
+    Ok((b.build(), j.meta))
+}
+
+/// Render an instance in the line-oriented text format.
+pub fn to_text(inst: &CoverageInstance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# coverage instance: {} sets, {} elements, {} edges",
+        inst.num_sets(),
+        inst.num_elements(),
+        inst.num_edges()
+    );
+    let _ = writeln!(out, "sets {}", inst.num_sets());
+    for s in inst.set_ids() {
+        let _ = write!(out, "{}:", s.0);
+        for e in inst.set_elements(s) {
+            let _ = write!(out, " {}", e.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Errors from text-format parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed line, with 1-based line number and description.
+    Syntax(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse the text format from any reader.
+pub fn from_text(reader: impl Read) -> Result<CoverageInstance, ParseError> {
+    let mut declared_sets: Option<usize> = None;
+    let mut b = InstanceBuilder::new(0);
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("sets ") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Syntax(lineno, format!("bad set count {rest:?}")))?;
+            declared_sets = Some(n);
+            continue;
+        }
+        let (head, tail) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Syntax(lineno, "expected `set_id: elems…`".into()))?;
+        let sid: u32 = head
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::Syntax(lineno, format!("bad set id {head:?}")))?;
+        if let Some(n) = declared_sets {
+            if sid as usize >= n {
+                return Err(ParseError::Syntax(
+                    lineno,
+                    format!("set id {sid} out of declared range 0..{n}"),
+                ));
+            }
+        }
+        for tok in tail.split_whitespace() {
+            let e: u64 = tok
+                .parse()
+                .map_err(|_| ParseError::Syntax(lineno, format!("bad element id {tok:?}")))?;
+            b.add_edge(Edge::new(sid, e));
+        }
+        // Make empty sets representable: mentioning a set id with no
+        // elements still grows the family.
+        let _ = SetId(sid);
+    }
+    let mut inst = b.build();
+    if let Some(n) = declared_sets {
+        if inst.num_sets() < n {
+            // Grow to the declared family size (trailing empty sets).
+            let mut b = InstanceBuilder::new(n);
+            for e in inst.edges() {
+                b.add_edge(e);
+            }
+            inst = b.build();
+        }
+    }
+    Ok(inst)
+}
+
+/// Save in the text format.
+pub fn save_text(inst: &CoverageInstance, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(fs::File::create(path)?);
+    f.write_all(to_text(inst).as_bytes())?;
+    f.flush()
+}
+
+/// Load from the text format.
+pub fn load_text(path: impl AsRef<Path>) -> Result<CoverageInstance, ParseError> {
+    from_text(fs::File::open(path)?)
+}
+
+/// Save in the JSON format.
+pub fn save_json(
+    inst: &CoverageInstance,
+    meta: &InstanceMeta,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(fs::File::create(path)?);
+    f.write_all(to_json(inst, meta).as_bytes())?;
+    f.flush()
+}
+
+/// Load from the JSON format.
+pub fn load_json(path: impl AsRef<Path>) -> Result<(CoverageInstance, InstanceMeta), ParseError> {
+    let mut s = String::new();
+    fs::File::open(path)?.read_to_string(&mut s)?;
+    from_json(&s).map_err(|e| ParseError::Syntax(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_instance;
+
+    fn same_instance(a: &CoverageInstance, b: &CoverageInstance) -> bool {
+        if a.num_sets() != b.num_sets() || a.num_edges() != b.num_edges() {
+            return false;
+        }
+        for s in a.set_ids() {
+            let mut ea: Vec<u64> = a.set_elements(s).map(|e| e.0).collect();
+            let mut eb: Vec<u64> = b.set_elements(s).map(|e| e.0).collect();
+            ea.sort_unstable();
+            eb.sort_unstable();
+            if ea != eb {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = uniform_instance(12, 300, 25, 7);
+        let meta = InstanceMeta {
+            name: "test".into(),
+            source: "uniform(12,300,25,7)".into(),
+        };
+        let (back, meta2) = from_json(&to_json(&inst, &meta)).expect("valid json");
+        assert!(same_instance(&inst, &back));
+        assert_eq!(meta, meta2);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let inst = uniform_instance(9, 150, 12, 3);
+        let back = from_text(to_text(&inst).as_bytes()).expect("parses");
+        assert!(same_instance(&inst, &back));
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let src = "# header\n\nsets 3\n0: 1 2 3\n\n# middle comment\n2: 9\n";
+        let inst = from_text(src.as_bytes()).expect("parses");
+        assert_eq!(inst.num_sets(), 3);
+        assert_eq!(inst.set_size(SetId(0)), 3);
+        assert_eq!(inst.set_size(SetId(1)), 0, "undeclared set stays empty");
+        assert_eq!(inst.set_size(SetId(2)), 1);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(
+            from_text("sets two\n".as_bytes()),
+            Err(ParseError::Syntax(1, _))
+        ));
+        assert!(matches!(
+            from_text("0 1 2\n".as_bytes()),
+            Err(ParseError::Syntax(1, _))
+        ));
+        assert!(matches!(
+            from_text("sets 1\n5: 1\n".as_bytes()),
+            Err(ParseError::Syntax(2, _))
+        ));
+        assert!(matches!(
+            from_text("0: 1 x 3\n".as_bytes()),
+            Err(ParseError::Syntax(1, _))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
+        let dir = std::env::temp_dir().join("coverage-data-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let inst = uniform_instance(6, 80, 10, 11);
+
+        let tpath = dir.join("inst.sets");
+        save_text(&inst, &tpath).unwrap();
+        let t = load_text(&tpath).unwrap();
+        assert!(same_instance(&inst, &t));
+
+        let jpath = dir.join("inst.json");
+        let meta = InstanceMeta {
+            name: "file-roundtrip".into(),
+            source: "uniform".into(),
+        };
+        save_json(&inst, &meta, &jpath).unwrap();
+        let (j, m) = load_json(&jpath).unwrap();
+        assert!(same_instance(&inst, &j));
+        assert_eq!(m.name, "file-roundtrip");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_edges_in_text_are_merged() {
+        let inst = from_text("0: 5 5 5 6\n".as_bytes()).unwrap();
+        assert_eq!(inst.num_edges(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # coverage-data
+//!
+//! Synthetic workload generators for the streaming-coverage experiments.
+//!
+//! The paper evaluates on the regime "number of elements significantly
+//! larger than the number of sets" (footnote 2) with large sets — the
+//! regime where `Õ(n)` space beats `Õ(m)`. These generators cover it:
+//!
+//! * [`uniform`] — Erdős–Rényi-style bipartite graphs (each set draws a
+//!   random subset of the universe), materialized or streamed;
+//! * [`zipf`] — heavy-tailed set sizes and element popularities (the
+//!   shape of real web/blog data the paper's motivation cites);
+//! * [`planted`] — instances with *known* optima, so experiments can
+//!   report measured approximation ratios without exact solvers;
+//! * [`ba`] — preferential-attachment bipartite graphs;
+//! * [`domains`] — thin scenario wrappers (blog-watch, document
+//!   summarization, network monitoring) used by the examples.
+//!
+//! Every generator is seed-deterministic: the same seed yields the same
+//! instance, and streaming variants regenerate identical edge sequences
+//! on every pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod block;
+pub mod domains;
+pub mod hard;
+pub mod io;
+pub mod planted;
+pub mod uniform;
+pub mod zipf;
+
+pub use ba::preferential_attachment;
+pub use block::BlockModel;
+pub use hard::{disjoint_blocks, greedy_trap, GreedyTrap};
+pub use io::{
+    from_json, from_text, load_json, load_text, save_json, save_text, to_json, to_text,
+    InstanceMeta, ParseError,
+};
+pub use planted::{planted_k_cover, planted_set_cover, PlantedInstance};
+pub use uniform::{stream_uniform, uniform_instance};
+pub use zipf::{zipf_instance, ZipfSampler};

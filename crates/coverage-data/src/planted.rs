@@ -1,0 +1,166 @@
+//! Planted instances with known optima.
+//!
+//! Exact solvers only reach toy sizes, so large-scale experiments measure
+//! approximation ratios against *constructed* optima:
+//!
+//! * [`planted_k_cover`] — `k` "golden" sets partition the universe, so
+//!   `Opt_k = m` exactly; the other `n−k` sets are smaller random decoys
+//!   (with enough overlap to trap naive heuristics).
+//! * [`planted_set_cover`] — `k*` golden sets partition the universe and
+//!   every golden set owns a *private* element no decoy touches, so the
+//!   minimum cover is exactly the `k*` golden sets.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use coverage_hash::SplitMix64;
+
+/// A generated instance together with its construction-time ground truth.
+#[derive(Clone, Debug)]
+pub struct PlantedInstance {
+    /// The instance itself.
+    pub instance: CoverageInstance,
+    /// The planted optimal family.
+    pub optimal_family: Vec<SetId>,
+    /// Its objective value: coverage for k-cover (`= m`), family size for
+    /// set cover (`= k*`).
+    pub optimal_value: usize,
+}
+
+/// Planted k-cover: `k` golden sets partition `0..m`; `n−k` decoys of size
+/// `decoy_size` are sampled uniformly. `Opt_k = m`, attained only by the
+/// golden family (decoys are strictly smaller than blocks when
+/// `decoy_size < m/k`).
+pub fn planted_k_cover(
+    n: usize,
+    m: u64,
+    k: usize,
+    decoy_size: usize,
+    seed: u64,
+) -> PlantedInstance {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    assert!(m >= k as u64, "need m ≥ k so every block is non-empty");
+    let mut b = InstanceBuilder::new(n);
+    let block = m / k as u64;
+    // Golden sets: contiguous blocks (last one takes the remainder).
+    for g in 0..k as u32 {
+        let lo = g as u64 * block;
+        let hi = if g as usize == k - 1 { m } else { lo + block };
+        for e in lo..hi {
+            b.add_edge(Edge::new(g, e));
+        }
+    }
+    // Decoys: uniform random subsets.
+    let mut rng = SplitMix64::new(seed ^ 0xDEC0);
+    for s in k as u32..n as u32 {
+        for _ in 0..decoy_size {
+            b.add_edge(Edge::new(s, rng.next_below(m)));
+        }
+    }
+    PlantedInstance {
+        instance: b.build(),
+        optimal_family: (0..k as u32).map(SetId).collect(),
+        optimal_value: m as usize,
+    }
+}
+
+/// Planted set cover: `k*` golden sets partition `0..m`; each golden set's
+/// *first* element is private (decoys avoid it), so any cover must contain
+/// all `k*` golden sets and the minimum cover size is exactly `k*`.
+/// Decoys (sets `k*..n`) are uniform subsets of the non-private elements.
+pub fn planted_set_cover(
+    n: usize,
+    m: u64,
+    k_star: usize,
+    decoy_size: usize,
+    seed: u64,
+) -> PlantedInstance {
+    assert!(k_star >= 1 && k_star <= n);
+    let block = m / k_star as u64;
+    assert!(
+        block >= 2,
+        "blocks must have ≥ 2 elements for private markers"
+    );
+    let mut b = InstanceBuilder::new(n);
+    let mut private: Vec<u64> = Vec::with_capacity(k_star);
+    for g in 0..k_star as u32 {
+        let lo = g as u64 * block;
+        let hi = if g as usize == k_star - 1 {
+            m
+        } else {
+            lo + block
+        };
+        private.push(lo);
+        for e in lo..hi {
+            b.add_edge(Edge::new(g, e));
+        }
+    }
+    let mut rng = SplitMix64::new(seed ^ 0x5E7C);
+    for s in k_star as u32..n as u32 {
+        let mut placed = 0usize;
+        while placed < decoy_size {
+            let e = rng.next_below(m);
+            if private.binary_search(&e).is_err() {
+                b.add_edge(Edge::new(s, e));
+                placed += 1;
+            }
+        }
+    }
+    PlantedInstance {
+        instance: b.build(),
+        optimal_family: (0..k_star as u32).map(SetId).collect(),
+        optimal_value: k_star,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_cover_golden_family_covers_everything() {
+        let p = planted_k_cover(30, 1000, 5, 50, 1);
+        assert_eq!(p.instance.num_sets(), 30);
+        assert_eq!(p.instance.num_elements(), 1000);
+        assert_eq!(p.instance.coverage(&p.optimal_family), 1000);
+        assert_eq!(p.optimal_value, 1000);
+    }
+
+    #[test]
+    fn k_cover_no_decoy_family_beats_golden() {
+        let p = planted_k_cover(20, 600, 4, 30, 2);
+        // Any family of 4 decoys covers at most 4·30 = 120 < 600.
+        let decoys: Vec<SetId> = (4u32..8).map(SetId).collect();
+        assert!(p.instance.coverage(&decoys) < 600);
+    }
+
+    #[test]
+    fn set_cover_minimum_is_k_star() {
+        let p = planted_set_cover(25, 500, 5, 40, 3);
+        assert!(p.instance.is_cover(&p.optimal_family));
+        // Private elements force every golden set into any cover: removing
+        // one golden set always leaves its private element uncovered.
+        for drop in 0..5u32 {
+            let family: Vec<SetId> = (0..25u32).filter(|&s| s != drop).map(SetId).collect();
+            assert!(
+                !p.instance.is_cover(&family),
+                "cover without golden set {drop} should fail"
+            );
+        }
+        assert_eq!(p.optimal_value, 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = planted_k_cover(15, 300, 3, 20, 9);
+        let b = planted_k_cover(15, 300, 3, 20, 9);
+        assert_eq!(a.instance.num_edges(), b.instance.num_edges());
+        let ea: Vec<_> = a.instance.edges().collect();
+        let eb: Vec<_> = b.instance.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ n")]
+    fn k_cover_rejects_bad_k() {
+        planted_k_cover(3, 100, 5, 10, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Uniform random bipartite workloads.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::SplitMix64;
+use coverage_stream::FnStream;
+
+/// A materialized uniform instance: `n` sets, universe `0..m`, each set
+/// containing `edges_per_set` elements drawn uniformly (with replacement,
+/// deduplicated — actual sizes may be slightly smaller).
+pub fn uniform_instance(n: usize, m: u64, edges_per_set: usize, seed: u64) -> CoverageInstance {
+    let mut b = InstanceBuilder::new(n);
+    let mut rng = SplitMix64::new(seed ^ 0x1CEB_00DA);
+    for s in 0..n as u32 {
+        for _ in 0..edges_per_set {
+            b.add_edge(Edge::new(s, rng.next_below(m)));
+        }
+    }
+    b.build()
+}
+
+/// A *streamed* uniform workload: identical distribution to
+/// [`uniform_instance`], but edges are regenerated per pass in a globally
+/// shuffled order (edge `i` of the conceptual matrix appears at position
+/// `π(i)` for a fixed random-ish permutation) instead of being stored.
+///
+/// The permutation is a Feistel-style index bijection, so the stream uses
+/// `O(1)` harness memory regardless of `n·edges_per_set` — this is what
+/// lets experiment E2 push `m` to 10⁶ while measuring *algorithm* space.
+pub fn stream_uniform(
+    n: usize,
+    m: u64,
+    edges_per_set: usize,
+    seed: u64,
+) -> FnStream<impl Fn(&mut dyn FnMut(Edge))> {
+    let total = (n * edges_per_set) as u64;
+    let gen = move |f: &mut dyn FnMut(Edge)| {
+        for i in 0..total {
+            let j = permute_index(i, total, seed);
+            let set = (j / edges_per_set as u64) as u32;
+            // Element choice must be a pure function of the conceptual
+            // edge index so that every pass regenerates the same edge.
+            let mut rng = SplitMix64::new(seed ^ j.wrapping_mul(0x9E37_79B9));
+            let el = rng.next_below(m);
+            f(Edge::new(set, el));
+        }
+    };
+    FnStream::new(n, gen).with_len_hint(total as usize)
+}
+
+/// A bijection on `0..total` built from a 4-round Feistel network over the
+/// smallest power-of-two domain ≥ `total`, cycling until the image lands
+/// inside the domain (cycle-walking).
+fn permute_index(i: u64, total: u64, seed: u64) -> u64 {
+    debug_assert!(i < total);
+    let bits = 64 - (total.max(2) - 1).leading_zeros();
+    let half = bits.div_ceil(2);
+    let mask = (1u64 << half) - 1;
+    let mut x = i;
+    loop {
+        // 4 Feistel rounds on (hi, lo) halves.
+        let mut lo = x & mask;
+        let mut hi = x >> half;
+        for r in 0..4u64 {
+            let fk = coverage_hash::mix64(lo ^ seed.wrapping_add(r.wrapping_mul(0x9E37)));
+            let new_lo = hi ^ (fk & mask);
+            hi = lo;
+            lo = new_lo;
+        }
+        x = (hi << half) | lo;
+        x &= (1u64 << (2 * half)) - 1;
+        if x < total {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_stream::{materialize, EdgeStream};
+
+    #[test]
+    fn instance_shape() {
+        let g = uniform_instance(20, 500, 30, 1);
+        assert_eq!(g.num_sets(), 20);
+        assert!(g.num_elements() <= 500);
+        assert!(g.num_edges() <= 600);
+        assert!(g.num_edges() > 400, "dedup losses should be mild");
+    }
+
+    #[test]
+    fn instance_is_seed_deterministic() {
+        let a = uniform_instance(10, 100, 10, 7);
+        let b = uniform_instance(10, 100, 10, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = uniform_instance(10, 100, 10, 8);
+        // With 100 possible elements and 100 draws, a collision of all
+        // counts across seeds is unlikely but possible; compare edges.
+        let ea: Vec<_> = a.edges().collect();
+        let ec: Vec<_> = c.edges().collect();
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn permute_index_is_bijection() {
+        for total in [1u64, 2, 7, 64, 100, 1000] {
+            let mut seen = vec![false; total as usize];
+            for i in 0..total {
+                let j = permute_index(i, total, 42);
+                assert!(j < total);
+                assert!(!seen[j as usize], "collision at {i}→{j} (total {total})");
+                seen[j as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn stream_replays_identically() {
+        let s = stream_uniform(5, 50, 8, 3);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        s.for_each(&mut |e| a.push(e));
+        s.for_each(&mut |e| b.push(e));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn stream_matches_distribution_of_instance() {
+        // Same seed need not give the same instance as uniform_instance,
+        // but the aggregate shape must match.
+        let s = stream_uniform(20, 500, 30, 9);
+        let g = materialize(&s);
+        assert_eq!(g.num_sets(), 20);
+        assert!(g.num_edges() > 400 && g.num_edges() <= 600);
+    }
+
+    #[test]
+    fn stream_order_is_not_set_major() {
+        // The Feistel shuffle must interleave sets (otherwise it would
+        // silently be a set-arrival stream).
+        let s = stream_uniform(10, 100, 20, 5);
+        let mut sets = Vec::new();
+        s.for_each(&mut |e| sets.push(e.set.0));
+        let mut runs = 1;
+        for w in sets.windows(2) {
+            if w[0] != w[1] {
+                runs += 1;
+            }
+        }
+        assert!(runs > 50, "only {runs} runs — stream looks grouped");
+    }
+}

@@ -1,0 +1,139 @@
+//! Heavy-tailed (Zipf) workloads.
+//!
+//! Real coverage data — the blog/topic and web-coverage applications the
+//! paper's introduction cites — has power-law set sizes and element
+//! popularities. Heavy elements are exactly what the sketch's degree cap
+//! (Lemma 2.4) exists for, so the ablation A1 runs on these instances.
+//!
+//! `rand` has no Zipf distribution in our dependency set, so we implement
+//! inverse-CDF sampling over precomputed cumulative weights (exact, `O(m)`
+//! setup, `O(log m)` per draw).
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::SplitMix64;
+
+/// Exact Zipf(θ) sampler over ranks `0..m` (rank `r` has weight
+/// `1/(r+1)^θ`).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the sampler for `m` ranks with exponent `theta ≥ 0`
+    /// (`theta = 0` is uniform).
+    pub fn new(m: usize, theta: f64) -> Self {
+        assert!(m > 0, "sampler needs a non-empty domain");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cumulative = Vec::with_capacity(m);
+        let mut acc = 0.0f64;
+        for r in 0..m {
+            acc += 1.0 / ((r + 1) as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Total weight (normalization constant).
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().unwrap()
+    }
+
+    /// Draw a rank using the given RNG.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64() * self.total();
+        // First index with cumulative ≥ u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// A Zipf workload: set sizes follow Zipf(`theta_sets`) scaled into
+/// `[min_size, max_size]`, and each membership edge picks its element by
+/// Zipf(`theta_elems`) popularity over `0..m`.
+pub fn zipf_instance(
+    n: usize,
+    m: u64,
+    theta_sets: f64,
+    theta_elems: f64,
+    max_size: usize,
+    seed: u64,
+) -> CoverageInstance {
+    let mut rng = SplitMix64::new(seed ^ 0x5A1F_0D17);
+    let elem_sampler = ZipfSampler::new(m as usize, theta_elems);
+    let mut b = InstanceBuilder::new(n);
+    for s in 0..n as u32 {
+        // Set size: Zipf-decaying in the set's rank.
+        let size = ((max_size as f64) / ((s + 1) as f64).powf(theta_sets))
+            .ceil()
+            .max(1.0) as usize;
+        for _ in 0..size {
+            let el = elem_sampler.sample(&mut rng) as u64;
+            b.add_edge(Edge::new(s, el));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_uniform_when_theta_zero() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "uniform bucket {c}");
+        }
+    }
+
+    #[test]
+    fn sampler_skews_with_theta() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = SplitMix64::new(2);
+        let mut head = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ=1.2 the top-10 ranks carry a large constant fraction.
+        assert!(head as f64 / total as f64 > 0.4, "head mass {head}/{total}");
+    }
+
+    #[test]
+    fn instance_sizes_decay() {
+        let g = zipf_instance(50, 10_000, 0.8, 1.0, 400, 3);
+        assert_eq!(g.num_sets(), 50);
+        let s0 = g.set_size(coverage_core::SetId(0));
+        let s49 = g.set_size(coverage_core::SetId(49));
+        assert!(s0 > s49, "sizes must decay: {s0} vs {s49}");
+    }
+
+    #[test]
+    fn heavy_elements_exist() {
+        let g = zipf_instance(60, 5_000, 0.5, 1.1, 300, 4);
+        let max_deg = g.element_degrees().into_iter().max().unwrap();
+        assert!(
+            max_deg > 10,
+            "expected a heavy element, max degree {max_deg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn rejects_empty_domain() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # coverage-dist
+//!
+//! Distributed coverage maximization via **composable sketches** — the
+//! extension the paper points to in its conclusion ("in an accompanied
+//! paper, we also show how to apply this to distributed models"; Bateni,
+//! Esfandiari, Mirrokni, *Distributed coverage maximization via
+//! sketching*, the paper's `[10]`).
+//!
+//! The key fact (proved constructive by
+//! [`ThresholdSketch::merge_from`](coverage_sketch::ThresholdSketch::merge_from)):
+//! the `H≤n` sketch's retained elements are the lowest-hash prefix of the
+//! elements it saw, so sketches built on *any partition of the edges*
+//! merge into exactly the sketch of the whole input. That makes the
+//! MapReduce-style schema trivially correct:
+//!
+//! 1. **Map**: each of `w` machines sketches its shard of the edges
+//!    (`Õ(n)` memory each, one local pass);
+//! 2. **Reduce**: merge the `w` sketches (tree or fold — associative);
+//! 3. **Solve**: run greedy on the merged sketch.
+//!
+//! The output is *identical* (same retained elements; same family up to
+//! degree-cap tie-breaking) to the single-machine Algorithm 3, which is
+//! the property the companion paper's round-efficient algorithms build
+//! on. This crate simulates the machines with scoped threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod rounds;
+pub mod runner;
+
+pub use partition::{shard_of_edge, ShardedStream};
+pub use rounds::{tree_reduce, RoundCost, RoundsReport};
+pub use runner::{distributed_k_cover, merge_all, DistConfig, DistResult};

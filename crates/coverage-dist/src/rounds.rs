@@ -1,0 +1,217 @@
+//! Round-structured reduction: merge trees and communication accounting.
+//!
+//! The companion paper (`[10]`) cares about *rounds* and *communication*,
+//! the costs MapReduce charges for. A flat fold (`merge_all`) is one
+//! reducer reading `w` sketches — fine in a simulation, but a real
+//! cluster bounds reducer fan-in. This module simulates the standard
+//! **merge tree**: machines ship [`SketchSnapshot`]s to group leaders,
+//! each leader merges its `fan_in` children, and the survivors repeat —
+//! `⌈log_f w⌉` rounds, each shipping at most `Õ(n)` words per machine.
+//!
+//! Because merging is associative and the sketch is composable (the
+//! merged sketch equals the single-machine sketch regardless of grouping
+//! — tested here), the tree's *shape* cannot change the answer, only the
+//! cost profile. [`RoundsReport`] records both so the `exp_distributed`
+//! experiment can print the rounds-vs-communication trade-off.
+
+use coverage_sketch::{SketchSnapshot, ThresholdSketch};
+
+/// Cost accounting of one reduction round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundCost {
+    /// Sketches alive at the start of the round.
+    pub sketches_in: usize,
+    /// Sketches alive after the round (one per group).
+    pub sketches_out: usize,
+    /// Total words shipped in this round (snapshot edges ×2 + per-element
+    /// headers ×4; leaders receive, non-leaders send).
+    pub words_shipped: u64,
+}
+
+/// Full report of a tree reduction.
+#[derive(Clone, Debug)]
+pub struct RoundsReport {
+    /// Per-round costs, in order.
+    pub rounds: Vec<RoundCost>,
+}
+
+impl RoundsReport {
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total communication across rounds.
+    pub fn total_words(&self) -> u64 {
+        self.rounds.iter().map(|r| r.words_shipped).sum()
+    }
+
+    /// Largest single-round shipment.
+    pub fn peak_round_words(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.words_shipped)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Words needed to ship one sketch: 2 per edge (set id + element slot)
+/// plus 4 per element (key, hash, length, truncation flag).
+fn ship_cost(s: &ThresholdSketch) -> u64 {
+    2 * s.edges_stored() as u64 + 4 * s.elements_stored() as u64
+}
+
+/// Reduce `sketches` with a merge tree of the given fan-in (`≥ 2`).
+///
+/// Every non-leader serializes its sketch through the snapshot wire
+/// format (exactly what a real deployment would ship) and the group
+/// leader merges the restored sketches — so this path also continuously
+/// exercises serialization fidelity.
+pub fn tree_reduce(
+    mut sketches: Vec<ThresholdSketch>,
+    fan_in: usize,
+) -> (ThresholdSketch, RoundsReport) {
+    assert!(fan_in >= 2, "fan-in must be at least 2");
+    assert!(!sketches.is_empty(), "need at least one sketch");
+    let mut rounds = Vec::new();
+    while sketches.len() > 1 {
+        let in_count = sketches.len();
+        let mut shipped = 0u64;
+        let mut next: Vec<ThresholdSketch> = Vec::with_capacity(in_count.div_ceil(fan_in));
+        for group in sketches.chunks_mut(fan_in) {
+            let (leader, rest) = group.split_first_mut().expect("chunks are non-empty");
+            for child in rest {
+                shipped += ship_cost(child);
+                // Wire round-trip: snapshot → JSON → restore → merge.
+                let wire = SketchSnapshot::of(child).to_json();
+                let restored = SketchSnapshot::from_json(&wire)
+                    .expect("wire snapshot must parse")
+                    .restore();
+                leader.merge_from(&restored);
+            }
+            next.push(leader.clone());
+        }
+        rounds.push(RoundCost {
+            sketches_in: in_count,
+            sketches_out: next.len(),
+            words_shipped: shipped,
+        });
+        sketches = next;
+    }
+    (
+        sketches.pop().expect("one sketch remains"),
+        RoundsReport { rounds },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::Edge;
+    use coverage_sketch::SketchParams;
+    use coverage_stream::{EdgeStream, VecStream};
+
+    fn build_shards(w: usize, budget: usize) -> (Vec<ThresholdSketch>, ThresholdSketch) {
+        let params = SketchParams::with_budget(6, 3, 0.4, budget);
+        let seed = 77;
+        let mut edges = Vec::new();
+        for s in 0..6u32 {
+            for e in 0..800u64 {
+                if !(e * 7 + s as u64).is_multiple_of(3) {
+                    edges.push(Edge::new(s, e));
+                }
+            }
+        }
+        let full = VecStream::new(6, edges);
+        let mut single = ThresholdSketch::new(params, seed);
+        let mut shards: Vec<ThresholdSketch> =
+            (0..w).map(|_| ThresholdSketch::new(params, seed)).collect();
+        let mut i = 0usize;
+        full.for_each(&mut |e| {
+            single.update(e);
+            shards[i % w].update(e);
+            i += 1;
+        });
+        (shards, single)
+    }
+
+    fn keys(s: &ThresholdSketch) -> Vec<u64> {
+        let mut v: Vec<u64> = s.retained().map(|(k, _, _)| k).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn tree_equals_single_machine_for_any_fan_in() {
+        let (shards, single) = build_shards(9, 150);
+        for fan_in in [2usize, 3, 9] {
+            let (merged, report) = tree_reduce(shards.clone(), fan_in);
+            assert_eq!(
+                keys(&merged),
+                keys(&single),
+                "fan_in={fan_in}: tree reduce must be shape-independent"
+            );
+            let expected_rounds = match fan_in {
+                2 => 4, // 9 → 5 → 3 → 2 → 1
+                3 => 2, // 9 → 3 → 1
+                _ => 1, // 9 → 1
+            };
+            assert_eq!(report.num_rounds(), expected_rounds, "fan_in={fan_in}");
+        }
+    }
+
+    #[test]
+    fn round_counts_telescope() {
+        let (shards, _) = build_shards(8, 100);
+        let (_, report) = tree_reduce(shards, 2);
+        for w in report.rounds.windows(2) {
+            assert_eq!(w[0].sketches_out, w[1].sketches_in);
+        }
+        assert_eq!(report.rounds.first().unwrap().sketches_in, 8);
+        assert_eq!(report.rounds.last().unwrap().sketches_out, 1);
+    }
+
+    #[test]
+    fn communication_bounded_by_sketch_budget() {
+        let (shards, _) = build_shards(6, 120);
+        let params_max = shards[0].params().max_edges() as u64;
+        let w = shards.len() as u64;
+        let (_, report) = tree_reduce(shards, 2);
+        // Every shipment is one sketch ≤ budget edges → ≤ 6·budget words.
+        assert!(
+            report.peak_round_words() <= w * 6 * params_max,
+            "round shipped more than all sketches combined"
+        );
+        assert!(report.total_words() > 0);
+    }
+
+    #[test]
+    fn single_sketch_needs_no_rounds() {
+        let (shards, single) = build_shards(1, 80);
+        let (merged, report) = tree_reduce(shards, 2);
+        assert_eq!(report.num_rounds(), 0);
+        assert_eq!(report.total_words(), 0);
+        assert_eq!(keys(&merged), keys(&single));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in must be at least 2")]
+    fn fan_in_one_rejected() {
+        let (shards, _) = build_shards(2, 50);
+        tree_reduce(shards, 1);
+    }
+
+    #[test]
+    fn higher_fan_in_fewer_rounds_same_total() {
+        let (shards, _) = build_shards(16, 100);
+        let (_, narrow) = tree_reduce(shards.clone(), 2);
+        let (_, wide) = tree_reduce(shards, 4);
+        assert!(narrow.num_rounds() > wide.num_rounds());
+        // Total communication is within small factors: every reduction
+        // ships w−1 sketches overall regardless of tree shape (sizes vary
+        // as merges compact entries).
+        let ratio = narrow.total_words() as f64 / wide.total_words().max(1) as f64;
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The map/reduce/solve driver over simulated machines.
+
+use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::SetId;
+use coverage_sketch::{SketchSizing, ThresholdSketch};
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use crate::partition::ShardedStream;
+
+/// Configuration of a distributed k-cover run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Number of simulated machines `w ≥ 1`.
+    pub machines: usize,
+    /// Number of sets to select.
+    pub k: usize,
+    /// Accuracy parameter ε (Algorithm 3 semantics: sketch ε is ε/12).
+    pub epsilon: f64,
+    /// Sketch sizing policy (per machine; the merged sketch keeps the
+    /// same budget).
+    pub sizing: SketchSizing,
+    /// Global hash seed — every machine must share it or merging is
+    /// meaningless.
+    pub seed: u64,
+}
+
+impl DistConfig {
+    /// Practical defaults.
+    pub fn new(machines: usize, k: usize, epsilon: f64, seed: u64) -> Self {
+        assert!(machines >= 1, "need at least one machine");
+        DistConfig {
+            machines,
+            k,
+            epsilon,
+            sizing: SketchSizing::Practical { c: 4.0 },
+            seed,
+        }
+    }
+
+    /// Override the sizing policy.
+    pub fn with_sizing(mut self, sizing: SketchSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// The selected family.
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage.
+    pub estimated_coverage: f64,
+    /// Per-machine space reports (each machine holds one local sketch).
+    pub per_machine: Vec<SpaceReport>,
+    /// The merged sketch's final size (edges) — the reducer's footprint.
+    pub merged_edges: usize,
+}
+
+/// Fold a non-empty list of compatible sketches into one.
+pub fn merge_all(mut sketches: Vec<ThresholdSketch>) -> ThresholdSketch {
+    let mut acc = sketches.pop().expect("merge_all needs at least one sketch");
+    for s in &sketches {
+        acc.merge_from(s);
+    }
+    acc
+}
+
+/// Distributed Algorithm 3: shard edges across `machines`, sketch each
+/// shard on its own thread, merge, and run greedy on the merged sketch.
+pub fn distributed_k_cover(stream: &(dyn EdgeStream + Sync), cfg: &DistConfig) -> DistResult {
+    let n = stream.num_sets();
+    let eps_sketch = (cfg.epsilon / 12.0).clamp(1e-6, 1.0);
+    let params = cfg.sizing.params(n, cfg.k.max(1), eps_sketch);
+
+    // Map phase: one sketch per machine, built concurrently.
+    let mut locals: Vec<Option<ThresholdSketch>> = (0..cfg.machines).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (i, slot) in locals.iter_mut().enumerate() {
+            let stream_ref = stream;
+            scope.spawn(move |_| {
+                let shard = ShardedStream::new(stream_ref, i, cfg.machines, cfg.seed ^ 0x5A);
+                *slot = Some(ThresholdSketch::from_stream(params, cfg.seed, &shard));
+            });
+        }
+    })
+    .expect("machine thread panicked");
+    let locals: Vec<ThresholdSketch> = locals.into_iter().map(|s| s.unwrap()).collect();
+    let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
+
+    // Reduce phase: associative fold.
+    let merged = merge_all(locals);
+
+    // Solve phase.
+    let trace = lazy_greedy_k_cover(&merged.instance(), cfg.k);
+    let family = trace.family();
+    DistResult {
+        estimated_coverage: merged.estimate_coverage(&family),
+        merged_edges: merged.edges_stored(),
+        per_machine,
+        family,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_data::planted_k_cover;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    fn workload() -> (VecStream, coverage_core::CoverageInstance, usize) {
+        let p = planted_k_cover(40, 5_000, 4, 150, 3);
+        let mut s = VecStream::from_instance(&p.instance);
+        ArrivalOrder::Random(5).apply(s.edges_mut());
+        (s, p.instance, p.optimal_value)
+    }
+
+    #[test]
+    fn output_invariant_in_machine_count() {
+        let (stream, _, _) = workload();
+        let mut families = Vec::new();
+        for machines in [1usize, 2, 4, 8] {
+            let cfg =
+                DistConfig::new(machines, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+            let res = distributed_k_cover(&stream, &cfg);
+            families.push(res.family);
+        }
+        for w in families.windows(2) {
+            assert_eq!(w[0], w[1], "family must not depend on machine count");
+        }
+    }
+
+    #[test]
+    fn quality_matches_single_machine_algorithm3() {
+        let (stream, inst, opt) = workload();
+        let cfg = DistConfig::new(4, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+        let res = distributed_k_cover(&stream, &cfg);
+        let achieved = inst.coverage(&res.family);
+        assert!(
+            achieved as f64 >= 0.85 * opt as f64,
+            "distributed quality dropped: {achieved}/{opt}"
+        );
+    }
+
+    #[test]
+    fn per_machine_space_shrinks_with_machines() {
+        let (stream, _, _) = workload();
+        let small = DistConfig::new(1, 4, 0.3, 7).with_sizing(SketchSizing::Budget(2_000));
+        let large = DistConfig::new(8, 4, 0.3, 7).with_sizing(SketchSizing::Budget(2_000));
+        let one = distributed_k_cover(&stream, &small);
+        let eight = distributed_k_cover(&stream, &large);
+        let max_one = one.per_machine.iter().map(|r| r.peak_edges).max().unwrap();
+        let max_eight = eight
+            .per_machine
+            .iter()
+            .map(|r| r.peak_edges)
+            .max()
+            .unwrap();
+        assert!(
+            max_eight < max_one,
+            "sharding should reduce per-machine load: {max_one} vs {max_eight}"
+        );
+        assert_eq!(eight.per_machine.len(), 8);
+    }
+
+    #[test]
+    fn merged_edges_respect_budget() {
+        let (stream, _, _) = workload();
+        let cfg = DistConfig::new(4, 4, 0.3, 7).with_sizing(SketchSizing::Budget(500));
+        let res = distributed_k_cover(&stream, &cfg);
+        let params = cfg.sizing.params(40, 4, 0.3 / 12.0);
+        assert!(res.merged_edges <= params.max_edges());
+    }
+}

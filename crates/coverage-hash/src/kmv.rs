@@ -1,0 +1,227 @@
+//! K-Minimum-Values (bottom-k) distinct-count sketch.
+//!
+//! This is the mergeable `ℓ₀` estimator of Appendix D ("`ℓ₀` sketch",
+//! citing Cormode, Datar, Indyk & Muthukrishnan `[16]`). Keep the `t`
+//! smallest *distinct* hash values of the inserted keys; then the `t`-th
+//! smallest normalized hash `h_(t)` estimates the distinct count as
+//! `(t−1)/h_(t)`, with relative standard error `≈ 1/√(t−2)`.
+//!
+//! Two KMV sketches (with the same hash function) merge by uniting their
+//! value sets and re-truncating to the `t` smallest — which is exactly the
+//! sketch of the union of the underlying sets. The Appendix D baseline
+//! keeps one KMV per input set and evaluates a candidate family by merging
+//! the family's sketches, so its space is `Θ(n·t) = Õ(nk)` once `t` is
+//! chosen large enough to union-bound over the `(n choose k)` candidate
+//! families.
+
+use std::collections::BTreeSet;
+
+use crate::unit::UnitHash;
+
+/// A bottom-`t` distinct-count sketch over 64-bit keys.
+#[derive(Clone, Debug)]
+pub struct KmvSketch {
+    hash: UnitHash,
+    t: usize,
+    /// The up-to-`t` smallest distinct hash values seen so far.
+    values: BTreeSet<u64>,
+}
+
+impl KmvSketch {
+    /// A sketch of size `t ≥ 2` using the hash function `hash`.
+    ///
+    /// Sketches that will be merged must share the same `hash`.
+    pub fn new(t: usize, hash: UnitHash) -> Self {
+        assert!(t >= 2, "KMV needs t ≥ 2, got {t}");
+        KmvSketch {
+            hash,
+            t,
+            values: BTreeSet::new(),
+        }
+    }
+
+    /// Size parameter `t` that yields relative standard error ≤ `eps`.
+    pub fn t_for_epsilon(eps: f64) -> usize {
+        assert!(eps > 0.0, "epsilon must be positive");
+        ((1.0 / (eps * eps)).ceil() as usize + 2).max(2)
+    }
+
+    /// Insert a key (idempotent: duplicates never change the sketch).
+    pub fn insert(&mut self, key: u64) {
+        let h = self.hash.hash(key);
+        if self.values.len() < self.t {
+            self.values.insert(h);
+        } else if let Some(&max) = self.values.iter().next_back() {
+            if h < max && self.values.insert(h) {
+                self.values.remove(&max);
+            }
+        }
+    }
+
+    /// Number of stored hash values (≤ `t`). This is the sketch's space in
+    /// words, the quantity the E6 experiment measures.
+    pub fn stored(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Size parameter `t`.
+    pub fn capacity(&self) -> usize {
+        self.t
+    }
+
+    /// The hash function in use (for compatibility checks).
+    pub fn unit_hash(&self) -> UnitHash {
+        self.hash
+    }
+
+    /// Estimated number of distinct keys inserted.
+    ///
+    /// Exact (the sketch stores every distinct hash) while fewer than `t`
+    /// distinct keys have been seen; the `(t−1)/h_(t)` estimator afterwards.
+    pub fn estimate(&self) -> f64 {
+        if self.values.len() < self.t {
+            self.values.len() as f64
+        } else {
+            let kth = *self
+                .values
+                .iter()
+                .next_back()
+                .expect("t ≥ 2 values present");
+            // Normalized t-th minimum: (kth+1)/2^64 to avoid divide-by-zero.
+            let h_t = (kth as f64 + 1.0) / 2f64.powi(64);
+            (self.t as f64 - 1.0) / h_t
+        }
+    }
+
+    /// Merge `other` into `self`. Both must use the same hash function and
+    /// the same `t` (merging different sizes would silently change the
+    /// estimator's accuracy, so we refuse).
+    pub fn merge_from(&mut self, other: &KmvSketch) {
+        assert_eq!(
+            self.hash, other.hash,
+            "KMV sketches must share a hash function to merge"
+        );
+        assert_eq!(self.t, other.t, "KMV sketches must share t to merge");
+        for &v in &other.values {
+            if self.values.len() < self.t {
+                self.values.insert(v);
+            } else {
+                let max = *self.values.iter().next_back().unwrap();
+                if v < max && self.values.insert(v) {
+                    self.values.remove(&max);
+                }
+            }
+        }
+    }
+
+    /// The merge of an iterator of sketches (union estimate), without
+    /// mutating the inputs. Panics on an empty iterator.
+    pub fn merged<'a>(mut sketches: impl Iterator<Item = &'a KmvSketch>) -> KmvSketch {
+        let first = sketches.next().expect("merged() needs at least one sketch");
+        let mut acc = first.clone();
+        for s in sketches {
+            acc.merge_from(s);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> UnitHash {
+        UnitHash::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = KmvSketch::new(64, h());
+        for k in 0..50u64 {
+            s.insert(k);
+        }
+        assert_eq!(s.estimate(), 50.0);
+        // Duplicates change nothing.
+        for k in 0..50u64 {
+            s.insert(k);
+        }
+        assert_eq!(s.estimate(), 50.0);
+        assert_eq!(s.stored(), 50);
+    }
+
+    #[test]
+    fn estimate_within_error_bounds() {
+        // t = 1026 → RSE ≈ 3.1%; allow 4 sigma.
+        let t = 1026;
+        let mut s = KmvSketch::new(t, h());
+        let n = 100_000u64;
+        for k in 0..n {
+            s.insert(k);
+        }
+        let est = s.estimate();
+        let rse = 1.0 / ((t - 2) as f64).sqrt();
+        assert!(
+            (est - n as f64).abs() < 4.0 * rse * n as f64,
+            "estimate {est} too far from {n}"
+        );
+        assert_eq!(s.stored(), t);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let t = 512;
+        let mut a = KmvSketch::new(t, h());
+        let mut b = KmvSketch::new(t, h());
+        let mut u = KmvSketch::new(t, h());
+        for k in 0..30_000u64 {
+            a.insert(k);
+            u.insert(k);
+        }
+        for k in 15_000..45_000u64 {
+            b.insert(k);
+            u.insert(k);
+        }
+        let merged = KmvSketch::merged([&a, &b].into_iter());
+        // Merge must equal the sketch of the union *exactly* (same stored
+        // hash values), not merely approximately.
+        assert_eq!(merged.values, u.values);
+        assert_eq!(merged.estimate(), u.estimate());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let t = 128;
+        let mut a = KmvSketch::new(t, h());
+        let mut b = KmvSketch::new(t, h());
+        for k in 0..5000u64 {
+            if k % 2 == 0 {
+                a.insert(k);
+            } else {
+                b.insert(k);
+            }
+        }
+        let ab = KmvSketch::merged([&a, &b].into_iter());
+        let ba = KmvSketch::merged([&b, &a].into_iter());
+        assert_eq!(ab.values, ba.values);
+    }
+
+    #[test]
+    fn t_for_epsilon_monotone() {
+        assert!(KmvSketch::t_for_epsilon(0.1) < KmvSketch::t_for_epsilon(0.05));
+        assert!(KmvSketch::t_for_epsilon(0.5) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a hash function")]
+    fn merge_rejects_mismatched_hash() {
+        let mut a = KmvSketch::new(16, UnitHash::new(1));
+        let b = KmvSketch::new(16, UnitHash::new(2));
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "t ≥ 2")]
+    fn rejects_tiny_t() {
+        KmvSketch::new(1, h());
+    }
+}

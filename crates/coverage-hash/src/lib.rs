@@ -1,0 +1,43 @@
+//! # coverage-hash
+//!
+//! Hashing substrate for the streaming-coverage reproduction.
+//!
+//! The paper's sketch needs a hash function `h: E → [0,1]` that behaves
+//! uniformly and independently per element (Section 2, Algorithm 1 line 2),
+//! plus — for the Appendix D baseline — mergeable `ℓ₀` (distinct-count)
+//! sketches in the style of Cormode et al. `[16]`. Nothing suitable exists
+//! in the sanctioned dependency set, so this crate implements:
+//!
+//! * [`splitmix`] — the SplitMix64 generator/finalizer, our seeded
+//!   avalanche mixer;
+//! * [`unit`](mod@unit) — [`UnitHash`]: seeded element→`u64` hashing interpreted as a
+//!   fixed-point fraction of `[0,1)` (thresholds stay exact integers — no
+//!   floating point in the hot path);
+//! * [`fx`] — an FxHash-style `BuildHasher` for fast interior hash maps;
+//! * [`kmv`] — the K-Minimum-Values (bottom-k) distinct-count sketch: the
+//!   mergeable `(1±ε)` `ℓ₀` estimator behind the `Õ(nk)` baseline;
+//! * [`hll`] — a LogLog-family counter used only as an ablation
+//!   alternative to KMV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fx;
+pub mod hll;
+pub mod kmv;
+pub mod minwise;
+pub mod splitmix;
+pub mod stats;
+pub mod tabulation;
+pub mod unit;
+
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use hll::LogLogCounter;
+pub use kmv::KmvSketch;
+pub use minwise::{MinHashSignature, MinHasher};
+pub use splitmix::{mix64, SplitMix64};
+pub use stats::{
+    chi_square_critical, chi_square_uniform, ks_critical, ks_statistic_uniform, summarize, Summary,
+};
+pub use tabulation::{ElementHasher, TabulationHash};
+pub use unit::{p_from_threshold, threshold_from_p, UnitHash};

@@ -1,0 +1,187 @@
+//! Min-wise hashing: fixed-size set signatures for Jaccard similarity.
+//!
+//! The classic Broder construction: for `h` independent hash functions,
+//! a set's signature is the vector of per-function minima over its
+//! elements. For two sets `A`, `B` each signature coordinate collides
+//! with probability exactly `J(A,B) = |A∩B| / |A∪B|`, so the fraction of
+//! agreeing coordinates is an unbiased Jaccard estimator with standard
+//! error `O(1/√h)`.
+//!
+//! Role in this repository: coverage instances from real pipelines often
+//! contain *near-duplicate* sets (mirrored pages, reposted blogs — the
+//! paper's motivating data). Near-duplicates cannot change `Opt_k` by
+//! much but inflate `n`, and every `Õ(n)`-space structure pays for them.
+//! `coverage-algs::preprocess` uses these signatures to prune them ahead
+//! of sketching.
+
+use crate::splitmix::mix64;
+
+/// A family of `h` min-wise hash functions (seeded, stateless).
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+/// A set's min-wise signature (one minimum per hash function).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinHashSignature {
+    mins: Vec<u64>,
+}
+
+impl MinHasher {
+    /// A family of `h ≥ 1` functions derived from `seed`.
+    pub fn new(h: usize, seed: u64) -> Self {
+        assert!(h >= 1, "need at least one hash function");
+        let mut seeds = Vec::with_capacity(h);
+        let mut s = mix64(seed ^ 0x3147_B00C);
+        for _ in 0..h {
+            s = mix64(s);
+            seeds.push(s);
+        }
+        MinHasher { seeds }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn width(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Signature of the set given by `elements`. An empty set yields the
+    /// all-`u64::MAX` signature (Jaccard 1.0 with other empty sets).
+    pub fn signature(&self, elements: impl IntoIterator<Item = u64>) -> MinHashSignature {
+        let mut mins = vec![u64::MAX; self.seeds.len()];
+        for e in elements {
+            for (m, &s) in mins.iter_mut().zip(&self.seeds) {
+                let v = mix64(e ^ s);
+                if v < *m {
+                    *m = v;
+                }
+            }
+        }
+        MinHashSignature { mins }
+    }
+}
+
+impl MinHashSignature {
+    /// Estimated Jaccard similarity: the fraction of agreeing coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different widths (different
+    /// families must not be compared).
+    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(
+            self.mins.len(),
+            other.mins.len(),
+            "signatures from different families"
+        );
+        let agree = self
+            .mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Signature width.
+    pub fn width(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn true_jaccard(a: &[u64], b: &[u64]) -> f64 {
+        let sa: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::HashSet<u64> = b.iter().copied().collect();
+        let inter = sa.intersection(&sb).count();
+        let uni = sa.union(&sb).count();
+        inter as f64 / uni.max(1) as f64
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let h = MinHasher::new(64, 7);
+        let a: Vec<u64> = (0..500).collect();
+        let sig1 = h.signature(a.iter().copied());
+        let sig2 = h.signature(a.iter().copied());
+        assert_eq!(sig1.jaccard(&sig2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_near_zero() {
+        let h = MinHasher::new(128, 3);
+        let a = h.signature(0..500u64);
+        let b = h.signature(10_000..10_500u64);
+        assert!(a.jaccard(&b) < 0.05, "got {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 11);
+        for overlap in [100u64, 250, 400] {
+            let a: Vec<u64> = (0..500).collect();
+            let b: Vec<u64> = (500 - overlap..1000 - overlap).collect();
+            let truth = true_jaccard(&a, &b);
+            let est = h
+                .signature(a.iter().copied())
+                .jaccard(&h.signature(b.iter().copied()));
+            assert!(
+                (est - truth).abs() < 0.12,
+                "overlap {overlap}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_is_order_and_duplicate_invariant() {
+        let h = MinHasher::new(32, 5);
+        let fwd = h.signature(0..100u64);
+        let rev = h.signature((0..100u64).rev());
+        let dup = h.signature((0..100u64).chain(0..100u64));
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, dup);
+    }
+
+    #[test]
+    fn empty_sets_match_each_other() {
+        let h = MinHasher::new(16, 9);
+        let a = h.signature(std::iter::empty());
+        let b = h.signature(std::iter::empty());
+        assert_eq!(a.jaccard(&b), 1.0);
+        let c = h.signature(0..10u64);
+        assert_eq!(a.jaccard(&c), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different families")]
+    fn width_mismatch_panics() {
+        let a = MinHasher::new(8, 1).signature(0..5u64);
+        let b = MinHasher::new(16, 1).signature(0..5u64);
+        let _ = a.jaccard(&b);
+    }
+
+    #[test]
+    fn wider_signatures_reduce_variance() {
+        // Repeat an estimate with narrow and wide signatures across seeds;
+        // the wide family must have smaller spread.
+        let a: Vec<u64> = (0..400).collect();
+        let b: Vec<u64> = (200..600).collect();
+        let truth = true_jaccard(&a, &b);
+        let spread = |width: usize| {
+            let mut worst: f64 = 0.0;
+            for seed in 0..12u64 {
+                let h = MinHasher::new(width, seed);
+                let est = h
+                    .signature(a.iter().copied())
+                    .jaccard(&h.signature(b.iter().copied()));
+                worst = worst.max((est - truth).abs());
+            }
+            worst
+        };
+        assert!(spread(512) < spread(8) + 1e-9);
+    }
+}

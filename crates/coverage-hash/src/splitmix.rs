@@ -1,0 +1,130 @@
+//! SplitMix64: a tiny, high-quality 64-bit mixer and generator.
+//!
+//! Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+//! Generators" (OOPSLA 2014); constants are the standard Murmur3-finalizer
+//! variant. SplitMix64 passes BigCrush when used as a generator, and its
+//! finalizer has full avalanche — each input bit flips each output bit with
+//! probability ≈ 1/2 — which is what the sketch's "uniform and independent"
+//! hash assumption needs in practice.
+
+/// One application of the SplitMix64 finalizer to `x` (stateless mix).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A sequential SplitMix64 generator (used for seeding and for cheap
+/// reproducible randomness inside substrates; workload generation proper
+/// uses the `rand` crate).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0,1)` (53 bits of precision).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// (slightly biased for astronomically large bounds; fine here).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn generator_matches_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut g = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6_457_827_717_110_365_317,
+                3_203_168_211_198_807_973,
+                9_817_491_932_198_370_423,
+            ]
+        );
+    }
+
+    #[test]
+    fn avalanche_single_bit_flip() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        let trials = 64;
+        for b in 0..trials {
+            let d = mix64(42) ^ mix64(42 ^ (1u64 << b));
+            total += d.count_ones();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(
+            (24.0..=40.0).contains(&avg),
+            "average flipped bits {avg} not near 32"
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut g = SplitMix64::new(7);
+        for bound in [1u64, 2, 10, 1_000_003] {
+            for _ in 0..100 {
+                assert!(g.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut g = SplitMix64::new(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[g.next_below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Statistical test helpers for hash quality and estimator calibration.
+//!
+//! The sketch's guarantees (Lemma 2.2 and everything downstream) rest on
+//! the hash behaving like a uniform random function. These small,
+//! dependency-free statistics let tests and the `exp_hash_ablation`
+//! experiment *measure* that premise instead of assuming it:
+//!
+//! * [`chi_square_uniform`] / [`chi_square_critical`] — goodness-of-fit of
+//!   bucket counts against the uniform law (critical value at the 99.9%
+//!   level via the Wilson–Hilferty cube-root approximation, accurate to a
+//!   few percent for df ≥ 10);
+//! * [`ks_statistic_uniform`] / [`ks_critical`] — Kolmogorov–Smirnov
+//!   distance of unit-interval samples from `U[0,1]`;
+//! * [`summarize`] — mean / variance / extremes of an estimate series,
+//!   used to report estimator bias and concentration envelopes.
+
+/// Pearson's χ² statistic of observed bucket `counts` against the uniform
+/// expectation. Panics on an empty slice or zero total.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "need at least one bucket");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Approximate 99.9%-level critical value of the χ² distribution with
+/// `df` degrees of freedom (Wilson–Hilferty: χ²_q ≈ df·(1 − 2/(9df) +
+/// z_q·√(2/(9df)))³ with z_{0.999} ≈ 3.0902).
+pub fn chi_square_critical(df: usize) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    let df = df as f64;
+    let z = 3.0902;
+    let a = 2.0 / (9.0 * df);
+    df * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// Kolmogorov–Smirnov statistic `D_n = sup |F_emp(x) − x|` of samples
+/// against `U[0,1]`. Sorts a copy of the input; panics if empty or if any
+/// sample falls outside `[0,1]`.
+pub fn ks_statistic_uniform(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&x), "sample {x} outside [0,1]");
+        let upper = (i as f64 + 1.0) / n - x;
+        let lower = x - i as f64 / n;
+        d = d.max(upper).max(lower);
+    }
+    d
+}
+
+/// Approximate critical KS distance at significance `alpha ∈ {0.1, 0.05,
+/// 0.01, 0.001}` for `n` samples (asymptotic `c(α)/√n` formula).
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    let c = if alpha <= 0.001 {
+        1.95
+    } else if alpha <= 0.01 {
+        1.63
+    } else if alpha <= 0.05 {
+        1.36
+    } else {
+        1.22
+    };
+    c / (n as f64).sqrt()
+}
+
+/// Summary statistics of a sample of estimates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for n < 2).
+    pub variance: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Mean relative error against a reference value.
+    pub fn relative_bias(&self, truth: f64) -> f64 {
+        assert!(truth != 0.0, "reference value must be nonzero");
+        (self.mean - truth) / truth
+    }
+}
+
+/// Compute [`Summary`] statistics. Panics on an empty slice.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let variance = if n < 2 {
+        0.0
+    } else {
+        samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0)
+    };
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n,
+        mean,
+        variance,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix::SplitMix64;
+
+    #[test]
+    fn chi_square_zero_for_perfectly_uniform() {
+        assert_eq!(chi_square_uniform(&[100, 100, 100, 100]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_skew() {
+        let balanced = chi_square_uniform(&[90, 110, 100, 100]);
+        let skewed = chi_square_uniform(&[10, 190, 100, 100]);
+        assert!(skewed > balanced);
+    }
+
+    #[test]
+    fn chi_square_critical_increases_with_df() {
+        assert!(chi_square_critical(20) > chi_square_critical(10));
+        // Known reference: χ²_{0.999, 63} ≈ 103.4; approximation within 3%.
+        let approx = chi_square_critical(63);
+        assert!((100.0..107.0).contains(&approx), "got {approx}");
+    }
+
+    #[test]
+    fn uniform_generator_passes_chi_square() {
+        let mut g = SplitMix64::new(5);
+        let mut counts = vec![0u64; 32];
+        for _ in 0..32_000 {
+            counts[g.next_below(32) as usize] += 1;
+        }
+        assert!(chi_square_uniform(&counts) < chi_square_critical(31));
+    }
+
+    #[test]
+    fn constant_generator_fails_chi_square() {
+        let mut counts = vec![0u64; 32];
+        counts[0] = 32_000;
+        assert!(chi_square_uniform(&counts) > chi_square_critical(31));
+    }
+
+    #[test]
+    fn ks_detects_uniform_and_nonuniform() {
+        let mut g = SplitMix64::new(11);
+        let uniform: Vec<f64> = (0..2000).map(|_| g.next_f64()).collect();
+        let d = ks_statistic_uniform(&uniform);
+        assert!(d < ks_critical(2000, 0.001), "uniform rejected: D={d}");
+
+        let squashed: Vec<f64> = uniform.iter().map(|&x| x * x).collect();
+        let d2 = ks_statistic_uniform(&squashed);
+        assert!(d2 > ks_critical(2000, 0.001), "x^2 law accepted: D={d2}");
+    }
+
+    #[test]
+    fn ks_exact_on_tiny_sample() {
+        // Single sample at 0.5: D = max(1 − 0.5, 0.5 − 0) = 0.5.
+        assert!((ks_statistic_uniform(&[0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.relative_bias(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn summary_empty_panics() {
+        summarize(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn chi_square_empty_panics() {
+        chi_square_uniform(&[]);
+    }
+}

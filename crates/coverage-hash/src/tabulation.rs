@@ -1,0 +1,161 @@
+//! Simple tabulation hashing.
+//!
+//! The paper's analysis assumes a *fully independent* uniform hash
+//! `h : E → [0,1]` — an idealization no implementation provides. Our
+//! default [`crate::UnitHash`] is a SplitMix64 finalizer (no independence
+//! guarantee, excellent empirical behaviour). Simple tabulation hashing is
+//! the theoretically principled alternative: it is 3-wise independent, and
+//! Pătraşcu & Thorup ("The Power of Simple Tabulation Hashing", J. ACM
+//! 2012) prove it gives Chernoff-style concentration for exactly the kind
+//! of threshold-sampling statistics the sketch relies on (Lemma 2.2).
+//!
+//! The hash of a 64-bit key is the XOR of eight table lookups, one per
+//! key byte:
+//!
+//! ```text
+//! h(x) = T₀[x₀] ⊕ T₁[x₁] ⊕ … ⊕ T₇[x₇]
+//! ```
+//!
+//! where each `Tᵢ` is a table of 256 random 64-bit words derived from the
+//! seed. The `exp_hash_ablation` experiment compares sketch quality under
+//! SplitMix64 vs tabulation and finds them indistinguishable — evidence
+//! that the idealized-hash assumption is harmless in practice.
+
+use crate::splitmix::SplitMix64;
+use crate::unit::UnitHash;
+
+/// A hash family member mapping 64-bit element keys to 64-bit values
+/// interpreted as fixed-point fractions of `[0,1)` — the common interface
+/// of every element hash in this crate.
+pub trait ElementHasher {
+    /// The 64-bit hash of `key`.
+    fn hash64(&self, key: u64) -> u64;
+
+    /// The hash as an `f64` in `[0,1)` (diagnostics only).
+    fn hash_unit(&self, key: u64) -> f64 {
+        self.hash64(key) as f64 / 2f64.powi(64)
+    }
+}
+
+impl ElementHasher for UnitHash {
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        self.hash(key)
+    }
+}
+
+/// Simple tabulation hashing over 8 key bytes (3-wise independent).
+#[derive(Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl std::fmt::Debug for TabulationHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabulationHash")
+            .field("fingerprint", &self.tables[0][0])
+            .finish()
+    }
+}
+
+impl TabulationHash {
+    /// A tabulation hash with tables filled from `seed`.
+    pub fn new(seed: u64) -> Self {
+        // Domain-separate from other seed users with a fixed tweak.
+        let mut gen = SplitMix64::new(seed ^ 0x7AB7_1A71_0000_0001);
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for t in tables.iter_mut() {
+            for slot in t.iter_mut() {
+                *slot = gen.next_u64();
+            }
+        }
+        TabulationHash { tables }
+    }
+}
+
+impl ElementHasher for TabulationHash {
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        let b = key.to_le_bytes();
+        self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize]
+            ^ self.tables[4][b[4] as usize]
+            ^ self.tables[5][b[5] as usize]
+            ^ self.tables[6][b[6] as usize]
+            ^ self.tables[7][b[7] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{chi_square_critical, chi_square_uniform};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(1);
+        let c = TabulationHash::new(2);
+        assert_eq!(a.hash64(42), b.hash64(42));
+        assert_ne!(a.hash64(42), c.hash64(42));
+    }
+
+    #[test]
+    fn xor_structure_holds() {
+        // h(x) for single-byte keys must equal T0[x] ^ T1[0] ^ ... ^ T7[0];
+        // verify via the 3-point identity h(a) ^ h(b) ^ h(a^b) ^ h(0) = 0
+        // when a and b touch disjoint bytes.
+        let h = TabulationHash::new(9);
+        let a = 0x00FFu64; // bytes 0–1
+        let b = 0xFF_0000u64; // byte 2
+        assert_eq!(
+            h.hash64(a) ^ h.hash64(b) ^ h.hash64(a | b) ^ h.hash64(0),
+            0,
+            "tabulation must be linear over disjoint byte masks"
+        );
+    }
+
+    #[test]
+    fn uniformity_chi_square() {
+        let h = TabulationHash::new(123);
+        let buckets = 64usize;
+        let n = 64_000u64;
+        let mut counts = vec![0u64; buckets];
+        for k in 0..n {
+            let b = ((h.hash64(k) as u128 * buckets as u128) >> 64) as usize;
+            counts[b] += 1;
+        }
+        let stat = chi_square_uniform(&counts);
+        let crit = chi_square_critical(buckets - 1);
+        assert!(stat < crit, "chi^2 {stat} >= critical {crit}");
+    }
+
+    #[test]
+    fn avalanche_is_near_half() {
+        let h = TabulationHash::new(77);
+        let mut total = 0u32;
+        for bit in 0..64 {
+            let d = h.hash64(0xDEAD_BEEF) ^ h.hash64(0xDEAD_BEEF ^ (1u64 << bit));
+            total += d.count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((24.0..=40.0).contains(&avg), "avalanche {avg} not near 32");
+    }
+
+    #[test]
+    fn unit_interface_matches_hash64() {
+        let h = TabulationHash::new(5);
+        let x = h.hash_unit(1234);
+        assert!((0.0..1.0).contains(&x));
+        assert_eq!(h.hash64(1234) as f64 / 2f64.powi(64), x);
+    }
+
+    #[test]
+    fn unit_hash_implements_trait() {
+        let u = crate::UnitHash::new(3);
+        let via_trait: &dyn ElementHasher = &u;
+        assert_eq!(via_trait.hash64(10), u.hash(10));
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded element → unit-interval hashing.
+//!
+//! Algorithm 1 of the paper draws `h : E → [0,1]` uniformly and
+//! independently. We realize `h(u)` as a 64-bit value `H(u)` and interpret
+//! it as the fixed-point fraction `H(u) / 2^64`. Comparisons against a
+//! threshold `p` become exact integer comparisons `H(u) ≤ ⌊p·2^64⌋`, and
+//! `p*` recovery (Definition 2.1) is exact division at reporting time only.
+
+use crate::splitmix::mix64;
+
+/// A seeded uniform hash from 64-bit element keys to `[0, 2^64)`.
+///
+/// Two `UnitHash`es with the same seed agree on every input; different
+/// seeds give (empirically) independent functions. All sketches built for
+/// the *same* run share one seed so they sample the same sub-universe —
+/// exactly the paper's single global `h`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitHash {
+    seed: u64,
+}
+
+impl UnitHash {
+    /// A hash function determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        // Pre-mix the seed so consecutive seeds give unrelated functions.
+        UnitHash { seed: mix64(seed) }
+    }
+
+    /// Rebuild a hash function from a previously exported post-mix seed
+    /// (see [`seed`](Self::seed)) — used when deserializing sketches, where
+    /// the *exact* same function must be restored.
+    pub fn from_raw_seed(raw: u64) -> Self {
+        UnitHash { seed: raw }
+    }
+
+    /// The 64-bit hash of `key` (fixed-point fraction of `[0,1)`).
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        mix64(key ^ self.seed)
+    }
+
+    /// The hash as an `f64` in `[0,1)` — reporting/diagnostics only.
+    #[inline]
+    pub fn hash_unit_f64(&self, key: u64) -> f64 {
+        self.hash(key) as f64 / (2f64).powi(64)
+    }
+
+    /// The seed this function was built from (post-mix).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Convert a probability `p ∈ [0,1]` to its fixed-point threshold
+/// `⌊p·2^64⌋` (saturating at `u64::MAX` for `p = 1`).
+#[inline]
+pub fn threshold_from_p(p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * 2f64.powi(64)) as u64
+    }
+}
+
+/// Convert a fixed-point threshold back to a probability.
+#[inline]
+pub fn p_from_threshold(t: u64) -> f64 {
+    if t == u64::MAX {
+        1.0
+    } else {
+        t as f64 / 2f64.powi(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = UnitHash::new(1);
+        let b = UnitHash::new(1);
+        let c = UnitHash::new(2);
+        assert_eq!(a.hash(42), b.hash(42));
+        assert_ne!(a.hash(42), c.hash(42));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let h = UnitHash::new(7);
+        for k in 0..1000u64 {
+            let x = h.hash_unit_f64(k);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_uniformity_deciles() {
+        // 10k keys must spread ~evenly over 10 buckets of the hash range.
+        let h = UnitHash::new(99);
+        let mut counts = [0u32; 10];
+        for k in 0..10_000u64 {
+            let bucket = ((h.hash(k) as u128 * 10) >> 64) as usize;
+            counts[bucket] += 1;
+        }
+        for c in counts {
+            assert!((850..1150).contains(&c), "decile count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn threshold_sampling_rate_matches_p() {
+        // Fraction of keys below threshold(p) should approximate p.
+        let h = UnitHash::new(3);
+        for &p in &[0.1f64, 0.25, 0.5, 0.9] {
+            let t = threshold_from_p(p);
+            let hits = (0..20_000u64).filter(|&k| h.hash(k) <= t).count();
+            let rate = hits as f64 / 20_000.0;
+            assert!((rate - p).abs() < 0.02, "p={p}: empirical rate {rate}");
+        }
+    }
+
+    #[test]
+    fn threshold_roundtrip() {
+        for &p in &[0.0f64, 0.125, 0.5, 0.999, 1.0] {
+            let t = threshold_from_p(p);
+            let back = p_from_threshold(t);
+            assert!((back - p).abs() < 1e-12, "p={p} back={back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in [0,1]")]
+    fn threshold_rejects_out_of_range() {
+        threshold_from_p(1.5);
+    }
+}

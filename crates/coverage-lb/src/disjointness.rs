@@ -1,0 +1,174 @@
+//! The Theorem 1.2 hard instances: set disjointness → streaming k-cover.
+//!
+//! Alice holds `A ⊆ [n]`, Bob holds `B ⊆ [n]`. Build a two-element
+//! instance: set `i` contains element `a` iff `i ∈ A` and element `b` iff
+//! `i ∈ B`; the stream presents all of Alice's edges first, then Bob's.
+//! The 1-cover optimum is `2` iff some set contains both elements, i.e.
+//! iff `A ∩ B ≠ ∅`. A `(1/2+ε)`-approximate streaming algorithm
+//! distinguishes optimum 1 from 2, hence solves disjointness, hence needs
+//! `Ω(n)` bits (Razborov `[43]`; Kalyanasundaram–Schnitger `[29]`) — even
+//! across multiple passes.
+//!
+//! An information-theoretic bound cannot be "run", but its *prediction*
+//! can: any fixed-budget sketch must start failing on these instances
+//! once its budget drops below `≈ n` edges. Experiment E8 measures the
+//! success probability of the `H≤n` pipeline as the budget shrinks and
+//! finds the phase transition exactly where the bound says it must be.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::SplitMix64;
+use coverage_stream::VecStream;
+
+/// One disjointness-derived k-cover instance.
+#[derive(Clone, Debug)]
+pub struct DisjointnessInstance {
+    /// Alice's set `A` (membership per index).
+    pub alice: Vec<bool>,
+    /// Bob's set `B`.
+    pub bob: Vec<bool>,
+    /// Whether `A ∩ B ≠ ∅` (the hidden answer; optimum is 2 iff true).
+    pub intersecting: bool,
+    edges: Vec<Edge>,
+    n: usize,
+}
+
+/// Element key for Alice's element `a`.
+pub const ELEMENT_A: u64 = 0;
+/// Element key for Bob's element `b`.
+pub const ELEMENT_B: u64 = 1;
+
+/// Generate a hard instance in the unique-intersection style of the DISJ
+/// lower bound: `A` and `B` are random sets of density ~1/2 that are
+/// either disjoint (`intersect = false`) or share **exactly one** index.
+pub fn disjointness_instance(n: usize, intersect: bool, seed: u64) -> DisjointnessInstance {
+    assert!(n >= 2, "need at least two sets");
+    let mut rng = SplitMix64::new(seed ^ 0xD15C);
+    let mut alice = vec![false; n];
+    let mut bob = vec![false; n];
+    for i in 0..n {
+        // Partition candidates: Alice-only, Bob-only, neither.
+        match rng.next_below(3) {
+            0 => alice[i] = true,
+            1 => bob[i] = true,
+            _ => {}
+        }
+    }
+    if intersect {
+        let shared = rng.next_below(n as u64) as usize;
+        alice[shared] = true;
+        bob[shared] = true;
+    }
+    // Ensure neither side is empty (the reduction assumes no isolated
+    // element).
+    if !alice.iter().any(|&x| x) {
+        alice[0] = true;
+        if intersect {
+            bob[0] = true;
+        }
+    }
+    if !bob.iter().any(|&x| x) {
+        let i = if intersect { 0 } else { 1 % n };
+        bob[i] = true;
+    }
+    let mut edges = Vec::new();
+    // Alice's half of the stream, then Bob's.
+    for (i, &m) in alice.iter().enumerate() {
+        if m {
+            edges.push(Edge::new(i as u32, ELEMENT_A));
+        }
+    }
+    for (i, &m) in bob.iter().enumerate() {
+        if m {
+            edges.push(Edge::new(i as u32, ELEMENT_B));
+        }
+    }
+    let intersecting = alice.iter().zip(&bob).any(|(&a, &b)| a && b);
+    DisjointnessInstance {
+        alice,
+        bob,
+        intersecting,
+        edges,
+        n,
+    }
+}
+
+impl DisjointnessInstance {
+    /// The instance as an edge stream (Alice's edges then Bob's, matching
+    /// the communication-protocol order).
+    pub fn stream(&self) -> VecStream {
+        VecStream::new(self.n, self.edges.clone())
+    }
+
+    /// The instance as a materialized graph.
+    pub fn instance(&self) -> CoverageInstance {
+        let mut b = InstanceBuilder::new(self.n);
+        for &e in &self.edges {
+            b.add_edge(e);
+        }
+        b.build()
+    }
+
+    /// The true 1-cover optimum: 2 iff the sets intersect.
+    pub fn optimum(&self) -> usize {
+        if self.intersecting {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Number of sets `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersecting_instances_have_optimum_two() {
+        for seed in 0..10 {
+            let d = disjointness_instance(50, true, seed);
+            assert!(d.intersecting);
+            assert_eq!(d.optimum(), 2);
+            let inst = d.instance();
+            let (_, opt) = coverage_core::offline::exact_k_cover(&inst, 1);
+            assert_eq!(opt, 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disjoint_instances_have_optimum_one() {
+        for seed in 0..10 {
+            let d = disjointness_instance(50, false, seed);
+            assert!(!d.intersecting);
+            let inst = d.instance();
+            let (_, opt) = coverage_core::offline::exact_k_cover(&inst, 1);
+            assert_eq!(opt, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stream_is_alice_then_bob() {
+        use coverage_stream::EdgeStream;
+        let d = disjointness_instance(30, true, 3);
+        let mut seen_b = false;
+        EdgeStream::for_each(&d.stream(), &mut |e| {
+            if e.element.0 == ELEMENT_B {
+                seen_b = true;
+            } else {
+                assert!(!seen_b, "Alice edge after Bob's half");
+            }
+        });
+    }
+
+    #[test]
+    fn two_elements_only() {
+        let d = disjointness_instance(40, false, 5);
+        let inst = d.instance();
+        assert!(inst.num_elements() <= 2);
+        assert!(inst.num_edges() >= 2);
+    }
+}

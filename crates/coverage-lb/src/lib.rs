@@ -1,0 +1,35 @@
+//! # coverage-lb
+//!
+//! Hardness artifacts of the paper, made executable:
+//!
+//! * [`purification`] — the **k-purification** problem of Appendix A:
+//!   `n` items, `k` hidden gold ones, and the promise-style `Pure_ε`
+//!   oracle. Theorem A.2: any algorithm finding a witness set needs
+//!   `δ·exp(Ω(ε²k²/n))` queries to succeed with probability δ. The
+//!   experiment measures success rates of query strategies.
+//! * [`oracle_hardness`] — the Theorem 1.3 reduction: a k-cover instance
+//!   with coverage `C(S) = k + (n/k)·Gold(S)` and an adversarial
+//!   `(1±ε)`-approximate oracle `C_ε'` that answers `k + |S|` whenever the
+//!   purification oracle is silent. Any algorithm that only sees `C_ε'`
+//!   cannot beat `O(k/n)`-approximation in subexponential queries — while
+//!   Algorithm 3, which sees the *stream* instead of the oracle, solves
+//!   the same instance near-optimally. This is the paper's case for
+//!   sketching the *graph* rather than the *function*.
+//! * [`disjointness`] — the Theorem 1.2 reduction from set disjointness:
+//!   two-element instances on which any `(1/2+ε)`-approximate streaming
+//!   k-cover algorithm must pay `Ω(n)` bits. The experiment probes the
+//!   sketch's accuracy/space phase transition on exactly these instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disjointness;
+pub mod oracle_hardness;
+pub mod purification;
+
+pub use disjointness::{disjointness_instance, DisjointnessInstance};
+pub use oracle_hardness::{GoldBrassInstance, NoisyOracle};
+pub use purification::{
+    doubling_strategy, hill_climb_strategy, random_subset_strategy, theoretical_query_bound,
+    PureOracle, PurificationInstance,
+};

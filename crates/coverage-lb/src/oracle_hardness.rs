@@ -1,0 +1,242 @@
+//! The Theorem 1.3 construction: coverage cannot be solved through a
+//! `(1±ε)`-approximate oracle.
+//!
+//! From a k-purification instance build a k-cover instance:
+//!
+//! * `k` elements are **common** to all `n` sets;
+//! * each **gold** set additionally owns `n/k` exclusive elements;
+//! * brass sets own nothing else.
+//!
+//! Hence `C(S) = k + (n/k)·Gold(S)` for non-empty `S`, and the optimum
+//! (all gold sets) covers `k + n` elements. The adversarial oracle
+//!
+//! ```text
+//! C_ε'(S) = k + |S|   if Pure_ε(S) = 0      (a (1±2ε)-accurate answer!)
+//!           C(S)      otherwise
+//! ```
+//!
+//! is a legitimate `(1±ε')`-approximate oracle, yet every query answered
+//! in the first branch is *predetermined* — it carries zero information
+//! about which sets are gold. An oracle-only algorithm therefore cannot
+//! find a good family without first finding a purification witness, which
+//! Theorem A.2 prices at exponentially many queries. Meanwhile the same
+//! instance streamed edge-by-edge is easy — Algorithm 3 recovers the gold
+//! sets — which is the paper's argument that sketching the *graph* beats
+//! sketching the *function*.
+
+use coverage_core::{CoverageInstance, CoverageOracle, Edge, InstanceBuilder, SetId};
+
+use crate::purification::{PureOracle, PurificationInstance};
+
+/// The gold/brass k-cover instance of Theorem 1.3.
+#[derive(Clone, Debug)]
+pub struct GoldBrassInstance {
+    purification: PurificationInstance,
+    /// Exclusive elements per gold set (`⌈n/k⌉` in the paper; any positive
+    /// count preserves the structure).
+    exclusive_per_gold: usize,
+}
+
+impl GoldBrassInstance {
+    /// Build from a random purification instance.
+    pub fn random(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 1 && k <= n);
+        GoldBrassInstance {
+            purification: PurificationInstance::random(n, k, seed),
+            exclusive_per_gold: n.div_ceil(k),
+        }
+    }
+
+    /// Number of sets `n`.
+    pub fn n(&self) -> usize {
+        self.purification.n()
+    }
+
+    /// Number of gold sets `k`.
+    pub fn k(&self) -> usize {
+        self.purification.k()
+    }
+
+    /// The underlying purification instance.
+    pub fn purification(&self) -> &PurificationInstance {
+        &self.purification
+    }
+
+    /// True coverage `C(S) = k + (n/k)·Gold(S)` (0 for the empty family).
+    pub fn true_coverage(&self, family: &[SetId]) -> usize {
+        if family.is_empty() {
+            return 0;
+        }
+        let idx: Vec<usize> = family.iter().map(|s| s.index()).collect();
+        self.k() + self.exclusive_per_gold * self.purification.gold_count(&idx)
+    }
+
+    /// The optimal k-cover value: all gold sets → `k + k·⌈n/k⌉ ≈ k + n`.
+    pub fn optimal_value(&self) -> usize {
+        self.k() + self.k() * self.exclusive_per_gold
+    }
+
+    /// Materialize the instance as an explicit bipartite graph (this is
+    /// what streaming algorithms get to see, element by element).
+    ///
+    /// Element key layout: `0..k` = common elements; gold set `i` owns
+    /// keys `k + i·e .. k + (i+1)·e`.
+    pub fn to_instance(&self) -> CoverageInstance {
+        let n = self.n();
+        let k = self.k();
+        let e = self.exclusive_per_gold;
+        let mut b = InstanceBuilder::new(n);
+        let mut gold_rank = 0usize;
+        for s in 0..n {
+            for c in 0..k {
+                b.add_edge(Edge::new(s as u32, c as u64));
+            }
+            if self.purification.gold_count(&[s]) == 1 {
+                let base = (k + gold_rank * e) as u64;
+                for x in 0..e as u64 {
+                    b.add_edge(Edge::new(s as u32, base + x));
+                }
+                gold_rank += 1;
+            }
+        }
+        b.build()
+    }
+
+    /// The adversarial `(1±ε')`-approximate oracle (ε' = 2ε, where ε is
+    /// the purification tolerance).
+    pub fn noisy_oracle(&self, epsilon: f64) -> NoisyOracle<'_> {
+        NoisyOracle {
+            inst: self,
+            pure: self.purification.oracle(epsilon),
+        }
+    }
+}
+
+/// The adversarial oracle `C_ε'` of Theorem 1.3.
+pub struct NoisyOracle<'a> {
+    inst: &'a GoldBrassInstance,
+    pure: PureOracle<'a>,
+}
+
+impl NoisyOracle<'_> {
+    /// Oracle queries spent so far.
+    pub fn queries(&self) -> u64 {
+        self.pure.queries_used()
+    }
+}
+
+impl CoverageOracle for NoisyOracle<'_> {
+    fn num_sets(&self) -> usize {
+        self.inst.n()
+    }
+
+    fn coverage_estimate(&self, family: &[SetId]) -> f64 {
+        if family.is_empty() {
+            return 0.0;
+        }
+        let idx: Vec<usize> = family.iter().map(|s| s.index()).collect();
+        if self.pure.pure(&idx) {
+            self.inst.true_coverage(family) as f64
+        } else {
+            // The predetermined answer: k + |S|, within (1±2ε) of the
+            // truth whenever Pure = 0 (proved in Appendix A).
+            (self.inst.k() + family.len()) as f64
+        }
+    }
+
+    fn queries_used(&self) -> Option<u64> {
+        Some(self.pure.queries_used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::oracle_greedy_k_cover;
+
+    #[test]
+    fn coverage_formula_matches_materialized_instance() {
+        let gb = GoldBrassInstance::random(40, 4, 1);
+        let inst = gb.to_instance();
+        assert_eq!(inst.num_sets(), 40);
+        assert_eq!(inst.num_elements(), 4 + 4 * 10);
+        // Sample some families and compare C(S) with the formula.
+        for family in [
+            vec![SetId(0)],
+            vec![SetId(0), SetId(1)],
+            (0..10u32).map(SetId).collect::<Vec<_>>(),
+            (0..40u32).map(SetId).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(
+                inst.coverage(&family),
+                gb.true_coverage(&family),
+                "family {family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_family_is_all_gold() {
+        let gb = GoldBrassInstance::random(30, 3, 2);
+        let inst = gb.to_instance();
+        let golds: Vec<SetId> = (0..30)
+            .filter(|&i| gb.purification().gold_count(&[i]) == 1)
+            .map(|i| SetId(i as u32))
+            .collect();
+        assert_eq!(golds.len(), 3);
+        assert_eq!(inst.coverage(&golds), gb.optimal_value());
+        let (_, opt) = coverage_core::offline::exact_k_cover(&inst, 3);
+        assert_eq!(opt, gb.optimal_value());
+    }
+
+    #[test]
+    fn noisy_oracle_is_accurate_within_contract() {
+        // Whenever Pure = 0, the fabricated answer k+|S| must be within
+        // (1±2ε) of the truth — verify the Appendix A algebra empirically.
+        let gb = GoldBrassInstance::random(100, 10, 3);
+        let eps = 0.3;
+        let oracle = gb.noisy_oracle(eps);
+        let mut rng = coverage_hash::SplitMix64::new(7);
+        for _ in 0..200 {
+            let size = 1 + rng.next_below(100) as usize;
+            let mut family: Vec<SetId> = Vec::new();
+            for s in 0..100u32 {
+                if (rng.next_below(100) as usize) < size {
+                    family.push(SetId(s));
+                }
+            }
+            if family.is_empty() {
+                continue;
+            }
+            let est = oracle.coverage_estimate(&family);
+            let truth = gb.true_coverage(&family) as f64;
+            let ratio = est / truth;
+            assert!(
+                (1.0 - 2.0 * eps - 1e-9..=1.0 + 2.0 * eps + 1e-9).contains(&ratio),
+                "ratio {ratio} outside (1±2ε)"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_through_noisy_oracle_collapses() {
+        // Theorem 1.3's regime needs the Pure band to dominate binomial
+        // fluctuations along greedy's whole query trajectory (ε·k²/n far
+        // above √(k²/n), i.e. k = Ω(√n/ε)) while k/n stays small enough
+        // that predetermined answers force a collapse. n=2000, k=200,
+        // ε=0.5: the band slack at |S|=s is 0.05s+5 versus σ ≈ √(0.1s).
+        let gb = GoldBrassInstance::random(2000, 200, 4);
+        let oracle = gb.noisy_oracle(0.5);
+        let family = oracle_greedy_k_cover(&oracle, 200);
+        let achieved = gb.true_coverage(&family) as f64;
+        let opt = gb.optimal_value() as f64;
+        assert!(
+            achieved / opt < 0.35,
+            "noisy-oracle greedy reached {achieved}/{opt} — should collapse"
+        );
+        // Meanwhile greedy on the true instance finds the optimum.
+        let inst = gb.to_instance();
+        let offline = coverage_core::offline::lazy_greedy_k_cover(&inst, 200);
+        assert_eq!(offline.coverage(), gb.optimal_value());
+    }
+}

@@ -1,0 +1,358 @@
+//! The k-purification problem (Appendix A).
+//!
+//! A random permutation of `n` items contains `k` gold and `n−k` brass
+//! items; the types are hidden. The only access is the promise oracle
+//!
+//! ```text
+//! Pure_ε(S) = 0  if  k|S|/n − ε(k|S|/n + k²/n) ≤ Gold(S) ≤ k|S|/n + ε(k|S|/n + k²/n)
+//!             1  otherwise
+//! ```
+//!
+//! i.e. the oracle only "lights up" on sets whose gold count deviates
+//! noticeably from its expectation. The goal is to find any `S` with
+//! `Pure_ε(S) = 1`. Theorem A.2 shows `δ·exp(Ω(ε²k²/n))` queries are
+//! needed to succeed with probability δ — the quantitative engine behind
+//! Theorem 1.3.
+
+use std::cell::Cell;
+
+use coverage_hash::SplitMix64;
+
+/// A k-purification instance with its hidden gold assignment.
+#[derive(Clone, Debug)]
+pub struct PurificationInstance {
+    n: usize,
+    k: usize,
+    /// `gold[i]` = item `i` is gold (hidden from solvers; exposed to the
+    /// harness for verification).
+    gold: Vec<bool>,
+}
+
+impl PurificationInstance {
+    /// Draw a uniformly random gold assignment of `k` golds among `n`
+    /// items.
+    pub fn random(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k <= n, "cannot have more gold than items");
+        let mut gold = vec![false; n];
+        // Floyd-style reservoir: choose k distinct indices.
+        let mut rng = SplitMix64::new(seed ^ 0x601D);
+        let mut chosen = 0usize;
+        for (i, slot) in gold.iter_mut().enumerate() {
+            let remaining = n - i;
+            let need = k - chosen;
+            if need > 0 && rng.next_below(remaining as u64) < need as u64 {
+                *slot = true;
+                chosen += 1;
+            }
+        }
+        debug_assert_eq!(gold.iter().filter(|&&g| g).count(), k);
+        PurificationInstance { n, k, gold }
+    }
+
+    /// Number of items `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of gold items `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Gold count of a set (harness-side ground truth).
+    pub fn gold_count(&self, subset: &[usize]) -> usize {
+        subset.iter().filter(|&&i| self.gold[i]).count()
+    }
+
+    /// The `Pure_ε` tolerance band `(lo, hi)` for a set of size `s`:
+    /// `k·s/n ± ε(k·s/n + k²/n)`.
+    pub fn band(&self, s: usize, epsilon: f64) -> (f64, f64) {
+        let expect = self.k as f64 * s as f64 / self.n as f64;
+        let slack = epsilon * (expect + (self.k * self.k) as f64 / self.n as f64);
+        (expect - slack, expect + slack)
+    }
+
+    /// Wrap the instance in a query-counting oracle.
+    pub fn oracle(&self, epsilon: f64) -> PureOracle<'_> {
+        PureOracle {
+            inst: self,
+            epsilon,
+            queries: Cell::new(0),
+        }
+    }
+}
+
+/// The `Pure_ε` oracle with a query counter.
+pub struct PureOracle<'a> {
+    inst: &'a PurificationInstance,
+    epsilon: f64,
+    queries: Cell<u64>,
+}
+
+impl PureOracle<'_> {
+    /// Query the oracle: `true` iff the set's gold count escapes the band.
+    pub fn pure(&self, subset: &[usize]) -> bool {
+        self.queries.set(self.queries.get() + 1);
+        let g = self.inst.gold_count(subset) as f64;
+        let (lo, hi) = self.inst.band(subset.len(), self.epsilon);
+        !(lo <= g && g <= hi)
+    }
+
+    /// Oracle accuracy parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Queries made so far.
+    pub fn queries_used(&self) -> u64 {
+        self.queries.get()
+    }
+}
+
+/// A natural query strategy: try `budget` uniformly random subsets of size
+/// `subset_size`; return the first witness found (if any).
+///
+/// Theorem A.2 predicts the success probability is at most
+/// `2·budget·exp(−ε²k²/3n)` — the experiment plots exactly this decay.
+pub fn random_subset_strategy(
+    oracle: &PureOracle<'_>,
+    subset_size: usize,
+    budget: u64,
+    seed: u64,
+) -> Option<Vec<usize>> {
+    let n = oracle.inst.n();
+    let mut rng = SplitMix64::new(seed ^ 0x57AB);
+    for _ in 0..budget {
+        // Sample subset_size distinct indices (Floyd's algorithm).
+        let mut set: Vec<usize> = Vec::with_capacity(subset_size);
+        for j in (n - subset_size.min(n))..n {
+            let t = rng.next_below(j as u64 + 1) as usize;
+            if set.contains(&t) {
+                set.push(j);
+            } else {
+                set.push(t);
+            }
+        }
+        if oracle.pure(&set) {
+            return Some(set);
+        }
+    }
+    None
+}
+
+/// An *adaptive* strategy: start from a random size-`k` seed and hill-climb
+/// by swapping one item at a time, querying after each swap. Adaptivity
+/// does not help — the oracle answers 0 on everything inside the band, so
+/// there is no gradient to follow; the walk is blind until (if ever) it
+/// stumbles on a witness. Theorem A.2's bound applies unchanged (it counts
+/// queries, adaptive or not).
+pub fn hill_climb_strategy(oracle: &PureOracle<'_>, budget: u64, seed: u64) -> Option<Vec<usize>> {
+    let n = oracle.inst.n();
+    let k = oracle.inst.k().min(n).max(1);
+    let mut rng = SplitMix64::new(seed ^ 0xC11B);
+    let mut current: Vec<usize> = Vec::with_capacity(k);
+    while current.len() < k {
+        let cand = rng.next_below(n as u64) as usize;
+        if !current.contains(&cand) {
+            current.push(cand);
+        }
+    }
+    for _ in 0..budget {
+        if oracle.pure(&current) {
+            return Some(current);
+        }
+        // Blind swap: no signal to exploit, so this is a random walk on
+        // size-k subsets.
+        let out = rng.next_below(current.len() as u64) as usize;
+        loop {
+            let cand = rng.next_below(n as u64) as usize;
+            if !current.contains(&cand) {
+                current[out] = cand;
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// A *doubling* strategy: query nested prefixes of a random permutation at
+/// sizes 1, 2, 4, … n, repeating with fresh permutations until the budget
+/// runs out. Covers every subset size scale — and still fails, because no
+/// size helps: the band is calibrated to the hypergeometric deviation at
+/// every `|S|` simultaneously.
+pub fn doubling_strategy(oracle: &PureOracle<'_>, budget: u64, seed: u64) -> Option<Vec<usize>> {
+    let n = oracle.inst.n();
+    let mut rng = SplitMix64::new(seed ^ 0xD0B1);
+    let mut used = 0u64;
+    while used < budget {
+        // Fresh random permutation (Fisher–Yates).
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let mut size = 1usize;
+        while size <= n && used < budget {
+            let prefix = &perm[..size];
+            used += 1;
+            if oracle.pure(prefix) {
+                return Some(prefix.to_vec());
+            }
+            size *= 2;
+        }
+    }
+    None
+}
+
+/// Theorem A.2's query lower bound: to succeed with probability `delta`
+/// an algorithm needs at least `(delta/2)·exp(ε²k²/(3n))` queries.
+pub fn theoretical_query_bound(n: usize, k: usize, epsilon: f64, delta: f64) -> f64 {
+    (delta / 2.0) * (epsilon * epsilon * (k * k) as f64 / (3.0 * n as f64)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gold_assignment_has_exactly_k() {
+        for seed in 0..10 {
+            let p = PurificationInstance::random(200, 17, seed);
+            assert_eq!(p.gold_count(&(0..200).collect::<Vec<_>>()), 17);
+        }
+    }
+
+    #[test]
+    fn full_set_is_never_a_witness() {
+        // Gold([n]) = k = k·n/n exactly: always inside the band.
+        let p = PurificationInstance::random(100, 10, 1);
+        let o = p.oracle(0.1);
+        let all: Vec<usize> = (0..100).collect();
+        assert!(!o.pure(&all));
+        assert_eq!(o.queries_used(), 1);
+    }
+
+    #[test]
+    fn pure_gold_set_is_a_witness() {
+        // A set of all gold items deviates maximally (for small ε).
+        let p = PurificationInstance::random(100, 10, 2);
+        let golds: Vec<usize> = (0..100).filter(|&i| p.gold[i]).collect();
+        let o = p.oracle(0.2);
+        assert!(o.pure(&golds), "all-gold set must escape the band");
+    }
+
+    #[test]
+    fn band_matches_formula() {
+        let p = PurificationInstance::random(100, 10, 3);
+        let (lo, hi) = p.band(50, 0.1);
+        let expect = 5.0;
+        let slack = 0.1 * (5.0 + 1.0);
+        assert!((lo - (expect - slack)).abs() < 1e-12);
+        assert!((hi - (expect + slack)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_strategy_fails_in_the_hard_regime() {
+        // Theorem A.2's regime: ε²k²/n large → the Pure band dwarfs the
+        // hypergeometric fluctuation of Gold(S) (here ≈ 5.4σ), so random
+        // probing essentially never finds a witness. n=400, k=60, ε=0.5:
+        // for |S|=200 the band is 30 ± 19.5 while σ(Gold) ≈ 3.6.
+        let mut successes = 0;
+        for seed in 0..20u64 {
+            let p = PurificationInstance::random(400, 60, seed);
+            let o = p.oracle(0.5);
+            if random_subset_strategy(&o, 200, 25, seed).is_some() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes <= 2,
+            "random strategy succeeded {successes}/20 — too easy"
+        );
+    }
+
+    #[test]
+    fn random_strategy_succeeds_in_the_easy_regime() {
+        // Contrast: ε²k²/n ≪ 1 → the band is barely wider than one item,
+        // so random sets stray outside it easily. This is why the paper's
+        // hardness needs k = Ω(√n): the test documents the boundary.
+        let mut successes = 0;
+        for seed in 0..20u64 {
+            let p = PurificationInstance::random(400, 8, seed);
+            let o = p.oracle(0.5);
+            if random_subset_strategy(&o, 200, 25, seed).is_some() {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 10,
+            "easy regime should usually find witnesses, got {successes}/20"
+        );
+    }
+
+    #[test]
+    fn query_counter_counts() {
+        let p = PurificationInstance::random(50, 5, 4);
+        let o = p.oracle(0.3);
+        let _ = random_subset_strategy(&o, 10, 7, 1);
+        assert!(o.queries_used() >= 1 && o.queries_used() <= 7);
+    }
+
+    #[test]
+    fn adaptive_strategies_respect_budget() {
+        let p = PurificationInstance::random(300, 60, 9);
+        let o = p.oracle(0.4);
+        let _ = hill_climb_strategy(&o, 25, 3);
+        assert!(o.queries_used() <= 25);
+        let o2 = p.oracle(0.4);
+        let _ = doubling_strategy(&o2, 25, 3);
+        assert!(o2.queries_used() <= 25);
+    }
+
+    #[test]
+    fn all_strategies_fail_in_the_hard_regime() {
+        // ε²k²/n large: witnesses are exponentially rare; tiny budgets
+        // must fail for every strategy class (nonadaptive, hill-climb,
+        // doubling). 10 seeds × 3 strategies × budget 20 — the theorem
+        // bound allows ≪ 1 expected success.
+        let mut successes = 0;
+        for seed in 0..10u64 {
+            let p = PurificationInstance::random(256, 128, seed);
+            for strat in 0..3 {
+                let o = p.oracle(0.5);
+                let hit = match strat {
+                    0 => random_subset_strategy(&o, 128, 20, seed).is_some(),
+                    1 => hill_climb_strategy(&o, 20, seed).is_some(),
+                    _ => doubling_strategy(&o, 20, seed).is_some(),
+                };
+                successes += hit as usize;
+            }
+        }
+        assert_eq!(
+            successes,
+            0,
+            "hard regime: ε²k²/3n = {} → bound {} queries needed",
+            0.25 * 128.0 * 128.0 / 256.0 / 3.0,
+            theoretical_query_bound(256, 128, 0.5, 0.5)
+        );
+    }
+
+    #[test]
+    fn doubling_finds_witness_when_band_is_trivial() {
+        // ε = 0: any deviation at all is a witness; prefixes of a random
+        // permutation deviate from the exact expectation almost surely.
+        let p = PurificationInstance::random(128, 16, 11);
+        let o = p.oracle(0.0);
+        assert!(doubling_strategy(&o, 64, 5).is_some());
+    }
+
+    #[test]
+    fn theoretical_bound_shape() {
+        // Exponential in k²/n, linear in δ.
+        let a = theoretical_query_bound(1_000, 100, 0.5, 0.5);
+        let b = theoretical_query_bound(1_000, 200, 0.5, 0.5);
+        assert!(b > a * a / 1.0_f64.max(a), "quadratic k exponent");
+        let c = theoretical_query_bound(1_000, 100, 0.5, 0.25);
+        assert!((c * 2.0 - a).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,331 @@
+//! Eviction-policy ablation: what if Algorithm 2 evicted differently?
+//!
+//! Definition 2.1 is precise about *which* elements `H≤n` keeps: the
+//! lowest-hash prefix whose capped edges fit the budget. Algorithm 2
+//! realizes this by always evicting the **largest-hash** element, which
+//! makes the retained element set a deterministic function of the hash —
+//! independent of arrival order — and is what Lemma 2.2's uniform-sampling
+//! argument needs.
+//!
+//! It is natural to ask whether that choice matters: wouldn't evicting a
+//! *random* element, or the *oldest* one (FIFO), keep the space bound just
+//! as well? Space-wise yes — quality-wise no. Under non-hash eviction the
+//! retained set depends on arrival order, the sample is no longer uniform
+//! over elements (late arrivals survive preferentially), and the
+//! inverse-probability estimator loses its meaning. [`AblatedSketch`]
+//! implements all three policies behind one interface so the
+//! `exp_ablation_eviction` experiment can measure the damage: on
+//! adversarial arrival orders the paper's policy is unaffected while FIFO
+//! and random eviction lose coverage quality and order-invariance.
+
+use std::collections::VecDeque;
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::{FxHashMap, SplitMix64, UnitHash};
+use coverage_stream::EdgeStream;
+
+use crate::params::SketchParams;
+
+/// Which element to evict when the edge budget overflows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// The paper's rule: evict the largest-hash element and lower the
+    /// acceptance bound below its hash (Algorithm 2).
+    MaxHash,
+    /// Evict the element admitted earliest (no acceptance bound).
+    Fifo,
+    /// Evict a pseudo-random retained element (no acceptance bound).
+    Random {
+        /// Seed of the eviction RNG.
+        seed: u64,
+    },
+}
+
+impl EvictionPolicy {
+    /// Human-readable label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictionPolicy::MaxHash => "max-hash (paper)",
+            EvictionPolicy::Fifo => "fifo",
+            EvictionPolicy::Random { .. } => "random",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    hash: u64,
+    sets: Vec<u32>,
+}
+
+/// A degree-capped, budget-bounded sketch with a pluggable eviction
+/// policy. With [`EvictionPolicy::MaxHash`] it retains exactly the same
+/// elements as [`crate::ThresholdSketch`] (asserted by tests); the other
+/// policies exist only to be measured against it.
+#[derive(Clone, Debug)]
+pub struct AblatedSketch {
+    hash: UnitHash,
+    params: SketchParams,
+    policy: EvictionPolicy,
+    entries: FxHashMap<u64, Entry>,
+    /// Admission order (FIFO) or key pool (Random); unused for MaxHash.
+    order: VecDeque<u64>,
+    /// Acceptance bound; only lowered by the MaxHash policy.
+    bound: u64,
+    rng: SplitMix64,
+    edges_stored: usize,
+    evictions: u64,
+}
+
+impl AblatedSketch {
+    /// A fresh sketch with the given eviction policy.
+    pub fn new(params: SketchParams, seed: u64, policy: EvictionPolicy) -> Self {
+        let rng_seed = match policy {
+            EvictionPolicy::Random { seed } => seed,
+            _ => 0,
+        };
+        AblatedSketch {
+            hash: UnitHash::new(seed),
+            params,
+            policy,
+            entries: FxHashMap::default(),
+            order: VecDeque::new(),
+            bound: u64::MAX,
+            rng: SplitMix64::new(rng_seed),
+            edges_stored: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Build from one pass over a stream.
+    pub fn from_stream(
+        params: SketchParams,
+        seed: u64,
+        policy: EvictionPolicy,
+        stream: &dyn EdgeStream,
+    ) -> Self {
+        let mut s = Self::new(params, seed, policy);
+        stream.for_each(&mut |e| s.update(e));
+        s
+    }
+
+    /// Process one arriving edge.
+    pub fn update(&mut self, edge: Edge) {
+        let key = edge.element.0;
+        let h = self.hash.hash(key);
+        if h > self.bound {
+            return;
+        }
+        let set = edge.set.0;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                if entry.sets.len() >= self.params.degree_cap {
+                    return;
+                }
+                if let Err(pos) = entry.sets.binary_search(&set) {
+                    entry.sets.insert(pos, set);
+                    self.edges_stored += 1;
+                }
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    Entry {
+                        hash: h,
+                        sets: vec![set],
+                    },
+                );
+                self.order.push_back(key);
+                self.edges_stored += 1;
+            }
+        }
+        while self.edges_stored > self.params.max_edges() {
+            self.evict();
+        }
+    }
+
+    fn evict(&mut self) {
+        let victim = match self.policy {
+            EvictionPolicy::MaxHash => self
+                .entries
+                .iter()
+                .max_by_key(|(&k, e)| (e.hash, k))
+                .map(|(&k, _)| k),
+            EvictionPolicy::Fifo => loop {
+                match self.order.pop_front() {
+                    Some(k) if self.entries.contains_key(&k) => break Some(k),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            },
+            EvictionPolicy::Random { .. } => loop {
+                if self.order.is_empty() {
+                    break None;
+                }
+                let i = self.rng.next_below(self.order.len() as u64) as usize;
+                let k = self.order.swap_remove_back(i).expect("index in range");
+                if self.entries.contains_key(&k) {
+                    break Some(k);
+                }
+            },
+        };
+        let Some(key) = victim else { return };
+        let entry = self.entries.remove(&key).expect("victim is retained");
+        self.edges_stored -= entry.sets.len();
+        self.evictions += 1;
+        if self.policy == EvictionPolicy::MaxHash {
+            self.bound = entry.hash.saturating_sub(1);
+        }
+    }
+
+    /// Retained content as a coverage instance (solver input).
+    pub fn instance(&self) -> CoverageInstance {
+        let mut b = InstanceBuilder::new(self.params.num_sets);
+        for (&key, entry) in &self.entries {
+            for &s in &entry.sets {
+                b.add_edge(Edge::new(s, key));
+            }
+        }
+        b.build()
+    }
+
+    /// Retained element keys, sorted (order-sensitivity measurements).
+    pub fn retained_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Stored edge count.
+    pub fn edges_stored(&self) -> usize {
+        self.edges_stored
+    }
+
+    /// Number of evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ThresholdSketch;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    fn stream(n_sets: u32, m: u64) -> VecStream {
+        let mut edges = Vec::new();
+        for s in 0..n_sets {
+            for e in 0..m {
+                if (e + s as u64).is_multiple_of(2) {
+                    edges.push(Edge::new(s, e));
+                }
+            }
+        }
+        VecStream::new(n_sets as usize, edges)
+    }
+
+    #[test]
+    fn max_hash_matches_threshold_sketch() {
+        let params = SketchParams::with_budget(4, 2, 0.5, 60);
+        let seed = 17;
+        let st = stream(4, 400);
+        let ablated = AblatedSketch::from_stream(params, seed, EvictionPolicy::MaxHash, &st);
+        let reference = ThresholdSketch::from_stream(params, seed, &st);
+        let mut ref_keys: Vec<u64> = reference.retained().map(|(k, _, _)| k).collect();
+        ref_keys.sort_unstable();
+        assert_eq!(ablated.retained_keys(), ref_keys);
+    }
+
+    #[test]
+    fn all_policies_respect_budget() {
+        let params = SketchParams::with_budget(4, 2, 0.5, 50);
+        let st = stream(4, 500);
+        for policy in [
+            EvictionPolicy::MaxHash,
+            EvictionPolicy::Fifo,
+            EvictionPolicy::Random { seed: 3 },
+        ] {
+            let s = AblatedSketch::from_stream(params, 9, policy, &st);
+            assert!(
+                s.edges_stored() <= params.max_edges(),
+                "{:?} overflows",
+                policy
+            );
+            assert!(s.evictions() > 0, "{:?} never evicted", policy);
+        }
+    }
+
+    #[test]
+    fn max_hash_is_order_invariant_fifo_is_not() {
+        let params = SketchParams::with_budget(3, 2, 0.5, 40);
+        let seed = 23;
+        let base = stream(3, 400);
+
+        let keys_for = |policy: EvictionPolicy, order: ArrivalOrder| {
+            let mut v = base.clone();
+            order.apply(v.edges_mut());
+            AblatedSketch::from_stream(params, seed, policy, &v).retained_keys()
+        };
+
+        let a = keys_for(EvictionPolicy::MaxHash, ArrivalOrder::AsIs);
+        let b = keys_for(EvictionPolicy::MaxHash, ArrivalOrder::ByHashDesc(seed));
+        assert_eq!(a, b, "paper policy must be order-invariant");
+
+        let c = keys_for(EvictionPolicy::Fifo, ArrivalOrder::AsIs);
+        let d = keys_for(EvictionPolicy::Fifo, ArrivalOrder::ByHashDesc(seed));
+        assert_ne!(c, d, "fifo should depend on arrival order here");
+    }
+
+    #[test]
+    fn adversarial_order_poisons_fifo_sample() {
+        // ByHashDesc feeds elements in decreasing hash order. FIFO then
+        // evicts the earliest-admitted (= highest-hash) elements, which
+        // accidentally mimics the paper... the damaging order is the
+        // *ascending* one, where FIFO evicts precisely the low-hash
+        // elements the paper's policy would keep. Verify the retained
+        // sets diverge strongly.
+        let params = SketchParams::with_budget(3, 2, 0.5, 40);
+        let seed = 31;
+        let mut asc = stream(3, 400);
+        // Ascending hash order = reverse of ByHashDesc.
+        ArrivalOrder::ByHashDesc(seed).apply(asc.edges_mut());
+        let mut edges = asc.edges_mut().to_vec();
+        edges.reverse();
+        let asc = VecStream::new(3, edges);
+        let paper = AblatedSketch::from_stream(params, seed, EvictionPolicy::MaxHash, &asc);
+        let fifo = AblatedSketch::from_stream(params, seed, EvictionPolicy::Fifo, &asc);
+        let pk = paper.retained_keys();
+        let fk = fifo.retained_keys();
+        let overlap = pk.iter().filter(|k| fk.binary_search(k).is_ok()).count();
+        assert!(
+            (overlap as f64) < 0.5 * pk.len() as f64,
+            "fifo under ascending-hash arrival should retain a mostly \
+             different sample (overlap {overlap}/{})",
+            pk.len()
+        );
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let params = SketchParams::with_budget(3, 2, 0.5, 40);
+        let st = stream(3, 300);
+        let a = AblatedSketch::from_stream(params, 5, EvictionPolicy::Random { seed: 1 }, &st);
+        let b = AblatedSketch::from_stream(params, 5, EvictionPolicy::Random { seed: 1 }, &st);
+        assert_eq!(a.retained_keys(), b.retained_keys());
+    }
+
+    #[test]
+    fn instance_reflects_retained_edges() {
+        let params = SketchParams::with_budget(4, 2, 0.5, 50);
+        let s = AblatedSketch::from_stream(params, 3, EvictionPolicy::Fifo, &stream(4, 200));
+        let inst = s.instance();
+        assert_eq!(inst.num_edges(), s.edges_stored());
+        assert_eq!(inst.num_elements(), s.retained_keys().len());
+    }
+}

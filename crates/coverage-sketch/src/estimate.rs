@@ -1,0 +1,90 @@
+//! Inverse-probability coverage estimation (Lemma 2.2).
+//!
+//! If every element is retained independently with probability `p`, the
+//! retained intersection `|Γ(Hp, S)|` is a Binomial(C(S), p) variable, so
+//! `|Γ(Hp, S)|/p` is an unbiased estimator of `C(S)` and Chernoff gives
+//! `P(|Γ/p − C| > γ) ≤ 2·exp(−γ²p / (3C))` — Lemma 2.2 instantiates
+//! `γ = ε·Opt_k` and `p ≥ 6δ'/(ε²·Opt_k)`.
+
+/// `Ĉ = count / p` — the estimator itself.
+#[inline]
+pub fn estimate_from_sample(count: usize, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0,1]");
+    count as f64 / p
+}
+
+/// The deviation `γ` such that `P(|Γ/p − C| > γ) ≤ 2e^{−δ}` for a true
+/// coverage `c` sampled at rate `p`: solving `δ = γ²p/(3c)` gives
+/// `γ = sqrt(3·c·δ/p)`.
+#[inline]
+pub fn chernoff_envelope(c: f64, p: f64, delta: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0);
+    assert!(c >= 0.0 && delta >= 0.0);
+    (3.0 * c * delta / p).sqrt()
+}
+
+/// The minimum sampling rate of Lemma 2.2: `p ≥ 6δ'/(ε²·Opt_k)` makes the
+/// estimator ε·Opt-accurate with probability `1 − e^{−δ'}`.
+#[inline]
+pub fn lemma22_min_p(opt_k: f64, epsilon: f64, delta_prime: f64) -> f64 {
+    assert!(opt_k > 0.0);
+    (6.0 * delta_prime / (epsilon * epsilon * opt_k)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_hash::{threshold_from_p, UnitHash};
+
+    #[test]
+    fn estimator_identity() {
+        assert_eq!(estimate_from_sample(50, 0.5), 100.0);
+        assert_eq!(estimate_from_sample(0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn envelope_grows_with_confidence() {
+        let a = chernoff_envelope(1000.0, 0.1, 1.0);
+        let b = chernoff_envelope(1000.0, 0.1, 4.0);
+        assert!((b / a - 2.0).abs() < 1e-9, "γ scales as sqrt(δ)");
+    }
+
+    #[test]
+    fn lemma22_min_p_caps_at_one() {
+        assert_eq!(lemma22_min_p(1.0, 0.1, 10.0), 1.0);
+        let p = lemma22_min_p(1_000_000.0, 0.1, 2.0);
+        assert!(p < 0.01);
+    }
+
+    #[test]
+    fn empirical_estimates_stay_in_envelope() {
+        // Sample 5000 elements at p=0.2 with many seeds; the estimate must
+        // stay within the δ=3 envelope in the vast majority of runs
+        // (2e^{-3} ≈ 10% failure allowance; we tolerate 20% to be safe).
+        let c = 5000u64;
+        let p = 0.2;
+        let t = threshold_from_p(p);
+        let delta = 3.0;
+        let gamma = chernoff_envelope(c as f64, p, delta);
+        let mut violations = 0;
+        let runs = 50;
+        for seed in 0..runs {
+            let h = UnitHash::new(seed);
+            let count = (0..c).filter(|&e| h.hash(e) <= t).count();
+            let est = estimate_from_sample(count, p);
+            if (est - c as f64).abs() > gamma {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= runs / 5,
+            "{violations}/{runs} runs violated the Chernoff envelope"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn estimator_rejects_zero_p() {
+        estimate_from_sample(1, 0.0);
+    }
+}

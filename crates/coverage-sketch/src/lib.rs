@@ -1,0 +1,60 @@
+//! # coverage-sketch
+//!
+//! The `H≤n` coverage sketch — the central contribution of
+//!
+//! > Bateni, Esfandiari, Mirrokni.
+//! > **Almost Optimal Streaming Algorithms for Coverage Problems.**
+//! > SPAA 2017 (arXiv:1610.08096).
+//!
+//! Section 2 of the paper builds the sketch in three conceptual steps:
+//!
+//! 1. **`Hp`** — hash every element to `[0,1]` and drop those hashing
+//!    above `p`. For `p ≥ 6kδ·ln n / (ε²·Opt_k)`, any α-approximate
+//!    k-cover solution on `Hp` is (α−2ε)-approximate on `G` (Lemma 2.3).
+//! 2. **`H'p`** — additionally cap every element's degree at
+//!    `n·ln(1/ε)/(εk)`, dropping surplus edges arbitrarily. Any
+//!    α-approximate solution on `H'p` is α(1−ε)-approximate on `Hp`
+//!    (Lemma 2.4), and now the sketch has `Õ(n)` edges (Lemmas 2.5–2.6).
+//! 3. **`H≤n`** — since the right `p` depends on the unknown `Opt_k`,
+//!    take `p*` = the smallest `p` at which `H'p` reaches an edge budget
+//!    of `24nδ·ln(1/ε)·ln n / ((1−ε)ε³)`. Theorem 2.7: any α-approximate
+//!    solution on `H≤n` is (α−12ε)-approximate on `G` w.h.p.
+//!
+//! This crate implements all three:
+//!
+//! * [`params`] — every formula above, in one documented place, with both
+//!   the verbatim theoretical constants and the practically-sized budgets
+//!   the experiments use;
+//! * [`fixed`] — `Hp` / `H'p` construction at a fixed `p` (lemma-level
+//!   tests and the Figure 1 reproduction);
+//! * [`threshold`] — the streaming [`ThresholdSketch`] (`H≤n`,
+//!   Algorithm 2), implemented by adaptive max-hash eviction: retain the
+//!   lowest-hash elements whose capped edges fit the budget;
+//! * [`estimate`] — inverse-probability coverage estimation
+//!   (`C(S) ≈ |Γ(H,S)|/p*`, Lemma 2.2) with its confidence envelope;
+//! * [`multi`] — a [`SketchBank`] feeding many sketches from one pass
+//!   (Algorithm 5 runs `log_{1+ε/3} n` guesses in parallel).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod estimate;
+pub mod fixed;
+pub mod lemmas;
+pub mod multi;
+pub mod params;
+pub mod serial;
+pub mod threshold;
+
+pub use ablation::{AblatedSketch, EvictionPolicy};
+pub use estimate::{chernoff_envelope, estimate_from_sample};
+pub use fixed::{build_hp, build_hp_prime};
+pub use lemmas::{
+    check_lemma_2_2, check_lemma_2_3, check_lemma_2_4, check_lemma_2_6, check_theorem_2_7,
+    Lemma22Check, Lemma26Check, TransferCheck,
+};
+pub use multi::SketchBank;
+pub use params::{SketchParams, SketchSizing};
+pub use serial::{SketchSnapshot, SnapshotEntry};
+pub use threshold::{SketchCounters, ThresholdSketch};

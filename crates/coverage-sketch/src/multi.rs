@@ -1,0 +1,144 @@
+//! A bank of sketches fed from one pass.
+//!
+//! Algorithm 5 guesses the cover size `k'` geometrically
+//! (`k' ← (1+ε/3)·k'`) and runs Algorithm 4 "in parallel" for every guess
+//! — meaning every guess's sketch must be built during the *same* single
+//! pass. [`SketchBank`] holds one [`ThresholdSketch`] per guess (each with
+//! its own degree cap and budget, all sharing the global element hash) and
+//! forwards each arriving edge to all of them.
+
+use coverage_core::Edge;
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use crate::params::SketchParams;
+use crate::threshold::ThresholdSketch;
+
+/// Several `H≤n` sketches built simultaneously in one pass.
+#[derive(Clone, Debug)]
+pub struct SketchBank {
+    sketches: Vec<ThresholdSketch>,
+}
+
+impl SketchBank {
+    /// One sketch per parameter set, all sharing `seed` (and therefore the
+    /// same element hash — the paper's single global `h`).
+    pub fn new(params: impl IntoIterator<Item = SketchParams>, seed: u64) -> Self {
+        SketchBank {
+            sketches: params
+                .into_iter()
+                .map(|p| ThresholdSketch::new(p, seed))
+                .collect(),
+        }
+    }
+
+    /// Number of sketches in the bank.
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True if the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Forward one edge to every sketch.
+    pub fn update(&mut self, edge: Edge) {
+        for s in &mut self.sketches {
+            s.update(edge);
+        }
+    }
+
+    /// Feed an entire stream (one pass for the whole bank).
+    pub fn consume(&mut self, stream: &dyn EdgeStream) {
+        stream.for_each(&mut |e| self.update(e));
+    }
+
+    /// Build a bank from one pass over `stream`.
+    pub fn from_stream(
+        params: impl IntoIterator<Item = SketchParams>,
+        seed: u64,
+        stream: &dyn EdgeStream,
+    ) -> Self {
+        let mut bank = Self::new(params, seed);
+        bank.consume(stream);
+        bank
+    }
+
+    /// Borrow the sketches.
+    pub fn sketches(&self) -> &[ThresholdSketch] {
+        &self.sketches
+    }
+
+    /// Consume the bank into its sketches.
+    pub fn into_sketches(self) -> Vec<ThresholdSketch> {
+        self.sketches
+    }
+
+    /// Combined space (the sketches coexist during the pass).
+    pub fn space_report(&self) -> SpaceReport {
+        self.sketches
+            .iter()
+            .map(|s| s.space_report())
+            .fold(SpaceReport::default(), |acc, r| {
+                let mut c = acc.coexist(r);
+                c.passes = 1;
+                c
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_stream::VecStream;
+
+    fn stream() -> VecStream {
+        let mut edges = Vec::new();
+        for s in 0..8u32 {
+            for e in 0..100u64 {
+                if !(e + s as u64).is_multiple_of(3) {
+                    edges.push(Edge::new(s, e));
+                }
+            }
+        }
+        VecStream::new(8, edges)
+    }
+
+    #[test]
+    fn bank_matches_individual_sketches() {
+        let seed = 77;
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
+        let p2 = SketchParams::with_budget(8, 4, 0.5, 120);
+        let bank = SketchBank::from_stream([p1, p2], seed, &stream());
+        let solo1 = ThresholdSketch::from_stream(p1, seed, &stream());
+        let solo2 = ThresholdSketch::from_stream(p2, seed, &stream());
+        assert_eq!(bank.sketches()[0].edges_stored(), solo1.edges_stored());
+        assert_eq!(bank.sketches()[1].edges_stored(), solo2.edges_stored());
+        assert_eq!(
+            bank.sketches()[0].acceptance_bound(),
+            solo1.acceptance_bound()
+        );
+    }
+
+    #[test]
+    fn space_is_sum_of_parts() {
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
+        let p2 = SketchParams::with_budget(8, 4, 0.5, 120);
+        let bank = SketchBank::from_stream([p1, p2], 3, &stream());
+        let total = bank.space_report();
+        let sum: u64 = bank
+            .sketches()
+            .iter()
+            .map(|s| s.space_report().peak_edges)
+            .sum();
+        assert_eq!(total.peak_edges, sum);
+        assert_eq!(total.passes, 1);
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let bank = SketchBank::from_stream(std::iter::empty(), 1, &stream());
+        assert!(bank.is_empty());
+        assert_eq!(bank.space_report(), SpaceReport::default());
+    }
+}

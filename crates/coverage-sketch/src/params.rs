@@ -1,0 +1,245 @@
+//! Sketch parameterization — every constant from Section 2 in one place.
+//!
+//! Two regimes share the same construction code:
+//!
+//! * [`SketchParams::theoretical`] computes the verbatim bounds of
+//!   Definition 2.1 / Algorithm 2. These are what the proofs need and what
+//!   the documentation tests check, but the constants (`24nδ·ln(1/ε)·ln n
+//!   / ((1−ε)ε³)`) are astronomically conservative — for `n = 1000`,
+//!   `ε = 0.1` the budget already exceeds 10⁹ edges, i.e. the sketch would
+//!   happily store the entire input for any realistic `m`.
+//! * [`SketchParams::with_budget`] keeps the *structure* (hash threshold +
+//!   degree cap + adaptive `p*`) and takes the edge budget directly; the
+//!   experiments sweep it. The paper's companion empirical work
+//!   (Bateni et al., "Distributed coverage maximization via sketching",
+//!   `[10]`) sizes sketches the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one `H≤n(k, ε, δ'')` sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SketchParams {
+    /// Number of sets `n` in the family.
+    pub num_sets: usize,
+    /// Solution-size parameter `k` the sketch is built for.
+    pub k: usize,
+    /// Accuracy parameter `ε ∈ (0, 1]`.
+    pub epsilon: f64,
+    /// Per-element degree cap `⌈n·ln(1/ε)/(εk)⌉` (Lemma 2.4's cap).
+    pub degree_cap: usize,
+    /// Edge budget `B`: the sketch keeps the lowest-hash elements whose
+    /// capped edges fit within `B` (Definition 2.1's `p*` rule).
+    pub edge_budget: usize,
+    /// Slack above the budget tolerated before eviction. Algorithm 2
+    /// allows `B + degree_cap` stored edges; we mirror that.
+    pub edge_slack: usize,
+    /// Whether duplicate edges should be detected and ignored (needed when
+    /// the stream may repeat an edge; costs a binary search per arrival).
+    pub dedup: bool,
+}
+
+impl SketchParams {
+    /// Degree cap of Lemma 2.4: `⌈n·ln(1/ε)/(ε·k)⌉`, at least 1.
+    pub fn paper_degree_cap(n: usize, k: usize, epsilon: f64) -> usize {
+        assert!(k >= 1, "k must be ≥ 1");
+        assert!((0.0..=1.0).contains(&epsilon) && epsilon > 0.0);
+        let cap = (n as f64) * (1.0 / epsilon).ln() / (epsilon * k as f64);
+        (cap.ceil() as usize).max(1)
+    }
+
+    /// `δ = δ''·ln(log_{1−ε} m)` of Definition 2.1 (clamped below at 1).
+    pub fn paper_delta(m: usize, epsilon: f64, delta_pp: f64) -> f64 {
+        let m = (m.max(3)) as f64;
+        // log_{1-ε} m levels — the number of geometric thresholds p_j.
+        let levels = m.ln() / (1.0 / (1.0 - epsilon.min(0.999))).ln();
+        (delta_pp * levels.max(std::f64::consts::E).ln()).max(1.0)
+    }
+
+    /// Edge budget of Definition 2.1: `⌈24·n·δ·ln(1/ε)·ln n / ((1−ε)ε³)⌉`.
+    pub fn paper_edge_budget(n: usize, m: usize, epsilon: f64, delta_pp: f64) -> usize {
+        let nf = (n.max(2)) as f64;
+        let delta = Self::paper_delta(m, epsilon, delta_pp);
+        let b = 24.0 * nf * delta * (1.0 / epsilon).ln() * nf.ln()
+            / ((1.0 - epsilon) * epsilon.powi(3));
+        b.ceil().min(usize::MAX as f64 / 2.0) as usize
+    }
+
+    /// The verbatim parameterization of `H≤n(k, ε, δ'')` for an input with
+    /// `n` sets and (an upper bound on) `m` elements.
+    pub fn theoretical(n: usize, m: usize, k: usize, epsilon: f64, delta_pp: f64) -> Self {
+        let degree_cap = Self::paper_degree_cap(n, k, epsilon);
+        let edge_budget = Self::paper_edge_budget(n, m, epsilon, delta_pp);
+        SketchParams {
+            num_sets: n,
+            k,
+            epsilon,
+            degree_cap,
+            edge_budget,
+            // Algorithm 2 tolerates B + one degree cap of slack; when the
+            // cap exceeds the budget (possible only in practical regimes
+            // with tiny ε) the budget itself bounds the slack, otherwise
+            // a single heavy element could inflate the sketch past Õ(n).
+            edge_slack: degree_cap.min(edge_budget.max(1)),
+            dedup: true,
+        }
+    }
+
+    /// The practical parameterization: paper-shaped degree cap, explicit
+    /// edge budget.
+    pub fn with_budget(n: usize, k: usize, epsilon: f64, edge_budget: usize) -> Self {
+        let degree_cap = Self::paper_degree_cap(n, k, epsilon);
+        SketchParams {
+            num_sets: n,
+            k,
+            epsilon,
+            degree_cap,
+            edge_budget,
+            edge_slack: degree_cap.min(edge_budget.max(1)),
+            dedup: true,
+        }
+    }
+
+    /// Convenience: budget `⌈c·n·ln(n+2)/ε²⌉` — the paper's dependence on
+    /// `n` and `ε` with a tunable constant `c` instead of `24δ·ln(1/ε)/(1−ε)ε`.
+    pub fn practical(n: usize, k: usize, epsilon: f64, c: f64) -> Self {
+        let budget = (c * n as f64 * ((n + 2) as f64).ln() / (epsilon * epsilon)).ceil() as usize;
+        Self::with_budget(n, k, epsilon, budget.max(16))
+    }
+
+    /// Disable duplicate-edge detection (streams known duplicate-free).
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Override the degree cap (ablation A1 sets it to `usize::MAX`).
+    ///
+    /// The eviction slack never *grows* here — otherwise an uncapped
+    /// variant would silently enjoy a larger effective budget and ablation
+    /// comparisons would be apples-to-oranges.
+    pub fn with_degree_cap(mut self, cap: usize) -> Self {
+        self.degree_cap = cap.max(1);
+        self.edge_slack = self.edge_slack.min(self.degree_cap).max(1);
+        self
+    }
+
+    /// Maximum number of edges the sketch may hold before eviction
+    /// (`B + slack`, mirroring Algorithm 2 line 7).
+    pub fn max_edges(&self) -> usize {
+        self.edge_budget.saturating_add(self.edge_slack)
+    }
+}
+
+/// How algorithms size the sketches they build.
+///
+/// All policies share the construction (threshold + degree cap + adaptive
+/// `p*`); they differ only in the edge budget.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SketchSizing {
+    /// The verbatim Definition 2.1 budget. Needs an upper bound on `m`
+    /// and the confidence parameter `δ''`. Only sensible for tiny inputs
+    /// or correctness tests — see [`SketchParams::theoretical`].
+    Theoretical {
+        /// Upper bound on the number of elements `m`.
+        m_upper: usize,
+        /// Confidence parameter `δ''` (failure probability `3e^{−δ''}`).
+        delta_pp: f64,
+    },
+    /// An explicit per-sketch edge budget.
+    Budget(usize),
+    /// `⌈c·n·ln(n+2)/ε²⌉` — paper-shaped dependence with a small constant.
+    Practical {
+        /// The leading constant `c`.
+        c: f64,
+    },
+}
+
+impl SketchSizing {
+    /// Materialize parameters for a sketch targeting solution size `k`.
+    pub fn params(&self, n: usize, k: usize, epsilon: f64) -> SketchParams {
+        match *self {
+            SketchSizing::Theoretical { m_upper, delta_pp } => {
+                SketchParams::theoretical(n, m_upper, k, epsilon, delta_pp)
+            }
+            SketchSizing::Budget(b) => SketchParams::with_budget(n, k, epsilon, b),
+            SketchSizing::Practical { c } => SketchParams::practical(n, k, epsilon, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_policies_materialize() {
+        let t = SketchSizing::Theoretical {
+            m_upper: 1000,
+            delta_pp: 1.0,
+        }
+        .params(100, 5, 0.2);
+        let b = SketchSizing::Budget(500).params(100, 5, 0.2);
+        let p = SketchSizing::Practical { c: 2.0 }.params(100, 5, 0.2);
+        assert_eq!(b.edge_budget, 500);
+        assert!(t.edge_budget > p.edge_budget);
+        assert_eq!(t.degree_cap, b.degree_cap);
+        assert_eq!(b.degree_cap, p.degree_cap);
+    }
+
+    #[test]
+    fn degree_cap_matches_formula() {
+        // n=100, k=10, ε=0.5 → 100·ln2/(0.5·10) = 13.86… → 14.
+        assert_eq!(SketchParams::paper_degree_cap(100, 10, 0.5), 14);
+        // Cap is at least 1 even when the formula vanishes.
+        assert_eq!(SketchParams::paper_degree_cap(1, 1000, 0.99), 1);
+    }
+
+    #[test]
+    fn degree_cap_decreases_in_k() {
+        let a = SketchParams::paper_degree_cap(1000, 1, 0.2);
+        let b = SketchParams::paper_degree_cap(1000, 10, 0.2);
+        let c = SketchParams::paper_degree_cap(1000, 100, 0.2);
+        assert!(a > b && b > c);
+    }
+
+    #[test]
+    fn theoretical_budget_is_conservative() {
+        // The verbatim constants dwarf any realistic input — that is the
+        // point of also having `with_budget`.
+        let p = SketchParams::theoretical(1000, 100_000, 10, 0.1, 1.0);
+        assert!(p.edge_budget > 10_000_000);
+        assert_eq!(p.degree_cap, SketchParams::paper_degree_cap(1000, 10, 0.1));
+    }
+
+    #[test]
+    fn budget_independent_of_m_up_to_loglog() {
+        // δ depends on m only through ln(log m): doubling m barely moves B.
+        let a = SketchParams::paper_edge_budget(1000, 10_000, 0.2, 1.0);
+        let b = SketchParams::paper_edge_budget(1000, 10_000_000, 0.2, 1.0);
+        assert!((b as f64) < (a as f64) * 2.0, "a={a} b={b}");
+    }
+
+    #[test]
+    fn with_budget_uses_given_budget() {
+        let p = SketchParams::with_budget(50, 5, 0.25, 1234);
+        assert_eq!(p.edge_budget, 1234);
+        assert_eq!(p.max_edges(), 1234 + p.degree_cap);
+    }
+
+    #[test]
+    fn practical_scales_linearly_in_n() {
+        let a = SketchParams::practical(1_000, 10, 0.2, 1.0).edge_budget;
+        let b = SketchParams::practical(2_000, 10, 0.2, 1.0).edge_budget;
+        let ratio = b as f64 / a as f64;
+        assert!((2.0..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn overrides() {
+        let p = SketchParams::with_budget(10, 2, 0.5, 100)
+            .without_dedup()
+            .with_degree_cap(usize::MAX);
+        assert!(!p.dedup);
+        assert_eq!(p.degree_cap, usize::MAX);
+    }
+}

@@ -1,0 +1,232 @@
+//! Sketch snapshots: serialization for shipping and persistence.
+//!
+//! The distributed extension (paper's companion work `[10]`) moves
+//! sketches between machines: mappers build local sketches, a reducer
+//! merges them. [`SketchSnapshot`] is the wire format — a plain-old-data
+//! mirror of a [`ThresholdSketch`]'s logical state (hash function, params,
+//! acceptance bound, retained entries, counters) with `serde` derives, so
+//! it can cross process boundaries as JSON or any other serde format.
+//!
+//! Round-trip contract (tested below): `restore(snapshot(s))` behaves
+//! identically to `s` — same retained elements and edges, same acceptance
+//! bound, same future evolution under further updates or merges. The only
+//! state *not* carried is the space tracker's peak history: a restored
+//! sketch reports peaks from its current size onward (documented here
+//! because space experiments must snapshot *before* shipping).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::SketchParams;
+use crate::threshold::{SketchCounters, ThresholdSketch};
+
+/// One retained element in a snapshot.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The element's original 64-bit key.
+    pub key: u64,
+    /// Its hash under the sketch's hash function.
+    pub hash: u64,
+    /// Sorted set ids of the kept incident edges.
+    pub sets: Vec<u32>,
+    /// Whether the degree cap dropped edges for this element.
+    pub truncated: bool,
+}
+
+/// Serializable mirror of a [`ThresholdSketch`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SketchSnapshot {
+    /// The hash function's raw (post-mix) seed.
+    pub raw_seed: u64,
+    /// Sketch parameters.
+    pub params: SketchParams,
+    /// Acceptance bound at snapshot time.
+    pub bound: u64,
+    /// Retained elements, sorted by key for a canonical encoding.
+    pub entries: Vec<SnapshotEntry>,
+    /// Streaming-side counters.
+    pub counters: SketchCounters,
+}
+
+impl SketchSnapshot {
+    /// Capture the logical state of a sketch.
+    pub fn of(sketch: &ThresholdSketch) -> Self {
+        let mut entries: Vec<SnapshotEntry> = sketch
+            .retained_full()
+            .map(|(key, hash, sets, truncated)| SnapshotEntry {
+                key,
+                hash,
+                sets: sets.to_vec(),
+                truncated,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        SketchSnapshot {
+            raw_seed: sketch.raw_hash_seed(),
+            params: *sketch.params(),
+            bound: sketch.acceptance_bound(),
+            entries,
+            counters: sketch.counters(),
+        }
+    }
+
+    /// Rebuild the sketch. Panics if the snapshot violates the sketch
+    /// invariants (an entry hashing above the bound, or a degree-cap
+    /// overflow) — corrupt snapshots must not silently produce a sketch
+    /// with weaker guarantees.
+    pub fn restore(&self) -> ThresholdSketch {
+        for e in &self.entries {
+            assert!(
+                e.hash <= self.bound,
+                "snapshot entry {} hashes above the acceptance bound",
+                e.key
+            );
+            assert!(
+                e.sets.len() <= self.params.degree_cap,
+                "snapshot entry {} exceeds the degree cap",
+                e.key
+            );
+        }
+        ThresholdSketch::from_snapshot_parts(
+            self.raw_seed,
+            self.params,
+            self.bound,
+            self.entries
+                .iter()
+                .map(|e| (e.key, e.hash, e.sets.clone(), e.truncated)),
+            self.counters,
+        )
+    }
+
+    /// Total edges recorded in the snapshot.
+    pub fn edges(&self) -> usize {
+        self.entries.iter().map(|e| e.sets.len()).sum()
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::Edge;
+    use coverage_stream::VecStream;
+
+    fn sample_sketch(budget: usize) -> ThresholdSketch {
+        let params = SketchParams::with_budget(6, 2, 0.5, budget);
+        let mut edges = Vec::new();
+        for s in 0..6u32 {
+            for e in 0..300u64 {
+                if !(e + s as u64).is_multiple_of(3) {
+                    edges.push(Edge::new(s, e));
+                }
+            }
+        }
+        ThresholdSketch::from_stream(params, 42, &VecStream::new(6, edges))
+    }
+
+    #[test]
+    fn roundtrip_preserves_logical_state() {
+        let s = sample_sketch(120);
+        let snap = SketchSnapshot::of(&s);
+        let r = snap.restore();
+        assert_eq!(r.acceptance_bound(), s.acceptance_bound());
+        assert_eq!(r.edges_stored(), s.edges_stored());
+        assert_eq!(r.elements_stored(), s.elements_stored());
+        let mut a: Vec<_> = s
+            .retained_full()
+            .map(|(k, h, v, t)| (k, h, v.to_vec(), t))
+            .collect();
+        let mut b: Vec<_> = r
+            .retained_full()
+            .map(|(k, h, v, t)| (k, h, v.to_vec(), t))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(r.counters(), s.counters());
+    }
+
+    #[test]
+    fn restored_sketch_evolves_identically() {
+        let mut original = sample_sketch(80);
+        let mut restored = SketchSnapshot::of(&original).restore();
+        // Feed both the same continuation stream.
+        for e in 1000..1400u64 {
+            original.update(Edge::new((e % 6) as u32, e));
+            restored.update(Edge::new((e % 6) as u32, e));
+        }
+        assert_eq!(original.acceptance_bound(), restored.acceptance_bound());
+        assert_eq!(original.edges_stored(), restored.edges_stored());
+        let mut a: Vec<_> = original.retained().map(|(k, _, _)| k).collect();
+        let mut b: Vec<_> = restored.retained().map(|(k, _, _)| k).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample_sketch(60);
+        let snap = SketchSnapshot::of(&s);
+        let json = snap.to_json();
+        let back = SketchSnapshot::from_json(&json).expect("valid json");
+        assert_eq!(back.bound, snap.bound);
+        assert_eq!(back.entries, snap.entries);
+        assert_eq!(back.edges(), snap.edges());
+    }
+
+    #[test]
+    fn restored_sketch_can_merge() {
+        // Snapshot → ship → merge: the distributed path.
+        let params = SketchParams::with_budget(4, 2, 0.5, 100);
+        let mut a = ThresholdSketch::new(params, 7);
+        let mut b = ThresholdSketch::new(params, 7);
+        for e in 0..500u64 {
+            if e % 2 == 0 {
+                a.update(Edge::new((e % 4) as u32, e));
+            } else {
+                b.update(Edge::new((e % 4) as u32, e));
+            }
+        }
+        let shipped = SketchSnapshot::of(&b).to_json();
+        let b2 = SketchSnapshot::from_json(&shipped).unwrap().restore();
+        let mut merged = a.clone();
+        merged.merge_from(&b2);
+        let mut reference = a;
+        reference.merge_from(&b);
+        let mut x: Vec<_> = merged.retained().map(|(k, _, _)| k).collect();
+        let mut y: Vec<_> = reference.retained().map(|(k, _, _)| k).collect();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "hashes above the acceptance bound")]
+    fn corrupt_snapshot_is_rejected() {
+        let s = sample_sketch(60);
+        let mut snap = SketchSnapshot::of(&s);
+        snap.bound = 0; // every entry now violates the bound
+        if snap.entries.is_empty() {
+            panic!("hashes above the acceptance bound (vacuous)");
+        }
+        let _ = snap.restore();
+    }
+
+    #[test]
+    fn canonical_entry_order() {
+        let s = sample_sketch(100);
+        let snap = SketchSnapshot::of(&s);
+        for w in snap.entries.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+}

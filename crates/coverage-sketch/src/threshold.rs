@@ -1,0 +1,630 @@
+//! The streaming `H≤n` sketch (Algorithm 2) via adaptive max-hash eviction.
+//!
+//! Definition 2.1 wants `H'_{p*}` for the smallest `p*` at which the
+//! capped-degree subgraph reaches the edge budget. Algorithm 2 realizes it
+//! by pre-sampling a prefix of elements in hash order and dropping the
+//! largest-hash element whenever the budget overflows. We implement the
+//! equivalent *adaptive threshold* process, which needs no a-priori
+//! knowledge of the element universe:
+//!
+//! * every element is hashed once to a 64-bit value;
+//! * an element is **admitted** while its hash is at most the current
+//!   acceptance bound (initially `u64::MAX`, i.e. `p = 1`);
+//! * per admitted element at most `degree_cap` incident edges are kept
+//!   (Lemma 2.4's cap — surplus edges are dropped, "chosen arbitrarily" in
+//!   the paper, first-arrival-wins here);
+//! * whenever stored edges exceed `budget + slack`, the element with the
+//!   **largest hash** is evicted and the acceptance bound drops just below
+//!   its hash, so the element (or any higher-hash one) can never re-enter.
+//!
+//! The retained state is therefore always "the lowest-hash prefix of
+//! elements, degree-capped, fitting the budget" — exactly `H'_{p*}` with
+//! `p* = (bound+1)/2^64`. That invariant (checked by property tests) is
+//! what makes the sketch's content independent of arrival order, up to
+//! which `degree_cap` edges of a truncated element survive.
+
+use std::collections::BinaryHeap;
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use coverage_hash::{FxHashMap, UnitHash};
+use coverage_stream::{EdgeStream, SpaceReport, SpaceTracker};
+
+use crate::params::SketchParams;
+
+/// Per-element sketch state.
+#[derive(Clone, Debug)]
+struct ElemEntry {
+    /// The element's 64-bit hash (fixed-point fraction of `[0,1)`).
+    hash: u64,
+    /// Sorted set ids of kept incident edges (≤ `degree_cap` of them).
+    sets: Vec<u32>,
+    /// Whether edges were dropped due to the degree cap.
+    truncated: bool,
+}
+
+/// Streaming-side counters (diagnostics; surfaced by experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SketchCounters {
+    /// Edge arrivals processed.
+    pub arrivals: u64,
+    /// Arrivals rejected because the element's hash exceeded the bound.
+    pub rejected_by_bound: u64,
+    /// Arrivals rejected by the per-element degree cap.
+    pub rejected_by_cap: u64,
+    /// Duplicate edges ignored (only counted when dedup is on).
+    pub duplicates: u64,
+    /// Elements evicted by budget overflow.
+    pub evictions: u64,
+}
+
+/// The streaming `H≤n(k, ε, δ'')` sketch.
+#[derive(Clone, Debug)]
+pub struct ThresholdSketch {
+    hash: UnitHash,
+    params: SketchParams,
+    entries: FxHashMap<u64, ElemEntry>,
+    /// Max-heap of `(hash, element_key)` for eviction. Every admitted
+    /// element is pushed exactly once; eviction pops are always valid
+    /// because an evicted element can never be re-admitted (bound is
+    /// monotone decreasing).
+    heap: BinaryHeap<(u64, u64)>,
+    /// Acceptance bound: an element is admitted iff `hash ≤ bound`.
+    bound: u64,
+    edges_stored: usize,
+    tracker: SpaceTracker,
+    counters: SketchCounters,
+}
+
+impl ThresholdSketch {
+    /// A fresh sketch; `seed` determines the element hash function. All
+    /// sketches that must agree on the sampled sub-universe (e.g. a bank
+    /// built in the same pass) share a seed.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        ThresholdSketch {
+            hash: UnitHash::new(seed),
+            params,
+            entries: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            bound: u64::MAX,
+            edges_stored: 0,
+            tracker: SpaceTracker::new(),
+            counters: SketchCounters::default(),
+        }
+    }
+
+    /// The parameters this sketch was built with.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Process one arriving edge. `Õ(1)` amortized: one hash, one map
+    /// probe, and amortized O(1) heap work (each element enters and leaves
+    /// the heap at most once).
+    pub fn update(&mut self, edge: Edge) {
+        self.counters.arrivals += 1;
+        let key = edge.element.0;
+        let h = self.hash.hash(key);
+        if h > self.bound {
+            self.counters.rejected_by_bound += 1;
+            return;
+        }
+        let set = edge.set.0;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                if entry.sets.len() >= self.params.degree_cap {
+                    entry.truncated = true;
+                    self.counters.rejected_by_cap += 1;
+                    return;
+                }
+                if self.params.dedup {
+                    match entry.sets.binary_search(&set) {
+                        Ok(_) => {
+                            self.counters.duplicates += 1;
+                            return;
+                        }
+                        Err(pos) => entry.sets.insert(pos, set),
+                    }
+                } else {
+                    entry.sets.push(set);
+                }
+                self.edges_stored += 1;
+                self.tracker.add_edges(1);
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    ElemEntry {
+                        hash: h,
+                        sets: vec![set],
+                        truncated: false,
+                    },
+                );
+                self.heap.push((h, key));
+                // Element bookkeeping: key + hash in the map, (hash, key)
+                // in the heap = 4 words.
+                self.tracker.add_aux(4);
+                self.edges_stored += 1;
+                self.tracker.add_edges(1);
+            }
+        }
+        while self.edges_stored > self.params.max_edges() {
+            self.evict_max();
+        }
+    }
+
+    /// Evict the largest-hash element and lower the acceptance bound.
+    fn evict_max(&mut self) {
+        let Some((h, key)) = self.heap.pop() else {
+            return;
+        };
+        let entry = self
+            .entries
+            .remove(&key)
+            .expect("heap entries always have live map entries");
+        debug_assert_eq!(entry.hash, h);
+        self.edges_stored -= entry.sets.len();
+        self.tracker.remove_edges(entry.sets.len() as u64);
+        self.tracker.remove_aux(4);
+        self.counters.evictions += 1;
+        // Reject this hash value (and anything above) from now on. The
+        // subtraction is exact unless another element shares the 64-bit
+        // hash, which has probability ≈ m²/2^64.
+        self.bound = h.saturating_sub(1);
+    }
+
+    /// Feed an entire stream (one pass).
+    pub fn consume(&mut self, stream: &dyn EdgeStream) {
+        stream.for_each(&mut |e| self.update(e));
+    }
+
+    /// Build the sketch from one pass over `stream`.
+    pub fn from_stream(params: SketchParams, seed: u64, stream: &dyn EdgeStream) -> Self {
+        let mut s = Self::new(params, seed);
+        s.consume(stream);
+        s
+    }
+
+    /// Number of stored edges.
+    pub fn edges_stored(&self) -> usize {
+        self.edges_stored
+    }
+
+    /// Number of retained elements.
+    pub fn elements_stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The effective sampling probability `p*`: the probability that a
+    /// uniformly hashed element is currently admissible.
+    pub fn sampling_p(&self) -> f64 {
+        if self.bound == u64::MAX {
+            1.0
+        } else {
+            (self.bound as f64 + 1.0) / 2f64.powi(64)
+        }
+    }
+
+    /// True if the budget was never hit (the sketch holds the entire
+    /// degree-capped input, `p* = 1`).
+    pub fn is_exact_sample(&self) -> bool {
+        self.bound == u64::MAX
+    }
+
+    /// Streaming-side diagnostics.
+    pub fn counters(&self) -> SketchCounters {
+        self.counters
+    }
+
+    /// Space report (1 pass).
+    pub fn space_report(&self) -> SpaceReport {
+        self.tracker.report(1)
+    }
+
+    /// Estimate `C(family)` on the *original* input via the
+    /// inverse-probability estimator of Lemma 2.2:
+    /// `Ĉ(S) = |Γ(H, S)| / p*`.
+    pub fn estimate_coverage(&self, family: &[SetId]) -> f64 {
+        let mut members = vec![false; self.params.num_sets.max(1)];
+        for s in family {
+            if s.index() < members.len() {
+                members[s.index()] = true;
+            }
+        }
+        let mut covered = 0usize;
+        for entry in self.entries.values() {
+            if entry.sets.iter().any(|&s| members[s as usize]) {
+                covered += 1;
+            }
+        }
+        covered as f64 / self.sampling_p()
+    }
+
+    /// Materialize the sketch content as a [`CoverageInstance`] over the
+    /// retained elements (the graph the offline algorithms run on —
+    /// "solve the problem without any other direct access to the input").
+    pub fn instance(&self) -> CoverageInstance {
+        let mut b = InstanceBuilder::new(self.params.num_sets);
+        for (&key, entry) in &self.entries {
+            for &s in &entry.sets {
+                b.add_edge(Edge::new(s, key));
+            }
+        }
+        b.build()
+    }
+
+    /// Iterate over retained `(element_key, hash, set_ids)` triples
+    /// (property tests and the Figure 1 renderer).
+    pub fn retained(&self) -> impl Iterator<Item = (u64, u64, &[u32])> + '_ {
+        self.entries
+            .iter()
+            .map(|(&k, e)| (k, e.hash, e.sets.as_slice()))
+    }
+
+    /// Like [`retained`](Self::retained) but including the truncation flag
+    /// — the full logical per-element state (snapshot support).
+    pub fn retained_full(&self) -> impl Iterator<Item = (u64, u64, &[u32], bool)> + '_ {
+        self.entries
+            .iter()
+            .map(|(&k, e)| (k, e.hash, e.sets.as_slice(), e.truncated))
+    }
+
+    /// The hash function's raw post-mix seed (snapshot support; pair with
+    /// [`coverage_hash::UnitHash::from_raw_seed`]).
+    pub fn raw_hash_seed(&self) -> u64 {
+        self.hash.seed()
+    }
+
+    /// Rebuild a sketch from snapshot parts. The space tracker restarts
+    /// from the restored size (peak history is not carried across a
+    /// snapshot). Used by `serial::SketchSnapshot::restore`.
+    pub(crate) fn from_snapshot_parts(
+        raw_seed: u64,
+        params: SketchParams,
+        bound: u64,
+        entries: impl Iterator<Item = (u64, u64, Vec<u32>, bool)>,
+        counters: SketchCounters,
+    ) -> Self {
+        let mut map: FxHashMap<u64, ElemEntry> = FxHashMap::default();
+        let mut heap = BinaryHeap::new();
+        let mut edges_stored = 0usize;
+        let mut tracker = SpaceTracker::new();
+        for (key, hash, sets, truncated) in entries {
+            edges_stored += sets.len();
+            tracker.add_edges(sets.len() as u64);
+            tracker.add_aux(4);
+            heap.push((hash, key));
+            map.insert(
+                key,
+                ElemEntry {
+                    hash,
+                    sets,
+                    truncated,
+                },
+            );
+        }
+        ThresholdSketch {
+            hash: UnitHash::from_raw_seed(raw_seed),
+            params,
+            entries: map,
+            heap,
+            bound,
+            edges_stored,
+            tracker,
+            counters,
+        }
+    }
+
+    /// The current acceptance bound (tests).
+    pub fn acceptance_bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Merge another sketch of the **same parameters, seed and budget**
+    /// into `self` — the composability property behind the distributed
+    /// algorithms of the paper's companion work (`[10]`).
+    ///
+    /// Why this is sound: a sketch's retained elements are exactly the
+    /// lowest-hash prefix (of the elements it saw) whose capped edges fit
+    /// the budget. If the input edges are partitioned across machines,
+    /// the *global* prefix bound is at most every local bound, so every
+    /// globally-retained element was retained (with some of its edges) on
+    /// every machine that saw it. Dropping entries above the minimum
+    /// bound, uniting per-element set lists (re-capped), and re-evicting
+    /// to the budget therefore reproduces a valid `H≤n` of the union —
+    /// with *identical* retained elements to a single-machine build.
+    pub fn merge_from(&mut self, other: &ThresholdSketch) {
+        assert_eq!(
+            self.hash, other.hash,
+            "sketches must share a hash seed to merge"
+        );
+        assert_eq!(
+            self.params, other.params,
+            "sketches must share parameters to merge"
+        );
+        assert!(
+            self.params.dedup,
+            "merging requires dedup sketches (sorted per-element set lists)"
+        );
+        let bound = self.bound.min(other.bound);
+        // Drop own entries that the other side's bound rules out.
+        if bound < self.bound {
+            let keys: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.hash > bound)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in keys {
+                let e = self.entries.remove(&k).expect("key just listed");
+                self.edges_stored -= e.sets.len();
+                self.tracker.remove_edges(e.sets.len() as u64);
+                self.tracker.remove_aux(4);
+            }
+        }
+        self.bound = bound;
+        // Pull the other side's admissible entries.
+        for (&key, oe) in &other.entries {
+            if oe.hash > bound {
+                continue;
+            }
+            match self.entries.get_mut(&key) {
+                Some(se) => {
+                    debug_assert_eq!(se.hash, oe.hash);
+                    for &s in &oe.sets {
+                        if se.sets.len() >= self.params.degree_cap {
+                            se.truncated = true;
+                            break;
+                        }
+                        if let Err(pos) = se.sets.binary_search(&s) {
+                            se.sets.insert(pos, s);
+                            self.edges_stored += 1;
+                            self.tracker.add_edges(1);
+                        }
+                    }
+                    se.truncated |= oe.truncated;
+                }
+                None => {
+                    self.entries.insert(key, oe.clone());
+                    self.heap.push((oe.hash, key));
+                    self.edges_stored += oe.sets.len();
+                    self.tracker.add_edges(oe.sets.len() as u64);
+                    self.tracker.add_aux(4);
+                }
+            }
+        }
+        // The heap may hold stale entries for keys dropped above; rebuild
+        // it from the live map (merges are rare, so O(size) is fine).
+        self.heap = self.entries.iter().map(|(&k, e)| (e.hash, k)).collect();
+        while self.edges_stored > self.params.max_edges() {
+            self.evict_max();
+        }
+        let o = other.counters;
+        self.counters.arrivals += o.arrivals;
+        self.counters.rejected_by_bound += o.rejected_by_bound;
+        self.counters.rejected_by_cap += o.rejected_by_cap;
+        self.counters.duplicates += o.duplicates;
+        self.counters.evictions += o.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_stream::VecStream;
+
+    fn params(n: usize, budget: usize) -> SketchParams {
+        SketchParams::with_budget(n, 2, 0.5, budget)
+    }
+
+    fn star_stream(n_sets: u32, m: u64) -> VecStream {
+        // Every set contains every element: n·m edges.
+        let mut edges = Vec::new();
+        for s in 0..n_sets {
+            for e in 0..m {
+                edges.push(Edge::new(s, e));
+            }
+        }
+        VecStream::new(n_sets as usize, edges)
+    }
+
+    #[test]
+    fn exact_when_budget_not_hit() {
+        let s = ThresholdSketch::from_stream(
+            params(3, 10_000),
+            42,
+            &VecStream::new(
+                3,
+                vec![
+                    Edge::new(0u32, 1u64),
+                    Edge::new(1u32, 2u64),
+                    Edge::new(2u32, 3u64),
+                ],
+            ),
+        );
+        assert!(s.is_exact_sample());
+        assert_eq!(s.sampling_p(), 1.0);
+        assert_eq!(s.edges_stored(), 3);
+        assert_eq!(s.estimate_coverage(&[SetId(0), SetId(1)]), 2.0);
+    }
+
+    #[test]
+    fn respects_edge_budget() {
+        let p = params(4, 40);
+        let s = ThresholdSketch::from_stream(p, 7, &star_stream(4, 1000));
+        assert!(s.edges_stored() <= p.max_edges());
+        assert!(!s.is_exact_sample());
+        assert!(s.counters().evictions > 0);
+        assert!(s.sampling_p() < 1.0);
+    }
+
+    #[test]
+    fn degree_cap_truncates_heavy_elements() {
+        // cap for n=100, k=2, eps=0.5: 100·ln2/(0.5·2) = 69.3 → 70.
+        let p = SketchParams::with_budget(100, 2, 0.5, 100_000);
+        assert_eq!(p.degree_cap, 70);
+        let s = ThresholdSketch::from_stream(p, 3, &star_stream(100, 5));
+        for (_, _, sets) in s.retained() {
+            assert!(sets.len() <= 70);
+        }
+        assert!(s.counters().rejected_by_cap > 0);
+    }
+
+    #[test]
+    fn dedup_ignores_duplicate_edges() {
+        let mut s = ThresholdSketch::new(params(2, 100), 5);
+        for _ in 0..10 {
+            s.update(Edge::new(0u32, 9u64));
+        }
+        assert_eq!(s.edges_stored(), 1);
+        assert_eq!(s.counters().duplicates, 9);
+    }
+
+    #[test]
+    fn retained_elements_are_lowest_hash_prefix() {
+        // The key invariant: after any stream, the retained element set is
+        // exactly {u : h(u) ≤ bound}, i.e. the lowest-hash elements.
+        let p = params(2, 30);
+        let seed = 11;
+        let s = ThresholdSketch::from_stream(p, seed, &star_stream(2, 500));
+        let h = UnitHash::new(seed);
+        let bound = s.acceptance_bound();
+        let retained: std::collections::HashSet<u64> = s.retained().map(|(k, _, _)| k).collect();
+        for e in 0..500u64 {
+            let admitted = h.hash(e) <= bound;
+            assert_eq!(
+                retained.contains(&e),
+                admitted,
+                "element {e}: hash {:x} vs bound {:x}",
+                h.hash(e),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn order_invariance_of_retained_elements() {
+        use coverage_stream::ArrivalOrder;
+        let p = params(3, 50);
+        let seed = 13;
+        let base = star_stream(3, 300);
+        let mut contents: Vec<Vec<u64>> = Vec::new();
+        for order in [
+            ArrivalOrder::AsIs,
+            ArrivalOrder::Random(1),
+            ArrivalOrder::ByHashDesc(seed),
+            ArrivalOrder::ElementGrouped(2),
+        ] {
+            let mut v = base.clone();
+            order.apply(v.edges_mut());
+            let s = ThresholdSketch::from_stream(p, seed, &v);
+            let mut keys: Vec<u64> = s.retained().map(|(k, _, _)| k).collect();
+            keys.sort_unstable();
+            contents.push(keys);
+        }
+        for w in contents.windows(2) {
+            assert_eq!(w[0], w[1], "retained element set depends on order");
+        }
+    }
+
+    #[test]
+    fn estimate_is_unbiased_on_random_instance() {
+        // Mean of estimates across seeds should be near the truth.
+        let n_sets = 5u32;
+        let m = 2000u64;
+        let stream = star_stream(n_sets, m);
+        let family: Vec<SetId> = vec![SetId(0)];
+        let truth = m as f64;
+        let mut sum = 0.0;
+        let runs = 30;
+        for seed in 0..runs {
+            let s = ThresholdSketch::from_stream(params(5, 300), seed, &stream);
+            sum += s.estimate_coverage(&family);
+        }
+        let mean = sum / runs as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.1,
+            "mean estimate {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn instance_roundtrip_preserves_sketch_graph() {
+        let s = ThresholdSketch::from_stream(params(4, 60), 21, &star_stream(4, 100));
+        let inst = s.instance();
+        assert_eq!(inst.num_edges(), s.edges_stored());
+        assert_eq!(inst.num_elements(), s.elements_stored());
+        assert_eq!(inst.num_sets(), 4);
+    }
+
+    #[test]
+    fn space_report_peaks() {
+        let p = params(4, 40);
+        let s = ThresholdSketch::from_stream(p, 9, &star_stream(4, 500));
+        let r = s.space_report();
+        assert!(r.peak_edges >= s.edges_stored() as u64);
+        // Peak can exceed final due to evictions but never the hard cap +
+        // one over-step.
+        assert!(r.peak_edges <= (p.max_edges() + p.degree_cap) as u64);
+        assert_eq!(r.passes, 1);
+        assert!(r.peak_aux_words > 0);
+    }
+
+    #[test]
+    fn merge_of_partition_equals_single_build() {
+        // Split a stream's edges across three sketches, merge, and compare
+        // with one sketch that saw everything: retained elements must be
+        // identical, and (cap not binding: n=3 sets, cap=3) so must the
+        // edge sets. With a binding cap only the element sets coincide —
+        // the cap keeps an *arbitrary* edge subset (Lemma 2.4).
+        let p = SketchParams::with_budget(3, 2, 0.5, 80);
+        let seed = 99;
+        let full = star_stream(3, 400);
+        assert!(p.degree_cap >= 3, "cap must not bind in this test");
+        let mut single = ThresholdSketch::new(p, seed);
+        let mut parts: Vec<ThresholdSketch> =
+            (0..3).map(|_| ThresholdSketch::new(p, seed)).collect();
+        let mut i = 0usize;
+        full.for_each(&mut |e| {
+            single.update(e);
+            parts[i % 3].update(e);
+            i += 1;
+        });
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            merged.merge_from(part);
+        }
+        let mut a: Vec<(u64, Vec<u32>)> =
+            single.retained().map(|(k, _, s)| (k, s.to_vec())).collect();
+        let mut b: Vec<(u64, Vec<u32>)> =
+            merged.retained().map(|(k, _, s)| (k, s.to_vec())).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "merged partition must equal the single build");
+        // Bounds may differ (they depend on eviction history) but both
+        // must separate the retained prefix from everything else.
+        let max_kept = single.retained().map(|(_, h, _)| h).max().unwrap();
+        assert!(single.acceptance_bound() >= max_kept);
+        assert!(merged.acceptance_bound() >= max_kept);
+    }
+
+    #[test]
+    #[should_panic(expected = "share parameters")]
+    fn merge_rejects_mismatched_params() {
+        let a = ThresholdSketch::new(params(2, 10), 1);
+        let b = ThresholdSketch::new(params(2, 20), 1);
+        let mut a = a;
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn bound_monotonically_decreases() {
+        let mut s = ThresholdSketch::new(params(2, 20), 17);
+        let mut last = s.acceptance_bound();
+        for e in 0..500u64 {
+            s.update(Edge::new(0u32, e));
+            s.update(Edge::new(1u32, e));
+            assert!(s.acceptance_bound() <= last);
+            last = s.acceptance_bound();
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # coverage-stream
+//!
+//! Edge-arrival streaming substrate.
+//!
+//! The paper's model (Section 1.1): membership edges `(S, u)` arrive one at
+//! a time **in arbitrary order**; multi-pass algorithms may traverse the
+//! same stream several times. This crate provides:
+//!
+//! * [`source`] — the replayable [`EdgeStream`] trait and its
+//!   implementations ([`VecStream`] for materialized streams,
+//!   [`FnStream`] for generator-backed streams that regenerate
+//!   deterministically instead of storing edges);
+//! * [`order`] — arrival-order policies (random, set-grouped = set-arrival
+//!   emulation, element-grouped, adversarial by descending hash);
+//! * [`meter`] — space accounting ([`SpaceReport`]) in the units the paper
+//!   uses (stored edges) plus auxiliary words and pass counts;
+//! * [`stats`] — harness-side stream statistics.
+//!
+//! Streaming *algorithms* consume `&dyn EdgeStream` and report a
+//! [`SpaceReport`]; nothing in this crate lets an algorithm cheat by
+//! seeking or storing the stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod order;
+pub mod source;
+pub mod stats;
+
+pub use meter::{SpaceReport, SpaceTracker};
+pub use order::ArrivalOrder;
+pub use source::{materialize, EdgeStream, FnStream, VecStream};
+pub use stats::StreamStats;

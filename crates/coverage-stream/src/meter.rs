@@ -1,0 +1,172 @@
+//! Space accounting.
+//!
+//! The paper's headline claims are *space* bounds, so every streaming
+//! structure in this repository reports how much it stored. The unit of
+//! record is **edges** (set–element pairs retained), matching Table 1 and
+//! Definition 2.1 ("the number of edges in `H'_{p*}` is at most …"); we
+//! additionally track auxiliary machine words (heaps, counters, sampled-id
+//! tables) so no structure can hide state outside the edge count.
+
+use serde::{Deserialize, Serialize};
+
+/// Peak space and pass count of one streaming run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceReport {
+    /// Peak number of stored membership edges.
+    pub peak_edges: u64,
+    /// Peak auxiliary words (hash values, heap entries, counters).
+    pub peak_aux_words: u64,
+    /// Number of passes over the stream.
+    pub passes: u32,
+}
+
+impl SpaceReport {
+    /// Total peak words assuming one word per stored edge endpoint pair
+    /// (an edge = 2 words) plus auxiliary words.
+    pub fn total_words(&self) -> u64 {
+        2 * self.peak_edges + self.peak_aux_words
+    }
+
+    /// Combine two reports of structures that coexist (peaks add; passes
+    /// take the maximum since the structures share the same pass).
+    pub fn coexist(self, other: SpaceReport) -> SpaceReport {
+        SpaceReport {
+            peak_edges: self.peak_edges + other.peak_edges,
+            peak_aux_words: self.peak_aux_words + other.peak_aux_words,
+            passes: self.passes.max(other.passes),
+        }
+    }
+
+    /// Combine two reports of structures used in sequence (peaks take the
+    /// max; passes add).
+    pub fn sequential(self, other: SpaceReport) -> SpaceReport {
+        SpaceReport {
+            peak_edges: self.peak_edges.max(other.peak_edges),
+            peak_aux_words: self.peak_aux_words.max(other.peak_aux_words),
+            passes: self.passes + other.passes,
+        }
+    }
+}
+
+/// Running peak tracker for a single structure.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpaceTracker {
+    cur_edges: u64,
+    cur_aux: u64,
+    peak_edges: u64,
+    peak_aux: u64,
+}
+
+impl SpaceTracker {
+    /// Fresh tracker with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `d` more stored edges.
+    #[inline]
+    pub fn add_edges(&mut self, d: u64) {
+        self.cur_edges += d;
+        self.peak_edges = self.peak_edges.max(self.cur_edges);
+    }
+
+    /// Record `d` edges released.
+    #[inline]
+    pub fn remove_edges(&mut self, d: u64) {
+        debug_assert!(self.cur_edges >= d, "edge meter underflow");
+        self.cur_edges -= d;
+    }
+
+    /// Record `d` more auxiliary words.
+    #[inline]
+    pub fn add_aux(&mut self, d: u64) {
+        self.cur_aux += d;
+        self.peak_aux = self.peak_aux.max(self.cur_aux);
+    }
+
+    /// Record `d` auxiliary words released.
+    #[inline]
+    pub fn remove_aux(&mut self, d: u64) {
+        debug_assert!(self.cur_aux >= d, "aux meter underflow");
+        self.cur_aux -= d;
+    }
+
+    /// Currently stored edges.
+    pub fn current_edges(&self) -> u64 {
+        self.cur_edges
+    }
+
+    /// Snapshot into a report with the given pass count.
+    pub fn report(&self, passes: u32) -> SpaceReport {
+        SpaceReport {
+            peak_edges: self.peak_edges,
+            peak_aux_words: self.peak_aux,
+            passes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peaks_not_currents() {
+        let mut t = SpaceTracker::new();
+        t.add_edges(10);
+        t.remove_edges(4);
+        t.add_edges(2);
+        // current = 8, peak = 10
+        assert_eq!(t.current_edges(), 8);
+        assert_eq!(t.report(1).peak_edges, 10);
+    }
+
+    #[test]
+    fn aux_words_tracked_separately() {
+        let mut t = SpaceTracker::new();
+        t.add_aux(100);
+        t.remove_aux(50);
+        t.add_edges(1);
+        let r = t.report(2);
+        assert_eq!(r.peak_aux_words, 100);
+        assert_eq!(r.peak_edges, 1);
+        assert_eq!(r.passes, 2);
+        assert_eq!(r.total_words(), 102);
+    }
+
+    #[test]
+    fn coexist_adds_peaks() {
+        let a = SpaceReport {
+            peak_edges: 10,
+            peak_aux_words: 5,
+            passes: 1,
+        };
+        let b = SpaceReport {
+            peak_edges: 20,
+            peak_aux_words: 1,
+            passes: 2,
+        };
+        let c = a.coexist(b);
+        assert_eq!(c.peak_edges, 30);
+        assert_eq!(c.peak_aux_words, 6);
+        assert_eq!(c.passes, 2);
+    }
+
+    #[test]
+    fn sequential_takes_max_peaks_and_adds_passes() {
+        let a = SpaceReport {
+            peak_edges: 10,
+            peak_aux_words: 5,
+            passes: 1,
+        };
+        let b = SpaceReport {
+            peak_edges: 20,
+            peak_aux_words: 1,
+            passes: 2,
+        };
+        let c = a.sequential(b);
+        assert_eq!(c.peak_edges, 20);
+        assert_eq!(c.peak_aux_words, 5);
+        assert_eq!(c.passes, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Arrival-order policies.
+//!
+//! The edge-arrival model promises nothing about order, so robustness to
+//! order is part of what the experiments probe (experiment A3). Four
+//! policies cover the interesting regimes:
+//!
+//! * [`ArrivalOrder::Random`] — a uniform shuffle (the "average case");
+//! * [`ArrivalOrder::SetGrouped`] — all edges of a set arrive together:
+//!   this *is* the set-arrival model, and is what set-arrival baselines
+//!   (Saha–Getoor, SieveStreaming) require;
+//! * [`ArrivalOrder::ElementGrouped`] — all copies of an element arrive
+//!   together (the transpose view; stresses per-element degree caps);
+//! * [`ArrivalOrder::ByHashDesc`] — elements arrive in *descending* sketch
+//!   hash order: every element initially looks "sampled" and is later
+//!   evicted, maximizing sketch churn. This is the adversarial order for
+//!   the threshold sketch's eviction machinery.
+
+use coverage_core::Edge;
+use coverage_hash::{SplitMix64, UnitHash};
+
+/// How a materialized edge list is ordered before streaming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Keep the order as constructed (set-major for instance dumps).
+    AsIs,
+    /// Uniform random shuffle with the given seed.
+    Random(u64),
+    /// Group edges by set id (emulates the set-arrival model); sets appear
+    /// in a shuffled order determined by the seed.
+    SetGrouped(u64),
+    /// Group edges by element id; elements appear in a shuffled order
+    /// determined by the seed.
+    ElementGrouped(u64),
+    /// Sort edges by descending `UnitHash(seed)` of their element: the
+    /// adversarial order for a bottom-hash sampling sketch.
+    ByHashDesc(u64),
+}
+
+impl ArrivalOrder {
+    /// Apply the policy to `edges` in place.
+    pub fn apply(self, edges: &mut [Edge]) {
+        match self {
+            ArrivalOrder::AsIs => {}
+            ArrivalOrder::Random(seed) => shuffle(edges, seed),
+            ArrivalOrder::SetGrouped(seed) => {
+                // Shuffle first so within-group order is randomized, then
+                // stable-sort by a per-set random rank.
+                shuffle(edges, seed);
+                let rank = UnitHash::new(seed ^ 0xA5A5_A5A5);
+                edges.sort_by_key(|e| rank.hash(e.set.0 as u64));
+            }
+            ArrivalOrder::ElementGrouped(seed) => {
+                shuffle(edges, seed);
+                let rank = UnitHash::new(seed ^ 0x5A5A_5A5A);
+                edges.sort_by_key(|e| rank.hash(e.element.0));
+            }
+            ArrivalOrder::ByHashDesc(seed) => {
+                let h = UnitHash::new(seed);
+                edges.sort_by_key(|e| std::cmp::Reverse(h.hash(e.element.0)));
+            }
+        }
+    }
+}
+
+/// Fisher–Yates shuffle driven by SplitMix64 (no `rand` needed here).
+fn shuffle(edges: &mut [Edge], seed: u64) {
+    let mut rng = SplitMix64::new(seed ^ 0xD1B5_4A32_D192_ED03);
+    for i in (1..edges.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        edges.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::{ElementId, SetId};
+
+    fn edges() -> Vec<Edge> {
+        let mut v = Vec::new();
+        for s in 0..5u32 {
+            for e in 0..8u64 {
+                v.push(Edge::new(s, e * 3 + s as u64 * 100));
+            }
+        }
+        v
+    }
+
+    fn is_permutation(a: &[Edge], b: &[Edge]) -> bool {
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let original = edges();
+        for order in [
+            ArrivalOrder::AsIs,
+            ArrivalOrder::Random(1),
+            ArrivalOrder::SetGrouped(2),
+            ArrivalOrder::ElementGrouped(3),
+            ArrivalOrder::ByHashDesc(4),
+        ] {
+            let mut e = original.clone();
+            order.apply(&mut e);
+            assert!(is_permutation(&original, &e), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn random_shuffle_is_seed_deterministic() {
+        let mut a = edges();
+        let mut b = edges();
+        ArrivalOrder::Random(7).apply(&mut a);
+        ArrivalOrder::Random(7).apply(&mut b);
+        assert_eq!(a, b);
+        let mut c = edges();
+        ArrivalOrder::Random(8).apply(&mut c);
+        assert_ne!(a, c, "different seeds should differ on 40 edges");
+    }
+
+    #[test]
+    fn set_grouped_is_contiguous_per_set() {
+        let mut e = edges();
+        ArrivalOrder::SetGrouped(5).apply(&mut e);
+        let mut seen: Vec<SetId> = Vec::new();
+        for edge in &e {
+            match seen.last() {
+                Some(&last) if last == edge.set => {}
+                _ => {
+                    assert!(
+                        !seen.contains(&edge.set),
+                        "set {:?} appears in two separate runs",
+                        edge.set
+                    );
+                    seen.push(edge.set);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn element_grouped_is_contiguous_per_element() {
+        let mut e: Vec<Edge> = vec![
+            Edge::new(0u32, 1u64),
+            Edge::new(1u32, 2u64),
+            Edge::new(2u32, 1u64),
+            Edge::new(3u32, 2u64),
+        ];
+        ArrivalOrder::ElementGrouped(9).apply(&mut e);
+        let mut seen: Vec<ElementId> = Vec::new();
+        for edge in &e {
+            match seen.last() {
+                Some(&last) if last == edge.element => {}
+                _ => {
+                    assert!(!seen.contains(&edge.element));
+                    seen.push(edge.element);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn by_hash_desc_sorts_by_element_hash() {
+        let mut e = edges();
+        let seed = 11;
+        ArrivalOrder::ByHashDesc(seed).apply(&mut e);
+        let h = UnitHash::new(seed);
+        for w in e.windows(2) {
+            assert!(h.hash(w[0].element.0) >= h.hash(w[1].element.0));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Replayable edge streams.
+//!
+//! [`EdgeStream`] is the only input interface the streaming algorithms see.
+//! A stream knows `n` (the number of sets — the paper's algorithms size
+//! their `Õ(n)` structures from it) but *not* `m`: the element universe is
+//! revealed edge by edge, exactly as in the edge-arrival model.
+//!
+//! Multi-pass algorithms simply call [`EdgeStream::for_each`] once per
+//! pass. Generator-backed streams ([`FnStream`]) regenerate the sequence
+//! deterministically, so replay does not imply storage.
+
+use coverage_core::{CoverageInstance, Edge};
+
+/// A replayable, arbitrarily-ordered stream of membership edges.
+pub trait EdgeStream {
+    /// Number of sets `n` in the family (known a priori, as in the paper).
+    fn num_sets(&self) -> usize;
+
+    /// Total number of edges per pass, if cheaply known (diagnostics only —
+    /// algorithms must not rely on it).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Deliver every edge, in this stream's fixed arrival order, to `f`.
+    /// Calling this again replays the identical sequence (one extra pass).
+    fn for_each(&self, f: &mut dyn FnMut(Edge));
+}
+
+/// A fully materialized stream (tests, small workloads, order experiments).
+#[derive(Clone, Debug)]
+pub struct VecStream {
+    num_sets: usize,
+    edges: Vec<Edge>,
+}
+
+impl VecStream {
+    /// A stream over `edges` for a family of `num_sets` sets.
+    pub fn new(num_sets: usize, edges: Vec<Edge>) -> Self {
+        VecStream { num_sets, edges }
+    }
+
+    /// Materialize an instance's edges in set-major order (apply an
+    /// [`crate::order::ArrivalOrder`] afterwards for other orders).
+    pub fn from_instance(inst: &CoverageInstance) -> Self {
+        VecStream {
+            num_sets: inst.num_sets(),
+            edges: inst.edges().collect(),
+        }
+    }
+
+    /// Borrow the underlying edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Mutable access for order shuffling.
+    pub fn edges_mut(&mut self) -> &mut Vec<Edge> {
+        &mut self.edges
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Edge)) {
+        for &e in &self.edges {
+            f(e);
+        }
+    }
+}
+
+/// A generator-backed stream: each pass re-invokes the generator, which
+/// must be deterministic. This is how large workloads stream without the
+/// harness itself holding `Ω(|E|)` memory.
+pub struct FnStream<F>
+where
+    F: Fn(&mut dyn FnMut(Edge)),
+{
+    num_sets: usize,
+    len_hint: Option<usize>,
+    gen: F,
+}
+
+impl<F> FnStream<F>
+where
+    F: Fn(&mut dyn FnMut(Edge)),
+{
+    /// A stream that calls `gen` once per pass.
+    pub fn new(num_sets: usize, gen: F) -> Self {
+        FnStream {
+            num_sets,
+            len_hint: None,
+            gen,
+        }
+    }
+
+    /// Attach a length hint for diagnostics.
+    pub fn with_len_hint(mut self, len: usize) -> Self {
+        self.len_hint = Some(len);
+        self
+    }
+}
+
+impl<F> EdgeStream for FnStream<F>
+where
+    F: Fn(&mut dyn FnMut(Edge)),
+{
+    fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.len_hint
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Edge)) {
+        (self.gen)(f)
+    }
+}
+
+/// Collect a stream into a [`CoverageInstance`] (harness/test helper; a
+/// streaming algorithm doing this would of course be cheating).
+pub fn materialize(stream: &dyn EdgeStream) -> CoverageInstance {
+    let mut b = CoverageInstance::builder(stream.num_sets());
+    stream.for_each(&mut |e| b.add_edge(e));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::SetId;
+
+    fn edges() -> Vec<Edge> {
+        vec![
+            Edge::new(0u32, 10u64),
+            Edge::new(1u32, 11u64),
+            Edge::new(0u32, 11u64),
+        ]
+    }
+
+    #[test]
+    fn vec_stream_replays_identically() {
+        let s = VecStream::new(2, edges());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        s.for_each(&mut |e| a.push(e));
+        s.for_each(&mut |e| b.push(e));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(s.len_hint(), Some(3));
+    }
+
+    #[test]
+    fn fn_stream_regenerates() {
+        let s = FnStream::new(4, |f| {
+            for i in 0..5u64 {
+                f(Edge::new((i % 4) as u32, i * 7));
+            }
+        })
+        .with_len_hint(5);
+        let mut count = 0;
+        s.for_each(&mut |_| count += 1);
+        s.for_each(&mut |_| count += 1);
+        assert_eq!(count, 10);
+        assert_eq!(s.num_sets(), 4);
+        assert_eq!(s.len_hint(), Some(5));
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let s = VecStream::new(2, edges());
+        let inst = materialize(&s);
+        assert_eq!(inst.num_sets(), 2);
+        assert_eq!(inst.num_elements(), 2);
+        assert_eq!(inst.num_edges(), 3);
+        assert_eq!(inst.coverage(&[SetId(0), SetId(1)]), 2);
+    }
+
+    #[test]
+    fn instance_stream_roundtrip() {
+        let inst = CoverageInstance::from_edges(2, edges());
+        let s = VecStream::from_instance(&inst);
+        let inst2 = materialize(&s);
+        assert_eq!(inst2.num_edges(), inst.num_edges());
+        assert_eq!(inst2.num_elements(), inst.num_elements());
+    }
+}

@@ -1,0 +1,85 @@
+//! Harness-side stream statistics.
+//!
+//! Experiments print the true `n`, `m`, `|E|` of each workload next to the
+//! space an algorithm used; this module computes those ground-truth
+//! numbers by scanning the stream (the harness may use `O(m)` memory — the
+//! algorithms under test may not).
+
+use coverage_hash::FxHashSet;
+
+use crate::source::EdgeStream;
+
+/// Exact statistics of one pass over a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of sets in the family (as declared by the stream).
+    pub num_sets: usize,
+    /// Distinct elements observed.
+    pub num_elements: usize,
+    /// Total edge events (including duplicates).
+    pub num_edge_events: usize,
+    /// Distinct edges.
+    pub num_distinct_edges: usize,
+    /// Maximum element degree (over distinct edges).
+    pub max_element_degree: usize,
+}
+
+impl StreamStats {
+    /// Scan `stream` once and collect exact statistics.
+    pub fn collect(stream: &dyn EdgeStream) -> Self {
+        let mut elements: FxHashSet<u64> = FxHashSet::default();
+        let mut edges: FxHashSet<(u32, u64)> = FxHashSet::default();
+        let mut events = 0usize;
+        stream.for_each(&mut |e| {
+            events += 1;
+            elements.insert(e.element.0);
+            edges.insert((e.set.0, e.element.0));
+        });
+        let mut degree: coverage_hash::FxHashMap<u64, usize> = Default::default();
+        for &(_, el) in &edges {
+            *degree.entry(el).or_insert(0) += 1;
+        }
+        StreamStats {
+            num_sets: stream.num_sets(),
+            num_elements: elements.len(),
+            num_edge_events: events,
+            num_distinct_edges: edges.len(),
+            max_element_degree: degree.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecStream;
+    use coverage_core::Edge;
+
+    #[test]
+    fn collects_exact_counts() {
+        let s = VecStream::new(
+            3,
+            vec![
+                Edge::new(0u32, 1u64),
+                Edge::new(1u32, 1u64),
+                Edge::new(2u32, 1u64),
+                Edge::new(0u32, 2u64),
+                Edge::new(0u32, 2u64), // duplicate event
+            ],
+        );
+        let st = StreamStats::collect(&s);
+        assert_eq!(st.num_sets, 3);
+        assert_eq!(st.num_elements, 2);
+        assert_eq!(st.num_edge_events, 5);
+        assert_eq!(st.num_distinct_edges, 4);
+        assert_eq!(st.max_element_degree, 3);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = VecStream::new(2, vec![]);
+        let st = StreamStats::collect(&s);
+        assert_eq!(st.num_elements, 0);
+        assert_eq!(st.max_element_degree, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Data summarization: pick `k` documents whose combined vocabulary is as
+//! large as possible — the machine-learning use-case the paper's
+//! introduction cites. Also demonstrates the Appendix D ℓ₀-sketch
+//! baseline and why its `Õ(nk)` space loses to the sketch's `Õ(n)`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example data_summarization
+//! ```
+
+use coverage_suite::core::report::Table;
+use coverage_suite::data::domains::summarization;
+use coverage_suite::prelude::*;
+
+fn main() {
+    let inst = summarization(/*docs=*/ 250, /*vocab=*/ 30_000, /*seed=*/ 8);
+    println!(
+        "summarization: {} documents, {} vocabulary terms, {} (doc, term) pairs",
+        inst.num_sets(),
+        inst.num_elements(),
+        inst.num_edges()
+    );
+
+    let mut stream = VecStream::from_instance(&inst);
+    ArrivalOrder::Random(17).apply(stream.edges_mut());
+
+    let mut t = Table::new(
+        "summary quality and memory as k grows",
+        &[
+            "k",
+            "H≤n terms",
+            "H≤n space",
+            "l0-greedy terms",
+            "l0 space (words)",
+            "offline terms",
+        ],
+    );
+    for k in [3usize, 6, 12, 24] {
+        let ours = k_cover_streaming(
+            &stream,
+            &KCoverConfig::new(k, 0.2, 2).with_sizing(SketchSizing::Budget(5_000)),
+        );
+        // Appendix D baseline, sized by its own theory: t = Õ(k/ε²).
+        let t_kmv = L0Config::paper_t(inst.num_sets(), k, 0.5);
+        let l0 = l0_greedy_k_cover(&stream, k, &L0Config::new(t_kmv, 6));
+        let offline = lazy_greedy_k_cover(&inst, k);
+        t.row(vec![
+            format!("{k}"),
+            format!("{}", inst.coverage(&ours.family)),
+            format!("{}", ours.space.peak_edges),
+            format!("{}", inst.coverage(&l0.family)),
+            format!("{}", l0.space.peak_aux_words),
+            format!("{}", offline.coverage()),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!(
+        "the H≤n sketch keeps its footprint flat as k grows; the per-set\n\
+         l0 sketches pay Õ(k) words in *every* of the n sets (Appendix D)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Distributed k-cover via composable sketches — the extension the
+//! paper's conclusion points to (companion work `[10]`): shard the edge
+//! stream across machines, sketch each shard independently, merge, solve.
+//! The output is bit-identical to the single-machine Algorithm 3.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distributed_kcover
+//! ```
+
+use coverage_suite::core::report::Table;
+use coverage_suite::prelude::*;
+
+fn main() {
+    let planted = planted_k_cover(
+        /*n=*/ 250, /*m=*/ 60_000, /*k=*/ 6, 800, /*seed=*/ 4,
+    );
+    let inst = &planted.instance;
+    let mut stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(12).apply(stream.edges_mut());
+    println!(
+        "workload: n={} sets, m={} elements, |E|={} edges",
+        inst.num_sets(),
+        inst.num_elements(),
+        inst.num_edges()
+    );
+
+    let mut t = Table::new(
+        "map (shard sketches) -> reduce (merge) -> solve (greedy)",
+        &[
+            "machines",
+            "coverage/OPT",
+            "max per-machine edges",
+            "merged edges",
+            "family",
+        ],
+    );
+    for machines in [1usize, 8, 64] {
+        let cfg = DistConfig::new(machines, 6, 0.25, 33).with_sizing(SketchSizing::Budget(2_000));
+        let res = distributed_k_cover(&stream, &cfg);
+        let ratio = inst.coverage(&res.family) as f64 / planted.optimal_value as f64;
+        t.row(vec![
+            machines.to_string(),
+            format!("{ratio:.3}"),
+            res.per_machine
+                .iter()
+                .map(|r| r.peak_edges)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
+            res.merged_edges.to_string(),
+            format!("{:?}", res.family),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!(
+        "identical families on every row: sketches of edge shards merge into\n\
+         exactly the sketch of the whole stream (the hash-prefix property\n\
+         composes), so distribution is free of quality loss."
+    );
+}

@@ -1,0 +1,60 @@
+//! The pass/space trade-off of Algorithm 6: full set cover in `2r−1`
+//! passes using `Õ(n·m^{3/(2+r)} + m)` space — more passes, smaller
+//! residual, less memory.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example multipass_set_cover
+//! ```
+
+use coverage_suite::core::report::Table;
+use coverage_suite::prelude::*;
+
+fn main() {
+    let planted = planted_set_cover(
+        /*n=*/ 150, /*m=*/ 40_000, /*k*=*/ 10, 800, /*seed=*/ 5,
+    );
+    let inst = &planted.instance;
+    println!(
+        "set cover: n={} sets, m={} elements, |E|={}, optimal cover = {} sets",
+        inst.num_sets(),
+        inst.num_elements(),
+        inst.num_edges(),
+        planted.optimal_value
+    );
+
+    let mut stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(13).apply(stream.edges_mut());
+
+    let mut t = Table::new(
+        "Algorithm 6: rounds r vs cover size and space",
+        &[
+            "r",
+            "passes",
+            "cover size",
+            "residual edges stored",
+            "peak edges",
+            "is cover?",
+        ],
+    );
+    for r in [1usize, 2, 3, 4, 6] {
+        let cfg = MultiPassConfig::new(r, 0.5, 31)
+            .with_m(inst.num_elements())
+            .with_sizing(SketchSizing::Budget(6_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        t.row(vec![
+            format!("{r}"),
+            format!("{}", res.passes),
+            format!("{}", res.family.len()),
+            format!("{}", res.residual_edges),
+            format!("{}", res.space.peak_edges),
+            format!("{}", inst.is_cover(&res.family)),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!(
+        "r=1 stores the entire input (the trivial algorithm); each extra\n\
+         round multiplies the stored residual down by ≈ m^(-1/(2+r)),\n\
+         while the cover stays within (1+ε)·ln(m) of optimal."
+    );
+}

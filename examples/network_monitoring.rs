@@ -1,0 +1,58 @@
+//! Network monitoring as set cover with outliers (Algorithm 5): place as
+//! few monitors as possible while observing at least `1 − λ` of all links
+//! — tolerating a small unmonitored tail is what keeps the stream-side
+//! memory at `Õ_λ(n)`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example network_monitoring
+//! ```
+
+use coverage_suite::core::report::Table;
+use coverage_suite::data::domains::network_monitoring;
+use coverage_suite::prelude::*;
+
+fn main() {
+    let (inst, k_star) = network_monitoring(
+        /*probes=*/ 200, /*links=*/ 30_000, /*k*=*/ 12, 9,
+    );
+    println!(
+        "monitoring: {} candidate probes, {} links, optimal placement = {k_star} probes",
+        inst.num_sets(),
+        inst.num_elements()
+    );
+
+    let mut stream = VecStream::from_instance(&inst);
+    ArrivalOrder::Random(4).apply(stream.edges_mut());
+
+    let mut t = Table::new(
+        "monitors needed vs tolerated outlier fraction λ",
+        &[
+            "lambda",
+            "monitors",
+            "links covered",
+            "fraction",
+            "paper bound (1+ε)·k*·ln(1/λ)",
+            "space (edges)",
+        ],
+    );
+    for lambda in [0.25, 0.15, 0.10, 0.05, 0.02] {
+        let cfg = OutlierConfig::new(lambda, 0.4, 21).with_sizing(SketchSizing::Budget(5_000));
+        let res = set_cover_outliers(&stream, &cfg);
+        let covered = inst.coverage(&res.family);
+        let bound = (1.0 + 0.4) * k_star as f64 * (1.0 / lambda).ln();
+        t.row(vec![
+            format!("{lambda:.2}"),
+            format!("{}", res.family.len()),
+            format!("{covered}"),
+            format!("{:.3}", covered as f64 / inst.num_elements() as f64),
+            format!("{bound:.1}"),
+            format!("{}", res.space.peak_edges),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!(
+        "fewer tolerated outliers → more monitors and a bigger sketch bank,\n\
+         tracking the (1+ε)·ln(1/λ) factor of Theorem 3.3."
+    );
+}

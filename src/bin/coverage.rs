@@ -1,0 +1,431 @@
+//! `coverage` — a command-line front end for the streaming coverage
+//! library.
+//!
+//! ```text
+//! coverage kcover    --n 200 --m 50000 --k 8 [--budget 5000] [--workload zipf]
+//! coverage setcover  --n 200 --m 20000 --kstar 10 --lambda 0.1
+//! coverage multipass --n 200 --m 40000 --kstar 10 --rounds 3
+//! coverage dist      --n 200 --m 40000 --k 6 --machines 8
+//! coverage gen       --n 50 --m 1000 --workload uniform   # dump edges as TSV
+//! ```
+//!
+//! Everything is seeded (`--seed`, default 42) and prints a result table
+//! plus the space report, so the tool doubles as a quick benchmarking
+//! harness on synthetic workloads.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use coverage_suite::core::report::{fmt_count, fmt_f, Table};
+use coverage_suite::data::domains::blog_watch;
+use coverage_suite::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+    match cmd.as_str() {
+        "kcover" => cmd_kcover(&flags),
+        "setcover" => cmd_setcover(&flags),
+        "multipass" => cmd_multipass(&flags),
+        "dist" => cmd_dist(&flags),
+        "solve" => cmd_solve(&flags),
+        "lemmas" => cmd_lemmas(&flags),
+        "gen" => cmd_gen(&flags),
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "coverage — streaming coverage problems (SPAA'17 H<=n sketch)
+
+USAGE:
+  coverage kcover    --n <sets> --m <elements> --k <k> [--budget B] [--eps E] [--workload W] [--seed S]
+                     [--input FILE.sets]   # load an instance instead of generating one
+  coverage setcover  --n <sets> --m <elements> --kstar <k*> --lambda <L> [--budget B] [--eps E] [--seed S]
+  coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
+  coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--budget B] [--seed S]
+  coverage solve     --n <sets> --m <elements> --k <k> [--workload W] [--seed S]
+                     # offline solver comparison: greedy / local search / stochastic / parallel
+  coverage lemmas    [--n N] [--m M] [--seed S]        # empirical Section 2 lemma checks
+  coverage gen       --n <sets> --m <elements> [--workload W] [--seed S] [--format tsv|sets|json]
+
+WORKLOADS: uniform (default) | zipf | planted | blogs
+DEFAULTS:  --eps 0.25  --budget 5000  --seed 42";
+
+/// Split `cmd flag-value pairs` into a command plus a flag map.
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let (cmd, rest) = args.split_first()?;
+    let mut flags = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        let val = it.next()?;
+        flags.insert(key.to_string(), val.clone());
+    }
+    Some((cmd.clone(), flags))
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {v}");
+            exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn require<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> T {
+    match flags.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --{key}: {v}");
+            exit(2);
+        }),
+        None => {
+            eprintln!("missing required flag --{key}\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+/// Build the requested workload; returns the instance and, when known, the
+/// planted optimum for a k-cover of size `k`.
+fn workload(
+    flags: &HashMap<String, String>,
+    k: usize,
+) -> (coverage_suite::core::CoverageInstance, Option<usize>) {
+    let n: usize = require(flags, "n");
+    let m: u64 = require(flags, "m");
+    let seed: u64 = get(flags, "seed", 42);
+    let kind = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("uniform");
+    match kind {
+        "uniform" => (
+            uniform_instance(n, m, (m / 50).max(10) as usize, seed),
+            None,
+        ),
+        "zipf" => (
+            zipf_instance(n, m, 0.5, 1.05, (m / 4).max(8) as usize, seed),
+            None,
+        ),
+        "planted" => {
+            let p = planted_k_cover(n, m, k.max(1), (m / 20).max(4) as usize, seed);
+            (p.instance, Some(p.optimal_value))
+        }
+        "blogs" => (blog_watch(n, m, seed), None),
+        other => {
+            eprintln!("unknown workload `{other}` (uniform|zipf|planted|blogs)");
+            exit(2);
+        }
+    }
+}
+
+fn stream_of(inst: &coverage_suite::core::CoverageInstance, seed: u64) -> VecStream {
+    let mut s = VecStream::from_instance(inst);
+    ArrivalOrder::Random(seed ^ 0xC11).apply(s.edges_mut());
+    s
+}
+
+fn print_header(inst: &coverage_suite::core::CoverageInstance) {
+    println!(
+        "instance: n={} m={} |E|={}",
+        fmt_count(inst.num_sets() as u64),
+        fmt_count(inst.num_elements() as u64),
+        fmt_count(inst.num_edges() as u64)
+    );
+}
+
+fn cmd_kcover(flags: &HashMap<String, String>) {
+    let k: usize = require(flags, "k");
+    let (inst, opt) = match flags.get("input") {
+        Some(path) => match coverage_suite::data::load_text(path) {
+            Ok(inst) => (inst, None),
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                exit(2);
+            }
+        },
+        None => workload(flags, k),
+    };
+    print_header(&inst);
+    let seed: u64 = get(flags, "seed", 42);
+    let eps: f64 = get(flags, "eps", 0.25);
+    let budget: usize = get(flags, "budget", 5_000);
+    let stream = stream_of(&inst, seed);
+    let res = k_cover_streaming(
+        &stream,
+        &KCoverConfig::new(k, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+    );
+    let covered = inst.coverage(&res.family);
+    let mut t = Table::new("k-cover (Algorithm 3)", &["metric", "value"]);
+    t.row(vec!["family".into(), format!("{:?}", res.family)]);
+    t.row(vec!["covered".into(), fmt_count(covered as u64)]);
+    if let Some(opt) = opt {
+        t.row(vec![
+            "coverage/OPT".into(),
+            fmt_f(covered as f64 / opt as f64, 4),
+        ]);
+    }
+    t.row(vec!["estimate".into(), fmt_f(res.estimated_coverage, 1)]);
+    t.row(vec!["sampling p*".into(), fmt_f(res.sampling_p, 6)]);
+    t.row(vec![
+        "space (edges)".into(),
+        fmt_count(res.space.peak_edges),
+    ]);
+    t.row(vec!["passes".into(), res.space.passes.to_string()]);
+    println!("{}", t.render());
+}
+
+fn cmd_setcover(flags: &HashMap<String, String>) {
+    let k_star: usize = require(flags, "kstar");
+    let n: usize = require(flags, "n");
+    let m: u64 = require(flags, "m");
+    let seed: u64 = get(flags, "seed", 42);
+    let lambda: f64 = get(flags, "lambda", 0.1);
+    let eps: f64 = get(flags, "eps", 0.5);
+    let budget: usize = get(flags, "budget", 5_000);
+    let p = planted_set_cover(n, m, k_star, (m / 20).max(4) as usize, seed);
+    print_header(&p.instance);
+    let stream = stream_of(&p.instance, seed);
+    let res = set_cover_outliers(
+        &stream,
+        &OutlierConfig::new(lambda, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+    );
+    let mut t = Table::new(
+        "set cover with outliers (Algorithm 5)",
+        &["metric", "value"],
+    );
+    t.row(vec!["sets used".into(), res.family.len().to_string()]);
+    t.row(vec![
+        "|S|/k*".into(),
+        fmt_f(res.family.len() as f64 / k_star as f64, 3),
+    ]);
+    t.row(vec![
+        "covered fraction".into(),
+        fmt_f(p.instance.coverage_fraction(&res.family), 4),
+    ]);
+    t.row(vec!["verified".into(), res.verified.to_string()]);
+    t.row(vec!["guesses built".into(), res.num_guesses.to_string()]);
+    t.row(vec![
+        "space (edges)".into(),
+        fmt_count(res.space.peak_edges),
+    ]);
+    println!("{}", t.render());
+}
+
+fn cmd_multipass(flags: &HashMap<String, String>) {
+    let k_star: usize = require(flags, "kstar");
+    let n: usize = require(flags, "n");
+    let m: u64 = require(flags, "m");
+    let seed: u64 = get(flags, "seed", 42);
+    let rounds: usize = get(flags, "rounds", 3);
+    let eps: f64 = get(flags, "eps", 0.5);
+    let budget: usize = get(flags, "budget", 5_000);
+    let p = planted_set_cover(n, m, k_star, (m / 20).max(4) as usize, seed);
+    print_header(&p.instance);
+    let stream = stream_of(&p.instance, seed);
+    let res = set_cover_multipass(
+        &stream,
+        &MultiPassConfig::new(rounds, eps, seed)
+            .with_m(p.instance.num_elements())
+            .with_sizing(SketchSizing::Budget(budget)),
+    );
+    let mut t = Table::new("set cover (Algorithm 6)", &["metric", "value"]);
+    t.row(vec!["cover size".into(), res.family.len().to_string()]);
+    t.row(vec![
+        "|S|/k*".into(),
+        fmt_f(res.family.len() as f64 / k_star as f64, 3),
+    ]);
+    t.row(vec![
+        "is cover".into(),
+        p.instance.is_cover(&res.family).to_string(),
+    ]);
+    t.row(vec!["passes".into(), res.passes.to_string()]);
+    t.row(vec![
+        "residual edges".into(),
+        fmt_count(res.residual_edges as u64),
+    ]);
+    t.row(vec![
+        "space (edges)".into(),
+        fmt_count(res.space.peak_edges),
+    ]);
+    println!("{}", t.render());
+}
+
+fn cmd_dist(flags: &HashMap<String, String>) {
+    let k: usize = require(flags, "k");
+    let machines: usize = get(flags, "machines", 4);
+    let (inst, opt) = workload(flags, k);
+    print_header(&inst);
+    let seed: u64 = get(flags, "seed", 42);
+    let budget: usize = get(flags, "budget", 5_000);
+    let stream = stream_of(&inst, seed);
+    let res = distributed_k_cover(
+        &stream,
+        &DistConfig::new(machines, k, 0.25, seed).with_sizing(SketchSizing::Budget(budget)),
+    );
+    let covered = inst.coverage(&res.family);
+    let mut t = Table::new(
+        format!("distributed k-cover ({machines} machines)"),
+        &["metric", "value"],
+    );
+    t.row(vec!["family".into(), format!("{:?}", res.family)]);
+    t.row(vec!["covered".into(), fmt_count(covered as u64)]);
+    if let Some(opt) = opt {
+        t.row(vec![
+            "coverage/OPT".into(),
+            fmt_f(covered as f64 / opt as f64, 4),
+        ]);
+    }
+    t.row(vec![
+        "max per-machine edges".into(),
+        fmt_count(
+            res.per_machine
+                .iter()
+                .map(|r| r.peak_edges)
+                .max()
+                .unwrap_or(0),
+        ),
+    ]);
+    t.row(vec![
+        "merged edges".into(),
+        fmt_count(res.merged_edges as u64),
+    ]);
+    println!("{}", t.render());
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) {
+    let (inst, _) = workload(flags, 1);
+    let seed: u64 = get(flags, "seed", 42);
+    let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = std::io::BufWriter::new(stdout.lock());
+    let ok = match format {
+        "tsv" => {
+            let stream = stream_of(&inst, seed);
+            stream
+                .edges()
+                .iter()
+                .all(|e| writeln!(lock, "{}\t{}", e.set.0, e.element.0).is_ok())
+        }
+        "sets" => lock
+            .write_all(coverage_suite::data::to_text(&inst).as_bytes())
+            .is_ok(),
+        "json" => {
+            let meta = InstanceMeta {
+                name: "generated".into(),
+                source: format!("{flags:?}"),
+            };
+            lock.write_all(coverage_suite::data::to_json(&inst, &meta).as_bytes())
+                .is_ok()
+        }
+        other => {
+            eprintln!("unknown format `{other}` (tsv|sets|json)");
+            exit(2);
+        }
+    };
+    if !ok {
+        exit(1);
+    }
+}
+
+fn cmd_solve(flags: &HashMap<String, String>) {
+    let k: usize = require(flags, "k");
+    let (inst, opt) = workload(flags, k);
+    print_header(&inst);
+    let seed: u64 = get(flags, "seed", 42);
+    let mut t = Table::new(
+        "offline solver comparison",
+        &["solver", "coverage", "vs greedy", "sets"],
+    );
+    let greedy = lazy_greedy_k_cover(&inst, k);
+    let gcov = greedy.coverage().max(1);
+    let mut row = |name: &str, fam: &[SetId]| {
+        let c = inst.coverage(fam);
+        t.row(vec![
+            name.into(),
+            fmt_count(c as u64),
+            fmt_f(c as f64 / gcov as f64, 4),
+            fam.len().to_string(),
+        ]);
+    };
+    row("lazy greedy", &greedy.family());
+    row(
+        "local search (swap)",
+        &local_search_k_cover(&inst, k).family,
+    );
+    row(
+        "stochastic greedy",
+        &stochastic_greedy_k_cover(&inst, k, 0.1, seed).family(),
+    );
+    row(
+        "parallel greedy x4",
+        &parallel_greedy_k_cover(&inst, k, 4).family(),
+    );
+    if let Some(opt) = opt {
+        t.row(vec![
+            "planted OPT".into(),
+            fmt_count(opt as u64),
+            fmt_f(opt as f64 / gcov as f64, 4),
+            "-".into(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn cmd_lemmas(flags: &HashMap<String, String>) {
+    use coverage_suite::sketch::{
+        check_lemma_2_2, check_lemma_2_3, check_lemma_2_4, check_theorem_2_7,
+    };
+    let n: usize = get(flags, "n", 30);
+    let m: u64 = get(flags, "m", 3_000);
+    let seed: u64 = get(flags, "seed", 42);
+    let inst = uniform_instance(n, m, (m / 25).max(8) as usize, seed);
+    let k = 4;
+    let eps = 0.25;
+    let p = 0.5;
+    let mut t = Table::new(
+        format!("Section 2 lemma checks (n={n}, m={m}, k={k}, eps={eps}, p={p})"),
+        &["claim", "measured", "bound", "holds"],
+    );
+    let c = check_lemma_2_2(&inst, k, eps, p, 5, 4, seed);
+    t.row(vec![
+        "Lemma 2.2 (estimator)".into(),
+        fmt_f(c.worst_abs_err, 2),
+        fmt_f(c.allowance, 2),
+        (c.violations == 0).to_string(),
+    ]);
+    let c = check_lemma_2_3(&inst, k, eps, p, seed);
+    t.row(vec![
+        "Lemma 2.3 (Hp -> G)".into(),
+        fmt_f(c.ratio_on_target, 3),
+        fmt_f(c.guaranteed, 3),
+        c.holds().to_string(),
+    ]);
+    let cap = SketchParams::paper_degree_cap(n, k, eps);
+    let c = check_lemma_2_4(&inst, k, eps, p, cap, seed);
+    t.row(vec![
+        "Lemma 2.4 (H'p -> Hp)".into(),
+        fmt_f(c.ratio_on_target, 3),
+        fmt_f(c.guaranteed, 3),
+        c.holds().to_string(),
+    ]);
+    let params = SketchParams::with_budget(n, k, eps, 4 * n * k);
+    let c = check_theorem_2_7(&inst, params, seed);
+    t.row(vec![
+        "Theorem 2.7 (H<=n -> G)".into(),
+        fmt_f(c.ratio_on_target, 3),
+        fmt_f(c.guaranteed, 3),
+        c.holds().to_string(),
+    ]);
+    println!("{}", t.render());
+}

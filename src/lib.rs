@@ -1,0 +1,96 @@
+//! # coverage-suite
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Bateni, Esfandiari, Mirrokni.
+//! > **Almost Optimal Streaming Algorithms for Coverage Problems.**
+//! > SPAA 2017 (arXiv:1610.08096).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | instances, coverage function, offline greedy/exact solvers |
+//! | [`hash`] | seeded uniform hashing, KMV/LogLog distinct counters |
+//! | [`stream`] | edge-arrival streams, arrival orders, space metering |
+//! | [`sketch`] | the paper's `H≤n` sketch (`Hp`, `H'p`, threshold sketch) |
+//! | [`algs`] | Algorithms 3–6 + baselines (Saha–Getoor, Sieve, ℓ₀) |
+//! | [`lb`] | hardness artifacts (k-purification, noisy oracle, DISJ) |
+//! | [`data`] | synthetic workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coverage_suite::prelude::*;
+//!
+//! // A planted instance: 4 golden sets partition 10_000 elements.
+//! let planted = planted_k_cover(40, 10_000, 4, 300, /*seed=*/ 1);
+//! let mut stream = VecStream::from_instance(&planted.instance);
+//! ArrivalOrder::Random(7).apply(stream.edges_mut());
+//!
+//! // Single pass, Õ(n) space, (1 − 1/e − ε)-approximate.
+//! let cfg = KCoverConfig::new(/*k=*/ 4, /*eps=*/ 0.2, /*seed=*/ 42)
+//!     .with_sizing(SketchSizing::Budget(5_000));
+//! let result = k_cover_streaming(&stream, &cfg);
+//!
+//! let achieved = planted.instance.coverage(&result.family);
+//! assert!(achieved as f64 >= 0.8 * planted.optimal_value as f64);
+//! assert!(result.space.peak_edges < planted.instance.num_edges() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use coverage_algs as algs;
+pub use coverage_core as core;
+pub use coverage_data as data;
+pub use coverage_dist as dist;
+pub use coverage_hash as hash;
+pub use coverage_lb as lb;
+pub use coverage_sketch as sketch;
+pub use coverage_stream as stream;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use coverage_algs::baselines::{
+        l0_exhaustive_k_cover, l0_greedy_k_cover, mcgregor_vu_k_cover, progressive_set_cover,
+        saha_getoor_k_cover, sieve_k_cover, store_all_k_cover, store_all_set_cover, BaselineResult,
+        L0Config, MvConfig,
+    };
+    pub use coverage_algs::{
+        apply_prune, k_cover_streaming, prune_near_duplicates, set_cover_multipass,
+        set_cover_outliers, KCoverConfig, KCoverResult, MultiPassConfig, MultiPassResult,
+        OutlierConfig, OutlierResult, PruneResult,
+    };
+    pub use coverage_core::offline::{
+        exact_k_cover, exact_set_cover, exact_weighted_k_cover, greedy_k_cover,
+        greedy_partial_cover, greedy_set_cover, lazy_greedy_k_cover, local_search_k_cover,
+        parallel_greedy_k_cover, stochastic_greedy_k_cover, weighted_coverage,
+        weighted_greedy_k_cover, weighted_greedy_partial_cover, ElementWeights,
+    };
+    pub use coverage_core::{
+        CoverageInstance, CoverageOracle, Edge, ElementId, InstanceBuilder, SetId,
+    };
+    pub use coverage_data::{
+        disjoint_blocks, greedy_trap, planted_k_cover, planted_set_cover, preferential_attachment,
+        uniform_instance, zipf_instance, BlockModel, InstanceMeta,
+    };
+    pub use coverage_dist::{distributed_k_cover, tree_reduce, DistConfig, DistResult};
+    pub use coverage_sketch::{
+        AblatedSketch, EvictionPolicy, SketchParams, SketchSizing, SketchSnapshot, ThresholdSketch,
+    };
+    pub use coverage_stream::{ArrivalOrder, EdgeStream, SpaceReport, VecStream};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let planted = planted_k_cover(10, 500, 2, 30, 1);
+        let stream = VecStream::from_instance(&planted.instance);
+        let cfg = KCoverConfig::new(2, 0.3, 1).with_sizing(SketchSizing::Budget(2_000));
+        let res = k_cover_streaming(&stream, &cfg);
+        assert!(!res.family.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Statistical guarantee checks for every baseline, plus failure-injection
+//! tests (duplicate edges, empty streams, degenerate parameters) across
+//! the whole algorithm surface.
+
+use coverage_suite::core::Edge;
+use coverage_suite::prelude::*;
+
+/// Saha–Getoor stays above 1/4 across seeds and workload shapes.
+#[test]
+fn saha_getoor_quarter_guarantee_across_seeds() {
+    for seed in 0..10u64 {
+        let p = planted_k_cover(40, 2_000, 5, 350, seed);
+        let mut s = VecStream::from_instance(&p.instance);
+        ArrivalOrder::SetGrouped(seed).apply(s.edges_mut());
+        let res = saha_getoor_k_cover(&s, 5);
+        let ratio = p.instance.coverage(&res.family) as f64 / p.optimal_value as f64;
+        assert!(ratio >= 0.25, "seed {seed}: SG ratio {ratio} < 1/4");
+    }
+}
+
+/// SieveStreaming stays above 1/2 − ε across seeds.
+#[test]
+fn sieve_half_guarantee_across_seeds() {
+    for seed in 0..10u64 {
+        let p = planted_k_cover(40, 2_000, 5, 300, seed);
+        let mut s = VecStream::from_instance(&p.instance);
+        ArrivalOrder::SetGrouped(seed ^ 3).apply(s.edges_mut());
+        let res = sieve_k_cover(&s, 5, 0.15);
+        let ratio = p.instance.coverage(&res.family) as f64 / p.optimal_value as f64;
+        assert!(ratio >= 0.35 - 1e-9, "seed {seed}: sieve ratio {ratio}");
+    }
+}
+
+/// The ℓ₀ exhaustive variant optimizes its sketched objective at least as
+/// well as ℓ₀ greedy on small instances.
+#[test]
+fn l0_exhaustive_dominates_greedy_on_sketched_objective() {
+    for seed in 0..5u64 {
+        let p = planted_k_cover(9, 300, 3, 40, seed);
+        let s = VecStream::from_instance(&p.instance);
+        let cfg = L0Config::new(512, seed);
+        let g = l0_greedy_k_cover(&s, 3, &cfg);
+        let x = l0_exhaustive_k_cover(&s, 3, &cfg);
+        assert!(
+            x.value_estimate >= g.value_estimate - 1e-9,
+            "seed {seed}: exhaustive {} < greedy {}",
+            x.value_estimate,
+            g.value_estimate
+        );
+    }
+}
+
+/// Duplicate edges (each edge tripled) must not change any algorithm's
+/// output relative to the clean stream.
+#[test]
+fn duplicate_edges_are_harmless() {
+    let p = planted_k_cover(30, 1_500, 4, 100, 5);
+    let clean: Vec<Edge> = p.instance.edges().collect();
+    let mut tripled = Vec::with_capacity(clean.len() * 3);
+    for &e in &clean {
+        tripled.extend([e, e, e]);
+    }
+    let mut s_clean = VecStream::new(30, clean);
+    let mut s_dup = VecStream::new(30, tripled);
+    ArrivalOrder::Random(9).apply(s_clean.edges_mut());
+    ArrivalOrder::Random(9).apply(s_dup.edges_mut());
+
+    let cfg = KCoverConfig::new(4, 0.25, 7).with_sizing(SketchSizing::Budget(1_500));
+    let a = k_cover_streaming(&s_clean, &cfg);
+    let b = k_cover_streaming(&s_dup, &cfg);
+    assert_eq!(a.family, b.family, "duplicates changed the k-cover family");
+    assert_eq!(
+        a.space.peak_edges, b.space.peak_edges,
+        "duplicates inflated sketch space"
+    );
+
+    let ocfg = OutlierConfig::new(0.1, 0.5, 7).with_sizing(SketchSizing::Budget(2_000));
+    let oa = set_cover_outliers(&s_clean, &ocfg);
+    let ob = set_cover_outliers(&s_dup, &ocfg);
+    assert_eq!(oa.family, ob.family, "duplicates changed the outlier cover");
+}
+
+/// Empty streams and k=0 are handled without panics everywhere.
+#[test]
+fn degenerate_inputs() {
+    let empty = VecStream::new(5, vec![]);
+    let res = k_cover_streaming(&empty, &KCoverConfig::new(3, 0.3, 1));
+    assert!(res.family.is_empty());
+    assert_eq!(res.space.peak_edges, 0);
+
+    let res0 = k_cover_streaming(
+        &VecStream::new(2, vec![Edge::new(0u32, 1u64)]),
+        &KCoverConfig::new(0, 0.3, 1),
+    );
+    assert!(res0.family.is_empty());
+
+    let sg = saha_getoor_k_cover(&empty, 3);
+    assert!(sg.family.is_empty());
+    let sv = sieve_k_cover(&empty, 3, 0.2);
+    assert!(sv.family.is_empty());
+    let l0 = l0_greedy_k_cover(&empty, 3, &L0Config::new(16, 1));
+    assert!(l0.family.is_empty());
+}
+
+/// A single-element universe: every algorithm returns one useful set.
+#[test]
+fn single_element_universe() {
+    let edges: Vec<Edge> = (0..10u32).map(|s| Edge::new(s, 99u64)).collect();
+    let stream = VecStream::new(10, edges);
+    let res = k_cover_streaming(
+        &stream,
+        &KCoverConfig::new(3, 0.3, 2).with_sizing(SketchSizing::Budget(100)),
+    );
+    let inst = coverage_suite::stream::materialize(&stream);
+    assert_eq!(inst.coverage(&res.family), 1);
+    // Greedy stops after one set — the other nine add nothing.
+    assert_eq!(res.family.len(), 1);
+}
+
+/// Distributed execution agrees with single-machine execution on the
+/// same seeds for several workload shapes.
+#[test]
+fn distributed_agrees_with_local_across_workloads() {
+    for seed in 0..4u64 {
+        let inst = match seed % 2 {
+            0 => uniform_instance(50, 4_000, 150, seed),
+            _ => zipf_instance(50, 4_000, 0.5, 1.0, 400, seed),
+        };
+        let mut stream = VecStream::from_instance(&inst);
+        ArrivalOrder::Random(seed).apply(stream.edges_mut());
+        let local = distributed_k_cover(
+            &stream,
+            &DistConfig::new(1, 5, 0.3, 11).with_sizing(SketchSizing::Budget(1_200)),
+        );
+        let dist = distributed_k_cover(
+            &stream,
+            &DistConfig::new(6, 5, 0.3, 11).with_sizing(SketchSizing::Budget(1_200)),
+        );
+        assert_eq!(local.family, dist.family, "seed {seed}");
+        assert_eq!(local.merged_edges, dist.merged_edges, "seed {seed}");
+    }
+}
+
+/// The multipass driver's m-estimation path (no m hint) still produces
+/// valid covers.
+#[test]
+fn multipass_with_estimated_m() {
+    let p = planted_set_cover(25, 2_000, 5, 60, 3);
+    let mut stream = VecStream::from_instance(&p.instance);
+    ArrivalOrder::Random(1).apply(stream.edges_mut());
+    let cfg = MultiPassConfig::new(3, 0.5, 5).with_sizing(SketchSizing::Budget(2_500));
+    let res = set_cover_multipass(&stream, &cfg);
+    assert!(p.instance.is_cover(&res.family));
+    assert_eq!(res.passes, 1 + 2 * 2 + 1, "m-estimation adds one pass");
+}
+
+/// Space reports from all algorithms are internally consistent (edges ≤
+/// total words, passes ≥ 1).
+#[test]
+fn space_reports_are_consistent() {
+    let p = planted_k_cover(30, 3_000, 4, 120, 8);
+    let mut stream = VecStream::from_instance(&p.instance);
+    ArrivalOrder::Random(2).apply(stream.edges_mut());
+    let mut set_stream = VecStream::from_instance(&p.instance);
+    ArrivalOrder::SetGrouped(2).apply(set_stream.edges_mut());
+
+    let reports = [
+        k_cover_streaming(
+            &stream,
+            &KCoverConfig::new(4, 0.25, 3).with_sizing(SketchSizing::Budget(2_000)),
+        )
+        .space,
+        saha_getoor_k_cover(&set_stream, 4).space,
+        sieve_k_cover(&set_stream, 4, 0.2).space,
+        store_all_k_cover(&stream, 4).space,
+    ];
+    for r in reports {
+        assert!(r.passes >= 1);
+        assert!(r.total_words() >= r.peak_edges);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `coverage` command-line tool: every subcommand
+//! is executed as a real subprocess (the binary Cargo built for this
+//! test run) and its output is checked for the table structure and
+//! invariants the tool promises.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_coverage"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn kcover_prints_result_table() {
+    let (stdout, _, ok) = run(&[
+        "kcover", "--n", "50", "--m", "2000", "--k", "4", "--budget", "2000", "--workload",
+        "planted",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("k-cover (Algorithm 3)"));
+    assert!(stdout.contains("coverage/OPT"));
+    assert!(stdout.contains("sampling p*"));
+}
+
+#[test]
+fn setcover_and_multipass_run() {
+    let (stdout, _, ok) = run(&[
+        "setcover", "--n", "40", "--m", "1500", "--kstar", "5", "--lambda", "0.1", "--budget",
+        "3000",
+    ]);
+    assert!(ok, "setcover failed: {stdout}");
+    assert!(stdout.contains("Algorithm 5"));
+
+    let (stdout, _, ok) = run(&[
+        "multipass", "--n", "40", "--m", "1500", "--kstar", "5", "--rounds", "2", "--budget",
+        "3000",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Algorithm 6"));
+    assert!(stdout.contains("is cover"));
+}
+
+#[test]
+fn solve_compares_solvers() {
+    let (stdout, _, ok) = run(&[
+        "solve", "--n", "30", "--m", "800", "--k", "3", "--workload", "planted",
+    ]);
+    assert!(ok);
+    for name in ["lazy greedy", "local search", "stochastic", "parallel"] {
+        assert!(stdout.contains(name), "missing solver row: {name}");
+    }
+}
+
+#[test]
+fn lemmas_all_hold() {
+    let (stdout, _, ok) = run(&["lemmas", "--n", "20", "--m", "1000"]);
+    assert!(ok);
+    assert!(stdout.contains("Lemma 2.2"));
+    assert!(stdout.contains("Theorem 2.7"));
+    assert!(!stdout.contains("false"), "a lemma check failed:\n{stdout}");
+}
+
+#[test]
+fn gen_formats_and_reload() {
+    // sets format round-trips through --input.
+    let (sets, _, ok) = run(&["gen", "--n", "10", "--m", "200", "--format", "sets"]);
+    assert!(ok);
+    assert!(sets.starts_with("# coverage instance"));
+    let dir = std::env::temp_dir().join("coverage-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inst.sets");
+    std::fs::write(&path, &sets).unwrap();
+    let (stdout, _, ok) = run(&[
+        "kcover", "--k", "3", "--n", "0", "--m", "0", "--input",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "reload failed: {stdout}");
+    assert!(stdout.contains("k-cover (Algorithm 3)"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // tsv format: two tab-separated columns.
+    let (tsv, _, ok) = run(&["gen", "--n", "5", "--m", "50", "--format", "tsv"]);
+    assert!(ok);
+    let first = tsv.lines().next().expect("nonempty");
+    assert_eq!(first.split('\t').count(), 2);
+
+    // json format parses.
+    let (json, _, ok) = run(&["gen", "--n", "5", "--m", "50", "--format", "json"]);
+    assert!(ok);
+    assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+}
+
+#[test]
+fn dist_family_matches_machine_count_one() {
+    let base = [
+        "dist", "--n", "40", "--m", "1500", "--k", "3", "--budget", "2000", "--workload",
+        "planted",
+    ];
+    let (one, _, ok1) = run(&[&base[..], &["--machines", "1"]].concat());
+    let (four, _, ok4) = run(&[&base[..], &["--machines", "4"]].concat());
+    assert!(ok1 && ok4);
+    let family_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("family"))
+            .map(str::to_string)
+            .expect("family row")
+    };
+    assert_eq!(family_line(&one), family_line(&four));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = run(&["kcover", "--n", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing required flag"));
+
+    let (_, stderr, ok) = run(&["gen", "--n", "5", "--m", "50", "--format", "xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown format"));
+}

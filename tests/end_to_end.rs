@@ -1,0 +1,175 @@
+//! End-to-end integration tests: every streaming pipeline exercised
+//! across all crates (data generation → arrival order → sketch →
+//! algorithm → validation), with ground truth from planted optima.
+
+use coverage_suite::core::validate::{check_k_cover, check_partial_cover, check_set_cover};
+use coverage_suite::prelude::*;
+
+const E: f64 = std::f64::consts::E;
+
+#[test]
+fn kcover_pipeline_beats_guarantee_on_all_orders() {
+    let planted = planted_k_cover(60, 8_000, 6, 200, 11);
+    let inst = &planted.instance;
+    for order in [
+        ArrivalOrder::AsIs,
+        ArrivalOrder::Random(1),
+        ArrivalOrder::SetGrouped(2),
+        ArrivalOrder::ElementGrouped(3),
+        ArrivalOrder::ByHashDesc(99),
+    ] {
+        let mut stream = VecStream::from_instance(inst);
+        order.apply(stream.edges_mut());
+        let cfg = KCoverConfig::new(6, 0.25, 99).with_sizing(SketchSizing::Budget(10_000));
+        let res = k_cover_streaming(&stream, &cfg);
+        check_k_cover(inst, &res.family, 6).expect("valid family");
+        let achieved = inst.coverage(&res.family) as f64;
+        let bound = (1.0 - 1.0 / E - 0.25) * planted.optimal_value as f64;
+        assert!(
+            achieved >= bound,
+            "{order:?}: achieved {achieved} < bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn outlier_pipeline_meets_lambda_and_size_bounds() {
+    for (seed, lambda) in [(1u64, 0.2), (2, 0.1), (3, 0.05)] {
+        let planted = planted_set_cover(40, 6_000, 6, 150, seed);
+        let inst = &planted.instance;
+        let mut stream = VecStream::from_instance(inst);
+        ArrivalOrder::Random(seed).apply(stream.edges_mut());
+        let cfg =
+            OutlierConfig::new(lambda, 0.5, seed ^ 7).with_sizing(SketchSizing::Budget(8_000));
+        let res = set_cover_outliers(&stream, &cfg);
+        assert!(res.verified, "λ={lambda} seed={seed}: no guess verified");
+        // Allow the sketch's ε-slack on top of λ when validating.
+        check_partial_cover(inst, &res.family, lambda + 0.05)
+            .unwrap_or_else(|e| panic!("λ={lambda} seed={seed}: {e}"));
+        let size_bound =
+            (1.0 + 0.5) * planted.optimal_value as f64 * (1.0 / lambda).ln() * 1.25 + 2.0;
+        assert!(
+            (res.family.len() as f64) <= size_bound,
+            "λ={lambda}: {} sets > {size_bound}",
+            res.family.len()
+        );
+    }
+}
+
+#[test]
+fn multipass_pipeline_produces_true_covers() {
+    for r in [2usize, 3, 5] {
+        let planted = planted_set_cover(30, 4_000, 5, 120, r as u64);
+        let inst = &planted.instance;
+        let mut stream = VecStream::from_instance(inst);
+        ArrivalOrder::Random(5).apply(stream.edges_mut());
+        let cfg = MultiPassConfig::new(r, 0.5, 77)
+            .with_m(inst.num_elements())
+            .with_sizing(SketchSizing::Budget(5_000));
+        let res = set_cover_multipass(&stream, &cfg);
+        check_set_cover(inst, &res.family).expect("must fully cover");
+        assert_eq!(res.passes as usize, 2 * (r - 1) + 1);
+        assert!(
+            res.family.len() as f64
+                <= (1.0 + 0.5) * (inst.num_elements() as f64).ln() * planted.optimal_value as f64,
+            "r={r}: cover size {}",
+            res.family.len()
+        );
+    }
+}
+
+#[test]
+fn sketch_space_is_independent_of_m() {
+    // Same n, k, budget; m grows 50x — the sketch's peak must not move.
+    let mut peaks = Vec::new();
+    for m in [2_000u64, 20_000, 100_000] {
+        let inst = uniform_instance(80, m, 400, 13);
+        let stream = VecStream::from_instance(&inst);
+        let cfg = KCoverConfig::new(8, 0.25, 3).with_sizing(SketchSizing::Budget(3_000));
+        let res = k_cover_streaming(&stream, &cfg);
+        peaks.push(res.space.peak_edges);
+    }
+    let min = *peaks.iter().min().unwrap() as f64;
+    let max = *peaks.iter().max().unwrap() as f64;
+    assert!(max / min < 1.05, "sketch space moved with m: {peaks:?}");
+}
+
+#[test]
+fn baselines_and_ours_on_one_workload() {
+    let planted = planted_k_cover(50, 5_000, 5, 150, 21);
+    let inst = &planted.instance;
+    let k = 5;
+
+    let mut edge_stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(1).apply(edge_stream.edges_mut());
+    let mut set_stream = VecStream::from_instance(inst);
+    ArrivalOrder::SetGrouped(1).apply(set_stream.edges_mut());
+
+    let ours = k_cover_streaming(
+        &edge_stream,
+        &KCoverConfig::new(k, 0.2, 9).with_sizing(SketchSizing::Budget(8_000)),
+    );
+    let sg = saha_getoor_k_cover(&set_stream, k);
+    let sieve = sieve_k_cover(&set_stream, k, 0.1);
+    let all = store_all_k_cover(&edge_stream, k);
+
+    let opt = planted.optimal_value as f64;
+    let cov = |f: &[SetId]| inst.coverage(f) as f64;
+    // Each algorithm clears its own theoretical bar…
+    assert!(cov(&ours.family) >= (1.0 - 1.0 / E - 0.2) * opt);
+    assert!(cov(&sg.family) >= 0.25 * opt);
+    assert!(cov(&sieve.family) >= (0.5 - 0.1) * opt);
+    assert!(cov(&all.family) >= (1.0 - 1.0 / E) * opt);
+    // …and ours dominates the 1/4 and 1/2 baselines on planted inputs.
+    assert!(cov(&ours.family) >= cov(&sg.family));
+    assert!(cov(&ours.family) + 1.0 >= cov(&sieve.family));
+}
+
+#[test]
+fn disjointness_instances_resolved_with_full_budget() {
+    use coverage_suite::lb::disjointness_instance;
+    // With budget ≥ 2n the sketch stores everything and distinguishes
+    // optimum 1 from 2 perfectly (Theorem 1.2 says *sub-linear* budgets
+    // must fail; linear budgets must not).
+    for seed in 0..10u64 {
+        for intersect in [false, true] {
+            let d = disjointness_instance(200, intersect, seed);
+            let stream = d.stream();
+            let cfg = KCoverConfig::new(1, 0.3, seed).with_sizing(SketchSizing::Budget(1_000));
+            let res = k_cover_streaming(&stream, &cfg);
+            let got = d.instance().coverage(&res.family);
+            assert_eq!(got, d.optimum(), "seed={seed} intersect={intersect}");
+        }
+    }
+}
+
+#[test]
+fn oracle_hardness_vs_streaming_on_same_input() {
+    use coverage_suite::core::oracle_greedy_k_cover;
+    use coverage_suite::lb::GoldBrassInstance;
+    // Theorem 1.3's punchline as one test: same instance, two access
+    // models, opposite outcomes.
+    let gb = GoldBrassInstance::random(600, 60, 3);
+    let oracle = gb.noisy_oracle(0.5);
+    let via_oracle = oracle_greedy_k_cover(&oracle, 60);
+    let oracle_ratio = gb.true_coverage(&via_oracle) as f64 / gb.optimal_value() as f64;
+
+    let inst = gb.to_instance();
+    let mut stream = VecStream::from_instance(&inst);
+    ArrivalOrder::Random(8).apply(stream.edges_mut());
+    let ours = k_cover_streaming(
+        &stream,
+        &KCoverConfig::new(60, 0.2, 5).with_sizing(SketchSizing::Budget(30_000)),
+    );
+    let ours_ratio = inst.coverage(&ours.family) as f64 / gb.optimal_value() as f64;
+
+    assert!(
+        oracle_ratio < 0.45,
+        "noisy-oracle greedy should collapse, got {oracle_ratio}"
+    );
+    assert!(
+        ours_ratio > 0.6,
+        "streaming sketch should succeed, got {ours_ratio}"
+    );
+    assert!(ours_ratio > oracle_ratio + 0.2);
+}

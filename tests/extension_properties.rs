@@ -1,0 +1,218 @@
+//! Property-based tests for the extension surface: weighted coverage,
+//! local search, parallel greedy, snapshots, eviction ablation, merging,
+//! and instance I/O. Complements `sketch_properties.rs` (core sketch
+//! invariants).
+
+use proptest::prelude::*;
+
+use coverage_suite::core::offline::{best_improving_swap, greedy_k_cover};
+use coverage_suite::core::{CoverageInstance, Edge};
+use coverage_suite::data::{from_json, from_text, to_json, to_text};
+use coverage_suite::prelude::*;
+use coverage_suite::sketch::SketchParams;
+
+fn edges_strategy(
+    max_sets: u32,
+    max_elem: u64,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec(
+        (0..max_sets, 0..max_elem).prop_map(|(s, e)| Edge::new(s, e)),
+        0..max_len,
+    )
+}
+
+fn instance_of(edges: &[Edge], n: usize) -> CoverageInstance {
+    CoverageInstance::from_edges(n, edges.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel greedy is output-identical to the sequential naive greedy
+    /// for every instance, k, and worker count.
+    #[test]
+    fn parallel_greedy_equals_sequential(
+        edges in edges_strategy(12, 80, 300),
+        k in 0usize..8,
+        threads in 1usize..6,
+    ) {
+        let inst = instance_of(&edges, 12);
+        let seq = greedy_k_cover(&inst, k);
+        let par = parallel_greedy_k_cover(&inst, k, threads);
+        prop_assert_eq!(seq.family(), par.family());
+        prop_assert_eq!(seq.coverage(), par.coverage());
+    }
+
+    /// Greedy's per-step gains never increase (submodularity made visible
+    /// in the trace).
+    #[test]
+    fn greedy_gains_are_monotone(edges in edges_strategy(10, 60, 250), k in 1usize..8) {
+        let inst = instance_of(&edges, 10);
+        let trace = lazy_greedy_k_cover(&inst, k);
+        for w in trace.steps.windows(2) {
+            prop_assert!(w[0].gain >= w[1].gain,
+                "gain went up: {} then {}", w[0].gain, w[1].gain);
+        }
+    }
+
+    /// Weighted greedy with uniform weights is exactly unweighted greedy.
+    #[test]
+    fn uniform_weighted_greedy_is_unweighted(
+        edges in edges_strategy(10, 60, 250),
+        k in 0usize..6,
+    ) {
+        let inst = instance_of(&edges, 10);
+        let w = ElementWeights::uniform(&inst);
+        let wt = weighted_greedy_k_cover(&inst, &w, k);
+        let ut = lazy_greedy_k_cover(&inst, k);
+        prop_assert_eq!(wt.family(), ut.family());
+        prop_assert_eq!(wt.covered_weight() as usize, ut.coverage());
+    }
+
+    /// Weighted greedy's self-reported covered weight matches a fresh
+    /// recomputation, for arbitrary weights.
+    #[test]
+    fn weighted_trace_is_consistent(
+        edges in edges_strategy(8, 40, 200),
+        k in 1usize..6,
+        wseed in 0u64..500,
+    ) {
+        let inst = instance_of(&edges, 8);
+        let w = ElementWeights::from_fn(&inst, |id| 1 + (id.0 ^ wseed) % 7);
+        let t = weighted_greedy_k_cover(&inst, &w, k);
+        prop_assert_eq!(
+            t.covered_weight(),
+            weighted_coverage(&inst, &w, &t.family())
+        );
+    }
+
+    /// A converged local search is swap-stable, its reported coverage is
+    /// real, and (by the classical bound) twice its coverage dominates
+    /// greedy's.
+    #[test]
+    fn local_search_is_swap_stable(edges in edges_strategy(10, 50, 220), k in 1usize..5) {
+        let inst = instance_of(&edges, 10);
+        let r = local_search_k_cover(&inst, k);
+        prop_assert_eq!(r.coverage, inst.coverage(&r.family));
+        if r.converged {
+            prop_assert_eq!(best_improving_swap(&inst, &r.family), None);
+        }
+        let g = lazy_greedy_k_cover(&inst, k).coverage();
+        prop_assert!(2 * r.coverage >= g,
+            "2·local ({}) < greedy ({})", 2 * r.coverage, g);
+    }
+
+    /// Snapshot round-trips preserve the sketch exactly, for any stream.
+    #[test]
+    fn snapshot_roundtrip_identity(
+        edges in edges_strategy(8, 120, 350),
+        seed in 0u64..300,
+        budget in 8usize..64,
+    ) {
+        let params = SketchParams::with_budget(8, 2, 0.5, budget);
+        let sketch = ThresholdSketch::from_stream(params, seed, &VecStream::new(8, edges));
+        let back = SketchSnapshot::of(&sketch).restore();
+        prop_assert_eq!(back.acceptance_bound(), sketch.acceptance_bound());
+        let mut a: Vec<_> = sketch.retained().map(|(key, h, s)| (key, h, s.to_vec())).collect();
+        let mut b: Vec<_> = back.retained().map(|(key, h, s)| (key, h, s.to_vec())).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// JSON wire format survives serialization for any sketch.
+    #[test]
+    fn snapshot_json_roundtrip(
+        edges in edges_strategy(6, 80, 250),
+        seed in 0u64..300,
+    ) {
+        let params = SketchParams::with_budget(6, 2, 0.5, 40);
+        let sketch = ThresholdSketch::from_stream(params, seed, &VecStream::new(6, edges));
+        let snap = SketchSnapshot::of(&sketch);
+        let back = SketchSnapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(snap.bound, back.bound);
+        prop_assert_eq!(snap.entries, back.entries);
+    }
+
+    /// The max-hash ablated sketch retains exactly the same elements as
+    /// the production `ThresholdSketch` on every input.
+    #[test]
+    fn ablated_maxhash_matches_production(
+        edges in edges_strategy(6, 100, 300),
+        seed in 0u64..200,
+    ) {
+        let params = SketchParams::with_budget(6, 2, 0.5, 30);
+        let stream = VecStream::new(6, edges);
+        let prod = ThresholdSketch::from_stream(params, seed, &stream);
+        let abl = AblatedSketch::from_stream(params, seed, EvictionPolicy::MaxHash, &stream);
+        let mut p: Vec<u64> = prod.retained().map(|(k, _, _)| k).collect();
+        p.sort_unstable();
+        prop_assert_eq!(abl.retained_keys(), p);
+    }
+
+    /// Merging shard sketches yields the same retained elements in any
+    /// association order (the property tree_reduce relies on).
+    #[test]
+    fn merge_is_association_independent(
+        edges in edges_strategy(6, 100, 320),
+        seed in 0u64..200,
+    ) {
+        let params = SketchParams::with_budget(6, 2, 0.5, 40);
+        let mut shards: Vec<ThresholdSketch> =
+            (0..3).map(|_| ThresholdSketch::new(params, seed)).collect();
+        for (i, e) in edges.iter().enumerate() {
+            shards[i % 3].update(*e);
+        }
+        // ((a ⊔ b) ⊔ c) vs (a ⊔ (b ⊔ c))
+        let mut left = shards[0].clone();
+        left.merge_from(&shards[1]);
+        left.merge_from(&shards[2]);
+        let mut bc = shards[1].clone();
+        bc.merge_from(&shards[2]);
+        let mut right = shards[0].clone();
+        right.merge_from(&bc);
+        let mut l: Vec<u64> = left.retained().map(|(k, _, _)| k).collect();
+        let mut r: Vec<u64> = right.retained().map(|(k, _, _)| k).collect();
+        l.sort_unstable();
+        r.sort_unstable();
+        prop_assert_eq!(l, r);
+    }
+
+    /// Text and JSON persistence round-trip arbitrary instances.
+    #[test]
+    fn io_roundtrips(edges in edges_strategy(7, 90, 250)) {
+        let inst = instance_of(&edges, 7);
+        let t = from_text(to_text(&inst).as_bytes()).unwrap();
+        prop_assert_eq!(t.num_sets(), inst.num_sets());
+        prop_assert_eq!(t.num_edges(), inst.num_edges());
+        let meta = InstanceMeta { name: "p".into(), source: "prop".into() };
+        let (j, _) = from_json(&to_json(&inst, &meta)).unwrap();
+        prop_assert_eq!(j.num_edges(), inst.num_edges());
+        for s in inst.set_ids() {
+            let mut a: Vec<u64> = inst.set_elements(s).map(|e| e.0).collect();
+            let mut b: Vec<u64> = t.set_elements(s).map(|e| e.0).collect();
+            let mut c: Vec<u64> = j.set_elements(s).map(|e| e.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&a, &c);
+        }
+    }
+
+    /// Weighted partial cover reaches its threshold whenever the full
+    /// family covers everything (it always can, by taking all sets).
+    #[test]
+    fn weighted_partial_cover_reaches_threshold(
+        edges in edges_strategy(8, 50, 220),
+        lam in 0.0f64..0.9,
+        wseed in 0u64..100,
+    ) {
+        let inst = instance_of(&edges, 8);
+        let w = ElementWeights::from_fn(&inst, |id| 1 + (id.0 ^ wseed) % 4);
+        let t = weighted_greedy_partial_cover(&inst, &w, lam);
+        let need = ((1.0 - lam) * w.total() as f64).ceil() as u64;
+        prop_assert!(t.covered_weight() >= need.min(w.total()));
+    }
+}
