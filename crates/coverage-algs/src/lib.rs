@@ -26,12 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
-pub mod preprocess;
 pub mod kcover;
 pub mod multipass;
+pub mod preprocess;
 pub mod set_cover;
 
-pub use preprocess::{apply_prune, prune_near_duplicates, PruneResult};
 pub use kcover::{k_cover_streaming, KCoverConfig, KCoverResult};
 pub use multipass::{set_cover_multipass, MultiPassConfig, MultiPassResult};
+pub use preprocess::{apply_prune, prune_near_duplicates, PruneResult};
 pub use set_cover::{set_cover_outliers, OutlierConfig, OutlierResult};

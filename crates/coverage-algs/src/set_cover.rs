@@ -223,8 +223,8 @@ fn evaluate_guesses(
             .map(|p| p.get())
             .unwrap_or(4)
             .min(sketches.len());
-        let results: Vec<parking_lot::Mutex<Option<Verdict>>> = (0..sketches.len())
-            .map(|_| parking_lot::Mutex::new(None))
+        let results: Vec<std::sync::Mutex<Option<Verdict>>> = (0..sketches.len())
+            .map(|_| std::sync::Mutex::new(None))
             .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         crossbeam::scope(|scope| {
@@ -234,14 +234,18 @@ fn evaluate_guesses(
                     if i >= sketches.len() {
                         break;
                     }
-                    *results[i].lock() = Some(eval(i));
+                    *results[i].lock().expect("verdict lock poisoned") = Some(eval(i));
                 });
             }
         })
         .expect("guess evaluation worker panicked");
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("all guesses evaluated"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("verdict lock poisoned")
+                    .expect("all guesses evaluated")
+            })
             .collect()
     }
 }

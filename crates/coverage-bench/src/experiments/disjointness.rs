@@ -67,8 +67,7 @@ pub fn run() -> ExperimentOutput {
         }
     }
     out.table(&t);
-    let mut chart = AsciiChart::new(56, 10)
-        .labels("sketch budget / n", "distinguishing accuracy");
+    let mut chart = AsciiChart::new(56, 10).labels("sketch budget / n", "distinguishing accuracy");
     chart.series(
         'o',
         &rows

@@ -69,13 +69,31 @@ pub fn run() -> ExperimentOutput {
         });
     }
     out.table(&t);
-    let mut chart = AsciiChart::new(56, 12)
-        .log_x()
-        .log_y()
-        .labels("m (log)", "peak words (log): s=sketch, a=store-all, g=Saha-Getoor");
-    chart.series('s', &rows.iter().map(|r| (r.m as f64, r.sketch_words as f64)).collect::<Vec<_>>());
-    chart.series('a', &rows.iter().map(|r| (r.m as f64, r.store_all_words as f64)).collect::<Vec<_>>());
-    chart.series('g', &rows.iter().map(|r| (r.m as f64, r.saha_getoor_words as f64)).collect::<Vec<_>>());
+    let mut chart = AsciiChart::new(56, 12).log_x().log_y().labels(
+        "m (log)",
+        "peak words (log): s=sketch, a=store-all, g=Saha-Getoor",
+    );
+    chart.series(
+        's',
+        &rows
+            .iter()
+            .map(|r| (r.m as f64, r.sketch_words as f64))
+            .collect::<Vec<_>>(),
+    );
+    chart.series(
+        'a',
+        &rows
+            .iter()
+            .map(|r| (r.m as f64, r.store_all_words as f64))
+            .collect::<Vec<_>>(),
+    );
+    chart.series(
+        'g',
+        &rows
+            .iter()
+            .map(|r| (r.m as f64, r.saha_getoor_words as f64))
+            .collect::<Vec<_>>(),
+    );
     out.note(chart.render());
     out.note(
         "The sketch column is flat — Õ(n), independent of m — while both\n\

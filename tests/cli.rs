@@ -20,7 +20,16 @@ fn run(args: &[&str]) -> (String, String, bool) {
 #[test]
 fn kcover_prints_result_table() {
     let (stdout, _, ok) = run(&[
-        "kcover", "--n", "50", "--m", "2000", "--k", "4", "--budget", "2000", "--workload",
+        "kcover",
+        "--n",
+        "50",
+        "--m",
+        "2000",
+        "--k",
+        "4",
+        "--budget",
+        "2000",
+        "--workload",
         "planted",
     ]);
     assert!(ok);
@@ -39,7 +48,16 @@ fn setcover_and_multipass_run() {
     assert!(stdout.contains("Algorithm 5"));
 
     let (stdout, _, ok) = run(&[
-        "multipass", "--n", "40", "--m", "1500", "--kstar", "5", "--rounds", "2", "--budget",
+        "multipass",
+        "--n",
+        "40",
+        "--m",
+        "1500",
+        "--kstar",
+        "5",
+        "--rounds",
+        "2",
+        "--budget",
         "3000",
     ]);
     assert!(ok);
@@ -50,7 +68,15 @@ fn setcover_and_multipass_run() {
 #[test]
 fn solve_compares_solvers() {
     let (stdout, _, ok) = run(&[
-        "solve", "--n", "30", "--m", "800", "--k", "3", "--workload", "planted",
+        "solve",
+        "--n",
+        "30",
+        "--m",
+        "800",
+        "--k",
+        "3",
+        "--workload",
+        "planted",
     ]);
     assert!(ok);
     for name in ["lazy greedy", "local search", "stochastic", "parallel"] {
@@ -73,12 +99,20 @@ fn gen_formats_and_reload() {
     let (sets, _, ok) = run(&["gen", "--n", "10", "--m", "200", "--format", "sets"]);
     assert!(ok);
     assert!(sets.starts_with("# coverage instance"));
-    let dir = std::env::temp_dir().join("coverage-cli-test");
+    // Per-process dir: concurrent test runs sharing TMPDIR must not race.
+    let dir = std::env::temp_dir().join(format!("coverage-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("inst.sets");
     std::fs::write(&path, &sets).unwrap();
     let (stdout, _, ok) = run(&[
-        "kcover", "--k", "3", "--n", "0", "--m", "0", "--input",
+        "kcover",
+        "--k",
+        "3",
+        "--n",
+        "0",
+        "--m",
+        "0",
+        "--input",
         path.to_str().unwrap(),
     ]);
     assert!(ok, "reload failed: {stdout}");
@@ -100,7 +134,16 @@ fn gen_formats_and_reload() {
 #[test]
 fn dist_family_matches_machine_count_one() {
     let base = [
-        "dist", "--n", "40", "--m", "1500", "--k", "3", "--budget", "2000", "--workload",
+        "dist",
+        "--n",
+        "40",
+        "--m",
+        "1500",
+        "--k",
+        "3",
+        "--budget",
+        "2000",
+        "--workload",
         "planted",
     ];
     let (one, _, ok1) = run(&[&base[..], &["--machines", "1"]].concat());

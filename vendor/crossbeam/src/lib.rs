@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread API this workspace uses is provided
+//! (`crossbeam::scope` / `crossbeam::thread::scope`), implemented as a
+//! thin adapter over `std::thread::scope` (stable since Rust 1.63,
+//! after crossbeam's scoped threads were designed).
+
+pub use thread::scope;
+
+/// Scoped threads (`crossbeam::thread` flavoured API over the std one).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to `scope` closures and spawned threads.
+    ///
+    /// `Copy` so a by-value copy can travel into each spawned thread,
+    /// letting nested `spawn` calls mirror crossbeam's `|s| ... s.spawn`
+    /// shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload, as crossbeam does).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope_copy = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope_copy)),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Unlike crossbeam, panics in unjoined
+    /// threads propagate (std semantics) instead of surfacing as `Err`;
+    /// every caller in this workspace immediately `expect`s the result,
+    /// so the observable behaviour is identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,473 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The build environment is offline, so `syn`/`quote` are unavailable:
+//! the item is parsed directly from the `proc_macro` token stream and
+//! the impls are emitted as source text. Supported shapes cover
+//! everything this workspace derives on: named-field structs, tuple
+//! structs (newtype included), unit structs, and enums with unit,
+//! tuple, and struct variants. Generic items are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    /// struct S { f1, f2, ... }
+    NamedStruct { name: String, fields: Vec<String> },
+    /// struct S(T1, T2, ...);
+    TupleStruct { name: String, arity: usize },
+    /// struct S;
+    UnitStruct { name: String },
+    /// enum E { ... }
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count top-level comma-separated items in a token slice, tracking
+/// `<...>` nesting so commas inside generic arguments don't split.
+fn count_top_level_items(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1usize;
+    let mut saw_any = false;
+    let mut prev_dash = false;
+    for (idx, t) in toks.iter().enumerate() {
+        let was_dash = prev_dash;
+        prev_dash = matches!(t, TokenTree::Punct(p) if p.as_char() == '-');
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            // the '>' of an `->` (fn-pointer return type) is not a
+            // generic-argument close
+            TokenTree::Punct(p) if p.as_char() == '>' && !was_dash => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                // a trailing comma does not open a new item
+                if idx + 1 < toks.len() {
+                    items += 1;
+                }
+            }
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        items
+    } else {
+        0
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists, returning field names.
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    let toks = group_tokens;
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // expect ':'
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field name, got {other:?}"),
+        }
+        // skip the type: scan to the next top-level comma
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while i < toks.len() {
+            let was_dash = prev_dash;
+            prev_dash = matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '-');
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                // `->` in fn-pointer types is not a generic close
+                TokenTree::Punct(p) if p.as_char() == '>' && !was_dash => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic items are not supported (item `{name}`)");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream().into_iter().collect()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_items(&inner),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("serde_derive: expected enum body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let Some(TokenTree::Ident(id)) = body.get(j) else {
+                    break;
+                };
+                let vname = id.to_string();
+                j += 1;
+                let kind = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantKind::Named(parse_named_fields(g.stream().into_iter().collect()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantKind::Tuple(count_top_level_items(&inner))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+                // skip to next top-level comma (covers discriminants, none expected)
+                while j < body.len() {
+                    if let TokenTree::Punct(p) = &body[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Derive the vendored `serde::Serialize` (tree-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let body: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let body: String = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let pat = binds.join(", ");
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({pat}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{items}]))]),"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` (tree-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::NamedStruct { name, fields } => {
+            let body: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let body: String = (0..*arity)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({k})\
+                         .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(items) => \
+                                 ::std::result::Result::Ok({name}({body})),\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::Error::invalid_type(\"array\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let body: String = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({k})\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                         \"variant tuple too short\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{\n\
+                                     ::serde::Value::Array(items) => \
+                                         ::std::result::Result::Ok({name}::{vn}({body})),\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::Error::invalid_type(\"array\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let body: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         payload.get_field(\"{f}\")\
+                                         .ok_or_else(|| ::serde::Error::missing_field(\
+                                         \"{f}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {body} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::Error::custom(::std::format!(\
+                                         \"unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::Error::invalid_type(\"enum\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
