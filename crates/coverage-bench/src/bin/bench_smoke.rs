@@ -1,0 +1,155 @@
+//! CI smoke benchmark: sequential simulation vs parallel executor on a
+//! fixed workload.
+//!
+//! Runs the same distributed k-cover configuration through
+//! `distributed_k_cover_serial` (the strictly single-threaded
+//! O(machines·|E|) reference simulation — pinned to one thread so the
+//! gate does not depend on the CI machine's core count) and
+//! `ParallelRunner` (one partition pass + concurrent map), then:
+//!
+//! * **fails (exit 1)** if the parallel family diverges from the
+//!   sequential one — the determinism contract, enforced on every CI run;
+//! * **fails (exit 1)** if the parallel wall clock does not beat the
+//!   sequential simulation — the perf-regression gate;
+//! * writes `BENCH_2.json` (wall clocks, speedup, peak sketch space from
+//!   the per-machine `SpaceReport`s) for artifact upload and run-to-run
+//!   comparison.
+//!
+//! Usage: `bench_smoke [output.json]` (default `BENCH_2.json` in the
+//! current directory).
+
+use std::process::exit;
+use std::time::Instant;
+
+use coverage_data::planted_k_cover;
+use coverage_dist::{distributed_k_cover_serial, DistConfig, ParallelRunner};
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecStream};
+use serde::Serialize;
+
+/// Machines to simulate; deliberately larger than `THREADS` so the
+/// serial harness pays its per-machine re-filtering passes.
+const MACHINES: usize = 8;
+/// Worker threads for the parallel executor (the gate's headline number).
+const THREADS: usize = 4;
+/// Timed repetitions; the minimum is reported (CI machines are noisy).
+const REPS: usize = 3;
+
+#[derive(Serialize)]
+struct RunnerRecord {
+    wall_ms: f64,
+    peak_machine_edges: u64,
+    peak_machine_aux_words: u64,
+    merged_edges: usize,
+    family: Vec<u32>,
+}
+
+#[derive(Serialize)]
+struct SmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    stream_edges: usize,
+    machines: usize,
+    threads: usize,
+    sequential: RunnerRecord,
+    parallel: RunnerRecord,
+    parallel_partition_ms: f64,
+    parallel_map_ms: f64,
+    speedup: f64,
+    families_match: bool,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best_ms = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best_ms)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+
+    // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
+    // ~860k edges against a 6k-edge sketch budget. Deliberately
+    // stream-heavy: the cost under test is the per-machine re-filtering
+    // the sequential simulation pays (O(machines·|E|)) and the parallel
+    // runner's single partition pass removes.
+    let planted = planted_k_cover(200, 100_000, 6, 4_000, 6);
+    let mut stream = VecStream::from_instance(&planted.instance);
+    ArrivalOrder::Random(8).apply(stream.edges_mut());
+    let cfg = DistConfig::new(MACHINES, 6, 0.3, 21).with_sizing(SketchSizing::Budget(6_000));
+
+    let (seq, seq_ms) = best_of(REPS, || distributed_k_cover_serial(&stream, &cfg));
+    let runner = ParallelRunner::new(cfg, THREADS);
+    let (par, par_ms) = best_of(REPS, || runner.run(&stream));
+
+    let peak = |reports: &[coverage_stream::SpaceReport]| {
+        (
+            reports.iter().map(|r| r.peak_edges).max().unwrap_or(0),
+            reports.iter().map(|r| r.peak_aux_words).max().unwrap_or(0),
+        )
+    };
+    let (seq_peak_edges, seq_peak_aux) = peak(&seq.per_machine);
+    let (par_peak_edges, par_peak_aux) = peak(&par.per_machine);
+    let families_match = seq.family == par.family;
+    let speedup = seq_ms / par_ms.max(1e-9);
+
+    let record = SmokeRecord {
+        bench: "BENCH_2",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6)",
+        stream_edges: planted.instance.num_edges(),
+        machines: MACHINES,
+        threads: THREADS,
+        sequential: RunnerRecord {
+            wall_ms: seq_ms,
+            peak_machine_edges: seq_peak_edges,
+            peak_machine_aux_words: seq_peak_aux,
+            merged_edges: seq.merged_edges,
+            family: seq.family.iter().map(|s| s.0).collect(),
+        },
+        parallel: RunnerRecord {
+            wall_ms: par_ms,
+            peak_machine_edges: par_peak_edges,
+            peak_machine_aux_words: par_peak_aux,
+            merged_edges: par.merged_edges,
+            family: par.family.iter().map(|s| s.0).collect(),
+        },
+        parallel_partition_ms: par.partition_ns as f64 / 1e6,
+        parallel_map_ms: par.map_ns as f64 / 1e6,
+        speedup,
+        families_match,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("render json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_smoke: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    println!("{json}");
+    println!(
+        "\nbench_smoke: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms \
+         ({THREADS} threads, {MACHINES} machines) → speedup {speedup:.2}x"
+    );
+
+    if !families_match {
+        eprintln!(
+            "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
+            par.family, seq.family
+        );
+        exit(1);
+    }
+    if speedup <= 1.0 {
+        eprintln!(
+            "bench_smoke: FAIL — parallel ({par_ms:.1} ms) did not beat the \
+             sequential simulation ({seq_ms:.1} ms)"
+        );
+        exit(1);
+    }
+    println!("bench_smoke: OK — families identical, parallel faster");
+}

@@ -1,6 +1,6 @@
 //! Greedy maximum coverage (`k-cover`).
 //!
-//! The classical result of Nemhauser, Wolsey & Fisher (paper's [40]): the
+//! The classical result of Nemhauser, Wolsey & Fisher (paper's `[40]`): the
 //! greedy algorithm that repeatedly adds the set with the largest marginal
 //! coverage is a `(1 − 1/e)`-approximation for k-cover. The paper's
 //! Algorithm 3 runs exactly this procedure *on the sketch* `H≤n`, and

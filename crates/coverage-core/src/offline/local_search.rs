@@ -4,7 +4,7 @@
 //! and repeatedly apply the best improving *swap* (drop one chosen set,
 //! add one unchosen set) until no swap improves coverage. A swap-stable
 //! solution covers at least `OPT/2` (folklore; see e.g. Nemhauser, Wolsey
-//! & Fisher's analysis of interchange heuristics, the paper's [40]).
+//! & Fisher's analysis of interchange heuristics, the paper's `[40]`).
 //!
 //! In the reproduction this serves two purposes:
 //!

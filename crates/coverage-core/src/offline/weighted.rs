@@ -10,7 +10,7 @@
 //! Weighted coverage is still monotone submodular, so
 //!
 //! * greedy is a `(1 − 1/e)`-approximation (Nemhauser–Wolsey–Fisher,
-//!   the paper's [40]) — implemented lazily here;
+//!   the paper's `[40]`) — implemented lazily here;
 //! * the `H≤n` sketch machinery applies *unchanged* whenever weights are
 //!   bounded integers, by conceptually replicating an element of weight
 //!   `w` into `w` unit copies (the experiment `exp_weighted` exercises

@@ -1,0 +1,427 @@
+//! True parallel execution of the distributed k-cover pipeline.
+//!
+//! [`distributed_k_cover`](crate::runner::distributed_k_cover) *simulates*
+//! `w` machines but pays two prices the paper's model does not charge:
+//! every machine re-filters the **entire** stream through its
+//! [`ShardedStream`](crate::partition::ShardedStream) view (`O(w·|E|)`
+//! harness work), and the per-machine builds, while spawned on scoped
+//! threads, each re-walk the full input. [`ParallelRunner`] removes both
+//! costs:
+//!
+//! 1. **Partition** — one batched pass over the stream routes every edge
+//!    into its shard's buffer (`O(|E|)` total, [`shard_of_edge`]
+//!    assignment identical to the sequential simulation);
+//! 2. **Map** — up to `threads` workers build the per-machine
+//!    [`ThresholdSketch`]es concurrently, each consuming its
+//!    materialized buffer through the monomorphic
+//!    [`ThresholdSketch::update_batch`] hot loop;
+//! 3. **Reduce** — the local sketches are tree-merged by
+//!    [`tree_reduce_with`]; the default
+//!    [`ShipFormat::InMemory`] merges directly (a shared-memory
+//!    reducer), while [`ShipFormat::Json`] routes every ship through the
+//!    full [`SketchSnapshot`](coverage_sketch::SketchSnapshot) wire
+//!    round-trip;
+//! 4. **Solve** — lazy greedy on the merged sketch, as in Algorithm 3.
+//!
+//! ## Determinism contract
+//!
+//! For the same [`DistConfig`] (machines, seed, sizing) the parallel
+//! runner selects the **identical cover** — the same [`SetId`] sequence —
+//! as the sequential simulation, for any thread count, batch size, or
+//! reduce fan-in. Two properties make this provable rather than
+//! incidental: shard assignment and per-shard edge order are independent
+//! of the execution schedule (each shard's buffer preserves arrival
+//! order), and sketch merging is associative *and* commutative even when
+//! the degree cap binds (canonical min-id truncation — see
+//! [`ThresholdSketch::merge_from`]). The contract is property-tested
+//! across workload generators in this crate and in the workspace-level
+//! suite.
+
+use std::time::Instant;
+
+use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::{Edge, SetId};
+use coverage_sketch::{SketchBank, SketchParams, ThresholdSketch};
+use coverage_stream::{EdgeStream, SpaceReport};
+
+use crate::partition::shard_of_edge;
+use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
+use crate::runner::DistConfig;
+
+/// Default partition batch size: large enough to amortize virtual
+/// dispatch, small enough to stay cache-resident.
+pub const DEFAULT_BATCH: usize = 1 << 12;
+
+/// Default reduce fan-in (mirrors a small MapReduce reducer group).
+pub const DEFAULT_FAN_IN: usize = 4;
+
+/// Parallel sharded executor for the distributed k-cover pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelRunner {
+    cfg: DistConfig,
+    threads: usize,
+    fan_in: usize,
+    batch: usize,
+    ship: ShipFormat,
+}
+
+/// Result of a [`ParallelRunner`] run: the sequential
+/// [`DistResult`](crate::runner::DistResult) fields plus the reduce-round
+/// accounting and wall-clock phase breakdown.
+#[derive(Clone, Debug)]
+pub struct ParallelResult {
+    /// The selected family (identical to the sequential runner's).
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage.
+    pub estimated_coverage: f64,
+    /// Per-machine space reports.
+    pub per_machine: Vec<SpaceReport>,
+    /// The merged sketch's final size (edges).
+    pub merged_edges: usize,
+    /// Tree-reduce round/communication accounting.
+    pub rounds: RoundsReport,
+    /// Worker threads actually used (≤ requested, ≤ machines).
+    pub threads_used: usize,
+    /// Wall-clock of the partition pass, in nanoseconds.
+    pub partition_ns: u64,
+    /// Wall-clock of the concurrent map phase, in nanoseconds.
+    pub map_ns: u64,
+    /// Wall-clock of reduce + solve, in nanoseconds.
+    pub reduce_solve_ns: u64,
+}
+
+impl ParallelResult {
+    /// Total wall-clock across the three phases, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.partition_ns + self.map_ns + self.reduce_solve_ns
+    }
+}
+
+impl ParallelRunner {
+    /// A runner executing `cfg` on up to `threads` worker threads.
+    pub fn new(cfg: DistConfig, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        ParallelRunner {
+            cfg,
+            threads,
+            fan_in: DEFAULT_FAN_IN,
+            batch: DEFAULT_BATCH,
+            ship: ShipFormat::InMemory,
+        }
+    }
+
+    /// Override the reduce fan-in (`≥ 2`).
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Override the reduce ship format. The default is
+    /// [`ShipFormat::InMemory`] (a shared-memory reducer); pick
+    /// [`ShipFormat::Json`] to run every ship through the full snapshot
+    /// wire round-trip (slower, exercises serialization fidelity).
+    pub fn with_ship_format(mut self, ship: ShipFormat) -> Self {
+        self.ship = ship;
+        self
+    }
+
+    /// Override the partition batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The configuration this runner executes.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Worker threads the map phase will spawn for `machines` shards:
+    /// the requested cap, bounded by the number of ceil-sized contiguous
+    /// chunks the shards actually split into (7 shards on 5 threads make
+    /// chunks of 2, i.e. only 4 workers).
+    fn workers(&self, machines: usize) -> usize {
+        let cap = self.threads.min(machines).max(1);
+        let per_worker = machines.max(1).div_ceil(cap);
+        machines.max(1).div_ceil(per_worker)
+    }
+
+    /// Execute the full pipeline on `stream`.
+    ///
+    /// Unlike the sequential simulation the stream need not be [`Sync`]:
+    /// it is consumed once, single-threaded, during partitioning; only
+    /// the materialized buffers cross threads.
+    pub fn run(&self, stream: &dyn EdgeStream) -> ParallelResult {
+        let cfg = &self.cfg;
+        let params = cfg.sketch_params(stream.num_sets());
+
+        let t0 = Instant::now();
+        let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let locals = self.map_sketches(&buffers, params, cfg.seed);
+        let map_ns = t1.elapsed().as_nanos() as u64;
+        let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
+
+        let t2 = Instant::now();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let trace = lazy_greedy_k_cover(&merged.instance(), cfg.k);
+        let family = trace.family();
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        ParallelResult {
+            estimated_coverage: merged.estimate_coverage(&family),
+            merged_edges: merged.edges_stored(),
+            per_machine,
+            rounds,
+            threads_used: self.workers(cfg.machines),
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+            family,
+        }
+    }
+
+    /// Run `build` once per shard buffer, at most `self.threads` at a
+    /// time (contiguous shard ranges per worker — assignment does not
+    /// affect the output, only the schedule). The shared scaffolding of
+    /// every map-phase fan-out.
+    fn map_buffers<T, F>(&self, buffers: &[Vec<Edge>], build: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&[Edge]) -> T + Sync,
+    {
+        let workers = self.workers(buffers.len());
+        let per_worker = buffers.len().div_ceil(workers);
+        let mut locals: Vec<Option<T>> = (0..buffers.len()).map(|_| None).collect();
+        let build = &build;
+        crossbeam::scope(|scope| {
+            for (slot_chunk, buf_chunk) in locals
+                .chunks_mut(per_worker)
+                .zip(buffers.chunks(per_worker))
+            {
+                scope.spawn(move |_| {
+                    for (slot, buf) in slot_chunk.iter_mut().zip(buf_chunk) {
+                        *slot = Some(build(buf));
+                    }
+                });
+            }
+        })
+        .expect("map worker panicked");
+        locals
+            .into_iter()
+            .map(|s| s.expect("every shard slot is filled"))
+            .collect()
+    }
+
+    /// Map phase: build one sketch per shard buffer.
+    fn map_sketches(
+        &self,
+        buffers: &[Vec<Edge>],
+        params: SketchParams,
+        seed: u64,
+    ) -> Vec<ThresholdSketch> {
+        self.map_buffers(buffers, |buf| {
+            let mut s = ThresholdSketch::new(params, seed);
+            s.update_batch(buf);
+            s
+        })
+    }
+
+    /// Build a multi-guess [`SketchBank`] (Algorithm 5's per-guess
+    /// sketches) in parallel: each shard's bank is built concurrently
+    /// from its buffer, then banks are merged guess-by-guess. Equals the
+    /// single-pass [`SketchBank::from_stream`] build on the retained
+    /// elements of every guess — McGregor–Vu-style multi-threshold state
+    /// exercised under true concurrency.
+    pub fn build_bank(&self, guesses: &[SketchParams], stream: &dyn EdgeStream) -> SketchBank {
+        let cfg = &self.cfg;
+        let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let locals = self.map_buffers(&buffers, |buf| {
+            let mut bank = SketchBank::new(guesses.iter().copied(), cfg.seed);
+            bank.update_batch(buf);
+            bank
+        });
+        let mut banks = locals.into_iter();
+        let mut acc = banks.next().expect("at least one machine");
+        for bank in banks {
+            acc.merge_from(&bank);
+        }
+        acc
+    }
+}
+
+/// Route every edge of `stream` into its shard's buffer in **one**
+/// batched pass. Buffer `i` holds shard `i`'s edges in arrival order —
+/// exactly the sub-sequence
+/// [`ShardedStream`](crate::partition::ShardedStream) would deliver, at
+/// `O(|E|)` total instead of `O(shards·|E|)`.
+pub fn partition_edges(
+    stream: &dyn EdgeStream,
+    shards: usize,
+    seed: u64,
+    batch: usize,
+) -> Vec<Vec<Edge>> {
+    assert!(shards >= 1, "need at least one shard");
+    let prealloc = stream
+        .len_hint()
+        .map(|n| n / shards + n / (8 * shards) + 1)
+        .unwrap_or(0);
+    let mut buffers: Vec<Vec<Edge>> = (0..shards).map(|_| Vec::with_capacity(prealloc)).collect();
+    stream.for_each_batch(batch, &mut |chunk| {
+        for &e in chunk {
+            buffers[shard_of_edge(e, shards, seed)].push(e);
+        }
+    });
+    buffers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::ShardedStream;
+    use crate::runner::distributed_k_cover;
+    use coverage_data::{planted_k_cover, uniform_instance, zipf_instance};
+    use coverage_sketch::SketchSizing;
+    use coverage_stream::{ArrivalOrder, VecStream};
+
+    fn workload() -> VecStream {
+        let p = planted_k_cover(40, 5_000, 4, 150, 3);
+        let mut s = VecStream::from_instance(&p.instance);
+        ArrivalOrder::Random(5).apply(s.edges_mut());
+        s
+    }
+
+    #[test]
+    fn partition_matches_sharded_stream_views() {
+        let stream = workload();
+        let shards = 6;
+        let seed = 0xBEEF;
+        let buffers = partition_edges(&stream, shards, seed, 512);
+        assert_eq!(buffers.len(), shards);
+        for (i, buf) in buffers.iter().enumerate() {
+            let mut filtered = Vec::new();
+            ShardedStream::new(&stream, i, shards, seed).for_each(&mut |e| filtered.push(e));
+            assert_eq!(buf, &filtered, "shard {i} buffer must equal filtered view");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_family() {
+        let stream = workload();
+        for machines in [1usize, 3, 8] {
+            let cfg =
+                DistConfig::new(machines, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+            let seq = distributed_k_cover(&stream, &cfg);
+            for threads in [1usize, 2, 4] {
+                for fan_in in [2usize, 4] {
+                    let par = ParallelRunner::new(cfg, threads)
+                        .with_fan_in(fan_in)
+                        .run(&stream);
+                    assert_eq!(
+                        par.family, seq.family,
+                        "machines={machines} threads={threads} fan_in={fan_in}"
+                    );
+                    assert_eq!(par.merged_edges, seq.merged_edges);
+                    assert_eq!(par.per_machine.len(), machines);
+                    assert_eq!(par.threads_used, threads.min(machines));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_used_reports_actual_spawn_count() {
+        // 7 shards on 5 requested threads chunk into ceil(7/5)=2 shards
+        // per worker, i.e. only 4 workers actually spawn.
+        let stream = workload();
+        let cfg = DistConfig::new(7, 4, 0.3, 7).with_sizing(SketchSizing::Budget(1_000));
+        let res = ParallelRunner::new(cfg, 5).run(&stream);
+        assert_eq!(res.threads_used, 4);
+        // Requesting more threads than shards uses one per shard.
+        let res = ParallelRunner::new(cfg, 64).run(&stream);
+        assert_eq!(res.threads_used, 7);
+    }
+
+    #[test]
+    fn wire_json_ship_format_matches_in_memory() {
+        let stream = workload();
+        let cfg = DistConfig::new(6, 4, 0.3, 19).with_sizing(SketchSizing::Budget(1_500));
+        let mem = ParallelRunner::new(cfg, 2).run(&stream);
+        let json = ParallelRunner::new(cfg, 2)
+            .with_ship_format(ShipFormat::Json)
+            .run(&stream);
+        assert_eq!(mem.family, json.family);
+        assert_eq!(mem.merged_edges, json.merged_edges);
+        assert_eq!(mem.rounds.total_words(), json.rounds.total_words());
+    }
+
+    #[test]
+    fn batch_size_does_not_change_output() {
+        let stream = workload();
+        let cfg = DistConfig::new(4, 4, 0.3, 7).with_sizing(SketchSizing::Budget(1_500));
+        let baseline = ParallelRunner::new(cfg, 2).run(&stream);
+        for batch in [1usize, 17, 100_000] {
+            let res = ParallelRunner::new(cfg, 2).with_batch(batch).run(&stream);
+            assert_eq!(res.family, baseline.family, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn determinism_across_generators() {
+        let insts = [
+            uniform_instance(30, 2_000, 80, 17),
+            zipf_instance(30, 2_000, 0.5, 1.05, 400, 17),
+            planted_k_cover(30, 2_000, 3, 100, 17).instance,
+        ];
+        for (g, inst) in insts.iter().enumerate() {
+            let mut stream = VecStream::from_instance(inst);
+            ArrivalOrder::Random(g as u64 + 1).apply(stream.edges_mut());
+            let cfg = DistConfig::new(5, 3, 0.3, 29).with_sizing(SketchSizing::Budget(1_000));
+            let seq = distributed_k_cover(&stream, &cfg);
+            let par = ParallelRunner::new(cfg, 3).run(&stream);
+            assert_eq!(par.family, seq.family, "generator {g}");
+        }
+    }
+
+    #[test]
+    fn rounds_report_reflects_fan_in() {
+        let stream = workload();
+        let cfg = DistConfig::new(8, 4, 0.3, 7).with_sizing(SketchSizing::Budget(1_000));
+        let narrow = ParallelRunner::new(cfg, 4).with_fan_in(2).run(&stream);
+        let wide = ParallelRunner::new(cfg, 4).with_fan_in(8).run(&stream);
+        assert_eq!(narrow.rounds.num_rounds(), 3); // 8 → 4 → 2 → 1
+        assert_eq!(wide.rounds.num_rounds(), 1); // 8 → 1
+        assert_eq!(narrow.family, wide.family);
+    }
+
+    #[test]
+    fn parallel_bank_equals_single_pass_bank() {
+        let stream = workload();
+        let guesses = [
+            SketchParams::with_budget(40, 2, 0.4, 400),
+            SketchParams::with_budget(40, 4, 0.4, 900),
+            SketchParams::with_budget(40, 8, 0.4, 1_600),
+        ];
+        let cfg = DistConfig::new(6, 4, 0.3, 13).with_sizing(SketchSizing::Budget(1_000));
+        let single = SketchBank::from_stream(guesses, cfg.seed, &stream);
+        let par = ParallelRunner::new(cfg, 3).build_bank(&guesses, &stream);
+        assert_eq!(par.len(), single.len());
+        for (a, b) in single.sketches().iter().zip(par.sketches()) {
+            let mut ka: Vec<u64> = a.retained().map(|(k, _, _)| k).collect();
+            let mut kb: Vec<u64> = b.retained().map(|(k, _, _)| k).collect();
+            ka.sort_unstable();
+            kb.sort_unstable();
+            assert_eq!(ka, kb, "per-guess retained elements must match");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        let cfg = DistConfig::new(2, 2, 0.3, 1);
+        ParallelRunner::new(cfg, 0);
+    }
+}

@@ -62,15 +62,42 @@ fn ship_cost(s: &ThresholdSketch) -> u64 {
     2 * s.edges_stored() as u64 + 4 * s.elements_stored() as u64
 }
 
+/// How non-leader sketches travel to their group leader during a tree
+/// reduction. Merging is shape- and format-independent, so the choice
+/// affects only fidelity-vs-speed of the *simulation*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShipFormat {
+    /// Full wire round-trip per ship: snapshot → JSON text → parse →
+    /// restore → merge. Continuously exercises serialization fidelity;
+    /// what [`tree_reduce`] uses.
+    #[default]
+    Json,
+    /// Direct in-memory merge (a shared-memory reducer, where "shipping"
+    /// is a pointer move). Same merges, same [`RoundCost`] accounting,
+    /// none of the text-layer cost — what the parallel executor uses on
+    /// its hot path.
+    InMemory,
+}
+
 /// Reduce `sketches` with a merge tree of the given fan-in (`≥ 2`).
 ///
 /// Every non-leader serializes its sketch through the snapshot wire
 /// format (exactly what a real deployment would ship) and the group
 /// leader merges the restored sketches — so this path also continuously
-/// exercises serialization fidelity.
+/// exercises serialization fidelity. Use [`tree_reduce_with`] to pick a
+/// cheaper [`ShipFormat`].
 pub fn tree_reduce(
+    sketches: Vec<ThresholdSketch>,
+    fan_in: usize,
+) -> (ThresholdSketch, RoundsReport) {
+    tree_reduce_with(sketches, fan_in, ShipFormat::Json)
+}
+
+/// [`tree_reduce`] with an explicit [`ShipFormat`].
+pub fn tree_reduce_with(
     mut sketches: Vec<ThresholdSketch>,
     fan_in: usize,
+    format: ShipFormat,
 ) -> (ThresholdSketch, RoundsReport) {
     assert!(fan_in >= 2, "fan-in must be at least 2");
     assert!(!sketches.is_empty(), "need at least one sketch");
@@ -79,18 +106,25 @@ pub fn tree_reduce(
         let in_count = sketches.len();
         let mut shipped = 0u64;
         let mut next: Vec<ThresholdSketch> = Vec::with_capacity(in_count.div_ceil(fan_in));
-        for group in sketches.chunks_mut(fan_in) {
-            let (leader, rest) = group.split_first_mut().expect("chunks are non-empty");
-            for child in rest {
-                shipped += ship_cost(child);
-                // Wire round-trip: snapshot → JSON → restore → merge.
-                let wire = SketchSnapshot::of(child).to_json();
-                let restored = SketchSnapshot::from_json(&wire)
-                    .expect("wire snapshot must parse")
-                    .restore();
-                leader.merge_from(&restored);
+        let mut iter = sketches.into_iter();
+        // Groups take ownership: leaders move to the next round instead
+        // of being cloned (a clone would copy the whole entry map).
+        while let Some(mut leader) = iter.next() {
+            for child in iter.by_ref().take(fan_in - 1) {
+                shipped += ship_cost(&child);
+                match format {
+                    ShipFormat::Json => {
+                        // Wire round-trip: snapshot → JSON → restore → merge.
+                        let wire = SketchSnapshot::of(&child).to_json();
+                        let restored = SketchSnapshot::from_json(&wire)
+                            .expect("wire snapshot must parse")
+                            .restore();
+                        leader.merge_from(&restored);
+                    }
+                    ShipFormat::InMemory => leader.merge_from(&child),
+                }
             }
-            next.push(leader.clone());
+            next.push(leader);
         }
         rounds.push(RoundCost {
             sketches_in: in_count,
@@ -159,6 +193,16 @@ mod tests {
             };
             assert_eq!(report.num_rounds(), expected_rounds, "fan_in={fan_in}");
         }
+    }
+
+    #[test]
+    fn ship_formats_agree() {
+        let (shards, _) = build_shards(7, 120);
+        let (via_json, json_rounds) = tree_reduce_with(shards.clone(), 3, ShipFormat::Json);
+        let (in_memory, mem_rounds) = tree_reduce_with(shards, 3, ShipFormat::InMemory);
+        assert_eq!(keys(&via_json), keys(&in_memory));
+        assert_eq!(json_rounds.num_rounds(), mem_rounds.num_rounds());
+        assert_eq!(json_rounds.total_words(), mem_rounds.total_words());
     }
 
     #[test]

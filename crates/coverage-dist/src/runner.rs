@@ -42,6 +42,24 @@ impl DistConfig {
         self.sizing = sizing;
         self
     }
+
+    /// The seed edges are sharded with. Every executor (threaded
+    /// simulation, serial simulation, parallel runner) must derive it
+    /// identically or their machines see different shards and the
+    /// determinism contract breaks.
+    pub fn shard_seed(&self) -> u64 {
+        self.seed ^ 0x5A
+    }
+
+    /// The per-machine sketch parameters for a stream of `n` sets
+    /// (Algorithm 3 semantics: the sketch runs at ε/12). Centralized for
+    /// the same reason as [`shard_seed`](Self::shard_seed): every
+    /// executor must size sketches identically or their merged results —
+    /// and therefore the selected families — diverge.
+    pub fn sketch_params(&self, n: usize) -> coverage_sketch::SketchParams {
+        let eps_sketch = (self.epsilon / 12.0).clamp(1e-6, 1.0);
+        self.sizing.params(n, self.k.max(1), eps_sketch)
+    }
 }
 
 /// Result of a distributed run.
@@ -68,10 +86,15 @@ pub fn merge_all(mut sketches: Vec<ThresholdSketch>) -> ThresholdSketch {
 
 /// Distributed Algorithm 3: shard edges across `machines`, sketch each
 /// shard on its own thread, merge, and run greedy on the merged sketch.
+///
+/// Each simulated machine re-filters the **full** stream through its
+/// [`ShardedStream`] view, so the harness does `O(machines·|E|)` work;
+/// the machines run on scoped threads (one per machine). For a
+/// single-threaded reference with identical output see
+/// [`distributed_k_cover_serial`]; for the executor that removes the
+/// re-filtering cost see [`crate::ParallelRunner`].
 pub fn distributed_k_cover(stream: &(dyn EdgeStream + Sync), cfg: &DistConfig) -> DistResult {
-    let n = stream.num_sets();
-    let eps_sketch = (cfg.epsilon / 12.0).clamp(1e-6, 1.0);
-    let params = cfg.sizing.params(n, cfg.k.max(1), eps_sketch);
+    let params = cfg.sketch_params(stream.num_sets());
 
     // Map phase: one sketch per machine, built concurrently.
     let mut locals: Vec<Option<ThresholdSketch>> = (0..cfg.machines).map(|_| None).collect();
@@ -79,13 +102,36 @@ pub fn distributed_k_cover(stream: &(dyn EdgeStream + Sync), cfg: &DistConfig) -
         for (i, slot) in locals.iter_mut().enumerate() {
             let stream_ref = stream;
             scope.spawn(move |_| {
-                let shard = ShardedStream::new(stream_ref, i, cfg.machines, cfg.seed ^ 0x5A);
+                let shard = ShardedStream::new(stream_ref, i, cfg.machines, cfg.shard_seed());
                 *slot = Some(ThresholdSketch::from_stream(params, cfg.seed, &shard));
             });
         }
     })
     .expect("machine thread panicked");
     let locals: Vec<ThresholdSketch> = locals.into_iter().map(|s| s.unwrap()).collect();
+    solve_locals(locals, cfg)
+}
+
+/// [`distributed_k_cover`] with the machines simulated strictly one
+/// after another on the calling thread — no concurrency anywhere.
+/// Output-identical to the threaded simulation (same shards, same
+/// seeds, associative merge); this is the honest single-threaded
+/// baseline the `bench_smoke` perf gate compares the parallel executor
+/// against, so the gate does not depend on how many cores the CI
+/// machine happens to have.
+pub fn distributed_k_cover_serial(stream: &dyn EdgeStream, cfg: &DistConfig) -> DistResult {
+    let params = cfg.sketch_params(stream.num_sets());
+    let locals: Vec<ThresholdSketch> = (0..cfg.machines)
+        .map(|i| {
+            let shard = ShardedStream::new(stream, i, cfg.machines, cfg.shard_seed());
+            ThresholdSketch::from_stream(params, cfg.seed, &shard)
+        })
+        .collect();
+    solve_locals(locals, cfg)
+}
+
+/// Shared reduce + solve tail of both simulations.
+fn solve_locals(locals: Vec<ThresholdSketch>, cfg: &DistConfig) -> DistResult {
     let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
 
     // Reduce phase: associative fold.
@@ -131,6 +177,20 @@ mod tests {
     }
 
     #[test]
+    fn serial_simulation_equals_threaded_simulation() {
+        let (stream, _, _) = workload();
+        for machines in [1usize, 3, 8] {
+            let cfg =
+                DistConfig::new(machines, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+            let threaded = distributed_k_cover(&stream, &cfg);
+            let serial = distributed_k_cover_serial(&stream, &cfg);
+            assert_eq!(serial.family, threaded.family, "machines={machines}");
+            assert_eq!(serial.merged_edges, threaded.merged_edges);
+            assert_eq!(serial.per_machine.len(), threaded.per_machine.len());
+        }
+    }
+
+    #[test]
     fn quality_matches_single_machine_algorithm3() {
         let (stream, inst, opt) = workload();
         let cfg = DistConfig::new(4, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
@@ -168,7 +228,7 @@ mod tests {
         let (stream, _, _) = workload();
         let cfg = DistConfig::new(4, 4, 0.3, 7).with_sizing(SketchSizing::Budget(500));
         let res = distributed_k_cover(&stream, &cfg);
-        let params = cfg.sizing.params(40, 4, 0.3 / 12.0);
+        let params = cfg.sketch_params(40);
         assert!(res.merged_edges <= params.max_edges());
     }
 }

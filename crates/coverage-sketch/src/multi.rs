@@ -48,9 +48,40 @@ impl SketchBank {
         }
     }
 
+    /// Forward a contiguous batch of edges to every sketch. Iterating
+    /// sketch-major (each sketch scans the whole batch) keeps one
+    /// sketch's state hot in cache instead of touching every sketch per
+    /// edge.
+    pub fn update_batch(&mut self, edges: &[Edge]) {
+        for s in &mut self.sketches {
+            s.update_batch(edges);
+        }
+    }
+
     /// Feed an entire stream (one pass for the whole bank).
     pub fn consume(&mut self, stream: &dyn EdgeStream) {
         stream.for_each(&mut |e| self.update(e));
+    }
+
+    /// Feed an entire stream in batches of `batch` edges (one pass).
+    pub fn consume_batched(&mut self, stream: &dyn EdgeStream, batch: usize) {
+        stream.for_each_batch(batch, &mut |chunk| self.update_batch(chunk));
+    }
+
+    /// Merge another bank of the same shape (same parameter list, same
+    /// seed) into `self`, sketch by sketch. With the inputs partitioned
+    /// across machines this composes exactly like
+    /// [`ThresholdSketch::merge_from`] does for a single sketch: every
+    /// guess's merged sketch equals the single-machine build.
+    pub fn merge_from(&mut self, other: &SketchBank) {
+        assert_eq!(
+            self.sketches.len(),
+            other.sketches.len(),
+            "banks must have the same number of guesses to merge"
+        );
+        for (mine, theirs) in self.sketches.iter_mut().zip(&other.sketches) {
+            mine.merge_from(theirs);
+        }
     }
 
     /// Build a bank from one pass over `stream`.
@@ -133,6 +164,54 @@ mod tests {
             .sum();
         assert_eq!(total.peak_edges, sum);
         assert_eq!(total.passes, 1);
+    }
+
+    #[test]
+    fn batched_bank_matches_per_edge_bank() {
+        let seed = 31;
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
+        let p2 = SketchParams::with_budget(8, 4, 0.5, 120);
+        let per_edge = SketchBank::from_stream([p1, p2], seed, &stream());
+        let mut batched = SketchBank::new([p1, p2], seed);
+        batched.consume_batched(&stream(), 37);
+        for (a, b) in per_edge.sketches().iter().zip(batched.sketches()) {
+            assert_eq!(a.acceptance_bound(), b.acceptance_bound());
+            assert_eq!(a.edges_stored(), b.edges_stored());
+        }
+    }
+
+    #[test]
+    fn merged_partition_banks_equal_single_bank() {
+        let seed = 55;
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 60);
+        let p2 = SketchParams::with_budget(8, 4, 0.5, 150);
+        let single = SketchBank::from_stream([p1, p2], seed, &stream());
+        let mut parts: Vec<SketchBank> = (0..3).map(|_| SketchBank::new([p1, p2], seed)).collect();
+        let mut i = 0usize;
+        stream().for_each(&mut |e| {
+            parts[i % 3].update(e);
+            i += 1;
+        });
+        let mut merged = parts.remove(0);
+        for part in &parts {
+            merged.merge_from(part);
+        }
+        for (a, b) in single.sketches().iter().zip(merged.sketches()) {
+            let mut ka: Vec<u64> = a.retained().map(|(k, _, _)| k).collect();
+            let mut kb: Vec<u64> = b.retained().map(|(k, _, _)| k).collect();
+            ka.sort_unstable();
+            kb.sort_unstable();
+            assert_eq!(ka, kb, "merged bank must retain the same elements");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of guesses")]
+    fn merge_rejects_shape_mismatch() {
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
+        let mut a = SketchBank::new([p1], 1);
+        let b = SketchBank::new([p1, p1], 1);
+        a.merge_from(&b);
     }
 
     #[test]

@@ -172,9 +172,25 @@ impl ThresholdSketch {
         self.bound = h.saturating_sub(1);
     }
 
+    /// Process a contiguous batch of arriving edges. Semantically
+    /// identical to calling [`update`](Self::update) per edge; exists so
+    /// batched stream consumers keep one monomorphic inner loop instead
+    /// of a virtual call per edge.
+    pub fn update_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.update(e);
+        }
+    }
+
     /// Feed an entire stream (one pass).
     pub fn consume(&mut self, stream: &dyn EdgeStream) {
         stream.for_each(&mut |e| self.update(e));
+    }
+
+    /// Feed an entire stream (one pass) in batches of `batch` edges —
+    /// the amortized-dispatch fast path used by the parallel runner.
+    pub fn consume_batched(&mut self, stream: &dyn EdgeStream, batch: usize) {
+        stream.for_each_batch(batch, &mut |chunk| self.update_batch(chunk));
     }
 
     /// Build the sketch from one pass over `stream`.
@@ -332,6 +348,13 @@ impl ThresholdSketch {
     /// bound, uniting per-element set lists (re-capped), and re-evicting
     /// to the budget therefore reproduces a valid `H≤n` of the union —
     /// with *identical* retained elements to a single-machine build.
+    ///
+    /// When the degree cap binds during the union, the surviving edges
+    /// are the **smallest set ids** of the united list (Lemma 2.4 allows
+    /// any cap-sized subset). That canonical choice makes the merge
+    /// associative *and* commutative, so a reduction's result is
+    /// independent of its tree shape — the determinism contract the
+    /// parallel runner in `coverage-dist` is property-tested against.
     pub fn merge_from(&mut self, other: &ThresholdSketch) {
         assert_eq!(
             self.hash, other.hash,
@@ -370,18 +393,16 @@ impl ThresholdSketch {
             match self.entries.get_mut(&key) {
                 Some(se) => {
                     debug_assert_eq!(se.hash, oe.hash);
-                    for &s in &oe.sets {
-                        if se.sets.len() >= self.params.degree_cap {
-                            se.truncated = true;
-                            break;
-                        }
-                        if let Err(pos) = se.sets.binary_search(&s) {
-                            se.sets.insert(pos, s);
-                            self.edges_stored += 1;
-                            self.tracker.add_edges(1);
-                        }
-                    }
-                    se.truncated |= oe.truncated;
+                    let before = se.sets.len();
+                    let (merged, overflow) =
+                        sorted_union_capped(&se.sets, &oe.sets, self.params.degree_cap);
+                    // The capped union never shrinks: both inputs are ≤ cap
+                    // long, and min-id truncation keeps at least max(|a|,|b|).
+                    let added = merged.len() - before;
+                    se.sets = merged;
+                    se.truncated |= oe.truncated | overflow;
+                    self.edges_stored += added;
+                    self.tracker.add_edges(added as u64);
                 }
                 None => {
                     self.entries.insert(key, oe.clone());
@@ -404,6 +425,46 @@ impl ThresholdSketch {
         self.counters.rejected_by_cap += o.rejected_by_cap;
         self.counters.duplicates += o.duplicates;
         self.counters.evictions += o.evictions;
+    }
+}
+
+/// Union of two sorted, deduplicated id lists, truncated to the `cap`
+/// smallest ids. Returns the union and whether anything was cut. Keeping
+/// the min-id prefix makes `union ∘ truncate` associative, which is what
+/// lets sketch merges ignore reduction shape: `min_cap(min_cap(A ∪ B) ∪ C)
+/// = min_cap(A ∪ B ∪ C)`.
+fn sorted_union_capped(a: &[u32], b: &[u32], cap: usize) -> (Vec<u32>, bool) {
+    let mut merged = Vec::with_capacity((a.len() + b.len()).min(cap));
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => return (merged, false),
+        };
+        if merged.len() == cap {
+            return (merged, true);
+        }
+        merged.push(next);
     }
 }
 
@@ -467,6 +528,31 @@ mod tests {
             assert!(sets.len() <= 70);
         }
         assert!(s.counters().rejected_by_cap > 0);
+    }
+
+    #[test]
+    fn batched_consume_equals_per_edge_consume() {
+        let p = params(4, 60);
+        let stream = star_stream(4, 300);
+        let per_edge = ThresholdSketch::from_stream(p, 23, &stream);
+        for batch in [1usize, 3, 64, 10_000] {
+            let mut batched = ThresholdSketch::new(p, 23);
+            batched.consume_batched(&stream, batch);
+            assert_eq!(batched.acceptance_bound(), per_edge.acceptance_bound());
+            assert_eq!(batched.edges_stored(), per_edge.edges_stored());
+            let mut a: Vec<(u64, Vec<u32>)> = per_edge
+                .retained()
+                .map(|(k, _, s)| (k, s.to_vec()))
+                .collect();
+            let mut b: Vec<(u64, Vec<u32>)> = batched
+                .retained()
+                .map(|(k, _, s)| (k, s.to_vec()))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "batch={batch} must not change the sketch");
+            assert_eq!(batched.counters(), per_edge.counters());
+        }
     }
 
     #[test]
@@ -605,6 +691,55 @@ mod tests {
         let max_kept = single.retained().map(|(_, h, _)| h).max().unwrap();
         assert!(single.acceptance_bound() >= max_kept);
         assert!(merged.acceptance_bound() >= max_kept);
+    }
+
+    #[test]
+    fn merge_is_shape_independent_under_binding_cap() {
+        // 12 sets, cap well below 12, so the union truncates. Any merge
+        // order (left fold, right fold, balanced tree) must produce the
+        // identical sketch — the canonical min-id truncation at work.
+        let p = SketchParams::with_budget(12, 1, 0.9, 60);
+        assert!(p.degree_cap < 12, "cap must bind in this test");
+        let seed = 5;
+        let parts: Vec<ThresholdSketch> = (0..4)
+            .map(|part| {
+                let mut s = ThresholdSketch::new(p, seed);
+                for set in 0..12u32 {
+                    for e in 0..120u64 {
+                        if (set as u64 + e) % 4 == part {
+                            s.update(Edge::new(set, e));
+                        }
+                    }
+                }
+                s
+            })
+            .collect();
+        let content = |s: &ThresholdSketch| {
+            let mut v: Vec<(u64, Vec<u32>)> = s
+                .retained()
+                .map(|(k, _, sets)| (k, sets.to_vec()))
+                .collect();
+            v.sort();
+            v
+        };
+        // Left fold: ((0·1)·2)·3
+        let mut left = parts[0].clone();
+        for part in &parts[1..] {
+            left.merge_from(part);
+        }
+        // Right fold: 0·(1·(2·3))
+        let mut right = parts[3].clone();
+        right.merge_from(&parts[2]);
+        right.merge_from(&parts[1]);
+        right.merge_from(&parts[0]);
+        // Balanced: (0·1)·(2·3)
+        let mut ab = parts[0].clone();
+        ab.merge_from(&parts[1]);
+        let mut cd = parts[2].clone();
+        cd.merge_from(&parts[3]);
+        ab.merge_from(&cd);
+        assert_eq!(content(&left), content(&right));
+        assert_eq!(content(&left), content(&ab));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! a time **in arbitrary order**; multi-pass algorithms may traverse the
 //! same stream several times. This crate provides:
 //!
-//! * [`source`] — the replayable [`EdgeStream`] trait and its
-//!   implementations ([`VecStream`] for materialized streams,
-//!   [`FnStream`] for generator-backed streams that regenerate
-//!   deterministically instead of storing edges);
+//! * [`source`] — the replayable [`EdgeStream`] trait (per-edge
+//!   [`for_each`](EdgeStream::for_each) plus batched
+//!   [`for_each_batch`](EdgeStream::for_each_batch) for hot loops that
+//!   amortize dispatch) and its implementations ([`VecStream`] for
+//!   materialized streams, [`FnStream`] for generator-backed streams
+//!   that regenerate deterministically instead of storing edges);
 //! * [`order`] — arrival-order policies (random, set-grouped = set-arrival
 //!   emulation, element-grouped, adversarial by descending hash);
 //! * [`meter`] — space accounting ([`SpaceReport`]) in the units the paper

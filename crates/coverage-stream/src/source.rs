@@ -25,6 +25,30 @@ pub trait EdgeStream {
     /// Deliver every edge, in this stream's fixed arrival order, to `f`.
     /// Calling this again replays the identical sequence (one extra pass).
     fn for_each(&self, f: &mut dyn FnMut(Edge));
+
+    /// Deliver the stream as contiguous batches of at most `batch` edges,
+    /// in arrival order, to `f`. Batched consumers (sketch hot loops, the
+    /// parallel partitioner) amortize per-edge dynamic dispatch this way:
+    /// one virtual call per `batch` edges instead of one per edge.
+    ///
+    /// The default implementation chunks [`for_each`](Self::for_each)
+    /// through a reused buffer; materialized streams can override it to
+    /// hand out sub-slices with no copy. Implementations must preserve
+    /// arrival order and deliver every edge exactly once per pass.
+    fn for_each_batch(&self, batch: usize, f: &mut dyn FnMut(&[Edge])) {
+        let batch = batch.max(1);
+        let mut buf: Vec<Edge> = Vec::with_capacity(batch);
+        self.for_each(&mut |e| {
+            buf.push(e);
+            if buf.len() == batch {
+                f(&buf);
+                buf.clear();
+            }
+        });
+        if !buf.is_empty() {
+            f(&buf);
+        }
+    }
 }
 
 /// A fully materialized stream (tests, small workloads, order experiments).
@@ -72,6 +96,13 @@ impl EdgeStream for VecStream {
     fn for_each(&self, f: &mut dyn FnMut(Edge)) {
         for &e in &self.edges {
             f(e);
+        }
+    }
+
+    /// Zero-copy override: batches are sub-slices of the stored edges.
+    fn for_each_batch(&self, batch: usize, f: &mut dyn FnMut(&[Edge])) {
+        for chunk in self.edges.chunks(batch.max(1)) {
+            f(chunk);
         }
     }
 }
@@ -172,6 +203,49 @@ mod tests {
         assert_eq!(count, 10);
         assert_eq!(s.num_sets(), 4);
         assert_eq!(s.len_hint(), Some(5));
+    }
+
+    #[test]
+    fn batches_cover_the_stream_in_order() {
+        let s = FnStream::new(4, |f| {
+            for i in 0..23u64 {
+                f(Edge::new((i % 4) as u32, i));
+            }
+        });
+        for batch in [1usize, 4, 7, 23, 100] {
+            let mut flat = Vec::new();
+            let mut sizes = Vec::new();
+            s.for_each_batch(batch, &mut |chunk| {
+                sizes.push(chunk.len());
+                flat.extend_from_slice(chunk);
+            });
+            let mut want = Vec::new();
+            s.for_each(&mut |e| want.push(e));
+            assert_eq!(flat, want, "batch={batch} must replay the exact sequence");
+            for (i, &len) in sizes.iter().enumerate() {
+                assert!(len <= batch);
+                // Only the final batch may be short.
+                if i + 1 < sizes.len() {
+                    assert_eq!(len, batch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vec_stream_batches_are_zero_copy_slices() {
+        let s = VecStream::new(2, edges());
+        let mut flat = Vec::new();
+        s.for_each_batch(2, &mut |chunk| flat.extend_from_slice(chunk));
+        assert_eq!(flat, edges());
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped() {
+        let s = VecStream::new(2, edges());
+        let mut count = 0usize;
+        s.for_each_batch(0, &mut |chunk| count += chunk.len());
+        assert_eq!(count, 3);
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub mod prelude {
         disjoint_blocks, greedy_trap, planted_k_cover, planted_set_cover, preferential_attachment,
         uniform_instance, zipf_instance, BlockModel, InstanceMeta,
     };
-    pub use coverage_dist::{distributed_k_cover, tree_reduce, DistConfig, DistResult};
+    pub use coverage_dist::{
+        distributed_k_cover, distributed_k_cover_serial, partition_edges, tree_reduce, DistConfig,
+        DistResult, ParallelResult, ParallelRunner, ShipFormat,
+    };
     pub use coverage_sketch::{
         AblatedSketch, EvictionPolicy, SketchParams, SketchSizing, SketchSnapshot, ThresholdSketch,
     };

@@ -196,16 +196,17 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // consume one UTF-8 scalar
+                    // Consume the whole contiguous run of unescaped bytes
+                    // with a single UTF-8 validation — validating per
+                    // character against the full remaining input would be
+                    // quadratic in document size.
                     let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| Error::custom("eof in string"))?;
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push_str(run);
                 }
                 None => return Err(Error::custom("unterminated string")),
             }
