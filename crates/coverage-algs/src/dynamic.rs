@@ -1,0 +1,239 @@
+//! Dynamic-stream k-cover: Algorithm 3 transplanted to signed
+//! (insert/delete) streams.
+//!
+//! ```text
+//! Algorithm 3 (insertion-only)             | dynamic counterpart (here)
+//! -----------------------------------------+---------------------------------
+//! 1: δ'' = 2 + log n, ε' = ε/12            | DynamicKCoverConfig::paper_epsilon
+//! 2: construct H≤n(k, ε', δ'') over stream | DynamicSketch::from_stream
+//! 3: run greedy on the sketch              | greedy on the recovered sample
+//! ```
+//!
+//! The sketch is the linear, ℓ₀-sampler-backed
+//! [`coverage_sketch::DynamicSketch`]: deletions exactly
+//! cancel insertions, so the recovered sample — the densest decodable
+//! subsampling level — is a uniform hash sample of the **surviving**
+//! graph at a known `p`, i.e. exactly the `H'p` subgraph the
+//! insertion-only pipeline would have built over the surviving edges.
+//! Greedy on that sample therefore inherits Theorem 3.1's
+//! `(1 − 1/e − ε)` guarantee with respect to the surviving optimum.
+
+use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::SetId;
+use coverage_sketch::{DynamicSketch, DynamicSketchParams, SketchSizing};
+use coverage_stream::{DynamicEdgeStream, SpaceReport};
+
+/// Configuration of a streaming dynamic k-cover run.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicKCoverConfig {
+    /// Number of sets to select.
+    pub k: usize,
+    /// Target accuracy loss ε (Theorem 3.1 semantics; the sketch runs at
+    /// `ε' = ε/12`).
+    pub epsilon: f64,
+    /// How the underlying sketch is sized (shared with the
+    /// insertion-only pipeline).
+    pub sizing: SketchSizing,
+    /// Subsampling levels of the dynamic sketch (`None` = default).
+    pub levels: Option<usize>,
+    /// Hash seed (the run's single global `h`).
+    pub seed: u64,
+}
+
+impl DynamicKCoverConfig {
+    /// A practically-sized configuration.
+    pub fn new(k: usize, epsilon: f64, seed: u64) -> Self {
+        DynamicKCoverConfig {
+            k,
+            epsilon,
+            sizing: SketchSizing::Practical { c: 4.0 },
+            levels: None,
+            seed,
+        }
+    }
+
+    /// Override the sizing policy.
+    pub fn with_sizing(mut self, sizing: SketchSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Override the sketch's subsampling level count.
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// The sketch accuracy `ε' = ε/12` of Algorithm 3.
+    pub fn paper_epsilon(&self) -> f64 {
+        (self.epsilon / 12.0).clamp(1e-6, 1.0)
+    }
+
+    /// Materialized dynamic sketch parameters for a family of `n` sets.
+    pub fn sketch_params(&self, n: usize) -> DynamicSketchParams {
+        let base = self.sizing.params(n, self.k.max(1), self.paper_epsilon());
+        let params = DynamicSketchParams::new(base);
+        match self.levels {
+            Some(levels) => params.with_levels(levels),
+            None => params,
+        }
+    }
+}
+
+/// Result of a streaming dynamic k-cover run.
+#[derive(Clone, Debug)]
+pub struct DynamicKCoverResult {
+    /// The selected family (≤ k sets, in greedy order).
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage on the
+    /// **surviving** graph (Lemma 2.2 at the recovered level).
+    pub estimated_coverage: f64,
+    /// Coverage of the family within the recovered sample (diagnostics).
+    pub sample_coverage: usize,
+    /// The subsampling level that decoded (0 = exact surviving graph).
+    pub sample_level: usize,
+    /// That level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// Surviving edges recovered at that level.
+    pub recovered_edges: usize,
+    /// Insert/delete events processed.
+    pub inserts: u64,
+    /// Delete events processed.
+    pub deletes: u64,
+    /// Space used (fixed cell banks, reported as aux words).
+    pub space: SpaceReport,
+}
+
+/// Run the dynamic Algorithm 3 over one pass of `stream`.
+///
+/// # Panics
+///
+/// Panics if no subsampling level decodes — the sketch was built with
+/// too few levels for the surviving edge count (raise
+/// [`DynamicKCoverConfig::with_levels`]).
+pub fn dynamic_k_cover(
+    stream: &dyn DynamicEdgeStream,
+    config: &DynamicKCoverConfig,
+) -> DynamicKCoverResult {
+    let n = stream.num_sets();
+    let params = config.sketch_params(n);
+    let sketch = DynamicSketch::from_stream(params, config.seed, stream);
+    solve_on_dynamic_sketch(&sketch, config.k)
+}
+
+/// The post-stream half of the dynamic pipeline (shared with callers
+/// that built or merged the sketch themselves, e.g. `coverage-dist`
+/// consumers and benchmarks that reuse one pass).
+pub fn solve_on_dynamic_sketch(sketch: &DynamicSketch, k: usize) -> DynamicKCoverResult {
+    let sample = sketch.recover_expect();
+    let inst = sketch.instance(&sample);
+    let trace = lazy_greedy_k_cover(&inst, k);
+    let family = trace.family();
+    let counters = sketch.counters();
+    DynamicKCoverResult {
+        estimated_coverage: sketch.estimate_coverage(&sample, &family),
+        sample_coverage: trace.coverage(),
+        sample_level: sample.level,
+        sampling_p: sample.sampling_p,
+        recovered_edges: sample.edges.len(),
+        inserts: counters.inserts,
+        deletes: counters.deletes,
+        space: sketch.space_report(),
+        family,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcover::{k_cover_streaming, KCoverConfig};
+    use coverage_data::{adversarial_insert_delete, churn_workload, planted_k_cover};
+    use coverage_stream::{InsertOnly, VecStream};
+
+    #[test]
+    fn recovers_planted_optimum_under_churn() {
+        let p = planted_k_cover(20, 2_000, 4, 100, 1);
+        let w = churn_workload(&p.instance, 0.5, 7);
+        let cfg = DynamicKCoverConfig::new(4, 0.3, 11).with_sizing(SketchSizing::Budget(4_000));
+        let res = dynamic_k_cover(&w.stream, &cfg);
+        let achieved = w.surviving.coverage(&res.family);
+        let opt = lazy_greedy_k_cover(&w.surviving, 4).coverage();
+        assert!(
+            achieved as f64 >= 0.9 * opt as f64,
+            "achieved {achieved} of greedy-on-survivors {opt}"
+        );
+        assert!(res.family.len() <= 4);
+        assert!(res.deletes > 0);
+    }
+
+    #[test]
+    fn survives_the_adversarial_prefix() {
+        // The defining scenario: transient decoy mass dominates the
+        // stream prefix, but the surviving optimum is the golden family.
+        for seed in 0..3u64 {
+            let w = adversarial_insert_delete(24, 2_000, 4, 40, seed);
+            let cfg = DynamicKCoverConfig::new(4, 0.3, seed ^ 0xF0)
+                .with_sizing(SketchSizing::Budget(3_000));
+            let res = dynamic_k_cover(&w.stream, &cfg);
+            let achieved = w.planted.instance.coverage(&res.family);
+            assert!(
+                achieved as f64 >= 0.9 * w.planted.optimal_value as f64,
+                "seed {seed}: {achieved} of planted {}",
+                w.planted.optimal_value
+            );
+        }
+    }
+
+    #[test]
+    fn matches_insertion_only_pipeline_on_insert_only_input() {
+        // On a pure insertion stream both pipelines see the same graph;
+        // their covers must achieve comparable quality (the samples
+        // differ — hash-threshold prefix vs level sample — so equality
+        // of families is not required, quality is).
+        let p = planted_k_cover(25, 2_000, 4, 80, 5);
+        let stream = VecStream::from_instance(&p.instance);
+        let dyn_cfg = DynamicKCoverConfig::new(4, 0.3, 9).with_sizing(SketchSizing::Budget(4_000));
+        let ins_cfg = KCoverConfig::new(4, 0.3, 9).with_sizing(SketchSizing::Budget(4_000));
+        let dyn_res = dynamic_k_cover(&InsertOnly::new(&stream), &dyn_cfg);
+        let ins_res = k_cover_streaming(&stream, &ins_cfg);
+        let dyn_cov = p.instance.coverage(&dyn_res.family);
+        let ins_cov = p.instance.coverage(&ins_res.family);
+        assert!(
+            dyn_cov as f64 >= 0.9 * ins_cov as f64,
+            "dynamic {dyn_cov} vs insertion-only {ins_cov}"
+        );
+        assert_eq!(dyn_res.deletes, 0);
+    }
+
+    #[test]
+    fn estimate_tracks_surviving_truth() {
+        let p = planted_k_cover(20, 3_000, 4, 100, 9);
+        let w = churn_workload(&p.instance, 0.4, 3);
+        let cfg = DynamicKCoverConfig::new(4, 0.2, 2).with_sizing(SketchSizing::Budget(3_000));
+        let res = dynamic_k_cover(&w.stream, &cfg);
+        let truth = w.surviving.coverage(&res.family) as f64;
+        assert!(
+            (res.estimated_coverage - truth).abs() / truth < 0.25,
+            "estimate {} vs surviving truth {truth}",
+            res.estimated_coverage
+        );
+    }
+
+    #[test]
+    fn result_is_deterministic() {
+        let p = planted_k_cover(15, 1_000, 3, 50, 2);
+        let w = churn_workload(&p.instance, 0.6, 21);
+        let cfg = DynamicKCoverConfig::new(3, 0.3, 7).with_sizing(SketchSizing::Budget(2_000));
+        let a = dynamic_k_cover(&w.stream, &cfg);
+        let b = dynamic_k_cover(&w.stream, &cfg);
+        assert_eq!(a.family, b.family);
+        assert_eq!(a.sample_level, b.sample_level);
+        assert_eq!(a.recovered_edges, b.recovered_edges);
+    }
+
+    #[test]
+    fn paper_epsilon_is_twelfth() {
+        let cfg = DynamicKCoverConfig::new(3, 0.6, 1);
+        assert!((cfg.paper_epsilon() - 0.05).abs() < 1e-12);
+    }
+}

@@ -11,6 +11,7 @@
 //! | Module | Paper artifact | Guarantee | Passes | Space |
 //! |---|---|---|---|---|
 //! | [`kcover`] | Algorithm 3 | `1−1/e−ε` for k-cover | 1 | `Õ(n)` |
+//! | [`dynamic`] | Algorithm 3, dynamic streams | `1−1/e−ε` on the surviving graph | 1 | `Õ(n·log m)` |
 //! | [`set_cover`] | Algorithms 4–5 | `(1+ε)·ln(1/λ)` for set cover with λ outliers | 1 | `Õ_λ(n)` |
 //! | [`multipass`] | Algorithm 6 | `(1+ε)·ln m` for set cover | `2r−1` | `Õ(n·m^{3/(2+r)} + m)` |
 //! | [`baselines::saha_getoor`] | `[44]` | `1/4` for k-cover | 1 (set-arrival) | `Õ(m)` |
@@ -26,11 +27,15 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod dynamic;
 pub mod kcover;
 pub mod multipass;
 pub mod preprocess;
 pub mod set_cover;
 
+pub use dynamic::{
+    dynamic_k_cover, solve_on_dynamic_sketch, DynamicKCoverConfig, DynamicKCoverResult,
+};
 pub use kcover::{k_cover_streaming, KCoverConfig, KCoverResult};
 pub use multipass::{set_cover_multipass, MultiPassConfig, MultiPassResult};
 pub use preprocess::{apply_prune, prune_near_duplicates, PruneResult};

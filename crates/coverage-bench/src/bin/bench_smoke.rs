@@ -15,14 +15,31 @@
 //!   the per-machine `SpaceReport`s) for artifact upload and run-to-run
 //!   comparison.
 //!
-//! Usage: `bench_smoke [output.json]` (default `BENCH_2.json` in the
-//! current directory).
+//! A second case exercises the **dynamic** (insert/delete) pipeline on a
+//! churn workload over the same planted instance and writes
+//! `BENCH_3.json`:
+//!
+//! * **fails (exit 1)** if the parallel dynamic executor's family
+//!   diverges from the serial dynamic reference — the (exact, linear)
+//!   dynamic determinism contract;
+//! * **fails (exit 1)** if the dynamic cover's value on the surviving
+//!   graph falls below the paper's `(1 − 1/e − ε)` bound relative to the
+//!   insertion-only pipeline run on the surviving edges — the dynamic
+//!   accuracy gate;
+//! * records both wall clocks so the dynamic premium (linear cells ×
+//!   log m levels vs one threshold sketch) is tracked run to run.
+//!
+//! Usage: `bench_smoke [bench2.json [bench3.json]]` (defaults
+//! `BENCH_2.json` / `BENCH_3.json` in the current directory).
 
 use std::process::exit;
 use std::time::Instant;
 
-use coverage_data::planted_k_cover;
-use coverage_dist::{distributed_k_cover_serial, DistConfig, ParallelRunner};
+use coverage_algs::{k_cover_streaming, KCoverConfig};
+use coverage_data::{churn_workload, planted_k_cover};
+use coverage_dist::{
+    distributed_k_cover_serial, dynamic_distributed_k_cover, DistConfig, ParallelRunner,
+};
 use coverage_sketch::SketchSizing;
 use coverage_stream::{ArrivalOrder, VecStream};
 use serde::Serialize;
@@ -71,10 +88,86 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     (out.expect("reps >= 1"), best_ms)
 }
 
+#[derive(Serialize)]
+struct DynamicSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    updates: usize,
+    deletes: usize,
+    surviving_edges: usize,
+    machines: usize,
+    threads: usize,
+    dynamic_serial_wall_ms: f64,
+    dynamic_parallel_wall_ms: f64,
+    insertion_only_wall_ms: f64,
+    dynamic_covered: usize,
+    insertion_only_covered: usize,
+    accuracy_ratio: f64,
+    accuracy_bound: f64,
+    sample_level: usize,
+    recovered_edges: usize,
+    dynamic_space_words: u64,
+    families_match: bool,
+}
+
+/// The dynamic smoke case: churn half the planted instance away and
+/// compare the dynamic pipeline against the insertion-only pipeline on
+/// the surviving edges. Returns the record and whether both gates hold.
+fn dynamic_smoke(planted: &coverage_core::CoverageInstance) -> (DynamicSmokeRecord, bool) {
+    let eps = 0.3;
+    let w = churn_workload(planted, 0.5, 17);
+    let cfg = DistConfig::new(MACHINES, 6, eps, 21).with_sizing(SketchSizing::Budget(6_000));
+
+    let (serial, serial_ms) = best_of(REPS, || dynamic_distributed_k_cover(&w.stream, &cfg));
+    let runner = ParallelRunner::new(cfg, THREADS);
+    let (par, par_ms) = best_of(REPS, || runner.run_dynamic(&w.stream));
+
+    // Insertion-only reference on the surviving edge set.
+    let mut surv_stream = VecStream::from_instance(&w.surviving);
+    ArrivalOrder::Random(8).apply(surv_stream.edges_mut());
+    let ins_cfg = KCoverConfig::new(6, eps, 21).with_sizing(SketchSizing::Budget(6_000));
+    let (ins, ins_ms) = best_of(REPS, || k_cover_streaming(&surv_stream, &ins_cfg));
+
+    let dynamic_covered = w.surviving.coverage(&par.family);
+    let insertion_only_covered = w.surviving.coverage(&ins.family).max(1);
+    let accuracy_ratio = dynamic_covered as f64 / insertion_only_covered as f64;
+    let accuracy_bound = 1.0 - 1.0 / std::f64::consts::E - eps;
+    let families_match = par.family == serial.family;
+    let record = DynamicSmokeRecord {
+        bench: "BENCH_3",
+        workload: "churn_workload(planted_k_cover(n=200, m=100_000, k=6), churn=0.5, seed=17)",
+        updates: w.stream.updates().len(),
+        deletes: w.stream.num_deletes(),
+        surviving_edges: w.surviving.num_edges(),
+        machines: MACHINES,
+        threads: THREADS,
+        dynamic_serial_wall_ms: serial_ms,
+        dynamic_parallel_wall_ms: par_ms,
+        insertion_only_wall_ms: ins_ms,
+        dynamic_covered,
+        insertion_only_covered,
+        accuracy_ratio,
+        accuracy_bound,
+        sample_level: par.sample_level,
+        recovered_edges: par.recovered_edges,
+        dynamic_space_words: par
+            .per_machine
+            .iter()
+            .map(|r| r.total_words())
+            .max()
+            .unwrap_or(0),
+        families_match,
+    };
+    (record, families_match && accuracy_ratio >= accuracy_bound)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let dyn_out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -137,6 +230,24 @@ fn main() {
          ({THREADS} threads, {MACHINES} machines) → speedup {speedup:.2}x"
     );
 
+    // --- Dynamic (insert/delete) smoke case → BENCH_3.json. ---
+    let (dyn_record, dyn_ok) = dynamic_smoke(&planted.instance);
+    let dyn_json = serde_json::to_string_pretty(&dyn_record).expect("render json");
+    if let Err(e) = std::fs::write(&dyn_out_path, &dyn_json) {
+        eprintln!("bench_smoke: cannot write {dyn_out_path}: {e}");
+        exit(1);
+    }
+    println!("{dyn_json}");
+    println!(
+        "\nbench_smoke: dynamic serial {:.1} ms, dynamic parallel {:.1} ms, \
+         insertion-only-on-survivors {:.1} ms; accuracy {:.4} (bound {:.4})",
+        dyn_record.dynamic_serial_wall_ms,
+        dyn_record.dynamic_parallel_wall_ms,
+        dyn_record.insertion_only_wall_ms,
+        dyn_record.accuracy_ratio,
+        dyn_record.accuracy_bound,
+    );
+
     if !families_match {
         eprintln!(
             "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
@@ -151,5 +262,23 @@ fn main() {
         );
         exit(1);
     }
-    println!("bench_smoke: OK — families identical, parallel faster");
+    if !dyn_record.families_match {
+        eprintln!(
+            "bench_smoke: FAIL — dynamic parallel family diverged from the serial \
+             dynamic reference (linear-sketch determinism contract broken)"
+        );
+        exit(1);
+    }
+    if !dyn_ok {
+        eprintln!(
+            "bench_smoke: FAIL — dynamic cover ratio {:.4} fell below the paper \
+             bound {:.4} vs the insertion-only run on the surviving edges",
+            dyn_record.accuracy_ratio, dyn_record.accuracy_bound
+        );
+        exit(1);
+    }
+    println!(
+        "bench_smoke: OK — families identical, parallel faster, dynamic within the \
+         approximation bound"
+    );
 }

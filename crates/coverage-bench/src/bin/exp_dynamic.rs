@@ -1,0 +1,4 @@
+//! Thin wrapper: run experiment `dynamic_streams` and emit its tables + JSON.
+fn main() {
+    coverage_bench::experiments::dynamic_streams::run().emit();
+}

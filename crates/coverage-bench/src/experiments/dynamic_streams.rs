@@ -1,0 +1,178 @@
+//! D2 — dynamic (insert/delete) streams vs the insertion-only pipeline:
+//! accuracy on the surviving graph, wall clock, and the space premium
+//! the dynamic sketch pays for deletion support, across the three
+//! deletion patterns (churn, sliding window, adversarial).
+
+use coverage_algs::{dynamic_k_cover, k_cover_streaming, DynamicKCoverConfig, KCoverConfig};
+use coverage_core::report::{fmt_count, fmt_f, Table};
+use coverage_core::CoverageInstance;
+use coverage_data::{
+    adversarial_insert_delete, churn_workload, planted_k_cover, sliding_window_workload,
+};
+use coverage_sketch::SketchSizing;
+use coverage_stream::{ArrivalOrder, VecDynamicStream, VecStream};
+use serde::Serialize;
+
+use crate::harness::{time_per, ExperimentOutput};
+
+#[derive(Serialize)]
+struct Row {
+    pattern: &'static str,
+    updates: usize,
+    deletes: usize,
+    surviving_edges: usize,
+    dyn_covered: usize,
+    ins_covered: usize,
+    ratio: f64,
+    sample_level: usize,
+    dyn_wall_ms: f64,
+    ins_wall_ms: f64,
+    dyn_space_words: u64,
+    ins_space_words: u64,
+}
+
+fn run_pattern(
+    pattern: &'static str,
+    stream: &VecDynamicStream,
+    surviving: &CoverageInstance,
+    k: usize,
+    budget: usize,
+    seed: u64,
+) -> Row {
+    let eps = 0.3;
+    let (dyn_res, dyn_ns) = time_per(1, || {
+        dynamic_k_cover(
+            stream,
+            &DynamicKCoverConfig::new(k, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+        )
+    });
+    // Insertion-only reference: one pass over the surviving edges only —
+    // the graph an oracle would hand a static algorithm after the fact.
+    let mut surv_stream = VecStream::from_instance(surviving);
+    ArrivalOrder::Random(seed ^ 0xD2).apply(surv_stream.edges_mut());
+    let (ins_res, ins_ns) = time_per(1, || {
+        k_cover_streaming(
+            &surv_stream,
+            &KCoverConfig::new(k, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+        )
+    });
+    let dyn_covered = surviving.coverage(&dyn_res.family);
+    let ins_covered = surviving.coverage(&ins_res.family);
+    Row {
+        pattern,
+        updates: stream.updates().len(),
+        deletes: stream.num_deletes(),
+        surviving_edges: surviving.num_edges(),
+        dyn_covered,
+        ins_covered,
+        ratio: dyn_covered as f64 / ins_covered.max(1) as f64,
+        sample_level: dyn_res.sample_level,
+        dyn_wall_ms: dyn_ns / 1e6,
+        ins_wall_ms: ins_ns / 1e6,
+        dyn_space_words: dyn_res.space.total_words(),
+        ins_space_words: ins_res.space.total_words(),
+    }
+}
+
+/// Run experiment D2.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("D2");
+    let (n, m, k, budget, seed) = (100usize, 20_000u64, 5usize, 6_000usize, 4u64);
+    let planted = planted_k_cover(n, m, k, 300, seed);
+
+    let churn = churn_workload(&planted.instance, 0.5, seed ^ 1);
+    let window = sliding_window_workload(&planted.instance, 6, 2, seed ^ 2);
+    let adversarial = adversarial_insert_delete(n, m, k, 300, seed ^ 3);
+
+    let rows = vec![
+        run_pattern(
+            "churn(0.5)",
+            &churn.stream,
+            &churn.surviving,
+            k,
+            budget,
+            seed,
+        ),
+        run_pattern(
+            "window(6,2)",
+            &window.stream,
+            &window.surviving,
+            k,
+            budget,
+            seed,
+        ),
+        run_pattern(
+            "adversarial",
+            &adversarial.stream,
+            &adversarial.planted.instance,
+            k,
+            budget,
+            seed,
+        ),
+    ];
+
+    let mut t = Table::new(
+        format!("D2: dynamic vs insertion-only on the surviving graph (n={n}, m={m}, k={k}, budget={budget})"),
+        &[
+            "pattern",
+            "updates",
+            "deletes",
+            "survivors",
+            "dyn cover",
+            "ins cover",
+            "dyn/ins",
+            "level",
+            "dyn ms",
+            "ins ms",
+            "dyn words",
+            "ins words",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.pattern.to_string(),
+            fmt_count(r.updates as u64),
+            fmt_count(r.deletes as u64),
+            fmt_count(r.surviving_edges as u64),
+            fmt_count(r.dyn_covered as u64),
+            fmt_count(r.ins_covered as u64),
+            fmt_f(r.ratio, 4),
+            r.sample_level.to_string(),
+            fmt_f(r.dyn_wall_ms, 1),
+            fmt_f(r.ins_wall_ms, 1),
+            fmt_count(r.dyn_space_words),
+            fmt_count(r.ins_space_words),
+        ]);
+    }
+    out.table(&t);
+    out.note(
+        "The dynamic sketch answers for the surviving graph — its cover\n\
+         matches the insertion-only pipeline run on the survivors (dyn/ins ≈ 1)\n\
+         even on the adversarial stream, whose prefix inflates every decoy to\n\
+         golden-set size before retracting it. The price of deletion support\n\
+         is visible in the two right columns: linear cells across log m\n\
+         subsampling levels cost a log factor in space and a constant factor\n\
+         in update time over the insertion-only threshold sketch.",
+    );
+    out.set_json(rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dynamic_matches_insertion_only_across_patterns() {
+        let out = super::run();
+        let rows = out.json.as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in rows {
+            let ratio = r["ratio"].as_f64().unwrap();
+            assert!(
+                ratio >= 0.9,
+                "pattern {}: dyn/ins ratio {ratio} too low",
+                r["pattern"]
+            );
+            assert!(r["deletes"].as_u64().unwrap() > 0);
+        }
+    }
+}

@@ -5,6 +5,7 @@ pub mod ablation_degcap;
 pub mod ablation_eviction;
 pub mod disjointness;
 pub mod distributed;
+pub mod dynamic_streams;
 pub mod eps_sweep;
 pub mod fig1;
 pub mod hash_ablation;
@@ -46,5 +47,6 @@ pub fn run_all() -> Vec<ExperimentOutput> {
         hash_ablation::run(),
         order_sensitivity::run(),
         distributed::run(),
+        dynamic_streams::run(),
     ]
 }

@@ -21,6 +21,8 @@
 //! | A1 | `exp_ablation_degcap` | Lemma 2.4's degree cap |
 //! | A2 | `exp_ablation_adaptive_p` | Definition 2.1's adaptive `p*` |
 //! | A3 | `exp_order_sensitivity` | arrival-order robustness |
+//! | D1 | `exp_distributed` | composable sketches across machines |
+//! | D2 | `exp_dynamic` | dynamic (insert/delete) vs insertion-only |
 //!
 //! `run_all` executes everything in sequence.
 

@@ -1,0 +1,345 @@
+//! Deletion workloads: signed update streams for the dynamic pipeline.
+//!
+//! Three generator families, covering the deletion patterns the dynamic
+//! literature cares about (McGregor–Vu arXiv:1610.06199 §5;
+//! Chakrabarti–McGregor–Wirth arXiv:2403.14087):
+//!
+//! * [`churn_workload`] — random interleaved churn: a fraction of edges
+//!   is deleted at random points after insertion, and half of the
+//!   churned edges *bounce* (are re-inserted later), exercising the
+//!   delete-then-reinsert path;
+//! * [`sliding_window_workload`] — expiry semantics: edges arrive in
+//!   waves and every wave is deleted once it falls out of a sliding
+//!   window, the classic timestamp-expiry shape;
+//! * [`adversarial_insert_delete`] — an adversary inflates decoy sets
+//!   with transient mass: mid-stream the decoys look optimal, but every
+//!   inflating edge is deleted before the end, so any algorithm that
+//!   commits to the prefix (e.g. an insertion-only sketch that evicted
+//!   the golden sets' elements) is wrong on the surviving graph. The
+//!   surviving instance is a planted k-cover with known optimum.
+//!
+//! Every generator is seed-deterministic, emits a stream satisfying the
+//! strict-turnstile contract of
+//! [`coverage_stream::dynamic`] (tested), and returns the **surviving**
+//! instance alongside the update stream so experiments can compare the
+//! dynamic pipeline against insertion-only ground truth without
+//! re-deriving it.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder};
+use coverage_hash::SplitMix64;
+use coverage_stream::{SignedEdge, VecDynamicStream};
+
+use crate::planted::{planted_k_cover, PlantedInstance};
+
+/// A dynamic workload: the signed update stream plus the surviving
+/// (post-deletion) instance it nets out to.
+#[derive(Clone, Debug)]
+pub struct DynamicWorkload {
+    /// The signed update stream (inserts and deletes, interleaved).
+    pub stream: VecDynamicStream,
+    /// The instance the stream survives to — the ground truth a dynamic
+    /// algorithm is judged against.
+    pub surviving: CoverageInstance,
+}
+
+/// A dynamic workload whose surviving instance has a *planted* optimum.
+#[derive(Clone, Debug)]
+pub struct PlantedDynamicWorkload {
+    /// The signed update stream.
+    pub stream: VecDynamicStream,
+    /// The surviving instance with its construction-time ground truth.
+    pub planted: PlantedInstance,
+}
+
+/// Timeline event used to interleave updates deterministically.
+struct Event {
+    time: u64,
+    seq: usize,
+    update: SignedEdge,
+}
+
+fn into_stream(num_sets: usize, mut events: Vec<Event>) -> VecDynamicStream {
+    events.sort_by_key(|e| (e.time, e.seq));
+    VecDynamicStream::new(num_sets, events.into_iter().map(|e| e.update).collect())
+}
+
+/// Random interleaved churn over `inst`'s edges.
+///
+/// Each edge draws its fate from `seed`: with probability
+/// `churn/2` it is inserted, deleted, and **re-inserted** (it survives);
+/// with probability `churn/2` it is inserted and deleted for good (it
+/// does not); otherwise it is simply inserted. Event times are drawn
+/// uniformly and the phases of one edge are ordered, so deletions are
+/// scattered through the whole stream rather than trailing it.
+pub fn churn_workload(inst: &CoverageInstance, churn: f64, seed: u64) -> DynamicWorkload {
+    assert!((0.0..=1.0).contains(&churn), "churn must lie in [0,1]");
+    let mut rng = SplitMix64::new(seed ^ 0xC4C4_0123);
+    let mut events = Vec::new();
+    let mut survivors = InstanceBuilder::new(inst.num_sets());
+    let mut seq = 0usize;
+    for edge in inst.edges() {
+        let fate = rng.next_f64();
+        let mut times = [rng.next_u64(), rng.next_u64(), rng.next_u64()];
+        times.sort_unstable();
+        let mut push = |time: u64, seq: &mut usize, update: SignedEdge| {
+            events.push(Event {
+                time,
+                seq: *seq,
+                update,
+            });
+            *seq += 1;
+        };
+        if fate < churn / 2.0 {
+            // Bounce: insert → delete → re-insert; survives.
+            push(times[0], &mut seq, SignedEdge::insert(edge));
+            push(times[1], &mut seq, SignedEdge::delete(edge));
+            push(times[2], &mut seq, SignedEdge::insert(edge));
+            survivors.add_edge(edge);
+        } else if fate < churn {
+            // Churned out: insert → delete; gone.
+            push(times[0], &mut seq, SignedEdge::insert(edge));
+            push(times[1], &mut seq, SignedEdge::delete(edge));
+        } else {
+            push(times[0], &mut seq, SignedEdge::insert(edge));
+            survivors.add_edge(edge);
+        }
+    }
+    DynamicWorkload {
+        stream: into_stream(inst.num_sets(), events),
+        surviving: survivors.build(),
+    }
+}
+
+/// Sliding-window expiry over `inst`'s edges.
+///
+/// Edges are assigned uniformly to `waves` arrival waves. Wave `w` is
+/// inserted at step `w` and deleted at step `w + window` (if that step
+/// exists), so at the end exactly the **last `window` waves** survive —
+/// the timestamp-expiry semantics of windowed monitoring pipelines.
+pub fn sliding_window_workload(
+    inst: &CoverageInstance,
+    waves: usize,
+    window: usize,
+    seed: u64,
+) -> DynamicWorkload {
+    assert!(waves >= 1, "need at least one wave");
+    assert!(window >= 1, "need a window of at least one wave");
+    let mut rng = SplitMix64::new(seed ^ 0x51D3_77AB);
+    let mut wave_edges: Vec<Vec<Edge>> = vec![Vec::new(); waves];
+    for edge in inst.edges() {
+        wave_edges[rng.next_below(waves as u64) as usize].push(edge);
+    }
+    let mut updates = Vec::new();
+    let mut survivors = InstanceBuilder::new(inst.num_sets());
+    for step in 0..waves {
+        for &e in &wave_edges[step] {
+            updates.push(SignedEdge::insert(e));
+        }
+        if let Some(expired) = step.checked_sub(window) {
+            for &e in &wave_edges[expired] {
+                updates.push(SignedEdge::delete(e));
+            }
+        }
+    }
+    for wave in wave_edges.iter().skip(waves.saturating_sub(window)) {
+        for &e in wave {
+            survivors.add_edge(e);
+        }
+    }
+    DynamicWorkload {
+        stream: VecDynamicStream::new(inst.num_sets(), updates),
+        surviving: survivors.build(),
+    }
+}
+
+/// Adversarial insert-then-delete: transient mass that makes the stream
+/// prefix maximally misleading.
+///
+/// The surviving instance is exactly [`planted_k_cover`]`(n, m, k,
+/// decoy_size, seed)` — golden sets partition the universe, decoys are
+/// small. The stream, however, first inserts for every decoy set an
+/// *inflation block* of `m / k` fresh elements (universe `m..2m`), so
+/// that mid-stream every decoy looks as large as a golden set; the
+/// entire inflation is deleted again before the stream ends. An
+/// insertion-only sketch that spent its budget (and its eviction
+/// decisions) on the inflated prefix answers for the wrong graph; the
+/// dynamic sketch nets the inflation away exactly.
+pub fn adversarial_insert_delete(
+    n: usize,
+    m: u64,
+    k: usize,
+    decoy_size: usize,
+    seed: u64,
+) -> PlantedDynamicWorkload {
+    let planted = planted_k_cover(n, m, k, decoy_size, seed);
+    let block = (m / k as u64).max(1);
+    let mut rng = SplitMix64::new(seed ^ 0xADE1_E7E5);
+    let mut updates = Vec::new();
+    // Phase 1: inflate every decoy with a fresh block (elements m..2m so
+    // inflation never collides with real edges).
+    let mut inflation: Vec<Edge> = Vec::new();
+    for s in k as u32..n as u32 {
+        let lo = m + ((s as u64).wrapping_mul(0x9E37_79B9) % m.max(1));
+        for i in 0..block {
+            let elem = m + (lo + i) % m.max(1);
+            inflation.push(Edge::new(s, elem));
+        }
+    }
+    inflation.sort_unstable();
+    inflation.dedup();
+    for &e in &inflation {
+        updates.push(SignedEdge::insert(e));
+    }
+    // Phase 2: the real (surviving) edges, in a seed-shuffled order.
+    let mut real: Vec<Edge> = planted.instance.edges().collect();
+    // Fisher–Yates with the local rng.
+    for i in (1..real.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        real.swap(i, j);
+    }
+    for &e in &real {
+        updates.push(SignedEdge::insert(e));
+    }
+    // Phase 3: the adversary retracts the inflation, largest-last.
+    for &e in inflation.iter().rev() {
+        updates.push(SignedEdge::delete(e));
+    }
+    PlantedDynamicWorkload {
+        stream: VecDynamicStream::new(n, updates),
+        planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::uniform_instance;
+    use coverage_core::SetId;
+    use coverage_stream::{surviving_edges, validate_turnstile};
+
+    fn edge_set(edges: impl IntoIterator<Item = Edge>) -> std::collections::BTreeSet<(u32, u64)> {
+        edges.into_iter().map(|e| (e.set.0, e.element.0)).collect()
+    }
+
+    #[test]
+    fn churn_is_turnstile_and_nets_to_surviving() {
+        let inst = uniform_instance(10, 500, 40, 3);
+        let w = churn_workload(&inst, 0.5, 7);
+        assert!(validate_turnstile(&w.stream).is_ok());
+        assert_eq!(
+            edge_set(surviving_edges(&w.stream)),
+            edge_set(w.surviving.edges()),
+            "stream must net out to the declared surviving instance"
+        );
+        // Roughly half the edges should survive (churn/2 bounce back).
+        let total = inst.num_edges();
+        let alive = w.surviving.num_edges();
+        assert!(alive < total, "some churned edges must be gone");
+        assert!(
+            (alive as f64) > 0.55 * total as f64,
+            "bounce + untouched should keep well over half ({alive}/{total})"
+        );
+        // Deletes are interleaved, not trailing: some delete must occur
+        // in the first half of the stream.
+        let updates = w.stream.updates();
+        assert!(updates[..updates.len() / 2]
+            .iter()
+            .any(|u| u.kind == coverage_stream::UpdateKind::Delete));
+    }
+
+    #[test]
+    fn churn_zero_is_insert_only() {
+        let inst = uniform_instance(5, 200, 20, 1);
+        let w = churn_workload(&inst, 0.0, 9);
+        assert_eq!(w.stream.num_deletes(), 0);
+        assert_eq!(w.surviving.num_edges(), inst.num_edges());
+    }
+
+    #[test]
+    fn sliding_window_keeps_only_the_window() {
+        let inst = uniform_instance(8, 400, 50, 5);
+        let w = sliding_window_workload(&inst, 5, 2, 11);
+        assert!(validate_turnstile(&w.stream).is_ok());
+        assert_eq!(
+            edge_set(surviving_edges(&w.stream)),
+            edge_set(w.surviving.edges())
+        );
+        // 2-of-5 waves survive ≈ 40% of edges (binomial noise allowed).
+        let frac = w.surviving.num_edges() as f64 / inst.num_edges() as f64;
+        assert!((0.25..0.55).contains(&frac), "window fraction {frac}");
+    }
+
+    #[test]
+    fn sliding_window_full_window_deletes_nothing() {
+        let inst = uniform_instance(4, 100, 10, 2);
+        let w = sliding_window_workload(&inst, 3, 3, 1);
+        assert_eq!(w.stream.num_deletes(), 0);
+        assert_eq!(w.surviving.num_edges(), inst.num_edges());
+    }
+
+    #[test]
+    fn adversarial_nets_to_planted_instance() {
+        let w = adversarial_insert_delete(20, 1_000, 4, 30, 13);
+        assert!(validate_turnstile(&w.stream).is_ok());
+        assert_eq!(
+            edge_set(surviving_edges(&w.stream)),
+            edge_set(w.planted.instance.edges())
+        );
+        assert_eq!(w.planted.optimal_value, 1_000);
+        assert_eq!(
+            w.planted.instance.coverage(&w.planted.optimal_family),
+            1_000
+        );
+    }
+
+    #[test]
+    fn adversarial_prefix_inflates_decoys() {
+        // Mid-stream (before any delete) each decoy must carry a full
+        // inflation block — the prefix graph ranks decoys like golden
+        // sets even though none of that mass survives.
+        let (n, m, k) = (12usize, 600u64, 3usize);
+        let w = adversarial_insert_delete(n, m, k, 20, 5);
+        let first_delete = w
+            .stream
+            .updates()
+            .iter()
+            .position(|u| u.kind == coverage_stream::UpdateKind::Delete)
+            .expect("adversary must delete");
+        let mut prefix = InstanceBuilder::new(n);
+        for u in &w.stream.updates()[..first_delete] {
+            prefix.add_edge(u.edge);
+        }
+        let prefix = prefix.build();
+        let block = (m / k as u64) as usize;
+        for s in k as u32..n as u32 {
+            let size = prefix.coverage(&[SetId(s)]);
+            assert!(
+                size >= block,
+                "decoy {s} holds {size} < inflation block {block} mid-stream"
+            );
+            // …but survives with only its small decoy edges.
+            let final_size = w.planted.instance.coverage(&[SetId(s)]);
+            assert!(final_size <= 20, "decoy {s} survived too large");
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let inst = uniform_instance(6, 300, 30, 4);
+        let a = churn_workload(&inst, 0.4, 21);
+        let b = churn_workload(&inst, 0.4, 21);
+        assert_eq!(a.stream.updates(), b.stream.updates());
+        let c = churn_workload(&inst, 0.4, 22);
+        assert_ne!(a.stream.updates(), c.stream.updates());
+        let d1 = adversarial_insert_delete(10, 200, 2, 10, 3);
+        let d2 = adversarial_insert_delete(10, 200, 2, 10, 3);
+        assert_eq!(d1.stream.updates(), d2.stream.updates());
+    }
+
+    #[test]
+    #[should_panic(expected = "churn must lie in [0,1]")]
+    fn churn_rejects_bad_fraction() {
+        let inst = uniform_instance(2, 50, 5, 1);
+        churn_workload(&inst, 1.5, 0);
+    }
+}

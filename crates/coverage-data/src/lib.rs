@@ -13,6 +13,10 @@
 //! * [`planted`] — instances with *known* optima, so experiments can
 //!   report measured approximation ratios without exact solvers;
 //! * [`ba`] — preferential-attachment bipartite graphs;
+//! * [`churn`] — **deletion workloads** for the dynamic (insert/delete)
+//!   pipeline: random churn, sliding-window expiry, and adversarial
+//!   insert-then-delete streams, each paired with its exact surviving
+//!   instance;
 //! * [`domains`] — thin scenario wrappers (blog-watch, document
 //!   summarization, network monitoring) used by the examples.
 //!
@@ -25,6 +29,7 @@
 
 pub mod ba;
 pub mod block;
+pub mod churn;
 pub mod domains;
 pub mod hard;
 pub mod io;
@@ -34,6 +39,10 @@ pub mod zipf;
 
 pub use ba::preferential_attachment;
 pub use block::BlockModel;
+pub use churn::{
+    adversarial_insert_delete, churn_workload, sliding_window_workload, DynamicWorkload,
+    PlantedDynamicWorkload,
+};
 pub use hard::{disjoint_blocks, greedy_trap, GreedyTrap};
 pub use io::{
     from_json, from_text, load_json, load_text, save_json, save_text, to_json, to_text,

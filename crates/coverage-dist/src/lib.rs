@@ -28,6 +28,20 @@
 //! implementation), while [`ParallelRunner`] partitions the stream in a
 //! single pass and builds the per-machine sketches concurrently — same
 //! output (a property-tested determinism contract), real speedup.
+//!
+//! ## Dynamic (insert/delete) workloads
+//!
+//! The same schema runs **deletion** workloads unchanged: signed updates
+//! are routed by a hash of the edge (so a delete always lands on the
+//! machine holding its insert), each machine builds a linear
+//! [`DynamicSketch`](coverage_sketch::DynamicSketch), and the identical
+//! generic reduce tree ([`tree_reduce_with`], via the [`Composable`]
+//! trait) merges them by cell-wise addition. Because the dynamic sketch
+//! is linear, its determinism contract is *stronger* than the
+//! insertion-only one: the merged sketch is bit-identical to a
+//! single-machine build for any partition, thread count, batch size, or
+//! reduce shape. [`dynamic_distributed_k_cover`] is the serial
+//! reference; [`ParallelRunner::run_dynamic`] is the parallel executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +51,12 @@ pub mod partition;
 pub mod rounds;
 pub mod runner;
 
-pub use parallel::{partition_edges, ParallelResult, ParallelRunner};
-pub use partition::{shard_of_edge, ShardedStream};
-pub use rounds::{tree_reduce, tree_reduce_with, RoundCost, RoundsReport, ShipFormat};
+pub use parallel::{
+    partition_edges, partition_updates, DynamicParallelResult, ParallelResult, ParallelRunner,
+};
+pub use partition::{shard_of_edge, DynamicShardedStream, ShardedStream};
+pub use rounds::{tree_reduce, tree_reduce_with, Composable, RoundCost, RoundsReport, ShipFormat};
 pub use runner::{
-    distributed_k_cover, distributed_k_cover_serial, merge_all, DistConfig, DistResult,
+    distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover, merge_all,
+    DistConfig, DistResult, DynDistResult,
 };

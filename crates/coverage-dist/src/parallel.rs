@@ -41,8 +41,8 @@ use std::time::Instant;
 
 use coverage_core::offline::lazy_greedy_k_cover;
 use coverage_core::{Edge, SetId};
-use coverage_sketch::{SketchBank, SketchParams, ThresholdSketch};
-use coverage_stream::{EdgeStream, SpaceReport};
+use coverage_sketch::{DynamicSketch, SketchBank, SketchParams, ThresholdSketch};
+use coverage_stream::{DynamicEdgeStream, EdgeStream, SignedEdge, SpaceReport};
 
 use crate::partition::shard_of_edge;
 use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
@@ -91,6 +91,43 @@ pub struct ParallelResult {
 }
 
 impl ParallelResult {
+    /// Total wall-clock across the three phases, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.partition_ns + self.map_ns + self.reduce_solve_ns
+    }
+}
+
+/// Result of a [`ParallelRunner::run_dynamic`] run: the dynamic
+/// counterpart of [`ParallelResult`], reporting the recovered sample
+/// instead of merged sketch edges.
+#[derive(Clone, Debug)]
+pub struct DynamicParallelResult {
+    /// The selected family (identical to the serial dynamic runner's).
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage on the
+    /// surviving graph.
+    pub estimated_coverage: f64,
+    /// Per-machine space reports.
+    pub per_machine: Vec<SpaceReport>,
+    /// Tree-reduce round/communication accounting.
+    pub rounds: RoundsReport,
+    /// Worker threads actually used (≤ requested, ≤ machines).
+    pub threads_used: usize,
+    /// The subsampling level the merged sketch decoded at.
+    pub sample_level: usize,
+    /// That level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// Surviving edges recovered from the merged sketch.
+    pub recovered_edges: usize,
+    /// Wall-clock of the partition pass, in nanoseconds.
+    pub partition_ns: u64,
+    /// Wall-clock of the concurrent map phase, in nanoseconds.
+    pub map_ns: u64,
+    /// Wall-clock of reduce + recover + solve, in nanoseconds.
+    pub reduce_solve_ns: u64,
+}
+
+impl DynamicParallelResult {
     /// Total wall-clock across the three phases, in nanoseconds.
     pub fn total_ns(&self) -> u64 {
         self.partition_ns + self.map_ns + self.reduce_solve_ns
@@ -187,11 +224,13 @@ impl ParallelRunner {
     /// Run `build` once per shard buffer, at most `self.threads` at a
     /// time (contiguous shard ranges per worker — assignment does not
     /// affect the output, only the schedule). The shared scaffolding of
-    /// every map-phase fan-out.
-    fn map_buffers<T, F>(&self, buffers: &[Vec<Edge>], build: F) -> Vec<T>
+    /// every map-phase fan-out, generic over the buffer element so the
+    /// signed (dynamic) and unsigned pipelines share it.
+    fn map_buffers<B, T, F>(&self, buffers: &[Vec<B>], build: F) -> Vec<T>
     where
+        B: Sync,
         T: Send,
-        F: Fn(&[Edge]) -> T + Sync,
+        F: Fn(&[B]) -> T + Sync,
     {
         let workers = self.workers(buffers.len());
         let per_worker = buffers.len().div_ceil(workers);
@@ -228,6 +267,55 @@ impl ParallelRunner {
             s.update_batch(buf);
             s
         })
+    }
+
+    /// Execute the **dynamic** pipeline on a signed update stream:
+    /// partition the updates in one batched pass (deletes co-located
+    /// with their inserts), build one [`DynamicSketch`] per shard
+    /// concurrently, tree-reduce through the same generic
+    /// [`tree_reduce_with`] path as the insertion-only executor, recover
+    /// the densest decodable level, and solve.
+    ///
+    /// The dynamic sketch is linear, so the determinism contract is
+    /// exact: for any thread count, batch size, fan-in, or ship format,
+    /// the merged sketch is bit-identical to
+    /// [`dynamic_distributed_k_cover`](crate::runner::dynamic_distributed_k_cover)'s
+    /// — and to a single-machine build.
+    pub fn run_dynamic(&self, stream: &dyn DynamicEdgeStream) -> DynamicParallelResult {
+        let cfg = &self.cfg;
+        let params = cfg.dynamic_sketch_params(stream.num_sets());
+
+        let t0 = Instant::now();
+        let buffers = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let locals = self.map_buffers(&buffers, |buf: &[SignedEdge]| {
+            let mut s = DynamicSketch::new(params, cfg.seed);
+            s.update_batch(buf);
+            s
+        });
+        let map_ns = t1.elapsed().as_nanos() as u64;
+        let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
+
+        let t2 = Instant::now();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let (family, estimated_coverage, sample) = crate::runner::recover_and_solve(&merged, cfg.k);
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        DynamicParallelResult {
+            estimated_coverage,
+            per_machine,
+            rounds,
+            threads_used: self.workers(cfg.machines),
+            sample_level: sample.level,
+            sampling_p: sample.sampling_p,
+            recovered_edges: sample.edges.len(),
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+            family,
+        }
     }
 
     /// Build a multi-guess [`SketchBank`] (Algorithm 5's per-guess
@@ -273,6 +361,33 @@ pub fn partition_edges(
     stream.for_each_batch(batch, &mut |chunk| {
         for &e in chunk {
             buffers[shard_of_edge(e, shards, seed)].push(e);
+        }
+    });
+    buffers
+}
+
+/// Route every **signed** update of `stream` into its shard's buffer in
+/// one batched pass — [`partition_edges`] for the dynamic model.
+/// Routing hashes the edge and ignores the sign, so a delete always
+/// lands in the buffer holding its insert (exactly the sub-sequence
+/// [`DynamicShardedStream`](crate::partition::DynamicShardedStream)
+/// would deliver).
+pub fn partition_updates(
+    stream: &dyn DynamicEdgeStream,
+    shards: usize,
+    seed: u64,
+    batch: usize,
+) -> Vec<Vec<SignedEdge>> {
+    assert!(shards >= 1, "need at least one shard");
+    let prealloc = stream
+        .update_len_hint()
+        .map(|n| n / shards + n / (8 * shards) + 1)
+        .unwrap_or(0);
+    let mut buffers: Vec<Vec<SignedEdge>> =
+        (0..shards).map(|_| Vec::with_capacity(prealloc)).collect();
+    stream.for_each_update_batch(batch, &mut |chunk| {
+        for &u in chunk {
+            buffers[shard_of_edge(u.edge, shards, seed)].push(u);
         }
     });
     buffers
@@ -423,5 +538,76 @@ mod tests {
     fn zero_threads_rejected() {
         let cfg = DistConfig::new(2, 2, 0.3, 1);
         ParallelRunner::new(cfg, 0);
+    }
+
+    fn churn_stream() -> coverage_data::DynamicWorkload {
+        let p = planted_k_cover(30, 3_000, 4, 100, 3);
+        coverage_data::churn_workload(&p.instance, 0.4, 5)
+    }
+
+    #[test]
+    fn dynamic_parallel_equals_dynamic_serial() {
+        use crate::runner::dynamic_distributed_k_cover;
+        let w = churn_stream();
+        for machines in [1usize, 3, 6] {
+            let cfg =
+                DistConfig::new(machines, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+            let serial = dynamic_distributed_k_cover(&w.stream, &cfg);
+            for threads in [1usize, 2, 4] {
+                let par = ParallelRunner::new(cfg, threads).run_dynamic(&w.stream);
+                assert_eq!(
+                    par.family, serial.family,
+                    "machines={machines} threads={threads}"
+                );
+                assert_eq!(par.sample_level, serial.sample_level);
+                assert_eq!(par.recovered_edges, serial.recovered_edges);
+                assert_eq!(par.per_machine.len(), machines);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_wire_json_ship_matches_in_memory() {
+        let w = churn_stream();
+        let cfg = DistConfig::new(4, 4, 0.3, 19).with_sizing(SketchSizing::Budget(1_200));
+        let mem = ParallelRunner::new(cfg, 2).run_dynamic(&w.stream);
+        let json = ParallelRunner::new(cfg, 2)
+            .with_ship_format(ShipFormat::Json)
+            .run_dynamic(&w.stream);
+        assert_eq!(mem.family, json.family);
+        assert_eq!(mem.sample_level, json.sample_level);
+        assert_eq!(mem.rounds.total_words(), json.rounds.total_words());
+    }
+
+    #[test]
+    fn partition_updates_matches_dynamic_sharded_views() {
+        use crate::partition::DynamicShardedStream;
+        use coverage_stream::{DynamicEdgeStream, SignedEdge};
+        let w = churn_stream();
+        let shards = 5;
+        let seed = 0xF00D;
+        let buffers = partition_updates(&w.stream, shards, seed, 512);
+        assert_eq!(buffers.len(), shards);
+        for (i, buf) in buffers.iter().enumerate() {
+            let mut filtered: Vec<SignedEdge> = Vec::new();
+            DynamicShardedStream::new(&w.stream, i, shards, seed)
+                .for_each_update(&mut |u| filtered.push(u));
+            assert_eq!(buf, &filtered, "shard {i} buffer must equal filtered view");
+        }
+    }
+
+    #[test]
+    fn dynamic_cover_answers_for_survivors_not_prefix() {
+        // The adversarial workload: the stream prefix makes decoys look
+        // golden; only the dynamic pipeline answers for the survivors.
+        let w = coverage_data::adversarial_insert_delete(24, 2_000, 4, 40, 17);
+        let cfg = DistConfig::new(4, 4, 0.3, 23).with_sizing(SketchSizing::Budget(3_000));
+        let res = ParallelRunner::new(cfg, 3).run_dynamic(&w.stream);
+        let covered = w.planted.instance.coverage(&res.family);
+        assert!(
+            covered as f64 >= 0.9 * w.planted.optimal_value as f64,
+            "dynamic cover {covered} of planted optimum {}",
+            w.planted.optimal_value
+        );
     }
 }

@@ -5,10 +5,14 @@
 //! element), so neither sets nor elements are co-located — the hardest
 //! placement for a coverage algorithm and the cleanest test of sketch
 //! composability (every machine sees random fragments of every set).
+//! Because assignment is a pure function of the edge (never of arrival
+//! history or sign), replays route identically and a deletion always
+//! lands on the shard holding its insertion — the partitioning half of
+//! the executors' determinism contract.
 
 use coverage_core::Edge;
 use coverage_hash::mix64;
-use coverage_stream::EdgeStream;
+use coverage_stream::{DynamicEdgeStream, EdgeStream, SignedEdge};
 
 /// Deterministic shard of an edge among `shards` machines.
 #[inline]
@@ -59,6 +63,62 @@ impl EdgeStream for ShardedStream<'_> {
         self.inner.for_each(&mut |e| {
             if shard_of_edge(e, self.shards, self.seed) == self.shard {
                 f(e);
+            }
+        });
+    }
+}
+
+/// The sub-stream of **signed** updates routed to one shard — the
+/// dynamic counterpart of [`ShardedStream`].
+///
+/// Routing ignores the sign: an edge's insert and its later delete hash
+/// identically, so both land on the same machine and the machine's
+/// local sketch nets them out. (Routing by update would split the pair
+/// and break every machine's view of its own sub-multiset.)
+pub struct DynamicShardedStream<'a> {
+    inner: &'a dyn DynamicEdgeStream,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+}
+
+impl<'a> DynamicShardedStream<'a> {
+    /// View of `shard` (0-based) among `shards` machines.
+    pub fn new(inner: &'a dyn DynamicEdgeStream, shard: usize, shards: usize, seed: u64) -> Self {
+        assert!(shards >= 1 && shard < shards);
+        DynamicShardedStream {
+            inner,
+            shard,
+            shards,
+            seed,
+        }
+    }
+}
+
+impl DynamicEdgeStream for DynamicShardedStream<'_> {
+    fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    /// Scaled like [`ShardedStream::len_hint`]: the shard sees ≈
+    /// `1/shards` of the inner stream's update events.
+    fn update_len_hint(&self) -> Option<usize> {
+        self.inner
+            .update_len_hint()
+            .map(|n| n.div_ceil(self.shards))
+    }
+
+    /// Net surviving edges, also per-shard scaled (deletions are
+    /// co-located with their inserts, so the shard's net is ≈ the global
+    /// net over `shards`).
+    fn net_len_hint(&self) -> Option<usize> {
+        self.inner.net_len_hint().map(|n| n.div_ceil(self.shards))
+    }
+
+    fn for_each_update(&self, f: &mut dyn FnMut(SignedEdge)) {
+        self.inner.for_each_update(&mut |u| {
+            if shard_of_edge(u.edge, self.shards, self.seed) == self.shard {
+                f(u);
             }
         });
     }
@@ -193,5 +253,55 @@ mod tests {
     fn rejects_out_of_range_shard() {
         let stream = VecStream::new(1, vec![]);
         ShardedStream::new(&stream, 3, 3, 0);
+    }
+
+    #[test]
+    fn dynamic_shards_partition_updates_and_colocate_deletes() {
+        use coverage_stream::{SignedEdge, VecDynamicStream};
+        let mut updates = Vec::new();
+        for e in edges(600) {
+            updates.push(SignedEdge::insert(e));
+        }
+        for e in edges(600).into_iter().step_by(3) {
+            updates.push(SignedEdge::delete(e));
+        }
+        let stream = VecDynamicStream::new(7, updates.clone());
+        let shards = 4;
+        let mut seen: Vec<SignedEdge> = Vec::new();
+        for s in 0..shards {
+            let view = DynamicShardedStream::new(&stream, s, shards, 9);
+            let mut local: Vec<SignedEdge> = Vec::new();
+            view.for_each_update(&mut |u| local.push(u));
+            // Co-location: every delete in this shard has its insert here.
+            for u in &local {
+                if u.kind == coverage_stream::UpdateKind::Delete {
+                    assert!(
+                        local.iter().any(|v| {
+                            v.edge == u.edge && v.kind == coverage_stream::UpdateKind::Insert
+                        }),
+                        "delete of {:?} arrived without its insert",
+                        u.edge
+                    );
+                }
+            }
+            seen.extend(local);
+        }
+        assert_eq!(seen.len(), updates.len(), "shards must partition exactly");
+    }
+
+    #[test]
+    fn dynamic_shard_hints_are_scaled() {
+        use coverage_stream::{SignedEdge, VecDynamicStream};
+        let updates: Vec<SignedEdge> = edges(100)
+            .into_iter()
+            .map(SignedEdge::insert)
+            .chain(edges(100).into_iter().take(20).map(SignedEdge::delete))
+            .collect();
+        let stream = VecDynamicStream::new(7, updates);
+        assert_eq!(stream.update_len_hint(), Some(120));
+        assert_eq!(stream.net_len_hint(), Some(80));
+        let view = DynamicShardedStream::new(&stream, 0, 4, 3);
+        assert_eq!(view.update_len_hint(), Some(30));
+        assert_eq!(view.net_len_hint(), Some(20));
     }
 }

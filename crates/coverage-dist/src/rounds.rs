@@ -13,8 +13,79 @@
 //! — tested here), the tree's *shape* cannot change the answer, only the
 //! cost profile. [`RoundsReport`] records both so the `exp_distributed`
 //! experiment can print the rounds-vs-communication trade-off.
+//!
+//! The reduction is generic over the [`Composable`] trait, so the same
+//! tree (and the same determinism contract) serves both sketch
+//! families: the insertion-only [`ThresholdSketch`] (associative and
+//! commutative up to the canonical min-set-id truncation) and the
+//! dynamic [`DynamicSketch`] (exactly linear, hence bit-identical under
+//! any reduction shape).
 
-use coverage_sketch::{SketchSnapshot, ThresholdSketch};
+use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
+
+/// A mergeable, shippable sketch — what a reduce tree needs to know.
+///
+/// `merge_from` must be associative (and is commutative for both
+/// implementations here), so the tree's shape cannot change the merged
+/// result; `ship_json`/`unship_json` must round-trip the full logical
+/// state so [`ShipFormat::Json`] continuously exercises wire fidelity.
+pub trait Composable: Sized {
+    /// Merge `other` into `self` (associative).
+    fn merge_from(&mut self, other: &Self);
+
+    /// Words one wire shipment of this sketch costs (the
+    /// [`RoundCost`] accounting unit).
+    fn ship_words(&self) -> u64;
+
+    /// Serialize the full logical state for shipping.
+    fn ship_json(&self) -> String;
+
+    /// Restore a shipped sketch. Panics on a corrupt payload — a
+    /// reducer must not silently merge garbage.
+    fn unship_json(json: &str) -> Self;
+}
+
+impl Composable for ThresholdSketch {
+    fn merge_from(&mut self, other: &Self) {
+        ThresholdSketch::merge_from(self, other);
+    }
+
+    /// 2 words per edge (set id + element slot) plus 4 per element
+    /// (key, hash, length, truncation flag).
+    fn ship_words(&self) -> u64 {
+        2 * self.edges_stored() as u64 + 4 * self.elements_stored() as u64
+    }
+
+    fn ship_json(&self) -> String {
+        SketchSnapshot::of(self).to_json()
+    }
+
+    fn unship_json(json: &str) -> Self {
+        SketchSnapshot::from_json(json)
+            .expect("wire snapshot must parse")
+            .restore()
+    }
+}
+
+impl Composable for DynamicSketch {
+    fn merge_from(&mut self, other: &Self) {
+        DynamicSketch::merge_from(self, other);
+    }
+
+    fn ship_words(&self) -> u64 {
+        DynamicSketch::ship_words(self)
+    }
+
+    fn ship_json(&self) -> String {
+        DynamicSnapshot::of(self).to_json()
+    }
+
+    fn unship_json(json: &str) -> Self {
+        DynamicSnapshot::from_json(json)
+            .expect("wire snapshot must parse")
+            .restore()
+    }
+}
 
 /// Cost accounting of one reduction round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,12 +127,6 @@ impl RoundsReport {
     }
 }
 
-/// Words needed to ship one sketch: 2 per edge (set id + element slot)
-/// plus 4 per element (key, hash, length, truncation flag).
-fn ship_cost(s: &ThresholdSketch) -> u64 {
-    2 * s.edges_stored() as u64 + 4 * s.elements_stored() as u64
-}
-
 /// How non-leader sketches travel to their group leader during a tree
 /// reduction. Merging is shape- and format-independent, so the choice
 /// affects only fidelity-vs-speed of the *simulation*.
@@ -85,40 +150,35 @@ pub enum ShipFormat {
 /// format (exactly what a real deployment would ship) and the group
 /// leader merges the restored sketches — so this path also continuously
 /// exercises serialization fidelity. Use [`tree_reduce_with`] to pick a
-/// cheaper [`ShipFormat`].
-pub fn tree_reduce(
-    sketches: Vec<ThresholdSketch>,
-    fan_in: usize,
-) -> (ThresholdSketch, RoundsReport) {
+/// cheaper [`ShipFormat`]. Generic over [`Composable`]: the same tree
+/// reduces insertion-only and dynamic sketches.
+pub fn tree_reduce<S: Composable>(sketches: Vec<S>, fan_in: usize) -> (S, RoundsReport) {
     tree_reduce_with(sketches, fan_in, ShipFormat::Json)
 }
 
 /// [`tree_reduce`] with an explicit [`ShipFormat`].
-pub fn tree_reduce_with(
-    mut sketches: Vec<ThresholdSketch>,
+pub fn tree_reduce_with<S: Composable>(
+    mut sketches: Vec<S>,
     fan_in: usize,
     format: ShipFormat,
-) -> (ThresholdSketch, RoundsReport) {
+) -> (S, RoundsReport) {
     assert!(fan_in >= 2, "fan-in must be at least 2");
     assert!(!sketches.is_empty(), "need at least one sketch");
     let mut rounds = Vec::new();
     while sketches.len() > 1 {
         let in_count = sketches.len();
         let mut shipped = 0u64;
-        let mut next: Vec<ThresholdSketch> = Vec::with_capacity(in_count.div_ceil(fan_in));
+        let mut next: Vec<S> = Vec::with_capacity(in_count.div_ceil(fan_in));
         let mut iter = sketches.into_iter();
         // Groups take ownership: leaders move to the next round instead
         // of being cloned (a clone would copy the whole entry map).
         while let Some(mut leader) = iter.next() {
             for child in iter.by_ref().take(fan_in - 1) {
-                shipped += ship_cost(&child);
+                shipped += child.ship_words();
                 match format {
                     ShipFormat::Json => {
                         // Wire round-trip: snapshot → JSON → restore → merge.
-                        let wire = SketchSnapshot::of(&child).to_json();
-                        let restored = SketchSnapshot::from_json(&wire)
-                            .expect("wire snapshot must parse")
-                            .restore();
+                        let restored = S::unship_json(&child.ship_json());
                         leader.merge_from(&restored);
                     }
                     ShipFormat::InMemory => leader.merge_from(&child),

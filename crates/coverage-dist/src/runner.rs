@@ -1,11 +1,22 @@
-//! The map/reduce/solve driver over simulated machines.
+//! The map/reduce/solve drivers over simulated machines — the reference
+//! executors for both stream models.
+//!
+//! Every executor here shares one **determinism contract** with the
+//! parallel runner in [`crate::parallel`]: for a fixed [`DistConfig`]
+//! (machines, seed, sizing), the selected cover is a pure function of
+//! the input edge (multi)set — independent of threading, machine count
+//! beyond sharding, merge order, and (for the dynamic pipeline) of the
+//! interleaving of inserts and deletes. [`DistConfig::shard_seed`] and
+//! [`DistConfig::sketch_params`]/[`DistConfig::dynamic_sketch_params`]
+//! centralize the two knobs every executor must agree on for that to
+//! hold.
 
 use coverage_core::offline::lazy_greedy_k_cover;
 use coverage_core::SetId;
-use coverage_sketch::{SketchSizing, ThresholdSketch};
-use coverage_stream::{EdgeStream, SpaceReport};
+use coverage_sketch::{DynamicSketch, DynamicSketchParams, SketchSizing, ThresholdSketch};
+use coverage_stream::{DynamicEdgeStream, EdgeStream, SpaceReport};
 
-use crate::partition::ShardedStream;
+use crate::partition::{DynamicShardedStream, ShardedStream};
 
 /// Configuration of a distributed k-cover run.
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +70,14 @@ impl DistConfig {
     pub fn sketch_params(&self, n: usize) -> coverage_sketch::SketchParams {
         let eps_sketch = (self.epsilon / 12.0).clamp(1e-6, 1.0);
         self.sizing.params(n, self.k.max(1), eps_sketch)
+    }
+
+    /// The per-machine **dynamic** sketch parameters: the same shared
+    /// sizing as [`sketch_params`](Self::sketch_params) wrapped in the
+    /// default level/bank geometry. Centralized for the same reason —
+    /// every dynamic executor must agree or merged cells are garbage.
+    pub fn dynamic_sketch_params(&self, n: usize) -> DynamicSketchParams {
+        DynamicSketchParams::new(self.sketch_params(n))
     }
 }
 
@@ -148,6 +167,86 @@ fn solve_locals(locals: Vec<ThresholdSketch>, cfg: &DistConfig) -> DistResult {
     }
 }
 
+/// Result of a distributed **dynamic** run.
+#[derive(Clone, Debug)]
+pub struct DynDistResult {
+    /// The selected family.
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage on the
+    /// surviving graph.
+    pub estimated_coverage: f64,
+    /// Per-machine space reports.
+    pub per_machine: Vec<SpaceReport>,
+    /// The subsampling level the merged sketch decoded at.
+    pub sample_level: usize,
+    /// That level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// Surviving edges recovered from the merged sketch.
+    pub recovered_edges: usize,
+}
+
+/// Distributed **dynamic** k-cover: shard the signed updates across
+/// `machines` (deletes co-located with their inserts), build one
+/// [`DynamicSketch`] per machine, merge by cell-wise addition, recover
+/// the densest decodable level, and run greedy on the recovered
+/// degree-capped instance.
+///
+/// Because the dynamic sketch is linear, the merged sketch is
+/// **bit-identical** to a single-machine build over the whole stream —
+/// the determinism contract holds exactly, not just up to tie-breaking.
+///
+/// # Panics
+///
+/// Panics if no subsampling level decodes (the sketch was sized with
+/// too few levels for the surviving edge count).
+pub fn dynamic_distributed_k_cover(
+    stream: &dyn DynamicEdgeStream,
+    cfg: &DistConfig,
+) -> DynDistResult {
+    let params = cfg.dynamic_sketch_params(stream.num_sets());
+    let locals: Vec<DynamicSketch> = (0..cfg.machines)
+        .map(|i| {
+            let shard = DynamicShardedStream::new(stream, i, cfg.machines, cfg.shard_seed());
+            DynamicSketch::from_stream(params, cfg.seed, &shard)
+        })
+        .collect();
+    solve_dynamic_locals(locals, cfg)
+}
+
+/// Recover + greedy-solve tail shared by every dynamic executor: decode
+/// the merged sketch's densest level and run greedy on the recovered,
+/// degree-capped instance. Returns `(family, estimated_coverage,
+/// sample)`.
+pub(crate) fn recover_and_solve(
+    merged: &DynamicSketch,
+    k: usize,
+) -> (Vec<SetId>, f64, coverage_sketch::DynamicSample) {
+    let sample = merged.recover_expect();
+    let trace = lazy_greedy_k_cover(&merged.instance(&sample), k);
+    let family = trace.family();
+    let estimated = merged.estimate_coverage(&sample, &family);
+    (family, estimated, sample)
+}
+
+/// Shared reduce + recover + solve tail of the serial dynamic executors.
+pub(crate) fn solve_dynamic_locals(locals: Vec<DynamicSketch>, cfg: &DistConfig) -> DynDistResult {
+    let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
+    let mut iter = locals.into_iter();
+    let mut merged = iter.next().expect("at least one machine");
+    for s in iter {
+        merged.merge_from(&s);
+    }
+    let (family, estimated_coverage, sample) = recover_and_solve(&merged, cfg.k);
+    DynDistResult {
+        estimated_coverage,
+        per_machine,
+        sample_level: sample.level,
+        sampling_p: sample.sampling_p,
+        recovered_edges: sample.edges.len(),
+        family,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +329,41 @@ mod tests {
         let res = distributed_k_cover(&stream, &cfg);
         let params = cfg.sketch_params(40);
         assert!(res.merged_edges <= params.max_edges());
+    }
+
+    #[test]
+    fn dynamic_output_invariant_in_machine_count() {
+        let p = planted_k_cover(30, 3_000, 4, 100, 3).instance;
+        let w = coverage_data::churn_workload(&p, 0.4, 9);
+        let mut families = Vec::new();
+        for machines in [1usize, 2, 5] {
+            let cfg =
+                DistConfig::new(machines, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+            let res = dynamic_distributed_k_cover(&w.stream, &cfg);
+            families.push((res.family, res.sample_level, res.recovered_edges));
+        }
+        for win in families.windows(2) {
+            assert_eq!(
+                win[0], win[1],
+                "dynamic result must not depend on machine count"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_quality_matches_insertion_only_on_survivors() {
+        let planted = planted_k_cover(30, 3_000, 4, 100, 7);
+        let w = coverage_data::churn_workload(&planted.instance, 0.5, 13);
+        let cfg = DistConfig::new(4, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+        let dyn_res = dynamic_distributed_k_cover(&w.stream, &cfg);
+        // Insertion-only pipeline on the surviving graph.
+        let surv_stream = VecStream::from_instance(&w.surviving);
+        let ins_res = distributed_k_cover_serial(&surv_stream, &cfg);
+        let dyn_cov = w.surviving.coverage(&dyn_res.family);
+        let ins_cov = w.surviving.coverage(&ins_res.family);
+        assert!(
+            dyn_cov as f64 >= 0.9 * ins_cov as f64,
+            "dynamic cover {dyn_cov} far below insertion-only {ins_cov}"
+        );
     }
 }

@@ -1,0 +1,870 @@
+//! The **dynamic** (insert/delete) coverage sketch: an ℓ₀-sampler-backed
+//! linear sketch over signed edge streams.
+//!
+//! ## Why the threshold sketch cannot take deletions
+//!
+//! [`ThresholdSketch`](crate::ThresholdSketch) is monotone by design: its
+//! acceptance bound only ever decreases, and an evicted element can never
+//! re-enter (that irrevocability is what makes Algorithm 2 one-pass).
+//! A deletion can invalidate both decisions — an element whose edges are
+//! deleted should free budget, and a previously evicted element may end
+//! up mattering in the surviving graph. Dynamic streams therefore need a
+//! different construction.
+//!
+//! ## The construction: subsampling levels + invertible cells
+//!
+//! This is the subsampling framework McGregor–Vu (arXiv:1610.06199,
+//! Section 5) use for dynamic coverage, instantiated with the ℓ₀-style
+//! sparse-recovery machinery of Cormode et al. (the paper's `[16]`): the
+//! same geometric `Hp` hierarchy as the paper's sketch, realized with
+//! **linear** cells so deletions exactly cancel insertions.
+//!
+//! * **Levels.** Level `j` admits element `u` iff `h(u) < 2^{64−j}` —
+//!   i.e. the lowest-hash `2^{−j}` fraction of the universe, the same
+//!   `Hp` subgraphs (`p = 2^{−j}`) that Definition 2.1 builds, with the
+//!   same [`UnitHash`]. An element admitted at level `j` is admitted at
+//!   every shallower level, so an update touches ~2 levels in
+//!   expectation.
+//! * **Cells.** Each level is a bank of `rows × row_len` counting cells
+//!   `(count, set_sum, elem_sum, check_sum)`. An update of edge `(S,u)`
+//!   with sign `±1` adds `±(1, S, u, fingerprint(S,u))` to one cell per
+//!   row. Every cell is a *linear* function of the net edge multiset:
+//!   a delete is literally the inverse of its insert, and two sketches
+//!   merge by cell-wise addition.
+//! * **Recovery.** A level decodes by iterative peeling: any cell with
+//!   `count = 1` and a consistent checksum reveals one surviving edge,
+//!   which is subtracted from its other cells, potentially unlocking
+//!   them. Decoding succeeds w.h.p. once the level holds at most
+//!   [`capacity`](DynamicSketchParams::capacity) surviving edges. The
+//!   query scans levels shallow→deep and returns the **first** level
+//!   that decodes — the densest recoverable `Hp` sample, i.e. the
+//!   largest `p` whose subgraph fits the budget, exactly Definition
+//!   2.1's `p*` rule transplanted to the dynamic setting.
+//!
+//! The recovered sample is then degree-capped (Lemma 2.4's cap, with the
+//! canonical min-set-id truncation) and handed to the offline solver,
+//! mirroring the insertion-only pipeline; per-set post-deletion supports
+//! are estimated with the [`KmvSketch`] ℓ₀ machinery from
+//! `coverage-hash` scaled by `1/p`.
+//!
+//! ## Determinism contract
+//!
+//! Every cell is a linear function of the **net** multiset of updates,
+//! so the whole sketch state — and therefore recovery, the chosen level,
+//! and the final cover — depends only on `inserts ∪ deletes` *as a
+//! multiset*, never on arrival order, batching, partitioning, or merge
+//! shape:
+//!
+//! * a dynamic sketch fed `inserts ∪ deletes` is **bit-identical** to
+//!   one fed only the surviving edges;
+//! * [`merge_from`](DynamicSketch::merge_from) is exactly associative
+//!   *and* commutative (cell-wise wrapping addition), so any reduction
+//!   tree over any partition of the updates reproduces the
+//!   single-machine sketch.
+//!
+//! Both halves are property-tested in `tests/dynamic_stream.rs` and
+//! re-checked by the `bench_smoke` CI gate.
+//!
+//! ## The contract's price
+//!
+//! Space is `levels × rows × row_len` cells of 4 words — `Õ(B·log m)`
+//! for edge budget `B`, a `log` factor over the insertion-only sketch.
+//! That is not an implementation artifact: dynamic streaming provably
+//! costs more (see the lower bounds discussed in arXiv:2403.14087), and
+//! the `exp_dynamic` experiment measures the gap empirically.
+
+use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use coverage_hash::{mix64, KmvSketch, UnitHash};
+use coverage_stream::{DynamicEdgeStream, SignedEdge, SpaceReport, SpaceTracker};
+use serde::{Deserialize, Serialize};
+
+use crate::params::SketchParams;
+
+/// Hash rows per level bank (3 gives the classic peeling threshold).
+const DEFAULT_ROWS: usize = 3;
+/// Hard cap on rows — lets the hot path keep per-row slots in a fixed
+/// stack array instead of allocating per update.
+const MAX_ROWS: usize = 8;
+/// Cells per surviving edge of capacity. Peeling over 3 rows succeeds
+/// w.h.p. below ~0.81 load; 1.65 leaves a wide margin for small banks.
+const CELLS_PER_EDGE: f64 = 1.65;
+/// Default number of subsampling levels: supports surviving edge sets up
+/// to ~`capacity · 2^{DEFAULT_LEVELS-1}` edges.
+const DEFAULT_LEVELS: usize = 20;
+
+/// Parameters of one dynamic sketch.
+///
+/// Reuses [`SketchParams`] for everything the two pipelines share
+/// (`num_sets`, `k`, `ε`, degree cap, edge budget) and adds the
+/// level/bank geometry specific to the linear construction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSketchParams {
+    /// The shared sketch parameters (sizing, degree cap, budget).
+    pub base: SketchParams,
+    /// Number of geometric subsampling levels (`p = 2^{−j}` for level
+    /// `j`). The deepest level must be sparse enough to decode, so
+    /// `levels ≳ log₂(|E_surv| / budget) + 2`.
+    pub levels: usize,
+    /// Hash rows per level bank.
+    pub rows: usize,
+    /// Cells per row.
+    pub row_len: usize,
+}
+
+impl DynamicSketchParams {
+    /// Parameters with the default level count and bank geometry derived
+    /// from `base.max_edges()`.
+    pub fn new(base: SketchParams) -> Self {
+        let capacity = base.max_edges().max(8);
+        let cells = ((capacity as f64 * CELLS_PER_EDGE).ceil() as usize).max(48);
+        DynamicSketchParams {
+            base,
+            levels: DEFAULT_LEVELS,
+            rows: DEFAULT_ROWS,
+            row_len: cells.div_ceil(DEFAULT_ROWS),
+        }
+    }
+
+    /// Override the level count (`1 ≤ levels ≤ 48`).
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        assert!((1..=48).contains(&levels), "levels must be in 1..=48");
+        self.levels = levels;
+        self
+    }
+
+    /// Surviving edges one level is sized to decode reliably
+    /// (`base.max_edges()` — the same `B + slack` rule as the
+    /// insertion-only sketch).
+    pub fn capacity(&self) -> usize {
+        self.base.max_edges().max(8)
+    }
+
+    /// Total cells across all levels (4 words each).
+    pub fn total_cells(&self) -> usize {
+        self.levels * self.rows * self.row_len
+    }
+}
+
+/// One linear counting cell. All fields are sums over the net edge
+/// multiset routed to this cell: `count` of signs, `set_sum`/`elem_sum`
+/// of endpoint ids, `check_sum` of per-edge fingerprints (wrapping
+/// arithmetic — linearity over `ℤ/2^64` is what makes merges exact).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Cell {
+    count: i64,
+    set_sum: u64,
+    elem_sum: u64,
+    check_sum: u64,
+}
+
+impl Cell {
+    #[inline]
+    fn apply(&mut self, sign: i64, set: u64, elem: u64, check: u64) {
+        self.count = self.count.wrapping_add(sign);
+        if sign >= 0 {
+            self.set_sum = self.set_sum.wrapping_add(set);
+            self.elem_sum = self.elem_sum.wrapping_add(elem);
+            self.check_sum = self.check_sum.wrapping_add(check);
+        } else {
+            self.set_sum = self.set_sum.wrapping_sub(set);
+            self.elem_sum = self.elem_sum.wrapping_sub(elem);
+            self.check_sum = self.check_sum.wrapping_sub(check);
+        }
+    }
+
+    #[inline]
+    fn merge(&mut self, other: &Cell) {
+        self.count = self.count.wrapping_add(other.count);
+        self.set_sum = self.set_sum.wrapping_add(other.set_sum);
+        self.elem_sum = self.elem_sum.wrapping_add(other.elem_sum);
+        self.check_sum = self.check_sum.wrapping_add(other.check_sum);
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.count == 0 && self.set_sum == 0 && self.elem_sum == 0 && self.check_sum == 0
+    }
+}
+
+/// Streaming-side counters of a dynamic sketch (diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicCounters {
+    /// Insert events processed.
+    pub inserts: u64,
+    /// Delete events processed.
+    pub deletes: u64,
+}
+
+impl DynamicCounters {
+    /// Net update count (inserts − deletes, saturating at zero).
+    pub fn net(&self) -> u64 {
+        self.inserts.saturating_sub(self.deletes)
+    }
+}
+
+/// The sample recovered from a dynamic sketch: the surviving edges of
+/// the densest decodable subsampling level.
+#[derive(Clone, Debug)]
+pub struct DynamicSample {
+    /// The level that decoded (0 = the whole surviving graph).
+    pub level: usize,
+    /// The level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// The recovered surviving edges, in canonical (sorted) order.
+    pub edges: Vec<Edge>,
+}
+
+impl DynamicSample {
+    /// True if the sample is the entire surviving graph (`p = 1`).
+    pub fn is_exact(&self) -> bool {
+        self.level == 0
+    }
+}
+
+/// The dynamic `H≤n`-style sketch over signed edge streams.
+#[derive(Clone, Debug)]
+pub struct DynamicSketch {
+    hash: UnitHash,
+    params: DynamicSketchParams,
+    /// Flat cell storage: `cells[level · rows · row_len + row · row_len + slot]`.
+    cells: Vec<Cell>,
+    /// Per-row placement salts, fixed for the sketch's lifetime (derived
+    /// from the post-mix hash seed so snapshot restores reproduce them).
+    salts: [u64; MAX_ROWS],
+    counters: DynamicCounters,
+    tracker: SpaceTracker,
+}
+
+impl DynamicSketch {
+    /// A fresh sketch; `seed` determines the element hash (sketches that
+    /// merge must share it, exactly as for the insertion-only sketch).
+    pub fn new(params: DynamicSketchParams, seed: u64) -> Self {
+        Self::with_hash(params, UnitHash::new(seed))
+    }
+
+    fn with_hash(params: DynamicSketchParams, hash: UnitHash) -> Self {
+        assert!(params.levels >= 1 && params.rows >= 1 && params.row_len >= 1);
+        assert!(
+            params.rows <= MAX_ROWS,
+            "at most {MAX_ROWS} rows per level bank"
+        );
+        let total = params.total_cells();
+        let mut tracker = SpaceTracker::new();
+        tracker.add_aux(4 * total as u64);
+        // Per-row placement salts, derived from the post-mix hash seed
+        // so a restored snapshot reproduces the identical placement.
+        let mut salts = [0u64; MAX_ROWS];
+        for (row, salt) in salts.iter_mut().enumerate() {
+            *salt = mix64(hash.seed() ^ (0xA11C_E000 + row as u64));
+        }
+        DynamicSketch {
+            hash,
+            params,
+            cells: vec![Cell::default(); total],
+            salts,
+            counters: DynamicCounters::default(),
+            tracker,
+        }
+    }
+
+    /// The parameters this sketch was built with.
+    pub fn params(&self) -> &DynamicSketchParams {
+        &self.params
+    }
+
+    /// The hash function's raw post-mix seed (snapshot support).
+    pub fn raw_hash_seed(&self) -> u64 {
+        self.hash.seed()
+    }
+
+    /// Per-edge fingerprint (checksum identity), independent of the
+    /// placement salts.
+    #[inline]
+    fn fingerprint(&self, set: u64, elem: u64) -> u64 {
+        mix64(mix64(set ^ self.hash.seed().rotate_left(17)) ^ elem)
+    }
+
+    /// Deepest level admitting an element with hash `h`: level `j`
+    /// admits iff `h < 2^{64−j}`, so the cutoff is `leading_zeros(h)`.
+    #[inline]
+    fn max_level(&self, h: u64) -> usize {
+        (h.leading_zeros() as usize).min(self.params.levels - 1)
+    }
+
+    /// Per-row cell slots of the edge with fingerprint `check`. Slots
+    /// depend on the row only — never the level — so callers compute
+    /// them once per update and reuse them across the whole level loop
+    /// (only the first `params.rows` entries are meaningful).
+    #[inline]
+    fn row_slots(&self, check: u64) -> [usize; MAX_ROWS] {
+        let row_len = self.params.row_len;
+        let mut slots = [0usize; MAX_ROWS];
+        for (slot, &salt) in slots.iter_mut().zip(&self.salts).take(self.params.rows) {
+            *slot = ((mix64(check ^ salt) as u128 * row_len as u128) >> 64) as usize;
+        }
+        slots
+    }
+
+    /// Process one signed update. `O(rows)` expected work: an element
+    /// lands in `1 + leading_zeros(h)` levels, which is 2 in
+    /// expectation.
+    pub fn update(&mut self, u: SignedEdge) {
+        let sign = u.sign();
+        if sign > 0 {
+            self.counters.inserts += 1;
+        } else {
+            self.counters.deletes += 1;
+        }
+        let set = u.edge.set.0 as u64;
+        let elem = u.edge.element.0;
+        let h = self.hash.hash(elem);
+        let check = self.fingerprint(set, elem);
+        let max_level = self.max_level(h);
+        let (rows, row_len) = (self.params.rows, self.params.row_len);
+        let slots = self.row_slots(check);
+        for level in 0..=max_level {
+            let base = level * rows * row_len;
+            for (row, &slot) in slots.iter().enumerate().take(rows) {
+                self.cells[base + row * row_len + slot].apply(sign, set, elem, check);
+            }
+        }
+    }
+
+    /// Process a contiguous batch of updates (the batched hot path).
+    pub fn update_batch(&mut self, updates: &[SignedEdge]) {
+        for &u in updates {
+            self.update(u);
+        }
+    }
+
+    /// Feed an entire dynamic stream (one pass).
+    pub fn consume(&mut self, stream: &dyn DynamicEdgeStream) {
+        stream.for_each_update(&mut |u| self.update(u));
+    }
+
+    /// Feed an entire dynamic stream in batches of `batch` updates.
+    pub fn consume_batched(&mut self, stream: &dyn DynamicEdgeStream, batch: usize) {
+        stream.for_each_update_batch(batch, &mut |chunk| self.update_batch(chunk));
+    }
+
+    /// Build the sketch from one pass over `stream`.
+    pub fn from_stream(
+        params: DynamicSketchParams,
+        seed: u64,
+        stream: &dyn DynamicEdgeStream,
+    ) -> Self {
+        let mut s = Self::new(params, seed);
+        s.consume(stream);
+        s
+    }
+
+    /// Streaming-side diagnostics.
+    pub fn counters(&self) -> DynamicCounters {
+        self.counters
+    }
+
+    /// Space report (1 pass). The sketch stores no raw edges — its
+    /// footprint is the fixed cell banks, reported as auxiliary words.
+    pub fn space_report(&self) -> SpaceReport {
+        self.tracker.report(1)
+    }
+
+    /// Level-`j` slice of the flat cell storage.
+    fn level_cells(&self, level: usize) -> &[Cell] {
+        let per = self.params.rows * self.params.row_len;
+        &self.cells[level * per..(level + 1) * per]
+    }
+
+    /// Attempt sparse recovery of one level by iterative peeling.
+    /// Returns the decoded surviving edges (sorted) or `None` when the
+    /// level is too dense. Pure: a clone of the cells is peeled, the
+    /// sketch is untouched.
+    fn recover_level(&self, level: usize) -> Option<Vec<Edge>> {
+        let (rows, row_len) = (self.params.rows, self.params.row_len);
+        let mut cells = self.level_cells(level).to_vec();
+        let mut queue: Vec<usize> = (0..cells.len()).filter(|&i| cells[i].count == 1).collect();
+        let mut edges = Vec::new();
+        while let Some(i) = queue.pop() {
+            let c = cells[i];
+            if c.count != 1 {
+                continue;
+            }
+            let (set, elem) = (c.set_sum, c.elem_sum);
+            // A pure cell: the sums are one edge's identity iff the
+            // checksum matches and the edge genuinely belongs here.
+            if c.check_sum != self.fingerprint(set, elem) || set > u32::MAX as u64 {
+                continue;
+            }
+            if level > 0 && self.max_level(self.hash.hash(elem)) < level {
+                continue; // not admitted at this level — corrupt decode
+            }
+            let check = c.check_sum;
+            let slots = self.row_slots(check);
+            for (row, &slot) in slots.iter().enumerate().take(rows) {
+                let j = row * row_len + slot;
+                cells[j].apply(-1, set, elem, check);
+                if cells[j].count == 1 {
+                    queue.push(j);
+                }
+            }
+            edges.push(Edge::new(set as u32, elem));
+        }
+        if cells.iter().all(Cell::is_zero) {
+            edges.sort_unstable();
+            Some(edges)
+        } else {
+            None
+        }
+    }
+
+    /// Recover the densest decodable level: scan levels shallow→deep and
+    /// return the first that peels completely — the dynamic analogue of
+    /// Definition 2.1's smallest workable `p`. Returns `None` only when
+    /// even the deepest level is too dense (the sketch was built with
+    /// too few [`levels`](DynamicSketchParams::levels) for this input).
+    pub fn recover(&self) -> Option<DynamicSample> {
+        for level in 0..self.params.levels {
+            if let Some(edges) = self.recover_level(level) {
+                return Some(DynamicSample {
+                    level,
+                    sampling_p: 0.5f64.powi(level as i32),
+                    edges,
+                });
+            }
+        }
+        None
+    }
+
+    /// [`recover`](Self::recover), panicking with the canonical
+    /// diagnostic when no level decodes. Every driver (the dynamic
+    /// k-cover, the distributed executors) funnels through this so the
+    /// failure mode and its remedy are described in exactly one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no subsampling level decodes — the sketch was built
+    /// with too few levels for the surviving edge count.
+    pub fn recover_expect(&self) -> DynamicSample {
+        self.recover().expect(
+            "no subsampling level decoded — rebuild the dynamic sketch with more levels \
+             (DynamicSketchParams::with_levels) for this surviving edge count",
+        )
+    }
+
+    /// Materialize a recovered sample as a degree-capped
+    /// [`CoverageInstance`] — the graph the offline solver runs on.
+    /// The cap keeps each element's `degree_cap` **smallest** set ids
+    /// (the same canonical truncation as
+    /// [`ThresholdSketch::merge_from`](crate::ThresholdSketch::merge_from),
+    /// so the instance is independent of recovery order).
+    pub fn instance(&self, sample: &DynamicSample) -> CoverageInstance {
+        let cap = self.params.base.degree_cap;
+        let mut b = InstanceBuilder::new(self.params.base.num_sets);
+        // Sample edges are sorted (set-major); regroup per element.
+        let mut by_elem: coverage_hash::FxHashMap<u64, Vec<u32>> =
+            coverage_hash::FxHashMap::default();
+        for e in &sample.edges {
+            by_elem.entry(e.element.0).or_default().push(e.set.0);
+        }
+        for (elem, mut sets) in by_elem {
+            sets.sort_unstable();
+            sets.dedup();
+            sets.truncate(cap);
+            for s in sets {
+                b.add_edge(Edge::new(s, elem));
+            }
+        }
+        b.build()
+    }
+
+    /// Inverse-probability coverage estimate of `family` on the
+    /// surviving graph: `|Γ(sample, family)| / p` (Lemma 2.2 transplanted
+    /// to the recovered level).
+    pub fn estimate_coverage(&self, sample: &DynamicSample, family: &[SetId]) -> f64 {
+        let mut members = vec![false; self.params.base.num_sets.max(1)];
+        for s in family {
+            if s.index() < members.len() {
+                members[s.index()] = true;
+            }
+        }
+        let mut covered: coverage_hash::FxHashSet<u64> = coverage_hash::FxHashSet::default();
+        for e in &sample.edges {
+            if members[e.set.index()] {
+                covered.insert(e.element.0);
+            }
+        }
+        covered.len() as f64 / sample.sampling_p
+    }
+
+    /// Per-set **post-deletion support** estimates, computed by feeding
+    /// each set's recovered elements through the mergeable
+    /// [`KmvSketch`] ℓ₀ estimator (Appendix D machinery from
+    /// `coverage-hash`) and scaling by `1/p`. Within the recovered
+    /// sample KMV is exact below its `t`; the scaling alone carries the
+    /// sampling error — this is the estimator the dynamic experiments
+    /// report.
+    pub fn set_support_estimates(&self, sample: &DynamicSample) -> Vec<f64> {
+        let n = self.params.base.num_sets;
+        // Floor `t` so the KMV error stays well below the subsampling
+        // error even for coarse sketch ε (t = 258 → RSE ≈ 6%).
+        let t = KmvSketch::t_for_epsilon(self.params.base.epsilon.max(0.05)).max(258);
+        let kmv_hash = UnitHash::from_raw_seed(mix64(self.hash.seed() ^ 0x5E7_C0E7));
+        let mut per_set: Vec<KmvSketch> = (0..n).map(|_| KmvSketch::new(t, kmv_hash)).collect();
+        for e in &sample.edges {
+            if e.set.index() < n {
+                per_set[e.set.index()].insert(e.element.0);
+            }
+        }
+        per_set
+            .iter()
+            .map(|s| s.estimate() / sample.sampling_p)
+            .collect()
+    }
+
+    /// Merge another sketch of the **same parameters and seed** into
+    /// `self` by cell-wise addition. Exactly associative and commutative
+    /// — the determinism contract's distributed half (see the module
+    /// docs); with the updates partitioned across machines the merged
+    /// sketch is bit-identical to a single-machine build.
+    pub fn merge_from(&mut self, other: &DynamicSketch) {
+        assert_eq!(
+            self.hash, other.hash,
+            "dynamic sketches must share a hash seed to merge"
+        );
+        assert_eq!(
+            self.params, other.params,
+            "dynamic sketches must share parameters to merge"
+        );
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            mine.merge(theirs);
+        }
+        self.counters.inserts += other.counters.inserts;
+        self.counters.deletes += other.counters.deletes;
+    }
+
+    /// Words a wire shipment of this sketch costs (4 per cell) — the
+    /// reduce-round accounting unit used by `coverage-dist`.
+    pub fn ship_words(&self) -> u64 {
+        4 * self.cells.len() as u64
+    }
+}
+
+/// Serializable mirror of a [`DynamicSketch`] — the wire format for
+/// shipping dynamic sketches between machines, mirroring
+/// [`SketchSnapshot`](crate::SketchSnapshot).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DynamicSnapshot {
+    /// The hash function's raw (post-mix) seed.
+    pub raw_seed: u64,
+    /// Sketch parameters.
+    pub params: DynamicSketchParams,
+    /// Streaming-side counters.
+    pub counters: DynamicCounters,
+    /// Flat cell payload (level-major, then row-major).
+    cells: Vec<Cell>,
+}
+
+impl DynamicSnapshot {
+    /// Capture the logical state of a sketch.
+    pub fn of(sketch: &DynamicSketch) -> Self {
+        DynamicSnapshot {
+            raw_seed: sketch.hash.seed(),
+            params: sketch.params,
+            counters: sketch.counters,
+            cells: sketch.cells.clone(),
+        }
+    }
+
+    /// Rebuild the sketch. Panics if the cell payload does not match the
+    /// declared geometry — a corrupt snapshot must not silently decode.
+    pub fn restore(&self) -> DynamicSketch {
+        assert_eq!(
+            self.cells.len(),
+            self.params.total_cells(),
+            "snapshot cell payload does not match its declared geometry"
+        );
+        let mut s = DynamicSketch::with_hash(self.params, UnitHash::from_raw_seed(self.raw_seed));
+        s.cells.copy_from_slice(&self.cells);
+        s.counters = self.counters;
+        s
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_stream::{InsertOnly, VecDynamicStream, VecStream};
+
+    fn params(n: usize, budget: usize) -> DynamicSketchParams {
+        DynamicSketchParams::new(SketchParams::with_budget(n, 2, 0.5, budget))
+    }
+
+    fn churny_updates(n_sets: u32, m: u64, delete_every: u64) -> Vec<SignedEdge> {
+        // Insert a grid of edges; later delete every `delete_every`-th.
+        let mut ups = Vec::new();
+        for s in 0..n_sets {
+            for e in 0..m {
+                ups.push(SignedEdge::insert(Edge::new(s, e * 3 + s as u64)));
+            }
+        }
+        for s in 0..n_sets {
+            for e in 0..m {
+                if (e + s as u64).is_multiple_of(delete_every) {
+                    ups.push(SignedEdge::delete(Edge::new(s, e * 3 + s as u64)));
+                }
+            }
+        }
+        ups
+    }
+
+    #[test]
+    fn small_stream_recovers_exactly_at_level_zero() {
+        let stream = VecDynamicStream::new(
+            3,
+            vec![
+                SignedEdge::insert(Edge::new(0u32, 1u64)),
+                SignedEdge::insert(Edge::new(1u32, 2u64)),
+                SignedEdge::insert(Edge::new(2u32, 3u64)),
+                SignedEdge::delete(Edge::new(1u32, 2u64)),
+            ],
+        );
+        let s = DynamicSketch::from_stream(params(3, 1_000), 42, &stream);
+        let sample = s.recover().expect("small stream must decode");
+        assert!(sample.is_exact());
+        assert_eq!(sample.sampling_p, 1.0);
+        assert_eq!(
+            sample.edges,
+            vec![Edge::new(0u32, 1u64), Edge::new(2u32, 3u64)]
+        );
+        assert_eq!(s.counters().inserts, 3);
+        assert_eq!(s.counters().deletes, 1);
+    }
+
+    #[test]
+    fn insert_then_delete_everything_leaves_empty_cells() {
+        let mut ups: Vec<SignedEdge> = Vec::new();
+        for s in 0..5u32 {
+            for e in 0..200u64 {
+                ups.push(SignedEdge::insert(Edge::new(s, e)));
+            }
+        }
+        for s in 0..5u32 {
+            for e in 0..200u64 {
+                ups.push(SignedEdge::delete(Edge::new(s, e)));
+            }
+        }
+        let s = DynamicSketch::from_stream(params(5, 100), 7, &VecDynamicStream::new(5, ups));
+        // All cells cancel to zero: level 0 decodes the empty graph.
+        let sample = s.recover().expect("empty graph must decode at level 0");
+        assert!(sample.is_exact());
+        assert!(sample.edges.is_empty());
+    }
+
+    #[test]
+    fn dynamic_equals_insertion_only_on_surviving_edges() {
+        // The heart of the determinism contract: updates vs survivors
+        // produce bit-identical cells, hence identical recovery.
+        let p = params(4, 300);
+        let ups = churny_updates(4, 500, 3);
+        let dyn_stream = VecDynamicStream::new(4, ups);
+        let a = DynamicSketch::from_stream(p, 11, &dyn_stream);
+        let survivors = coverage_stream::surviving_stream(&dyn_stream);
+        let b = DynamicSketch::from_stream(p, 11, &InsertOnly::new(&survivors));
+        assert_eq!(a.cells, b.cells, "cells must cancel exactly");
+        let sa = a.recover().expect("decodes");
+        let sb = b.recover().expect("decodes");
+        assert_eq!(sa.level, sb.level);
+        assert_eq!(sa.edges, sb.edges);
+    }
+
+    #[test]
+    fn dense_streams_fall_back_to_deeper_levels() {
+        let p = params(6, 120);
+        let ups = churny_updates(6, 2_000, 4);
+        let s = DynamicSketch::from_stream(p, 3, &VecDynamicStream::new(6, ups));
+        let sample = s.recover().expect("some level must decode");
+        assert!(sample.level > 0, "9k survivors cannot fit a 120-edge bank");
+        assert!(sample.sampling_p < 1.0);
+        assert!(!sample.edges.is_empty());
+        // Every recovered element must be admitted at the sample level.
+        let hash = UnitHash::new(3);
+        for e in &sample.edges {
+            assert!(hash.hash(e.element.0) < (1u64 << (64 - sample.level)));
+        }
+    }
+
+    #[test]
+    fn recovered_sample_is_an_unbiased_survivor_sample() {
+        let p = params(2, 200);
+        let ups = churny_updates(2, 3_000, 2);
+        let dyn_stream = VecDynamicStream::new(2, ups);
+        let truth = coverage_stream::surviving_edges(&dyn_stream).len() as f64;
+        let mut sum = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let s = DynamicSketch::from_stream(p, seed, &dyn_stream);
+            let sample = s.recover().expect("decodes");
+            sum += sample.edges.len() as f64 / sample.sampling_p;
+        }
+        let mean = sum / runs as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.15,
+            "mean scaled sample size {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let p = params(5, 150);
+        let seed = 21;
+        let ups = churny_updates(5, 800, 3);
+        let parts: Vec<DynamicSketch> = (0..3)
+            .map(|part| {
+                let sub: Vec<SignedEdge> = ups
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 3 == part)
+                    .map(|(_, &u)| u)
+                    .collect();
+                DynamicSketch::from_stream(p, seed, &VecDynamicStream::new(5, sub))
+            })
+            .collect();
+        let whole = DynamicSketch::from_stream(p, seed, &VecDynamicStream::new(5, ups));
+        // (0·1)·2
+        let mut left = parts[0].clone();
+        left.merge_from(&parts[1]);
+        left.merge_from(&parts[2]);
+        // 2·(1·0)
+        let mut right = parts[2].clone();
+        right.merge_from(&parts[1]);
+        right.merge_from(&parts[0]);
+        assert_eq!(left.cells, right.cells);
+        assert_eq!(left.cells, whole.cells, "merge must equal the single build");
+        assert_eq!(left.counters(), whole.counters());
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_restores_identical_sketch() {
+        let p = params(4, 80);
+        let ups = churny_updates(4, 300, 5);
+        let s = DynamicSketch::from_stream(p, 9, &VecDynamicStream::new(4, ups));
+        let wire = DynamicSnapshot::of(&s).to_json();
+        let r = DynamicSnapshot::from_json(&wire)
+            .expect("valid json")
+            .restore();
+        assert_eq!(r.cells, s.cells);
+        assert_eq!(r.counters(), s.counters());
+        let (a, b) = (s.recover().unwrap(), r.recover().unwrap());
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.edges, b.edges);
+        // And the restored sketch keeps evolving identically.
+        let mut s2 = s.clone();
+        let mut r2 = r;
+        let extra = SignedEdge::insert(Edge::new(1u32, 999_999u64));
+        s2.update(extra);
+        r2.update(extra);
+        assert_eq!(s2.cells, r2.cells);
+    }
+
+    #[test]
+    fn instance_applies_canonical_degree_cap() {
+        // 30 sets all containing element 5; cap must keep the smallest ids.
+        let base = SketchParams::with_budget(30, 8, 0.9, 1_000);
+        assert!(base.degree_cap < 30, "cap must bind for this test");
+        let p = DynamicSketchParams::new(base);
+        let mut ups = Vec::new();
+        for s in 0..30u32 {
+            ups.push(SignedEdge::insert(Edge::new(s, 5u64)));
+        }
+        let s = DynamicSketch::from_stream(p, 13, &VecDynamicStream::new(30, ups));
+        let sample = s.recover().expect("decodes");
+        let inst = s.instance(&sample);
+        assert_eq!(inst.num_elements(), 1);
+        assert_eq!(inst.num_edges(), base.degree_cap);
+        // The surviving sets are exactly 0..cap.
+        for s_id in 0..base.degree_cap {
+            assert_eq!(inst.coverage(&[SetId(s_id as u32)]), 1);
+        }
+        assert_eq!(inst.coverage(&[SetId(29)]), 0);
+    }
+
+    #[test]
+    fn estimates_track_truth_after_deletions() {
+        let p = params(3, 400);
+        let ups = churny_updates(3, 2_000, 2); // half of everything deleted
+        let dyn_stream = VecDynamicStream::new(3, ups);
+        let s = DynamicSketch::from_stream(p, 17, &dyn_stream);
+        let sample = s.recover().expect("decodes");
+        let survivors = coverage_stream::surviving_stream(&dyn_stream);
+        let inst = coverage_stream::materialize(&survivors);
+        let family = vec![SetId(0), SetId(2)];
+        let truth = inst.coverage(&family) as f64;
+        let est = s.estimate_coverage(&sample, &family);
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "estimate {est} vs truth {truth}"
+        );
+        // Per-set supports via the KMV ℓ₀ machinery.
+        let supports = s.set_support_estimates(&sample);
+        assert_eq!(supports.len(), 3);
+        for (i, est) in supports.iter().enumerate() {
+            let true_support = inst.coverage(&[SetId(i as u32)]) as f64;
+            assert!(
+                (est - true_support).abs() / true_support < 0.3,
+                "set {i}: support estimate {est} vs truth {true_support}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_fixed_and_reported_as_aux_words() {
+        let p = params(4, 500);
+        let s = DynamicSketch::new(p, 1);
+        let r = s.space_report();
+        assert_eq!(r.peak_edges, 0);
+        assert_eq!(r.peak_aux_words, 4 * p.total_cells() as u64);
+        assert_eq!(r.passes, 1);
+        assert_eq!(s.ship_words(), 4 * p.total_cells() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a hash seed")]
+    fn merge_rejects_mismatched_seed() {
+        let p = params(2, 50);
+        let mut a = DynamicSketch::new(p, 1);
+        let b = DynamicSketch::new(p, 2);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share parameters")]
+    fn merge_rejects_mismatched_params() {
+        let mut a = DynamicSketch::new(params(2, 50), 1);
+        let b = DynamicSketch::new(params(2, 60), 1);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn insert_only_embedding_matches_edge_stream_pipeline() {
+        // Feeding an insertion-only stream through the dynamic sketch
+        // recovers exactly that stream's distinct edges.
+        let edges: Vec<Edge> = (0..150u64).map(|e| Edge::new((e % 5) as u32, e)).collect();
+        let base = VecStream::new(5, edges.clone());
+        let s = DynamicSketch::from_stream(params(5, 2_000), 3, &InsertOnly::new(&base));
+        let sample = s.recover().expect("level 0 decodes");
+        assert!(sample.is_exact());
+        let mut want = edges;
+        want.sort_unstable();
+        assert_eq!(sample.edges, want);
+    }
+}

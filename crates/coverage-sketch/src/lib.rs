@@ -33,12 +33,28 @@
 //! * [`estimate`] — inverse-probability coverage estimation
 //!   (`C(S) ≈ |Γ(H,S)|/p*`, Lemma 2.2) with its confidence envelope;
 //! * [`multi`] — a [`SketchBank`] feeding many sketches from one pass
-//!   (Algorithm 5 runs `log_{1+ε/3} n` guesses in parallel).
+//!   (Algorithm 5 runs `log_{1+ε/3} n` guesses in parallel);
+//! * [`dynamic`] — the **dynamic-stream** extension: an
+//!   ℓ₀-sampler-backed [`DynamicSketch`] over signed (insert/delete)
+//!   updates, linear in the net edge multiset so deletions exactly
+//!   cancel insertions and merges stay associative and commutative.
+//!
+//! ## Determinism contract
+//!
+//! Both sketch families are **composable**: sketches built on any
+//! partition of the input merge into the sketch of the whole input, and
+//! the merge result is independent of grouping, order, and batch size.
+//! For [`ThresholdSketch`] this holds at the level of retained elements
+//! (with the canonical min-set-id truncation making it exact even under
+//! a binding degree cap); for [`DynamicSketch`] it holds bit-for-bit
+//! (linear cells). `coverage-dist`'s parallel executors are built on —
+//! and property-tested against — exactly this contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod dynamic;
 pub mod estimate;
 pub mod fixed;
 pub mod lemmas;
@@ -48,6 +64,9 @@ pub mod serial;
 pub mod threshold;
 
 pub use ablation::{AblatedSketch, EvictionPolicy};
+pub use dynamic::{
+    DynamicCounters, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,
+};
 pub use estimate::{chernoff_envelope, estimate_from_sample};
 pub use fixed::{build_hp, build_hp_prime};
 pub use lemmas::{

@@ -1,0 +1,492 @@
+//! Signed (insert/delete) edge streams — the **dynamic** edge-arrival
+//! model.
+//!
+//! The paper's stream (Section 1.1) is insertion-only: membership edges
+//! `(S, u)` arrive and never leave. Dynamic streams generalize this to
+//! *signed* updates — an edge can be inserted and later deleted — the
+//! model of McGregor–Vu (arXiv:1610.06199, Section 5) and
+//! Chakrabarti–McGregor–Wirth (arXiv:2403.14087). Algorithms must answer
+//! for the **surviving** edge set: the edges whose net multiplicity is
+//! still 1 when the stream ends.
+//!
+//! ## The strict-turnstile contract
+//!
+//! Every stream fed to the dynamic algorithms must keep each edge's net
+//! multiplicity in `{0, 1}` at all times:
+//!
+//! * a [`Delete`](UpdateKind::Delete) may only remove an edge that is
+//!   currently present;
+//! * an [`Insert`](UpdateKind::Insert) may only add an edge that is
+//!   currently absent (re-inserting after a delete is fine).
+//!
+//! The linear sketches downstream (`coverage-sketch`'s dynamic sketch)
+//! rely on deletions exactly cancelling insertions; a violating stream
+//! corrupts them silently, so the harness-side
+//! [`validate_turnstile`] checker exists and the workload generators in
+//! `coverage-data` are tested against it.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use coverage_core::Edge;
+//! use coverage_stream::dynamic::{
+//!     surviving_edges, validate_turnstile, DynamicEdgeStream, SignedEdge, VecDynamicStream,
+//! };
+//!
+//! // Insert three edges, then delete one and re-insert another elsewhere.
+//! let stream = VecDynamicStream::new(
+//!     2,
+//!     vec![
+//!         SignedEdge::insert(Edge::new(0u32, 10u64)),
+//!         SignedEdge::insert(Edge::new(0u32, 11u64)),
+//!         SignedEdge::insert(Edge::new(1u32, 10u64)),
+//!         SignedEdge::delete(Edge::new(0u32, 11u64)), // 11 leaves S0
+//!         SignedEdge::insert(Edge::new(0u32, 11u64)), // …and comes back
+//!         SignedEdge::delete(Edge::new(1u32, 10u64)), // 10 leaves S1 for good
+//!     ],
+//! );
+//! assert!(validate_turnstile(&stream).is_ok());
+//!
+//! // Net bookkeeping: 4 inserts minus 2 deletes = 2 surviving edges.
+//! assert_eq!(stream.update_len_hint(), Some(6));
+//! assert_eq!(stream.net_len_hint(), Some(2));
+//!
+//! // The surviving edge set is what any dynamic algorithm must answer for.
+//! let survivors = surviving_edges(&stream);
+//! assert_eq!(
+//!     survivors,
+//!     vec![
+//!         Edge::new(0u32, 10u64),
+//!         Edge::new(0u32, 11u64), // kept: it was re-inserted after its delete
+//!     ]
+//! );
+//! ```
+
+use coverage_core::Edge;
+use coverage_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::source::{EdgeStream, VecStream};
+
+/// The sign of one dynamic-stream update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// The edge enters the graph (`+1` multiplicity).
+    Insert,
+    /// The edge leaves the graph (`−1` multiplicity).
+    Delete,
+}
+
+/// One signed membership update `(S, u, ±1)` — the unit of a dynamic
+/// edge stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedEdge {
+    /// The membership edge being inserted or deleted.
+    pub edge: Edge,
+    /// Whether this update adds or removes the edge.
+    pub kind: UpdateKind,
+}
+
+impl SignedEdge {
+    /// An insertion of `edge`.
+    #[inline]
+    pub fn insert(edge: Edge) -> Self {
+        SignedEdge {
+            edge,
+            kind: UpdateKind::Insert,
+        }
+    }
+
+    /// A deletion of `edge`.
+    #[inline]
+    pub fn delete(edge: Edge) -> Self {
+        SignedEdge {
+            edge,
+            kind: UpdateKind::Delete,
+        }
+    }
+
+    /// The update's multiplicity delta: `+1` for an insert, `−1` for a
+    /// delete. Linear sketches consume exactly this.
+    #[inline]
+    pub fn sign(&self) -> i64 {
+        match self.kind {
+            UpdateKind::Insert => 1,
+            UpdateKind::Delete => -1,
+        }
+    }
+}
+
+/// A replayable stream of signed edge updates — the dynamic counterpart
+/// of [`EdgeStream`].
+///
+/// Like its insertion-only sibling, a dynamic stream knows `n` (the
+/// number of sets) a priori, reveals elements update by update, and
+/// replays the identical sequence on every pass. The two length hints are
+/// deliberately separate: diagnostics that used to read
+/// [`EdgeStream::len_hint`] must choose between *events processed*
+/// ([`update_len_hint`](Self::update_len_hint), what throughput meters
+/// want) and *edges surviving* ([`net_len_hint`](Self::net_len_hint),
+/// what sizing heuristics want) — conflating them is exactly the
+/// monotone-count assumption this trait exists to break.
+pub trait DynamicEdgeStream {
+    /// Number of sets `n` in the family (known a priori).
+    fn num_sets(&self) -> usize;
+
+    /// Total update events per pass — inserts **plus** deletes — if
+    /// cheaply known (diagnostics only).
+    fn update_len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Net number of surviving edges — inserts **minus** deletes — if
+    /// cheaply known (diagnostics only; saturates at zero rather than
+    /// going negative on malformed streams).
+    fn net_len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Deliver every update, in this stream's fixed arrival order, to
+    /// `f`. Calling this again replays the identical sequence.
+    fn for_each_update(&self, f: &mut dyn FnMut(SignedEdge));
+
+    /// Deliver the stream as contiguous batches of at most `batch`
+    /// updates, in arrival order (the batched hot path, mirroring
+    /// [`EdgeStream::for_each_batch`]).
+    fn for_each_update_batch(&self, batch: usize, f: &mut dyn FnMut(&[SignedEdge])) {
+        let batch = batch.max(1);
+        let mut buf: Vec<SignedEdge> = Vec::with_capacity(batch);
+        self.for_each_update(&mut |u| {
+            buf.push(u);
+            if buf.len() == batch {
+                f(&buf);
+                buf.clear();
+            }
+        });
+        if !buf.is_empty() {
+            f(&buf);
+        }
+    }
+}
+
+/// A fully materialized dynamic stream (tests, generated workloads).
+#[derive(Clone, Debug)]
+pub struct VecDynamicStream {
+    num_sets: usize,
+    updates: Vec<SignedEdge>,
+    inserts: usize,
+    deletes: usize,
+}
+
+impl VecDynamicStream {
+    /// A stream over `updates` for a family of `num_sets` sets.
+    pub fn new(num_sets: usize, updates: Vec<SignedEdge>) -> Self {
+        let inserts = updates
+            .iter()
+            .filter(|u| u.kind == UpdateKind::Insert)
+            .count();
+        let deletes = updates.len() - inserts;
+        VecDynamicStream {
+            num_sets,
+            updates,
+            inserts,
+            deletes,
+        }
+    }
+
+    /// Borrow the underlying updates.
+    pub fn updates(&self) -> &[SignedEdge] {
+        &self.updates
+    }
+
+    /// Number of insert events.
+    pub fn num_inserts(&self) -> usize {
+        self.inserts
+    }
+
+    /// Number of delete events.
+    pub fn num_deletes(&self) -> usize {
+        self.deletes
+    }
+}
+
+impl DynamicEdgeStream for VecDynamicStream {
+    fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    fn update_len_hint(&self) -> Option<usize> {
+        Some(self.updates.len())
+    }
+
+    fn net_len_hint(&self) -> Option<usize> {
+        Some(self.inserts.saturating_sub(self.deletes))
+    }
+
+    fn for_each_update(&self, f: &mut dyn FnMut(SignedEdge)) {
+        for &u in &self.updates {
+            f(u);
+        }
+    }
+
+    /// Zero-copy override: batches are sub-slices of the stored updates.
+    fn for_each_update_batch(&self, batch: usize, f: &mut dyn FnMut(&[SignedEdge])) {
+        for chunk in self.updates.chunks(batch.max(1)) {
+            f(chunk);
+        }
+    }
+}
+
+/// View of an insertion-only [`EdgeStream`] as a dynamic stream whose
+/// every update is an [`Insert`](UpdateKind::Insert).
+///
+/// This is the bridge that lets the dynamic algorithms run on every
+/// existing workload: `dynamic(InsertOnly(s))` must agree with the
+/// insertion-only pipeline on `s` — the baseline identity the property
+/// tests pin down.
+pub struct InsertOnly<'a> {
+    inner: &'a dyn EdgeStream,
+}
+
+impl<'a> InsertOnly<'a> {
+    /// Wrap an insertion-only stream.
+    pub fn new(inner: &'a dyn EdgeStream) -> Self {
+        InsertOnly { inner }
+    }
+}
+
+impl DynamicEdgeStream for InsertOnly<'_> {
+    fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    fn update_len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn net_len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn for_each_update(&self, f: &mut dyn FnMut(SignedEdge)) {
+        self.inner.for_each(&mut |e| f(SignedEdge::insert(e)));
+    }
+}
+
+/// A strict-turnstile contract violation, reported by
+/// [`validate_turnstile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TurnstileViolation {
+    /// Zero-based position of the offending update in the stream.
+    pub position: usize,
+    /// The offending update.
+    pub update: SignedEdge,
+}
+
+impl std::fmt::Display for TurnstileViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.update.kind {
+            UpdateKind::Insert => write!(
+                f,
+                "update {}: insert of already-present edge {:?}",
+                self.position, self.update.edge
+            ),
+            UpdateKind::Delete => write!(
+                f,
+                "update {}: delete of absent edge {:?}",
+                self.position, self.update.edge
+            ),
+        }
+    }
+}
+
+/// Check the strict-turnstile contract: every delete removes a present
+/// edge, every insert adds an absent one. `O(|updates|)` harness-side
+/// memory — this is a validation tool, not something an algorithm may
+/// call.
+pub fn validate_turnstile(stream: &dyn DynamicEdgeStream) -> Result<(), TurnstileViolation> {
+    let mut present: FxHashMap<(u32, u64), bool> = FxHashMap::default();
+    let mut violation = None;
+    let mut pos = 0usize;
+    stream.for_each_update(&mut |u| {
+        if violation.is_some() {
+            return;
+        }
+        let key = (u.edge.set.0, u.edge.element.0);
+        let slot = present.entry(key).or_insert(false);
+        let ok = match u.kind {
+            UpdateKind::Insert => !*slot,
+            UpdateKind::Delete => *slot,
+        };
+        if ok {
+            *slot = u.kind == UpdateKind::Insert;
+        } else {
+            violation = Some(TurnstileViolation {
+                position: pos,
+                update: u,
+            });
+        }
+        pos += 1;
+    });
+    match violation {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// The surviving edge set of a dynamic stream: edges whose net
+/// multiplicity is 1 after the final update, ordered by the position of
+/// their **last** insertion. This is the ground truth every dynamic
+/// algorithm is judged against (harness/test helper — a streaming
+/// algorithm doing this would be cheating).
+pub fn surviving_edges(stream: &dyn DynamicEdgeStream) -> Vec<Edge> {
+    // count and last-insert position per edge.
+    let mut state: FxHashMap<(u32, u64), (i64, usize)> = FxHashMap::default();
+    let mut pos = 0usize;
+    stream.for_each_update(&mut |u| {
+        let entry = state
+            .entry((u.edge.set.0, u.edge.element.0))
+            .or_insert((0, 0));
+        entry.0 += u.sign();
+        if u.kind == UpdateKind::Insert {
+            entry.1 = pos;
+        }
+        pos += 1;
+    });
+    let mut alive: Vec<(usize, Edge)> = state
+        .into_iter()
+        .filter(|&(_, (count, _))| count > 0)
+        .map(|((s, e), (_, at))| (at, Edge::new(s, e)))
+        .collect();
+    alive.sort_unstable();
+    alive.into_iter().map(|(_, e)| e).collect()
+}
+
+/// [`surviving_edges`] packaged as an insertion-only [`VecStream`] — the
+/// input for "what would the insertion-only pipeline have done on the
+/// final graph" comparisons.
+pub fn surviving_stream(stream: &dyn DynamicEdgeStream) -> VecStream {
+    VecStream::new(stream.num_sets(), surviving_edges(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(s: u32, el: u64) -> Edge {
+        Edge::new(s, el)
+    }
+
+    fn sample() -> VecDynamicStream {
+        VecDynamicStream::new(
+            3,
+            vec![
+                SignedEdge::insert(e(0, 1)),
+                SignedEdge::insert(e(1, 1)),
+                SignedEdge::insert(e(0, 2)),
+                SignedEdge::delete(e(1, 1)),
+                SignedEdge::insert(e(2, 9)),
+                SignedEdge::delete(e(0, 2)),
+                SignedEdge::insert(e(0, 2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn hints_report_events_and_net_separately() {
+        let s = sample();
+        assert_eq!(s.update_len_hint(), Some(7));
+        assert_eq!(s.net_len_hint(), Some(3)); // 5 inserts − 2 deletes
+        assert_eq!(s.num_inserts(), 5);
+        assert_eq!(s.num_deletes(), 2);
+    }
+
+    #[test]
+    fn net_hint_saturates_on_malformed_streams() {
+        let s = VecDynamicStream::new(1, vec![SignedEdge::delete(e(0, 1))]);
+        assert_eq!(s.net_len_hint(), Some(0));
+    }
+
+    #[test]
+    fn surviving_edges_net_out_deletions() {
+        let survivors = surviving_edges(&sample());
+        assert_eq!(survivors, vec![e(0, 1), e(2, 9), e(0, 2)]);
+    }
+
+    #[test]
+    fn reinsertion_after_delete_survives_in_last_insert_order() {
+        // (0,2) was deleted and re-inserted last — it must appear, and at
+        // its re-insertion position.
+        let survivors = surviving_edges(&sample());
+        assert_eq!(survivors.last(), Some(&e(0, 2)));
+    }
+
+    #[test]
+    fn turnstile_accepts_well_formed_streams() {
+        assert!(validate_turnstile(&sample()).is_ok());
+    }
+
+    #[test]
+    fn turnstile_rejects_delete_of_absent_edge() {
+        let s = VecDynamicStream::new(
+            2,
+            vec![SignedEdge::insert(e(0, 1)), SignedEdge::delete(e(0, 2))],
+        );
+        let v = validate_turnstile(&s).unwrap_err();
+        assert_eq!(v.position, 1);
+        assert_eq!(v.update.kind, UpdateKind::Delete);
+        assert!(v.to_string().contains("absent"));
+    }
+
+    #[test]
+    fn turnstile_rejects_duplicate_insert() {
+        let s = VecDynamicStream::new(
+            2,
+            vec![SignedEdge::insert(e(0, 1)), SignedEdge::insert(e(0, 1))],
+        );
+        let v = validate_turnstile(&s).unwrap_err();
+        assert_eq!(v.position, 1);
+        assert!(v.to_string().contains("already-present"));
+    }
+
+    #[test]
+    fn insert_only_adapter_is_the_identity_embedding() {
+        let base = VecStream::new(2, vec![e(0, 1), e(1, 2), e(0, 3)]);
+        let dynamic = InsertOnly::new(&base);
+        assert_eq!(dynamic.num_sets(), 2);
+        assert_eq!(dynamic.update_len_hint(), Some(3));
+        assert_eq!(dynamic.net_len_hint(), Some(3));
+        let mut edges = Vec::new();
+        dynamic.for_each_update(&mut |u| {
+            assert_eq!(u.kind, UpdateKind::Insert);
+            assert_eq!(u.sign(), 1);
+            edges.push(u.edge);
+        });
+        assert_eq!(edges, base.edges());
+        assert_eq!(surviving_edges(&dynamic), base.edges());
+    }
+
+    #[test]
+    fn batched_replay_equals_per_update_replay() {
+        let s = sample();
+        let mut want = Vec::new();
+        s.for_each_update(&mut |u| want.push(u));
+        for batch in [1usize, 2, 3, 100] {
+            let mut got = Vec::new();
+            s.for_each_update_batch(batch, &mut |chunk| got.extend_from_slice(chunk));
+            assert_eq!(got, want, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn default_batching_on_trait_object_matches() {
+        // Exercise the trait's default for_each_update_batch (InsertOnly
+        // does not override it).
+        let base = VecStream::new(2, (0..23u64).map(|i| e((i % 2) as u32, i)).collect());
+        let dynamic = InsertOnly::new(&base);
+        let mut got = Vec::new();
+        dynamic.for_each_update_batch(4, &mut |chunk| got.extend_from_slice(chunk));
+        assert_eq!(got.len(), 23);
+        assert!(got.iter().all(|u| u.kind == UpdateKind::Insert));
+    }
+}

@@ -12,24 +12,35 @@
 //!   amortize dispatch) and its implementations ([`VecStream`] for
 //!   materialized streams, [`FnStream`] for generator-backed streams
 //!   that regenerate deterministically instead of storing edges);
+//! * [`dynamic`] — the **dynamic** (insert/delete) extension:
+//!   [`DynamicEdgeStream`] carries signed [`SignedEdge`] updates under a
+//!   strict-turnstile contract, with [`InsertOnly`] embedding every
+//!   insertion-only stream and [`surviving_edges`] computing the
+//!   post-deletion ground truth;
 //! * [`order`] — arrival-order policies (random, set-grouped = set-arrival
 //!   emulation, element-grouped, adversarial by descending hash);
 //! * [`meter`] — space accounting ([`SpaceReport`]) in the units the paper
-//!   uses (stored edges) plus auxiliary words and pass counts;
+//!   uses (stored edges) plus auxiliary words and pass counts; meters are
+//!   non-negative by construction even under deletion workloads;
 //! * [`stats`] — harness-side stream statistics.
 //!
-//! Streaming *algorithms* consume `&dyn EdgeStream` and report a
-//! [`SpaceReport`]; nothing in this crate lets an algorithm cheat by
-//! seeking or storing the stream.
+//! Streaming *algorithms* consume `&dyn EdgeStream` (or
+//! `&dyn DynamicEdgeStream`) and report a [`SpaceReport`]; nothing in
+//! this crate lets an algorithm cheat by seeking or storing the stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod meter;
 pub mod order;
 pub mod source;
 pub mod stats;
 
+pub use dynamic::{
+    surviving_edges, surviving_stream, validate_turnstile, DynamicEdgeStream, InsertOnly,
+    SignedEdge, TurnstileViolation, UpdateKind, VecDynamicStream,
+};
 pub use meter::{SpaceReport, SpaceTracker};
 pub use order::ArrivalOrder;
 pub use source::{materialize, EdgeStream, FnStream, VecStream};

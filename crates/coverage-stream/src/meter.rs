@@ -70,11 +70,16 @@ impl SpaceTracker {
         self.peak_edges = self.peak_edges.max(self.cur_edges);
     }
 
-    /// Record `d` edges released.
+    /// Record `d` edges released. Over-release is an accounting bug in
+    /// the caller — debug builds assert on it — but release builds
+    /// saturate at zero rather than wrap: a u64 underflow here would
+    /// permanently inflate the reported peak by ~2⁶⁴, corrupting every
+    /// space metric downstream (the monotone-count assumption deletion
+    /// workloads broke).
     #[inline]
     pub fn remove_edges(&mut self, d: u64) {
-        debug_assert!(self.cur_edges >= d, "edge meter underflow");
-        self.cur_edges -= d;
+        debug_assert!(self.cur_edges >= d, "edge meter over-release");
+        self.cur_edges = self.cur_edges.saturating_sub(d);
     }
 
     /// Record `d` more auxiliary words.
@@ -84,11 +89,13 @@ impl SpaceTracker {
         self.peak_aux = self.peak_aux.max(self.cur_aux);
     }
 
-    /// Record `d` auxiliary words released.
+    /// Record `d` auxiliary words released. Same contract as
+    /// [`remove_edges`](Self::remove_edges): debug-assert on
+    /// over-release, saturate instead of wrapping in release.
     #[inline]
     pub fn remove_aux(&mut self, d: u64) {
-        debug_assert!(self.cur_aux >= d, "aux meter underflow");
-        self.cur_aux -= d;
+        debug_assert!(self.cur_aux >= d, "aux meter over-release");
+        self.cur_aux = self.cur_aux.saturating_sub(d);
     }
 
     /// Currently stored edges.
@@ -119,6 +126,34 @@ mod tests {
         // current = 8, peak = 10
         assert_eq!(t.current_edges(), 8);
         assert_eq!(t.report(1).peak_edges, 10);
+    }
+
+    /// Release builds: over-release clamps at zero — a u64 wrap here
+    /// would report a ~2⁶⁴ peak forever after.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn over_release_saturates_instead_of_wrapping() {
+        let mut t = SpaceTracker::new();
+        t.add_edges(2);
+        t.remove_edges(5);
+        assert_eq!(t.current_edges(), 0);
+        t.add_edges(3);
+        assert_eq!(t.current_edges(), 3);
+        assert_eq!(t.report(1).peak_edges, 3);
+        t.add_aux(1);
+        t.remove_aux(10);
+        assert_eq!(t.report(1).peak_aux_words, 1);
+    }
+
+    /// Debug builds: over-release is caught loudly — it is always an
+    /// accounting bug in the caller.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "edge meter over-release")]
+    fn over_release_asserts_in_debug_builds() {
+        let mut t = SpaceTracker::new();
+        t.add_edges(2);
+        t.remove_edges(5);
     }
 
     #[test]

@@ -47,6 +47,10 @@ const USAGE: &str = "coverage — streaming coverage problems (SPAA'17 H<=n sket
 USAGE:
   coverage kcover    --n <sets> --m <elements> --k <k> [--budget B] [--eps E] [--workload W] [--seed S]
                      [--input FILE.sets]   # load an instance instead of generating one
+                     [--dynamic] [--pattern churn|window|adversarial] [--churn F]
+                     # --dynamic: run on a signed insert/delete stream (default
+                     #   pattern: churn with fraction F, default 0.3) and compare
+                     #   against the insertion-only run on the surviving edges
   coverage setcover  --n <sets> --m <elements> --kstar <k*> --lambda <L> [--budget B] [--eps E] [--seed S]
   coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
   coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--parallel T] [--budget B] [--seed S]
@@ -57,19 +61,26 @@ USAGE:
                      # offline solver comparison: greedy / local search / stochastic / parallel
   coverage lemmas    [--n N] [--m M] [--seed S]        # empirical Section 2 lemma checks
   coverage gen       --n <sets> --m <elements> [--workload W] [--seed S] [--format tsv|sets|json]
+                     [--deletions F]   # emit a signed churn stream as 3-column TSV
+                                       # (op +/-, set, element); F = churn fraction
 
 WORKLOADS: uniform (default) | zipf | planted | blogs
 DEFAULTS:  --eps 0.25  --budget 5000  --seed 42";
 
-/// Split `cmd flag-value pairs` into a command plus a flag map.
+/// Split `cmd flag-value pairs` into a command plus a flag map. A flag
+/// followed by another flag (or by nothing) is a bare boolean switch
+/// and maps to `"true"` — e.g. `kcover --dynamic`.
 fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     let (cmd, rest) = args.split_first()?;
     let mut flags = HashMap::new();
-    let mut it = rest.iter();
+    let mut it = rest.iter().peekable();
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?;
-        let val = it.next()?;
-        flags.insert(key.to_string(), val.clone());
+        let val = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("just peeked").clone(),
+            _ => "true".to_string(),
+        };
+        flags.insert(key.to_string(), val);
     }
     Some((cmd.clone(), flags))
 }
@@ -148,6 +159,23 @@ fn print_header(inst: &coverage_suite::core::CoverageInstance) {
 
 fn cmd_kcover(flags: &HashMap<String, String>) {
     let k: usize = require(flags, "k");
+    // The adversarial dynamic pattern constructs its own planted
+    // instance (the transient decoy inflation needs construction-time
+    // ground truth), so dispatch it before generating a base instance
+    // that would only be thrown away.
+    if flags.contains_key("dynamic")
+        && flags.get("pattern").map(String::as_str) == Some("adversarial")
+    {
+        if flags.contains_key("input") {
+            eprintln!(
+                "--pattern adversarial generates its own planted instance and \
+                 cannot run on --input; use --pattern churn or window"
+            );
+            exit(2);
+        }
+        cmd_kcover_dynamic(flags, k, None);
+        return;
+    }
     let (inst, opt) = match flags.get("input") {
         Some(path) => match coverage_suite::data::load_text(path) {
             Ok(inst) => (inst, None),
@@ -158,6 +186,10 @@ fn cmd_kcover(flags: &HashMap<String, String>) {
         },
         None => workload(flags, k),
     };
+    if flags.contains_key("dynamic") {
+        cmd_kcover_dynamic(flags, k, Some(&inst));
+        return;
+    }
     print_header(&inst);
     let seed: u64 = get(flags, "seed", 42);
     let eps: f64 = get(flags, "eps", 0.25);
@@ -184,6 +216,112 @@ fn cmd_kcover(flags: &HashMap<String, String>) {
         fmt_count(res.space.peak_edges),
     ]);
     t.row(vec!["passes".into(), res.space.passes.to_string()]);
+    println!("{}", t.render());
+}
+
+/// `kcover --dynamic`: build a signed insert/delete workload over the
+/// generated instance (`None` only for the adversarial pattern, which
+/// plants its own), run the dynamic pipeline, and compare its cover
+/// against the insertion-only run on the surviving edges — the paper's
+/// approximation story, judged on the graph the deletions leave behind.
+fn cmd_kcover_dynamic(
+    flags: &HashMap<String, String>,
+    k: usize,
+    inst: Option<&coverage_suite::core::CoverageInstance>,
+) {
+    use coverage_suite::data::{
+        adversarial_insert_delete, churn_workload, sliding_window_workload,
+    };
+    let seed: u64 = get(flags, "seed", 42);
+    let eps: f64 = get(flags, "eps", 0.25);
+    let budget: usize = get(flags, "budget", 5_000);
+    let churn: f64 = get(flags, "churn", 0.3);
+    if !(0.0..=1.0).contains(&churn) {
+        eprintln!("--churn must lie in [0,1], got {churn}");
+        exit(2);
+    }
+    let pattern = flags.get("pattern").map(String::as_str).unwrap_or("churn");
+    let (stream, surviving) = match pattern {
+        "churn" => {
+            let w = churn_workload(
+                inst.expect("churn pattern has a base instance"),
+                churn,
+                seed ^ 0xD11,
+            );
+            (w.stream, w.surviving)
+        }
+        "window" => {
+            let w = sliding_window_workload(
+                inst.expect("window pattern has a base instance"),
+                5,
+                2,
+                seed ^ 0xD12,
+            );
+            (w.stream, w.surviving)
+        }
+        "adversarial" => {
+            let n: usize = require(flags, "n");
+            let m: u64 = require(flags, "m");
+            let w = adversarial_insert_delete(n, m, k.max(1), (m / 20).max(4) as usize, seed);
+            (w.stream, w.planted.instance)
+        }
+        other => {
+            eprintln!("unknown pattern `{other}` (churn|window|adversarial)");
+            exit(2);
+        }
+    };
+    println!(
+        "dynamic stream: {} updates ({} inserts, {} deletes), {} surviving edges",
+        fmt_count(stream.updates().len() as u64),
+        fmt_count(stream.num_inserts() as u64),
+        fmt_count(stream.num_deletes() as u64),
+        fmt_count(surviving.num_edges() as u64)
+    );
+    let dyn_res = dynamic_k_cover(
+        &stream,
+        &DynamicKCoverConfig::new(k, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+    );
+    // The insertion-only reference on the surviving edge set.
+    let ins_res = k_cover_streaming(
+        &stream_of(&surviving, seed),
+        &KCoverConfig::new(k, eps, seed).with_sizing(SketchSizing::Budget(budget)),
+    );
+    let dyn_cov = surviving.coverage(&dyn_res.family);
+    let ins_cov = surviving.coverage(&ins_res.family).max(1);
+    let mut t = Table::new(
+        format!("dynamic k-cover ({pattern} pattern)"),
+        &["metric", "value"],
+    );
+    t.row(vec!["family".into(), format!("{:?}", dyn_res.family)]);
+    t.row(vec![
+        "covered (surviving)".into(),
+        fmt_count(dyn_cov as u64),
+    ]);
+    t.row(vec![
+        "insertion-only on survivors".into(),
+        fmt_count(ins_cov as u64),
+    ]);
+    t.row(vec![
+        "dynamic/insertion-only".into(),
+        fmt_f(dyn_cov as f64 / ins_cov as f64, 4),
+    ]);
+    t.row(vec![
+        "estimate".into(),
+        fmt_f(dyn_res.estimated_coverage, 1),
+    ]);
+    t.row(vec![
+        "sample level".into(),
+        dyn_res.sample_level.to_string(),
+    ]);
+    t.row(vec!["sampling p".into(), fmt_f(dyn_res.sampling_p, 6)]);
+    t.row(vec![
+        "recovered edges".into(),
+        fmt_count(dyn_res.recovered_edges as u64),
+    ]);
+    t.row(vec![
+        "space (words)".into(),
+        fmt_count(dyn_res.space.total_words()),
+    ]);
     println!("{}", t.render());
 }
 
@@ -333,6 +471,33 @@ fn cmd_gen(flags: &HashMap<String, String>) {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut lock = std::io::BufWriter::new(stdout.lock());
+    if let Some(frac) = flags.get("deletions") {
+        // Signed stream output: `op \t set \t element` per update.
+        let frac: f64 = frac.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --deletions: {frac}");
+            exit(2);
+        });
+        if !(0.0..=1.0).contains(&frac) {
+            eprintln!("--deletions must lie in [0,1], got {frac}");
+            exit(2);
+        }
+        if format != "tsv" {
+            eprintln!("--deletions only supports --format tsv (signed update stream)");
+            exit(2);
+        }
+        let w = coverage_suite::data::churn_workload(&inst, frac, seed ^ 0xD11);
+        let ok = w.stream.updates().iter().all(|u| {
+            let op = match u.kind {
+                coverage_suite::stream::UpdateKind::Insert => '+',
+                coverage_suite::stream::UpdateKind::Delete => '-',
+            };
+            writeln!(lock, "{op}\t{}\t{}", u.edge.set.0, u.edge.element.0).is_ok()
+        });
+        if !ok {
+            exit(1);
+        }
+        return;
+    }
     let ok = match format {
         "tsv" => {
             let stream = stream_of(&inst, seed);

@@ -12,11 +12,16 @@
 //! |---|---|
 //! | [`core`] | instances, coverage function, offline greedy/exact solvers |
 //! | [`hash`] | seeded uniform hashing, KMV/LogLog distinct counters |
-//! | [`stream`] | edge-arrival streams, arrival orders, space metering |
-//! | [`sketch`] | the paper's `H≤n` sketch (`Hp`, `H'p`, threshold sketch) |
-//! | [`algs`] | Algorithms 3–6 + baselines (Saha–Getoor, Sieve, ℓ₀) |
+//! | [`stream`] | edge-arrival streams (insertion-only + signed dynamic), arrival orders, space metering |
+//! | [`sketch`] | the paper's `H≤n` sketch (`Hp`, `H'p`, threshold sketch) + the dynamic linear sketch |
+//! | [`algs`] | Algorithms 3–6 (+ dynamic k-cover) + baselines (Saha–Getoor, Sieve, ℓ₀) |
 //! | [`lb`] | hardness artifacts (k-purification, noisy oracle, DISJ) |
-//! | [`data`] | synthetic workload generators |
+//! | [`data`] | synthetic workload generators (incl. deletion workloads) |
+//! | [`dist`] | distributed executors: sharding, generic tree reduce, parallel + dynamic runners |
+//!
+//! The paper-to-code map in `docs/PAPER_MAP.md` locates every paper
+//! artifact (algorithms, lemma checks, lower bounds, the dynamic
+//! extension) in the source tree.
 //!
 //! ## Quickstart
 //!
@@ -57,9 +62,10 @@ pub mod prelude {
         L0Config, MvConfig,
     };
     pub use coverage_algs::{
-        apply_prune, k_cover_streaming, prune_near_duplicates, set_cover_multipass,
-        set_cover_outliers, KCoverConfig, KCoverResult, MultiPassConfig, MultiPassResult,
-        OutlierConfig, OutlierResult, PruneResult,
+        apply_prune, dynamic_k_cover, k_cover_streaming, prune_near_duplicates,
+        set_cover_multipass, set_cover_outliers, DynamicKCoverConfig, DynamicKCoverResult,
+        KCoverConfig, KCoverResult, MultiPassConfig, MultiPassResult, OutlierConfig, OutlierResult,
+        PruneResult,
     };
     pub use coverage_core::offline::{
         exact_k_cover, exact_set_cover, exact_weighted_k_cover, greedy_k_cover,
@@ -71,17 +77,23 @@ pub mod prelude {
         CoverageInstance, CoverageOracle, Edge, ElementId, InstanceBuilder, SetId,
     };
     pub use coverage_data::{
-        disjoint_blocks, greedy_trap, planted_k_cover, planted_set_cover, preferential_attachment,
-        uniform_instance, zipf_instance, BlockModel, InstanceMeta,
+        adversarial_insert_delete, churn_workload, disjoint_blocks, greedy_trap, planted_k_cover,
+        planted_set_cover, preferential_attachment, sliding_window_workload, uniform_instance,
+        zipf_instance, BlockModel, DynamicWorkload, InstanceMeta, PlantedDynamicWorkload,
     };
     pub use coverage_dist::{
-        distributed_k_cover, distributed_k_cover_serial, partition_edges, tree_reduce, DistConfig,
-        DistResult, ParallelResult, ParallelRunner, ShipFormat,
+        distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover,
+        partition_edges, partition_updates, tree_reduce, DistConfig, DistResult, DynDistResult,
+        DynamicParallelResult, ParallelResult, ParallelRunner, ShipFormat,
     };
     pub use coverage_sketch::{
-        AblatedSketch, EvictionPolicy, SketchParams, SketchSizing, SketchSnapshot, ThresholdSketch,
+        AblatedSketch, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,
+        EvictionPolicy, SketchParams, SketchSizing, SketchSnapshot, ThresholdSketch,
     };
-    pub use coverage_stream::{ArrivalOrder, EdgeStream, SpaceReport, VecStream};
+    pub use coverage_stream::{
+        surviving_edges, surviving_stream, validate_turnstile, ArrivalOrder, DynamicEdgeStream,
+        EdgeStream, InsertOnly, SignedEdge, SpaceReport, UpdateKind, VecDynamicStream, VecStream,
+    };
 }
 
 #[cfg(test)]

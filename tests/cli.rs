@@ -159,6 +159,101 @@ fn dist_family_matches_machine_count_one() {
 }
 
 #[test]
+fn kcover_dynamic_stays_within_the_approximation_bound() {
+    // Deterministic acceptance check: on a churn workload the dynamic
+    // cover's value must be within the paper's (1 − 1/e − ε) bound of
+    // the insertion-only run on the surviving edge set. Fixed seed, so
+    // the printed ratio is reproducible run to run.
+    let (stdout, _, ok) = run(&[
+        "kcover",
+        "--n",
+        "50",
+        "--m",
+        "2000",
+        "--k",
+        "4",
+        "--budget",
+        "3000",
+        "--workload",
+        "planted",
+        "--dynamic",
+        "--churn",
+        "0.4",
+    ]);
+    assert!(ok, "dynamic kcover failed: {stdout}");
+    assert!(stdout.contains("dynamic k-cover (churn pattern)"));
+    assert!(stdout.contains("sample level"));
+    let ratio: f64 = stdout
+        .lines()
+        .find(|l| l.contains("dynamic/insertion-only"))
+        .and_then(|l| l.split_whitespace().last())
+        .expect("ratio row")
+        .parse()
+        .expect("ratio parses");
+    let eps = 0.25; // the CLI default
+    let bound = 1.0 - 1.0 / std::f64::consts::E - eps;
+    assert!(
+        ratio >= bound,
+        "dynamic/insertion-only ratio {ratio} below paper bound {bound}"
+    );
+}
+
+#[test]
+fn kcover_dynamic_adversarial_pattern_runs() {
+    let (stdout, _, ok) = run(&[
+        "kcover",
+        "--n",
+        "30",
+        "--m",
+        "1000",
+        "--k",
+        "3",
+        "--dynamic",
+        "--pattern",
+        "adversarial",
+    ]);
+    assert!(ok, "adversarial dynamic kcover failed: {stdout}");
+    assert!(stdout.contains("adversarial pattern"));
+    assert!(stdout.contains("deletes"));
+}
+
+#[test]
+fn gen_deletions_emits_signed_tsv() {
+    let (tsv, _, ok) = run(&["gen", "--n", "5", "--m", "100", "--deletions", "0.5"]);
+    assert!(ok);
+    let mut inserts = 0usize;
+    let mut deletes = 0usize;
+    for line in tsv.lines() {
+        let mut cols = line.split('\t');
+        let op = cols.next().expect("op column");
+        assert!(op == "+" || op == "-", "bad op column: {line}");
+        assert_eq!(cols.count(), 2, "expected 3 columns: {line}");
+        if op == "+" {
+            inserts += 1;
+        } else {
+            deletes += 1;
+        }
+    }
+    assert!(inserts > 0 && deletes > 0, "churn must emit both signs");
+    assert!(inserts > deletes, "net size must stay positive");
+
+    // Non-TSV formats cannot carry signs.
+    let (_, stderr, ok) = run(&[
+        "gen",
+        "--n",
+        "5",
+        "--m",
+        "50",
+        "--deletions",
+        "0.5",
+        "--format",
+        "json",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("only supports --format tsv"));
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let (_, stderr, ok) = run(&["frobnicate"]);
     assert!(!ok);
