@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks for the flat ingestion engine vs the
+//! map-backed reference — the per-update costs ISSUE 4 removes: the
+//! second key hash of the map probe, the per-element `Vec` allocation,
+//! the `binary_search` + `insert` memmove, and (on the bank path)
+//! per-sketch re-hashing of the one global `h`.
+//!
+//! The CI-gated numbers live in `bench_smoke` (`BENCH_4.json`); these
+//! benches exist for local iteration on the hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coverage_data::stream_uniform;
+use coverage_sketch::{ReferenceSketch, SketchBank, SketchParams, ThresholdSketch};
+use coverage_stream::EdgeStream;
+
+const BATCH: usize = 4096;
+
+/// Single sketch: flat engine (batched) vs reference (per-edge map path).
+fn bench_single_engine(c: &mut Criterion) {
+    let n = 400;
+    let edges_per_set = 500;
+    let total = (n * edges_per_set) as u64;
+    let stream = stream_uniform(n, 500_000, edges_per_set, 11);
+    let params = SketchParams::with_budget(n, 8, 0.25, 5_000);
+    let mut group = c.benchmark_group("ingest_single");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function(BenchmarkId::new("engine", "flat"), |b| {
+        b.iter(|| {
+            let mut s = ThresholdSketch::new(params, 7);
+            s.consume_batched(&stream, BATCH);
+            black_box(s.edges_stored())
+        });
+    });
+    group.bench_function(BenchmarkId::new("engine", "reference"), |b| {
+        b.iter(|| {
+            let mut s = ReferenceSketch::new(params, 7);
+            s.consume(&stream);
+            black_box(s.edges_stored())
+        });
+    });
+    group.finish();
+}
+
+/// Full bank: shared-hash flat path vs a vector of reference sketches
+/// each hashing and scanning every edge itself.
+fn bench_bank_engine(c: &mut Criterion) {
+    let n = 200;
+    let edges_per_set = 800;
+    let total = (n * edges_per_set) as u64;
+    let stream = stream_uniform(n, 200_000, edges_per_set, 3);
+    let guesses: Vec<SketchParams> = (0..6)
+        .map(|g| SketchParams::with_budget(n, 1 << g, 0.3, 1_500 + 500 * g))
+        .collect();
+    let mut group = c.benchmark_group("ingest_bank");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function(BenchmarkId::new("engine", "flat_shared_hash"), |b| {
+        b.iter(|| {
+            let mut bank = SketchBank::new(guesses.iter().copied(), 7);
+            bank.consume_batched(&stream, BATCH);
+            black_box(bank.len())
+        });
+    });
+    group.bench_function(BenchmarkId::new("engine", "reference"), |b| {
+        b.iter(|| {
+            let mut bank: Vec<ReferenceSketch> = guesses
+                .iter()
+                .map(|&p| ReferenceSketch::new(p, 7))
+                .collect();
+            stream.for_each_batch(BATCH, &mut |chunk| {
+                for s in &mut bank {
+                    s.update_batch(chunk);
+                }
+            });
+            black_box(bank.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_engine, bench_bank_engine);
+criterion_main!(benches);

@@ -29,8 +29,23 @@
 //! * records both wall clocks so the dynamic premium (linear cells ×
 //!   log m levels vs one threshold sketch) is tracked run to run.
 //!
-//! Usage: `bench_smoke [bench2.json [bench3.json]]` (defaults
-//! `BENCH_2.json` / `BENCH_3.json` in the current directory).
+//! A third case exercises the **flat ingestion engine** on the
+//! `SketchBank` hot path (every edge through every Algorithm 5 guess)
+//! and writes `BENCH_4.json`:
+//!
+//! * **fails (exit 1)** if the flat bank's retained content diverges,
+//!   on any guess, from a bank of map-backed [`ReferenceSketch`]es —
+//!   the engine-equivalence contract;
+//! * **fails (exit 1)** if the flat bank's single-thread ingest
+//!   throughput is below **1.5×** the reference bank's — the flat-engine
+//!   perf gate (shared hashing + bank-wide bound pre-filter + arena
+//!   storage must actually pay);
+//! * records single-sketch flat/reference throughput and the parallel
+//!   runner's bank build for run-to-run comparison.
+//!
+//! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json]]]`
+//! (defaults `BENCH_2.json` / `BENCH_3.json` / `BENCH_4.json` in the
+//! current directory).
 
 use std::process::exit;
 use std::time::Instant;
@@ -40,8 +55,8 @@ use coverage_data::{churn_workload, planted_k_cover};
 use coverage_dist::{
     distributed_k_cover_serial, dynamic_distributed_k_cover, DistConfig, ParallelRunner,
 };
-use coverage_sketch::SketchSizing;
-use coverage_stream::{ArrivalOrder, VecStream};
+use coverage_sketch::{ReferenceSketch, SketchBank, SketchParams, SketchSizing, ThresholdSketch};
+use coverage_stream::{ArrivalOrder, EdgeStream, VecStream};
 use serde::Serialize;
 
 /// Machines to simulate; deliberately larger than `THREADS` so the
@@ -161,6 +176,122 @@ fn dynamic_smoke(planted: &coverage_core::CoverageInstance) -> (DynamicSmokeReco
     (record, families_match && accuracy_ratio >= accuracy_bound)
 }
 
+/// One engine's timing on the ingest workload.
+#[derive(Serialize)]
+struct IngestRecord {
+    wall_ms: f64,
+    edges_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct IngestSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    stream_edges: usize,
+    guesses: usize,
+    batch: usize,
+    /// Flat engine, full bank, shared-hash batched path (the gated number).
+    flat_bank: IngestRecord,
+    /// Map-backed reference bank: per-sketch hashing, per-edge updates.
+    reference_bank: IngestRecord,
+    /// Flat engine, one sketch, batched path.
+    flat_single: IngestRecord,
+    /// Map-backed reference, one sketch.
+    reference_single: IngestRecord,
+    /// Parallel runner building the same bank (informational).
+    parallel_bank_wall_ms: f64,
+    bank_speedup: f64,
+    single_speedup: f64,
+    contents_match: bool,
+}
+
+/// The flat-engine ingest smoke case (→ `BENCH_4.json`): same planted
+/// instance, pushed through an Algorithm 5-style geometric guess bank
+/// with both ingestion engines. Returns the record and whether both
+/// gates (content equivalence, ≥1.5× bank speedup) hold.
+fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool) {
+    const SEED: u64 = 77;
+    const BATCH: usize = 4096;
+    let n = stream.num_sets();
+    // Geometric k' guesses (Algorithm 5's ladder: one sketch per guess,
+    // all fed in the same pass), each with its own degree cap and
+    // budget — the realistic bank shape for one pass.
+    let guesses: Vec<SketchParams> = (0..8)
+        .map(|g| SketchParams::with_budget(n, 1 << g, 0.3, 2_000 + 600 * g))
+        .collect();
+    let edges = stream.len_hint().expect("materialized stream");
+
+    let (flat_bank, flat_ms) = best_of(REPS, || {
+        let mut bank = SketchBank::new(guesses.iter().copied(), SEED);
+        bank.consume_batched(stream, BATCH);
+        bank
+    });
+    let (ref_bank, ref_ms) = best_of(REPS, || {
+        let mut bank: Vec<ReferenceSketch> = guesses
+            .iter()
+            .map(|&p| ReferenceSketch::new(p, SEED))
+            .collect();
+        // Sketch-major over each batch — exactly the retired
+        // `SketchBank::update_batch` behavior.
+        stream.for_each_batch(BATCH, &mut |chunk| {
+            for s in &mut bank {
+                s.update_batch(chunk);
+            }
+        });
+        bank
+    });
+    let (_, flat_single_ms) = best_of(REPS, || {
+        let mut s = ThresholdSketch::new(guesses[3], SEED);
+        s.consume_batched(stream, BATCH);
+        s.edges_stored()
+    });
+    let (_, ref_single_ms) = best_of(REPS, || {
+        let mut s = ReferenceSketch::new(guesses[3], SEED);
+        s.consume(stream);
+        s.edges_stored()
+    });
+    let cfg = DistConfig::new(MACHINES, 6, 0.3, SEED);
+    let runner = ParallelRunner::new(cfg, THREADS);
+    let (_, par_ms) = best_of(REPS, || runner.build_bank(&guesses, stream).len());
+
+    let contents_match = flat_bank.sketches().iter().zip(&ref_bank).all(|(f, r)| {
+        f.acceptance_bound() == r.acceptance_bound()
+            && f.counters() == r.counters()
+            && f.canonical_content() == r.canonical_content()
+    });
+    let eps = |ms: f64| edges as f64 / (ms / 1e3).max(1e-9);
+    let bank_speedup = ref_ms / flat_ms.max(1e-9);
+    let single_speedup = ref_single_ms / flat_single_ms.max(1e-9);
+    let record = IngestSmokeRecord {
+        bench: "BENCH_4",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6), 8-guess bank",
+        stream_edges: edges,
+        guesses: guesses.len(),
+        batch: BATCH,
+        flat_bank: IngestRecord {
+            wall_ms: flat_ms,
+            edges_per_sec: eps(flat_ms),
+        },
+        reference_bank: IngestRecord {
+            wall_ms: ref_ms,
+            edges_per_sec: eps(ref_ms),
+        },
+        flat_single: IngestRecord {
+            wall_ms: flat_single_ms,
+            edges_per_sec: eps(flat_single_ms),
+        },
+        reference_single: IngestRecord {
+            wall_ms: ref_single_ms,
+            edges_per_sec: eps(ref_single_ms),
+        },
+        parallel_bank_wall_ms: par_ms,
+        bank_speedup,
+        single_speedup,
+        contents_match,
+    };
+    (record, contents_match && bank_speedup >= 1.5)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -168,6 +299,9 @@ fn main() {
     let dyn_out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_3.json".to_string());
+    let ingest_out_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -248,6 +382,24 @@ fn main() {
         dyn_record.accuracy_bound,
     );
 
+    // --- Flat ingestion-engine smoke case → BENCH_4.json. ---
+    let (ingest_record, ingest_ok) = ingest_smoke(&stream);
+    let ingest_json = serde_json::to_string_pretty(&ingest_record).expect("render json");
+    if let Err(e) = std::fs::write(&ingest_out_path, &ingest_json) {
+        eprintln!("bench_smoke: cannot write {ingest_out_path}: {e}");
+        exit(1);
+    }
+    println!("{ingest_json}");
+    println!(
+        "\nbench_smoke: bank ingest flat {:.1} ms vs reference {:.1} ms → {:.2}x \
+         ({:.1}M edges/s flat); single sketch {:.2}x",
+        ingest_record.flat_bank.wall_ms,
+        ingest_record.reference_bank.wall_ms,
+        ingest_record.bank_speedup,
+        ingest_record.flat_bank.edges_per_sec / 1e6,
+        ingest_record.single_speedup,
+    );
+
     if !families_match {
         eprintln!(
             "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
@@ -277,8 +429,23 @@ fn main() {
         );
         exit(1);
     }
+    if !ingest_record.contents_match {
+        eprintln!(
+            "bench_smoke: FAIL — flat ingestion engine's retained content diverged \
+             from the map-backed reference bank (engine-equivalence contract broken)"
+        );
+        exit(1);
+    }
+    if !ingest_ok {
+        eprintln!(
+            "bench_smoke: FAIL — flat bank ingest speedup {:.2}x fell below the \
+             1.5x gate vs the map-backed reference engine",
+            ingest_record.bank_speedup
+        );
+        exit(1);
+    }
     println!(
         "bench_smoke: OK — families identical, parallel faster, dynamic within the \
-         approximation bound"
+         approximation bound, flat ingest engine ≥1.5x over the reference"
     );
 }

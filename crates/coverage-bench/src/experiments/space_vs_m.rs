@@ -110,14 +110,27 @@ mod tests {
         let out = super::run();
         let rows = out.json.as_array().unwrap();
         let first = &rows[0];
+        let second = &rows[1];
         let last = &rows[rows.len() - 1];
         let sk_growth = last["sketch_words"].as_u64().unwrap() as f64
             / first["sketch_words"].as_u64().unwrap() as f64;
+        // Once capacity has saturated (from the second m on), the sketch
+        // footprint must be essentially flat across a 10x sweep of m.
+        let sk_tail_growth = last["sketch_words"].as_u64().unwrap() as f64
+            / second["sketch_words"].as_u64().unwrap() as f64;
         let sg_growth = last["saha_getoor_words"].as_u64().unwrap() as f64
             / first["saha_getoor_words"].as_u64().unwrap() as f64;
         let all_growth = last["store_all_words"].as_u64().unwrap() as f64
             / first["store_all_words"].as_u64().unwrap() as f64;
-        assert!(sk_growth < 1.3, "sketch grew {sk_growth}x with m");
+        assert!(
+            sk_tail_growth < 1.1,
+            "saturated sketch grew {sk_tail_growth}x with m"
+        );
+        // The smallest m may catch the flat store's power-of-two table /
+        // column capacities one doubling short of their saturated size
+        // (space reports count *capacity*, so quantization shows); allow
+        // that one warm-up step, nothing resembling growth in m.
+        assert!(sk_growth < 1.5, "sketch grew {sk_growth}x with m");
         assert!(
             sg_growth > 20.0,
             "Saha-Getoor should grow with m: {sg_growth}x"

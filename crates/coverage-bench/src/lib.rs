@@ -25,6 +25,14 @@
 //! | D2 | `exp_dynamic` | dynamic (insert/delete) vs insertion-only |
 //!
 //! `run_all` executes everything in sequence.
+//!
+//! Separately from the experiment index, `bench_smoke` is the CI gate
+//! binary: it emits `BENCH_2.json` (parallel vs sequential executor),
+//! `BENCH_3.json` (dynamic pipeline determinism + accuracy), and
+//! `BENCH_4.json` (flat vs map-backed ingestion engine: retained-content
+//! equivalence plus a ≥1.5× bank-throughput gate), exiting non-zero when
+//! any gate fails. The criterion ingest comparison lives in
+//! `benches/bench_ingest.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -39,6 +39,23 @@ impl UnitHash {
         mix64(key ^ self.seed)
     }
 
+    /// Hash a batch of keys, appending one hash per key to `out` —
+    /// the batched form of [`hash`](Self::hash).
+    ///
+    /// The sketch bank's shared-hash ingestion path hashes whole edge
+    /// batches through this before touching any per-sketch state: a
+    /// straight-line loop lets the mixer pipeline across iterations
+    /// instead of alternating with branchy table probes, and — more
+    /// importantly — lets *one* hash pass serve every sketch sharing
+    /// the seed (the paper's single global `h` of Algorithm 1). Taking
+    /// any key iterator lets callers hash directly out of their edge
+    /// batches with no intermediate key buffer.
+    #[inline]
+    pub fn hash_batch(&self, keys: impl IntoIterator<Item = u64>, out: &mut Vec<u64>) {
+        let seed = self.seed;
+        out.extend(keys.into_iter().map(|k| mix64(k ^ seed)));
+    }
+
     /// The hash as an `f64` in `[0,1)` — reporting/diagnostics only.
     #[inline]
     pub fn hash_unit_f64(&self, key: u64) -> f64 {
@@ -84,6 +101,19 @@ mod tests {
         let c = UnitHash::new(2);
         assert_eq!(a.hash(42), b.hash(42));
         assert_ne!(a.hash(42), c.hash(42));
+    }
+
+    #[test]
+    fn hash_batch_matches_scalar_hash() {
+        let h = UnitHash::new(41);
+        let keys: Vec<u64> = (0..257u64).map(|k| k.wrapping_mul(0x9E37_79B9)).collect();
+        let mut out = vec![0xDEAD]; // appended after existing content
+        h.hash_batch(keys.iter().copied(), &mut out);
+        assert_eq!(out.len(), keys.len() + 1);
+        assert_eq!(out[0], 0xDEAD);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(out[i + 1], h.hash(k), "key {k}");
+        }
     }
 
     #[test]

@@ -186,6 +186,28 @@ impl Cell {
     }
 }
 
+/// One signed update with every hash-derived quantity precomputed — the
+/// scratch unit of [`DynamicSketch::update_batch`]. Preparing a whole
+/// chunk first (straight-line mixer/fingerprint loops) and then applying
+/// cell writes **level-major** keeps one level's bank cache-resident
+/// across the chunk instead of striding through all admitted levels per
+/// update; since cell updates are wrapping additions, any application
+/// order produces bit-identical cells.
+#[derive(Clone, Copy, Debug)]
+struct PreparedUpdate {
+    sign: i64,
+    set: u64,
+    elem: u64,
+    check: u64,
+    /// Deepest admitting level (`≤ levels − 1 ≤ 47`, fits a byte).
+    max_level: u8,
+    /// Per-row cell slots (only the first `rows` entries meaningful).
+    slots: [u32; MAX_ROWS],
+}
+
+/// Updates prepared per scratch refill in the batched path.
+const PREPARE_CHUNK: usize = 2048;
+
 /// Streaming-side counters of a dynamic sketch (diagnostics).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynamicCounters {
@@ -233,6 +255,8 @@ pub struct DynamicSketch {
     salts: [u64; MAX_ROWS],
     counters: DynamicCounters,
     tracker: SpaceTracker,
+    /// Reused scratch for [`update_batch`](Self::update_batch).
+    scratch: Vec<PreparedUpdate>,
 }
 
 impl DynamicSketch {
@@ -264,6 +288,7 @@ impl DynamicSketch {
             salts,
             counters: DynamicCounters::default(),
             tracker,
+            scratch: Vec::new(),
         }
     }
 
@@ -331,10 +356,62 @@ impl DynamicSketch {
     }
 
     /// Process a contiguous batch of updates (the batched hot path).
+    ///
+    /// Semantically identical to per-update [`update`](Self::update):
+    /// the hash, fingerprint, and per-row slots of each update are
+    /// computed **once** into a reused scratch slice (instead of
+    /// interleaved with cell writes), and the cell writes are then
+    /// applied level-major so each level's bank is walked while hot in
+    /// cache. Wrapping additions commute exactly, so the resulting
+    /// cells are bit-identical to the per-update order — the linear
+    /// determinism contract is untouched.
     pub fn update_batch(&mut self, updates: &[SignedEdge]) {
-        for &u in updates {
-            self.update(u);
+        let (rows, row_len) = (self.params.rows, self.params.row_len);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for chunk in updates.chunks(PREPARE_CHUNK) {
+            scratch.clear();
+            let mut chunk_max = 0usize;
+            for &u in chunk {
+                let sign = u.sign();
+                if sign > 0 {
+                    self.counters.inserts += 1;
+                } else {
+                    self.counters.deletes += 1;
+                }
+                let set = u.edge.set.0 as u64;
+                let elem = u.edge.element.0;
+                let h = self.hash.hash(elem);
+                let check = self.fingerprint(set, elem);
+                let max_level = self.max_level(h);
+                chunk_max = chunk_max.max(max_level);
+                let wide = self.row_slots(check);
+                let mut slots = [0u32; MAX_ROWS];
+                for (s, &w) in slots.iter_mut().zip(&wide).take(rows) {
+                    *s = w as u32;
+                }
+                scratch.push(PreparedUpdate {
+                    sign,
+                    set,
+                    elem,
+                    check,
+                    max_level: max_level as u8,
+                    slots,
+                });
+            }
+            for level in 0..=chunk_max {
+                let base = level * rows * row_len;
+                for p in &scratch {
+                    if (p.max_level as usize) < level {
+                        continue;
+                    }
+                    for (row, &slot) in p.slots.iter().enumerate().take(rows) {
+                        self.cells[base + row * row_len + slot as usize]
+                            .apply(p.sign, p.set, p.elem, p.check);
+                    }
+                }
+            }
         }
+        self.scratch = scratch;
     }
 
     /// Feed an entire dynamic stream (one pass).
@@ -721,6 +798,27 @@ mod tests {
             (mean - truth).abs() / truth < 0.15,
             "mean scaled sample size {mean} vs truth {truth}"
         );
+    }
+
+    /// The level-major prepared batch path must produce bit-identical
+    /// cells to the per-update path for any batch size (wrapping adds
+    /// commute exactly — this pins the implementation to that fact).
+    #[test]
+    fn batched_updates_are_bit_identical_to_per_update() {
+        let p = params(5, 200);
+        let ups = churny_updates(5, 700, 3);
+        let mut per_update = DynamicSketch::new(p, 29);
+        for &u in &ups {
+            per_update.update(u);
+        }
+        for batch in [1usize, 7, 256, 100_000] {
+            let mut batched = DynamicSketch::new(p, 29);
+            for chunk in ups.chunks(batch) {
+                batched.update_batch(chunk);
+            }
+            assert_eq!(batched.cells, per_update.cells, "batch={batch}");
+            assert_eq!(batched.counters(), per_update.counters());
+        }
     }
 
     #[test]

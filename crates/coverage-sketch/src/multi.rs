@@ -6,17 +6,46 @@
 //! pass. [`SketchBank`] holds one [`ThresholdSketch`] per guess (each with
 //! its own degree cap and budget, all sharing the global element hash) and
 //! forwards each arriving edge to all of them.
+//!
+//! ## Shared-hash ingestion
+//!
+//! Because every sketch in the bank uses the *one* global `h` of
+//! Algorithm 1, hashing per sketch is pure waste. The batched path
+//! ([`update_batch`](SketchBank::update_batch)) therefore:
+//!
+//! 1. hashes each edge **once**, straight off the edge batch (via
+//!    [`UnitHash::hash_batch`](coverage_hash::UnitHash::hash_batch) —
+//!    no intermediate key buffer);
+//! 2. **pre-filters** against the bank-wide *maximum* acceptance bound —
+//!    an edge hashing above every guess's bound cannot enter any sketch,
+//!    so the whole bank charges it as one counter bump per sketch
+//!    instead of `len()` full update calls (on budget-saturated streams
+//!    this removes the vast majority of per-sketch work);
+//! 3. feeds every guess from the same pre-hashed slice, sketch-major,
+//!    so one sketch's table stays hot in cache across the chunk.
+//!
+//! Per-sketch counters remain exactly what the per-edge path would have
+//! produced (tested below): pre-filtered edges are provably
+//! `rejected_by_bound` for every guess, and everything else re-checks
+//! the guess's own bound inside the sketch.
 
 use coverage_core::Edge;
+use coverage_hash::UnitHash;
 use coverage_stream::{EdgeStream, SpaceReport};
 
 use crate::params::SketchParams;
-use crate::threshold::ThresholdSketch;
+use crate::threshold::{HashedEdge, ThresholdSketch, INGEST_CHUNK};
 
 /// Several `H≤n` sketches built simultaneously in one pass.
 #[derive(Clone, Debug)]
 pub struct SketchBank {
     sketches: Vec<ThresholdSketch>,
+    /// The shared element hash (identical in every sketch).
+    hash: UnitHash,
+    /// Reused scratch: the chunk's hashes (one mixer pass per chunk).
+    scratch_hashes: Vec<u64>,
+    /// Reused scratch: pre-filtered `(key, hash, set)` survivors.
+    scratch: Vec<HashedEdge>,
 }
 
 impl SketchBank {
@@ -28,6 +57,9 @@ impl SketchBank {
                 .into_iter()
                 .map(|p| ThresholdSketch::new(p, seed))
                 .collect(),
+            hash: UnitHash::new(seed),
+            scratch_hashes: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -41,20 +73,57 @@ impl SketchBank {
         self.sketches.is_empty()
     }
 
-    /// Forward one edge to every sketch.
+    /// Forward one edge to every sketch, hashing its element once for
+    /// the whole bank.
     pub fn update(&mut self, edge: Edge) {
+        let key = edge.element.0;
+        let h = self.hash.hash(key);
         for s in &mut self.sketches {
-            s.update(edge);
+            debug_assert_eq!(s.unit_hash(), self.hash);
+            s.update_hashed(key, h, edge.set.0);
         }
     }
 
-    /// Forward a contiguous batch of edges to every sketch. Iterating
-    /// sketch-major (each sketch scans the whole batch) keeps one
-    /// sketch's state hot in cache instead of touching every sketch per
-    /// edge.
+    /// Forward a contiguous batch of edges to every sketch through the
+    /// shared-hash path (module docs): one hash pass, one bank-wide
+    /// bound pre-filter, then sketch-major consumption of the pre-hashed
+    /// slice. Semantically identical to per-edge [`update`](Self::update)
+    /// — same retained content, same counters.
     pub fn update_batch(&mut self, edges: &[Edge]) {
-        for s in &mut self.sketches {
-            s.update_batch(edges);
+        if self.sketches.is_empty() {
+            return;
+        }
+        let hash = self.hash;
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            // One mixer pass for the whole bank, straight off the chunk.
+            self.scratch_hashes.clear();
+            hash.hash_batch(chunk.iter().map(|e| e.element.0), &mut self.scratch_hashes);
+            // Bank-wide pre-filter: bounds only ever decrease, so the
+            // chunk-start maximum over all guesses is a sound rejection
+            // test for the entire chunk.
+            let max_bound = self
+                .sketches
+                .iter()
+                .map(|s| s.acceptance_bound())
+                .max()
+                .expect("bank is non-empty");
+            self.scratch.clear();
+            let mut rejected = 0u64;
+            for (&e, &h) in chunk.iter().zip(&self.scratch_hashes) {
+                if h > max_bound {
+                    rejected += 1;
+                } else {
+                    self.scratch.push(HashedEdge {
+                        key: e.element.0,
+                        hash: h,
+                        set: e.set.0,
+                    });
+                }
+            }
+            for s in &mut self.sketches {
+                s.note_rejected_by_bound(rejected);
+                s.update_hashed_batch(&self.scratch);
+            }
         }
     }
 
@@ -149,6 +218,8 @@ mod tests {
             bank.sketches()[0].acceptance_bound(),
             solo1.acceptance_bound()
         );
+        assert_eq!(bank.sketches()[0].counters(), solo1.counters());
+        assert_eq!(bank.sketches()[1].counters(), solo2.counters());
     }
 
     #[test]
@@ -166,17 +237,54 @@ mod tests {
         assert_eq!(total.passes, 1);
     }
 
+    /// The shared-hash + pre-filter batch path must be observationally
+    /// identical to the per-edge path: same bounds, same stored edges,
+    /// same retained content, and — the delicate part — the exact same
+    /// per-sketch counters (pre-filtered edges are charged as
+    /// `rejected_by_bound` to every guess).
     #[test]
     fn batched_bank_matches_per_edge_bank() {
         let seed = 31;
         let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
         let p2 = SketchParams::with_budget(8, 4, 0.5, 120);
         let per_edge = SketchBank::from_stream([p1, p2], seed, &stream());
-        let mut batched = SketchBank::new([p1, p2], seed);
-        batched.consume_batched(&stream(), 37);
-        for (a, b) in per_edge.sketches().iter().zip(batched.sketches()) {
-            assert_eq!(a.acceptance_bound(), b.acceptance_bound());
-            assert_eq!(a.edges_stored(), b.edges_stored());
+        for batch in [1usize, 37, 10_000] {
+            let mut batched = SketchBank::new([p1, p2], seed);
+            batched.consume_batched(&stream(), batch);
+            for (a, b) in per_edge.sketches().iter().zip(batched.sketches()) {
+                assert_eq!(a.acceptance_bound(), b.acceptance_bound(), "batch={batch}");
+                assert_eq!(a.edges_stored(), b.edges_stored(), "batch={batch}");
+                assert_eq!(a.counters(), b.counters(), "batch={batch}");
+                assert_eq!(
+                    a.canonical_content(),
+                    b.canonical_content(),
+                    "batch={batch}"
+                );
+            }
+        }
+    }
+
+    /// The pre-filter must actually engage on saturated banks: once every
+    /// guess's bound has dropped, most arrivals die at the bank level
+    /// while per-sketch counters still record them.
+    #[test]
+    fn prefilter_accounts_all_arrivals() {
+        let seed = 9;
+        let p1 = SketchParams::with_budget(4, 2, 0.5, 20);
+        let p2 = SketchParams::with_budget(4, 2, 0.5, 40);
+        let mut edges = Vec::new();
+        for s in 0..4u32 {
+            for e in 0..2_000u64 {
+                edges.push(Edge::new(s, e));
+            }
+        }
+        let total = edges.len() as u64;
+        let mut bank = SketchBank::new([p1, p2], seed);
+        bank.update_batch(&edges);
+        for s in bank.sketches() {
+            let c = s.counters();
+            assert_eq!(c.arrivals, total, "every sketch sees every arrival");
+            assert!(c.rejected_by_bound > total / 2, "bound must saturate");
         }
     }
 
@@ -216,7 +324,8 @@ mod tests {
 
     #[test]
     fn empty_bank_is_fine() {
-        let bank = SketchBank::from_stream(std::iter::empty(), 1, &stream());
+        let mut bank = SketchBank::from_stream(std::iter::empty(), 1, &stream());
+        bank.update_batch(&[Edge::new(0u32, 1u64)]);
         assert!(bank.is_empty());
         assert_eq!(bank.space_report(), SpaceReport::default());
     }

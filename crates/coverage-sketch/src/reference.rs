@@ -1,0 +1,335 @@
+//! The retired map-backed `H≤n` engine, kept as the executable
+//! specification of the flat ingestion engine.
+//!
+//! [`ReferenceSketch`] is the original [`ThresholdSketch`] implementation
+//! verbatim: an `FxHashMap<u64, ElemEntry>` keyed by element, one
+//! heap-allocated sorted `Vec<u32>` of set ids per retained element, and
+//! `binary_search` + `Vec::insert` duplicate handling. It is *correct*
+//! and *slow* — every update pays a second key hash for the map probe, a
+//! pointer chase into the per-element `Vec`, and (in dedup mode) an
+//! `O(degree_cap)` memmove — which is exactly why it exists:
+//!
+//! * the **property tests** (`tests/flat_engine_equivalence.rs`) assert
+//!   the flat engine's retained `(element, hash, sets, truncated)`
+//!   content, counters, and acceptance bound are bit-identical to this
+//!   engine across generators × arrival orders × merge splits;
+//! * the **`bench_smoke` CI gate** (`BENCH_4.json`) requires the flat
+//!   bank-ingestion path to beat a bank of these by ≥ 1.5× while
+//!   producing identical retained content.
+//!
+//! Equivalence is testable forever: any future change to the flat engine
+//! must keep agreeing with this file, and this file should only ever
+//! change when the sketch's *semantics* (not its storage) change.
+//!
+//! [`ThresholdSketch`]: crate::ThresholdSketch
+
+use std::collections::BinaryHeap;
+
+use coverage_core::Edge;
+use coverage_hash::{FxHashMap, UnitHash};
+use coverage_stream::EdgeStream;
+
+use crate::params::SketchParams;
+use crate::threshold::{sorted_union_capped, SketchCounters};
+
+/// Per-element state of the reference engine.
+#[derive(Clone, Debug)]
+struct ElemEntry {
+    /// The element's 64-bit hash (fixed-point fraction of `[0,1)`).
+    hash: u64,
+    /// Sorted set ids of kept incident edges (≤ `degree_cap` of them).
+    sets: Vec<u32>,
+    /// Whether edges were dropped due to the degree cap.
+    truncated: bool,
+}
+
+/// The map-backed reference implementation of the streaming `H≤n`
+/// sketch — see the module docs for why it is retained.
+#[derive(Clone, Debug)]
+pub struct ReferenceSketch {
+    hash: UnitHash,
+    params: SketchParams,
+    entries: FxHashMap<u64, ElemEntry>,
+    /// Max-heap of `(hash, element_key)` for eviction.
+    heap: BinaryHeap<(u64, u64)>,
+    /// Acceptance bound: an element is admitted iff `hash ≤ bound`.
+    bound: u64,
+    edges_stored: usize,
+    counters: SketchCounters,
+}
+
+impl ReferenceSketch {
+    /// A fresh reference sketch; `seed` determines the element hash
+    /// function, exactly as for [`crate::ThresholdSketch::new`].
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        ReferenceSketch {
+            hash: UnitHash::new(seed),
+            params,
+            entries: FxHashMap::default(),
+            heap: BinaryHeap::new(),
+            bound: u64::MAX,
+            edges_stored: 0,
+            counters: SketchCounters::default(),
+        }
+    }
+
+    /// The parameters this sketch was built with.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Process one arriving edge (the original per-update path: hash,
+    /// map probe, sorted insert).
+    pub fn update(&mut self, edge: Edge) {
+        self.counters.arrivals += 1;
+        let key = edge.element.0;
+        let h = self.hash.hash(key);
+        if h > self.bound {
+            self.counters.rejected_by_bound += 1;
+            return;
+        }
+        let set = edge.set.0;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                if entry.sets.len() >= self.params.degree_cap {
+                    entry.truncated = true;
+                    self.counters.rejected_by_cap += 1;
+                    return;
+                }
+                if self.params.dedup {
+                    match entry.sets.binary_search(&set) {
+                        Ok(_) => {
+                            self.counters.duplicates += 1;
+                            return;
+                        }
+                        Err(pos) => entry.sets.insert(pos, set),
+                    }
+                } else {
+                    entry.sets.push(set);
+                }
+                self.edges_stored += 1;
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    ElemEntry {
+                        hash: h,
+                        sets: vec![set],
+                        truncated: false,
+                    },
+                );
+                self.heap.push((h, key));
+                self.edges_stored += 1;
+            }
+        }
+        while self.edges_stored > self.params.max_edges() {
+            self.evict_max();
+        }
+    }
+
+    /// Evict the largest-hash element and lower the acceptance bound.
+    fn evict_max(&mut self) {
+        let Some((h, key)) = self.heap.pop() else {
+            return;
+        };
+        let entry = self
+            .entries
+            .remove(&key)
+            .expect("heap entries always have live map entries");
+        debug_assert_eq!(entry.hash, h);
+        self.edges_stored -= entry.sets.len();
+        self.counters.evictions += 1;
+        self.bound = h.saturating_sub(1);
+    }
+
+    /// Process a contiguous batch of arriving edges (plain per-edge
+    /// loop — the reference has no shared-hash fast path; that is the
+    /// point of benchmarking against it).
+    pub fn update_batch(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.update(e);
+        }
+    }
+
+    /// Feed an entire stream (one pass).
+    pub fn consume(&mut self, stream: &dyn EdgeStream) {
+        stream.for_each(&mut |e| self.update(e));
+    }
+
+    /// Build the sketch from one pass over `stream`.
+    pub fn from_stream(params: SketchParams, seed: u64, stream: &dyn EdgeStream) -> Self {
+        let mut s = Self::new(params, seed);
+        s.consume(stream);
+        s
+    }
+
+    /// Number of stored edges.
+    pub fn edges_stored(&self) -> usize {
+        self.edges_stored
+    }
+
+    /// Number of retained elements.
+    pub fn elements_stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The current acceptance bound.
+    pub fn acceptance_bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Streaming-side diagnostics.
+    pub fn counters(&self) -> SketchCounters {
+        self.counters
+    }
+
+    /// Merge another reference sketch of the same parameters and seed —
+    /// the original merge, against which the flat engine's merge is
+    /// property-tested.
+    pub fn merge_from(&mut self, other: &ReferenceSketch) {
+        assert_eq!(
+            self.hash, other.hash,
+            "sketches must share a hash seed to merge"
+        );
+        assert_eq!(
+            self.params, other.params,
+            "sketches must share parameters to merge"
+        );
+        assert!(
+            self.params.dedup,
+            "merging requires dedup sketches (sorted per-element set lists)"
+        );
+        let bound = self.bound.min(other.bound);
+        if bound < self.bound {
+            let keys: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.hash > bound)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in keys {
+                let e = self.entries.remove(&k).expect("key just listed");
+                self.edges_stored -= e.sets.len();
+            }
+        }
+        self.bound = bound;
+        for (&key, oe) in &other.entries {
+            if oe.hash > bound {
+                continue;
+            }
+            match self.entries.get_mut(&key) {
+                Some(se) => {
+                    debug_assert_eq!(se.hash, oe.hash);
+                    let before = se.sets.len();
+                    let (merged, overflow) =
+                        sorted_union_capped(&se.sets, &oe.sets, self.params.degree_cap);
+                    let added = merged.len() - before;
+                    se.sets = merged;
+                    se.truncated |= oe.truncated | overflow;
+                    self.edges_stored += added;
+                }
+                None => {
+                    self.entries.insert(key, oe.clone());
+                    self.heap.push((oe.hash, key));
+                    self.edges_stored += oe.sets.len();
+                }
+            }
+        }
+        self.heap = self.entries.iter().map(|(&k, e)| (e.hash, k)).collect();
+        while self.edges_stored > self.params.max_edges() {
+            self.evict_max();
+        }
+        let o = other.counters;
+        self.counters.arrivals += o.arrivals;
+        self.counters.rejected_by_bound += o.rejected_by_bound;
+        self.counters.rejected_by_cap += o.rejected_by_cap;
+        self.counters.duplicates += o.duplicates;
+        self.counters.evictions += o.evictions;
+    }
+
+    /// The full retained content in canonical form — same currency as
+    /// [`ThresholdSketch::canonical_content`](crate::ThresholdSketch::canonical_content),
+    /// so the two engines compare with one `assert_eq!`.
+    pub fn canonical_content(&self) -> Vec<(u64, u64, Vec<u32>, bool)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(&k, e)| (k, e.hash, e.sets.clone(), e.truncated))
+            .collect();
+        v.sort_unstable_by_key(|&(k, _, _, _)| k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdSketch;
+    use coverage_stream::VecStream;
+
+    fn stream() -> VecStream {
+        let mut edges = Vec::new();
+        for s in 0..6u32 {
+            for e in 0..400u64 {
+                if !(e + s as u64).is_multiple_of(3) {
+                    edges.push(Edge::new(s, e * 31));
+                }
+            }
+        }
+        VecStream::new(6, edges)
+    }
+
+    /// The in-crate smoke version of the engine-equivalence contract
+    /// (the workspace property test covers generators × orders × merge
+    /// splits; this pins the basics close to both implementations).
+    #[test]
+    fn flat_engine_matches_reference_engine() {
+        let p = SketchParams::with_budget(6, 2, 0.5, 150);
+        for seed in [1u64, 7, 23] {
+            let flat = ThresholdSketch::from_stream(p, seed, &stream());
+            let reference = ReferenceSketch::from_stream(p, seed, &stream());
+            assert_eq!(flat.acceptance_bound(), reference.acceptance_bound());
+            assert_eq!(flat.edges_stored(), reference.edges_stored());
+            assert_eq!(flat.elements_stored(), reference.elements_stored());
+            assert_eq!(flat.counters(), reference.counters());
+            assert_eq!(flat.canonical_content(), reference.canonical_content());
+        }
+    }
+
+    #[test]
+    fn flat_merge_matches_reference_merge() {
+        let p = SketchParams::with_budget(6, 2, 0.5, 120);
+        let seed = 13;
+        let mut flat_parts: Vec<ThresholdSketch> =
+            (0..3).map(|_| ThresholdSketch::new(p, seed)).collect();
+        let mut ref_parts: Vec<ReferenceSketch> =
+            (0..3).map(|_| ReferenceSketch::new(p, seed)).collect();
+        let mut i = 0usize;
+        stream().for_each(&mut |e| {
+            flat_parts[i % 3].update(e);
+            ref_parts[i % 3].update(e);
+            i += 1;
+        });
+        let mut flat = flat_parts.remove(0);
+        for part in &flat_parts {
+            flat.merge_from(part);
+        }
+        let mut reference = ref_parts.remove(0);
+        for part in &ref_parts {
+            reference.merge_from(part);
+        }
+        assert_eq!(flat.canonical_content(), reference.canonical_content());
+        assert_eq!(flat.counters(), reference.counters());
+    }
+
+    #[test]
+    fn reference_dedup_and_cap_semantics() {
+        let p = SketchParams::with_budget(2, 2, 0.5, 100);
+        let mut s = ReferenceSketch::new(p, 5);
+        for _ in 0..10 {
+            s.update(Edge::new(0u32, 9u64));
+        }
+        assert_eq!(s.edges_stored(), 1);
+        assert_eq!(s.counters().duplicates, 9);
+    }
+}

@@ -55,7 +55,7 @@ impl SketchSnapshot {
             .map(|(key, hash, sets, truncated)| SnapshotEntry {
                 key,
                 hash,
-                sets: sets.to_vec(),
+                sets,
                 truncated,
             })
             .collect();
@@ -140,17 +140,7 @@ mod tests {
         assert_eq!(r.acceptance_bound(), s.acceptance_bound());
         assert_eq!(r.edges_stored(), s.edges_stored());
         assert_eq!(r.elements_stored(), s.elements_stored());
-        let mut a: Vec<_> = s
-            .retained_full()
-            .map(|(k, h, v, t)| (k, h, v.to_vec(), t))
-            .collect();
-        let mut b: Vec<_> = r
-            .retained_full()
-            .map(|(k, h, v, t)| (k, h, v.to_vec(), t))
-            .collect();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
+        assert_eq!(r.canonical_content(), s.canonical_content());
         assert_eq!(r.counters(), s.counters());
     }
 

@@ -22,25 +22,61 @@
 //! `p* = (bound+1)/2^64`. That invariant (checked by property tests) is
 //! what makes the sketch's content independent of arrival order, up to
 //! which `degree_cap` edges of a truncated element survive.
+//!
+//! ## The flat ingestion engine
+//!
+//! Storage is the flat struct-of-arrays store of `store.rs`: an
+//! open-addressing table addressed **directly by the element hash** (the
+//! one `h(u)` of Algorithm 1 — no second hash function is ever computed)
+//! over dense columns, with per-element set lists carved out of one
+//! pooled `u32` arena. A retained edge costs an append into the arena;
+//! an admitted element costs one table place plus one heap push; nothing
+//! on the per-update path allocates. Set lists are kept in **append
+//! order** and canonicalized (sorted) once at report/merge time —
+//! duplicate detection on arrival is a forward scan of a short
+//! contiguous block rather than the reference engine's
+//! `binary_search` + `Vec::insert` memmove.
+//!
+//! The retired map-backed implementation survives verbatim as
+//! [`crate::reference::ReferenceSketch`] — the executable specification
+//! this engine is property-tested bit-identical against (same retained
+//! `(element, hash, sets, truncated)` content, same counters, same
+//! acceptance bound, under every arrival order and merge shape).
+//!
+//! Batched ingestion enters through [`ThresholdSketch::update_batch`]
+//! (hash pass first, then a monomorphic probe loop) or, when several
+//! sketches share the seed, through
+//! [`SketchBank::update_batch`](crate::SketchBank::update_batch), which
+//! hashes each edge **once for the whole bank** and pre-filters against
+//! the bank-wide maximum acceptance bound before any sketch sees it.
 
 use std::collections::BinaryHeap;
 
 use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
-use coverage_hash::{FxHashMap, UnitHash};
+use coverage_hash::UnitHash;
 use coverage_stream::{EdgeStream, SpaceReport, SpaceTracker};
 
 use crate::params::SketchParams;
+use crate::store::FlatStore;
 
-/// Per-element sketch state.
-#[derive(Clone, Debug)]
-struct ElemEntry {
-    /// The element's 64-bit hash (fixed-point fraction of `[0,1)`).
-    hash: u64,
-    /// Sorted set ids of kept incident edges (≤ `degree_cap` of them).
-    sets: Vec<u32>,
-    /// Whether edges were dropped due to the degree cap.
-    truncated: bool,
+/// An edge whose element hash is already computed — the unit of work of
+/// the shared-hash ingestion paths. Produced once per arriving edge by
+/// [`ThresholdSketch::update_batch`] /
+/// [`SketchBank::update_batch`](crate::SketchBank::update_batch) and
+/// consumed by every sketch sharing the hash seed.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HashedEdge {
+    /// Original element key.
+    pub key: u64,
+    /// `h(key)` under the sketch's element hash.
+    pub hash: u64,
+    /// Incident set id.
+    pub set: u32,
 }
+
+/// Edges pre-hashed per scratch refill. Bounds scratch memory on huge
+/// batches while keeping the hash loop long enough to pipeline.
+pub(crate) const INGEST_CHUNK: usize = 4096;
 
 /// Streaming-side counters (diagnostics; surfaced by experiments).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -62,7 +98,7 @@ pub struct SketchCounters {
 pub struct ThresholdSketch {
     hash: UnitHash,
     params: SketchParams,
-    entries: FxHashMap<u64, ElemEntry>,
+    store: FlatStore,
     /// Max-heap of `(hash, element_key)` for eviction. Every admitted
     /// element is pushed exactly once; eviction pops are always valid
     /// because an evicted element can never be re-admitted (bound is
@@ -73,6 +109,8 @@ pub struct ThresholdSketch {
     edges_stored: usize,
     tracker: SpaceTracker,
     counters: SketchCounters,
+    /// Reused pre-hash scratch for [`update_batch`](Self::update_batch).
+    scratch: Vec<HashedEdge>,
 }
 
 impl ThresholdSketch {
@@ -80,15 +118,19 @@ impl ThresholdSketch {
     /// sketches that must agree on the sampled sub-universe (e.g. a bank
     /// built in the same pass) share a seed.
     pub fn new(params: SketchParams, seed: u64) -> Self {
+        let store = FlatStore::new();
+        let mut tracker = SpaceTracker::new();
+        tracker.set_aux_capacity(store.capacity_words());
         ThresholdSketch {
             hash: UnitHash::new(seed),
             params,
-            entries: FxHashMap::default(),
+            store,
             heap: BinaryHeap::new(),
             bound: u64::MAX,
             edges_stored: 0,
-            tracker: SpaceTracker::new(),
+            tracker,
             counters: SketchCounters::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -97,58 +139,78 @@ impl ThresholdSketch {
         &self.params
     }
 
-    /// Process one arriving edge. `Õ(1)` amortized: one hash, one map
+    /// The sketch's element hash function (bank plumbing: the shared
+    /// hash pass must use exactly this function).
+    pub(crate) fn unit_hash(&self) -> UnitHash {
+        self.hash
+    }
+
+    /// Process one arriving edge. `Õ(1)` amortized: one hash, one table
     /// probe, and amortized O(1) heap work (each element enters and leaves
     /// the heap at most once).
     pub fn update(&mut self, edge: Edge) {
-        self.counters.arrivals += 1;
         let key = edge.element.0;
         let h = self.hash.hash(key);
+        self.update_hashed(key, h, edge.set.0);
+    }
+
+    /// The post-hash half of [`update`](Self::update): process an edge
+    /// whose element hash `h` was already computed (by this sketch's own
+    /// batch path or by a bank's shared hash pass). `h` **must** equal
+    /// `self.hash.hash(key)`.
+    #[inline]
+    pub(crate) fn update_hashed(&mut self, key: u64, h: u64, set: u32) {
+        self.counters.arrivals += 1;
         if h > self.bound {
             self.counters.rejected_by_bound += 1;
             return;
         }
-        let set = edge.set.0;
-        match self.entries.get_mut(&key) {
-            Some(entry) => {
-                if entry.sets.len() >= self.params.degree_cap {
-                    entry.truncated = true;
+        match self.store.find(h, key) {
+            Some(idx) => {
+                let list = self.store.list(idx);
+                if list.len() >= self.params.degree_cap {
+                    self.store.mark_truncated(idx);
                     self.counters.rejected_by_cap += 1;
                     return;
                 }
-                if self.params.dedup {
-                    match entry.sets.binary_search(&set) {
-                        Ok(_) => {
-                            self.counters.duplicates += 1;
-                            return;
-                        }
-                        Err(pos) => entry.sets.insert(pos, set),
-                    }
-                } else {
-                    entry.sets.push(set);
+                if self.params.dedup && list.contains(&set) {
+                    self.counters.duplicates += 1;
+                    return;
                 }
-                self.edges_stored += 1;
-                self.tracker.add_edges(1);
+                self.store.push_set(idx, set);
             }
             None => {
-                self.entries.insert(
-                    key,
-                    ElemEntry {
-                        hash: h,
-                        sets: vec![set],
-                        truncated: false,
-                    },
-                );
+                let idx = self.store.insert(key, h);
+                self.store.push_set(idx, set);
                 self.heap.push((h, key));
-                // Element bookkeeping: key + hash in the map, (hash, key)
-                // in the heap = 4 words.
-                self.tracker.add_aux(4);
-                self.edges_stored += 1;
-                self.tracker.add_edges(1);
+                // Live element bookkeeping outside the store's arena:
+                // the (hash, key) heap entry.
+                self.tracker.add_aux(2);
             }
         }
+        self.edges_stored += 1;
+        self.tracker.add_edges(1);
+        self.tracker.set_aux_capacity(self.store.capacity_words());
         while self.edges_stored > self.params.max_edges() {
             self.evict_max();
+        }
+    }
+
+    /// Bulk-account `n` arrivals rejected by the acceptance bound
+    /// without touching per-edge state — the bank's pre-filter proves
+    /// they cannot enter this sketch (their hash exceeds even the
+    /// bank-wide maximum bound) and charges the counters in O(1).
+    #[inline]
+    pub(crate) fn note_rejected_by_bound(&mut self, n: u64) {
+        self.counters.arrivals += n;
+        self.counters.rejected_by_bound += n;
+    }
+
+    /// Feed a slice of pre-hashed edges through the hot loop.
+    #[inline]
+    pub(crate) fn update_hashed_batch(&mut self, batch: &[HashedEdge]) {
+        for &e in batch {
+            self.update_hashed(e.key, e.hash, e.set);
         }
     }
 
@@ -157,14 +219,16 @@ impl ThresholdSketch {
         let Some((h, key)) = self.heap.pop() else {
             return;
         };
-        let entry = self
-            .entries
-            .remove(&key)
-            .expect("heap entries always have live map entries");
-        debug_assert_eq!(entry.hash, h);
-        self.edges_stored -= entry.sets.len();
-        self.tracker.remove_edges(entry.sets.len() as u64);
-        self.tracker.remove_aux(4);
+        let idx = self
+            .store
+            .find(h, key)
+            .expect("heap entries always have live store entries");
+        debug_assert_eq!(self.store.hash_of(idx), h);
+        let removed = self.store.list(idx).len();
+        self.store.remove(idx);
+        self.edges_stored -= removed;
+        self.tracker.remove_edges(removed as u64);
+        self.tracker.remove_aux(2);
         self.counters.evictions += 1;
         // Reject this hash value (and anything above) from now on. The
         // subtraction is exact unless another element shares the 64-bit
@@ -173,13 +237,35 @@ impl ThresholdSketch {
     }
 
     /// Process a contiguous batch of arriving edges. Semantically
-    /// identical to calling [`update`](Self::update) per edge; exists so
-    /// batched stream consumers keep one monomorphic inner loop instead
-    /// of a virtual call per edge.
+    /// identical to calling [`update`](Self::update) per edge; the batch
+    /// path hashes a whole chunk first (a straight-line mixer loop),
+    /// bulk-rejects everything above the acceptance bound, and only then
+    /// runs the table-probe loop over the survivors.
     pub fn update_batch(&mut self, edges: &[Edge]) {
-        for &e in edges {
-            self.update(e);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            scratch.clear();
+            let bound = self.bound;
+            let mut rejected = 0u64;
+            for &e in chunk {
+                let h = self.hash.hash(e.element.0);
+                if h > bound {
+                    rejected += 1;
+                } else {
+                    scratch.push(HashedEdge {
+                        key: e.element.0,
+                        hash: h,
+                        set: e.set.0,
+                    });
+                }
+            }
+            // Identical accounting to the per-edge path: the bound only
+            // ever decreases, so anything above the chunk-start bound is
+            // rejected no matter when it is examined.
+            self.note_rejected_by_bound(rejected);
+            self.update_hashed_batch(&scratch);
         }
+        self.scratch = scratch;
     }
 
     /// Feed an entire stream (one pass).
@@ -207,7 +293,7 @@ impl ThresholdSketch {
 
     /// Number of retained elements.
     pub fn elements_stored(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// The effective sampling probability `p*`: the probability that a
@@ -231,7 +317,10 @@ impl ThresholdSketch {
         self.counters
     }
 
-    /// Space report (1 pass).
+    /// Space report (1 pass). Besides live edges and heap entries, the
+    /// aux peak carries the flat store's full **capacity** footprint
+    /// (table + columns + arena), so evicting elements out of a grown
+    /// arena never lets the report understate resident memory.
     pub fn space_report(&self) -> SpaceReport {
         self.tracker.report(1)
     }
@@ -247,8 +336,8 @@ impl ThresholdSketch {
             }
         }
         let mut covered = 0usize;
-        for entry in self.entries.values() {
-            if entry.sets.iter().any(|&s| members[s as usize]) {
+        for (_, _, sets, _) in self.store.iter() {
+            if sets.iter().any(|&s| members[s as usize]) {
                 covered += 1;
             }
         }
@@ -260,28 +349,52 @@ impl ThresholdSketch {
     /// "solve the problem without any other direct access to the input").
     pub fn instance(&self) -> CoverageInstance {
         let mut b = InstanceBuilder::new(self.params.num_sets);
-        for (&key, entry) in &self.entries {
-            for &s in &entry.sets {
+        for (key, _, sets, _) in self.store.iter() {
+            for &s in sets {
                 b.add_edge(Edge::new(s, key));
             }
         }
         b.build()
     }
 
+    /// Canonicalize one stored list: sorted when dedup is on (the
+    /// retained-content contract presents set lists in id order), raw
+    /// append order otherwise (matching the reference engine, which
+    /// also stores arrival order when dedup is off).
+    fn canonical_sets(&self, sets: &[u32]) -> Vec<u32> {
+        let mut v = sets.to_vec();
+        if self.params.dedup {
+            v.sort_unstable();
+        }
+        v
+    }
+
     /// Iterate over retained `(element_key, hash, set_ids)` triples
-    /// (property tests and the Figure 1 renderer).
-    pub fn retained(&self) -> impl Iterator<Item = (u64, u64, &[u32])> + '_ {
-        self.entries
+    /// (property tests and the Figure 1 renderer). Set lists are
+    /// canonicalized copies — the store keeps them in append order.
+    pub fn retained(&self) -> impl Iterator<Item = (u64, u64, Vec<u32>)> + '_ {
+        self.store
             .iter()
-            .map(|(&k, e)| (k, e.hash, e.sets.as_slice()))
+            .map(|(k, h, sets, _)| (k, h, self.canonical_sets(sets)))
     }
 
     /// Like [`retained`](Self::retained) but including the truncation flag
     /// — the full logical per-element state (snapshot support).
-    pub fn retained_full(&self) -> impl Iterator<Item = (u64, u64, &[u32], bool)> + '_ {
-        self.entries
+    pub fn retained_full(&self) -> impl Iterator<Item = (u64, u64, Vec<u32>, bool)> + '_ {
+        self.store
             .iter()
-            .map(|(&k, e)| (k, e.hash, e.sets.as_slice(), e.truncated))
+            .map(|(k, h, sets, t)| (k, h, self.canonical_sets(sets), t))
+    }
+
+    /// The full retained content in canonical form: sorted by element
+    /// key, set lists canonicalized. This is the engine-equivalence
+    /// currency — the property tests and the `bench_smoke` CI gate
+    /// compare it against
+    /// [`ReferenceSketch::canonical_content`](crate::reference::ReferenceSketch::canonical_content).
+    pub fn canonical_content(&self) -> Vec<(u64, u64, Vec<u32>, bool)> {
+        let mut v: Vec<_> = self.retained_full().collect();
+        v.sort_unstable_by_key(|&(k, _, _, _)| k);
+        v
     }
 
     /// The hash function's raw post-mix seed (snapshot support; pair with
@@ -300,33 +413,32 @@ impl ThresholdSketch {
         entries: impl Iterator<Item = (u64, u64, Vec<u32>, bool)>,
         counters: SketchCounters,
     ) -> Self {
-        let mut map: FxHashMap<u64, ElemEntry> = FxHashMap::default();
+        let mut store = FlatStore::new();
         let mut heap = BinaryHeap::new();
         let mut edges_stored = 0usize;
         let mut tracker = SpaceTracker::new();
         for (key, hash, sets, truncated) in entries {
             edges_stored += sets.len();
             tracker.add_edges(sets.len() as u64);
-            tracker.add_aux(4);
+            tracker.add_aux(2);
             heap.push((hash, key));
-            map.insert(
-                key,
-                ElemEntry {
-                    hash,
-                    sets,
-                    truncated,
-                },
-            );
+            let idx = store.insert(key, hash);
+            store.replace_list(idx, &sets);
+            if truncated {
+                store.mark_truncated(idx);
+            }
         }
+        tracker.set_aux_capacity(store.capacity_words());
         ThresholdSketch {
             hash: UnitHash::from_raw_seed(raw_seed),
             params,
-            entries: map,
+            store,
             heap,
             bound,
             edges_stored,
             tracker,
             counters,
+            scratch: Vec::new(),
         }
     }
 
@@ -355,6 +467,8 @@ impl ThresholdSketch {
     /// associative *and* commutative, so a reduction's result is
     /// independent of its tree shape — the determinism contract the
     /// parallel runner in `coverage-dist` is property-tested against.
+    /// (Stored lists are append-order; the union sorts both sides first,
+    /// so merged entries come out sorted — a legal append order.)
     pub fn merge_from(&mut self, other: &ThresholdSketch) {
         assert_eq!(
             self.hash, other.hash,
@@ -366,56 +480,68 @@ impl ThresholdSketch {
         );
         assert!(
             self.params.dedup,
-            "merging requires dedup sketches (sorted per-element set lists)"
+            "merging requires dedup sketches (per-element set lists are sets)"
         );
         let bound = self.bound.min(other.bound);
         // Drop own entries that the other side's bound rules out.
         if bound < self.bound {
-            let keys: Vec<u64> = self
-                .entries
+            let doomed: Vec<(u64, u64)> = self
+                .store
                 .iter()
-                .filter(|(_, e)| e.hash > bound)
-                .map(|(&k, _)| k)
+                .filter(|&(_, h, _, _)| h > bound)
+                .map(|(k, h, _, _)| (k, h))
                 .collect();
-            for k in keys {
-                let e = self.entries.remove(&k).expect("key just listed");
-                self.edges_stored -= e.sets.len();
-                self.tracker.remove_edges(e.sets.len() as u64);
-                self.tracker.remove_aux(4);
+            for (k, h) in doomed {
+                let idx = self.store.find(h, k).expect("entry just listed");
+                let len = self.store.list(idx).len();
+                self.store.remove(idx);
+                self.edges_stored -= len;
+                self.tracker.remove_edges(len as u64);
+                self.tracker.remove_aux(2);
             }
         }
         self.bound = bound;
         // Pull the other side's admissible entries.
-        for (&key, oe) in &other.entries {
-            if oe.hash > bound {
+        for (key, h, osets, otrunc) in other.store.iter() {
+            if h > bound {
                 continue;
             }
-            match self.entries.get_mut(&key) {
-                Some(se) => {
-                    debug_assert_eq!(se.hash, oe.hash);
-                    let before = se.sets.len();
+            let mut theirs = osets.to_vec();
+            theirs.sort_unstable();
+            match self.store.find(h, key) {
+                Some(idx) => {
+                    let mut mine = self.store.list(idx).to_vec();
+                    mine.sort_unstable();
+                    let before = mine.len();
                     let (merged, overflow) =
-                        sorted_union_capped(&se.sets, &oe.sets, self.params.degree_cap);
+                        sorted_union_capped(&mine, &theirs, self.params.degree_cap);
                     // The capped union never shrinks: both inputs are ≤ cap
                     // long, and min-id truncation keeps at least max(|a|,|b|).
                     let added = merged.len() - before;
-                    se.sets = merged;
-                    se.truncated |= oe.truncated | overflow;
+                    self.store.replace_list(idx, &merged);
+                    if otrunc || overflow {
+                        self.store.mark_truncated(idx);
+                    }
                     self.edges_stored += added;
                     self.tracker.add_edges(added as u64);
                 }
                 None => {
-                    self.entries.insert(key, oe.clone());
-                    self.heap.push((oe.hash, key));
-                    self.edges_stored += oe.sets.len();
-                    self.tracker.add_edges(oe.sets.len() as u64);
-                    self.tracker.add_aux(4);
+                    let idx = self.store.insert(key, h);
+                    self.store.replace_list(idx, &theirs);
+                    if otrunc {
+                        self.store.mark_truncated(idx);
+                    }
+                    self.heap.push((h, key));
+                    self.edges_stored += theirs.len();
+                    self.tracker.add_edges(theirs.len() as u64);
+                    self.tracker.add_aux(2);
                 }
             }
         }
         // The heap may hold stale entries for keys dropped above; rebuild
-        // it from the live map (merges are rare, so O(size) is fine).
-        self.heap = self.entries.iter().map(|(&k, e)| (e.hash, k)).collect();
+        // it from the live store (merges are rare, so O(size) is fine).
+        self.heap = self.store.iter().map(|(k, h, _, _)| (h, k)).collect();
+        self.tracker.set_aux_capacity(self.store.capacity_words());
         while self.edges_stored > self.params.max_edges() {
             self.evict_max();
         }
@@ -433,7 +559,7 @@ impl ThresholdSketch {
 /// the min-id prefix makes `union ∘ truncate` associative, which is what
 /// lets sketch merges ignore reduction shape: `min_cap(min_cap(A ∪ B) ∪ C)
 /// = min_cap(A ∪ B ∪ C)`.
-fn sorted_union_capped(a: &[u32], b: &[u32], cap: usize) -> (Vec<u32>, bool) {
+pub(crate) fn sorted_union_capped(a: &[u32], b: &[u32], cap: usize) -> (Vec<u32>, bool) {
     let mut merged = Vec::with_capacity((a.len() + b.len()).min(cap));
     let (mut i, mut j) = (0usize, 0usize);
     loop {
@@ -540,17 +666,11 @@ mod tests {
             batched.consume_batched(&stream, batch);
             assert_eq!(batched.acceptance_bound(), per_edge.acceptance_bound());
             assert_eq!(batched.edges_stored(), per_edge.edges_stored());
-            let mut a: Vec<(u64, Vec<u32>)> = per_edge
-                .retained()
-                .map(|(k, _, s)| (k, s.to_vec()))
-                .collect();
-            let mut b: Vec<(u64, Vec<u32>)> = batched
-                .retained()
-                .map(|(k, _, s)| (k, s.to_vec()))
-                .collect();
-            a.sort();
-            b.sort();
-            assert_eq!(a, b, "batch={batch} must not change the sketch");
+            assert_eq!(
+                batched.canonical_content(),
+                per_edge.canonical_content(),
+                "batch={batch} must not change the sketch"
+            );
             assert_eq!(batched.counters(), per_edge.counters());
         }
     }
@@ -563,6 +683,19 @@ mod tests {
         }
         assert_eq!(s.edges_stored(), 1);
         assert_eq!(s.counters().duplicates, 9);
+    }
+
+    #[test]
+    fn without_dedup_preserves_arrival_order() {
+        // With dedup off the reference engine stores raw arrival order;
+        // the flat arena must report the identical (unsorted) list.
+        let mut s = ThresholdSketch::new(params(8, 100).without_dedup(), 5);
+        for set in [5u32, 1, 7, 1, 3] {
+            s.update(Edge::new(set, 9u64));
+        }
+        let (_, _, sets) = s.retained().next().expect("one element");
+        assert_eq!(sets, vec![5, 1, 7, 1, 3]);
+        assert_eq!(s.edges_stored(), 5);
     }
 
     #[test]
@@ -656,6 +789,24 @@ mod tests {
     }
 
     #[test]
+    fn space_report_counts_arena_capacity() {
+        // Eviction-heavy stream: many elements pass through the arena.
+        // The aux peak must cover the store's full capacity footprint —
+        // live entries alone would understate resident memory.
+        let p = params(4, 40);
+        let mut s = ThresholdSketch::new(p, 9);
+        let stream = star_stream(4, 2_000);
+        stream.for_each(&mut |e| s.update(e));
+        let r = s.space_report();
+        assert!(
+            r.peak_aux_words >= s.store.capacity_words(),
+            "aux peak {} below store capacity {}",
+            r.peak_aux_words,
+            s.store.capacity_words()
+        );
+    }
+
+    #[test]
     fn merge_of_partition_equals_single_build() {
         // Split a stream's edges across three sketches, merge, and compare
         // with one sketch that saw everything: retained elements must be
@@ -679,13 +830,11 @@ mod tests {
         for part in &parts {
             merged.merge_from(part);
         }
-        let mut a: Vec<(u64, Vec<u32>)> =
-            single.retained().map(|(k, _, s)| (k, s.to_vec())).collect();
-        let mut b: Vec<(u64, Vec<u32>)> =
-            merged.retained().map(|(k, _, s)| (k, s.to_vec())).collect();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b, "merged partition must equal the single build");
+        assert_eq!(
+            single.canonical_content(),
+            merged.canonical_content(),
+            "merged partition must equal the single build"
+        );
         // Bounds may differ (they depend on eviction history) but both
         // must separate the retained prefix from everything else.
         let max_kept = single.retained().map(|(_, h, _)| h).max().unwrap();
@@ -714,14 +863,6 @@ mod tests {
                 s
             })
             .collect();
-        let content = |s: &ThresholdSketch| {
-            let mut v: Vec<(u64, Vec<u32>)> = s
-                .retained()
-                .map(|(k, _, sets)| (k, sets.to_vec()))
-                .collect();
-            v.sort();
-            v
-        };
         // Left fold: ((0·1)·2)·3
         let mut left = parts[0].clone();
         for part in &parts[1..] {
@@ -738,8 +879,8 @@ mod tests {
         let mut cd = parts[2].clone();
         cd.merge_from(&parts[3]);
         ab.merge_from(&cd);
-        assert_eq!(content(&left), content(&right));
-        assert_eq!(content(&left), content(&ab));
+        assert_eq!(left.canonical_content(), right.canonical_content());
+        assert_eq!(left.canonical_content(), ab.canonical_content());
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   emulation, element-grouped, adversarial by descending hash);
 //! * [`meter`] — space accounting ([`SpaceReport`]) in the units the paper
 //!   uses (stored edges) plus auxiliary words and pass counts; meters are
-//!   non-negative by construction even under deletion workloads;
+//!   non-negative by construction even under deletion workloads, and
+//!   arena-backed structures report a monotone **capacity floor**
+//!   ([`SpaceTracker::set_aux_capacity`]) so peaks never understate
+//!   resident memory after evictions;
 //! * [`stats`] — harness-side stream statistics.
 //!
 //! Streaming *algorithms* consume `&dyn EdgeStream` (or

@@ -49,10 +49,21 @@ impl SpaceReport {
 }
 
 /// Running peak tracker for a single structure.
+///
+/// Two auxiliary components feed the aux peak: **live** words
+/// ([`add_aux`](Self::add_aux) / [`remove_aux`](Self::remove_aux)) for
+/// entry-proportional bookkeeping, and a monotone **capacity floor**
+/// ([`set_aux_capacity`](Self::set_aux_capacity)) for backing
+/// allocations — arenas, open-addressing tables, pooled buffers — whose
+/// memory stays resident even when their entries are released. The
+/// reported peak is the high-water mark of `live + capacity`, so a
+/// structure that evicts entries out of a grown arena can never
+/// understate what the allocator actually holds.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SpaceTracker {
     cur_edges: u64,
     cur_aux: u64,
+    cap_aux: u64,
     peak_edges: u64,
     peak_aux: u64,
 }
@@ -86,7 +97,24 @@ impl SpaceTracker {
     #[inline]
     pub fn add_aux(&mut self, d: u64) {
         self.cur_aux += d;
-        self.peak_aux = self.peak_aux.max(self.cur_aux);
+        self.touch_aux_peak();
+    }
+
+    /// Record that backing allocations (arena, table, pooled buffers)
+    /// currently span `words` machine words of **capacity**. The floor
+    /// is monotone — capacity never shrinks while the structure lives —
+    /// and is counted into the aux peak alongside live words, so
+    /// [`SpaceReport::peak_aux_words`] cannot understate real memory
+    /// when entries are released out of a still-allocated arena.
+    #[inline]
+    pub fn set_aux_capacity(&mut self, words: u64) {
+        self.cap_aux = self.cap_aux.max(words);
+        self.touch_aux_peak();
+    }
+
+    #[inline]
+    fn touch_aux_peak(&mut self) {
+        self.peak_aux = self.peak_aux.max(self.cur_aux + self.cap_aux);
     }
 
     /// Record `d` auxiliary words released. Same contract as
@@ -154,6 +182,30 @@ mod tests {
         let mut t = SpaceTracker::new();
         t.add_edges(2);
         t.remove_edges(5);
+    }
+
+    /// The arena-capacity contract: once a backing allocation grows, the
+    /// reported aux peak includes its full capacity — releasing live
+    /// entries (evictions) must not let the peak understate resident
+    /// memory, and live words stack on top of the floor.
+    #[test]
+    fn aux_capacity_floor_survives_releases() {
+        let mut t = SpaceTracker::new();
+        t.add_aux(10); // live bookkeeping
+        t.set_aux_capacity(100); // arena grew to 100 words
+        assert_eq!(t.report(1).peak_aux_words, 110);
+        t.remove_aux(10); // evict everything…
+        assert_eq!(t.report(1).peak_aux_words, 110); // …peak keeps the floor
+        t.add_aux(4);
+        // live(4) + capacity(100) = 104 < previous peak: peak unchanged.
+        assert_eq!(t.report(1).peak_aux_words, 110);
+        t.add_aux(20);
+        // live(24) + capacity(100) = 124: new high-water mark.
+        assert_eq!(t.report(1).peak_aux_words, 124);
+        // The floor is monotone: a smaller capacity report cannot lower it.
+        t.set_aux_capacity(50);
+        t.set_aux_capacity(120);
+        assert_eq!(t.report(1).peak_aux_words, 24 + 120);
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub mod prelude {
     };
     pub use coverage_sketch::{
         AblatedSketch, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,
-        EvictionPolicy, SketchParams, SketchSizing, SketchSnapshot, ThresholdSketch,
+        EvictionPolicy, ReferenceSketch, SketchBank, SketchParams, SketchSizing, SketchSnapshot,
+        ThresholdSketch,
     };
     pub use coverage_stream::{
         surviving_edges, surviving_stream, validate_turnstile, ArrivalOrder, DynamicEdgeStream,

@@ -1,0 +1,185 @@
+//! Property tests pinning the flat arena ingestion engine
+//! (`ThresholdSketch`) bit-identical to the retired map-backed engine
+//! (`ReferenceSketch`) — the engine-equivalence contract of ISSUE 4.
+//!
+//! "Bit-identical" means the full logical sketch state agrees:
+//!
+//! * retained `(element, hash, sets, truncated)` content, in canonical
+//!   form (`canonical_content` on both engines);
+//! * the acceptance bound and stored-edge count;
+//! * every streaming counter (arrivals, bound/cap rejections,
+//!   duplicates, evictions).
+//!
+//! The contract is exercised across the axes that could plausibly
+//! diverge the engines: workload generators (uniform / zipf / planted),
+//! shuffled arrival orders (including the adversarial descending-hash
+//! order that maximizes evictions), duplicate-heavy streams (the
+//! deferred-sort dedup path), merge splits of every shape, and the
+//! bank's shared-hash + pre-filter batch path.
+
+use proptest::prelude::*;
+
+use coverage_suite::core::Edge;
+use coverage_suite::prelude::*;
+use coverage_suite::sketch::SketchParams;
+
+/// Compare the complete logical state of the two engines.
+fn assert_engines_agree(flat: &ThresholdSketch, reference: &ReferenceSketch, ctx: &str) {
+    assert_eq!(
+        flat.acceptance_bound(),
+        reference.acceptance_bound(),
+        "{ctx}: acceptance bound"
+    );
+    assert_eq!(
+        flat.edges_stored(),
+        reference.edges_stored(),
+        "{ctx}: stored edges"
+    );
+    assert_eq!(flat.counters(), reference.counters(), "{ctx}: counters");
+    assert_eq!(
+        flat.canonical_content(),
+        reference.canonical_content(),
+        "{ctx}: retained content"
+    );
+}
+
+/// The three workload generators of the experiment suite, materialized
+/// as edge lists small enough for proptest case counts.
+fn generator_edges(generator: u8, seed: u64) -> (usize, Vec<Edge>) {
+    let n = 24;
+    let inst = match generator % 3 {
+        0 => uniform_instance(n, 1_500, 60, seed),
+        1 => zipf_instance(n, 1_500, 0.7, 1.1, 300, seed),
+        _ => planted_k_cover(n, 1_500, 4, 90, seed).instance,
+    };
+    (n, VecStream::from_instance(&inst).edges().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Single build: generators × arrival orders × budgets. Includes the
+    /// descending-hash order, which maximizes evictions and therefore
+    /// the arena's free-list/backward-shift churn.
+    #[test]
+    fn flat_equals_reference_across_generators_and_orders(
+        generator in 0u8..3,
+        order in 0u8..4,
+        seed in 0u64..500,
+        budget in 60usize..600,
+    ) {
+        let (n, mut edges) = generator_edges(generator, seed.wrapping_add(1) | 1);
+        let order = match order {
+            0 => ArrivalOrder::AsIs,
+            1 => ArrivalOrder::Random(seed ^ 0x5EED),
+            2 => ArrivalOrder::ByHashDesc(seed),
+            _ => ArrivalOrder::ElementGrouped(3),
+        };
+        order.apply(&mut edges);
+        let stream = VecStream::new(n, edges);
+        let params = SketchParams::with_budget(n, 3, 0.4, budget);
+        let flat = ThresholdSketch::from_stream(params, seed, &stream);
+        let reference = ReferenceSketch::from_stream(params, seed, &stream);
+        assert_engines_agree(&flat, &reference, "single build");
+    }
+
+    /// Duplicate-heavy streams: the flat engine defers list sorting to
+    /// report time, so its arrival-time duplicate scan must still count
+    /// and drop exactly what the reference's binary search does — also
+    /// when the degree cap binds first (cap rejection outranks dedup).
+    #[test]
+    fn flat_equals_reference_on_duplicate_heavy_streams(
+        seed in 0u64..500,
+        elems in 1u64..40,
+        reps in 2usize..6,
+    ) {
+        let n = 30;
+        let mut edges = Vec::new();
+        for r in 0..reps {
+            for e in 0..elems {
+                for s in 0..n as u32 {
+                    if !(e + s as u64 + r as u64).is_multiple_of(3) {
+                        edges.push(Edge::new(s, e));
+                    }
+                }
+            }
+        }
+        ArrivalOrder::Random(seed).apply(&mut edges);
+        // Small cap (k large) so cap-rejection and dedup interleave.
+        let params = SketchParams::with_budget(n, 8, 0.6, 200);
+        let stream = VecStream::new(n, edges);
+        let flat = ThresholdSketch::from_stream(params, seed, &stream);
+        let reference = ReferenceSketch::from_stream(params, seed, &stream);
+        // The repeated grid must hit one of the two drop paths (the tight
+        // cap may swallow repeats before the dedup scan ever fires).
+        let c = flat.counters();
+        prop_assert!(
+            c.duplicates + c.rejected_by_cap > 0,
+            "workload must exercise dedup or cap rejection"
+        );
+        assert_engines_agree(&flat, &reference, "duplicate-heavy");
+    }
+
+    /// Merge splits: partition the stream into `parts` shards round-robin,
+    /// build each shard on both engines, fold in the proptest-chosen
+    /// direction, and compare — the canonical min-id truncation and
+    /// bound-intersection logic must coincide exactly.
+    #[test]
+    fn flat_merge_equals_reference_merge(
+        generator in 0u8..3,
+        seed in 0u64..500,
+        parts in 2usize..5,
+        fold_right in 0u8..2,
+        budget in 60usize..400,
+    ) {
+        let (n, mut edges) = generator_edges(generator, seed | 1);
+        ArrivalOrder::Random(seed ^ 0xF01D).apply(&mut edges);
+        let params = SketchParams::with_budget(n, 3, 0.4, budget);
+        let mut flat_parts: Vec<ThresholdSketch> =
+            (0..parts).map(|_| ThresholdSketch::new(params, seed)).collect();
+        let mut ref_parts: Vec<ReferenceSketch> =
+            (0..parts).map(|_| ReferenceSketch::new(params, seed)).collect();
+        for (i, &e) in edges.iter().enumerate() {
+            flat_parts[i % parts].update(e);
+            ref_parts[i % parts].update(e);
+        }
+        if fold_right == 1 {
+            flat_parts.reverse();
+            ref_parts.reverse();
+        }
+        let mut flat = flat_parts.remove(0);
+        for p in &flat_parts {
+            flat.merge_from(p);
+        }
+        let mut reference = ref_parts.remove(0);
+        for p in &ref_parts {
+            reference.merge_from(p);
+        }
+        assert_engines_agree(&flat, &reference, "merged build");
+    }
+
+    /// The bank's shared-hash + bank-wide-bound pre-filter path must be
+    /// per-sketch indistinguishable from reference sketches that each
+    /// hash and bound-check every edge themselves.
+    #[test]
+    fn shared_hash_bank_equals_reference_sketches(
+        generator in 0u8..3,
+        seed in 0u64..500,
+        batch in 1usize..700,
+    ) {
+        let (n, mut edges) = generator_edges(generator, seed | 1);
+        ArrivalOrder::Random(seed).apply(&mut edges);
+        let guesses = [
+            SketchParams::with_budget(n, 1, 0.5, 80),
+            SketchParams::with_budget(n, 3, 0.4, 200),
+            SketchParams::with_budget(n, 6, 0.3, 420),
+        ];
+        let stream = VecStream::new(n, edges);
+        let mut bank = SketchBank::new(guesses, seed);
+        bank.consume_batched(&stream, batch);
+        for (flat, &p) in bank.sketches().iter().zip(&guesses) {
+            let reference = ReferenceSketch::from_stream(p, seed, &stream);
+            assert_engines_agree(flat, &reference, "bank guess");
+        }
+    }
+}
