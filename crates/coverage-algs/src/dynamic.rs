@@ -6,7 +6,7 @@
 //! -----------------------------------------+---------------------------------
 //! 1: δ'' = 2 + log n, ε' = ε/12            | DynamicKCoverConfig::paper_epsilon
 //! 2: construct H≤n(k, ε', δ'') over stream | DynamicSketch::from_stream
-//! 3: run greedy on the sketch              | greedy on the recovered sample
+//! 3: run greedy on the sketch              | csr_view(&sample) + bucket greedy
 //! ```
 //!
 //! The sketch is the linear, ℓ₀-sampler-backed
@@ -18,7 +18,7 @@
 //! Greedy on that sample therefore inherits Theorem 3.1's
 //! `(1 − 1/e − ε)` guarantee with respect to the surviving optimum.
 
-use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
 use coverage_sketch::{DynamicSketch, DynamicSketchParams, SketchSizing};
 use coverage_stream::{DynamicEdgeStream, SpaceReport};
@@ -126,8 +126,8 @@ pub fn dynamic_k_cover(
 /// consumers and benchmarks that reuse one pass).
 pub fn solve_on_dynamic_sketch(sketch: &DynamicSketch, k: usize) -> DynamicKCoverResult {
     let sample = sketch.recover_expect();
-    let inst = sketch.instance(&sample);
-    let trace = lazy_greedy_k_cover(&inst, k);
+    let view = sketch.csr_view(&sample);
+    let trace = bucket_greedy_k_cover(&view, k);
     let family = trace.family();
     let counters = sketch.counters();
     DynamicKCoverResult {
@@ -147,6 +147,7 @@ pub fn solve_on_dynamic_sketch(sketch: &DynamicSketch, k: usize) -> DynamicKCove
 mod tests {
     use super::*;
     use crate::kcover::{k_cover_streaming, KCoverConfig};
+    use coverage_core::offline::lazy_greedy_k_cover;
     use coverage_data::{adversarial_insert_delete, churn_workload, planted_k_cover};
     use coverage_stream::{InsertOnly, VecStream};
 

@@ -5,14 +5,21 @@
 //! -----------------------------------------+---------------------------
 //! 1: δ'' = 2 + log n, ε' = ε/12            | KCoverConfig::paper_epsilon
 //! 2: construct H≤n(k, ε', δ'') over stream | ThresholdSketch::from_stream
-//! 3: run greedy on the sketch              | lazy_greedy_k_cover
+//! 3: run greedy on the sketch              | csr_view + bucket_greedy_k_cover
 //! ```
+//!
+//! Step 3 runs on the **zero-rebuild solve path**: the sketch's flat
+//! store is exported directly as a packed `CsrInstance`
+//! ([`ThresholdSketch::csr_view`]) and solved by the exact decremental
+//! bucket-queue greedy — no per-query `HashMap` remap, no heap churn.
+//! The lazy engine remains the executable reference spec
+//! (`lazy_greedy_k_cover`), property-tested trace-identical.
 //!
 //! Theorem 3.1: the output is a `(1 − 1/e − ε)`-approximate k-cover
 //! solution on the original input with probability `1 − 1/n`, and the
 //! sketch holds `Õ(n)` edges.
 
-use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
 use coverage_sketch::{SketchParams, SketchSizing, ThresholdSketch};
 use coverage_stream::{EdgeStream, SpaceReport};
@@ -89,8 +96,8 @@ pub fn k_cover_streaming(stream: &dyn EdgeStream, config: &KCoverConfig) -> KCov
 /// The post-stream half of Algorithm 3 (shared with callers that built the
 /// sketch themselves, e.g. benchmarks that reuse one pass).
 pub fn solve_on_sketch(sketch: &ThresholdSketch, k: usize) -> KCoverResult {
-    let inst = sketch.instance();
-    let trace = lazy_greedy_k_cover(&inst, k);
+    let view = sketch.csr_view();
+    let trace = bucket_greedy_k_cover(&view, k);
     let family = trace.family();
     KCoverResult {
         estimated_coverage: sketch.estimate_coverage(&family),

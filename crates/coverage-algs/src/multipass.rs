@@ -14,7 +14,7 @@
 //! pass on a KMV distinct-count estimate — a nice dividend of having built
 //! the Appendix D machinery.
 
-use coverage_core::offline::greedy_set_cover;
+use coverage_core::offline::bucket_greedy_set_cover;
 use coverage_core::{InstanceBuilder, SetId};
 use coverage_hash::{FxHashSet, KmvSketch, UnitHash};
 use coverage_sketch::SketchSizing;
@@ -195,7 +195,9 @@ pub fn set_cover_multipass(stream: &dyn EdgeStream, config: &MultiPassConfig) ->
     passes += 1;
     let residual_inst = b.build();
     let residual_edges_dedup = residual_inst.num_edges();
-    let tail = greedy_set_cover(&residual_inst);
+    // Finish on the bucket-queue engine (output-identical to the lazy
+    // greedy_set_cover; O(residual edges) instead of heap churn).
+    let tail = bucket_greedy_set_cover(&residual_inst);
     for s in tail.family() {
         if !in_family[s.index()] {
             in_family[s.index()] = true;

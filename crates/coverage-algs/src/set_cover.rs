@@ -17,8 +17,8 @@
 //! `(1+ε)·ln(1/λ)`-approximation covering `1−λ` of the elements
 //! (Theorem 3.3), in `Õ(n/λ³) ⊆ Õ_λ(n)` space.
 
-use coverage_core::offline::greedy_budgeted_cover;
-use coverage_core::SetId;
+use coverage_core::offline::bucket_greedy_budgeted_cover;
+use coverage_core::{CoverageView, SetId};
 use coverage_sketch::{SketchBank, SketchParams, SketchSizing, ThresholdSketch};
 use coverage_stream::{EdgeStream, SpaceReport};
 
@@ -200,10 +200,12 @@ fn evaluate_guesses(
     parallel: bool,
 ) -> Vec<Verdict> {
     let eval = |i: usize| -> Verdict {
-        let inst = sketches[i].instance();
-        let m_sketch = inst.num_elements();
+        // Zero-rebuild query: the guess's sketch is exported as a packed
+        // CSR view and solved with the decremental bucket-queue greedy.
+        let view = sketches[i].csr_view();
+        let m_sketch = view.num_elements();
         let required = (required_fraction * m_sketch as f64).ceil() as usize;
-        let res = greedy_budgeted_cover(&inst, required, guesses[i].budget_sets);
+        let res = bucket_greedy_budgeted_cover(&view, required, guesses[i].budget_sets);
         let family = res.family();
         let fraction = if m_sketch == 0 {
             1.0

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the zero-rebuild solve path: owned
+//! `instance()` rebuild vs packed `csr_view()` export on a built
+//! sketch, and the lazy (Minoux) engine vs the exact decremental
+//! bucket-queue greedy — separately and end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coverage_core::offline::{bucket_greedy_k_cover, lazy_greedy_k_cover};
+use coverage_core::{CoverageView, CsrInstance};
+use coverage_data::uniform_instance;
+use coverage_sketch::{SketchParams, ThresholdSketch};
+use coverage_stream::VecStream;
+
+fn built_sketch() -> ThresholdSketch {
+    let inst = uniform_instance(200, 50_000, 400, 11);
+    let stream = VecStream::from_instance(&inst);
+    ThresholdSketch::from_stream(SketchParams::with_budget(200, 8, 0.3, 20_000), 7, &stream)
+}
+
+/// Exporting the sketch content: HashMap-remap rebuild vs counting-sort
+/// CSR view over the flat store.
+fn bench_export(c: &mut Criterion) {
+    let sketch = built_sketch();
+    let mut group = c.benchmark_group("sketch_export");
+    group.bench_function("instance_rebuild", |b| {
+        b.iter(|| black_box(sketch.instance().num_edges()))
+    });
+    group.bench_function("csr_view", |b| {
+        b.iter(|| black_box(sketch.csr_view().num_edges()))
+    });
+    group.finish();
+}
+
+/// The greedy engines head to head on identical graphs (both run on
+/// whichever representation favors them: lazy on the owned instance it
+/// was written for, bucket on the packed CSR).
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_engines");
+    for n in [200usize, 800] {
+        let inst = uniform_instance(n, 20_000, 300, 11);
+        let csr = CsrInstance::from_instance(&inst);
+        let k = 20;
+        group.bench_with_input(BenchmarkId::new("lazy", n), &inst, |b, inst| {
+            b.iter(|| black_box(lazy_greedy_k_cover(inst, k).coverage()))
+        });
+        group.bench_with_input(BenchmarkId::new("bucket", n), &csr, |b, csr| {
+            b.iter(|| black_box(bucket_greedy_k_cover(csr, k).coverage()))
+        });
+    }
+    group.finish();
+}
+
+/// End to end — Algorithm 3 line 3 per query: export + greedy.
+fn bench_solve_on_sketch(c: &mut Criterion) {
+    let sketch = built_sketch();
+    let k = 8;
+    let mut group = c.benchmark_group("solve_on_sketch");
+    group.bench_function("instance_plus_lazy", |b| {
+        b.iter(|| black_box(lazy_greedy_k_cover(&sketch.instance(), k).coverage()))
+    });
+    group.bench_function("csr_view_plus_bucket", |b| {
+        b.iter(|| black_box(bucket_greedy_k_cover(&sketch.csr_view(), k).coverage()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_export, bench_engines, bench_solve_on_sketch);
+criterion_main!(benches);

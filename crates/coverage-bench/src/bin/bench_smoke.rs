@@ -43,14 +43,31 @@
 //! * records single-sketch flat/reference throughput and the parallel
 //!   runner's bank build for run-to-run comparison.
 //!
-//! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json]]]`
-//! (defaults `BENCH_2.json` / `BENCH_3.json` / `BENCH_4.json` in the
-//! current directory).
+//! A fourth case exercises the **zero-rebuild solve path** (Algorithm 3
+//! line 3 — "run greedy on the sketch") on the same 8-guess bank and
+//! writes `BENCH_5.json`:
+//!
+//! * **fails (exit 1)** if, on any guess, the bucket-queue greedy on
+//!   the sketch's `csr_view()` diverges — family *or* full trace — from
+//!   the lazy greedy on the owned `instance()` rebuild (the
+//!   engine-equivalence contract of the solve path);
+//! * **fails (exit 1)** if the end-to-end solve (`csr_view` + bucket
+//!   greedy, all guesses) is not at least **2×** faster than the seed
+//!   path (`instance()` rebuild + lazy greedy) — the solve-path perf
+//!   gate;
+//! * records the export-only timings (`instance()` vs `csr_view()`) so
+//!   the rebuild premium is tracked run to run.
+//!
+//! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json
+//! [bench5.json]]]]` (defaults `BENCH_2.json` / `BENCH_3.json` /
+//! `BENCH_4.json` / `BENCH_5.json` in the current directory).
 
 use std::process::exit;
 use std::time::Instant;
 
 use coverage_algs::{k_cover_streaming, KCoverConfig};
+use coverage_core::offline::{bucket_greedy_k_cover, lazy_greedy_k_cover};
+use coverage_core::CoverageView;
 use coverage_data::{churn_workload, planted_k_cover};
 use coverage_dist::{
     distributed_k_cover_serial, dynamic_distributed_k_cover, DistConfig, ParallelRunner,
@@ -66,6 +83,20 @@ const MACHINES: usize = 8;
 const THREADS: usize = 4;
 /// Timed repetitions; the minimum is reported (CI machines are noisy).
 const REPS: usize = 3;
+/// Hash seed the bank cases (BENCH_4 ingest, BENCH_5 solve) share.
+const BANK_SEED: u64 = 77;
+/// Ingest batch size of the bank cases.
+const BANK_BATCH: usize = 4096;
+
+/// The Algorithm 5-style geometric `k'` guess ladder both bank cases
+/// run on (one sketch per guess, each with its own degree cap and
+/// budget — the realistic bank shape for one pass). Defined once so
+/// BENCH_4 (ingest) and BENCH_5 (solve) can never desynchronize.
+fn guess_ladder(n: usize) -> Vec<SketchParams> {
+    (0..8)
+        .map(|g| SketchParams::with_budget(n, 1 << g, 0.3, 2_000 + 600 * g))
+        .collect()
+}
 
 #[derive(Serialize)]
 struct RunnerRecord {
@@ -206,34 +237,28 @@ struct IngestSmokeRecord {
 }
 
 /// The flat-engine ingest smoke case (→ `BENCH_4.json`): same planted
-/// instance, pushed through an Algorithm 5-style geometric guess bank
-/// with both ingestion engines. Returns the record and whether both
-/// gates (content equivalence, ≥1.5× bank speedup) hold.
-fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool) {
-    const SEED: u64 = 77;
-    const BATCH: usize = 4096;
-    let n = stream.num_sets();
-    // Geometric k' guesses (Algorithm 5's ladder: one sketch per guess,
-    // all fed in the same pass), each with its own degree cap and
-    // budget — the realistic bank shape for one pass.
-    let guesses: Vec<SketchParams> = (0..8)
-        .map(|g| SketchParams::with_budget(n, 1 << g, 0.3, 2_000 + 600 * g))
-        .collect();
+/// instance, pushed through the shared [`guess_ladder`] bank with both
+/// ingestion engines. Returns the record, whether both gates (content
+/// equivalence, ≥1.5× bank speedup) hold, and the built flat bank —
+/// which the solve case ([`solve_smoke`]) queries, so the stream is
+/// ingested once for both benches.
+fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool, SketchBank) {
+    let guesses = guess_ladder(stream.num_sets());
     let edges = stream.len_hint().expect("materialized stream");
 
     let (flat_bank, flat_ms) = best_of(REPS, || {
-        let mut bank = SketchBank::new(guesses.iter().copied(), SEED);
-        bank.consume_batched(stream, BATCH);
+        let mut bank = SketchBank::new(guesses.iter().copied(), BANK_SEED);
+        bank.consume_batched(stream, BANK_BATCH);
         bank
     });
     let (ref_bank, ref_ms) = best_of(REPS, || {
         let mut bank: Vec<ReferenceSketch> = guesses
             .iter()
-            .map(|&p| ReferenceSketch::new(p, SEED))
+            .map(|&p| ReferenceSketch::new(p, BANK_SEED))
             .collect();
         // Sketch-major over each batch — exactly the retired
         // `SketchBank::update_batch` behavior.
-        stream.for_each_batch(BATCH, &mut |chunk| {
+        stream.for_each_batch(BANK_BATCH, &mut |chunk| {
             for s in &mut bank {
                 s.update_batch(chunk);
             }
@@ -241,16 +266,16 @@ fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool) {
         bank
     });
     let (_, flat_single_ms) = best_of(REPS, || {
-        let mut s = ThresholdSketch::new(guesses[3], SEED);
-        s.consume_batched(stream, BATCH);
+        let mut s = ThresholdSketch::new(guesses[3], BANK_SEED);
+        s.consume_batched(stream, BANK_BATCH);
         s.edges_stored()
     });
     let (_, ref_single_ms) = best_of(REPS, || {
-        let mut s = ReferenceSketch::new(guesses[3], SEED);
+        let mut s = ReferenceSketch::new(guesses[3], BANK_SEED);
         s.consume(stream);
         s.edges_stored()
     });
-    let cfg = DistConfig::new(MACHINES, 6, 0.3, SEED);
+    let cfg = DistConfig::new(MACHINES, 6, 0.3, BANK_SEED);
     let runner = ParallelRunner::new(cfg, THREADS);
     let (_, par_ms) = best_of(REPS, || runner.build_bank(&guesses, stream).len());
 
@@ -267,7 +292,7 @@ fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool) {
         workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6), 8-guess bank",
         stream_edges: edges,
         guesses: guesses.len(),
-        batch: BATCH,
+        batch: BANK_BATCH,
         flat_bank: IngestRecord {
             wall_ms: flat_ms,
             edges_per_sec: eps(flat_ms),
@@ -289,7 +314,100 @@ fn ingest_smoke(stream: &VecStream) -> (IngestSmokeRecord, bool) {
         single_speedup,
         contents_match,
     };
-    (record, contents_match && bank_speedup >= 1.5)
+    (record, contents_match && bank_speedup >= 1.5, flat_bank)
+}
+
+/// One solve path's timing over all guesses of the bank.
+#[derive(Serialize)]
+struct SolveRecord {
+    /// End-to-end: export the sketch content + run greedy, every guess.
+    wall_ms: f64,
+    /// Export step alone (informational split of `wall_ms`).
+    export_only_wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct SolveSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    guesses: usize,
+    /// Stored edges across all guess sketches (the solve input size).
+    sketch_edges_total: usize,
+    /// Seed path: per-query `instance()` rebuild + lazy greedy.
+    rebuild_lazy: SolveRecord,
+    /// Zero-rebuild path: `csr_view()` + bucket-queue greedy.
+    csr_bucket: SolveRecord,
+    speedup: f64,
+    families_match: bool,
+    traces_match: bool,
+}
+
+/// The solve-path smoke case (→ `BENCH_5.json`): the bank built by
+/// `ingest_smoke`, queried at each guess's `k` ("run greedy on the
+/// sketch", Algorithm 3 line 3 — once per guess, exactly the workload
+/// under test) through both solve paths. Returns the record and
+/// whether all gates (bit-identical families, full trace equality, ≥2×
+/// end-to-end speedup) hold.
+fn solve_smoke(bank: &SketchBank) -> (SolveSmokeRecord, bool) {
+    let sketches = bank.sketches();
+    let sketch_edges_total: usize = sketches.iter().map(|s| s.edges_stored()).sum();
+
+    // The timed closures keep the full traces, so the equivalence
+    // gates below compare what was actually measured — no extra solve
+    // sweeps.
+    let (seed_traces, seed_ms) = best_of(REPS, || {
+        sketches
+            .iter()
+            .map(|s| lazy_greedy_k_cover(&s.instance(), s.params().k))
+            .collect::<Vec<_>>()
+    });
+    let (csr_traces, csr_ms) = best_of(REPS, || {
+        sketches
+            .iter()
+            .map(|s| bucket_greedy_k_cover(&s.csr_view(), s.params().k))
+            .collect::<Vec<_>>()
+    });
+    // Export-only split: how much of each path is rebuilding vs solving.
+    let (_, rebuild_ms) = best_of(REPS, || {
+        sketches
+            .iter()
+            .map(|s| s.instance().num_edges())
+            .sum::<usize>()
+    });
+    let (_, view_ms) = best_of(REPS, || {
+        sketches
+            .iter()
+            .map(|s| s.csr_view().num_edges())
+            .sum::<usize>()
+    });
+
+    let families_match = seed_traces
+        .iter()
+        .zip(&csr_traces)
+        .all(|(a, b)| a.family() == b.family());
+    let traces_match = seed_traces
+        .iter()
+        .zip(&csr_traces)
+        .all(|(a, b)| a.steps == b.steps);
+    let speedup = seed_ms / csr_ms.max(1e-9);
+    let record = SolveSmokeRecord {
+        bench: "BENCH_5",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6), 8-guess bank",
+        guesses: sketches.len(),
+        sketch_edges_total,
+        rebuild_lazy: SolveRecord {
+            wall_ms: seed_ms,
+            export_only_wall_ms: rebuild_ms,
+        },
+        csr_bucket: SolveRecord {
+            wall_ms: csr_ms,
+            export_only_wall_ms: view_ms,
+        },
+        speedup,
+        families_match,
+        traces_match,
+    };
+    (record, families_match && traces_match && speedup >= 2.0)
 }
 
 fn main() {
@@ -302,6 +420,9 @@ fn main() {
     let ingest_out_path = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_4.json".to_string());
+    let solve_out_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -383,7 +504,7 @@ fn main() {
     );
 
     // --- Flat ingestion-engine smoke case → BENCH_4.json. ---
-    let (ingest_record, ingest_ok) = ingest_smoke(&stream);
+    let (ingest_record, ingest_ok, bank) = ingest_smoke(&stream);
     let ingest_json = serde_json::to_string_pretty(&ingest_record).expect("render json");
     if let Err(e) = std::fs::write(&ingest_out_path, &ingest_json) {
         eprintln!("bench_smoke: cannot write {ingest_out_path}: {e}");
@@ -398,6 +519,24 @@ fn main() {
         ingest_record.bank_speedup,
         ingest_record.flat_bank.edges_per_sec / 1e6,
         ingest_record.single_speedup,
+    );
+
+    // --- Zero-rebuild solve-path smoke case → BENCH_5.json. ---
+    let (solve_record, solve_ok) = solve_smoke(&bank);
+    let solve_json = serde_json::to_string_pretty(&solve_record).expect("render json");
+    if let Err(e) = std::fs::write(&solve_out_path, &solve_json) {
+        eprintln!("bench_smoke: cannot write {solve_out_path}: {e}");
+        exit(1);
+    }
+    println!("{solve_json}");
+    println!(
+        "\nbench_smoke: solve-on-sketch rebuild+lazy {:.1} ms vs csr_view+bucket {:.1} ms \
+         → {:.2}x (export alone: {:.1} ms vs {:.1} ms)",
+        solve_record.rebuild_lazy.wall_ms,
+        solve_record.csr_bucket.wall_ms,
+        solve_record.speedup,
+        solve_record.rebuild_lazy.export_only_wall_ms,
+        solve_record.csr_bucket.export_only_wall_ms,
     );
 
     if !families_match {
@@ -444,8 +583,25 @@ fn main() {
         );
         exit(1);
     }
+    if !solve_record.families_match || !solve_record.traces_match {
+        eprintln!(
+            "bench_smoke: FAIL — csr_view + bucket greedy diverged from the \
+             instance() + lazy reference on some guess (solve-path \
+             engine-equivalence contract broken)"
+        );
+        exit(1);
+    }
+    if !solve_ok {
+        eprintln!(
+            "bench_smoke: FAIL — solve-on-sketch speedup {:.2}x fell below the \
+             2x gate (csr_view + bucket greedy vs instance() + lazy greedy)",
+            solve_record.speedup
+        );
+        exit(1);
+    }
     println!(
         "bench_smoke: OK — families identical, parallel faster, dynamic within the \
-         approximation bound, flat ingest engine ≥1.5x over the reference"
+         approximation bound, flat ingest engine ≥1.5x over the reference, \
+         zero-rebuild solve path ≥2x over instance()+lazy"
     );
 }

@@ -74,14 +74,16 @@ pub fn run_sized(n: usize, m: u64, deg: usize, trials: u64) -> ExperimentOutput 
                 .collect();
             let truth = inst.coverage(&family) as f64;
             let threshold = (p * 2f64.powi(64)) as u64;
-            let mut kept = 0usize;
-            // Count covered elements that survive subsampling.
+            // Count covered elements that survive subsampling. Walking
+            // the covered mask's set bits skips empty words outright and
+            // hashes only covered elements, instead of probing all `m`
+            // bits one by one.
             let covered = inst.covered_bitset(&family);
-            for (d, id) in inst.element_ids().iter().enumerate() {
-                if covered.contains(d) && h.hash64(id.0) <= threshold {
-                    kept += 1;
-                }
-            }
+            let ids = inst.element_ids();
+            let kept = covered
+                .iter()
+                .filter(|&d| h.hash64(ids[d].0) <= threshold)
+                .count();
             let est = kept as f64 / p;
             if truth > 0.0 {
                 worst_rel = worst_rel.max((est - truth).abs() / truth);

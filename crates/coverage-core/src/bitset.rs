@@ -47,6 +47,26 @@ impl BitSet {
         !was
     }
 
+    /// Set bit `i` to one without reporting the previous value — the
+    /// branch-free half of [`insert`](Self::insert) for bulk marking,
+    /// where the caller recovers counts word-parallel via
+    /// [`count`](Self::count) afterwards.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Mark every dense index of `idx`. Bulk form of
+    /// [`set`](Self::set): no per-bit read-back, so marking a whole
+    /// adjacency slice compiles to straight or-stores.
+    #[inline]
+    pub fn insert_indices(&mut self, idx: &[u32]) {
+        for &d in idx {
+            self.set(d as usize);
+        }
+    }
+
     /// Clear bit `i`. Returns true if the bit was previously set.
     #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
@@ -108,11 +128,27 @@ impl BitSet {
     /// `|self ∩ other|`.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.intersection_count_words(&other.words)
+    }
+
+    /// `|self ∩ words|` against a raw word slice: 64 membership tests
+    /// per `and` + popcount. Shorter operands are zero-extended, so a
+    /// prefix-sized mask can be intersected without reallocation.
+    /// Backs [`intersection_count`](Self::intersection_count) and the
+    /// diagnostic overlap counts that hold one side as a plain mask.
+    pub fn intersection_count_words(&self, words: &[u64]) -> usize {
         self.words
             .iter()
-            .zip(&other.words)
+            .zip(words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// The backing words, low bits first (word-parallel callers; pair
+    /// with [`intersection_count_words`](Self::intersection_count_words)).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterate over the indices of set bits in increasing order.
@@ -226,6 +262,41 @@ mod tests {
         b.clear();
         assert_eq!(b.count(), 0);
         assert_eq!(b.len(), 70);
+    }
+
+    #[test]
+    fn set_and_insert_indices_match_insert() {
+        let mut a = BitSet::new(150);
+        let mut b = BitSet::new(150);
+        let idx = [0u32, 63, 64, 65, 149, 63];
+        for &i in &idx {
+            a.insert(i as usize);
+        }
+        b.insert_indices(&idx);
+        assert_eq!(a, b);
+        assert_eq!(b.count(), 5);
+        let mut c = BitSet::new(150);
+        c.set(149);
+        c.set(149);
+        assert!(c.contains(149));
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn intersection_count_words_zero_extends() {
+        let mut a = BitSet::new(200);
+        for i in [1usize, 64, 130, 199] {
+            a.insert(i);
+        }
+        // Full-width slice agrees with the bitset-to-bitset count.
+        let mut b = BitSet::new(200);
+        b.insert(64);
+        b.insert(199);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.intersection_count_words(b.words()), 2);
+        // A one-word prefix mask only sees bits 0..64.
+        assert_eq!(a.intersection_count_words(&[u64::MAX]), 1);
+        assert_eq!(a.intersection_count_words(&[]), 0);
     }
 
     #[test]

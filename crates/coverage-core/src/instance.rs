@@ -120,17 +120,16 @@ impl CoverageInstance {
     }
 
     /// The coverage function `C(S) = |∪_{s∈S} s|` for a family of sets.
+    ///
+    /// Marks every member with branch-free or-stores and popcounts the
+    /// mark words once at the end, instead of probing each bit for
+    /// newness on insert.
     pub fn coverage(&self, family: &[SetId]) -> usize {
         let mut mark = BitSet::new(self.num_elements());
-        let mut covered = 0usize;
         for &s in family {
-            for &d in &self.dense_sets[s.index()] {
-                if mark.insert(d as usize) {
-                    covered += 1;
-                }
-            }
+            mark.insert_indices(&self.dense_sets[s.index()]);
         }
-        covered
+        mark.count()
     }
 
     /// Coverage as a fraction of `m`. Returns 1.0 on an empty ground set.
@@ -151,9 +150,7 @@ impl CoverageInstance {
     pub fn covered_bitset(&self, family: &[SetId]) -> BitSet {
         let mut mark = BitSet::new(self.num_elements());
         for &s in family {
-            for &d in &self.dense_sets[s.index()] {
-                mark.insert(d as usize);
-            }
+            mark.insert_indices(&self.dense_sets[s.index()]);
         }
         mark
     }
@@ -166,9 +163,7 @@ impl CoverageInstance {
             .iter()
             .map(|es| {
                 let mut b = BitSet::new(m);
-                for &d in es {
-                    b.insert(d as usize);
-                }
+                b.insert_indices(es);
                 b
             })
             .collect()
@@ -243,27 +238,35 @@ impl InstanceBuilder {
     }
 
     /// Finalize: dedup, compact elements densely, sort adjacency lists.
+    ///
+    /// The element index and id table are pre-sized from the total edge
+    /// count (an upper bound on the distinct-element count), so the
+    /// compaction loop never rehashes the map or regrows the id table
+    /// mid-build.
     pub fn build(self) -> CoverageInstance {
-        let mut elem_index: HashMap<ElementId, u32> = HashMap::new();
-        let mut elements: Vec<ElementId> = Vec::new();
+        let total_edges: usize = self.raw.iter().map(Vec::len).sum();
+        let mut elem_index: HashMap<ElementId, u32> = HashMap::with_capacity(total_edges);
+        let mut elements: Vec<ElementId> = Vec::with_capacity(total_edges);
         let mut dense_sets: Vec<Vec<u32>> = Vec::with_capacity(self.raw.len());
         let mut num_edges = 0usize;
         for list in self.raw {
-            let mut dense: Vec<u32> = list
-                .into_iter()
-                .map(|id| {
-                    *elem_index.entry(id).or_insert_with(|| {
-                        let d = elements.len() as u32;
-                        elements.push(id);
-                        d
-                    })
+            let mut dense: Vec<u32> = Vec::with_capacity(list.len());
+            dense.extend(list.into_iter().map(|id| {
+                *elem_index.entry(id).or_insert_with(|| {
+                    let d = elements.len() as u32;
+                    elements.push(id);
+                    d
                 })
-                .collect();
+            }));
             dense.sort_unstable();
             dense.dedup();
             num_edges += dense.len();
             dense_sets.push(dense);
         }
+        // The pre-sizing above is an upper bound; give back the slack so
+        // the finished (immutable) instance is resident-tight.
+        elements.shrink_to_fit();
+        elem_index.shrink_to_fit();
         CoverageInstance {
             dense_sets,
             elements,

@@ -14,6 +14,9 @@
 //! * [`instance`] — the in-memory [`CoverageInstance`] graph with dense
 //!   element compaction;
 //! * [`bitset`] — the [`BitSet`] used by offline solvers;
+//! * [`view`] — the borrowed [`CoverageView`] trait and the packed
+//!   [`CsrInstance`] every offline solver is generic over (sketches
+//!   export their content as CSR views without rebuilding);
 //! * [`func`] — the [`CoverageOracle`] abstraction (exact, sketched, or
 //!   adversarially noisy coverage functions behind one interface);
 //! * [`offline`] — greedy (`1−1/e` / `ln m`), lazy greedy, partial cover,
@@ -54,8 +57,10 @@ pub mod offline;
 pub mod plot;
 pub mod report;
 pub mod validate;
+pub mod view;
 
 pub use bitset::BitSet;
 pub use func::{oracle_greedy_k_cover, CoverageOracle};
 pub use ids::{Edge, ElementId, SetId};
 pub use instance::{CoverageInstance, InstanceBuilder};
+pub use view::{CoverageView, CsrInstance};

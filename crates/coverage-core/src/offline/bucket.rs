@@ -1,0 +1,344 @@
+//! Exact decremental greedy on a bucket priority queue.
+//!
+//! The lazy (Minoux) engine of `engine.rs` re-derives marginal gains on
+//! demand: every pop re-scans the popped set's adjacency against the
+//! covered bitset, so a run costs `O(pops · |S|)` bit probes on top of
+//! the heap churn. This engine inverts the bookkeeping: it maintains
+//! every set's gain **exactly** at all times and pays for updates only
+//! when coverage actually changes.
+//!
+//! * `gains[s]` starts at `|S_s|` and is decremented once per
+//!   (set, newly-covered-element) incidence, found through an
+//!   element→sets inverted index (a CSR transpose built by counting
+//!   sort). Each membership edge is touched at most once over the whole
+//!   run, because an element is newly covered at most once.
+//! * The priority queue is an array of buckets indexed by gain — gains
+//!   are bounded by the maximum set size, so `O(max |S|)` buckets
+//!   suffice and "decrease-key" is a push into the next bucket down.
+//!   Superseded entries are recognized lazily (`gains[s]` disagrees
+//!   with the bucket's level) and discarded on pop.
+//! * **Tie-breaking is identical to the lazy and naive engines**: among
+//!   maximal gains the smallest set id wins. Gains only ever decrease
+//!   and the max gain is monotone non-increasing, so a bucket can no
+//!   longer *receive* entries once the cursor reaches it; sorting it by
+//!   descending id at that moment makes every later `pop()` from its
+//!   tail yield the smallest live id. The engines are therefore
+//!   *output-identical*, step for step — the trace-equality contract
+//!   the property tests pin down.
+//!
+//! Total work is `O(Σ|S| + n + max|S|)` plus the one-time activation
+//! sorts (`O(b log b)` per bucket, `Σb ≤ n + Σ|S|`) — independent of
+//! how many gain re-evaluations the lazy engine would have paid.
+
+use crate::bitset::BitSet;
+use crate::ids::SetId;
+use crate::view::CoverageView;
+
+use super::engine::{GreedyStep, GreedyTrace};
+use super::set_cover::PartialCoverResult;
+
+/// Run exact decremental greedy until `stop(selected_count, covered)`
+/// says to halt or no set has positive gain. Stopping-rule semantics
+/// match `lazy_greedy_until` exactly: `stop` is consulted *before* each
+/// selection and zero-gain sets are never selected.
+pub(crate) fn bucket_greedy_until<V: CoverageView + ?Sized>(
+    view: &V,
+    mut stop: impl FnMut(usize, usize) -> bool,
+) -> GreedyTrace {
+    let n = view.num_sets();
+    let m = view.num_elements();
+    let mut trace = GreedyTrace::default();
+    if n == 0 {
+        return trace;
+    }
+
+    // Exact per-set gains start at the set sizes (nothing covered yet);
+    // element degrees are tallied in the same pass over the adjacency,
+    // so setup walks the edge arena exactly twice (here + the transpose
+    // fill below).
+    let mut gains: Vec<u32> = Vec::with_capacity(n);
+    let mut degrees: Vec<u32> = vec![0; m];
+    for s in 0..n as u32 {
+        let slice = view.dense_set(SetId(s));
+        gains.push(slice.len() as u32);
+        for &d in slice {
+            degrees[d as usize] += 1;
+        }
+    }
+    let max_gain = gains.iter().copied().max().unwrap_or(0) as usize;
+
+    // Element → sets inverted index (CSR transpose), by counting sort.
+    let mut inv_off: Vec<u32> = Vec::with_capacity(m + 1);
+    inv_off.push(0);
+    let mut acc = 0u32;
+    for &d in &degrees {
+        acc += d;
+        inv_off.push(acc);
+    }
+    let mut inv_sets: Vec<u32> = vec![0; acc as usize];
+    let mut cursor: Vec<u32> = inv_off[..m].to_vec();
+    for s in 0..n as u32 {
+        for &d in view.dense_set(SetId(s)) {
+            let c = &mut cursor[d as usize];
+            inv_sets[*c as usize] = s;
+            *c += 1;
+        }
+    }
+
+    // Bucket queue: buckets[g] holds candidate sets whose gain was `g`
+    // when pushed. Initial fill iterates ids ascending; activation sorts
+    // keep that invariant for buckets that later receive pushes.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_gain + 1];
+    for (s, &g) in gains.iter().enumerate() {
+        if g > 0 {
+            buckets[g as usize].push(s as u32);
+        }
+    }
+
+    let mut covered = BitSet::new(m);
+    let mut covered_count = 0usize;
+    let mut cur = max_gain;
+    // Levels ≥ `activated` are sorted and can only shrink; `cur` enters
+    // a level exactly once (the max gain is monotone non-increasing).
+    let mut activated = max_gain + 1;
+
+    while !stop(trace.steps.len(), covered_count) {
+        // Pop the smallest-id set whose exact gain equals the level.
+        let chosen = loop {
+            if cur == 0 {
+                break None;
+            }
+            if activated > cur {
+                // First visit: no future push can target this level, so
+                // one descending-id sort makes tail pops min-id-first.
+                buckets[cur].sort_unstable_by(|a, b| b.cmp(a));
+                activated = cur;
+            }
+            match buckets[cur].pop() {
+                None => cur -= 1,
+                Some(s) => {
+                    if gains[s as usize] as usize == cur {
+                        break Some(s);
+                    }
+                    // Stale: the set was selected (gain forced to 0
+                    // below) or its gain moved to a lower bucket. Drop
+                    // the superseded entry.
+                }
+            }
+        };
+        let Some(sid) = chosen else { break };
+
+        let set = SetId(sid);
+        let gain = cur;
+        // Retire the chosen set: gain 0 makes every one of its stale
+        // bucket entries unpoppable and exempts it from decrements.
+        gains[sid as usize] = 0;
+        // Decrement-on-cover: every set sharing a newly covered element
+        // loses exactly one unit of gain, moving one bucket down. A
+        // zero gain means retired-or-exhausted — an uncovered member
+        // implies gain ≥ 1, so live sets never underflow.
+        for &d in view.dense_set(set) {
+            if !covered.insert(d as usize) {
+                continue;
+            }
+            covered_count += 1;
+            let lo = inv_off[d as usize] as usize;
+            let hi = inv_off[d as usize + 1] as usize;
+            for &t in &inv_sets[lo..hi] {
+                let t = t as usize;
+                let g = gains[t];
+                if g == 0 {
+                    continue;
+                }
+                gains[t] = g - 1;
+                if g > 1 {
+                    buckets[g as usize - 1].push(t as u32);
+                }
+            }
+        }
+        trace.steps.push(GreedyStep {
+            set,
+            gain,
+            covered_after: covered_count,
+        });
+    }
+    trace
+}
+
+/// Greedy k-cover on the exact decremental bucket-queue engine.
+/// Output-identical (full trace) to
+/// [`lazy_greedy_k_cover`](super::lazy_greedy_k_cover) and
+/// [`greedy_k_cover`](super::greedy_k_cover); total work `O(Σ|S|)`
+/// instead of heap churn × per-element bitset probes.
+pub fn bucket_greedy_k_cover<V: CoverageView + ?Sized>(view: &V, k: usize) -> GreedyTrace {
+    bucket_greedy_until(view, |picked, _| picked >= k)
+}
+
+/// Greedy set cover on the bucket-queue engine. Output-identical to
+/// [`greedy_set_cover`](super::greedy_set_cover).
+pub fn bucket_greedy_set_cover<V: CoverageView + ?Sized>(view: &V) -> GreedyTrace {
+    let m = view.num_elements();
+    bucket_greedy_until(view, |_, covered| covered >= m)
+}
+
+/// Greedy with a coverage target and a set budget on the bucket-queue
+/// engine — the Algorithm 4 inner loop. Output-identical to
+/// [`greedy_budgeted_cover`](super::greedy_budgeted_cover).
+pub fn bucket_greedy_budgeted_cover<V: CoverageView + ?Sized>(
+    view: &V,
+    required: usize,
+    max_sets: usize,
+) -> PartialCoverResult {
+    let trace = bucket_greedy_until(view, |picked, covered| {
+        picked >= max_sets || covered >= required
+    });
+    let satisfied = trace.coverage() >= required;
+    PartialCoverResult {
+        trace,
+        required,
+        satisfied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+    use crate::instance::CoverageInstance;
+    use crate::offline::engine::{lazy_greedy_until, naive_greedy_until};
+    use crate::offline::{greedy_budgeted_cover, greedy_set_cover, lazy_greedy_k_cover};
+    use crate::view::CsrInstance;
+
+    /// Deterministic pseudo-random instance without external crates.
+    fn pseudo_random_instance(n: usize, m: u64, avg_deg: u64, seed: u64) -> CoverageInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let mut b = CoverageInstance::builder(n);
+        for s in 0..n as u32 {
+            let deg = 1 + next() % (2 * avg_deg);
+            for _ in 0..deg {
+                b.add_edge(Edge::new(s, next() % m));
+            }
+        }
+        b.build()
+    }
+
+    fn assert_traces_equal(a: &GreedyTrace, b: &GreedyTrace, ctx: &str) {
+        assert_eq!(a.steps, b.steps, "{ctx}: full trace must coincide");
+    }
+
+    #[test]
+    fn matches_lazy_and_naive_on_random_instances() {
+        for seed in 1..=10u64 {
+            let g = pseudo_random_instance(24, 60, 6, seed);
+            let csr = CsrInstance::from_instance(&g);
+            for k in [0usize, 1, 3, 7, 24] {
+                let lazy = lazy_greedy_until(&g, |p, _| p >= k);
+                let naive = naive_greedy_until(&g, |p, _| p >= k);
+                let bucket = bucket_greedy_until(&g, |p, _| p >= k);
+                let bucket_csr = bucket_greedy_until(&csr, |p, _| p >= k);
+                assert_traces_equal(&lazy, &naive, &format!("seed={seed} k={k} lazy/naive"));
+                assert_traces_equal(&bucket, &lazy, &format!("seed={seed} k={k} bucket/lazy"));
+                assert_traces_equal(
+                    &bucket_csr,
+                    &lazy,
+                    &format!("seed={seed} k={k} bucket-csr/lazy"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_smaller_id() {
+        // S0 and S1 both gain 2, then S2 and S3 both gain 1.
+        let mut b = CoverageInstance::builder(4);
+        b.add_set(SetId(0), [0u64.into(), 1u64.into()]);
+        b.add_set(SetId(1), [2u64.into(), 3u64.into()]);
+        b.add_set(SetId(2), [4u64.into()]);
+        b.add_set(SetId(3), [5u64.into()]);
+        let g = b.build();
+        let t = bucket_greedy_k_cover(&g, 4);
+        assert_eq!(
+            t.family(),
+            vec![SetId(0), SetId(1), SetId(2), SetId(3)],
+            "equal gains must resolve to ascending ids"
+        );
+    }
+
+    #[test]
+    fn stops_on_zero_gain_and_exhaustion() {
+        // S1 ⊆ S0: after S0 nothing has positive gain.
+        let mut b = CoverageInstance::builder(2);
+        b.add_set(SetId(0), (0u64..4).map(Into::into));
+        b.add_set(SetId(1), (1u64..3).map(Into::into));
+        let g = b.build();
+        let t = bucket_greedy_k_cover(&g, 5);
+        assert_eq!(t.family(), vec![SetId(0)]);
+        assert_eq!(t.coverage(), 4);
+    }
+
+    #[test]
+    fn empty_and_edgeless_views() {
+        let empty = CoverageInstance::builder(0).build();
+        assert!(bucket_greedy_k_cover(&empty, 3).is_empty());
+        let edgeless = CoverageInstance::builder(4).build();
+        assert!(bucket_greedy_k_cover(&edgeless, 3).is_empty());
+    }
+
+    #[test]
+    fn set_cover_and_budgeted_match_lazy_wrappers() {
+        for seed in 1..=6u64 {
+            let g = pseudo_random_instance(18, 40, 5, seed);
+            assert_traces_equal(
+                &bucket_greedy_set_cover(&g),
+                &greedy_set_cover(&g),
+                &format!("seed={seed} set-cover"),
+            );
+            for (required, max_sets) in [(10usize, 4usize), (30, 8), (40, 18)] {
+                let a = bucket_greedy_budgeted_cover(&g, required, max_sets);
+                let b = greedy_budgeted_cover(&g, required, max_sets);
+                assert_traces_equal(
+                    &a.trace,
+                    &b.trace,
+                    &format!("seed={seed} budgeted {required}/{max_sets}"),
+                );
+                assert_eq!(a.satisfied, b.satisfied);
+                assert_eq!(a.required, b.required);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_relabeling_does_not_change_the_trace() {
+        // Emit the same graph with a permuted dense-element labeling:
+        // families and gains must be unaffected (greedy only sees set
+        // identities and union cardinalities).
+        let g = pseudo_random_instance(16, 50, 5, 9);
+        let m = CoverageInstance::num_elements(&g);
+        let relabel: Vec<u32> = (0..m as u32).map(|d| (m as u32 - 1) - d).collect();
+        let elements: Vec<crate::ElementId> = (0..m).map(|d| g.element_id(relabel[d])).collect();
+        let csr = CsrInstance::from_edge_fn(
+            CoverageInstance::num_sets(&g),
+            elements,
+            |emit: &mut dyn FnMut(u32, u32)| {
+                for s in g.set_ids() {
+                    for &d in CoverageInstance::dense_set(&g, s) {
+                        emit(s.0, relabel[d as usize]);
+                    }
+                }
+            },
+        );
+        for k in [2usize, 5, 16] {
+            let a = bucket_greedy_k_cover(&csr, k);
+            let b = lazy_greedy_k_cover(&g, k);
+            assert_traces_equal(&a, &b, &format!("k={k}"));
+        }
+    }
+}

@@ -17,7 +17,7 @@ use std::collections::BinaryHeap;
 
 use crate::bitset::BitSet;
 use crate::ids::SetId;
-use crate::instance::CoverageInstance;
+use crate::view::CoverageView;
 
 /// One selection made by a greedy run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,8 +64,8 @@ impl GreedyTrace {
 ///
 /// `stop` is consulted *before* each selection; returning `true` ends the
 /// run. Zero-gain sets are never selected (they cannot change coverage).
-pub(crate) fn lazy_greedy_until(
-    inst: &CoverageInstance,
+pub(crate) fn lazy_greedy_until<V: CoverageView + ?Sized>(
+    inst: &V,
     mut stop: impl FnMut(usize, usize) -> bool,
 ) -> GreedyTrace {
     let m = inst.num_elements();
@@ -74,9 +74,8 @@ pub(crate) fn lazy_greedy_until(
     let mut trace = GreedyTrace::default();
 
     // Heap of (cached_gain, Reverse(set_id)): max gain first, then min id.
-    let mut heap: BinaryHeap<(usize, Reverse<u32>)> = inst
-        .set_ids()
-        .map(|s| (inst.set_size(s), Reverse(s.0)))
+    let mut heap: BinaryHeap<(usize, Reverse<u32>)> = (0..inst.num_sets() as u32)
+        .map(|s| (inst.set_size(SetId(s)), Reverse(s)))
         .collect();
 
     while !stop(trace.steps.len(), covered) {
@@ -115,9 +114,7 @@ pub(crate) fn lazy_greedy_until(
         };
 
         let Some((set, gain)) = chosen else { break };
-        for &d in inst.dense_set(set) {
-            covered_mark.insert(d as usize);
-        }
+        covered_mark.insert_indices(inst.dense_set(set));
         covered += gain;
         trace.steps.push(GreedyStep {
             set,
@@ -130,7 +127,7 @@ pub(crate) fn lazy_greedy_until(
 
 /// Marginal gain of `set` against the current covered mark.
 #[inline]
-fn fresh_gain(inst: &CoverageInstance, covered: &BitSet, set: SetId) -> usize {
+fn fresh_gain<V: CoverageView + ?Sized>(inst: &V, covered: &BitSet, set: SetId) -> usize {
     inst.dense_set(set)
         .iter()
         .filter(|&&d| !covered.contains(d as usize))
@@ -140,8 +137,8 @@ fn fresh_gain(inst: &CoverageInstance, covered: &BitSet, set: SetId) -> usize {
 /// Naive greedy (full rescan each round) — reference implementation used by
 /// tests to validate the lazy engine, and by benches to quantify the
 /// speedup of lazy evaluation.
-pub(crate) fn naive_greedy_until(
-    inst: &CoverageInstance,
+pub(crate) fn naive_greedy_until<V: CoverageView + ?Sized>(
+    inst: &V,
     mut stop: impl FnMut(usize, usize) -> bool,
 ) -> GreedyTrace {
     let m = inst.num_elements();
@@ -168,9 +165,7 @@ pub(crate) fn naive_greedy_until(
         let Some((gain, sid)) = best else { break };
         let set = SetId(sid);
         remaining[sid as usize] = false;
-        for &d in inst.dense_set(set) {
-            covered_mark.insert(d as usize);
-        }
+        covered_mark.insert_indices(inst.dense_set(set));
         covered += gain;
         trace.steps.push(GreedyStep {
             set,
@@ -184,6 +179,7 @@ pub(crate) fn naive_greedy_until(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::CoverageInstance;
 
     fn chain_instance() -> CoverageInstance {
         // S0={0,1,2,3}, S1={3,4,5}, S2={5,6}, S3={6}

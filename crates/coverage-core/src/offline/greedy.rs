@@ -8,17 +8,20 @@
 //! of `12ε`.
 
 use super::engine::{lazy_greedy_until, naive_greedy_until, GreedyTrace};
-use crate::instance::CoverageInstance;
+use crate::view::CoverageView;
 
 /// Greedy k-cover with lazy (Minoux) evaluation. `O(E + n log n)`-ish in
-/// practice; output-identical to [`greedy_k_cover`].
-pub fn lazy_greedy_k_cover(inst: &CoverageInstance, k: usize) -> GreedyTrace {
+/// practice; output-identical to [`greedy_k_cover`] and to
+/// [`bucket_greedy_k_cover`](super::bucket_greedy_k_cover) (which the
+/// hot query paths use — the lazy engine is retained as the executable
+/// reference spec the bucket engine is property-tested against).
+pub fn lazy_greedy_k_cover<V: CoverageView + ?Sized>(inst: &V, k: usize) -> GreedyTrace {
     lazy_greedy_until(inst, |picked, _| picked >= k)
 }
 
 /// Greedy k-cover with a full rescan per round (reference implementation,
 /// `O(n·k)` gain evaluations).
-pub fn greedy_k_cover(inst: &CoverageInstance, k: usize) -> GreedyTrace {
+pub fn greedy_k_cover<V: CoverageView + ?Sized>(inst: &V, k: usize) -> GreedyTrace {
     naive_greedy_until(inst, |picked, _| picked >= k)
 }
 
@@ -26,6 +29,7 @@ pub fn greedy_k_cover(inst: &CoverageInstance, k: usize) -> GreedyTrace {
 mod tests {
     use super::*;
     use crate::ids::SetId;
+    use crate::instance::CoverageInstance;
     use crate::offline::exact_k_cover;
 
     /// Deterministic pseudo-random instance without external crates.

@@ -11,7 +11,16 @@
 //! 3. **Ground truth.** Exact branch-and-bound solvers provide true optima
 //!    on small instances so tests and experiments can report *measured*
 //!    approximation ratios.
+//!
+//! Three output-identical greedy engines coexist, all generic over
+//! [`CoverageView`](crate::CoverageView): the naive rescanning greedy
+//! (spec), the lazy (Minoux) engine (reference for the heap-based
+//! approach), and the exact decremental **bucket-queue** engine
+//! (`bucket_greedy_*`) the hot query paths use — `O(Σ|S|)` total work
+//! via per-set gain counters, an element→sets inverted index, and a
+//! gain-indexed bucket priority queue.
 
+mod bucket;
 mod engine;
 mod exact;
 mod greedy;
@@ -21,6 +30,7 @@ mod set_cover;
 mod stochastic;
 mod weighted;
 
+pub use bucket::{bucket_greedy_budgeted_cover, bucket_greedy_k_cover, bucket_greedy_set_cover};
 pub use engine::{GreedyStep, GreedyTrace};
 pub use exact::{exact_k_cover, exact_set_cover};
 pub use greedy::{greedy_k_cover, lazy_greedy_k_cover};

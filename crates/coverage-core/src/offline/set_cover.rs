@@ -8,7 +8,7 @@
 
 use super::engine::{lazy_greedy_until, GreedyTrace};
 use crate::ids::SetId;
-use crate::instance::CoverageInstance;
+use crate::view::CoverageView;
 
 /// Result of a partial-cover greedy run.
 #[derive(Clone, Debug)]
@@ -34,7 +34,7 @@ impl PartialCoverResult {
 /// If the family cannot cover all of `E` (possible for residual graphs with
 /// isolated elements removed upstream, never for well-formed instances) the
 /// trace simply ends when gains vanish.
-pub fn greedy_set_cover(inst: &CoverageInstance) -> GreedyTrace {
+pub fn greedy_set_cover<V: CoverageView + ?Sized>(inst: &V) -> GreedyTrace {
     let m = inst.num_elements();
     lazy_greedy_until(inst, |_, covered| covered >= m)
 }
@@ -44,8 +44,8 @@ pub fn greedy_set_cover(inst: &CoverageInstance) -> GreedyTrace {
 ///
 /// This is the exact loop Algorithm 4 runs on the sketch: greedy for
 /// `k'·ln(1/λ')` rounds, then check whether the coverage target was met.
-pub fn greedy_budgeted_cover(
-    inst: &CoverageInstance,
+pub fn greedy_budgeted_cover<V: CoverageView + ?Sized>(
+    inst: &V,
     required: usize,
     max_sets: usize,
 ) -> PartialCoverResult {
@@ -62,7 +62,7 @@ pub fn greedy_budgeted_cover(
 
 /// Greedy partial cover: select sets until at least `1 − λ` of the elements
 /// are covered.
-pub fn greedy_partial_cover(inst: &CoverageInstance, lambda: f64) -> PartialCoverResult {
+pub fn greedy_partial_cover<V: CoverageView + ?Sized>(inst: &V, lambda: f64) -> PartialCoverResult {
     assert!((0.0..=1.0).contains(&lambda), "λ must lie in [0,1]");
     let m = inst.num_elements();
     let required = ((1.0 - lambda) * m as f64).ceil() as usize;
@@ -78,6 +78,7 @@ pub fn greedy_partial_cover(inst: &CoverageInstance, lambda: f64) -> PartialCove
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::CoverageInstance;
     use crate::offline::exact_set_cover;
 
     fn blocks() -> CoverageInstance {

@@ -1,0 +1,335 @@
+//! Borrowed coverage views and the packed CSR instance.
+//!
+//! The offline solvers originally ran only on [`CoverageInstance`] — an
+//! owned `Vec<Vec<u32>>` adjacency built through a `HashMap` element
+//! remap. That is the right shape for *building* an instance from an
+//! arbitrary edge multiset, but it is pure overhead for *querying* a
+//! sketch whose storage already is a dense element space: Algorithm 3's
+//! "run greedy on the sketch" step paid a full re-hash of every retained
+//! element on every query.
+//!
+//! [`CoverageView`] abstracts exactly what the greedy engines need —
+//! set/element/edge counts and a dense per-set slice — so they run
+//! unchanged on either representation. [`CsrInstance`] is the packed
+//! implementation: one `u32` edge arena plus an offsets column
+//! (compressed sparse rows over the set–element incidence), built by a
+//! counting sort with **no hashing and no per-set allocation**. Sketches
+//! export their content directly as a `CsrInstance`
+//! (`ThresholdSketch::csr_view` / `DynamicSketch::csr_view`), making the
+//! query side of the pipeline as allocation-lean as the stream side.
+//!
+//! ## Contract
+//!
+//! A view's per-set slices must be **duplicate-free** (the same dense
+//! element must not appear twice in one set). [`CoverageInstance`]
+//! guarantees this by construction; the `CsrInstance` constructors
+//! document it per entry point. Slices need *not* be sorted — the
+//! engines never rely on element order, only on set identity.
+
+use crate::bitset::BitSet;
+use crate::ids::{ElementId, SetId};
+use crate::instance::CoverageInstance;
+
+/// Read-only access to a coverage instance: the minimal surface the
+/// offline greedy engines require. Implemented by the owned
+/// [`CoverageInstance`] and by the packed [`CsrInstance`], so every
+/// solver is generic over where the graph actually lives.
+pub trait CoverageView {
+    /// Number of sets `n` (including empty sets).
+    fn num_sets(&self) -> usize;
+
+    /// Number of distinct elements `m` in the dense space `0..m`.
+    fn num_elements(&self) -> usize;
+
+    /// Number of distinct membership edges.
+    fn num_edges(&self) -> usize;
+
+    /// Dense element indices of `set` (duplicate-free, any order).
+    fn dense_set(&self, set: SetId) -> &[u32];
+
+    /// Size (degree) of `set`.
+    #[inline]
+    fn set_size(&self, set: SetId) -> usize {
+        self.dense_set(set).len()
+    }
+
+    /// Element degrees: `degree[d]` = number of sets containing dense
+    /// element `d`.
+    fn element_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_elements()];
+        for s in 0..self.num_sets() as u32 {
+            for &d in self.dense_set(SetId(s)) {
+                deg[d as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// The coverage function `C(S) = |∪_{s∈S} s|` for a family of sets.
+    fn coverage(&self, family: &[SetId]) -> usize {
+        let mut mark = BitSet::new(self.num_elements());
+        for &s in family {
+            mark.insert_indices(self.dense_set(s));
+        }
+        mark.count()
+    }
+}
+
+impl CoverageView for CoverageInstance {
+    #[inline]
+    fn num_sets(&self) -> usize {
+        CoverageInstance::num_sets(self)
+    }
+
+    #[inline]
+    fn num_elements(&self) -> usize {
+        CoverageInstance::num_elements(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CoverageInstance::num_edges(self)
+    }
+
+    #[inline]
+    fn dense_set(&self, set: SetId) -> &[u32] {
+        CoverageInstance::dense_set(self, set)
+    }
+
+    fn element_degrees(&self) -> Vec<u32> {
+        CoverageInstance::element_degrees(self)
+    }
+
+    fn coverage(&self, family: &[SetId]) -> usize {
+        CoverageInstance::coverage(self, family)
+    }
+}
+
+/// A packed, read-optimized coverage instance: compressed sparse rows
+/// over the set–element incidence.
+///
+/// * `edges` is one flat `u32` arena of dense element indices, set-major;
+/// * `offsets[s]..offsets[s+1]` delimits set `s`'s slice;
+/// * `elements[d]` maps the dense index back to the original
+///   [`ElementId`].
+///
+/// Construction is a counting sort over the edge pairs — two passes,
+/// no `HashMap`, no per-set `Vec` — which is what lets sketches export
+/// their content as a solve-ready view without re-hashing anything.
+#[derive(Clone, Debug)]
+pub struct CsrInstance {
+    /// `offsets[s]..offsets[s + 1]` bounds set `s`'s slice of `edges`.
+    offsets: Vec<u32>,
+    /// Flat set-major arena of dense element indices.
+    edges: Vec<u32>,
+    /// Dense index → original element id.
+    elements: Vec<ElementId>,
+}
+
+impl CsrInstance {
+    /// Build from a caller-supplied edge enumeration by counting sort.
+    ///
+    /// `for_each_edge` is invoked exactly twice with an `emit(set,
+    /// dense_element)` sink and must emit the identical `(set, dense)`
+    /// pair sequence both times (first pass counts per-set degrees,
+    /// second pass fills the arena). Pairs must be **deduplicated**
+    /// (no repeated `(set, dense)` pair); dense indices must lie in
+    /// `0..elements.len()`. Sets `≥ num_sets` grow the family, mirroring
+    /// [`InstanceBuilder`](crate::InstanceBuilder).
+    pub fn from_edge_fn(
+        num_sets: usize,
+        elements: Vec<ElementId>,
+        mut for_each_edge: impl FnMut(&mut dyn FnMut(u32, u32)),
+    ) -> Self {
+        // Pass 1: per-set degree counts (shifted by one so the in-place
+        // prefix sum below turns `counts` directly into offsets).
+        let mut counts: Vec<u32> = vec![0; num_sets + 1];
+        for_each_edge(&mut |s, _| {
+            let i = s as usize + 1;
+            if i >= counts.len() {
+                counts.resize(i + 1, 0);
+            }
+            counts[i] += 1;
+        });
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let total = *counts.last().expect("counts is never empty") as usize;
+
+        // Pass 2: fill the arena through per-set cursors.
+        let mut edges = vec![0u32; total];
+        let mut cursor: Vec<u32> = counts[..counts.len() - 1].to_vec();
+        let m = elements.len() as u32;
+        for_each_edge(&mut |s, d| {
+            debug_assert!(d < m, "dense element {d} out of range {m}");
+            let c = &mut cursor[s as usize];
+            edges[*c as usize] = d;
+            *c += 1;
+        });
+        debug_assert_eq!(
+            cursor.as_slice(),
+            &counts[1..],
+            "second pass must emit the same pair sequence as the first"
+        );
+        CsrInstance {
+            offsets: counts,
+            edges,
+            elements,
+        }
+    }
+
+    /// Pack an owned [`CoverageInstance`] into CSR form (a straight
+    /// copy — the instance's dense compaction is reused verbatim, so
+    /// dense indices and therefore greedy traces coincide exactly).
+    pub fn from_instance(inst: &CoverageInstance) -> Self {
+        let n = CoverageInstance::num_sets(inst);
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut edges: Vec<u32> = Vec::with_capacity(CoverageInstance::num_edges(inst));
+        offsets.push(0);
+        for s in inst.set_ids() {
+            edges.extend_from_slice(CoverageInstance::dense_set(inst, s));
+            offsets.push(edges.len() as u32);
+        }
+        CsrInstance {
+            offsets,
+            edges,
+            elements: inst.element_ids().to_vec(),
+        }
+    }
+
+    /// All set ids `S0..S(n-1)`.
+    pub fn set_ids(&self) -> impl Iterator<Item = SetId> + '_ {
+        (0..CoverageView::num_sets(self) as u32).map(SetId)
+    }
+
+    /// Original element id for a dense index.
+    #[inline]
+    pub fn element_id(&self, dense: u32) -> ElementId {
+        self.elements[dense as usize]
+    }
+
+    /// All element ids, in dense-index order.
+    pub fn element_ids(&self) -> &[ElementId] {
+        &self.elements
+    }
+}
+
+impl CoverageView for CsrInstance {
+    #[inline]
+    fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn dense_set(&self, set: SetId) -> &[u32] {
+        let s = set.index();
+        &self.edges[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+
+    fn tiny() -> CoverageInstance {
+        // S0 = {10, 11}, S1 = {11, 12}, S2 = {13}
+        CoverageInstance::from_edges(
+            3,
+            [
+                Edge::new(0u32, 10u64),
+                Edge::new(0u32, 11u64),
+                Edge::new(1u32, 11u64),
+                Edge::new(1u32, 12u64),
+                Edge::new(2u32, 13u64),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_instance_matches_owned_view() {
+        let g = tiny();
+        let c = CsrInstance::from_instance(&g);
+        assert_eq!(CoverageView::num_sets(&c), CoverageInstance::num_sets(&g));
+        assert_eq!(
+            CoverageView::num_elements(&c),
+            CoverageInstance::num_elements(&g)
+        );
+        assert_eq!(CoverageView::num_edges(&c), CoverageInstance::num_edges(&g));
+        for s in g.set_ids() {
+            assert_eq!(
+                CoverageView::dense_set(&c, s),
+                CoverageInstance::dense_set(&g, s)
+            );
+        }
+        assert_eq!(c.element_ids(), g.element_ids());
+        assert_eq!(
+            CoverageView::element_degrees(&c),
+            CoverageInstance::element_degrees(&g)
+        );
+    }
+
+    #[test]
+    fn counting_sort_construction_groups_by_set() {
+        // Emit pairs element-major; the CSR must come out set-major.
+        let elements: Vec<ElementId> = (0..4u64).map(ElementId).collect();
+        let pairs = [(0u32, 0u32), (1, 0), (0, 1), (2, 2), (1, 3)];
+        let c = CsrInstance::from_edge_fn(3, elements, |emit| {
+            for &(s, d) in &pairs {
+                emit(s, d);
+            }
+        });
+        assert_eq!(CoverageView::num_sets(&c), 3);
+        assert_eq!(CoverageView::num_edges(&c), 5);
+        assert_eq!(CoverageView::dense_set(&c, SetId(0)), &[0, 1]);
+        assert_eq!(CoverageView::dense_set(&c, SetId(1)), &[0, 3]);
+        assert_eq!(CoverageView::dense_set(&c, SetId(2)), &[2]);
+    }
+
+    #[test]
+    fn from_edge_fn_grows_family_on_demand() {
+        let c = CsrInstance::from_edge_fn(1, vec![ElementId(7)], |emit| emit(5, 0));
+        assert_eq!(CoverageView::num_sets(&c), 6);
+        assert_eq!(CoverageView::set_size(&c, SetId(5)), 1);
+        assert_eq!(CoverageView::set_size(&c, SetId(0)), 0);
+        assert_eq!(c.element_id(0), ElementId(7));
+    }
+
+    #[test]
+    fn coverage_agrees_across_views() {
+        let g = tiny();
+        let c = CsrInstance::from_instance(&g);
+        for family in [
+            vec![],
+            vec![SetId(0)],
+            vec![SetId(0), SetId(1)],
+            vec![SetId(0), SetId(1), SetId(2)],
+            vec![SetId(1), SetId(1)],
+        ] {
+            assert_eq!(
+                CoverageView::coverage(&c, &family),
+                CoverageInstance::coverage(&g, &family),
+                "family {family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_view() {
+        let c = CsrInstance::from_edge_fn(0, Vec::new(), |_| {});
+        assert_eq!(CoverageView::num_sets(&c), 0);
+        assert_eq!(CoverageView::num_elements(&c), 0);
+        assert_eq!(CoverageView::num_edges(&c), 0);
+        assert_eq!(c.set_ids().count(), 0);
+    }
+}

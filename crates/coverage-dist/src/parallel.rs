@@ -21,7 +21,10 @@
 //!    reducer), while [`ShipFormat::Json`] routes every ship through the
 //!    full [`SketchSnapshot`](coverage_sketch::SketchSnapshot) wire
 //!    round-trip;
-//! 4. **Solve** — lazy greedy on the merged sketch, as in Algorithm 3.
+//! 4. **Solve** — the merged sketch is exported as a packed CSR view
+//!    (`ThresholdSketch::csr_view`, no rebuild) and solved by the exact
+//!    decremental bucket-queue greedy, as in Algorithm 3 (the engine is
+//!    trace-identical to the lazy reference).
 //!
 //! ## Determinism contract
 //!
@@ -39,7 +42,7 @@
 
 use std::time::Instant;
 
-use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::{Edge, SetId};
 use coverage_sketch::{DynamicSketch, SketchBank, SketchParams, ThresholdSketch};
 use coverage_stream::{DynamicEdgeStream, EdgeStream, SignedEdge, SpaceReport};
@@ -204,7 +207,7 @@ impl ParallelRunner {
 
         let t2 = Instant::now();
         let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
-        let trace = lazy_greedy_k_cover(&merged.instance(), cfg.k);
+        let trace = bucket_greedy_k_cover(&merged.csr_view(), cfg.k);
         let family = trace.family();
         let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
 

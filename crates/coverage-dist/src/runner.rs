@@ -11,7 +11,7 @@
 //! centralize the two knobs every executor must agree on for that to
 //! hold.
 
-use coverage_core::offline::lazy_greedy_k_cover;
+use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
 use coverage_sketch::{DynamicSketch, DynamicSketchParams, SketchSizing, ThresholdSketch};
 use coverage_stream::{DynamicEdgeStream, EdgeStream, SpaceReport};
@@ -156,8 +156,8 @@ fn solve_locals(locals: Vec<ThresholdSketch>, cfg: &DistConfig) -> DistResult {
     // Reduce phase: associative fold.
     let merged = merge_all(locals);
 
-    // Solve phase.
-    let trace = lazy_greedy_k_cover(&merged.instance(), cfg.k);
+    // Solve phase: zero-rebuild query on the merged sketch's CSR view.
+    let trace = bucket_greedy_k_cover(&merged.csr_view(), cfg.k);
     let family = trace.family();
     DistResult {
         estimated_coverage: merged.estimate_coverage(&family),
@@ -222,7 +222,7 @@ pub(crate) fn recover_and_solve(
     k: usize,
 ) -> (Vec<SetId>, f64, coverage_sketch::DynamicSample) {
     let sample = merged.recover_expect();
-    let trace = lazy_greedy_k_cover(&merged.instance(&sample), k);
+    let trace = bucket_greedy_k_cover(&merged.csr_view(&sample), k);
     let family = trace.family();
     let estimated = merged.estimate_coverage(&sample, &family);
     (family, estimated, sample)

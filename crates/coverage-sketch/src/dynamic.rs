@@ -73,7 +73,7 @@
 //! costs more (see the lower bounds discussed in arXiv:2403.14087), and
 //! the `exp_dynamic` experiment measures the gap empirically.
 
-use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use coverage_core::{CoverageInstance, CsrInstance, Edge, ElementId, InstanceBuilder, SetId};
 use coverage_hash::{mix64, KmvSketch, UnitHash};
 use coverage_stream::{DynamicEdgeStream, SignedEdge, SpaceReport, SpaceTracker};
 use serde::{Deserialize, Serialize};
@@ -554,6 +554,50 @@ impl DynamicSketch {
         b.build()
     }
 
+    /// Materialize a recovered sample as a packed [`CsrInstance`] — the
+    /// zero-rebuild solve path. Applies the identical canonical degree
+    /// cap as [`instance`](Self::instance) (per element: sorted, deduped,
+    /// `degree_cap` **smallest** set ids kept) but compacts elements by
+    /// sorting the recovered edge list instead of hashing through a map,
+    /// then counting-sorts the survivors into CSR form. Graph-identical
+    /// to `instance` up to dense relabeling, so greedy traces coincide.
+    pub fn csr_view(&self, sample: &DynamicSample) -> CsrInstance {
+        let cap = self.params.base.degree_cap;
+        // (element, set), element-major: one sort groups each element's
+        // incident sets contiguously *and* ascending — exactly the order
+        // the canonical min-id truncation wants.
+        let mut pairs: Vec<(u64, u32)> = sample
+            .edges
+            .iter()
+            .map(|e| (e.element.0, e.set.0))
+            .collect();
+        pairs.sort_unstable();
+        let mut elements: Vec<ElementId> = Vec::new();
+        let mut kept: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let elem = pairs[i].0;
+            let dense = elements.len() as u32;
+            elements.push(ElementId(elem));
+            let mut taken = 0usize;
+            let mut last: Option<u32> = None;
+            while i < pairs.len() && pairs[i].0 == elem {
+                let s = pairs[i].1;
+                if taken < cap && last != Some(s) {
+                    kept.push((s, dense));
+                    taken += 1;
+                    last = Some(s);
+                }
+                i += 1;
+            }
+        }
+        CsrInstance::from_edge_fn(self.params.base.num_sets, elements, |emit| {
+            for &(s, d) in &kept {
+                emit(s, d);
+            }
+        })
+    }
+
     /// Inverse-probability coverage estimate of `family` on the
     /// surviving graph: `|Γ(sample, family)| / p` (Lemma 2.2 transplanted
     /// to the recovered level).
@@ -894,6 +938,34 @@ mod tests {
             assert_eq!(inst.coverage(&[SetId(s_id as u32)]), 1);
         }
         assert_eq!(inst.coverage(&[SetId(29)]), 0);
+        // The CSR view applies the identical canonical cap.
+        use coverage_core::CoverageView;
+        let view = s.csr_view(&sample);
+        assert_eq!(view.num_elements(), 1);
+        assert_eq!(view.num_edges(), base.degree_cap);
+        let expect: Vec<u32> = (0..base.degree_cap as u32).collect();
+        let got: Vec<u32> = (0..30u32)
+            .filter(|&s_id| !view.dense_set(SetId(s_id)).is_empty())
+            .collect();
+        assert_eq!(got, expect, "cap must keep the smallest set ids");
+    }
+
+    #[test]
+    fn csr_view_traces_match_instance() {
+        use coverage_core::CoverageView;
+        let p = params(4, 300);
+        let ups = churny_updates(4, 500, 3);
+        let s = DynamicSketch::from_stream(p, 11, &VecDynamicStream::new(4, ups));
+        let sample = s.recover().expect("decodes");
+        let inst = s.instance(&sample);
+        let view = s.csr_view(&sample);
+        assert_eq!(view.num_edges(), inst.num_edges());
+        assert_eq!(view.num_elements(), inst.num_elements());
+        for k in [1usize, 2, 4] {
+            let a = coverage_core::offline::lazy_greedy_k_cover(&inst, k);
+            let b = coverage_core::offline::bucket_greedy_k_cover(&view, k);
+            assert_eq!(a.steps, b.steps, "k={k}");
+        }
     }
 
     #[test]

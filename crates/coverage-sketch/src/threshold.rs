@@ -52,7 +52,7 @@
 
 use std::collections::BinaryHeap;
 
-use coverage_core::{CoverageInstance, Edge, InstanceBuilder, SetId};
+use coverage_core::{CoverageInstance, CsrInstance, Edge, ElementId, InstanceBuilder, SetId};
 use coverage_hash::UnitHash;
 use coverage_stream::{EdgeStream, SpaceReport, SpaceTracker};
 
@@ -347,6 +347,12 @@ impl ThresholdSketch {
     /// Materialize the sketch content as a [`CoverageInstance`] over the
     /// retained elements (the graph the offline algorithms run on —
     /// "solve the problem without any other direct access to the input").
+    ///
+    /// This *rebuilds* an owned instance — every retained element goes
+    /// back through a `HashMap` remap. Query paths should prefer
+    /// [`csr_view`](Self::csr_view), which exports the flat store
+    /// directly; this method remains for callers that need the owned
+    /// representation (residual restriction, snapshots, tests).
     pub fn instance(&self) -> CoverageInstance {
         let mut b = InstanceBuilder::new(self.params.num_sets);
         for (key, _, sets, _) in self.store.iter() {
@@ -355,6 +361,46 @@ impl ThresholdSketch {
             }
         }
         b.build()
+    }
+
+    /// Export the sketch content as a packed [`CsrInstance`] — the
+    /// zero-rebuild solve path. The flat store's entry order *is* the
+    /// dense element space, so this is one counting-sort pass over the
+    /// set-list arena: no re-hashing, no `HashMap`, no per-set `Vec`.
+    /// The view is graph-identical to [`instance`](Self::instance) (same
+    /// sets, same element memberships, up to dense relabeling), so
+    /// greedy traces on either are step-for-step equal.
+    pub fn csr_view(&self) -> CsrInstance {
+        let elements: Vec<ElementId> = self.store.iter().map(|(k, _, _, _)| ElementId(k)).collect();
+        if self.params.dedup {
+            // Dedup sketches store duplicate-free set lists: export the
+            // arena as-is.
+            CsrInstance::from_edge_fn(self.params.num_sets, elements, |emit| {
+                for (i, (_, _, sets, _)) in self.store.iter().enumerate() {
+                    for &s in sets {
+                        emit(s, i as u32);
+                    }
+                }
+            })
+        } else {
+            // Without dedup the lists are raw arrival order (possibly
+            // with duplicates): canonicalize per element first, exactly
+            // as `instance`'s builder would.
+            let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(self.edges_stored);
+            let mut scratch: Vec<u32> = Vec::new();
+            for (i, (_, _, sets, _)) in self.store.iter().enumerate() {
+                scratch.clear();
+                scratch.extend_from_slice(sets);
+                scratch.sort_unstable();
+                scratch.dedup();
+                pairs.extend(scratch.iter().map(|&s| (s, i as u32)));
+            }
+            CsrInstance::from_edge_fn(self.params.num_sets, elements, |emit| {
+                for &(s, d) in &pairs {
+                    emit(s, d);
+                }
+            })
+        }
     }
 
     /// Canonicalize one stored list: sorted when dedup is on (the
@@ -773,6 +819,51 @@ mod tests {
         assert_eq!(inst.num_edges(), s.edges_stored());
         assert_eq!(inst.num_elements(), s.elements_stored());
         assert_eq!(inst.num_sets(), 4);
+    }
+
+    #[test]
+    fn csr_view_matches_instance_graph() {
+        use coverage_core::CoverageView;
+        let s = ThresholdSketch::from_stream(params(4, 60), 21, &star_stream(4, 100));
+        let inst = s.instance();
+        let view = s.csr_view();
+        assert_eq!(view.num_edges(), inst.num_edges());
+        assert_eq!(view.num_elements(), inst.num_elements());
+        assert_eq!(view.num_sets(), 4);
+        // Same element-id membership per set, up to dense relabeling.
+        for set in inst.set_ids() {
+            let mut a: Vec<u64> = inst.set_elements(set).map(|e| e.0).collect();
+            let mut b: Vec<u64> = view
+                .dense_set(set)
+                .iter()
+                .map(|&d| view.element_id(d).0)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "set {set:?}");
+        }
+        // Identical greedy traces on either representation.
+        for k in [1usize, 2, 4] {
+            let ti = coverage_core::offline::lazy_greedy_k_cover(&inst, k);
+            let tv = coverage_core::offline::bucket_greedy_k_cover(&view, k);
+            assert_eq!(ti.steps, tv.steps, "k={k}");
+        }
+    }
+
+    #[test]
+    fn csr_view_canonicalizes_without_dedup() {
+        use coverage_core::CoverageView;
+        let mut s = ThresholdSketch::new(params(8, 100).without_dedup(), 5);
+        for set in [5u32, 1, 7, 1, 3] {
+            s.update(Edge::new(set, 9u64));
+        }
+        let view = s.csr_view();
+        // Duplicates collapse and each of {1,3,5,7} holds the element.
+        assert_eq!(view.num_edges(), 4);
+        for set in [1u32, 3, 5, 7] {
+            assert_eq!(view.dense_set(SetId(set)), &[0]);
+        }
+        assert_eq!(view.dense_set(SetId(0)), &[] as &[u32]);
     }
 
     #[test]

@@ -68,13 +68,15 @@ pub mod prelude {
         PruneResult,
     };
     pub use coverage_core::offline::{
-        exact_k_cover, exact_set_cover, exact_weighted_k_cover, greedy_k_cover,
-        greedy_partial_cover, greedy_set_cover, lazy_greedy_k_cover, local_search_k_cover,
-        parallel_greedy_k_cover, stochastic_greedy_k_cover, weighted_coverage,
-        weighted_greedy_k_cover, weighted_greedy_partial_cover, ElementWeights,
+        bucket_greedy_budgeted_cover, bucket_greedy_k_cover, bucket_greedy_set_cover,
+        exact_k_cover, exact_set_cover, exact_weighted_k_cover, greedy_budgeted_cover,
+        greedy_k_cover, greedy_partial_cover, greedy_set_cover, lazy_greedy_k_cover,
+        local_search_k_cover, parallel_greedy_k_cover, stochastic_greedy_k_cover,
+        weighted_coverage, weighted_greedy_k_cover, weighted_greedy_partial_cover, ElementWeights,
     };
     pub use coverage_core::{
-        CoverageInstance, CoverageOracle, Edge, ElementId, InstanceBuilder, SetId,
+        CoverageInstance, CoverageOracle, CoverageView, CsrInstance, Edge, ElementId,
+        InstanceBuilder, SetId,
     };
     pub use coverage_data::{
         adversarial_insert_delete, churn_workload, disjoint_blocks, greedy_trap, planted_k_cover,
