@@ -58,21 +58,43 @@
 //! * records the export-only timings (`instance()` vs `csr_view()`) so
 //!   the rebuild premium is tracked run to run.
 //!
+//! A fifth case exercises the **binary wire format and the multiprocess
+//! executor** and writes `BENCH_6.json`:
+//!
+//! * **fails (exit 1)** if the multiprocess executor (real worker
+//!   subprocesses — this binary re-spawned in a hidden `__worker` mode,
+//!   speaking the framed pipe protocol) selects a different family than
+//!   the sequential simulation or the in-process parallel executor —
+//!   including a run where workers are killed mid-round and their
+//!   shards re-dispatched to survivors (the recovery contract);
+//! * **fails (exit 1)** if the binary snapshot frame is not at least
+//!   **5×** smaller than the JSON encoding on the 8-guess bank
+//!   snapshots — the wire-size gate;
+//! * **fails (exit 1)** if a binary encode+decode round trip is not at
+//!   least **3×** faster than the JSON round trip on the same
+//!   snapshots — the wire-speed gate;
+//! * records the dynamic-snapshot codec numbers alongside (the sparse
+//!   cell encoding) for run-to-run comparison.
+//!
 //! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json
-//! [bench5.json]]]]` (defaults `BENCH_2.json` / `BENCH_3.json` /
-//! `BENCH_4.json` / `BENCH_5.json` in the current directory).
+//! [bench5.json [bench6.json]]]]]` (defaults `BENCH_2.json` …
+//! `BENCH_6.json` in the current directory).
 
 use std::process::exit;
 use std::time::Instant;
 
 use coverage_algs::{k_cover_streaming, KCoverConfig};
 use coverage_core::offline::{bucket_greedy_k_cover, lazy_greedy_k_cover};
-use coverage_core::CoverageView;
+use coverage_core::{CoverageView, SetId};
 use coverage_data::{churn_workload, planted_k_cover};
 use coverage_dist::{
-    distributed_k_cover_serial, dynamic_distributed_k_cover, DistConfig, ParallelRunner,
+    distributed_k_cover_serial, dynamic_distributed_k_cover, partition_updates, DistConfig,
+    ParallelRunner, ProcessRunner, WorkerCommand,
 };
-use coverage_sketch::{ReferenceSketch, SketchBank, SketchParams, SketchSizing, ThresholdSketch};
+use coverage_sketch::{
+    DynamicSketch, DynamicSnapshot, ReferenceSketch, SketchBank, SketchParams, SketchSizing,
+    SketchSnapshot, ThresholdSketch,
+};
 use coverage_stream::{ArrivalOrder, EdgeStream, VecStream};
 use serde::Serialize;
 
@@ -410,7 +432,181 @@ fn solve_smoke(bank: &SketchBank) -> (SolveSmokeRecord, bool) {
     (record, families_match && traces_match && speedup >= 2.0)
 }
 
+/// One snapshot codec's size/speed numbers on a fixed snapshot set.
+#[derive(Serialize)]
+struct WireCodecRecord {
+    snapshots: usize,
+    json_bytes: u64,
+    binary_bytes: u64,
+    /// `json_bytes / binary_bytes` — the gated compression factor.
+    size_ratio: f64,
+    json_roundtrip_ms: f64,
+    binary_roundtrip_ms: f64,
+    /// JSON round-trip time / binary round-trip time — the gated factor.
+    speed_ratio: f64,
+    /// Every decoded snapshot compared equal to its source.
+    roundtrips_identical: bool,
+}
+
+/// Encode + decode every snapshot through both codecs and time the
+/// round trips. `S` is either snapshot type; the JSON side is the serde
+/// path the `ShipFormat::Json` transport uses, the binary side the
+/// framed wire codec under test.
+fn wire_codec_case<S>(
+    snaps: &[S],
+    encode: impl Fn(&S) -> Vec<u8>,
+    decode: impl Fn(&[u8]) -> S,
+) -> WireCodecRecord
+where
+    S: PartialEq + serde::Serialize + serde::Deserialize,
+{
+    let json_bytes: u64 = snaps
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("render json").len() as u64)
+        .sum();
+    let binary_bytes: u64 = snaps.iter().map(|s| encode(s).len() as u64).sum();
+    let (json_ok, json_ms) = best_of(REPS, || {
+        snaps.iter().all(|s| {
+            let doc = serde_json::to_string(s).expect("render json");
+            serde_json::from_str::<S>(&doc).expect("parse json") == *s
+        })
+    });
+    let (bin_ok, bin_ms) = best_of(REPS, || snaps.iter().all(|s| decode(&encode(s)) == *s));
+    WireCodecRecord {
+        snapshots: snaps.len(),
+        json_bytes,
+        binary_bytes,
+        size_ratio: json_bytes as f64 / (binary_bytes as f64).max(1e-9),
+        json_roundtrip_ms: json_ms,
+        binary_roundtrip_ms: bin_ms,
+        speed_ratio: json_ms / bin_ms.max(1e-9),
+        roundtrips_identical: json_ok && bin_ok,
+    }
+}
+
+/// One multiprocess run's outcome.
+#[derive(Serialize)]
+struct ProcessCaseRecord {
+    wall_ms: f64,
+    workers_spawned: usize,
+    workers_lost: usize,
+    shards_resharded: usize,
+    shards_built_inline: usize,
+    pipe_bytes: u64,
+    family: Vec<u32>,
+}
+
+#[derive(Serialize)]
+struct WireSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    machines: usize,
+    processes: usize,
+    /// The 8-guess bank snapshots through both codecs (the gated case).
+    threshold_wire: WireCodecRecord,
+    /// Per-machine dynamic shard snapshots (sparse cells; informational).
+    dynamic_wire: WireCodecRecord,
+    multiprocess: ProcessCaseRecord,
+    /// Same run with two workers killed mid-round by injected faults.
+    multiprocess_killed: ProcessCaseRecord,
+    /// serial == parallel == multiprocess == multiprocess-after-kill.
+    families_match: bool,
+    size_gate: f64,
+    speed_gate: f64,
+}
+
+/// The wire-format + multiprocess smoke case (→ `BENCH_6.json`).
+/// Returns the record and whether every gate holds.
+fn wire_smoke(
+    bank: &SketchBank,
+    stream: &VecStream,
+    planted: &coverage_core::CoverageInstance,
+    cfg: DistConfig,
+    serial_family: &[SetId],
+    parallel_family: &[SetId],
+) -> (WireSmokeRecord, bool) {
+    // --- Codec gates on the 8-guess bank snapshots. ---
+    let snaps: Vec<SketchSnapshot> = bank.sketches().iter().map(SketchSnapshot::of).collect();
+    let threshold_wire = wire_codec_case(
+        &snaps,
+        |s| s.encode_binary(),
+        |b| SketchSnapshot::decode_binary(b).expect("binary frame decodes"),
+    );
+    // Dynamic side: the per-machine shard sketches a multiprocess
+    // dynamic round would actually put on the wire.
+    let w = churn_workload(planted, 0.5, 17);
+    let dyn_params = cfg.dynamic_sketch_params(stream.num_sets());
+    let dsnaps: Vec<DynamicSnapshot> =
+        partition_updates(&w.stream, MACHINES, cfg.shard_seed(), BANK_BATCH)
+            .iter()
+            .map(|shard| {
+                let mut d = DynamicSketch::new(dyn_params, cfg.seed);
+                d.update_batch(shard);
+                DynamicSnapshot::of(&d)
+            })
+            .collect();
+    let dynamic_wire = wire_codec_case(
+        &dsnaps,
+        |s| s.encode_binary(),
+        |b| DynamicSnapshot::decode_binary(b).expect("binary frame decodes"),
+    );
+
+    // --- Multiprocess executor: same family as serial + parallel. ---
+    let command = WorkerCommand::current_exe(vec!["__worker".to_string()])
+        .expect("bench binary can locate itself");
+    let runner = ProcessRunner::new(cfg, command.clone(), THREADS);
+    let t = Instant::now();
+    let proc_res = runner.run(stream).expect("multiprocess run");
+    let proc_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Kill two of the four workers mid-round (on their first shard) and
+    // require the re-shard recovery path to land on the same family.
+    let killer = ProcessRunner::new(cfg, command, THREADS).with_injected_failures([0, 2]);
+    let t = Instant::now();
+    let kill_res = killer.run(stream).expect("multiprocess run with kills");
+    let kill_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let case = |res: &coverage_dist::ProcessResult, wall_ms: f64| ProcessCaseRecord {
+        wall_ms,
+        workers_spawned: res.workers_spawned,
+        workers_lost: res.workers_lost,
+        shards_resharded: res.shards_resharded,
+        shards_built_inline: res.shards_built_inline,
+        pipe_bytes: res.wire_bytes,
+        family: res.family.iter().map(|s| s.0).collect(),
+    };
+    let families_match = proc_res.family == serial_family
+        && proc_res.family == parallel_family
+        && kill_res.family == serial_family;
+    let recovery_exercised = kill_res.workers_lost >= 2 && kill_res.shards_resharded >= 2;
+    let record = WireSmokeRecord {
+        bench: "BENCH_6",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6), 8-guess bank",
+        machines: MACHINES,
+        processes: THREADS,
+        multiprocess: case(&proc_res, proc_ms),
+        multiprocess_killed: case(&kill_res, kill_ms),
+        threshold_wire,
+        dynamic_wire,
+        families_match,
+        size_gate: 5.0,
+        speed_gate: 3.0,
+    };
+    let ok = families_match
+        && recovery_exercised
+        && record.threshold_wire.roundtrips_identical
+        && record.dynamic_wire.roundtrips_identical
+        && record.threshold_wire.size_ratio >= record.size_gate
+        && record.threshold_wire.speed_ratio >= record.speed_gate;
+    (record, ok)
+}
+
 fn main() {
+    // Hidden worker mode: `bench_smoke __worker` serves framed sketch
+    // jobs on stdin/stdout — how BENCH_6 gets real subprocess workers
+    // without depending on another binary's build artifact.
+    if std::env::args().nth(1).as_deref() == Some("__worker") {
+        exit(coverage_dist::worker::run_stdio());
+    }
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_2.json".to_string());
@@ -423,6 +619,9 @@ fn main() {
     let solve_out_path = std::env::args()
         .nth(4)
         .unwrap_or_else(|| "BENCH_5.json".to_string());
+    let wire_out_path = std::env::args()
+        .nth(5)
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -539,6 +738,37 @@ fn main() {
         solve_record.csr_bucket.export_only_wall_ms,
     );
 
+    // --- Wire format + multiprocess smoke case → BENCH_6.json. ---
+    let (wire_record, wire_ok) = wire_smoke(
+        &bank,
+        &stream,
+        &planted.instance,
+        cfg,
+        &seq.family,
+        &par.family,
+    );
+    let wire_json = serde_json::to_string_pretty(&wire_record).expect("render json");
+    if let Err(e) = std::fs::write(&wire_out_path, &wire_json) {
+        eprintln!("bench_smoke: cannot write {wire_out_path}: {e}");
+        exit(1);
+    }
+    println!("{wire_json}");
+    println!(
+        "\nbench_smoke: wire codec on the bank snapshots — binary {:.1} KiB vs json \
+         {:.1} KiB ({:.1}x smaller), round trip {:.2} ms vs {:.2} ms ({:.1}x faster); \
+         multiprocess map {:.1} ms ({} workers), after kills: {} lost, {} resharded",
+        wire_record.threshold_wire.binary_bytes as f64 / 1024.0,
+        wire_record.threshold_wire.json_bytes as f64 / 1024.0,
+        wire_record.threshold_wire.size_ratio,
+        wire_record.threshold_wire.binary_roundtrip_ms,
+        wire_record.threshold_wire.json_roundtrip_ms,
+        wire_record.threshold_wire.speed_ratio,
+        wire_record.multiprocess.wall_ms,
+        wire_record.multiprocess.workers_spawned,
+        wire_record.multiprocess_killed.workers_lost,
+        wire_record.multiprocess_killed.shards_resharded,
+    );
+
     if !families_match {
         eprintln!(
             "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
@@ -599,9 +829,34 @@ fn main() {
         );
         exit(1);
     }
+    if !wire_record.families_match {
+        eprintln!(
+            "bench_smoke: FAIL — multiprocess family {:?} (after kills: {:?}) diverged \
+             from the sequential simulation (process determinism contract broken)",
+            wire_record.multiprocess.family, wire_record.multiprocess_killed.family
+        );
+        exit(1);
+    }
+    if !wire_ok {
+        eprintln!(
+            "bench_smoke: FAIL — wire gates: size {:.2}x (gate {:.0}x), speed {:.2}x \
+             (gate {:.0}x), roundtrips identical {}, kill-recovery lost {} / \
+             resharded {} (need ≥2 each)",
+            wire_record.threshold_wire.size_ratio,
+            wire_record.size_gate,
+            wire_record.threshold_wire.speed_ratio,
+            wire_record.speed_gate,
+            wire_record.threshold_wire.roundtrips_identical
+                && wire_record.dynamic_wire.roundtrips_identical,
+            wire_record.multiprocess_killed.workers_lost,
+            wire_record.multiprocess_killed.shards_resharded,
+        );
+        exit(1);
+    }
     println!(
         "bench_smoke: OK — families identical, parallel faster, dynamic within the \
          approximation bound, flat ingest engine ≥1.5x over the reference, \
-         zero-rebuild solve path ≥2x over instance()+lazy"
+         zero-rebuild solve path ≥2x over instance()+lazy, binary wire ≥5x smaller \
+         and ≥3x faster than json, multiprocess (incl. kill-recovery) bit-identical"
     );
 }

@@ -42,21 +42,41 @@
 //! single-machine build for any partition, thread count, batch size, or
 //! reduce shape. [`dynamic_distributed_k_cover`] is the serial
 //! reference; [`ParallelRunner::run_dynamic`] is the parallel executor.
+//!
+//! ## Real processes
+//!
+//! [`ProcessRunner`] replaces the simulated machines with real OS
+//! subprocesses: the CLI binary re-invoked in a hidden `worker` mode,
+//! speaking the framed binary pipe protocol of [`proto`] over
+//! stdin/stdout. Workers build local sketches over their shards and
+//! ship snapshots back (binary wire frames by default); the parent runs
+//! the identical [`tree_reduce_with`] reduction, so the family is
+//! bit-identical to the serial and in-process parallel executors — a
+//! contract that survives worker loss, because a dead worker's shards
+//! are re-dispatched to survivors and `merge_from` is associative and
+//! commutative.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod parallel;
 pub mod partition;
+pub mod proto;
 pub mod rounds;
 pub mod runner;
+pub mod worker;
 
 pub use parallel::{
     partition_edges, partition_updates, DynamicParallelResult, ParallelResult, ParallelRunner,
 };
 pub use partition::{shard_of_edge, DynamicShardedStream, ShardedStream};
-pub use rounds::{tree_reduce, tree_reduce_with, Composable, RoundCost, RoundsReport, ShipFormat};
+pub use proto::{Message, ProtoError};
+pub use rounds::{
+    tree_reduce, tree_reduce_via, tree_reduce_with, BinaryTransport, Composable, JsonTransport,
+    Loopback, RoundCost, RoundsReport, ShipFormat, Shipment, Transport,
+};
 pub use runner::{
     distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover, merge_all,
-    DistConfig, DistResult, DynDistResult,
+    DistConfig, DistResult, DynDistResult, DynProcessResult, ProcessResult, ProcessRunner,
+    WorkerCommand,
 };

@@ -1,0 +1,576 @@
+//! The parent↔worker pipe protocol of the subprocess executor.
+//!
+//! [`ProcessRunner`](crate::ProcessRunner) talks to its workers over
+//! plain stdin/stdout pipes with length-prefixed, checksummed message
+//! frames — the same envelope discipline as the snapshot wire format
+//! (`coverage_sketch::wire`), under its own magic so a snapshot frame
+//! can never be confused for a protocol message.
+//!
+//! ## Frame layout (version 1)
+//!
+//! | offset   | size | field                                   |
+//! |----------|------|-----------------------------------------|
+//! | 0        | 4    | magic `b"CVPR"`                         |
+//! | 4        | 2    | protocol version, `u16` LE (currently 1)|
+//! | 6        | 1    | message kind                            |
+//! | 7        | 1    | reserved (0)                            |
+//! | 8        | 8    | payload length `u64` LE                 |
+//! | 16       | len  | payload                                 |
+//! | 16 + len | 8    | FNV-1a 64 checksum of bytes `0..16+len` |
+//!
+//! ## Conversation
+//!
+//! The parent sends one *job* (a shard of edges or signed updates plus
+//! the sketch parameters) and the worker answers with one *reply*
+//! carrying its local sketch's snapshot, encoded per the job's requested
+//! [`ShipFormat`] (binary frames in deployment; JSON kept for
+//! wire-fidelity comparisons). A [`Message::Shutdown`] — or simply
+//! closing the pipe — ends the worker. Jobs carry a `fail` flag for
+//! fault-injection tests: a failing worker reads the job and exits
+//! without replying, which the parent observes as EOF and answers with
+//! re-sharding (see `runner.rs`).
+
+use std::io::{Read, Write};
+
+use coverage_core::Edge;
+use coverage_sketch::wire::{checksum64, WireReader, WireWriter};
+use coverage_sketch::{
+    DynamicSketchParams, DynamicSnapshot, SketchParams, SketchSnapshot, WireError,
+};
+use coverage_stream::SignedEdge;
+
+use crate::rounds::ShipFormat;
+
+/// Protocol frame magic (distinct from the snapshot frame magic).
+pub const PROTO_MAGIC: [u8; 4] = *b"CVPR";
+/// Current protocol version.
+pub const PROTO_VERSION: u16 = 1;
+
+const KIND_JOB_SKETCH: u8 = 1;
+const KIND_JOB_DYNAMIC: u8 = 2;
+const KIND_REPLY_SKETCH: u8 = 3;
+const KIND_REPLY_DYNAMIC: u8 = 4;
+const KIND_SHUTDOWN: u8 = 5;
+
+const SHIP_BINARY: u8 = 0;
+const SHIP_JSON: u8 = 1;
+
+/// A protocol failure: either the pipe broke or a frame was corrupt.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying pipe failed mid-frame.
+    Io(std::io::Error),
+    /// A frame or its payload failed validation.
+    Wire(WireError),
+    /// The pipe closed cleanly between frames (worker exit / EOF).
+    Eof,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "pipe error: {e}"),
+            ProtoError::Wire(e) => write!(f, "protocol frame error: {e}"),
+            ProtoError::Eof => write!(f, "pipe closed"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// One protocol message.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Parent → worker: build an insertion-only sketch over `edges`.
+    JobSketch {
+        /// Sketch parameters for the worker's local sketch.
+        params: SketchParams,
+        /// Shared hash seed (workers must agree to merge).
+        seed: u64,
+        /// How the reply snapshot travels back.
+        ship: ShipFormat,
+        /// Fault injection: read the job, then die without replying.
+        fail: bool,
+        /// Update-batch size (parity with the in-process executors).
+        batch: usize,
+        /// The shard of edges to ingest.
+        edges: Vec<Edge>,
+    },
+    /// Parent → worker: build a dynamic sketch over signed `updates`.
+    JobDynamic {
+        /// Dynamic sketch parameters for the worker's local sketch.
+        params: DynamicSketchParams,
+        /// Shared hash seed (workers must agree to merge).
+        seed: u64,
+        /// How the reply snapshot travels back.
+        ship: ShipFormat,
+        /// Fault injection: read the job, then die without replying.
+        fail: bool,
+        /// Update-batch size (parity with the in-process executors).
+        batch: usize,
+        /// The shard of signed updates to ingest.
+        updates: Vec<SignedEdge>,
+    },
+    /// Worker → parent: the local insertion-only sketch's snapshot.
+    ReplySketch {
+        /// The worker's local snapshot.
+        snapshot: SketchSnapshot,
+        /// The encoding it traveled in.
+        ship: ShipFormat,
+    },
+    /// Worker → parent: the local dynamic sketch's snapshot.
+    ReplyDynamic {
+        /// The worker's local snapshot.
+        snapshot: DynamicSnapshot,
+        /// The encoding it traveled in.
+        ship: ShipFormat,
+    },
+    /// Parent → worker: exit cleanly.
+    Shutdown,
+}
+
+fn put_ship(w: &mut WireWriter, ship: ShipFormat) {
+    // In-memory shipping cannot cross a pipe; the runner maps it to
+    // binary before dispatch, so only two codes exist on the wire.
+    w.put_u8(match ship {
+        ShipFormat::Json => SHIP_JSON,
+        _ => SHIP_BINARY,
+    });
+}
+
+fn get_ship(r: &mut WireReader<'_>) -> Result<ShipFormat, ProtoError> {
+    match r.get_u8()? {
+        SHIP_BINARY => Ok(ShipFormat::Binary),
+        SHIP_JSON => Ok(ShipFormat::Json),
+        _ => Err(WireError::Malformed("unknown ship format code").into()),
+    }
+}
+
+fn put_base_params(w: &mut WireWriter, p: &SketchParams) {
+    w.put_varint(p.num_sets as u64);
+    w.put_varint(p.k as u64);
+    w.put_u64(p.epsilon.to_bits());
+    w.put_varint(p.degree_cap as u64);
+    w.put_varint(p.edge_budget as u64);
+    w.put_varint(p.edge_slack as u64);
+    w.put_u8(p.dedup as u8);
+}
+
+fn get_base_params(r: &mut WireReader<'_>) -> Result<SketchParams, ProtoError> {
+    Ok(SketchParams {
+        num_sets: r.get_len()?,
+        k: r.get_len()?,
+        epsilon: f64::from_bits(r.get_u64()?),
+        degree_cap: r.get_len()?,
+        edge_budget: r.get_len()?,
+        edge_slack: r.get_len()?,
+        dedup: match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed("dedup flag is not 0 or 1").into()),
+        },
+    })
+}
+
+fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
+    let mut w = WireWriter::new();
+    match msg {
+        Message::JobSketch {
+            params,
+            seed,
+            ship,
+            fail,
+            batch,
+            edges,
+        } => {
+            put_base_params(&mut w, params);
+            w.put_u64(*seed);
+            put_ship(&mut w, *ship);
+            w.put_u8(*fail as u8);
+            w.put_varint(*batch as u64);
+            w.put_varint(edges.len() as u64);
+            for e in edges {
+                w.put_varint(e.set.0 as u64);
+                w.put_varint(e.element.0);
+            }
+            (KIND_JOB_SKETCH, w.into_bytes())
+        }
+        Message::JobDynamic {
+            params,
+            seed,
+            ship,
+            fail,
+            batch,
+            updates,
+        } => {
+            put_base_params(&mut w, &params.base);
+            w.put_varint(params.levels as u64);
+            w.put_varint(params.rows as u64);
+            w.put_varint(params.row_len as u64);
+            w.put_u64(*seed);
+            put_ship(&mut w, *ship);
+            w.put_u8(*fail as u8);
+            w.put_varint(*batch as u64);
+            w.put_varint(updates.len() as u64);
+            for u in updates {
+                w.put_u8(if u.sign() >= 0 { 0 } else { 1 });
+                w.put_varint(u.edge.set.0 as u64);
+                w.put_varint(u.edge.element.0);
+            }
+            (KIND_JOB_DYNAMIC, w.into_bytes())
+        }
+        Message::ReplySketch { snapshot, ship } => {
+            put_ship(&mut w, *ship);
+            let encoded = match ship {
+                ShipFormat::Json => snapshot.to_json().into_bytes(),
+                _ => snapshot.encode_binary(),
+            };
+            w.put_varint(encoded.len() as u64);
+            w.put_bytes(&encoded);
+            (KIND_REPLY_SKETCH, w.into_bytes())
+        }
+        Message::ReplyDynamic { snapshot, ship } => {
+            put_ship(&mut w, *ship);
+            let encoded = match ship {
+                ShipFormat::Json => snapshot.to_json().into_bytes(),
+                _ => snapshot.encode_binary(),
+            };
+            w.put_varint(encoded.len() as u64);
+            w.put_bytes(&encoded);
+            (KIND_REPLY_DYNAMIC, w.into_bytes())
+        }
+        Message::Shutdown => (KIND_SHUTDOWN, Vec::new()),
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
+    let mut r = WireReader::new(payload);
+    let msg = match kind {
+        KIND_JOB_SKETCH => {
+            let params = get_base_params(&mut r)?;
+            let seed = r.get_u64()?;
+            let ship = get_ship(&mut r)?;
+            let fail = r.get_u8()? != 0;
+            let batch = r.get_len()?;
+            let n = r.get_len()?;
+            if n > r.remaining() {
+                return Err(WireError::Malformed("edge count exceeds payload size").into());
+            }
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let set = u32::try_from(r.get_varint()?)
+                    .map_err(|_| WireError::Malformed("set id exceeds u32"))?;
+                edges.push(Edge::new(set, r.get_varint()?));
+            }
+            Message::JobSketch {
+                params,
+                seed,
+                ship,
+                fail,
+                batch,
+                edges,
+            }
+        }
+        KIND_JOB_DYNAMIC => {
+            let base = get_base_params(&mut r)?;
+            let levels = r.get_len()?;
+            let rows = r.get_len()?;
+            let row_len = r.get_len()?;
+            let params = DynamicSketchParams {
+                base,
+                levels,
+                rows,
+                row_len,
+            };
+            let seed = r.get_u64()?;
+            let ship = get_ship(&mut r)?;
+            let fail = r.get_u8()? != 0;
+            let batch = r.get_len()?;
+            let n = r.get_len()?;
+            if n > r.remaining() {
+                return Err(WireError::Malformed("update count exceeds payload size").into());
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let sign = r.get_u8()?;
+                let set = u32::try_from(r.get_varint()?)
+                    .map_err(|_| WireError::Malformed("set id exceeds u32"))?;
+                let edge = Edge::new(set, r.get_varint()?);
+                updates.push(match sign {
+                    0 => SignedEdge::insert(edge),
+                    1 => SignedEdge::delete(edge),
+                    _ => return Err(WireError::Malformed("unknown update sign").into()),
+                });
+            }
+            Message::JobDynamic {
+                params,
+                seed,
+                ship,
+                fail,
+                batch,
+                updates,
+            }
+        }
+        KIND_REPLY_SKETCH => {
+            let ship = get_ship(&mut r)?;
+            let len = r.get_len()?;
+            let encoded = r.get_bytes(len)?;
+            let snapshot = match ship {
+                ShipFormat::Json => {
+                    let text = std::str::from_utf8(encoded)
+                        .map_err(|_| WireError::Malformed("reply JSON is not UTF-8"))?;
+                    SketchSnapshot::from_json(text)
+                        .map_err(|_| WireError::Malformed("reply JSON does not parse"))?
+                }
+                _ => SketchSnapshot::decode_binary(encoded)?,
+            };
+            Message::ReplySketch { snapshot, ship }
+        }
+        KIND_REPLY_DYNAMIC => {
+            let ship = get_ship(&mut r)?;
+            let len = r.get_len()?;
+            let encoded = r.get_bytes(len)?;
+            let snapshot = match ship {
+                ShipFormat::Json => {
+                    let text = std::str::from_utf8(encoded)
+                        .map_err(|_| WireError::Malformed("reply JSON is not UTF-8"))?;
+                    DynamicSnapshot::from_json(text)
+                        .map_err(|_| WireError::Malformed("reply JSON does not parse"))?
+                }
+                _ => DynamicSnapshot::decode_binary(encoded)?,
+            };
+            Message::ReplyDynamic { snapshot, ship }
+        }
+        KIND_SHUTDOWN => Message::Shutdown,
+        other => return Err(WireError::UnknownKind { found: other }.into()),
+    };
+    if !r.is_done() {
+        return Err(WireError::Malformed("leftover payload bytes").into());
+    }
+    Ok(msg)
+}
+
+/// Write one framed message, returning the total bytes put on the pipe.
+pub fn write_message(out: &mut impl Write, msg: &Message) -> Result<u64, ProtoError> {
+    let (kind, payload) = encode_payload(msg);
+    let mut w = WireWriter::new();
+    w.put_bytes(&PROTO_MAGIC);
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(kind);
+    w.put_u8(0);
+    w.put_u64(payload.len() as u64);
+    w.put_bytes(&payload);
+    let frame_body = w.into_bytes();
+    let sum = checksum64(&frame_body);
+    out.write_all(&frame_body)?;
+    out.write_all(&sum.to_le_bytes())?;
+    out.flush()?;
+    Ok(frame_body.len() as u64 + 8)
+}
+
+/// Read one framed message, returning it with the total bytes consumed.
+///
+/// Returns [`ProtoError::Eof`] when the pipe closes cleanly *between*
+/// frames (a finished worker); a pipe that dies mid-frame is an
+/// [`ProtoError::Io`], and a frame that fails validation (magic,
+/// version, checksum, payload structure) is a [`ProtoError::Wire`].
+pub fn read_message(input: &mut impl Read) -> Result<(Message, u64), ProtoError> {
+    let mut header = [0u8; 16];
+    // Distinguish clean EOF (no bytes at all) from a mid-frame cut.
+    let mut got = 0usize;
+    while got < header.len() {
+        match input.read(&mut header[got..])? {
+            0 if got == 0 => return Err(ProtoError::Eof),
+            0 => {
+                return Err(ProtoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "pipe closed mid-frame",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    if header[0..4] != PROTO_MAGIC {
+        return Err(WireError::BadMagic.into());
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != PROTO_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version }.into());
+    }
+    let kind = header[6];
+    let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len)
+        .map_err(|_| WireError::Malformed("payload length exceeds the address space"))?;
+    let mut payload = vec![0u8; payload_len];
+    input.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    input.read_exact(&mut sum)?;
+    let mut body = Vec::with_capacity(16 + payload_len);
+    body.extend_from_slice(&header);
+    body.extend_from_slice(&payload);
+    if checksum64(&body) != u64::from_le_bytes(sum) {
+        return Err(WireError::ChecksumMismatch.into());
+    }
+    let msg = decode_payload(kind, &payload)?;
+    Ok((msg, 16 + payload_len as u64 + 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_sketch::ThresholdSketch;
+    use coverage_stream::VecStream;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        let written = write_message(&mut buf, msg).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let mut cursor = &buf[..];
+        let (back, read) = read_message(&mut cursor).unwrap();
+        assert_eq!(read, written);
+        assert!(cursor.is_empty());
+        back
+    }
+
+    #[test]
+    fn job_sketch_roundtrips() {
+        let msg = Message::JobSketch {
+            params: SketchParams::with_budget(6, 2, 0.5, 100),
+            seed: 42,
+            ship: ShipFormat::Binary,
+            fail: false,
+            batch: 4096,
+            edges: vec![Edge::new(0u32, 7u64), Edge::new(5u32, u64::MAX)],
+        };
+        match roundtrip(&msg) {
+            Message::JobSketch {
+                params,
+                seed,
+                ship,
+                fail,
+                batch,
+                edges,
+            } => {
+                assert_eq!(params, SketchParams::with_budget(6, 2, 0.5, 100));
+                assert_eq!(seed, 42);
+                assert_eq!(ship, ShipFormat::Binary);
+                assert!(!fail);
+                assert_eq!(batch, 4096);
+                assert_eq!(
+                    edges,
+                    vec![Edge::new(0u32, 7u64), Edge::new(5u32, u64::MAX)]
+                );
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_dynamic_roundtrips_signs() {
+        let params = DynamicSketchParams::new(SketchParams::with_budget(3, 1, 0.5, 50));
+        let msg = Message::JobDynamic {
+            params,
+            seed: 7,
+            ship: ShipFormat::Json,
+            fail: true,
+            batch: 512,
+            updates: vec![
+                SignedEdge::insert(Edge::new(1u32, 10u64)),
+                SignedEdge::delete(Edge::new(1u32, 10u64)),
+            ],
+        };
+        match roundtrip(&msg) {
+            Message::JobDynamic {
+                params: p,
+                fail,
+                updates,
+                ship,
+                ..
+            } => {
+                assert_eq!(p, params);
+                assert!(fail);
+                assert_eq!(ship, ShipFormat::Json);
+                assert_eq!(updates.len(), 2);
+                assert!(updates[0].sign() > 0);
+                assert!(updates[1].sign() < 0);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_in_both_encodings() {
+        let params = SketchParams::with_budget(4, 2, 0.5, 80);
+        let edges: Vec<Edge> = (0..200u64).map(|e| Edge::new((e % 4) as u32, e)).collect();
+        let sketch = ThresholdSketch::from_stream(params, 11, &VecStream::new(4, edges));
+        let snapshot = SketchSnapshot::of(&sketch);
+        for ship in [ShipFormat::Binary, ShipFormat::Json] {
+            let msg = Message::ReplySketch {
+                snapshot: snapshot.clone(),
+                ship,
+            };
+            match roundtrip(&msg) {
+                Message::ReplySketch { snapshot: back, .. } => assert_eq!(back, snapshot),
+                other => panic!("wrong message: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_roundtrips() {
+        assert!(matches!(roundtrip(&Message::Shutdown), Message::Shutdown));
+    }
+
+    #[test]
+    fn empty_pipe_is_clean_eof() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_message(&mut empty), Err(ProtoError::Eof)));
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Shutdown).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_message(&mut &bad[..]),
+            Err(ProtoError::Wire(WireError::BadMagic))
+        ));
+        // Version bump.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            read_message(&mut &bad[..]),
+            Err(ProtoError::Wire(WireError::UnsupportedVersion { found: 9 }))
+        ));
+        // Payload-area corruption → checksum. (Shutdown has no payload;
+        // flip a checksum byte instead.)
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(matches!(
+            read_message(&mut &bad[..]),
+            Err(ProtoError::Wire(WireError::ChecksumMismatch))
+        ));
+        // Mid-frame cut → Io, not Eof.
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_message(&mut &cut[..]),
+            Err(ProtoError::Io(_))
+        ));
+    }
+}

@@ -1,4 +1,5 @@
-//! Round-structured reduction: merge trees and communication accounting.
+//! Round-structured reduction: merge trees, transports, and
+//! communication accounting.
 //!
 //! The companion paper (`[10]`) cares about *rounds* and *communication*,
 //! the costs MapReduce charges for. A flat fold (`merge_all`) is one
@@ -14,12 +15,20 @@
 //! cost profile. [`RoundsReport`] records both so the `exp_distributed`
 //! experiment can print the rounds-vs-communication trade-off.
 //!
-//! The reduction is generic over the [`Composable`] trait, so the same
-//! tree (and the same determinism contract) serves both sketch
-//! families: the insertion-only [`ThresholdSketch`] (associative and
-//! commutative up to the canonical min-set-id truncation) and the
-//! dynamic [`DynamicSketch`] (exactly linear, hence bit-identical under
-//! any reduction shape).
+//! The reduction is generic along two axes:
+//!
+//! * the [`Composable`] trait, so the same tree (and the same
+//!   determinism contract) serves both sketch families — the
+//!   insertion-only [`ThresholdSketch`] (associative and commutative up
+//!   to the canonical min-set-id truncation) and the dynamic
+//!   [`DynamicSketch`] (exactly linear, hence bit-identical under any
+//!   reduction shape);
+//! * the [`Transport`] trait, so *how* a child reaches its leader —
+//!   pointer move, JSON text, or the compact binary frames of
+//!   `coverage_sketch::wire` — is a pluggable seam shared with the
+//!   subprocess executor ([`ProcessRunner`](crate::ProcessRunner)).
+//!   Every transport must round-trip the full logical state, so any
+//!   [`ShipFormat`] yields the identical merged sketch.
 
 use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
 
@@ -27,22 +36,33 @@ use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdS
 ///
 /// `merge_from` must be associative (and is commutative for both
 /// implementations here), so the tree's shape cannot change the merged
-/// result; `ship_json`/`unship_json` must round-trip the full logical
-/// state so [`ShipFormat::Json`] continuously exercises wire fidelity.
+/// result; the ship/unship pairs must round-trip the full logical state
+/// so [`ShipFormat::Json`] and [`ShipFormat::Binary`] continuously
+/// exercise wire fidelity.
 pub trait Composable: Sized {
     /// Merge `other` into `self` (associative).
     fn merge_from(&mut self, other: &Self);
 
-    /// Words one wire shipment of this sketch costs (the
-    /// [`RoundCost`] accounting unit).
+    /// Words one wire shipment of this sketch costs (the model-level
+    /// [`RoundCost`] accounting unit, independent of encoding).
     fn ship_words(&self) -> u64;
 
-    /// Serialize the full logical state for shipping.
+    /// Serialize the full logical state as JSON text.
     fn ship_json(&self) -> String;
 
-    /// Restore a shipped sketch. Panics on a corrupt payload — a
+    /// Restore a JSON shipment. Panics on a corrupt payload — a
     /// reducer must not silently merge garbage.
     fn unship_json(json: &str) -> Self;
+
+    /// Serialize the full logical state as a binary wire frame
+    /// (`coverage_sketch::wire`, versioned + checksummed).
+    fn ship_binary(&self) -> Vec<u8>;
+
+    /// Restore a binary shipment. Panics on a corrupt frame — the
+    /// decoder's typed [`WireError`](coverage_sketch::WireError) is the
+    /// recoverable path (used by the subprocess protocol); inside a
+    /// reduce tree a bad frame is a logic error.
+    fn unship_binary(bytes: &[u8]) -> Self;
 }
 
 impl Composable for ThresholdSketch {
@@ -65,6 +85,16 @@ impl Composable for ThresholdSketch {
             .expect("wire snapshot must parse")
             .restore()
     }
+
+    fn ship_binary(&self) -> Vec<u8> {
+        SketchSnapshot::of(self).encode_binary()
+    }
+
+    fn unship_binary(bytes: &[u8]) -> Self {
+        SketchSnapshot::decode_binary(bytes)
+            .expect("binary frame must decode")
+            .restore()
+    }
 }
 
 impl Composable for DynamicSketch {
@@ -85,6 +115,78 @@ impl Composable for DynamicSketch {
             .expect("wire snapshot must parse")
             .restore()
     }
+
+    fn ship_binary(&self) -> Vec<u8> {
+        DynamicSnapshot::of(self).encode_binary()
+    }
+
+    fn unship_binary(bytes: &[u8]) -> Self {
+        DynamicSnapshot::decode_binary(bytes)
+            .expect("binary frame must decode")
+            .restore()
+    }
+}
+
+/// One shipped sketch: the (round-tripped) sketch plus what the trip
+/// cost on the wire.
+pub struct Shipment<S> {
+    /// The sketch after the transport's round-trip.
+    pub sketch: S,
+    /// Actual encoded payload bytes this shipment put on the wire
+    /// (0 for in-memory transports — nothing was encoded).
+    pub bytes: u64,
+}
+
+/// How a sketch travels from a child to its group leader.
+///
+/// A transport must be *faithful*: the delivered sketch's logical state
+/// equals the input's, so the reduce tree's result is transport-
+/// independent (property-tested in `tests/wire_equivalence.rs`). The
+/// subprocess executor reuses the same seam: workers ship snapshots over
+/// pipes with the identical binary frames [`BinaryTransport`] uses.
+pub trait Transport {
+    /// Ship one sketch, returning the delivered sketch and its wire cost.
+    fn ship<S: Composable>(&self, sketch: S) -> Shipment<S>;
+}
+
+/// Pointer-move "transport": a shared-memory reducer. Ships nothing, so
+/// [`Shipment::bytes`] is 0 by definition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Loopback;
+
+impl Transport for Loopback {
+    fn ship<S: Composable>(&self, sketch: S) -> Shipment<S> {
+        Shipment { sketch, bytes: 0 }
+    }
+}
+
+/// JSON-text transport: snapshot → JSON string → parse → restore.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonTransport;
+
+impl Transport for JsonTransport {
+    fn ship<S: Composable>(&self, sketch: S) -> Shipment<S> {
+        let json = sketch.ship_json();
+        Shipment {
+            bytes: json.len() as u64,
+            sketch: S::unship_json(&json),
+        }
+    }
+}
+
+/// Binary-frame transport: snapshot → versioned checksummed frame →
+/// decode → restore (the deployable encoding).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BinaryTransport;
+
+impl Transport for BinaryTransport {
+    fn ship<S: Composable>(&self, sketch: S) -> Shipment<S> {
+        let frame = sketch.ship_binary();
+        Shipment {
+            bytes: frame.len() as u64,
+            sketch: S::unship_binary(&frame),
+        }
+    }
 }
 
 /// Cost accounting of one reduction round.
@@ -95,8 +197,15 @@ pub struct RoundCost {
     /// Sketches alive after the round (one per group).
     pub sketches_out: usize,
     /// Total words shipped in this round (snapshot edges ×2 + per-element
-    /// headers ×4; leaders receive, non-leaders send).
+    /// headers ×4; leaders receive, non-leaders send). A model-level
+    /// count, identical across every [`ShipFormat`].
     pub words_shipped: u64,
+    /// Total *encoded payload* bytes shipped in this round — the actual
+    /// wire cost of the chosen format: JSON text length for
+    /// [`ShipFormat::Json`], binary frame length for
+    /// [`ShipFormat::Binary`], and 0 for [`ShipFormat::InMemory`]
+    /// (nothing is encoded; "shipping" is a pointer move).
+    pub bytes_shipped: u64,
 }
 
 /// Full report of a tree reduction.
@@ -112,12 +221,12 @@ impl RoundsReport {
         self.rounds.len()
     }
 
-    /// Total communication across rounds.
+    /// Total communication across rounds, in model words.
     pub fn total_words(&self) -> u64 {
         self.rounds.iter().map(|r| r.words_shipped).sum()
     }
 
-    /// Largest single-round shipment.
+    /// Largest single-round shipment, in model words.
     pub fn peak_round_words(&self) -> u64 {
         self.rounds
             .iter()
@@ -125,11 +234,27 @@ impl RoundsReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total encoded payload bytes across rounds (0 when everything
+    /// moved in memory).
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_shipped).sum()
+    }
+
+    /// Largest single-round encoded shipment, in bytes.
+    pub fn peak_round_bytes(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| r.bytes_shipped)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// How non-leader sketches travel to their group leader during a tree
 /// reduction. Merging is shape- and format-independent, so the choice
-/// affects only fidelity-vs-speed of the *simulation*.
+/// affects only the fidelity-vs-speed of the *simulation* and the
+/// [`RoundCost::bytes_shipped`] accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ShipFormat {
     /// Full wire round-trip per ship: snapshot → JSON text → parse →
@@ -137,11 +262,27 @@ pub enum ShipFormat {
     /// what [`tree_reduce`] uses.
     #[default]
     Json,
+    /// Compact binary round-trip per ship: snapshot → versioned,
+    /// checksummed frame → decode → restore → merge. The deployable
+    /// encoding — what the subprocess executor ships over its pipes.
+    Binary,
     /// Direct in-memory merge (a shared-memory reducer, where "shipping"
-    /// is a pointer move). Same merges, same [`RoundCost`] accounting,
-    /// none of the text-layer cost — what the parallel executor uses on
-    /// its hot path.
+    /// is a pointer move). Same merges, same word accounting, zero
+    /// `bytes_shipped` — what the parallel executor uses on its hot
+    /// path.
     InMemory,
+}
+
+impl ShipFormat {
+    /// Parse a CLI spelling (`json` / `binary` / `memory`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(ShipFormat::Json),
+            "binary" | "bin" => Some(ShipFormat::Binary),
+            "memory" | "inmemory" => Some(ShipFormat::InMemory),
+            _ => None,
+        }
+    }
 }
 
 /// Reduce `sketches` with a merge tree of the given fan-in (`≥ 2`).
@@ -150,7 +291,7 @@ pub enum ShipFormat {
 /// format (exactly what a real deployment would ship) and the group
 /// leader merges the restored sketches — so this path also continuously
 /// exercises serialization fidelity. Use [`tree_reduce_with`] to pick a
-/// cheaper [`ShipFormat`]. Generic over [`Composable`]: the same tree
+/// different [`ShipFormat`]. Generic over [`Composable`]: the same tree
 /// reduces insertion-only and dynamic sketches.
 pub fn tree_reduce<S: Composable>(sketches: Vec<S>, fan_in: usize) -> (S, RoundsReport) {
     tree_reduce_with(sketches, fan_in, ShipFormat::Json)
@@ -158,9 +299,23 @@ pub fn tree_reduce<S: Composable>(sketches: Vec<S>, fan_in: usize) -> (S, Rounds
 
 /// [`tree_reduce`] with an explicit [`ShipFormat`].
 pub fn tree_reduce_with<S: Composable>(
-    mut sketches: Vec<S>,
+    sketches: Vec<S>,
     fan_in: usize,
     format: ShipFormat,
+) -> (S, RoundsReport) {
+    match format {
+        ShipFormat::Json => tree_reduce_via(sketches, fan_in, &JsonTransport),
+        ShipFormat::Binary => tree_reduce_via(sketches, fan_in, &BinaryTransport),
+        ShipFormat::InMemory => tree_reduce_via(sketches, fan_in, &Loopback),
+    }
+}
+
+/// [`tree_reduce`] over an explicit [`Transport`] — the fully general
+/// seam ([`tree_reduce_with`] is this with a format-chosen transport).
+pub fn tree_reduce_via<S: Composable, T: Transport>(
+    mut sketches: Vec<S>,
+    fan_in: usize,
+    transport: &T,
 ) -> (S, RoundsReport) {
     assert!(fan_in >= 2, "fan-in must be at least 2");
     assert!(!sketches.is_empty(), "need at least one sketch");
@@ -168,6 +323,7 @@ pub fn tree_reduce_with<S: Composable>(
     while sketches.len() > 1 {
         let in_count = sketches.len();
         let mut shipped = 0u64;
+        let mut bytes = 0u64;
         let mut next: Vec<S> = Vec::with_capacity(in_count.div_ceil(fan_in));
         let mut iter = sketches.into_iter();
         // Groups take ownership: leaders move to the next round instead
@@ -175,14 +331,9 @@ pub fn tree_reduce_with<S: Composable>(
         while let Some(mut leader) = iter.next() {
             for child in iter.by_ref().take(fan_in - 1) {
                 shipped += child.ship_words();
-                match format {
-                    ShipFormat::Json => {
-                        // Wire round-trip: snapshot → JSON → restore → merge.
-                        let restored = S::unship_json(&child.ship_json());
-                        leader.merge_from(&restored);
-                    }
-                    ShipFormat::InMemory => leader.merge_from(&child),
-                }
+                let delivered = transport.ship(child);
+                bytes += delivered.bytes;
+                leader.merge_from(&delivered.sketch);
             }
             next.push(leader);
         }
@@ -190,6 +341,7 @@ pub fn tree_reduce_with<S: Composable>(
             sketches_in: in_count,
             sketches_out: next.len(),
             words_shipped: shipped,
+            bytes_shipped: bytes,
         });
         sketches = next;
     }
@@ -259,10 +411,47 @@ mod tests {
     fn ship_formats_agree() {
         let (shards, _) = build_shards(7, 120);
         let (via_json, json_rounds) = tree_reduce_with(shards.clone(), 3, ShipFormat::Json);
+        let (via_binary, bin_rounds) = tree_reduce_with(shards.clone(), 3, ShipFormat::Binary);
         let (in_memory, mem_rounds) = tree_reduce_with(shards, 3, ShipFormat::InMemory);
         assert_eq!(keys(&via_json), keys(&in_memory));
+        assert_eq!(keys(&via_binary), keys(&in_memory));
         assert_eq!(json_rounds.num_rounds(), mem_rounds.num_rounds());
         assert_eq!(json_rounds.total_words(), mem_rounds.total_words());
+        assert_eq!(bin_rounds.total_words(), mem_rounds.total_words());
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_the_format() {
+        let (shards, _) = build_shards(6, 120);
+        let (_, json_rounds) = tree_reduce_with(shards.clone(), 2, ShipFormat::Json);
+        let (_, bin_rounds) = tree_reduce_with(shards.clone(), 2, ShipFormat::Binary);
+        let (_, mem_rounds) = tree_reduce_with(shards, 2, ShipFormat::InMemory);
+        // In-memory ships no encoded payload at all — 0 by definition.
+        assert_eq!(mem_rounds.total_bytes(), 0);
+        // Wire formats report their actual encoded sizes, and the binary
+        // frames are materially smaller than the JSON text.
+        assert!(json_rounds.total_bytes() > 0);
+        assert!(bin_rounds.total_bytes() > 0);
+        assert!(
+            bin_rounds.total_bytes() * 2 < json_rounds.total_bytes(),
+            "binary {} vs json {}",
+            bin_rounds.total_bytes(),
+            json_rounds.total_bytes()
+        );
+        // Model-word accounting is format-independent.
+        assert_eq!(json_rounds.total_words(), bin_rounds.total_words());
+        for r in &mem_rounds.rounds {
+            assert_eq!(r.bytes_shipped, 0);
+        }
+    }
+
+    #[test]
+    fn explicit_transport_seam_matches_formats() {
+        let (shards, _) = build_shards(5, 100);
+        let (a, ar) = tree_reduce_via(shards.clone(), 2, &BinaryTransport);
+        let (b, br) = tree_reduce_with(shards, 2, ShipFormat::Binary);
+        assert_eq!(keys(&a), keys(&b));
+        assert_eq!(ar.total_bytes(), br.total_bytes());
     }
 
     #[test]
@@ -296,6 +485,7 @@ mod tests {
         let (merged, report) = tree_reduce(shards, 2);
         assert_eq!(report.num_rounds(), 0);
         assert_eq!(report.total_words(), 0);
+        assert_eq!(report.total_bytes(), 0);
         assert_eq!(keys(&merged), keys(&single));
     }
 
@@ -317,5 +507,14 @@ mod tests {
         // as merges compact entries).
         let ratio = narrow.total_words() as f64 / wide.total_words().max(1) as f64;
         assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ship_format_parses_cli_spellings() {
+        assert_eq!(ShipFormat::parse("json"), Some(ShipFormat::Json));
+        assert_eq!(ShipFormat::parse("binary"), Some(ShipFormat::Binary));
+        assert_eq!(ShipFormat::parse("bin"), Some(ShipFormat::Binary));
+        assert_eq!(ShipFormat::parse("memory"), Some(ShipFormat::InMemory));
+        assert_eq!(ShipFormat::parse("carrier-pigeon"), None);
     }
 }

@@ -11,12 +11,24 @@
 //! centralize the two knobs every executor must agree on for that to
 //! hold.
 
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Instant;
+
 use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
-use coverage_sketch::{DynamicSketch, DynamicSketchParams, SketchSizing, ThresholdSketch};
+use coverage_sketch::{
+    DynamicSketch, DynamicSketchParams, DynamicSnapshot, SketchSizing, SketchSnapshot,
+    ThresholdSketch,
+};
 use coverage_stream::{DynamicEdgeStream, EdgeStream, SpaceReport};
 
+use crate::parallel::{partition_edges, partition_updates};
 use crate::partition::{DynamicShardedStream, ShardedStream};
+use crate::proto::{read_message, write_message, Message};
+use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
 
 /// Configuration of a distributed k-cover run.
 #[derive(Clone, Copy, Debug)]
@@ -244,6 +256,488 @@ pub(crate) fn solve_dynamic_locals(locals: Vec<DynamicSketch>, cfg: &DistConfig)
         sampling_p: sample.sampling_p,
         recovered_edges: sample.edges.len(),
         family,
+    }
+}
+
+/// How to start one worker subprocess: a program plus the arguments
+/// that put it into worker mode (reading framed jobs on stdin).
+#[derive(Clone, Debug)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A worker command for an explicit program and arguments.
+    pub fn new(program: impl Into<PathBuf>, args: impl IntoIterator<Item = String>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Re-invoke the *current executable* with the given arguments — how
+    /// the CLI (`coverage worker`) and the bench harness spawn workers.
+    pub fn current_exe(args: impl IntoIterator<Item = String>) -> std::io::Result<Self> {
+        Ok(Self::new(std::env::current_exe()?, args))
+    }
+
+    fn spawn(&self) -> std::io::Result<Child> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+    }
+}
+
+/// One spawned worker and its pipe endpoints.
+struct WorkerSlot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+    alive: bool,
+}
+
+impl WorkerSlot {
+    fn mark_dead(&mut self) {
+        self.alive = false;
+        // Drop our end of its stdin so a still-running process sees EOF
+        // and exits instead of blocking forever on a read.
+        self.stdin = None;
+    }
+}
+
+/// Bookkeeping shared by both dispatch loops.
+struct DispatchOutcome<Snap> {
+    snapshots: Vec<Snap>,
+    workers_spawned: usize,
+    workers_lost: usize,
+    shards_resharded: usize,
+    shards_built_inline: usize,
+    wire_bytes: u64,
+}
+
+/// Result of a [`ProcessRunner`] insertion-only run: the
+/// [`DistResult`] fields plus reduce accounting and the process-level
+/// fault/recovery counters.
+#[derive(Clone, Debug)]
+pub struct ProcessResult {
+    /// The selected family (identical to the serial and in-process
+    /// parallel executors').
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage.
+    pub estimated_coverage: f64,
+    /// The merged sketch's final size (edges).
+    pub merged_edges: usize,
+    /// Tree-reduce round/communication accounting (the parent-side
+    /// reduce over restored worker snapshots).
+    pub rounds: RoundsReport,
+    /// Worker processes spawned.
+    pub workers_spawned: usize,
+    /// Worker processes lost mid-run (crash, kill, or injected fault).
+    pub workers_lost: usize,
+    /// Shard jobs re-dispatched to surviving workers after a loss.
+    pub shards_resharded: usize,
+    /// Shards built inline in the parent because every worker died.
+    pub shards_built_inline: usize,
+    /// Total pipe bytes of worker reply frames (the map→reduce
+    /// shipment, in the job's [`ShipFormat`] encoding).
+    pub wire_bytes: u64,
+    /// Wall-clock nanoseconds partitioning the stream.
+    pub partition_ns: u64,
+    /// Wall-clock nanoseconds dispatching shards and collecting
+    /// snapshots from workers.
+    pub map_ns: u64,
+    /// Wall-clock nanoseconds in the reduce + solve tail.
+    pub reduce_solve_ns: u64,
+}
+
+/// Result of a [`ProcessRunner`] dynamic run: the [`DynDistResult`]
+/// fields plus reduce accounting and fault/recovery counters.
+#[derive(Clone, Debug)]
+pub struct DynProcessResult {
+    /// The selected family (identical to the serial dynamic executor's).
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage on the
+    /// surviving graph.
+    pub estimated_coverage: f64,
+    /// The subsampling level the merged sketch decoded at.
+    pub sample_level: usize,
+    /// That level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// Surviving edges recovered from the merged sketch.
+    pub recovered_edges: usize,
+    /// Tree-reduce round/communication accounting.
+    pub rounds: RoundsReport,
+    /// Worker processes spawned.
+    pub workers_spawned: usize,
+    /// Worker processes lost mid-run (crash, kill, or injected fault).
+    pub workers_lost: usize,
+    /// Shard jobs re-dispatched to surviving workers after a loss.
+    pub shards_resharded: usize,
+    /// Shards built inline in the parent because every worker died.
+    pub shards_built_inline: usize,
+    /// Total pipe bytes of worker reply frames.
+    pub wire_bytes: u64,
+    /// Wall-clock nanoseconds partitioning the stream.
+    pub partition_ns: u64,
+    /// Wall-clock nanoseconds dispatching shards and collecting
+    /// snapshots from workers.
+    pub map_ns: u64,
+    /// Wall-clock nanoseconds in the reduce + recover + solve tail.
+    pub reduce_solve_ns: u64,
+}
+
+/// The multiprocess executor: real OS worker subprocesses behind the
+/// same map → tree-reduce → solve pipeline as [`crate::ParallelRunner`].
+///
+/// The parent partitions the stream with the *identical*
+/// [`partition_edges`]/[`partition_updates`] + [`DistConfig::shard_seed`]
+/// as the in-process executors, ships each shard to a worker over the
+/// framed pipe protocol ([`crate::proto`]), and tree-reduces the
+/// restored snapshots with the same [`tree_reduce_with`]. Locals are
+/// always ordered by shard index regardless of which worker produced
+/// them, so the reduce sees the exact sequence the in-process executors
+/// see — the selected family is identical (property-tested in
+/// `tests/process_execution.rs`).
+///
+/// ## Worker loss and recovery
+///
+/// A worker that dies mid-round (crash, external kill, or the injected
+/// `fail` flag) is observed as EOF on its stdout. Its in-flight shard —
+/// and any shards still queued — are re-dispatched to the surviving
+/// workers. Because every shard job is self-contained (params + seed +
+/// edges) and `merge_from` is associative and commutative, recovery
+/// cannot change the result: the same locals are produced, only by
+/// different processes. If *every* worker dies the parent degrades to
+/// building the remaining shards inline (counted in
+/// [`ProcessResult::shards_built_inline`]) rather than failing the run.
+#[derive(Clone, Debug)]
+pub struct ProcessRunner {
+    cfg: DistConfig,
+    command: WorkerCommand,
+    processes: usize,
+    fan_in: usize,
+    batch: usize,
+    ship: ShipFormat,
+    fail_shards: Vec<usize>,
+}
+
+/// Update-batch size workers use (mirrors the parallel executor).
+const PROCESS_DEFAULT_BATCH: usize = 1 << 12;
+/// Reduce fan-in (mirrors the parallel executor).
+const PROCESS_DEFAULT_FAN_IN: usize = 4;
+
+impl ProcessRunner {
+    /// A runner over `processes ≥ 1` workers spawned via `command`.
+    pub fn new(cfg: DistConfig, command: WorkerCommand, processes: usize) -> Self {
+        assert!(processes >= 1, "need at least one worker process");
+        ProcessRunner {
+            cfg,
+            command,
+            processes,
+            fan_in: PROCESS_DEFAULT_FAN_IN,
+            batch: PROCESS_DEFAULT_BATCH,
+            ship: ShipFormat::Binary,
+            fail_shards: Vec::new(),
+        }
+    }
+
+    /// Override the reduce fan-in (`≥ 2`).
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Override the worker update-batch size (`≥ 1`).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// Override the ship format for worker replies *and* the parent-side
+    /// reduce. [`ShipFormat::InMemory`] cannot cross a pipe and is
+    /// mapped to [`ShipFormat::Binary`] for the replies (the reduce
+    /// still honors it).
+    pub fn with_ship_format(mut self, ship: ShipFormat) -> Self {
+        self.ship = ship;
+        self
+    }
+
+    /// Fault injection: the *first* dispatch of each listed shard index
+    /// carries the protocol `fail` flag, making its worker die without
+    /// replying — the simulated worker-kill the recovery tests and the
+    /// BENCH_6 gate exercise. The shard is then re-dispatched normally.
+    pub fn with_injected_failures(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.fail_shards = shards.into_iter().collect();
+        self
+    }
+
+    /// The reply encoding actually used on the pipes.
+    fn pipe_format(&self) -> ShipFormat {
+        match self.ship {
+            ShipFormat::Json => ShipFormat::Json,
+            _ => ShipFormat::Binary,
+        }
+    }
+
+    /// Spawn workers and drive every shard job to a snapshot.
+    ///
+    /// Lock-step rounds — at most one outstanding job per worker — so
+    /// parent and worker can never deadlock on full pipe buffers. A
+    /// failed write or read marks the worker dead and requeues its
+    /// shard; leftover shards after total worker loss are built inline
+    /// via `inline`.
+    fn dispatch<Snap>(
+        &self,
+        n_shards: usize,
+        make_job: impl Fn(usize, bool) -> Message,
+        extract: impl Fn(Message) -> Option<Snap>,
+        inline: impl Fn(usize) -> Snap,
+    ) -> std::io::Result<DispatchOutcome<Snap>> {
+        let want = self.processes.min(n_shards).max(1);
+        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(want);
+        let mut spawn_err: Option<std::io::Error> = None;
+        for _ in 0..want {
+            match self.command.spawn() {
+                Ok(mut child) => {
+                    let stdin = child.stdin.take().expect("worker stdin is piped");
+                    let stdout = child.stdout.take().expect("worker stdout is piped");
+                    slots.push(WorkerSlot {
+                        child,
+                        stdin: Some(stdin),
+                        stdout: BufReader::new(stdout),
+                        alive: true,
+                    });
+                }
+                Err(e) => spawn_err = Some(e),
+            }
+        }
+        if slots.is_empty() {
+            return Err(
+                spawn_err.unwrap_or_else(|| std::io::Error::other("no worker could be spawned"))
+            );
+        }
+        let workers_spawned = slots.len();
+
+        let mut pending_failures = self.fail_shards.clone();
+        let mut queue: VecDeque<usize> = (0..n_shards).collect();
+        let mut snapshots: Vec<Option<Snap>> = (0..n_shards).map(|_| None).collect();
+        let mut workers_lost = 0usize;
+        let mut shards_resharded = 0usize;
+        let mut wire_bytes = 0u64;
+
+        while !queue.is_empty() && slots.iter().any(|s| s.alive) {
+            // Assign phase: one job per alive worker.
+            let mut inflight: Vec<(usize, usize)> = Vec::new();
+            for (wi, slot) in slots.iter_mut().enumerate() {
+                if !slot.alive {
+                    continue;
+                }
+                let Some(shard) = queue.pop_front() else {
+                    break;
+                };
+                let fail = pending_failures
+                    .iter()
+                    .position(|&s| s == shard)
+                    .map(|at| {
+                        pending_failures.swap_remove(at);
+                    })
+                    .is_some();
+                let job = make_job(shard, fail);
+                match write_message(slot.stdin.as_mut().expect("alive worker has stdin"), &job) {
+                    Ok(_) => inflight.push((wi, shard)),
+                    Err(_) => {
+                        slot.mark_dead();
+                        workers_lost += 1;
+                        shards_resharded += 1;
+                        queue.push_front(shard);
+                    }
+                }
+            }
+            // Collect phase: one reply per dispatched job, in order.
+            for (wi, shard) in inflight {
+                let slot = &mut slots[wi];
+                let recovered = match read_message(&mut slot.stdout) {
+                    Ok((msg, bytes)) => extract(msg).map(|snap| (snap, bytes)),
+                    Err(_) => None,
+                };
+                match recovered {
+                    Some((snap, bytes)) => {
+                        wire_bytes += bytes;
+                        snapshots[shard] = Some(snap);
+                    }
+                    None => {
+                        slot.mark_dead();
+                        workers_lost += 1;
+                        shards_resharded += 1;
+                        queue.push_front(shard);
+                    }
+                }
+            }
+        }
+
+        // Every worker died with work left: degrade to inline builds so
+        // the run still completes (the counters expose the degradation).
+        let mut shards_built_inline = 0usize;
+        while let Some(shard) = queue.pop_front() {
+            snapshots[shard] = Some(inline(shard));
+            shards_built_inline += 1;
+        }
+
+        // Wind down: polite shutdown for survivors, reap everything.
+        for slot in &mut slots {
+            if slot.alive {
+                if let Some(stdin) = slot.stdin.as_mut() {
+                    let _ = write_message(stdin, &Message::Shutdown);
+                }
+            }
+            slot.stdin = None;
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+
+        Ok(DispatchOutcome {
+            snapshots: snapshots
+                .into_iter()
+                .map(|s| s.expect("every shard resolved"))
+                .collect(),
+            workers_spawned,
+            workers_lost,
+            shards_resharded,
+            shards_built_inline,
+            wire_bytes,
+        })
+    }
+
+    /// Run the insertion-only pipeline over real worker processes.
+    ///
+    /// Returns `Err` only when not a single worker could be spawned;
+    /// worker loss after that is recovered per the type-level docs.
+    pub fn run(&self, stream: &dyn EdgeStream) -> std::io::Result<ProcessResult> {
+        let cfg = &self.cfg;
+        let params = cfg.sketch_params(stream.num_sets());
+        let ship = self.pipe_format();
+
+        let t0 = Instant::now();
+        let shards = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let outcome = self.dispatch(
+            shards.len(),
+            |shard, fail| Message::JobSketch {
+                params,
+                seed: cfg.seed,
+                ship,
+                fail,
+                batch: self.batch,
+                edges: shards[shard].clone(),
+            },
+            |msg| match msg {
+                Message::ReplySketch { snapshot, .. } => Some(snapshot),
+                _ => None,
+            },
+            |shard| {
+                let mut s = ThresholdSketch::new(params, cfg.seed);
+                for chunk in shards[shard].chunks(self.batch) {
+                    s.update_batch(chunk);
+                }
+                SketchSnapshot::of(&s)
+            },
+        )?;
+        let map_ns = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let locals: Vec<ThresholdSketch> = outcome.snapshots.iter().map(|s| s.restore()).collect();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let trace = bucket_greedy_k_cover(&merged.csr_view(), cfg.k);
+        let family = trace.family();
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        Ok(ProcessResult {
+            estimated_coverage: merged.estimate_coverage(&family),
+            merged_edges: merged.edges_stored(),
+            family,
+            rounds,
+            workers_spawned: outcome.workers_spawned,
+            workers_lost: outcome.workers_lost,
+            shards_resharded: outcome.shards_resharded,
+            shards_built_inline: outcome.shards_built_inline,
+            wire_bytes: outcome.wire_bytes,
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+        })
+    }
+
+    /// Run the dynamic (insert/delete) pipeline over real worker
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no subsampling level of the merged sketch decodes (the
+    /// sketch was sized with too few levels for the surviving edges).
+    pub fn run_dynamic(&self, stream: &dyn DynamicEdgeStream) -> std::io::Result<DynProcessResult> {
+        let cfg = &self.cfg;
+        let params = cfg.dynamic_sketch_params(stream.num_sets());
+        let ship = self.pipe_format();
+
+        let t0 = Instant::now();
+        let shards = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let outcome = self.dispatch(
+            shards.len(),
+            |shard, fail| Message::JobDynamic {
+                params,
+                seed: cfg.seed,
+                ship,
+                fail,
+                batch: self.batch,
+                updates: shards[shard].clone(),
+            },
+            |msg| match msg {
+                Message::ReplyDynamic { snapshot, .. } => Some(snapshot),
+                _ => None,
+            },
+            |shard| {
+                let mut s = DynamicSketch::new(params, cfg.seed);
+                for chunk in shards[shard].chunks(self.batch) {
+                    s.update_batch(chunk);
+                }
+                DynamicSnapshot::of(&s)
+            },
+        )?;
+        let map_ns = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let locals: Vec<DynamicSketch> = outcome.snapshots.iter().map(|s| s.restore()).collect();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let (family, estimated_coverage, sample) = recover_and_solve(&merged, cfg.k);
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        Ok(DynProcessResult {
+            family,
+            estimated_coverage,
+            sample_level: sample.level,
+            sampling_p: sample.sampling_p,
+            recovered_edges: sample.edges.len(),
+            rounds,
+            workers_spawned: outcome.workers_spawned,
+            workers_lost: outcome.workers_lost,
+            shards_resharded: outcome.shards_resharded,
+            shards_built_inline: outcome.shards_built_inline,
+            wire_bytes: outcome.wire_bytes,
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+        })
     }
 }
 

@@ -1,0 +1,268 @@
+//! The worker half of the subprocess executor.
+//!
+//! A worker is the CLI binary re-invoked in its hidden `worker` mode: it
+//! reads framed jobs from stdin ([`proto`](crate::proto)), builds the
+//! requested local sketch over its shard, and writes the snapshot back
+//! on stdout — one reply per job, strictly in order, so the parent can
+//! run a lock-step round without pipe-deadlock risk. The worker holds no
+//! cross-job state: determinism lives entirely in the job (params +
+//! seed + shard), exactly as for the in-process executors.
+//!
+//! Fault injection: a job with `fail = true` makes the worker exit its
+//! loop without replying. Over a real pipe the parent sees EOF — the
+//! same observable as a crashed or killed worker — which triggers the
+//! re-shard recovery path in [`ProcessRunner`](crate::ProcessRunner).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
+
+use crate::proto::{read_message, write_message, Message, ProtoError};
+
+/// Serve framed jobs from `input` until EOF, shutdown, or an injected
+/// failure. Every job produces exactly one in-order reply on `output`.
+///
+/// Returns `Ok(())` on a clean end (EOF between frames, an explicit
+/// [`Message::Shutdown`], or an injected failure) and the underlying
+/// [`ProtoError`] when the pipe breaks or a frame is corrupt.
+pub fn worker_loop(input: &mut impl Read, output: &mut impl Write) -> Result<(), ProtoError> {
+    loop {
+        let msg = match read_message(input) {
+            Ok((msg, _)) => msg,
+            Err(ProtoError::Eof) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::JobSketch {
+                params,
+                seed,
+                ship,
+                fail,
+                batch,
+                edges,
+            } => {
+                if fail {
+                    // Injected death: leave without replying. The parent
+                    // observes EOF on our stdout, indistinguishable from
+                    // a crash.
+                    return Ok(());
+                }
+                let mut sketch = ThresholdSketch::new(params, seed);
+                for chunk in edges.chunks(batch.max(1)) {
+                    sketch.update_batch(chunk);
+                }
+                write_message(
+                    output,
+                    &Message::ReplySketch {
+                        snapshot: SketchSnapshot::of(&sketch),
+                        ship,
+                    },
+                )?;
+            }
+            Message::JobDynamic {
+                params,
+                seed,
+                ship,
+                fail,
+                batch,
+                updates,
+            } => {
+                if fail {
+                    return Ok(());
+                }
+                let mut sketch = DynamicSketch::new(params, seed);
+                for chunk in updates.chunks(batch.max(1)) {
+                    sketch.update_batch(chunk);
+                }
+                write_message(
+                    output,
+                    &Message::ReplyDynamic {
+                        snapshot: DynamicSnapshot::of(&sketch),
+                        ship,
+                    },
+                )?;
+            }
+            Message::Shutdown => return Ok(()),
+            Message::ReplySketch { .. } | Message::ReplyDynamic { .. } => {
+                // Replies flow worker → parent only; receiving one here
+                // means the pipes are crossed.
+                return Err(ProtoError::Wire(coverage_sketch::WireError::Malformed(
+                    "worker received a reply message",
+                )));
+            }
+        }
+    }
+}
+
+/// Run [`worker_loop`] over this process's stdin/stdout — the body of
+/// the CLI's hidden `worker` subcommand. Returns the process exit code.
+pub fn run_stdio() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+    match worker_loop(&mut input, &mut output) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("worker: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::ShipFormat;
+    use coverage_core::Edge;
+    use coverage_sketch::{DynamicSketchParams, SketchParams};
+    use coverage_stream::{SignedEdge, VecStream};
+
+    fn shard_edges(n: u64) -> Vec<Edge> {
+        (0..n).map(|e| Edge::new((e % 5) as u32, e * 7)).collect()
+    }
+
+    #[test]
+    fn worker_builds_the_same_sketch_as_inline() {
+        let params = SketchParams::with_budget(5, 2, 0.5, 120);
+        let edges = shard_edges(600);
+        let mut jobs = Vec::new();
+        write_message(
+            &mut jobs,
+            &Message::JobSketch {
+                params,
+                seed: 33,
+                ship: ShipFormat::Binary,
+                fail: false,
+                batch: 128,
+                edges: edges.clone(),
+            },
+        )
+        .unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let (reply, _) = read_message(&mut &replies[..]).unwrap();
+        let inline = ThresholdSketch::from_stream(params, 33, &VecStream::new(5, edges));
+        match reply {
+            Message::ReplySketch { snapshot, .. } => {
+                assert_eq!(snapshot, SketchSnapshot::of(&inline));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_answers_jobs_in_order() {
+        let params = SketchParams::with_budget(3, 1, 0.5, 60);
+        let mut jobs = Vec::new();
+        for seed in [1u64, 2, 3] {
+            write_message(
+                &mut jobs,
+                &Message::JobSketch {
+                    params,
+                    seed,
+                    ship: ShipFormat::Binary,
+                    fail: false,
+                    batch: 64,
+                    edges: shard_edges(100),
+                },
+            )
+            .unwrap();
+        }
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let mut cursor = &replies[..];
+        for seed in [1u64, 2, 3] {
+            let (reply, _) = read_message(&mut cursor).unwrap();
+            match reply {
+                Message::ReplySketch { snapshot, .. } => assert_eq!(snapshot.raw_seed, {
+                    coverage_hash::UnitHash::new(seed).seed()
+                }),
+                other => panic!("wrong reply: {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn injected_failure_dies_without_reply() {
+        let params = SketchParams::with_budget(3, 1, 0.5, 60);
+        let mut jobs = Vec::new();
+        write_message(
+            &mut jobs,
+            &Message::JobSketch {
+                params,
+                seed: 1,
+                ship: ShipFormat::Binary,
+                fail: true,
+                batch: 64,
+                edges: shard_edges(50),
+            },
+        )
+        .unwrap();
+        // A second job that would normally be answered.
+        write_message(
+            &mut jobs,
+            &Message::JobSketch {
+                params,
+                seed: 2,
+                ship: ShipFormat::Binary,
+                fail: false,
+                batch: 64,
+                edges: shard_edges(50),
+            },
+        )
+        .unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        assert!(replies.is_empty(), "failing worker must not reply");
+    }
+
+    #[test]
+    fn dynamic_job_roundtrips_through_worker() {
+        let params = DynamicSketchParams::new(SketchParams::with_budget(4, 2, 0.5, 90));
+        let updates: Vec<SignedEdge> = (0..300u64)
+            .map(|e| {
+                let edge = Edge::new((e % 4) as u32, e);
+                if e % 5 == 0 {
+                    SignedEdge::delete(edge)
+                } else {
+                    SignedEdge::insert(edge)
+                }
+            })
+            .collect();
+        let mut jobs = Vec::new();
+        write_message(
+            &mut jobs,
+            &Message::JobDynamic {
+                params,
+                seed: 19,
+                ship: ShipFormat::Json,
+                fail: false,
+                batch: 77,
+                updates: updates.clone(),
+            },
+        )
+        .unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let (reply, _) = read_message(&mut &replies[..]).unwrap();
+        let mut inline = DynamicSketch::new(params, 19);
+        inline.update_batch(&updates);
+        match reply {
+            Message::ReplyDynamic { snapshot, .. } => {
+                assert_eq!(snapshot, DynamicSnapshot::of(&inline));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_ends_the_loop() {
+        let mut jobs = Vec::new();
+        write_message(&mut jobs, &Message::Shutdown).unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        assert!(replies.is_empty());
+    }
+}

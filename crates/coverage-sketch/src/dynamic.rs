@@ -150,11 +150,11 @@ impl DynamicSketchParams {
 /// of endpoint ids, `check_sum` of per-edge fingerprints (wrapping
 /// arithmetic — linearity over `ℤ/2^64` is what makes merges exact).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-struct Cell {
-    count: i64,
-    set_sum: u64,
-    elem_sum: u64,
-    check_sum: u64,
+pub(crate) struct Cell {
+    pub(crate) count: i64,
+    pub(crate) set_sum: u64,
+    pub(crate) elem_sum: u64,
+    pub(crate) check_sum: u64,
 }
 
 impl Cell {
@@ -181,7 +181,7 @@ impl Cell {
     }
 
     #[inline]
-    fn is_zero(&self) -> bool {
+    pub(crate) fn is_zero(&self) -> bool {
         self.count == 0 && self.set_sum == 0 && self.elem_sum == 0 && self.check_sum == 0
     }
 }
@@ -673,7 +673,7 @@ impl DynamicSketch {
 /// Serializable mirror of a [`DynamicSketch`] — the wire format for
 /// shipping dynamic sketches between machines, mirroring
 /// [`SketchSnapshot`](crate::SketchSnapshot).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DynamicSnapshot {
     /// The hash function's raw (post-mix) seed.
     pub raw_seed: u64,
@@ -686,6 +686,27 @@ pub struct DynamicSnapshot {
 }
 
 impl DynamicSnapshot {
+    /// Flat cell payload (binary codec support).
+    pub(crate) fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Assemble a snapshot from decoded parts (binary codec support).
+    /// The caller must have validated `cells.len() == params.total_cells()`.
+    pub(crate) fn from_parts(
+        raw_seed: u64,
+        params: DynamicSketchParams,
+        counters: DynamicCounters,
+        cells: Vec<Cell>,
+    ) -> Self {
+        DynamicSnapshot {
+            raw_seed,
+            params,
+            counters,
+            cells,
+        }
+    }
+
     /// Capture the logical state of a sketch.
     pub fn of(sketch: &DynamicSketch) -> Self {
         DynamicSnapshot {

@@ -69,6 +69,7 @@ pub mod reference;
 pub mod serial;
 mod store;
 pub mod threshold;
+pub mod wire;
 
 pub use ablation::{AblatedSketch, EvictionPolicy};
 pub use dynamic::{
@@ -85,3 +86,4 @@ pub use params::{SketchParams, SketchSizing};
 pub use reference::ReferenceSketch;
 pub use serial::{SketchSnapshot, SnapshotEntry};
 pub use threshold::{SketchCounters, ThresholdSketch};
+pub use wire::{PayloadKind, WireError};

@@ -33,7 +33,7 @@ pub struct SnapshotEntry {
 }
 
 /// Serializable mirror of a [`ThresholdSketch`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SketchSnapshot {
     /// The hash function's raw (post-mix) seed.
     pub raw_seed: u64,

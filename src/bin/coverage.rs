@@ -22,6 +22,12 @@ use coverage_suite::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The hidden `worker` mode must not go through flag parsing: it
+    // speaks the framed binary pipe protocol on stdin/stdout and is
+    // only ever spawned by `dist --processes` (or the tests/benches).
+    if args.first().map(String::as_str) == Some("worker") {
+        exit(coverage_suite::dist::worker::run_stdio());
+    }
     let Some((cmd, flags)) = parse(&args) else {
         eprintln!("{USAGE}");
         exit(2);
@@ -54,9 +60,15 @@ USAGE:
   coverage setcover  --n <sets> --m <elements> --kstar <k*> --lambda <L> [--budget B] [--eps E] [--seed S]
   coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
   coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--parallel T] [--budget B] [--seed S]
+                     [--processes P] [--ship json|binary]
                      # --parallel T: run the parallel sharded executor on T threads
                      #   (one partition pass + concurrent map + tree reduce);
                      #   same selected cover as the sequential simulation, faster
+                     # --processes P: run the map phase on P real worker
+                     #   subprocesses (this binary re-invoked in a hidden
+                     #   `worker` mode, framed binary pipes); same family again
+                     # --ship: snapshot wire format for the reduce (and the
+                     #   worker pipes); binary is the compact framed codec
   coverage solve     --n <sets> --m <elements> --k <k> [--workload W] [--seed S]
                      # offline solver comparison: greedy / local search / stochastic / parallel
   coverage lemmas    [--n N] [--m M] [--seed S]        # empirical Section 2 lemma checks
@@ -411,6 +423,21 @@ fn cmd_dist(flags: &HashMap<String, String>) {
     let stream = stream_of(&inst, seed);
     let cfg = DistConfig::new(machines, k, 0.25, seed).with_sizing(SketchSizing::Budget(budget));
     let threads: usize = get(flags, "parallel", 0);
+    let processes: usize = get(flags, "processes", 0);
+    let ship = match flags.get("ship") {
+        Some(s) => match ShipFormat::parse(s) {
+            Some(f) => f,
+            None => {
+                eprintln!("unknown ship format `{s}` (json|binary|memory)");
+                exit(2);
+            }
+        },
+        None => ShipFormat::Binary,
+    };
+    if processes > 0 {
+        cmd_dist_processes(cfg, processes, ship, &stream, &inst, opt, machines);
+        return;
+    }
     let (family, per_machine, merged_edges, extra_rows) = if threads > 0 {
         let res = ParallelRunner::new(cfg, threads).run(&stream);
         let extras = vec![
@@ -461,6 +488,81 @@ fn cmd_dist(flags: &HashMap<String, String>) {
     for (k, v) in extra_rows {
         t.row(vec![k, v]);
     }
+    println!("{}", t.render());
+}
+
+/// `dist --processes P`: the multiprocess executor. Spawns `P` copies
+/// of this binary in the hidden `worker` mode and runs the identical
+/// partition → map → tree-reduce → solve pipeline over real pipes.
+fn cmd_dist_processes(
+    cfg: DistConfig,
+    processes: usize,
+    ship: ShipFormat,
+    stream: &VecStream,
+    inst: &coverage_suite::core::CoverageInstance,
+    opt: Option<usize>,
+    machines: usize,
+) {
+    let command = match WorkerCommand::current_exe(vec!["worker".to_string()]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot locate own executable for worker spawn: {e}");
+            exit(1);
+        }
+    };
+    let runner = ProcessRunner::new(cfg, command, processes).with_ship_format(ship);
+    let res = match runner.run(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("multiprocess run failed: {e}");
+            exit(1);
+        }
+    };
+    let covered = inst.coverage(&res.family);
+    let mut t = Table::new(
+        format!("distributed k-cover ({machines} machines, {processes} worker processes)"),
+        &["metric", "value"],
+    );
+    t.row(vec!["family".into(), format!("{:?}", res.family)]);
+    t.row(vec!["covered".into(), fmt_count(covered as u64)]);
+    if let Some(opt) = opt {
+        t.row(vec![
+            "coverage/OPT".into(),
+            fmt_f(covered as f64 / opt as f64, 4),
+        ]);
+    }
+    t.row(vec![
+        "merged edges".into(),
+        fmt_count(res.merged_edges as u64),
+    ]);
+    t.row(vec![
+        "workers spawned".into(),
+        res.workers_spawned.to_string(),
+    ]);
+    t.row(vec!["workers lost".into(), res.workers_lost.to_string()]);
+    t.row(vec![
+        "shards resharded".into(),
+        res.shards_resharded.to_string(),
+    ]);
+    t.row(vec!["ship format".into(), format!("{ship:?}")]);
+    t.row(vec!["pipe bytes".into(), fmt_count(res.wire_bytes)]);
+    t.row(vec![
+        "reduce bytes".into(),
+        fmt_count(res.rounds.total_bytes()),
+    ]);
+    t.row(vec![
+        "reduce rounds".into(),
+        res.rounds.num_rounds().to_string(),
+    ]);
+    t.row(vec![
+        "partition ms".into(),
+        fmt_f(res.partition_ns as f64 / 1e6, 2),
+    ]);
+    t.row(vec!["map ms".into(), fmt_f(res.map_ns as f64 / 1e6, 2)]);
+    t.row(vec![
+        "reduce+solve ms".into(),
+        fmt_f(res.reduce_solve_ns as f64 / 1e6, 2),
+    ]);
     println!("{}", t.render());
 }
 

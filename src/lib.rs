@@ -86,7 +86,8 @@ pub mod prelude {
     pub use coverage_dist::{
         distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover,
         partition_edges, partition_updates, tree_reduce, DistConfig, DistResult, DynDistResult,
-        DynamicParallelResult, ParallelResult, ParallelRunner, ShipFormat,
+        DynProcessResult, DynamicParallelResult, ParallelResult, ParallelRunner, ProcessResult,
+        ProcessRunner, ShipFormat, WorkerCommand,
     };
     pub use coverage_sketch::{
         AblatedSketch, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,

@@ -1,0 +1,234 @@
+//! Adversarial decoding: every class of frame corruption — bit flips at
+//! every offset, truncation at every length, version bumps, kind
+//! swaps, length-field lies — must surface as a **typed**
+//! [`WireError`], never a panic, and must leave a receiving sketch's
+//! state untouched (decode validates the whole frame before anything
+//! is restored or merged).
+
+use coverage_suite::prelude::*;
+use coverage_suite::sketch::wire::{checksum64, CHECKSUM_LEN, HEADER_LEN, WIRE_VERSION};
+use coverage_suite::sketch::WireError;
+
+/// A small but non-trivial threshold snapshot and its binary frame.
+fn threshold_frame() -> (SketchSnapshot, Vec<u8>) {
+    let params = SketchParams::with_budget(12, 3, 0.4, 400);
+    let mut sketch = ThresholdSketch::new(params, 99);
+    let edges: Vec<Edge> = (0..900u64)
+        .map(|e| Edge::new((e % 12) as u32, e * 11))
+        .collect();
+    sketch.update_batch(&edges);
+    let snap = SketchSnapshot::of(&sketch);
+    let frame = snap.encode_binary();
+    (snap, frame)
+}
+
+/// A dynamic snapshot and its binary frame.
+fn dynamic_frame() -> (DynamicSnapshot, Vec<u8>) {
+    let params = DynamicSketchParams::new(SketchParams::with_budget(10, 2, 0.4, 300));
+    let mut sketch = DynamicSketch::new(params, 7);
+    let updates: Vec<SignedEdge> = (0..500u64)
+        .map(|e| {
+            let edge = Edge::new((e % 10) as u32, e * 3);
+            if e % 7 == 0 {
+                SignedEdge::delete(edge)
+            } else {
+                SignedEdge::insert(edge)
+            }
+        })
+        .collect();
+    sketch.update_batch(&updates);
+    let snap = DynamicSnapshot::of(&sketch);
+    let frame = snap.encode_binary();
+    (snap, frame)
+}
+
+/// Rewrite a frame's trailing checksum so header/payload edits are
+/// *only* caught by the field validation under test, not the checksum.
+fn fix_checksum(frame: &mut [u8]) {
+    let body = frame.len() - CHECKSUM_LEN;
+    let sum = checksum64(&frame[..body]).to_le_bytes();
+    frame[body..].copy_from_slice(&sum);
+}
+
+/// The transport receive path: decode, then merge into `acc`. On any
+/// decode error the accumulator must be byte-for-byte unchanged.
+fn receive(acc: &mut ThresholdSketch, frame: &[u8]) -> Result<(), WireError> {
+    let snap = SketchSnapshot::decode_binary(frame)?;
+    acc.merge_from(&snap.restore());
+    Ok(())
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // The checksum covers header + payload and is itself part of the
+    // frame, so *any* one-bit corruption must fail to decode — either
+    // at a header field check or at the checksum gate. No exceptions,
+    // no panics.
+    let (_, frame) = threshold_frame();
+    for byte in 0..frame.len() {
+        for bit in 0..8 {
+            let mut bad = frame.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                SketchSnapshot::decode_binary(&bad).is_err(),
+                "flip at byte {byte} bit {bit} must not decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_truncated_error() {
+    let (_, frame) = threshold_frame();
+    for len in 0..frame.len() {
+        match SketchSnapshot::decode_binary(&frame[..len]) {
+            Err(WireError::Truncated { needed, have }) => {
+                assert_eq!(have, len);
+                assert!(needed > have, "cut at {len}: needed {needed} > have {have}");
+            }
+            other => panic!("cut at {len}: expected Truncated, got {other:?}"),
+        }
+    }
+    let (_, dframe) = dynamic_frame();
+    for len in 0..dframe.len() {
+        assert!(
+            matches!(
+                DynamicSnapshot::decode_binary(&dframe[..len]),
+                Err(WireError::Truncated { .. })
+            ),
+            "dynamic cut at {len} must be Truncated"
+        );
+    }
+}
+
+#[test]
+fn version_bump_is_unsupported_version_not_checksum_noise() {
+    // A frame from a future format version must be reported as exactly
+    // that — the header is validated before the checksum so the error
+    // is actionable, not a generic mismatch.
+    let (_, mut frame) = threshold_frame();
+    frame[4..6].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+    fix_checksum(&mut frame);
+    match SketchSnapshot::decode_binary(&frame) {
+        Err(WireError::UnsupportedVersion { found }) => assert_eq!(found, WIRE_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_and_unknown_kind_are_typed() {
+    let (_, frame) = threshold_frame();
+    let mut bad = frame.clone();
+    bad[0] = b'X';
+    fix_checksum(&mut bad);
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&bad),
+        Err(WireError::BadMagic)
+    ));
+    let mut bad = frame.clone();
+    bad[6] = 0xEE; // kind byte
+    fix_checksum(&mut bad);
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&bad),
+        Err(WireError::UnknownKind { found: 0xEE })
+    ));
+}
+
+#[test]
+fn cross_kind_frames_are_rejected_as_wrong_kind() {
+    let (_, tframe) = threshold_frame();
+    let (_, dframe) = dynamic_frame();
+    assert!(matches!(
+        DynamicSnapshot::decode_binary(&tframe),
+        Err(WireError::WrongKind { .. })
+    ));
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&dframe),
+        Err(WireError::WrongKind { .. })
+    ));
+}
+
+#[test]
+fn length_field_lies_are_typed() {
+    let (_, frame) = threshold_frame();
+    let payload_len = frame.len() - HEADER_LEN - CHECKSUM_LEN;
+    // Inflated length: the frame claims more payload than arrives.
+    let mut bad = frame.clone();
+    bad[8..16].copy_from_slice(&((payload_len + 40) as u64).to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&bad),
+        Err(WireError::Truncated { .. })
+    ));
+    // Deflated length: bytes left over after the declared frame.
+    let mut bad = frame.clone();
+    bad[8..16].copy_from_slice(&((payload_len.saturating_sub(4)) as u64).to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&bad),
+        Err(WireError::TrailingBytes)
+    ));
+    // Appending junk after a valid frame is equally trailing garbage.
+    let mut bad = frame.clone();
+    bad.extend_from_slice(&[0u8; 7]);
+    assert!(matches!(
+        SketchSnapshot::decode_binary(&bad),
+        Err(WireError::TrailingBytes)
+    ));
+}
+
+#[test]
+fn corrupt_frames_never_mutate_the_receiving_sketch() {
+    let (_, frame) = threshold_frame();
+    let params = SketchParams::with_budget(12, 3, 0.4, 400);
+    let mut acc = ThresholdSketch::new(params, 99);
+    let edges: Vec<Edge> = (0..200u64)
+        .map(|e| Edge::new((e % 12) as u32, e * 5 + 1))
+        .collect();
+    acc.update_batch(&edges);
+    let before = acc.canonical_content();
+    // Walk every corruption class through the receive path; the
+    // accumulator must be untouched by each failed receive …
+    let mut cut = frame.clone();
+    cut.truncate(frame.len() / 2);
+    let mut flipped = frame.clone();
+    flipped[HEADER_LEN + 3] ^= 0x10;
+    let mut bumped = frame.clone();
+    bumped[4..6].copy_from_slice(&(WIRE_VERSION + 9).to_le_bytes());
+    fix_checksum(&mut bumped);
+    for bad in [&cut, &flipped, &bumped, &frame[..0].to_vec()] {
+        assert!(receive(&mut acc, bad).is_err());
+        assert_eq!(
+            acc.canonical_content(),
+            before,
+            "failed receive must not mutate"
+        );
+    }
+    // … and a subsequent good receive must still work on the same
+    // accumulator (the error left no poisoned half-state behind).
+    receive(&mut acc, &frame).expect("clean frame still merges");
+    assert_ne!(acc.canonical_content(), before);
+}
+
+#[test]
+fn dynamic_geometry_lies_are_rejected_without_allocation_blowup() {
+    // Rewrite the dynamic payload's cell-count prefix to claim an
+    // absurd sparse-cell count; the decoder must refuse (typed) rather
+    // than trust it and allocate.
+    let (_, frame) = dynamic_frame();
+    for len in [0usize, 1, HEADER_LEN, HEADER_LEN + 1] {
+        // Sanity: tiny prefixes of the dynamic frame are also typed errors.
+        assert!(DynamicSnapshot::decode_binary(&frame[..len]).is_err());
+    }
+    // Flip payload bytes in bulk (zero the first 16 payload bytes) and
+    // fix the checksum: whatever structural lie results, the decoder
+    // must answer with a typed error or an equal-value decode — never a
+    // panic or a giant allocation.
+    let mut bad = frame.clone();
+    let end = (HEADER_LEN + 16).min(bad.len() - CHECKSUM_LEN);
+    for b in &mut bad[HEADER_LEN..end] {
+        *b = 0;
+    }
+    fix_checksum(&mut bad);
+    let _ = DynamicSnapshot::decode_binary(&bad);
+}
