@@ -1,0 +1,249 @@
+//! The serving daemon: a [`ServeEngine`] driven by framed
+//! [`proto`](crate::proto) requests over a byte pipe.
+//!
+//! The CLI's `coverage serve` mode runs [`run_stdio`] — the daemon
+//! body over this process's stdin/stdout. Protocol handling is
+//! strictly in order on the daemon thread while ingest and publication
+//! run on the engine's ingest thread, so an update burst applies
+//! concurrently with the *previous* request's reply being written, and
+//! a full engine queue exerts backpressure through the OS pipe back to
+//! the client.
+//!
+//! Shutdown paths: a [`Request::Shutdown`] drains the engine (all
+//! buffered updates applied, final epoch published) and answers one
+//! final [`Reply::Stats`]; a clean pipe close (EOF between frames)
+//! drains the same way without a reply. Both return the final stats.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use crate::engine::{ServeConfig, ServeEngine, ServeError, ServeStats};
+use crate::proto::{read_request, write_reply, ProtoError, Reply, Request};
+
+/// Serve framed requests from `input` until shutdown or client hangup;
+/// replies go to `output` in request order. Returns the final stats
+/// after the graceful drain.
+pub fn serve_loop(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    config: ServeConfig,
+) -> Result<ServeStats, ProtoError> {
+    let engine = ServeEngine::start(config);
+    let mut queries = engine.query_handle();
+    let shutdown_id = loop {
+        let request = match read_request(input) {
+            Ok((request, _)) => request,
+            Err(ProtoError::Eof) => break None,
+            Err(e) => return Err(e),
+        };
+        match request {
+            Request::Update { id, updates } => match engine.submit(updates) {
+                Ok(()) => {}
+                Err(ServeError::DeleteInInsertOnly) => {
+                    write_reply(
+                        output,
+                        &Reply::Error {
+                            id,
+                            message: ServeError::DeleteInInsertOnly.to_string(),
+                        },
+                    )?;
+                }
+                Err(e) => return Err(e.into()),
+            },
+            Request::Query { id, k } => {
+                let answer = queries.query(k);
+                write_reply(output, &Reply::Query { id, answer })?;
+            }
+            Request::Stats { id } => {
+                write_reply(
+                    output,
+                    &Reply::Stats {
+                        id,
+                        stats: engine.stats(),
+                    },
+                )?;
+            }
+            Request::Flush { id } => {
+                let epoch = engine.flush()?;
+                let updates_applied = engine.stats().published_updates;
+                write_reply(
+                    output,
+                    &Reply::Flush {
+                        id,
+                        epoch,
+                        updates_applied,
+                    },
+                )?;
+            }
+            Request::Snapshot { id } => {
+                let (epoch, frames) = engine.ship_snapshots()?;
+                write_reply(output, &Reply::Snapshot { id, epoch, frames })?;
+            }
+            Request::Shutdown { id } => break Some(id),
+        }
+    };
+    let fin = engine.finish();
+    if let Some(id) = shutdown_id {
+        write_reply(
+            output,
+            &Reply::Stats {
+                id,
+                stats: fin.stats.clone(),
+            },
+        )?;
+    }
+    Ok(fin.stats)
+}
+
+/// Run [`serve_loop`] over this process's stdin/stdout — the body of
+/// the CLI's `coverage serve` mode. Returns the process exit code.
+pub fn run_stdio(config: ServeConfig) -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+    match serve_loop(&mut input, &mut output, config) {
+        Ok(stats) => {
+            eprintln!(
+                "serve: drained at epoch {} ({} updates applied, {} queries served)",
+                stats.epoch, stats.updates_applied, stats.queries_served
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::read_reply;
+    use coverage_core::Edge;
+    use coverage_sketch::SketchSnapshot;
+    use coverage_stream::SignedEdge;
+
+    fn inserts(range: std::ops::Range<u64>) -> Vec<SignedEdge> {
+        range
+            .map(|e| SignedEdge::insert(Edge::new((e % 5) as u32, e * 11 % 300)))
+            .collect()
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig::bank_ladder(5, 3, 0.4, 500, 21)
+            .with_publish_every(64)
+            .with_journal(true)
+    }
+
+    fn drive(requests: &[Request]) -> (Vec<Reply>, ServeStats) {
+        let mut pipe_in = Vec::new();
+        for r in requests {
+            crate::proto::write_request(&mut pipe_in, r).unwrap();
+        }
+        let mut pipe_out = Vec::new();
+        let stats = serve_loop(&mut &pipe_in[..], &mut pipe_out, cfg()).unwrap();
+        let mut replies = Vec::new();
+        let mut cursor = &pipe_out[..];
+        loop {
+            match read_reply(&mut cursor) {
+                Ok((reply, _)) => replies.push(reply),
+                Err(ProtoError::Eof) => break,
+                Err(e) => panic!("bad reply stream: {e}"),
+            }
+        }
+        (replies, stats)
+    }
+
+    #[test]
+    fn full_conversation_in_request_order() {
+        let (replies, stats) = drive(&[
+            Request::Update {
+                id: 1,
+                updates: inserts(0..500),
+            },
+            Request::Flush { id: 2 },
+            Request::Query { id: 3, k: 2 },
+            Request::Stats { id: 4 },
+            Request::Snapshot { id: 5 },
+            Request::Shutdown { id: 6 },
+        ]);
+        assert_eq!(replies.len(), 5, "update succeeds silently");
+        match &replies[0] {
+            Reply::Flush {
+                id,
+                epoch,
+                updates_applied,
+            } => {
+                assert_eq!(*id, 2);
+                assert!(*epoch >= 1);
+                assert_eq!(*updates_applied, 500);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match &replies[1] {
+            Reply::Query { id, answer } => {
+                assert_eq!(*id, 3);
+                assert_eq!(answer.updates_applied, 500);
+                assert!(!answer.family.is_empty());
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert!(matches!(&replies[2], Reply::Stats { id: 4, .. }));
+        match &replies[3] {
+            Reply::Snapshot { id, frames, .. } => {
+                assert_eq!(*id, 5);
+                assert_eq!(frames.len(), 3);
+                for frame in frames {
+                    SketchSnapshot::decode_binary(frame).expect("shipped frame must decode");
+                }
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match &replies[4] {
+            Reply::Stats { id, stats: fin } => {
+                assert_eq!(*id, 6);
+                assert_eq!(fin.updates_applied, 500);
+                assert_eq!(fin.staleness(), 0);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert_eq!(stats.queries_served, 1);
+    }
+
+    #[test]
+    fn rejected_update_answers_an_error_and_serving_continues() {
+        let (replies, stats) = drive(&[
+            Request::Update {
+                id: 7,
+                updates: vec![SignedEdge::delete(Edge::new(1u32, 2u64))],
+            },
+            Request::Update {
+                id: 8,
+                updates: inserts(0..50),
+            },
+            Request::Query { id: 9, k: 1 },
+        ]);
+        assert_eq!(replies.len(), 2);
+        match &replies[0] {
+            Reply::Error { id, message } => {
+                assert_eq!(*id, 7);
+                assert!(message.contains("insertion-only"));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert!(matches!(&replies[1], Reply::Query { id: 9, .. }));
+        assert_eq!(stats.updates_applied, 50, "rejected batch never applied");
+    }
+
+    #[test]
+    fn eof_drains_without_a_reply() {
+        let (replies, stats) = drive(&[Request::Update {
+            id: 1,
+            updates: inserts(0..80),
+        }]);
+        assert!(replies.is_empty());
+        assert_eq!(stats.updates_applied, 80);
+        assert_eq!(stats.staleness(), 0, "EOF drain publishes the tail");
+    }
+}

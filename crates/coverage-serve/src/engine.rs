@@ -1,0 +1,854 @@
+//! The serving engine: one ingest thread owning the live store, a
+//! bounded update queue in front of it, and epoch publication.
+//!
+//! ## Threading model
+//!
+//! ```text
+//!  submitters ──sync_channel──▶ ingest thread ──publish──▶ SnapshotCell
+//!  (backpressure: full queue      (owns the live store,        │
+//!   blocks the submitter)          journal, epoch counter)     ▼
+//!                                                      query threads
+//!                                                      (lock-free reads)
+//! ```
+//!
+//! The live [`SketchBank`] / [`DynamicSketch`] is owned *exclusively*
+//! by the ingest thread — no lock ever guards the ingest hot loop.
+//! Every `publish_every` applied updates (and on flush/drain) it
+//! exports the store as an immutable [`EpochSnapshot`] and swaps it
+//! into the [`SnapshotCell`]; queries solve the bucket-queue greedy on
+//! whatever epoch is published, so answers are *consistent* (one store
+//! state) and *bounded-stale* (at most [`ServeStats::staleness`]
+//! applied-but-unpublished updates behind the live store).
+//!
+//! ## Determinism contract
+//!
+//! `SketchBank::update_batch` and `DynamicSketch::update_batch` are
+//! batch-split-independent (property-tested in coverage-sketch), so
+//! replaying the journal prefix of length `updates_applied` into a
+//! fresh store rebuilds the published snapshot **bit-identically** —
+//! [`EpochSnapshot::content_eq`] — regardless of how submitters
+//! interleaved their batches. That replay is the consistency oracle of
+//! the torn-state property tests and the BENCH_7 CI gate.
+//!
+//! [`SketchBank`]: coverage_sketch::SketchBank
+//! [`DynamicSketch`]: coverage_sketch::DynamicSketch
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use coverage_core::offline::bucket_greedy_k_cover;
+use coverage_core::SetId;
+use coverage_dist::{Composable, RoundCost, RoundsReport};
+use coverage_sketch::{
+    DynamicSketch, DynamicSketchParams, DynamicSnapshot, SketchBank, SketchParams, SketchSnapshot,
+};
+use coverage_stream::{SignedEdge, UpdateKind};
+
+use crate::epoch::{EpochSnapshot, GuessView, SnapshotCell, SnapshotReader};
+
+/// Which live store the engine runs.
+#[derive(Clone, Debug)]
+pub enum StoreConfig {
+    /// Insertion-only serving: an `H≤n` [`SketchBank`] (one threshold
+    /// sketch per `k`-guess). Deletes are rejected at submit time.
+    ///
+    /// [`SketchBank`]: coverage_sketch::SketchBank
+    Bank(Vec<SketchParams>),
+    /// Fully dynamic serving: an ℓ₀-sampler [`DynamicSketch`] that
+    /// accepts interleaved inserts and deletes.
+    ///
+    /// [`DynamicSketch`]: coverage_sketch::DynamicSketch
+    Dynamic(DynamicSketchParams),
+}
+
+/// Engine configuration: store shape, seed, publication cadence,
+/// queue bound, and journaling.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The live store to run.
+    pub store: StoreConfig,
+    /// Shared hash seed for every sketch in the store.
+    pub seed: u64,
+    /// Publish a fresh epoch after this many applied updates (a flush
+    /// or drain publishes early). Smaller = fresher answers, more
+    /// export work on the ingest thread.
+    pub publish_every: u64,
+    /// Capacity of the bounded update queue, in *batches*. A full
+    /// queue blocks the submitter — backpressure, never unbounded
+    /// buffering.
+    pub queue_batches: usize,
+    /// Record every applied update in arrival order. Required by the
+    /// consistency oracle ([`replay prefix`](LiveStore::apply) →
+    /// [`EpochSnapshot::content_eq`]); off by default for serving.
+    pub journal: bool,
+}
+
+impl ServeConfig {
+    /// A bank-mode config over explicit per-guess parameters.
+    pub fn bank(params: impl IntoIterator<Item = SketchParams>, seed: u64) -> Self {
+        ServeConfig {
+            store: StoreConfig::Bank(params.into_iter().collect()),
+            seed,
+            publish_every: 65_536,
+            queue_batches: 16,
+            journal: false,
+        }
+    }
+
+    /// A bank-mode config on the standard geometric guess ladder:
+    /// `guesses` sketches with `k = 1, 2, 4, …`, each sized by
+    /// [`SketchParams::with_budget`] with `budget` edges.
+    pub fn bank_ladder(
+        num_sets: usize,
+        guesses: usize,
+        epsilon: f64,
+        budget: usize,
+        seed: u64,
+    ) -> Self {
+        let params =
+            (0..guesses).map(|g| SketchParams::with_budget(num_sets, 1usize << g, epsilon, budget));
+        Self::bank(params, seed)
+    }
+
+    /// A dynamic-mode (insert + delete) config.
+    pub fn dynamic(params: DynamicSketchParams, seed: u64) -> Self {
+        ServeConfig {
+            store: StoreConfig::Dynamic(params),
+            seed,
+            publish_every: 65_536,
+            queue_batches: 16,
+            journal: false,
+        }
+    }
+
+    /// Set the publication cadence (applied updates per epoch).
+    pub fn with_publish_every(mut self, updates: u64) -> Self {
+        self.publish_every = updates.max(1);
+        self
+    }
+
+    /// Set the bounded queue capacity, in batches.
+    pub fn with_queue_batches(mut self, batches: usize) -> Self {
+        self.queue_batches = batches.max(1);
+        self
+    }
+
+    /// Enable or disable the applied-update journal.
+    pub fn with_journal(mut self, on: bool) -> Self {
+        self.journal = on;
+        self
+    }
+
+    /// Ground-set size `n` the store was configured for.
+    pub fn num_sets(&self) -> usize {
+        match &self.store {
+            StoreConfig::Bank(params) => params.first().map_or(0, |p| p.num_sets),
+            StoreConfig::Dynamic(params) => params.base.num_sets,
+        }
+    }
+
+    /// True when the store cannot apply deletes (bank mode).
+    pub fn insert_only(&self) -> bool {
+        matches!(self.store, StoreConfig::Bank(_))
+    }
+}
+
+/// Errors surfaced by the engine's public API.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A delete update was submitted to an insertion-only (bank) store.
+    DeleteInInsertOnly,
+    /// The engine is shut down (or its ingest thread died).
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::DeleteInInsertOnly => {
+                write!(f, "delete update submitted to an insertion-only store")
+            }
+            ServeError::Closed => write!(f, "serve engine is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The live store, owned by the ingest thread. Public so the
+/// consistency oracle (tests, BENCH_7) can rebuild snapshots by
+/// journal replay outside an engine.
+#[derive(Debug)]
+pub enum LiveStore {
+    /// Insertion-only `H≤n` bank.
+    Bank(SketchBank),
+    /// Dynamic ℓ₀-sampler sketch.
+    Dynamic(DynamicSketch),
+}
+
+impl LiveStore {
+    /// A fresh store per `config` (same params + seed ⇒ same store).
+    pub fn new(config: &ServeConfig) -> Self {
+        match &config.store {
+            StoreConfig::Bank(params) => {
+                LiveStore::Bank(SketchBank::new(params.iter().copied(), config.seed))
+            }
+            StoreConfig::Dynamic(params) => {
+                LiveStore::Dynamic(DynamicSketch::new(*params, config.seed))
+            }
+        }
+    }
+
+    /// Apply a batch of signed updates. Batch boundaries do not affect
+    /// the resulting store (split-independence is property-tested in
+    /// coverage-sketch), which is what makes journal-prefix replay an
+    /// exact oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delete reaches a bank store — the engine rejects
+    /// those at submit time, so this is a caller bug.
+    pub fn apply(&mut self, updates: &[SignedEdge]) {
+        match self {
+            LiveStore::Bank(bank) => {
+                let edges: Vec<_> = updates
+                    .iter()
+                    .map(|u| {
+                        assert!(
+                            u.kind == UpdateKind::Insert,
+                            "delete update reached an insertion-only store"
+                        );
+                        u.edge
+                    })
+                    .collect();
+                bank.update_batch(&edges);
+            }
+            LiveStore::Dynamic(sketch) => sketch.update_batch(updates),
+        }
+    }
+
+    /// Export the store as an immutable epoch snapshot: one
+    /// [`GuessView`] per live sketch (bank) or one for the recovered
+    /// ℓ₀ sample (dynamic). Returns `None` when the dynamic sketch has
+    /// no decodable level — the publisher keeps the previous epoch and
+    /// counts a failure.
+    pub fn snapshot(&self, epoch: u64, updates_applied: u64) -> Option<EpochSnapshot> {
+        let guesses = match self {
+            LiveStore::Bank(bank) => bank
+                .sketches()
+                .iter()
+                .map(|s| GuessView {
+                    k: s.params().k,
+                    sampling_p: s.sampling_p(),
+                    edges_stored: s.edges_stored(),
+                    elements_stored: s.elements_stored(),
+                    view: s.csr_view(),
+                })
+                .collect(),
+            LiveStore::Dynamic(sketch) => {
+                let sample = sketch.recover()?;
+                vec![GuessView {
+                    k: sketch.params().base.k,
+                    sampling_p: sample.sampling_p,
+                    edges_stored: sample.edges.len(),
+                    elements_stored: 0,
+                    view: sketch.csr_view(&sample),
+                }]
+            }
+        };
+        Some(EpochSnapshot {
+            epoch,
+            updates_applied,
+            num_sets: self.num_sets(),
+            guesses,
+        })
+    }
+
+    /// Ground-set size `n`.
+    pub fn num_sets(&self) -> usize {
+        match self {
+            LiveStore::Bank(bank) => bank.sketches().first().map_or(0, |s| s.params().num_sets),
+            LiveStore::Dynamic(sketch) => sketch.params().base.num_sets,
+        }
+    }
+
+    /// Number of live sketches (bank guesses, or 1).
+    pub fn num_sketches(&self) -> usize {
+        match self {
+            LiveStore::Bank(bank) => bank.sketches().len(),
+            LiveStore::Dynamic(_) => 1,
+        }
+    }
+
+    /// Model-word ship size of the whole store (the
+    /// [`Composable::ship_words`] accounting used by the dist layer).
+    pub fn ship_words(&self) -> u64 {
+        match self {
+            LiveStore::Bank(bank) => bank.sketches().iter().map(Composable::ship_words).sum(),
+            LiveStore::Dynamic(sketch) => Composable::ship_words(sketch),
+        }
+    }
+
+    /// Encode the store as `coverage_sketch::wire` binary snapshot
+    /// frames (one per sketch) — the payloads a `snapshot` protocol
+    /// request ships.
+    pub fn ship_binary_frames(&self) -> Vec<Vec<u8>> {
+        match self {
+            LiveStore::Bank(bank) => bank
+                .sketches()
+                .iter()
+                .map(|s| SketchSnapshot::of(s).encode_binary())
+                .collect(),
+            LiveStore::Dynamic(sketch) => vec![DynamicSnapshot::of(sketch).encode_binary()],
+        }
+    }
+}
+
+/// One query's deterministic answer, tagged with the epoch it was
+/// served from.
+#[derive(Clone, Debug)]
+pub struct QueryAnswer {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// Updates applied at that epoch (the journal prefix length).
+    pub updates_applied: u64,
+    /// Index of the winning guess in the snapshot's guess list (0 when
+    /// the snapshot has no guesses).
+    pub guess_index: usize,
+    /// The winning guess's configured `k` (0 when no guesses).
+    pub guess_k: usize,
+    /// The greedy family chosen on the winning guess's view.
+    pub family: Vec<SetId>,
+    /// Sketch elements the family covers on that view.
+    pub sketch_coverage: usize,
+    /// Coverage estimate: `sketch_coverage / sampling_p` of the
+    /// winning guess (0 when no guesses).
+    pub estimate: f64,
+    /// The winning guess's sampling probability (0 when no guesses).
+    pub sampling_p: f64,
+}
+
+impl QueryAnswer {
+    /// Bit-exact equality (floats compared by bits — the consistency
+    /// gate's notion of "identical answer").
+    pub fn bit_eq(&self, other: &QueryAnswer) -> bool {
+        self.epoch == other.epoch
+            && self.updates_applied == other.updates_applied
+            && self.guess_index == other.guess_index
+            && self.guess_k == other.guess_k
+            && self.family == other.family
+            && self.sketch_coverage == other.sketch_coverage
+            && self.estimate.to_bits() == other.estimate.to_bits()
+            && self.sampling_p.to_bits() == other.sampling_p.to_bits()
+    }
+}
+
+/// Answer a `k`-cover query on a published snapshot: run the exact
+/// bucket-queue greedy on every guess view, estimate coverage as
+/// `covered / sampling_p`, and return the guess with the largest
+/// estimate (ties → smallest guess index). Pure and deterministic —
+/// the same function answers live queries and replay verification.
+pub fn answer_query(snapshot: &EpochSnapshot, k: usize) -> QueryAnswer {
+    let mut best: Option<QueryAnswer> = None;
+    for (idx, guess) in snapshot.guesses.iter().enumerate() {
+        let trace = bucket_greedy_k_cover(&guess.view, k);
+        let family = trace.family();
+        let covered = trace.coverage();
+        let estimate = if guess.sampling_p > 0.0 {
+            covered as f64 / guess.sampling_p
+        } else {
+            0.0
+        };
+        let better = match &best {
+            Some(b) => estimate > b.estimate,
+            None => true,
+        };
+        if better {
+            best = Some(QueryAnswer {
+                epoch: snapshot.epoch,
+                updates_applied: snapshot.updates_applied,
+                guess_index: idx,
+                guess_k: guess.k,
+                family,
+                sketch_coverage: covered,
+                estimate,
+                sampling_p: guess.sampling_p,
+            });
+        }
+    }
+    best.unwrap_or(QueryAnswer {
+        epoch: snapshot.epoch,
+        updates_applied: snapshot.updates_applied,
+        guess_index: 0,
+        guess_k: 0,
+        family: Vec::new(),
+        sketch_coverage: 0,
+        estimate: 0.0,
+        sampling_p: 0.0,
+    })
+}
+
+/// Counters shared between the ingest thread and the API surface.
+#[derive(Debug, Default)]
+struct SharedStats {
+    updates_enqueued: AtomicU64,
+    updates_applied: AtomicU64,
+    epochs_published: AtomicU64,
+    publish_failures: AtomicU64,
+    published_updates: AtomicU64,
+    queries_served: AtomicU64,
+}
+
+/// A point-in-time view of the engine's counters, with per-epoch
+/// publication costs reported through the dist layer's
+/// [`RoundsReport`] so shipped-bytes accounting is uniform across
+/// `dist` reduces and `serve` publishes: each published epoch is one
+/// [`RoundCost`] round (`words_shipped` = the live store's
+/// [`Composable::ship_words`] model count at publish; `bytes_shipped`
+/// = actual binary snapshot frame bytes shipped to clients from that
+/// epoch, 0 when nothing left the process — the same convention as
+/// `ShipFormat::InMemory`).
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Currently published epoch.
+    pub epoch: u64,
+    /// Successful publishes (equals `epoch` by construction).
+    pub epochs_published: u64,
+    /// Publish attempts that found no decodable ℓ₀ level (dynamic
+    /// mode only); the previous epoch stayed published.
+    pub publish_failures: u64,
+    /// Updates accepted into the queue.
+    pub updates_enqueued: u64,
+    /// Updates applied to the live store.
+    pub updates_applied: u64,
+    /// Updates visible at the published epoch.
+    pub published_updates: u64,
+    /// Queries answered from published snapshots.
+    pub queries_served: u64,
+    /// One round per published epoch (see type-level docs).
+    pub report: RoundsReport,
+}
+
+impl ServeStats {
+    /// Staleness bound: applied-but-unpublished updates — how far a
+    /// fresh query may trail the live store.
+    pub fn staleness(&self) -> u64 {
+        self.updates_applied.saturating_sub(self.published_updates)
+    }
+
+    /// Enqueued-but-unapplied updates (queue depth in updates).
+    pub fn queue_lag(&self) -> u64 {
+        self.updates_enqueued.saturating_sub(self.updates_applied)
+    }
+}
+
+enum Command {
+    Update(Vec<SignedEdge>),
+    /// Publish now (if anything changed); reply with the published epoch.
+    Flush(mpsc::SyncSender<u64>),
+    /// Publish, then ship binary snapshot frames of the live store.
+    Ship(mpsc::SyncSender<(u64, Vec<Vec<u8>>)>),
+}
+
+/// What [`ServeEngine::finish`] hands back after the drain.
+#[derive(Debug)]
+pub struct ServeFinish {
+    /// Final counters (epoch = the last published epoch, which covers
+    /// every applied update).
+    pub stats: ServeStats,
+    /// The live store, fully drained.
+    pub store: LiveStore,
+    /// The applied-update journal in exact application order (empty
+    /// unless [`ServeConfig::journal`] was set).
+    pub journal: Vec<SignedEdge>,
+}
+
+/// The serving engine: spawn with [`start`](ServeEngine::start),
+/// submit updates from any number of threads, query from any number
+/// of threads, then [`finish`](ServeEngine::finish) to drain.
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<SharedStats>,
+    rounds: Arc<Mutex<Vec<RoundCost>>>,
+    tx: Option<mpsc::SyncSender<Command>>,
+    handle: Option<JoinHandle<(LiveStore, Vec<SignedEdge>)>>,
+}
+
+impl ServeEngine {
+    /// Build the store, publish epoch 0 (the empty store's real
+    /// export, so a zero-length journal replay reproduces it exactly),
+    /// and spawn the ingest thread.
+    pub fn start(config: ServeConfig) -> Self {
+        let store = LiveStore::new(&config);
+        let epoch0 = store
+            .snapshot(0, 0)
+            .unwrap_or_else(|| EpochSnapshot::empty(config.num_sets()));
+        let cell = Arc::new(SnapshotCell::new(epoch0));
+        let stats = Arc::new(SharedStats::default());
+        let rounds = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::sync_channel::<Command>(config.queue_batches);
+        let handle = {
+            let cell = Arc::clone(&cell);
+            let stats = Arc::clone(&stats);
+            let rounds = Arc::clone(&rounds);
+            let config = config.clone();
+            std::thread::spawn(move || ingest_loop(&config, store, &cell, &stats, &rounds, &rx))
+        };
+        ServeEngine {
+            config,
+            cell,
+            stats,
+            rounds,
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submit a batch of updates. Blocks when the bounded queue is
+    /// full (backpressure). Rejects deletes in bank mode *before*
+    /// enqueueing, so the ingest thread never sees an invalid update.
+    pub fn submit(&self, updates: Vec<SignedEdge>) -> Result<(), ServeError> {
+        if self.config.insert_only() && updates.iter().any(|u| u.kind == UpdateKind::Delete) {
+            return Err(ServeError::DeleteInInsertOnly);
+        }
+        let n = updates.len() as u64;
+        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
+        tx.send(Command::Update(updates))
+            .map_err(|_| ServeError::Closed)?;
+        self.stats.updates_enqueued.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Force a publish of everything applied so far; returns the
+    /// published epoch once the ingest thread has caught up.
+    pub fn flush(&self) -> Result<u64, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
+        tx.send(Command::Flush(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Publish, then encode the live store as binary snapshot frames
+    /// (`coverage_sketch::wire`, one frame per sketch). The shipped
+    /// bytes are charged to the published epoch's [`RoundCost`].
+    pub fn ship_snapshots(&self) -> Result<(u64, Vec<Vec<u8>>), ServeError> {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
+        tx.send(Command::Ship(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// A lock-free query handle for a reader thread (cached snapshot
+    /// `Arc`, refreshed only on epoch change).
+    pub fn query_handle(&self) -> QueryHandle {
+        QueryHandle {
+            reader: self.cell.reader(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// One-shot query on the current snapshot (takes the cell's read
+    /// lock; loops should hold a [`QueryHandle`] instead).
+    pub fn query(&self, k: usize) -> QueryAnswer {
+        let answer = answer_query(&self.cell.load(), k);
+        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+        answer
+    }
+
+    /// Current counters (see [`ServeStats`]).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            epoch: self.cell.epoch(),
+            epochs_published: self.stats.epochs_published.load(Ordering::Relaxed),
+            publish_failures: self.stats.publish_failures.load(Ordering::Relaxed),
+            updates_enqueued: self.stats.updates_enqueued.load(Ordering::Relaxed),
+            updates_applied: self.stats.updates_applied.load(Ordering::Relaxed),
+            published_updates: self.stats.published_updates.load(Ordering::Relaxed),
+            queries_served: self.stats.queries_served.load(Ordering::Relaxed),
+            report: RoundsReport {
+                rounds: self.rounds.lock().expect("rounds poisoned").clone(),
+            },
+        }
+    }
+
+    /// Graceful drain: close the queue, let the ingest thread apply
+    /// everything still buffered, publish a final epoch covering all
+    /// applied updates, and hand back the store + journal + stats.
+    pub fn finish(mut self) -> ServeFinish {
+        drop(self.tx.take());
+        let handle = self.handle.take().expect("finish called once");
+        let (store, journal) = handle.join().expect("ingest thread panicked");
+        ServeFinish {
+            stats: self.stats(),
+            store,
+            journal,
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A reader-thread handle: lock-free queries in steady state.
+#[derive(Debug)]
+pub struct QueryHandle {
+    reader: SnapshotReader,
+    stats: Arc<SharedStats>,
+}
+
+impl QueryHandle {
+    /// Answer `k`-cover on the freshest published snapshot.
+    pub fn query(&mut self, k: usize) -> QueryAnswer {
+        let answer = answer_query(self.reader.current(), k);
+        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+        answer
+    }
+
+    /// The freshest published snapshot itself.
+    pub fn snapshot(&mut self) -> Arc<EpochSnapshot> {
+        Arc::clone(self.reader.current())
+    }
+}
+
+struct Publisher<'a> {
+    cell: &'a SnapshotCell,
+    stats: &'a SharedStats,
+    rounds: &'a Mutex<Vec<RoundCost>>,
+    published_once: bool,
+}
+
+impl Publisher<'_> {
+    /// Attempt one publish; returns whether the epoch advanced.
+    fn publish(&mut self, store: &LiveStore, applied: u64) -> bool {
+        let next = self.cell.epoch() + 1;
+        match store.snapshot(next, applied) {
+            Some(snap) => {
+                let cost = RoundCost {
+                    sketches_in: store.num_sketches(),
+                    sketches_out: snap.guesses.len(),
+                    words_shipped: store.ship_words(),
+                    bytes_shipped: 0,
+                };
+                self.rounds.lock().expect("rounds poisoned").push(cost);
+                self.cell.publish(snap);
+                self.stats.epochs_published.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .published_updates
+                    .store(applied, Ordering::Relaxed);
+                self.published_once = true;
+                true
+            }
+            None => {
+                self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Charge shipped snapshot bytes to the current epoch's round.
+    fn charge_bytes(&self, bytes: u64) {
+        if let Some(last) = self.rounds.lock().expect("rounds poisoned").last_mut() {
+            last.bytes_shipped += bytes;
+        }
+    }
+}
+
+fn ingest_loop(
+    config: &ServeConfig,
+    mut store: LiveStore,
+    cell: &SnapshotCell,
+    stats: &SharedStats,
+    rounds: &Mutex<Vec<RoundCost>>,
+    rx: &mpsc::Receiver<Command>,
+) -> (LiveStore, Vec<SignedEdge>) {
+    let mut journal: Vec<SignedEdge> = Vec::new();
+    let mut applied: u64 = 0;
+    let mut since_publish: u64 = 0;
+    let mut publisher = Publisher {
+        cell,
+        stats,
+        rounds,
+        published_once: false,
+    };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Update(batch) => {
+                store.apply(&batch);
+                applied += batch.len() as u64;
+                since_publish += batch.len() as u64;
+                if config.journal {
+                    journal.extend_from_slice(&batch);
+                }
+                stats.updates_applied.store(applied, Ordering::Relaxed);
+                if since_publish >= config.publish_every {
+                    publisher.publish(&store, applied);
+                    since_publish = 0;
+                }
+            }
+            Command::Flush(ack) => {
+                if (since_publish > 0 || !publisher.published_once)
+                    && publisher.publish(&store, applied)
+                {
+                    since_publish = 0;
+                }
+                let _ = ack.send(cell.epoch());
+            }
+            Command::Ship(ack) => {
+                if (since_publish > 0 || !publisher.published_once)
+                    && publisher.publish(&store, applied)
+                {
+                    since_publish = 0;
+                }
+                let frames = store.ship_binary_frames();
+                let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+                publisher.charge_bytes(bytes);
+                let _ = ack.send((cell.epoch(), frames));
+            }
+        }
+    }
+    // Queue closed: final publish so the last epoch covers everything.
+    if since_publish > 0 || !publisher.published_once {
+        publisher.publish(&store, applied);
+    }
+    (store, journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coverage_core::Edge;
+
+    fn inserts(range: std::ops::Range<u64>) -> Vec<SignedEdge> {
+        range
+            .map(|e| SignedEdge::insert(Edge::new((e % 7) as u32, e * 13 % 400)))
+            .collect()
+    }
+
+    fn bank_cfg() -> ServeConfig {
+        ServeConfig::bank_ladder(7, 3, 0.4, 600, 42)
+            .with_publish_every(100)
+            .with_journal(true)
+    }
+
+    #[test]
+    fn serves_queries_and_publishes_epochs() {
+        let engine = ServeEngine::start(bank_cfg());
+        engine.submit(inserts(0..350)).unwrap();
+        let epoch = engine.flush().unwrap();
+        assert!(epoch >= 1);
+        let answer = engine.query(2);
+        assert_eq!(answer.updates_applied, 350);
+        assert!(!answer.family.is_empty());
+        assert!(answer.estimate > 0.0);
+        let stats = engine.stats();
+        assert_eq!(stats.updates_applied, 350);
+        assert_eq!(stats.epoch as usize, stats.report.rounds.len());
+        assert!(stats.report.total_words() > 0);
+        let fin = engine.finish();
+        assert_eq!(fin.journal.len(), 350);
+        assert_eq!(fin.stats.staleness(), 0, "drain publishes the tail");
+    }
+
+    #[test]
+    fn journal_prefix_replay_rebuilds_the_published_snapshot() {
+        let cfg = bank_cfg();
+        let engine = ServeEngine::start(cfg.clone());
+        for chunk in inserts(0..730).chunks(90) {
+            engine.submit(chunk.to_vec()).unwrap();
+        }
+        engine.flush().unwrap();
+        let answer = engine.query(4);
+        let fin = engine.finish();
+        let mut rebuilt = LiveStore::new(&cfg);
+        rebuilt.apply(&fin.journal[..answer.updates_applied as usize]);
+        let snap = rebuilt
+            .snapshot(answer.epoch, answer.updates_applied)
+            .unwrap();
+        assert!(answer.bit_eq(&answer_query(&snap, 4)));
+    }
+
+    #[test]
+    fn deletes_are_rejected_in_bank_mode() {
+        let engine = ServeEngine::start(bank_cfg());
+        let err = engine
+            .submit(vec![SignedEdge::delete(Edge::new(0u32, 5u64))])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeleteInInsertOnly));
+        // The engine keeps serving after a rejected batch.
+        engine.submit(inserts(0..10)).unwrap();
+        assert!(engine.flush().unwrap() >= 1);
+    }
+
+    #[test]
+    fn dynamic_mode_serves_churn() {
+        let params = DynamicSketchParams::new(SketchParams::with_budget(6, 2, 0.4, 400));
+        let cfg = ServeConfig::dynamic(params, 9)
+            .with_publish_every(64)
+            .with_journal(true);
+        let engine = ServeEngine::start(cfg.clone());
+        let mut updates = inserts(0..300);
+        // Delete every third inserted edge again.
+        let deletes: Vec<_> = updates
+            .iter()
+            .step_by(3)
+            .map(|u| SignedEdge::delete(u.edge))
+            .collect();
+        updates.extend(deletes);
+        engine.submit(updates).unwrap();
+        engine.flush().unwrap();
+        let answer = engine.query(2);
+        let fin = engine.finish();
+        assert!(fin.stats.epoch >= 1);
+        let mut rebuilt = LiveStore::new(&cfg);
+        rebuilt.apply(&fin.journal[..answer.updates_applied as usize]);
+        let snap = rebuilt
+            .snapshot(answer.epoch, answer.updates_applied)
+            .unwrap();
+        assert!(answer.bit_eq(&answer_query(&snap, 2)));
+    }
+
+    #[test]
+    fn shipped_snapshot_frames_decode_and_are_charged() {
+        let engine = ServeEngine::start(bank_cfg());
+        engine.submit(inserts(0..200)).unwrap();
+        let (epoch, frames) = engine.ship_snapshots().unwrap();
+        assert!(epoch >= 1);
+        assert_eq!(frames.len(), 3, "one frame per guess");
+        for frame in &frames {
+            SketchSnapshot::decode_binary(frame).expect("frame must decode");
+        }
+        let stats = engine.stats();
+        let shipped: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        assert_eq!(stats.report.total_bytes(), shipped);
+        drop(engine);
+    }
+
+    #[test]
+    fn empty_snapshot_answers_cleanly() {
+        let engine = ServeEngine::start(bank_cfg());
+        let answer = engine.query(3);
+        assert_eq!(answer.epoch, 0);
+        assert!(answer.family.is_empty());
+        assert_eq!(answer.estimate, 0.0);
+        let fin = engine.finish();
+        // Drain publishes epoch 1 even with nothing applied, so a
+        // final flush-level snapshot always exists.
+        assert_eq!(fin.stats.epoch, 1);
+    }
+}

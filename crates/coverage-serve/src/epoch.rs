@@ -1,0 +1,277 @@
+//! The epoch-tagged snapshot cell: one writer publishes immutable
+//! views, many readers consume them without locking in steady state.
+//!
+//! The serving daemon separates the *live* store (a [`SketchBank`] or
+//! [`DynamicSketch`] owned exclusively by the ingest thread — see
+//! [`engine`](crate::engine)) from the *published* store: an immutable
+//! [`EpochSnapshot`] holding one packed [`CsrInstance`] per guess.
+//! Publishing swaps an `Arc` under a write lock and **then** bumps an
+//! atomic epoch counter with `Release` ordering. A [`SnapshotReader`]
+//! caches the `Arc` it last saw and re-reads the slot only when the
+//! atomic epoch (loaded with `Acquire`) differs from its cached copy —
+//! so between publishes the query hot path is one atomic load and zero
+//! locks, and the rare refresh takes a read lock that a publisher holds
+//! only for the duration of an `Arc` store.
+//!
+//! Ordering argument: the slot store happens-before the epoch store
+//! (program order + `Release`), and a reader that observes the new
+//! epoch with `Acquire` then acquires the read lock, which synchronizes
+//! with the writer's unlock — so the reader can never load a snapshot
+//! *older* than the epoch it observed (it may load a newer one, which
+//! is fine: epochs only move forward).
+//!
+//! [`SketchBank`]: coverage_sketch::SketchBank
+//! [`DynamicSketch`]: coverage_sketch::DynamicSketch
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use coverage_core::{CoverageView, CsrInstance, SetId};
+
+/// One guess's published view: the packed CSR export of a live sketch
+/// plus the metadata a query needs to turn a greedy trace into a
+/// coverage estimate.
+#[derive(Clone, Debug)]
+pub struct GuessView {
+    /// The guess's target family size `k` (bank mode: the geometric
+    /// ladder value; dynamic mode: the configured `k`).
+    pub k: usize,
+    /// Sampling probability at export time: estimates scale a covered
+    /// count by `1 / sampling_p`.
+    pub sampling_p: f64,
+    /// Edges retained by the live sketch when the view was exported.
+    pub edges_stored: usize,
+    /// Distinct elements retained when the view was exported.
+    pub elements_stored: usize,
+    /// The immutable packed view the bucket-queue greedy solves on.
+    pub view: CsrInstance,
+}
+
+/// An immutable published snapshot: everything a query thread touches.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    /// Monotone publish counter; `0` is the empty pre-ingest snapshot.
+    pub epoch: u64,
+    /// Exact number of signed updates applied to the live store when
+    /// this snapshot was exported — the journal prefix that rebuilds it.
+    pub updates_applied: u64,
+    /// Ground-set size `n` (sets `0..n`).
+    pub num_sets: usize,
+    /// One view per guess, in the live store's guess order. Empty when
+    /// the dynamic sketch could not decode a level (see
+    /// [`ServeStats::publish_failures`](crate::ServeStats)).
+    pub guesses: Vec<GuessView>,
+}
+
+impl EpochSnapshot {
+    /// The empty epoch-0 snapshot a cell starts from before any
+    /// publish: no guesses, nothing applied.
+    pub fn empty(num_sets: usize) -> Self {
+        EpochSnapshot {
+            epoch: 0,
+            updates_applied: 0,
+            num_sets,
+            guesses: Vec::new(),
+        }
+    }
+
+    /// Structural bit-equality of two snapshots: identical epochs,
+    /// applied counts, and per-guess views (metadata, element id maps,
+    /// and every per-set dense slice). This is the consistency oracle
+    /// used by the torn-state tests and the BENCH_7 gate — a rebuilt
+    /// snapshot must match the published one exactly, not merely
+    /// produce the same greedy family.
+    pub fn content_eq(&self, other: &EpochSnapshot) -> bool {
+        self.epoch == other.epoch
+            && self.updates_applied == other.updates_applied
+            && self.num_sets == other.num_sets
+            && self.guesses.len() == other.guesses.len()
+            && self
+                .guesses
+                .iter()
+                .zip(&other.guesses)
+                .all(|(a, b)| guess_views_eq(a, b))
+    }
+}
+
+fn guess_views_eq(a: &GuessView, b: &GuessView) -> bool {
+    a.k == b.k
+        && a.sampling_p.to_bits() == b.sampling_p.to_bits()
+        && a.edges_stored == b.edges_stored
+        && a.elements_stored == b.elements_stored
+        && csr_eq(&a.view, &b.view)
+}
+
+fn csr_eq(a: &CsrInstance, b: &CsrInstance) -> bool {
+    a.num_sets() == b.num_sets()
+        && a.element_ids() == b.element_ids()
+        && a.num_edges() == b.num_edges()
+        && (0..a.num_sets() as u32).all(|s| a.dense_set(SetId(s)) == b.dense_set(SetId(s)))
+}
+
+/// The single-writer / many-reader publication point.
+///
+/// Exactly one thread (the ingest thread) calls [`publish`]; any number
+/// of threads read via [`SnapshotReader`] or [`load`]. Epochs must be
+/// published in strictly increasing order (enforced).
+///
+/// [`publish`]: SnapshotCell::publish
+/// [`load`]: SnapshotCell::load
+#[derive(Debug)]
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slot: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding `initial` (normally [`EpochSnapshot::empty`]).
+    pub fn new(initial: EpochSnapshot) -> Self {
+        SnapshotCell {
+            epoch: AtomicU64::new(initial.epoch),
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// Atomically replace the published snapshot. Store first, then
+    /// bump the epoch tag (`Release`) — see the module ordering note.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap.epoch` does not strictly exceed the published
+    /// epoch: regressing or duplicate epochs would break the readers'
+    /// "refresh only on tag change" contract.
+    pub fn publish(&self, snap: EpochSnapshot) {
+        let next = snap.epoch;
+        let current = self.epoch.load(Ordering::Relaxed);
+        assert!(
+            next > current,
+            "epoch must advance: published {next} after {current}"
+        );
+        *self.slot.write().expect("snapshot slot poisoned") = Arc::new(snap);
+        self.epoch.store(next, Ordering::Release);
+    }
+
+    /// The currently published epoch tag (`Acquire`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clone out the current snapshot handle (takes the read lock —
+    /// query loops should prefer a cached [`SnapshotReader`]).
+    pub fn load(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.slot.read().expect("snapshot slot poisoned"))
+    }
+
+    /// A reader with its own cached handle for lock-free steady state.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader {
+        SnapshotReader {
+            cached: self.load(),
+            cell: Arc::clone(self),
+        }
+    }
+}
+
+/// A per-thread read handle: holds the last snapshot it saw and
+/// refreshes only when the cell's epoch tag moves.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+    cached: Arc<EpochSnapshot>,
+}
+
+impl SnapshotReader {
+    /// The freshest published snapshot. One `Acquire` load when nothing
+    /// changed; a read-lock refresh when the tag moved.
+    pub fn current(&mut self) -> &Arc<EpochSnapshot> {
+        if self.cell.epoch() != self.cached.epoch {
+            self.cached = self.cell.load();
+        }
+        &self.cached
+    }
+
+    /// The snapshot this reader last refreshed to (no synchronization —
+    /// may be stale).
+    pub fn cached(&self) -> &Arc<EpochSnapshot> {
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64, updates: u64) -> EpochSnapshot {
+        EpochSnapshot {
+            epoch,
+            updates_applied: updates,
+            num_sets: 3,
+            guesses: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn reader_sees_publishes_in_order() {
+        let cell = Arc::new(SnapshotCell::new(EpochSnapshot::empty(3)));
+        let mut reader = cell.reader();
+        assert_eq!(reader.current().epoch, 0);
+        cell.publish(snap(1, 10));
+        cell.publish(snap(2, 25));
+        let cur = reader.current();
+        assert_eq!(cur.epoch, 2);
+        assert_eq!(cur.updates_applied, 25);
+    }
+
+    #[test]
+    fn reader_does_not_refresh_without_a_tag_change() {
+        let cell = Arc::new(SnapshotCell::new(EpochSnapshot::empty(1)));
+        cell.publish(snap(1, 5));
+        let mut reader = cell.reader();
+        let first = Arc::as_ptr(reader.current());
+        let second = Arc::as_ptr(reader.current());
+        assert_eq!(first, second, "same epoch must reuse the cached Arc");
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must advance")]
+    fn regressed_epoch_panics() {
+        let cell = SnapshotCell::new(EpochSnapshot::empty(1));
+        cell.publish(snap(2, 5));
+        cell.publish(snap(2, 6));
+    }
+
+    #[test]
+    fn old_handles_stay_valid_after_publish() {
+        let cell = Arc::new(SnapshotCell::new(EpochSnapshot::empty(2)));
+        cell.publish(snap(1, 7));
+        let held = cell.load();
+        cell.publish(snap(2, 9));
+        // The superseded snapshot is still fully readable: queries that
+        // started on epoch 1 finish on epoch 1.
+        assert_eq!(held.epoch, 1);
+        assert_eq!(held.updates_applied, 7);
+        assert_eq!(cell.load().epoch, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_tags() {
+        // Epoch and updates_applied move in lockstep (updates = 10 ×
+        // epoch); a torn read would decouple them.
+        let cell = Arc::new(SnapshotCell::new(EpochSnapshot::empty(1)));
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move |_| {
+                    let mut reader = cell.reader();
+                    for _ in 0..10_000 {
+                        let s = reader.current();
+                        assert_eq!(s.updates_applied, s.epoch * 10);
+                    }
+                });
+            }
+            for e in 1..=100 {
+                cell.publish(snap(e, e * 10));
+            }
+        })
+        .expect("reader threads must not panic");
+    }
+}

@@ -1,0 +1,49 @@
+//! # coverage-serve
+//!
+//! The sketch-serving subsystem: a long-lived process where writers
+//! stream signed membership edges into the live `H≤n` sketch bank (or
+//! the dynamic ℓ₀ sketch) while readers answer coverage queries
+//! concurrently — the serving shape the streaming coverage sketches of
+//! Bateni–Esfandiari–Mirrokni (SPAA 2017) were designed for.
+//!
+//! The design splits the store in two:
+//!
+//! * the **live store** ([`LiveStore`]) is owned exclusively by one
+//!   ingest thread behind a bounded update queue (backpressure, never
+//!   unbounded buffering) — no lock guards the ingest hot loop;
+//! * the **published store** ([`EpochSnapshot`]) is an immutable,
+//!   epoch-tagged export (one packed CSR view per guess) swapped
+//!   atomically into a [`SnapshotCell`] every
+//!   [`publish_every`](ServeConfig::publish_every) applied updates.
+//!
+//! Query threads hold a [`QueryHandle`] whose cached snapshot refreshes
+//! only when the epoch tag moves, so steady-state queries are lock-free
+//! and always see one consistent store state, at most
+//! [`ServeStats::staleness`] updates behind the live store. Because
+//! sketch ingestion is batch-split-independent, replaying the
+//! applied-update journal prefix of length
+//! [`updates_applied`](EpochSnapshot::updates_applied) rebuilds any
+//! published snapshot bit-identically ([`EpochSnapshot::content_eq`]) —
+//! the consistency oracle behind the serve test suites and the BENCH_7
+//! CI gate.
+//!
+//! The [`daemon`] module speaks a framed stdin/stdout protocol
+//! ([`proto`], magic `CVSV`) with update/query/stats/flush/snapshot/
+//! shutdown frames; snapshot replies reuse the `coverage_sketch::wire`
+//! binary format. The CLI front end is `coverage serve`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod epoch;
+pub mod proto;
+
+pub use daemon::{run_stdio, serve_loop};
+pub use engine::{
+    answer_query, LiveStore, QueryAnswer, QueryHandle, ServeConfig, ServeEngine, ServeError,
+    ServeFinish, ServeStats, StoreConfig,
+};
+pub use epoch::{EpochSnapshot, GuessView, SnapshotCell, SnapshotReader};
+pub use proto::{read_reply, read_request, write_reply, write_request, ProtoError, Reply, Request};

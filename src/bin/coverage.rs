@@ -6,6 +6,7 @@
 //! coverage setcover  --n 200 --m 20000 --kstar 10 --lambda 0.1
 //! coverage multipass --n 200 --m 40000 --kstar 10 --rounds 3
 //! coverage dist      --n 200 --m 40000 --k 6 --machines 8
+//! coverage serve     --n 200 --guesses 8                  # framed daemon on stdin/stdout
 //! coverage gen       --n 50 --m 1000 --workload uniform   # dump edges as TSV
 //! ```
 //!
@@ -37,6 +38,7 @@ fn main() {
         "setcover" => cmd_setcover(&flags),
         "multipass" => cmd_multipass(&flags),
         "dist" => cmd_dist(&flags),
+        "serve" => cmd_serve(&flags),
         "solve" => cmd_solve(&flags),
         "lemmas" => cmd_lemmas(&flags),
         "gen" => cmd_gen(&flags),
@@ -69,6 +71,18 @@ USAGE:
                      #   `worker` mode, framed binary pipes); same family again
                      # --ship: snapshot wire format for the reduce (and the
                      #   worker pipes); binary is the compact framed codec
+  coverage serve     --n <sets> [--guesses G] [--dynamic [--k K]] [--eps E] [--budget B] [--seed S]
+                     [--publish-every U] [--queue Q] [--journal]
+                     # long-lived serving daemon speaking the framed CVSV
+                     #   protocol on stdin/stdout: writers stream signed edges
+                     #   in (update frames), readers get k-cover answers from
+                     #   epoch-tagged published snapshots (query frames), plus
+                     #   stats/flush/snapshot/shutdown frames. A fresh epoch is
+                     #   published every U applied updates (default 65536); the
+                     #   bounded queue of Q batches (default 16) exerts
+                     #   backpressure on writers. Default store: a G-guess H<=n
+                     #   bank (insertion-only); --dynamic serves the l0 sketch
+                     #   and accepts deletes
   coverage solve     --n <sets> --m <elements> --k <k> [--workload W] [--seed S]
                      # offline solver comparison: greedy / local search / stochastic / parallel
   coverage lemmas    [--n N] [--m M] [--seed S]        # empirical Section 2 lemma checks
@@ -564,6 +578,31 @@ fn cmd_dist_processes(
         fmt_f(res.reduce_solve_ns as f64 / 1e6, 2),
     ]);
     println!("{}", t.render());
+}
+
+/// `coverage serve`: run the epoch-snapshot serving daemon over this
+/// process's stdin/stdout. All output is framed protocol bytes; the
+/// drain summary goes to stderr.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let n: usize = require(flags, "n");
+    let seed: u64 = get(flags, "seed", 42);
+    let eps: f64 = get(flags, "eps", 0.25);
+    let budget: usize = get(flags, "budget", 5_000);
+    let publish_every: u64 = get(flags, "publish-every", 65_536);
+    let queue: usize = get(flags, "queue", 16);
+    let config = if flags.contains_key("dynamic") {
+        let k: usize = get(flags, "k", 4);
+        let params = DynamicSketchParams::new(SketchParams::with_budget(n, k, eps, budget));
+        ServeConfig::dynamic(params, seed)
+    } else {
+        let guesses: usize = get(flags, "guesses", 8);
+        ServeConfig::bank_ladder(n, guesses, eps, budget, seed)
+    };
+    let config = config
+        .with_publish_every(publish_every)
+        .with_queue_batches(queue)
+        .with_journal(flags.contains_key("journal"));
+    exit(coverage_suite::serve::run_stdio(config));
 }
 
 fn cmd_gen(flags: &HashMap<String, String>) {

@@ -18,6 +18,7 @@
 //! | [`lb`] | hardness artifacts (k-purification, noisy oracle, DISJ) |
 //! | [`data`] | synthetic workload generators (incl. deletion workloads) |
 //! | [`dist`] | distributed executors: sharding, generic tree reduce, parallel + dynamic runners |
+//! | [`serve`] | the serving subsystem: epoch-snapshot publication, concurrent ingest, lock-free queries, the `coverage serve` daemon |
 //!
 //! The paper-to-code map in `docs/PAPER_MAP.md` locates every paper
 //! artifact (algorithms, lemma checks, lower bounds, the dynamic
@@ -51,6 +52,7 @@ pub use coverage_data as data;
 pub use coverage_dist as dist;
 pub use coverage_hash as hash;
 pub use coverage_lb as lb;
+pub use coverage_serve as serve;
 pub use coverage_sketch as sketch;
 pub use coverage_stream as stream;
 
@@ -88,6 +90,11 @@ pub mod prelude {
         partition_edges, partition_updates, tree_reduce, DistConfig, DistResult, DynDistResult,
         DynProcessResult, DynamicParallelResult, ParallelResult, ParallelRunner, ProcessResult,
         ProcessRunner, ShipFormat, WorkerCommand,
+    };
+    pub use coverage_serve::{
+        answer_query, EpochSnapshot, GuessView, LiveStore, QueryAnswer, QueryHandle, ServeConfig,
+        ServeEngine, ServeError, ServeFinish, ServeStats, SnapshotCell, SnapshotReader,
+        StoreConfig,
     };
     pub use coverage_sketch::{
         AblatedSketch, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,

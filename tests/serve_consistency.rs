@@ -1,0 +1,281 @@
+//! The serving subsystem's torn-state contract, exercised under real
+//! concurrency: writer threads stream updates through the bounded
+//! queue while reader threads query published snapshots, and **every**
+//! answer must match a serially rebuilt sketch at the answer's
+//! reported epoch — bit-identically ([`QueryAnswer::bit_eq`], and
+//! [`EpochSnapshot::content_eq`] on the captured snapshots themselves).
+//! A torn read (a view from one epoch tagged with another, a family
+//! computed across a publish) cannot pass, because the journal prefix
+//! of length `updates_applied` pins the exact store state the epoch
+//! tag claims.
+//!
+//! Grid: {uniform, zipf, planted} × {insert-only bank, churn dynamic},
+//! concurrent writers × readers, plus a proptest sweep over seeds,
+//! publication cadence, and batch split.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use coverage_suite::data::{churn_workload, planted_k_cover, uniform_instance, zipf_instance};
+use coverage_suite::prelude::*;
+
+fn instance_of(generator: u8, seed: u64) -> CoverageInstance {
+    match generator % 3 {
+        0 => uniform_instance(24, 1_500, 60, seed),
+        1 => zipf_instance(24, 1_500, 0.6, 1.05, 180, seed),
+        _ => planted_k_cover(24, 1_500, 4, 80, seed).instance,
+    }
+}
+
+fn insert_stream(inst: &CoverageInstance, seed: u64) -> Vec<SignedEdge> {
+    let mut stream = VecStream::from_instance(inst);
+    ArrivalOrder::Random(seed ^ 0xA5).apply(stream.edges_mut());
+    stream
+        .edges()
+        .iter()
+        .copied()
+        .map(SignedEdge::insert)
+        .collect()
+}
+
+fn bank_config(seed: u64, publish_every: u64) -> ServeConfig {
+    ServeConfig::bank_ladder(24, 4, 0.4, 1_200, seed)
+        .with_publish_every(publish_every)
+        .with_queue_batches(4)
+        .with_journal(true)
+}
+
+fn dynamic_config(seed: u64, publish_every: u64) -> ServeConfig {
+    let params = DynamicSketchParams::new(SketchParams::with_budget(24, 4, 0.4, 1_200));
+    ServeConfig::dynamic(params, seed)
+        .with_publish_every(publish_every)
+        .with_queue_batches(4)
+        .with_journal(true)
+}
+
+/// Run `writers` concurrent submitters against `readers` concurrent
+/// query loops; return every recorded answer, every distinct snapshot
+/// a reader observed, and the engine's final state.
+fn mixed_load(
+    cfg: &ServeConfig,
+    updates: &[SignedEdge],
+    writers: usize,
+    readers: usize,
+    batch: usize,
+    ks: &[usize],
+) -> (
+    Vec<(usize, QueryAnswer)>,
+    Vec<Arc<EpochSnapshot>>,
+    ServeFinish,
+) {
+    let engine = ServeEngine::start(cfg.clone());
+    let done = AtomicBool::new(false);
+    let batches: Vec<Vec<SignedEdge>> = updates.chunks(batch.max(1)).map(<[_]>::to_vec).collect();
+    let (answers, snapshots) = crossbeam::scope(|scope| {
+        let mut reader_handles = Vec::new();
+        for r in 0..readers {
+            let mut handle = engine.query_handle();
+            let done = &done;
+            reader_handles.push(scope.spawn(move |_| {
+                let mut answers = Vec::new();
+                let mut snapshots: Vec<Arc<EpochSnapshot>> = Vec::new();
+                let mut turn = r; // desynchronize the readers' k cycles
+                while !done.load(Ordering::Relaxed) && answers.len() < 500 {
+                    let snap = handle.snapshot();
+                    if snapshots.last().map(|s| s.epoch) != Some(snap.epoch) {
+                        snapshots.push(Arc::clone(&snap));
+                    }
+                    let k = ks[turn % ks.len()];
+                    answers.push((k, handle.query(k)));
+                    turn += 1;
+                }
+                (answers, snapshots)
+            }));
+        }
+        let mut writer_handles = Vec::new();
+        for w in 0..writers {
+            let engine = &engine;
+            let batches = &batches;
+            writer_handles.push(scope.spawn(move |_| {
+                // Round-robin split: writer w submits batches w, w+W, …
+                // Application order is whatever the queue serializes —
+                // the journal records it, the oracle replays it.
+                for b in batches.iter().skip(w).step_by(writers.max(1)) {
+                    engine.submit(b.clone()).expect("engine accepts the batch");
+                }
+            }));
+        }
+        for h in writer_handles {
+            h.join().expect("writer must not panic");
+        }
+        engine.flush().expect("flush after writers");
+        done.store(true, Ordering::Relaxed);
+        let mut answers = Vec::new();
+        let mut snapshots: Vec<Arc<EpochSnapshot>> = Vec::new();
+        for h in reader_handles {
+            let (a, s) = h.join().expect("reader must not panic");
+            answers.extend(a);
+            snapshots.extend(s);
+        }
+        (answers, snapshots)
+    })
+    .expect("scoped threads join");
+    // One post-flush answer per k so the final epoch is always checked.
+    let mut answers = answers;
+    for &k in ks {
+        answers.push((k, engine.query(k)));
+    }
+    (answers, snapshots, engine.finish())
+}
+
+/// The oracle: rebuild the store serially from the journal prefix each
+/// epoch claims and demand bit-identical snapshots and answers.
+fn verify(
+    cfg: &ServeConfig,
+    answers: &[(usize, QueryAnswer)],
+    snapshots: &[Arc<EpochSnapshot>],
+    fin: &ServeFinish,
+) {
+    // Epoch → updates_applied must be a function (a torn tag breaks it).
+    let mut applied_at: HashMap<u64, u64> = HashMap::new();
+    for (_, a) in answers {
+        let prev = applied_at.insert(a.epoch, a.updates_applied);
+        assert!(
+            prev.is_none() || prev == Some(a.updates_applied),
+            "epoch {} reported two applied counts: {:?} vs {}",
+            a.epoch,
+            prev,
+            a.updates_applied
+        );
+    }
+    for s in snapshots {
+        let prev = applied_at.insert(s.epoch, s.updates_applied);
+        assert!(
+            prev.is_none() || prev == Some(s.updates_applied),
+            "snapshot epoch {} disagrees with answers",
+            s.epoch
+        );
+    }
+    // Serial rebuild per distinct epoch, then compare everything
+    // recorded at that epoch against it.
+    let mut rebuilt: HashMap<u64, EpochSnapshot> = HashMap::new();
+    for (&epoch, &applied) in &applied_at {
+        let mut store = LiveStore::new(cfg);
+        store.apply(&fin.journal[..applied as usize]);
+        // Epoch 0 mirrors the engine: a dynamic store with nothing
+        // applied may not recover, and the engine falls back to the
+        // guess-free empty snapshot there.
+        let snap = store.snapshot(epoch, applied).unwrap_or_else(|| {
+            assert_eq!(applied, 0, "only the empty prefix may fail to export");
+            EpochSnapshot::empty(store.num_sets())
+        });
+        rebuilt.insert(epoch, snap);
+    }
+    for s in snapshots {
+        assert!(
+            s.content_eq(&rebuilt[&s.epoch]),
+            "published snapshot at epoch {} is not the journal-prefix rebuild",
+            s.epoch
+        );
+    }
+    let mut checked: HashMap<(u64, usize), QueryAnswer> = HashMap::new();
+    for (k, a) in answers {
+        let reference = checked
+            .entry((a.epoch, *k))
+            .or_insert_with(|| answer_query(&rebuilt[&a.epoch], *k));
+        assert!(
+            a.bit_eq(reference),
+            "answer at epoch {} (k={k}) diverges from the serial rebuild",
+            a.epoch
+        );
+    }
+}
+
+fn run_case(cfg: &ServeConfig, updates: &[SignedEdge], batch: usize, ks: &[usize]) {
+    let (answers, snapshots, fin) = mixed_load(cfg, updates, 2, 2, batch, ks);
+    assert_eq!(fin.journal.len(), updates.len(), "drain applies everything");
+    assert_eq!(fin.stats.staleness(), 0);
+    assert!(fin.stats.epoch >= 1);
+    verify(cfg, &answers, &snapshots, &fin);
+}
+
+#[test]
+fn insert_only_answers_match_serial_rebuild_across_generators() {
+    for generator in 0..3u8 {
+        let seed = 31 + generator as u64;
+        let inst = instance_of(generator, seed);
+        let updates = insert_stream(&inst, seed);
+        let cfg = bank_config(seed, (updates.len() as u64 / 6).max(1));
+        run_case(&cfg, &updates, 96, &[1, 2, 4]);
+    }
+}
+
+#[test]
+fn churn_answers_match_serial_rebuild_across_generators() {
+    for generator in 0..3u8 {
+        let seed = 77 + generator as u64;
+        let inst = instance_of(generator, seed);
+        let w = churn_workload(&inst, 0.4, seed ^ 0xD11);
+        let updates = w.stream.updates().to_vec();
+        let cfg = dynamic_config(seed, (updates.len() as u64 / 6).max(1));
+        run_case(&cfg, &updates, 96, &[2, 4]);
+    }
+}
+
+#[test]
+fn identical_input_rebuilds_identical_final_snapshot() {
+    // Same updates through two engines (different batch splits) must
+    // publish content-identical final epochs: the split-independence
+    // the replay oracle stands on.
+    let inst = instance_of(1, 5);
+    let updates = insert_stream(&inst, 5);
+    let cfg = bank_config(5, 400);
+    let mut finals = Vec::new();
+    for batch in [33, 512] {
+        let engine = ServeEngine::start(cfg.clone());
+        for chunk in updates.chunks(batch) {
+            engine.submit(chunk.to_vec()).unwrap();
+        }
+        engine.flush().unwrap();
+        let mut handle = engine.query_handle();
+        finals.push(handle.snapshot());
+        engine.finish();
+    }
+    // Epoch counters differ with the split; content must not.
+    let (a, b) = (&finals[0], &finals[1]);
+    assert_eq!(a.updates_applied, b.updates_applied);
+    let a_at_b = EpochSnapshot {
+        epoch: b.epoch,
+        ..(**a).clone()
+    };
+    assert!(a_at_b.content_eq(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized sweep: any generator, cadence, batch split, and seed
+    /// — concurrent answers still replay exactly.
+    #[test]
+    fn mixed_load_is_consistent(
+        generator in 0u8..3,
+        seed in 1u64..1_000,
+        publish_every in 50u64..400,
+        batch in 17usize..257,
+        churn_bit in 0u8..2,
+    ) {
+        let inst = instance_of(generator, seed);
+        let (cfg, updates) = if churn_bit == 1 {
+            let w = churn_workload(&inst, 0.35, seed ^ 0xD11);
+            (dynamic_config(seed, publish_every), w.stream.updates().to_vec())
+        } else {
+            (bank_config(seed, publish_every), insert_stream(&inst, seed))
+        };
+        let (answers, snapshots, fin) = mixed_load(&cfg, &updates, 2, 2, batch, &[2, 4]);
+        prop_assert_eq!(fin.journal.len(), updates.len());
+        verify(&cfg, &answers, &snapshots, &fin);
+    }
+}

@@ -1,0 +1,286 @@
+//! The `coverage serve` daemon, exercised as a **real subprocess**:
+//! the CLI binary Cargo built for this test run, spoken to over its
+//! actual stdin/stdout pipes with framed protocol bytes. The oracle is
+//! a [`LiveStore`] rebuilt in-process from the same config and update
+//! stream — query answers must be bit-identical
+//! ([`QueryAnswer::bit_eq`]) and shipped snapshot frames byte-identical
+//! to the local store's own binary export.
+//!
+//! Requests are written in full before replies are read; the total
+//! reply volume here is far below the OS pipe buffer, so the
+//! write-then-read order cannot deadlock.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+
+use coverage_suite::data::planted_k_cover;
+use coverage_suite::prelude::*;
+use coverage_suite::serve::{read_reply, write_request, ProtoError, Reply, Request};
+
+fn spawn_serve(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_coverage"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coverage serve")
+}
+
+/// Write every request, close stdin, then read replies until EOF.
+fn converse(mut child: Child, requests: &[Request]) -> Vec<Reply> {
+    {
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        for r in requests {
+            write_request(&mut stdin, r).expect("request frame");
+        }
+        stdin.flush().expect("flush requests");
+    }
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let mut replies = Vec::new();
+    loop {
+        match read_reply(&mut stdout) {
+            Ok((reply, _)) => replies.push(reply),
+            Err(ProtoError::Eof) => break,
+            Err(e) => panic!("bad reply stream: {e}"),
+        }
+    }
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon must drain cleanly: {status}");
+    replies
+}
+
+fn insert_updates(seed: u64) -> Vec<SignedEdge> {
+    let inst = planted_k_cover(6, 900, 2, 40, seed).instance;
+    let mut stream = VecStream::from_instance(&inst);
+    ArrivalOrder::Random(seed ^ 0xA5).apply(stream.edges_mut());
+    stream
+        .edges()
+        .iter()
+        .copied()
+        .map(SignedEdge::insert)
+        .collect()
+}
+
+/// The CLI's bank config for `--n 6 --guesses 3 --eps 0.25 --budget 800
+/// --seed 9` — must mirror `cmd_serve`'s defaults exactly.
+fn bank_cfg() -> ServeConfig {
+    ServeConfig::bank_ladder(6, 3, 0.25, 800, 9)
+        .with_publish_every(128)
+        .with_queue_batches(16)
+}
+
+#[test]
+fn bank_daemon_answers_match_an_in_process_rebuild() {
+    let updates = insert_updates(9);
+    let child = spawn_serve(&[
+        "--n",
+        "6",
+        "--guesses",
+        "3",
+        "--budget",
+        "800",
+        "--seed",
+        "9",
+        "--publish-every",
+        "128",
+    ]);
+    let mut requests: Vec<Request> = updates
+        .chunks(200)
+        .enumerate()
+        .map(|(i, chunk)| Request::Update {
+            id: i as u64,
+            updates: chunk.to_vec(),
+        })
+        .collect();
+    requests.push(Request::Flush { id: 100 });
+    requests.push(Request::Query { id: 101, k: 2 });
+    requests.push(Request::Stats { id: 102 });
+    requests.push(Request::Snapshot { id: 103 });
+    requests.push(Request::Shutdown { id: 104 });
+    let replies = converse(child, &requests);
+    assert_eq!(replies.len(), 5, "updates succeed silently");
+
+    // The in-process oracle: same config, same stream, applied serially.
+    let cfg = bank_cfg();
+    let mut store = LiveStore::new(&cfg);
+    store.apply(&updates);
+
+    match &replies[0] {
+        Reply::Flush {
+            id,
+            epoch,
+            updates_applied,
+        } => {
+            assert_eq!(*id, 100);
+            assert!(*epoch >= 1);
+            assert_eq!(*updates_applied, updates.len() as u64);
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[1] {
+        Reply::Query { id, answer } => {
+            assert_eq!(*id, 101);
+            assert_eq!(answer.updates_applied, updates.len() as u64);
+            let rebuilt = store
+                .snapshot(answer.epoch, answer.updates_applied)
+                .expect("bank store always exports");
+            let reference = answer_query(&rebuilt, 2);
+            assert!(
+                answer.bit_eq(&reference),
+                "daemon answer diverges from the in-process rebuild"
+            );
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[2] {
+        Reply::Stats { id, stats } => {
+            assert_eq!(*id, 102);
+            assert_eq!(stats.updates_applied, updates.len() as u64);
+            assert_eq!(stats.staleness(), 0, "post-flush stats are current");
+            assert!(stats.report.rounds.len() as u64 >= stats.epochs_published.min(1));
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[3] {
+        Reply::Snapshot { id, epoch, frames } => {
+            assert_eq!(*id, 103);
+            assert!(*epoch >= 1);
+            assert_eq!(
+                frames,
+                &store.ship_binary_frames(),
+                "shipped frames must be byte-identical to the local export"
+            );
+            for frame in frames {
+                SketchSnapshot::decode_binary(frame).expect("frame decodes");
+            }
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[4] {
+        Reply::Stats { id, stats } => {
+            assert_eq!(*id, 104);
+            assert_eq!(stats.updates_applied, updates.len() as u64);
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+}
+
+#[test]
+fn bank_daemon_rejects_deletes_and_keeps_serving() {
+    let child = spawn_serve(&["--n", "4", "--guesses", "2", "--seed", "3"]);
+    let replies = converse(
+        child,
+        &[
+            Request::Update {
+                id: 1,
+                updates: vec![SignedEdge::delete(Edge::new(0u32, 5u64))],
+            },
+            Request::Update {
+                id: 2,
+                updates: (0..50u64)
+                    .map(|e| SignedEdge::insert(Edge::new((e % 4) as u32, e)))
+                    .collect(),
+            },
+            Request::Flush { id: 3 },
+            Request::Query { id: 4, k: 1 },
+            Request::Shutdown { id: 5 },
+        ],
+    );
+    assert_eq!(replies.len(), 4);
+    match &replies[0] {
+        Reply::Error { id, message } => {
+            assert_eq!(*id, 1);
+            assert!(message.contains("insertion-only"));
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[2] {
+        Reply::Query { id, answer } => {
+            assert_eq!(*id, 4);
+            assert_eq!(answer.updates_applied, 50, "rejected batch never applied");
+            assert!(!answer.family.is_empty());
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+}
+
+#[test]
+fn dynamic_daemon_serves_churn_and_matches_rebuild() {
+    let inst = planted_k_cover(6, 700, 2, 30, 17).instance;
+    let workload = churn_workload(&inst, 0.4, 17);
+    let updates = workload.stream.updates().to_vec();
+    let child = spawn_serve(&[
+        "--n",
+        "6",
+        "--dynamic",
+        "--k",
+        "3",
+        "--budget",
+        "800",
+        "--seed",
+        "17",
+        "--publish-every",
+        "256",
+    ]);
+    let mut requests: Vec<Request> = updates
+        .chunks(150)
+        .enumerate()
+        .map(|(i, chunk)| Request::Update {
+            id: i as u64,
+            updates: chunk.to_vec(),
+        })
+        .collect();
+    requests.push(Request::Flush { id: 900 });
+    requests.push(Request::Query { id: 901, k: 3 });
+    requests.push(Request::Shutdown { id: 902 });
+    let replies = converse(child, &requests);
+    assert_eq!(replies.len(), 3);
+
+    // Mirror cmd_serve's --dynamic config construction.
+    let params = DynamicSketchParams::new(SketchParams::with_budget(6, 3, 0.25, 800));
+    let cfg = ServeConfig::dynamic(params, 17)
+        .with_publish_every(256)
+        .with_queue_batches(16);
+    let mut store = LiveStore::new(&cfg);
+    store.apply(&updates);
+
+    match &replies[1] {
+        Reply::Query { id, answer } => {
+            assert_eq!(*id, 901);
+            assert_eq!(answer.updates_applied, updates.len() as u64);
+            let rebuilt = store
+                .snapshot(answer.epoch, answer.updates_applied)
+                .expect("churned store recovers");
+            assert!(
+                answer.bit_eq(&answer_query(&rebuilt, 3)),
+                "dynamic daemon answer diverges from the in-process rebuild"
+            );
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[2] {
+        Reply::Stats { id, stats } => {
+            assert_eq!(*id, 902);
+            assert_eq!(stats.updates_applied, updates.len() as u64);
+            assert_eq!(stats.staleness(), 0);
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+}
+
+#[test]
+fn eof_between_frames_drains_the_daemon_cleanly() {
+    let child = spawn_serve(&["--n", "4", "--guesses", "2", "--seed", "7"]);
+    let replies = converse(
+        child,
+        &[Request::Update {
+            id: 1,
+            updates: (0..80u64)
+                .map(|e| SignedEdge::insert(Edge::new((e % 4) as u32, e * 3)))
+                .collect(),
+        }],
+    );
+    assert!(replies.is_empty(), "EOF drain sends no reply");
+}
