@@ -19,7 +19,7 @@
 //! solution on the original input with probability `1 − 1/n`, and the
 //! sketch holds `Õ(n)` edges.
 
-use coverage_core::offline::bucket_greedy_k_cover;
+use coverage_core::offline::{bucket_greedy_k_cover, GreedyTrace};
 use coverage_core::SetId;
 use coverage_sketch::{SketchParams, SketchSizing, ThresholdSketch};
 use coverage_stream::{EdgeStream, SpaceReport};
@@ -108,6 +108,87 @@ pub fn solve_on_sketch(sketch: &ThresholdSketch, k: usize) -> KCoverResult {
     }
 }
 
+/// One guess's solved output: the full bucket-queue greedy trace (every
+/// selection with its marginal gain) plus the packaged [`KCoverResult`].
+///
+/// The trace is what the differential tests compare — equality of
+/// per-step `(set, gain, covered_after)` triples is a much stronger
+/// contract than equality of the final families.
+#[derive(Clone, Debug)]
+pub struct GuessSolve {
+    /// Full greedy trace on this guess's sketch.
+    pub trace: GreedyTrace,
+    /// The packaged result (family, estimates, space).
+    pub result: KCoverResult,
+}
+
+fn solve_one_guess(sketch: &ThresholdSketch) -> GuessSolve {
+    let view = sketch.csr_view();
+    let trace = bucket_greedy_k_cover(&view, sketch.params().k);
+    let family = trace.family();
+    let result = KCoverResult {
+        estimated_coverage: sketch.estimate_coverage(&family),
+        sketch_coverage: trace.coverage(),
+        sampling_p: sketch.sampling_p(),
+        space: sketch.space_report(),
+        family,
+    };
+    GuessSolve { trace, result }
+}
+
+/// Solve every sketch of a guess ladder sequentially, in guess order.
+///
+/// The executable reference for [`solve_guesses_parallel`]: one
+/// `csr_view` + `bucket_greedy_k_cover` per guess, exactly what a
+/// caller's hand-written per-guess loop would do.
+pub fn solve_guesses_serial(sketches: &[ThresholdSketch]) -> Vec<GuessSolve> {
+    sketches.iter().map(solve_one_guess).collect()
+}
+
+/// Solve every sketch of a guess ladder on scoped worker threads.
+///
+/// Each guess gets its own packed [`CsrInstance`](coverage_core::CsrInstance)
+/// view and an independent bucket-queue greedy run; workers steal guess
+/// indices from an atomic cursor. Because each run touches only its own
+/// view and the bucket greedy breaks gain ties by smallest set id,
+/// scheduling cannot perturb the output: the returned traces are
+/// step-for-step identical to [`solve_guesses_serial`] (locked down by
+/// `tests/pipeline_equivalence.rs`).
+pub fn solve_guesses_parallel(sketches: &[ThresholdSketch]) -> Vec<GuessSolve> {
+    if sketches.len() < 2 {
+        return solve_guesses_serial(sketches);
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(sketches.len());
+    let slots: Vec<std::sync::Mutex<Option<GuessSolve>>> = (0..sketches.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= sketches.len() {
+                    break;
+                }
+                *slots[i].lock().expect("guess slot poisoned") =
+                    Some(solve_one_guess(&sketches[i]));
+            });
+        }
+    })
+    .expect("guess solve worker panicked");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("guess slot poisoned")
+                .expect("all guesses solved")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +263,42 @@ mod tests {
     fn paper_epsilon_is_twelfth() {
         let cfg = KCoverConfig::new(3, 0.6, 1);
         assert!((cfg.paper_epsilon() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_guess_solve_matches_serial_traces() {
+        let p = planted_k_cover(40, 8_000, 4, 200, 5);
+        let mut stream = VecStream::from_instance(&p.instance);
+        ArrivalOrder::Random(13).apply(stream.edges_mut());
+        let params: Vec<SketchParams> = (0..6)
+            .map(|g| SketchParams::with_budget(40, 1 << g, 0.3, 1_500 + 400 * g))
+            .collect();
+        let mut bank = coverage_sketch::SketchBank::new(params, 21);
+        bank.consume_batched(&stream, 4096);
+        let serial = solve_guesses_serial(bank.sketches());
+        let parallel = solve_guesses_parallel(bank.sketches());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, q) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.trace.steps, q.trace.steps, "full traces must match");
+            assert_eq!(s.result.family, q.result.family);
+            assert_eq!(s.result.sketch_coverage, q.result.sketch_coverage);
+            assert!((s.result.estimated_coverage - q.result.estimated_coverage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_guess_solve_handles_empty_and_single() {
+        assert!(solve_guesses_parallel(&[]).is_empty());
+        let p = planted_k_cover(10, 500, 2, 30, 1);
+        let stream = VecStream::from_instance(&p.instance);
+        let mut bank =
+            coverage_sketch::SketchBank::new(vec![SketchParams::with_budget(10, 2, 0.3, 800)], 3);
+        bank.consume_batched(&stream, 512);
+        let one = solve_guesses_parallel(bank.sketches());
+        assert_eq!(one.len(), 1);
+        assert_eq!(
+            one[0].trace.steps,
+            solve_guesses_serial(bank.sketches())[0].trace.steps
+        );
     }
 }

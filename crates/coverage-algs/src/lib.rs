@@ -36,7 +36,10 @@ pub mod set_cover;
 pub use dynamic::{
     dynamic_k_cover, solve_on_dynamic_sketch, DynamicKCoverConfig, DynamicKCoverResult,
 };
-pub use kcover::{k_cover_streaming, KCoverConfig, KCoverResult};
+pub use kcover::{
+    k_cover_streaming, solve_guesses_parallel, solve_guesses_serial, solve_on_sketch, GuessSolve,
+    KCoverConfig, KCoverResult,
+};
 pub use multipass::{set_cover_multipass, MultiPassConfig, MultiPassResult};
 pub use preprocess::{apply_prune, prune_near_duplicates, PruneResult};
 pub use set_cover::{set_cover_outliers, OutlierConfig, OutlierResult};

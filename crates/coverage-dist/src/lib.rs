@@ -67,7 +67,8 @@ pub mod runner;
 pub mod worker;
 
 pub use parallel::{
-    partition_edges, partition_updates, DynamicParallelResult, ParallelResult, ParallelRunner,
+    partition_edges, partition_updates, DynamicParallelResult, IngestMode, ParallelResult,
+    ParallelRunner,
 };
 pub use partition::{shard_of_edge, DynamicShardedStream, ShardedStream};
 pub use proto::{Message, ProtoError};

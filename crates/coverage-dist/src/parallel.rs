@@ -58,6 +58,37 @@ pub const DEFAULT_BATCH: usize = 1 << 12;
 /// Default reduce fan-in (mirrors a small MapReduce reducer group).
 pub const DEFAULT_FAN_IN: usize = 4;
 
+/// Bounded depth of each pipeline worker's chunk channel, in chunks.
+/// Deep enough to ride out scheduling hiccups; shallow enough that a
+/// slow worker exerts backpressure on the feeder instead of buffering
+/// its whole shard (which would silently reintroduce the two-barrier
+/// schedule's memory profile).
+pub const PIPELINE_DEPTH: usize = 8;
+
+/// How a [`ParallelRunner`] schedules partitioning relative to sketch
+/// building.
+///
+/// Both modes produce **bit-identical** results — shard assignment,
+/// per-shard arrival order, and the sketches' batch-size invariance are
+/// all schedule-independent (differentially stress-tested in
+/// `tests/pipeline_equivalence.rs`); the mode is purely a wall-clock /
+/// memory-profile knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Partitioning **overlaps** building (the default): the caller
+    /// thread routes edges into per-shard chunk buffers and ships each
+    /// filled chunk over its owning worker's bounded channel
+    /// ([`PIPELINE_DEPTH`]), so workers ingest while the stream is
+    /// still being read and no shard is ever fully materialized by the
+    /// feeder.
+    Pipelined,
+    /// The original two-phase schedule: materialize every shard buffer
+    /// ([`partition_edges`]), then build — a barrier between the
+    /// phases. Retained as the differential baseline and for callers
+    /// that want the partition/map phase split measured separately.
+    TwoBarrier,
+}
+
 /// Parallel sharded executor for the distributed k-cover pipeline.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelRunner {
@@ -66,6 +97,7 @@ pub struct ParallelRunner {
     fan_in: usize,
     batch: usize,
     ship: ShipFormat,
+    ingest: IngestMode,
 }
 
 /// Result of a [`ParallelRunner`] run: the sequential
@@ -147,7 +179,20 @@ impl ParallelRunner {
             fan_in: DEFAULT_FAN_IN,
             batch: DEFAULT_BATCH,
             ship: ShipFormat::InMemory,
+            ingest: IngestMode::Pipelined,
         }
+    }
+
+    /// Override the ingest schedule (default [`IngestMode::Pipelined`]).
+    /// Output-invariant; see [`IngestMode`].
+    pub fn with_ingest_mode(mut self, ingest: IngestMode) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// The ingest schedule this runner uses.
+    pub fn ingest_mode(&self) -> IngestMode {
+        self.ingest
     }
 
     /// Override the reduce fan-in (`≥ 2`).
@@ -187,22 +232,126 @@ impl ParallelRunner {
         machines.max(1).div_ceil(per_worker)
     }
 
+    /// The pipelined map phase ([`IngestMode::Pipelined`]), generic over
+    /// the buffered element and the per-shard builder so the
+    /// insertion-only, dynamic, and bank pipelines share it. The caller
+    /// thread (`drive` + `route`) streams edges into per-shard chunk
+    /// buffers of `self.batch` elements and ships each filled chunk over
+    /// the owning worker's bounded channel; each worker owns the same
+    /// contiguous shard range [`map_buffers`](Self::map_buffers) would
+    /// give it and feeds arriving chunks to that shard's builder.
+    ///
+    /// Determinism: shard assignment is a pure function of the edge,
+    /// each shard's chunks preserve arrival order (one feeder, FIFO
+    /// channels), and chunk boundaries depend only on the stream and
+    /// `self.batch` — so per-shard builders see exactly the two-barrier
+    /// schedule's edge sequence, split at deterministic boundaries that
+    /// the sketches' batch-size invariance makes irrelevant.
+    ///
+    /// Returns `(per-shard builders, feed_ns, drain_ns)`: `feed_ns` is
+    /// the caller thread's routing/shipping time (the pipelined
+    /// "partition phase" — building overlaps it), `drain_ns` the
+    /// remaining tail until all workers finish.
+    fn pipelined_map<B, T>(
+        &self,
+        machines: usize,
+        drive: impl FnOnce(&mut dyn FnMut(&[B])),
+        route: impl Fn(B) -> usize,
+        make: impl Fn() -> T + Sync,
+        feed: impl Fn(&mut T, &[B]) + Sync,
+    ) -> (Vec<T>, u64, u64)
+    where
+        B: Copy + Send,
+        T: Send,
+    {
+        let workers = self.workers(machines);
+        let per_worker = machines.max(1).div_ceil(workers);
+        let batch = self.batch;
+        let mut locals: Vec<Option<T>> = (0..machines).map(|_| None).collect();
+        let t0 = Instant::now();
+        let feed_ns = crossbeam::scope(|scope| {
+            let make = &make;
+            let feed = &feed;
+            let mut senders = Vec::with_capacity(workers);
+            for slot_chunk in locals.chunks_mut(per_worker) {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Vec<B>)>(PIPELINE_DEPTH);
+                senders.push(tx);
+                scope.spawn(move |_| {
+                    let mut builders: Vec<T> = (0..slot_chunk.len()).map(|_| make()).collect();
+                    while let Ok((local, chunk)) = rx.recv() {
+                        feed(&mut builders[local], &chunk);
+                    }
+                    for (slot, b) in slot_chunk.iter_mut().zip(builders) {
+                        *slot = Some(b);
+                    }
+                });
+            }
+            let t_feed = Instant::now();
+            let mut bufs: Vec<Vec<B>> = (0..machines).map(|_| Vec::with_capacity(batch)).collect();
+            drive(&mut |incoming| {
+                for &e in incoming {
+                    let s = route(e);
+                    let buf = &mut bufs[s];
+                    buf.push(e);
+                    if buf.len() >= batch {
+                        let full = std::mem::replace(buf, Vec::with_capacity(batch));
+                        senders[s / per_worker]
+                            .send((s % per_worker, full))
+                            .expect("pipeline worker alive");
+                    }
+                }
+            });
+            for (s, buf) in bufs.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    senders[s / per_worker]
+                        .send((s % per_worker, buf))
+                        .expect("pipeline worker alive");
+                }
+            }
+            // Dropping the senders closes the channels; workers drain
+            // their queues and park their builders.
+            drop(senders);
+            t_feed.elapsed().as_nanos() as u64
+        })
+        .expect("pipeline worker panicked");
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        let locals = locals
+            .into_iter()
+            .map(|s| s.expect("every shard slot is filled"))
+            .collect();
+        (locals, feed_ns, total_ns.saturating_sub(feed_ns))
+    }
+
     /// Execute the full pipeline on `stream`.
     ///
     /// Unlike the sequential simulation the stream need not be [`Sync`]:
-    /// it is consumed once, single-threaded, during partitioning; only
-    /// the materialized buffers cross threads.
+    /// it is consumed once, single-threaded, by the feeder (pipelined
+    /// mode) or the partition pass (two-barrier mode); only materialized
+    /// chunks cross threads.
     pub fn run(&self, stream: &dyn EdgeStream) -> ParallelResult {
         let cfg = &self.cfg;
         let params = cfg.sketch_params(stream.num_sets());
 
-        let t0 = Instant::now();
-        let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
-        let partition_ns = t0.elapsed().as_nanos() as u64;
-
-        let t1 = Instant::now();
-        let locals = self.map_sketches(&buffers, params, cfg.seed);
-        let map_ns = t1.elapsed().as_nanos() as u64;
+        let (locals, partition_ns, map_ns) = match self.ingest {
+            IngestMode::TwoBarrier => {
+                let t0 = Instant::now();
+                let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+                let partition_ns = t0.elapsed().as_nanos() as u64;
+                let t1 = Instant::now();
+                let locals = self.map_sketches(&buffers, params, cfg.seed);
+                (locals, partition_ns, t1.elapsed().as_nanos() as u64)
+            }
+            IngestMode::Pipelined => {
+                let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
+                self.pipelined_map(
+                    machines,
+                    |f| stream.for_each_batch(self.batch, f),
+                    |e: Edge| shard_of_edge(e, machines, shard_seed),
+                    || ThresholdSketch::new(params, cfg.seed),
+                    |s: &mut ThresholdSketch, chunk: &[Edge]| s.update_batch(chunk),
+                )
+            }
+        };
         let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
 
         let t2 = Instant::now();
@@ -288,17 +437,30 @@ impl ParallelRunner {
         let cfg = &self.cfg;
         let params = cfg.dynamic_sketch_params(stream.num_sets());
 
-        let t0 = Instant::now();
-        let buffers = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
-        let partition_ns = t0.elapsed().as_nanos() as u64;
-
-        let t1 = Instant::now();
-        let locals = self.map_buffers(&buffers, |buf: &[SignedEdge]| {
-            let mut s = DynamicSketch::new(params, cfg.seed);
-            s.update_batch(buf);
-            s
-        });
-        let map_ns = t1.elapsed().as_nanos() as u64;
+        let (locals, partition_ns, map_ns) = match self.ingest {
+            IngestMode::TwoBarrier => {
+                let t0 = Instant::now();
+                let buffers = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
+                let partition_ns = t0.elapsed().as_nanos() as u64;
+                let t1 = Instant::now();
+                let locals = self.map_buffers(&buffers, |buf: &[SignedEdge]| {
+                    let mut s = DynamicSketch::new(params, cfg.seed);
+                    s.update_batch(buf);
+                    s
+                });
+                (locals, partition_ns, t1.elapsed().as_nanos() as u64)
+            }
+            IngestMode::Pipelined => {
+                let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
+                self.pipelined_map(
+                    machines,
+                    |f| stream.for_each_update_batch(self.batch, f),
+                    |u: SignedEdge| shard_of_edge(u.edge, machines, shard_seed),
+                    || DynamicSketch::new(params, cfg.seed),
+                    |s: &mut DynamicSketch, chunk: &[SignedEdge]| s.update_batch(chunk),
+                )
+            }
+        };
         let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
 
         let t2 = Instant::now();
@@ -332,12 +494,27 @@ impl ParallelRunner {
     /// under true concurrency.
     pub fn build_bank(&self, guesses: &[SketchParams], stream: &dyn EdgeStream) -> SketchBank {
         let cfg = &self.cfg;
-        let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
-        let locals = self.map_buffers(&buffers, |buf| {
-            let mut bank = SketchBank::new(guesses.iter().copied(), cfg.seed);
-            bank.update_batch(buf);
-            bank
-        });
+        let locals = match self.ingest {
+            IngestMode::TwoBarrier => {
+                let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+                self.map_buffers(&buffers, |buf| {
+                    let mut bank = SketchBank::new(guesses.iter().copied(), cfg.seed);
+                    bank.update_batch(buf);
+                    bank
+                })
+            }
+            IngestMode::Pipelined => {
+                let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
+                self.pipelined_map(
+                    machines,
+                    |f| stream.for_each_batch(self.batch, f),
+                    |e: Edge| shard_of_edge(e, machines, shard_seed),
+                    || SketchBank::new(guesses.iter().copied(), cfg.seed),
+                    |bank: &mut SketchBank, chunk: &[Edge]| bank.update_batch(chunk),
+                )
+                .0
+            }
+        };
         let mut banks = locals.into_iter();
         let mut acc = banks.next().expect("at least one machine");
         for bank in banks {
@@ -541,6 +718,77 @@ mod tests {
                 "per-guess retained content must match"
             );
         }
+    }
+
+    #[test]
+    fn pipelined_equals_two_barrier_insert_only() {
+        let stream = workload();
+        let cfg = DistConfig::new(6, 4, 0.3, 11).with_sizing(SketchSizing::Budget(2_000));
+        let barrier = ParallelRunner::new(cfg, 3)
+            .with_ingest_mode(IngestMode::TwoBarrier)
+            .run(&stream);
+        for threads in [1usize, 2, 8] {
+            for batch in [1usize, 100, DEFAULT_BATCH] {
+                let piped = ParallelRunner::new(cfg, threads)
+                    .with_ingest_mode(IngestMode::Pipelined)
+                    .with_batch(batch)
+                    .run(&stream);
+                assert_eq!(
+                    piped.family, barrier.family,
+                    "threads={threads} batch={batch}"
+                );
+                assert_eq!(piped.merged_edges, barrier.merged_edges);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_equals_two_barrier_dynamic() {
+        let w = churn_stream();
+        let cfg = DistConfig::new(5, 4, 0.3, 17).with_sizing(SketchSizing::Budget(1_500));
+        let barrier = ParallelRunner::new(cfg, 3)
+            .with_ingest_mode(IngestMode::TwoBarrier)
+            .run_dynamic(&w.stream);
+        for threads in [1usize, 2, 8] {
+            let piped = ParallelRunner::new(cfg, threads)
+                .with_ingest_mode(IngestMode::Pipelined)
+                .run_dynamic(&w.stream);
+            assert_eq!(piped.family, barrier.family, "threads={threads}");
+            assert_eq!(piped.sample_level, barrier.sample_level);
+            assert_eq!(piped.recovered_edges, barrier.recovered_edges);
+        }
+    }
+
+    #[test]
+    fn pipelined_bank_equals_two_barrier_bank() {
+        let stream = workload();
+        let guesses = [
+            SketchParams::with_budget(40, 2, 0.4, 400),
+            SketchParams::with_budget(40, 4, 0.4, 900),
+        ];
+        let cfg = DistConfig::new(6, 4, 0.3, 13).with_sizing(SketchSizing::Budget(1_000));
+        let barrier = ParallelRunner::new(cfg, 3)
+            .with_ingest_mode(IngestMode::TwoBarrier)
+            .build_bank(&guesses, &stream);
+        let piped = ParallelRunner::new(cfg, 3)
+            .with_ingest_mode(IngestMode::Pipelined)
+            .build_bank(&guesses, &stream);
+        for (a, b) in barrier.sketches().iter().zip(piped.sketches()) {
+            assert_eq!(a.canonical_content(), b.canonical_content());
+        }
+    }
+
+    #[test]
+    fn pipelined_handles_empty_and_tiny_streams() {
+        let cfg = DistConfig::new(4, 2, 0.3, 7).with_sizing(SketchSizing::Budget(500));
+        let empty = VecStream::new(8, Vec::new());
+        let res = ParallelRunner::new(cfg, 2).run(&empty);
+        assert!(res.family.is_empty());
+        assert_eq!(res.merged_edges, 0);
+        // One edge across 4 shards: three workers drain empty channels.
+        let one = VecStream::new(8, vec![Edge::new(0u32, 1u64)]);
+        let res = ParallelRunner::new(cfg, 4).run(&one);
+        assert_eq!(res.merged_edges, 1);
     }
 
     #[test]

@@ -304,4 +304,47 @@ mod tests {
         assert_eq!(view.update_len_hint(), Some(30));
         assert_eq!(view.net_len_hint(), Some(20));
     }
+
+    #[test]
+    fn chunking_composes_with_sharding_without_rescaling_hints() {
+        // Regression: inserting a chunk-granularity adapter anywhere in a
+        // shard pipeline must leave every hint exactly as if the adapter
+        // were absent — chunking changes delivery granularity, never the
+        // edge count. (A scaled or dropped hint here double-counts the
+        // shard division in diagnostics.)
+        use coverage_stream::ChunkedStream;
+        let stream = VecStream::new(7, edges(1000));
+        for chunk in [1usize, 64, 4096] {
+            // Chunk outside the shard view…
+            let sharded = ShardedStream::new(&stream, 0, 4, 9);
+            let outer = ChunkedStream::new(&sharded, chunk);
+            assert_eq!(outer.len_hint(), sharded.len_hint(), "chunk={chunk}");
+            assert_eq!(outer.len_hint(), Some(250));
+            // …and inside it: the shard scaling applies exactly once.
+            let chunked = ChunkedStream::new(&stream, chunk);
+            let inner = ShardedStream::new(&chunked, 0, 4, 9);
+            assert_eq!(inner.len_hint(), Some(250), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn dynamic_chunking_composes_with_sharding_without_rescaling_hints() {
+        use coverage_stream::{ChunkedDynamicStream, SignedEdge, VecDynamicStream};
+        let updates: Vec<SignedEdge> = edges(100)
+            .into_iter()
+            .map(SignedEdge::insert)
+            .chain(edges(100).into_iter().take(20).map(SignedEdge::delete))
+            .collect();
+        let stream = VecDynamicStream::new(7, updates);
+        for chunk in [1usize, 32] {
+            let sharded = DynamicShardedStream::new(&stream, 0, 4, 3);
+            let outer = ChunkedDynamicStream::new(&sharded, chunk);
+            assert_eq!(outer.update_len_hint(), Some(30), "chunk={chunk}");
+            assert_eq!(outer.net_len_hint(), Some(20), "chunk={chunk}");
+            let chunked = ChunkedDynamicStream::new(&stream, chunk);
+            let inner = DynamicShardedStream::new(&chunked, 0, 4, 3);
+            assert_eq!(inner.update_len_hint(), Some(30), "chunk={chunk}");
+            assert_eq!(inner.net_len_hint(), Some(20), "chunk={chunk}");
+        }
+    }
 }

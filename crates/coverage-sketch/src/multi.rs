@@ -84,6 +84,22 @@ impl SketchBank {
         }
     }
 
+    /// The frozen pre-PR per-edge step: one shared hash, then every
+    /// sketch runs the unfused scalar probe sequence
+    /// (`ThresholdSketch::update_hashed_scalar`). This is the engine the
+    /// seed shipped — no batching, no bank-wide pre-filter, no fused
+    /// descriptor loads — retained verbatim as the baseline the
+    /// `BENCH_8` ingest gate measures the batched vectorized path
+    /// against.
+    pub fn update_scalar(&mut self, edge: Edge) {
+        let key = edge.element.0;
+        let h = self.hash.hash(key);
+        for s in &mut self.sketches {
+            debug_assert_eq!(s.unit_hash(), self.hash);
+            s.update_hashed_scalar(key, h, edge.set.0);
+        }
+    }
+
     /// Forward a contiguous batch of edges to every sketch through the
     /// shared-hash path (module docs): one hash pass, one bank-wide
     /// bound pre-filter, then sketch-major consumption of the pre-hashed
@@ -127,6 +143,47 @@ impl SketchBank {
         }
     }
 
+    /// The retained pre-vectorization form of
+    /// [`update_batch`](Self::update_batch): the identical shared-hash +
+    /// bank-wide pre-filter structure, but over the scalar mixer loop
+    /// ([`UnitHash::hash_batch_scalar`](coverage_hash::UnitHash::hash_batch_scalar))
+    /// and the ungrouped per-sketch probe loop. Bit-identical by the
+    /// property suite; kept public as the executable baseline the
+    /// `BENCH_8` ingest gate measures the vectorized path against.
+    pub fn update_batch_scalar(&mut self, edges: &[Edge]) {
+        if self.sketches.is_empty() {
+            return;
+        }
+        let hash = self.hash;
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            self.scratch_hashes.clear();
+            hash.hash_batch_scalar(chunk.iter().map(|e| e.element.0), &mut self.scratch_hashes);
+            let max_bound = self
+                .sketches
+                .iter()
+                .map(|s| s.acceptance_bound())
+                .max()
+                .expect("bank is non-empty");
+            self.scratch.clear();
+            let mut rejected = 0u64;
+            for (&e, &h) in chunk.iter().zip(&self.scratch_hashes) {
+                if h > max_bound {
+                    rejected += 1;
+                } else {
+                    self.scratch.push(HashedEdge {
+                        key: e.element.0,
+                        hash: h,
+                        set: e.set.0,
+                    });
+                }
+            }
+            for s in &mut self.sketches {
+                s.note_rejected_by_bound(rejected);
+                s.update_hashed_batch_scalar(&self.scratch);
+            }
+        }
+    }
+
     /// Feed an entire stream (one pass for the whole bank).
     pub fn consume(&mut self, stream: &dyn EdgeStream) {
         stream.for_each(&mut |e| self.update(e));
@@ -135,6 +192,20 @@ impl SketchBank {
     /// Feed an entire stream in batches of `batch` edges (one pass).
     pub fn consume_batched(&mut self, stream: &dyn EdgeStream, batch: usize) {
         stream.for_each_batch(batch, &mut |chunk| self.update_batch(chunk));
+    }
+
+    /// [`consume_batched`](Self::consume_batched) over the retained
+    /// scalar hot path — isolates the hash-unroll + probe-grouping
+    /// effect with the batching structure held fixed.
+    pub fn consume_batched_scalar(&mut self, stream: &dyn EdgeStream, batch: usize) {
+        stream.for_each_batch(batch, &mut |chunk| self.update_batch_scalar(chunk));
+    }
+
+    /// Feed an entire stream through the frozen per-edge scalar engine
+    /// ([`update_scalar`](Self::update_scalar)) — the pre-PR ingest path
+    /// and the baseline the `BENCH_8` ingest gate measures from.
+    pub fn consume_scalar(&mut self, stream: &dyn EdgeStream) {
+        stream.for_each(&mut |e| self.update_scalar(e));
     }
 
     /// Merge another bank of the same shape (same parameter list, same
@@ -254,6 +325,32 @@ mod tests {
             for (a, b) in per_edge.sketches().iter().zip(batched.sketches()) {
                 assert_eq!(a.acceptance_bound(), b.acceptance_bound(), "batch={batch}");
                 assert_eq!(a.edges_stored(), b.edges_stored(), "batch={batch}");
+                assert_eq!(a.counters(), b.counters(), "batch={batch}");
+                assert_eq!(
+                    a.canonical_content(),
+                    b.canonical_content(),
+                    "batch={batch}"
+                );
+            }
+        }
+    }
+
+    /// The vectorized batch path (unrolled hash + grouped prefetched
+    /// probes) and its retained scalar baseline must be observationally
+    /// identical across batch sizes, including sizes straddling the
+    /// unroll and probe-group widths.
+    #[test]
+    fn vectorized_bank_matches_scalar_bank() {
+        let seed = 83;
+        let p1 = SketchParams::with_budget(8, 1, 0.5, 50);
+        let p2 = SketchParams::with_budget(8, 4, 0.5, 120);
+        for batch in [1usize, 7, 8, 9, 37, 10_000] {
+            let mut vectorized = SketchBank::new([p1, p2], seed);
+            vectorized.consume_batched(&stream(), batch);
+            let mut scalar = SketchBank::new([p1, p2], seed);
+            scalar.consume_batched_scalar(&stream(), batch);
+            for (a, b) in vectorized.sketches().iter().zip(scalar.sketches()) {
+                assert_eq!(a.acceptance_bound(), b.acceptance_bound(), "batch={batch}");
                 assert_eq!(a.counters(), b.counters(), "batch={batch}");
                 assert_eq!(
                     a.canonical_content(),

@@ -45,6 +45,17 @@ const MIN_TABLE: usize = 16;
 /// set-id slots (most elements never outgrow it).
 const INITIAL_CLASS: u8 = 2;
 
+/// Outcome of a fused [`FlatStore::try_append`] on an existing entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AppendOutcome {
+    /// The set id was appended to the entry's list.
+    Appended,
+    /// The list is at the degree cap; the entry was marked truncated.
+    CapRejected,
+    /// The set id is already present (dedup enabled); nothing changed.
+    Duplicate,
+}
+
 /// Flat element store: open-addressing table over struct-of-arrays
 /// entries with arena-pooled set lists. Crate-internal — the public
 /// surface is [`crate::ThresholdSketch`].
@@ -126,13 +137,117 @@ impl FlatStore {
         }
     }
 
+    /// Software-prefetch the probe chain of `hash`: touch the home slot
+    /// and, if occupied, the entry's key — the exact loads the
+    /// subsequent [`find`](Self::find) will issue. Stable-rust only
+    /// (the workspace forbids `unsafe`, so no `_mm_prefetch`): the
+    /// early loads are forced with [`std::hint::black_box`], which
+    /// pulls the slot and key cache lines in while the batch loop
+    /// still has independent work to overlap them with. Pure reads —
+    /// observable state is untouched, so batch paths that prefetch a
+    /// group ahead stay bit-identical to the scalar walk.
+    #[inline]
+    pub(crate) fn prefetch(&self, hash: u64) {
+        let mask = self.slots.len() - 1;
+        let e = self.slots[hash as usize & mask];
+        if e != EMPTY_SLOT {
+            std::hint::black_box(self.keys[e as usize]);
+        } else {
+            std::hint::black_box(e);
+        }
+    }
+
+    /// Fused degree-cap check + duplicate scan + append on entry `idx`:
+    /// the survivor path of the sketch's hot loop with the entry's list
+    /// descriptor (offset, length, class) loaded **once**, instead of
+    /// the three separate `list()` / `contains` / `push_set` walks the
+    /// scalar sequence pays. Exactly equivalent to:
+    ///
+    /// ```text
+    /// if list(idx).len() >= cap       { mark_truncated(idx); CapRejected }
+    /// else if dedup && list(idx).contains(&set) { Duplicate }
+    /// else                            { push_set(idx, set);  Appended }
+    /// ```
+    #[inline]
+    pub(crate) fn try_append(
+        &mut self,
+        idx: u32,
+        set: u32,
+        cap: usize,
+        dedup: bool,
+    ) -> AppendOutcome {
+        let i = idx as usize;
+        let len = self.list_len[i];
+        if len as usize >= cap {
+            self.truncated[i] = true;
+            return AppendOutcome::CapRejected;
+        }
+        let off = self.list_off[i];
+        if dedup && self.arena[off as usize..(off + len) as usize].contains(&set) {
+            return AppendOutcome::Duplicate;
+        }
+        let class = self.list_class[i];
+        if len == 1u32 << class {
+            let new_off = self.alloc_block(class + 1);
+            let old_off = self.list_off[i];
+            self.arena
+                .copy_within(old_off as usize..(old_off + len) as usize, new_off as usize);
+            self.free_block(old_off, class);
+            self.list_off[i] = new_off;
+            self.list_class[i] = class + 1;
+        }
+        self.arena[(self.list_off[i] + len) as usize] = set;
+        self.list_len[i] = len + 1;
+        AppendOutcome::Appended
+    }
+
+    /// One probe walk that answers both questions [`find`](Self::find)
+    /// and a subsequent insert would ask: `Ok(idx)` if `key` is stored,
+    /// `Err(slot)` with the chain's EMPTY terminus — the exact slot
+    /// [`place`](Self::place) would pick — if it is not. The hot loop
+    /// pairs this with [`insert_at`](Self::insert_at) so a miss costs a
+    /// single walk instead of find's walk plus place's repeat of it.
+    #[inline]
+    pub(crate) fn find_or_empty(&self, hash: u64, key: u64) -> Result<u32, usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY_SLOT {
+                return Err(i);
+            }
+            if self.keys[e as usize] == key {
+                return Ok(e);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     /// Insert a new entry (caller guarantees `key` is absent) with an
     /// empty set list. Returns its entry index.
     pub(crate) fn insert(&mut self, key: u64, hash: u64) -> u32 {
+        let slot = match self.find_or_empty(hash, key) {
+            Err(slot) => slot,
+            Ok(_) => unreachable!("insert requires an absent key"),
+        };
+        self.insert_at(slot, key, hash)
+    }
+
+    /// Insert a new entry into the empty slot a prior
+    /// [`find_or_empty`](Self::find_or_empty) walk returned, skipping
+    /// the second probe walk. `slot` must be the EMPTY terminus of
+    /// `hash`'s probe chain with no intervening mutation; if the insert
+    /// triggers a table grow (rehash), the stale slot is discarded and
+    /// the entry placed by the normal walk — identical outcome either
+    /// way.
+    pub(crate) fn insert_at(&mut self, slot: usize, key: u64, hash: u64) -> u32 {
         // Grow at 7/8 load so probe chains stay short.
-        if (self.keys.len() + 1) * 8 > self.slots.len() * 7 {
+        let slot = if (self.keys.len() + 1) * 8 > self.slots.len() * 7 {
             self.grow_table();
-        }
+            None
+        } else {
+            Some(slot)
+        };
         let idx = self.keys.len() as u32;
         debug_assert!(idx != EMPTY_SLOT, "entry index space exhausted");
         let grew = self.keys.len() == self.keys.capacity();
@@ -143,7 +258,13 @@ impl FlatStore {
         self.list_len.push(0);
         self.list_class.push(INITIAL_CLASS);
         self.truncated.push(false);
-        self.place(hash, idx);
+        match slot {
+            Some(s) => {
+                debug_assert_eq!(self.slots[s], EMPTY_SLOT, "slot must be the chain terminus");
+                self.slots[s] = idx;
+            }
+            None => self.place(hash, idx),
+        }
         if grew {
             self.recompute_cap_words();
         }
@@ -465,6 +586,62 @@ mod tests {
             let idx = s.find(mix(k), k).expect("model key must be present");
             assert_eq!(s.list(idx), v.as_slice());
         }
+    }
+
+    /// `try_append` must be step-for-step equivalent to the unfused
+    /// `list().len()` / `mark_truncated` / `contains` / `push_set`
+    /// sequence it replaces, across caps, dedup modes, and block growth.
+    #[test]
+    fn try_append_matches_unfused_sequence() {
+        for &cap in &[1usize, 3, 8, 64] {
+            for &dedup in &[false, true] {
+                let mut fused = FlatStore::new();
+                let mut plain = FlatStore::new();
+                let mut rng = Rng(0xAB + cap as u64);
+                for key in 0..64u64 {
+                    let h = mix(key);
+                    let fi = fused.insert(key, h);
+                    let pi = plain.insert(key, h);
+                    assert_eq!(fi, pi);
+                    for _ in 0..(rng.next() % 12) {
+                        let set = (rng.next() % 6) as u32;
+                        let got = fused.try_append(fi, set, cap, dedup);
+                        let want = if plain.list(pi).len() >= cap {
+                            plain.mark_truncated(pi);
+                            AppendOutcome::CapRejected
+                        } else if dedup && plain.list(pi).contains(&set) {
+                            AppendOutcome::Duplicate
+                        } else {
+                            plain.push_set(pi, set);
+                            AppendOutcome::Appended
+                        };
+                        assert_eq!(got, want, "key={key} set={set} cap={cap} dedup={dedup}");
+                    }
+                }
+                let a: Vec<_> = fused.iter().collect();
+                let b: Vec<_> = plain.iter().collect();
+                assert_eq!(a, b, "cap={cap} dedup={dedup}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_is_pure() {
+        let mut s = FlatStore::new();
+        for k in 0..100u64 {
+            let idx = s.insert(k, mix(k));
+            s.push_set(idx, (k % 7) as u32);
+        }
+        let before: Vec<_> = s.iter().map(|(k, h, l, t)| (k, h, l.to_vec(), t)).collect();
+        for k in 0..200u64 {
+            s.prefetch(mix(k));
+        }
+        let after: Vec<_> = s.iter().map(|(k, h, l, t)| (k, h, l.to_vec(), t)).collect();
+        assert_eq!(before, after);
+        assert_eq!(
+            s.find(mix(42), 42).map(|i| s.list(i).to_vec()),
+            Some(vec![0])
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ use coverage_hash::UnitHash;
 use coverage_stream::{EdgeStream, SpaceReport, SpaceTracker};
 
 use crate::params::SketchParams;
-use crate::store::FlatStore;
+use crate::store::{AppendOutcome, FlatStore};
 
 /// An edge whose element hash is already computed — the unit of work of
 /// the shared-hash ingestion paths. Produced once per arriving edge by
@@ -111,6 +111,8 @@ pub struct ThresholdSketch {
     counters: SketchCounters,
     /// Reused pre-hash scratch for [`update_batch`](Self::update_batch).
     scratch: Vec<HashedEdge>,
+    /// Reused hash-output scratch for the shared-hash pass.
+    scratch_hashes: Vec<u64>,
 }
 
 impl ThresholdSketch {
@@ -131,6 +133,7 @@ impl ThresholdSketch {
             tracker,
             counters: SketchCounters::default(),
             scratch: Vec::new(),
+            scratch_hashes: Vec::new(),
         }
     }
 
@@ -165,22 +168,32 @@ impl ThresholdSketch {
             self.counters.rejected_by_bound += 1;
             return;
         }
-        match self.store.find(h, key) {
-            Some(idx) => {
-                let list = self.store.list(idx);
-                if list.len() >= self.params.degree_cap {
-                    self.store.mark_truncated(idx);
-                    self.counters.rejected_by_cap += 1;
-                    return;
+        match self.store.find_or_empty(h, key) {
+            Ok(idx) => {
+                // Fused survivor path: cap check, duplicate scan, and
+                // append share one list-descriptor load (`try_append`
+                // is pinned step-equivalent to the unfused sequence in
+                // the store's model tests).
+                match self
+                    .store
+                    .try_append(idx, set, self.params.degree_cap, self.params.dedup)
+                {
+                    AppendOutcome::CapRejected => {
+                        self.counters.rejected_by_cap += 1;
+                        return;
+                    }
+                    AppendOutcome::Duplicate => {
+                        self.counters.duplicates += 1;
+                        return;
+                    }
+                    AppendOutcome::Appended => {}
                 }
-                if self.params.dedup && list.contains(&set) {
-                    self.counters.duplicates += 1;
-                    return;
-                }
-                self.store.push_set(idx, set);
             }
-            None => {
-                let idx = self.store.insert(key, h);
+            Err(slot) => {
+                // Fused miss path: the probe walk above already found
+                // the chain's empty terminus, so the insert reuses it
+                // instead of re-walking from the home slot.
+                let idx = self.store.insert_at(slot, key, h);
                 self.store.push_set(idx, set);
                 self.heap.push((h, key));
                 // Live element bookkeeping outside the store's arena:
@@ -206,11 +219,83 @@ impl ThresholdSketch {
         self.counters.rejected_by_bound += n;
     }
 
-    /// Feed a slice of pre-hashed edges through the hot loop.
+    /// Probe-group width of the batched hot loop: how many edges ahead
+    /// [`update_hashed_batch`](Self::update_hashed_batch) prefetches
+    /// store slots before processing a window.
+    pub(crate) const PROBE_GROUP: usize = 8;
+
+    /// Feed a slice of pre-hashed edges through the hot loop, in
+    /// [`PROBE_GROUP`](Self::PROBE_GROUP)-edge windows: a prefetch pass
+    /// touches each edge's home slot (and occupant key) first, then the
+    /// process pass runs the ordinary per-edge step. The prefetch pass
+    /// is pure reads of current state — later edges in a window may
+    /// prefetch slots an earlier edge's insert then relocates, which
+    /// only costs the hint, never correctness — so this is bit-identical
+    /// to [`update_hashed_batch_scalar`](Self::update_hashed_batch_scalar)
+    /// (property-tested in `tests/sketch_properties.rs`).
     #[inline]
     pub(crate) fn update_hashed_batch(&mut self, batch: &[HashedEdge]) {
+        for window in batch.chunks(Self::PROBE_GROUP) {
+            for e in window {
+                self.store.prefetch(e.hash);
+            }
+            for &e in window {
+                self.update_hashed(e.key, e.hash, e.set);
+            }
+        }
+    }
+
+    /// The retained straight-line form of
+    /// [`update_hashed_batch`](Self::update_hashed_batch): one
+    /// [`update_hashed_scalar`](Self::update_hashed_scalar) per edge, no
+    /// grouping, no prefetch. Executable specification for the grouped
+    /// path and the baseline the `BENCH_8` ingest gate measures from.
+    #[inline]
+    pub(crate) fn update_hashed_batch_scalar(&mut self, batch: &[HashedEdge]) {
         for &e in batch {
-            self.update_hashed(e.key, e.hash, e.set);
+            self.update_hashed_scalar(e.key, e.hash, e.set);
+        }
+    }
+
+    /// The frozen pre-vectorization per-edge step, kept verbatim as the
+    /// executable specification of [`update_hashed`](Self::update_hashed):
+    /// separate cap check, duplicate scan, and append walks instead of
+    /// the fused [`FlatStore::try_append`] descriptor load. Bit-identical
+    /// to the optimized step (property-tested in
+    /// `tests/sketch_properties.rs`); every `*_scalar` ingest path runs
+    /// through it so the `BENCH_8` baseline measures the pre-PR engine,
+    /// not a re-optimized one.
+    pub(crate) fn update_hashed_scalar(&mut self, key: u64, h: u64, set: u32) {
+        self.counters.arrivals += 1;
+        if h > self.bound {
+            self.counters.rejected_by_bound += 1;
+            return;
+        }
+        match self.store.find(h, key) {
+            Some(idx) => {
+                if self.store.list(idx).len() >= self.params.degree_cap {
+                    self.store.mark_truncated(idx);
+                    self.counters.rejected_by_cap += 1;
+                    return;
+                }
+                if self.params.dedup && self.store.list(idx).contains(&set) {
+                    self.counters.duplicates += 1;
+                    return;
+                }
+                self.store.push_set(idx, set);
+            }
+            None => {
+                let idx = self.store.insert(key, h);
+                self.store.push_set(idx, set);
+                self.heap.push((h, key));
+                self.tracker.add_aux(2);
+            }
+        }
+        self.edges_stored += 1;
+        self.tracker.add_edges(1);
+        self.tracker.set_aux_capacity(self.store.capacity_words());
+        while self.edges_stored > self.params.max_edges() {
+            self.evict_max();
         }
     }
 
@@ -238,17 +323,23 @@ impl ThresholdSketch {
 
     /// Process a contiguous batch of arriving edges. Semantically
     /// identical to calling [`update`](Self::update) per edge; the batch
-    /// path hashes a whole chunk first (a straight-line mixer loop),
-    /// bulk-rejects everything above the acceptance bound, and only then
-    /// runs the table-probe loop over the survivors.
+    /// path hashes a whole chunk first (the unrolled
+    /// [`UnitHash::hash_batch`] mixer loop), bulk-rejects everything
+    /// above the acceptance bound, and only then runs the grouped
+    /// prefetch-ahead probe loop over the survivors. Survivor order is
+    /// arrival order — cap and duplicate accounting are order-dependent,
+    /// so the filter compacts without reordering.
     pub fn update_batch(&mut self, edges: &[Edge]) {
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut hashes = std::mem::take(&mut self.scratch_hashes);
         for chunk in edges.chunks(INGEST_CHUNK) {
+            hashes.clear();
+            self.hash
+                .hash_batch(chunk.iter().map(|e| e.element.0), &mut hashes);
             scratch.clear();
             let bound = self.bound;
             let mut rejected = 0u64;
-            for &e in chunk {
-                let h = self.hash.hash(e.element.0);
+            for (&e, &h) in chunk.iter().zip(&hashes) {
                 if h > bound {
                     rejected += 1;
                 } else {
@@ -266,6 +357,42 @@ impl ThresholdSketch {
             self.update_hashed_batch(&scratch);
         }
         self.scratch = scratch;
+        self.scratch_hashes = hashes;
+    }
+
+    /// The retained pre-vectorization form of
+    /// [`update_batch`](Self::update_batch): scalar hashing
+    /// ([`UnitHash::hash_batch_scalar`]) and the ungrouped probe loop
+    /// ([`update_hashed_batch_scalar`](Self::update_hashed_batch_scalar)).
+    /// Bit-identical by construction and by the property suite; kept
+    /// public as the executable baseline the `BENCH_8` ingest gate
+    /// measures the vectorized path against.
+    pub fn update_batch_scalar(&mut self, edges: &[Edge]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut hashes = std::mem::take(&mut self.scratch_hashes);
+        for chunk in edges.chunks(INGEST_CHUNK) {
+            hashes.clear();
+            self.hash
+                .hash_batch_scalar(chunk.iter().map(|e| e.element.0), &mut hashes);
+            scratch.clear();
+            let bound = self.bound;
+            let mut rejected = 0u64;
+            for (&e, &h) in chunk.iter().zip(&hashes) {
+                if h > bound {
+                    rejected += 1;
+                } else {
+                    scratch.push(HashedEdge {
+                        key: e.element.0,
+                        hash: h,
+                        set: e.set.0,
+                    });
+                }
+            }
+            self.note_rejected_by_bound(rejected);
+            self.update_hashed_batch_scalar(&scratch);
+        }
+        self.scratch = scratch;
+        self.scratch_hashes = hashes;
     }
 
     /// Feed an entire stream (one pass).
@@ -277,6 +404,12 @@ impl ThresholdSketch {
     /// the amortized-dispatch fast path used by the parallel runner.
     pub fn consume_batched(&mut self, stream: &dyn EdgeStream, batch: usize) {
         stream.for_each_batch(batch, &mut |chunk| self.update_batch(chunk));
+    }
+
+    /// [`consume_batched`](Self::consume_batched) over the retained
+    /// scalar hot path — the `BENCH_8` baseline.
+    pub fn consume_batched_scalar(&mut self, stream: &dyn EdgeStream, batch: usize) {
+        stream.for_each_batch(batch, &mut |chunk| self.update_batch_scalar(chunk));
     }
 
     /// Build the sketch from one pass over `stream`.
@@ -485,6 +618,7 @@ impl ThresholdSketch {
             tracker,
             counters,
             scratch: Vec::new(),
+            scratch_hashes: Vec::new(),
         }
     }
 

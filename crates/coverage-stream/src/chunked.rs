@@ -1,0 +1,189 @@
+//! Chunk-granularity adapters.
+//!
+//! [`ChunkedStream`] / [`ChunkedDynamicStream`] cap the batch size a
+//! downstream consumer sees at a fixed `chunk`, turning one big
+//! `for_each_batch` pass into a pipeline of bounded chunks (the shape the
+//! pipelined parallel runner feeds through its channels).
+//!
+//! **Contract:** chunking changes *delivery granularity only*. The edge
+//! sequence is untouched, and every length hint —
+//! [`len_hint`](EdgeStream::len_hint),
+//! [`update_len_hint`](DynamicEdgeStream::update_len_hint),
+//! [`net_len_hint`](DynamicEdgeStream::net_len_hint) — is forwarded
+//! **verbatim** from the inner stream. Hints describe how many edges a
+//! pass carries, not how they are sliced; scaling or dropping them under
+//! chunking was the bug the regression tests below (and the
+//! `ShardedStream` composition tests in `coverage-dist`) pin down.
+
+use crate::dynamic::{DynamicEdgeStream, SignedEdge};
+use crate::source::EdgeStream;
+use coverage_core::Edge;
+
+/// An [`EdgeStream`] view that delivers batches of at most `chunk` edges.
+pub struct ChunkedStream<'a> {
+    inner: &'a dyn EdgeStream,
+    chunk: usize,
+}
+
+impl<'a> ChunkedStream<'a> {
+    /// Wrap `inner`, capping batch delivery at `chunk` edges (clamped to
+    /// at least 1).
+    pub fn new(inner: &'a dyn EdgeStream, chunk: usize) -> Self {
+        ChunkedStream {
+            inner,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// The configured chunk cap.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl EdgeStream for ChunkedStream<'_> {
+    fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    /// Forwarded verbatim: chunking does not change how many edges a pass
+    /// carries.
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Edge)) {
+        self.inner.for_each(f);
+    }
+
+    fn for_each_batch(&self, batch: usize, f: &mut dyn FnMut(&[Edge])) {
+        self.inner.for_each_batch(batch.max(1).min(self.chunk), f);
+    }
+}
+
+/// A [`DynamicEdgeStream`] view that delivers batches of at most `chunk`
+/// signed updates.
+pub struct ChunkedDynamicStream<'a> {
+    inner: &'a dyn DynamicEdgeStream,
+    chunk: usize,
+}
+
+impl<'a> ChunkedDynamicStream<'a> {
+    /// Wrap `inner`, capping batch delivery at `chunk` updates (clamped
+    /// to at least 1).
+    pub fn new(inner: &'a dyn DynamicEdgeStream, chunk: usize) -> Self {
+        ChunkedDynamicStream {
+            inner,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// The configured chunk cap.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+impl DynamicEdgeStream for ChunkedDynamicStream<'_> {
+    fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    /// Forwarded verbatim: the pass still carries every update.
+    fn update_len_hint(&self) -> Option<usize> {
+        self.inner.update_len_hint()
+    }
+
+    /// Forwarded verbatim: survivors are a property of the updates, not
+    /// of their slicing.
+    fn net_len_hint(&self) -> Option<usize> {
+        self.inner.net_len_hint()
+    }
+
+    fn for_each_update(&self, f: &mut dyn FnMut(SignedEdge)) {
+        self.inner.for_each_update(f);
+    }
+
+    fn for_each_update_batch(&self, batch: usize, f: &mut dyn FnMut(&[SignedEdge])) {
+        self.inner
+            .for_each_update_batch(batch.max(1).min(self.chunk), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::VecDynamicStream;
+    use crate::source::VecStream;
+
+    fn edges(n: usize) -> Vec<Edge> {
+        (0..n)
+            .map(|i| Edge::new((i % 3) as u32, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn hints_survive_chunking_verbatim() {
+        let s = VecStream::new(3, edges(23));
+        for chunk in [1usize, 4, 23, 1000] {
+            let c = ChunkedStream::new(&s, chunk);
+            assert_eq!(c.len_hint(), s.len_hint(), "chunk={chunk}");
+            assert_eq!(c.num_sets(), s.num_sets());
+        }
+    }
+
+    #[test]
+    fn dynamic_hints_survive_chunking_verbatim() {
+        let updates: Vec<SignedEdge> = edges(17)
+            .into_iter()
+            .map(SignedEdge::insert)
+            .chain(edges(5).into_iter().map(SignedEdge::delete))
+            .collect();
+        let s = VecDynamicStream::new(3, updates);
+        for chunk in [1usize, 8, 64] {
+            let c = ChunkedDynamicStream::new(&s, chunk);
+            assert_eq!(c.update_len_hint(), s.update_len_hint(), "chunk={chunk}");
+            assert_eq!(c.net_len_hint(), s.net_len_hint(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunking_caps_batch_size_but_preserves_sequence() {
+        let s = VecStream::new(3, edges(23));
+        let c = ChunkedStream::new(&s, 4);
+        let mut flat = Vec::new();
+        let mut max_seen = 0usize;
+        c.for_each_batch(1000, &mut |chunk| {
+            max_seen = max_seen.max(chunk.len());
+            flat.extend_from_slice(chunk);
+        });
+        assert_eq!(flat, edges(23));
+        assert_eq!(max_seen, 4, "delivery is capped at the chunk size");
+
+        // A batch smaller than the chunk wins (the cap is a maximum).
+        let mut sizes = Vec::new();
+        c.for_each_batch(2, &mut |chunk| sizes.push(chunk.len()));
+        assert!(sizes.iter().all(|&l| l <= 2));
+    }
+
+    #[test]
+    fn dynamic_chunking_preserves_update_sequence() {
+        let s = VecDynamicStream::new(3, edges(9).into_iter().map(SignedEdge::insert).collect());
+        let c = ChunkedDynamicStream::new(&s, 2);
+        let mut flat = Vec::new();
+        c.for_each_update_batch(100, &mut |chunk| flat.extend_from_slice(chunk));
+        let mut want = Vec::new();
+        s.for_each_update(&mut |u| want.push(u));
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn zero_chunk_is_clamped() {
+        let s = VecStream::new(3, edges(5));
+        let c = ChunkedStream::new(&s, 0);
+        assert_eq!(c.chunk(), 1);
+        let mut count = 0usize;
+        c.for_each_batch(10, &mut |chunk| count += chunk.len());
+        assert_eq!(count, 5);
+    }
+}

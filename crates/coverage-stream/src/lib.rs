@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod dynamic;
 pub mod meter;
 pub mod order;
 pub mod source;
 pub mod stats;
 
+pub use chunked::{ChunkedDynamicStream, ChunkedStream};
 pub use dynamic::{
     surviving_edges, surviving_stream, validate_turnstile, DynamicEdgeStream, InsertOnly,
     SignedEdge, TurnstileViolation, UpdateKind, VecDynamicStream,

@@ -62,10 +62,14 @@ USAGE:
   coverage setcover  --n <sets> --m <elements> --kstar <k*> --lambda <L> [--budget B] [--eps E] [--seed S]
   coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
   coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--parallel T] [--budget B] [--seed S]
-                     [--processes P] [--ship json|binary]
+                     [--processes P] [--ship json|binary] [--ingest pipelined|two-barrier]
                      # --parallel T: run the parallel sharded executor on T threads
                      #   (one partition pass + concurrent map + tree reduce);
                      #   same selected cover as the sequential simulation, faster
+                     # --ingest: how the map phase consumes the stream —
+                     #   pipelined (default; bounded channels, partition
+                     #   overlaps build) or two-barrier (partition fully,
+                     #   then build); the selected cover is identical
                      # --processes P: run the map phase on P real worker
                      #   subprocesses (this binary re-invoked in a hidden
                      #   `worker` mode, framed binary pipes); same family again
@@ -448,13 +452,24 @@ fn cmd_dist(flags: &HashMap<String, String>) {
         },
         None => ShipFormat::Binary,
     };
+    let ingest = match flags.get("ingest").map(String::as_str) {
+        Some("pipelined") | None => IngestMode::Pipelined,
+        Some("two-barrier") => IngestMode::TwoBarrier,
+        Some(s) => {
+            eprintln!("unknown ingest mode `{s}` (pipelined|two-barrier)");
+            exit(2);
+        }
+    };
     if processes > 0 {
         cmd_dist_processes(cfg, processes, ship, &stream, &inst, opt, machines);
         return;
     }
     let (family, per_machine, merged_edges, extra_rows) = if threads > 0 {
-        let res = ParallelRunner::new(cfg, threads).run(&stream);
+        let res = ParallelRunner::new(cfg, threads)
+            .with_ingest_mode(ingest)
+            .run(&stream);
         let extras = vec![
+            ("ingest mode".to_string(), format!("{ingest:?}")),
             ("threads".to_string(), res.threads_used.to_string()),
             (
                 "partition ms".to_string(),

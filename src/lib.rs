@@ -65,9 +65,9 @@ pub mod prelude {
     };
     pub use coverage_algs::{
         apply_prune, dynamic_k_cover, k_cover_streaming, prune_near_duplicates,
-        set_cover_multipass, set_cover_outliers, DynamicKCoverConfig, DynamicKCoverResult,
-        KCoverConfig, KCoverResult, MultiPassConfig, MultiPassResult, OutlierConfig, OutlierResult,
-        PruneResult,
+        set_cover_multipass, set_cover_outliers, solve_guesses_parallel, solve_guesses_serial,
+        solve_on_sketch, DynamicKCoverConfig, DynamicKCoverResult, GuessSolve, KCoverConfig,
+        KCoverResult, MultiPassConfig, MultiPassResult, OutlierConfig, OutlierResult, PruneResult,
     };
     pub use coverage_core::offline::{
         bucket_greedy_budgeted_cover, bucket_greedy_k_cover, bucket_greedy_set_cover,
@@ -88,8 +88,8 @@ pub mod prelude {
     pub use coverage_dist::{
         distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover,
         partition_edges, partition_updates, tree_reduce, DistConfig, DistResult, DynDistResult,
-        DynProcessResult, DynamicParallelResult, ParallelResult, ParallelRunner, ProcessResult,
-        ProcessRunner, ShipFormat, WorkerCommand,
+        DynProcessResult, DynamicParallelResult, IngestMode, ParallelResult, ParallelRunner,
+        ProcessResult, ProcessRunner, ShipFormat, WorkerCommand,
     };
     pub use coverage_serve::{
         answer_query, EpochSnapshot, GuessView, LiveStore, QueryAnswer, QueryHandle, ServeConfig,
@@ -102,8 +102,9 @@ pub mod prelude {
         ThresholdSketch,
     };
     pub use coverage_stream::{
-        surviving_edges, surviving_stream, validate_turnstile, ArrivalOrder, DynamicEdgeStream,
-        EdgeStream, InsertOnly, SignedEdge, SpaceReport, UpdateKind, VecDynamicStream, VecStream,
+        surviving_edges, surviving_stream, validate_turnstile, ArrivalOrder, ChunkedDynamicStream,
+        ChunkedStream, DynamicEdgeStream, EdgeStream, InsertOnly, SignedEdge, SpaceReport,
+        UpdateKind, VecDynamicStream, VecStream,
     };
 }
 

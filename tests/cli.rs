@@ -159,6 +159,42 @@ fn dist_family_matches_machine_count_one() {
 }
 
 #[test]
+fn dist_ingest_modes_select_the_same_family() {
+    let base = [
+        "dist",
+        "--n",
+        "40",
+        "--m",
+        "1500",
+        "--k",
+        "3",
+        "--budget",
+        "2000",
+        "--workload",
+        "planted",
+        "--machines",
+        "4",
+        "--parallel",
+        "2",
+    ];
+    let (pipelined, _, ok_p) = run(&[&base[..], &["--ingest", "pipelined"]].concat());
+    let (barrier, _, ok_b) = run(&[&base[..], &["--ingest", "two-barrier"]].concat());
+    assert!(ok_p && ok_b);
+    let family_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("family"))
+            .map(str::to_string)
+            .expect("family row")
+    };
+    assert_eq!(family_line(&pipelined), family_line(&barrier));
+    assert!(pipelined.contains("Pipelined"));
+    assert!(barrier.contains("TwoBarrier"));
+    // An unknown mode is a usage error.
+    let (_, _, ok_bad) = run(&[&base[..], &["--ingest", "bogus"]].concat());
+    assert!(!ok_bad);
+}
+
+#[test]
 fn kcover_dynamic_stays_within_the_approximation_bound() {
     // Deterministic acceptance check: on a churn workload the dynamic
     // cover's value must be within the paper's (1 − 1/e − ε) bound of

@@ -102,6 +102,90 @@ proptest! {
     }
 }
 
+/// Degenerate-shape corners for both ingest modes: the executor must
+/// neither hang nor diverge from the serial simulation when the stream
+/// is empty, when there is a single shard, when there are far more
+/// shards than edges, or when the channel batch is a single edge.
+#[test]
+fn degenerate_shapes_match_serial() {
+    let run_both = |cfg: DistConfig, threads: usize, batch: usize, stream: &VecStream| {
+        let serial = distributed_k_cover_serial(stream, &cfg);
+        for mode in [IngestMode::Pipelined, IngestMode::TwoBarrier] {
+            let par = ParallelRunner::new(cfg, threads)
+                .with_ingest_mode(mode)
+                .with_batch(batch)
+                .run(stream);
+            assert_eq!(
+                par.family, serial.family,
+                "mode={mode:?} threads={threads} batch={batch}"
+            );
+            assert_eq!(par.merged_edges, serial.merged_edges);
+        }
+    };
+
+    // Zero-edge stream: nothing to partition, nothing to build — every
+    // executor must still agree (on the empty family) without deadlock.
+    let empty = VecStream::new(6, Vec::new());
+    run_both(
+        DistConfig::new(4, 2, 0.3, 5).with_sizing(SketchSizing::Budget(100)),
+        3,
+        64,
+        &empty,
+    );
+
+    // Single shard: the whole stream funnels through one worker; the
+    // pipelined channel degenerates to a producer/consumer pair.
+    let small = generated_stream(2, 10, 300, 2, 13);
+    run_both(
+        DistConfig::new(1, 2, 0.3, 13).with_sizing(SketchSizing::Budget(400)),
+        4,
+        128,
+        &small,
+    );
+
+    // More shards than edges: most shards receive nothing; their empty
+    // sketches must merge as identities.
+    let tiny = VecStream::new(4, (0..5u64).map(|e| Edge::new((e % 4) as u32, e)).collect());
+    run_both(
+        DistConfig::new(16, 2, 0.3, 7).with_sizing(SketchSizing::Budget(50)),
+        8,
+        32,
+        &tiny,
+    );
+
+    // Batch size 1: maximal channel traffic, one edge per send — the
+    // ordering contract must survive the chattiest schedule.
+    let chatty = generated_stream(0, 8, 200, 2, 29);
+    run_both(
+        DistConfig::new(3, 2, 0.3, 29).with_sizing(SketchSizing::Budget(300)),
+        3,
+        1,
+        &chatty,
+    );
+}
+
+/// The same degenerate corners through the dynamic (signed-update)
+/// executor, via the insert-only embedding.
+#[test]
+fn degenerate_shapes_match_serial_dynamic() {
+    let empty = VecStream::new(6, Vec::new());
+    let tiny = VecStream::new(4, (0..5u64).map(|e| Edge::new((e % 4) as u32, e)).collect());
+    for (stream, machines, threads) in [(&empty, 4usize, 3usize), (&tiny, 16, 8)] {
+        let embedded = InsertOnly::new(stream);
+        let cfg = DistConfig::new(machines, 2, 0.3, 3).with_sizing(SketchSizing::Budget(100));
+        let serial = dynamic_distributed_k_cover(&embedded, &cfg);
+        for mode in [IngestMode::Pipelined, IngestMode::TwoBarrier] {
+            let par = ParallelRunner::new(cfg, threads)
+                .with_ingest_mode(mode)
+                .run_dynamic(&embedded);
+            assert_eq!(
+                par.family, serial.family,
+                "mode={mode:?} machines={machines}"
+            );
+        }
+    }
+}
+
 /// Fixed-seed regression: the exact family selected by both runners on a
 /// reference workload. If this changes, either the sketch, the sharding
 /// hash, or the greedy tie-breaking changed — all contract surface.

@@ -16,8 +16,115 @@ fn edges_strategy(max_sets: u32, max_elem: u64) -> impl Strategy<Value = Vec<Edg
     )
 }
 
+/// The unrolled batch mixer agrees with the scalar loop and the
+/// one-key [`UnitHash::hash`] on every remainder length around the
+/// unroll width — exhaustively over `0..=2×BATCH_LANES`, several
+/// seeds, with non-trivial key patterns. This is the deterministic
+/// anchor for the proptest below; together they are the bit-identity
+/// contract the `BENCH_8` vectorized ingest path rests on.
+#[test]
+fn hash_batch_matches_scalar_on_all_remainder_lengths() {
+    for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF, u64::MAX] {
+        let h = UnitHash::new(seed);
+        for len in 0..=2 * UnitHash::BATCH_LANES {
+            let keys: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed))
+                .collect();
+            let mut unrolled = Vec::new();
+            let mut scalar = Vec::new();
+            h.hash_batch(keys.iter().copied(), &mut unrolled);
+            h.hash_batch_scalar(keys.iter().copied(), &mut scalar);
+            assert_eq!(unrolled, scalar, "seed {seed} len {len}");
+            let one_by_one: Vec<u64> = keys.iter().map(|&k| h.hash(k)).collect();
+            assert_eq!(unrolled, one_by_one, "seed {seed} len {len}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random batches across seeds: the unrolled mixer is bit-identical
+    /// to the scalar loop on arbitrary (duplicate-heavy, extreme-value)
+    /// key sequences, including lengths far past the unroll width.
+    #[test]
+    fn hash_batch_matches_scalar_on_random_batches(
+        keys in prop::collection::vec(0u64..u64::MAX, 0..300),
+        seed in 0u64..1000,
+    ) {
+        let h = UnitHash::new(seed);
+        let mut unrolled = Vec::new();
+        let mut scalar = Vec::new();
+        h.hash_batch(keys.iter().copied(), &mut unrolled);
+        h.hash_batch_scalar(keys.iter().copied(), &mut scalar);
+        prop_assert_eq!(&unrolled, &scalar);
+        let one_by_one: Vec<u64> = keys.iter().map(|&k| h.hash(k)).collect();
+        prop_assert_eq!(unrolled, one_by_one);
+    }
+
+    /// The grouped/prefetched probe path is bit-identical to the scalar
+    /// per-edge probe sequence on a single sketch: same retained
+    /// content, same counters, same acceptance bound, for any stream
+    /// and any batch size (including 1 and sizes straddling the probe
+    /// group width).
+    #[test]
+    fn sketch_batch_probe_matches_scalar(
+        edges in edges_strategy(8, 120),
+        seed in 0u64..300,
+        batch in 1usize..40,
+    ) {
+        let params = SketchParams::with_budget(8, 2, 0.4, 28);
+        let stream = VecStream::new(8, edges);
+        let mut vectorized = ThresholdSketch::new(params, seed);
+        vectorized.consume_batched(&stream, batch);
+        let mut scalar = ThresholdSketch::new(params, seed);
+        scalar.consume_batched_scalar(&stream, batch);
+        let mut per_edge = ThresholdSketch::new(params, seed);
+        per_edge.consume(&stream);
+        prop_assert_eq!(vectorized.acceptance_bound(), scalar.acceptance_bound());
+        prop_assert_eq!(vectorized.counters(), scalar.counters());
+        prop_assert_eq!(vectorized.canonical_content(), scalar.canonical_content());
+        prop_assert_eq!(vectorized.acceptance_bound(), per_edge.acceptance_bound());
+        prop_assert_eq!(vectorized.counters(), per_edge.counters());
+        prop_assert_eq!(vectorized.canonical_content(), per_edge.canonical_content());
+    }
+
+    /// Bank-level bit-identity: the batched vectorized ingest (shared
+    /// hash pass + bank-wide bound pre-filter + grouped probes), the
+    /// batched scalar hybrid, and the frozen per-edge scalar engine all
+    /// retain identical content on every guess — the `BENCH_8`
+    /// vectorization-equivalence contract, over random streams, seeds,
+    /// and batch sizes.
+    #[test]
+    fn bank_ingest_paths_bit_identical(
+        edges in edges_strategy(10, 150),
+        seed in 0u64..300,
+        batch in 1usize..40,
+    ) {
+        let guesses: Vec<SketchParams> = (0..3)
+            .map(|g| SketchParams::with_budget(10, 1 << g, 0.4, 24 + 8 * g))
+            .collect();
+        let stream = VecStream::new(10, edges);
+        let mut vectorized = SketchBank::new(guesses.iter().copied(), seed);
+        vectorized.consume_batched(&stream, batch);
+        let mut hybrid = SketchBank::new(guesses.iter().copied(), seed);
+        hybrid.consume_batched_scalar(&stream, batch);
+        let mut per_edge = SketchBank::new(guesses.iter().copied(), seed);
+        per_edge.consume_scalar(&stream);
+        for ((v, h), p) in vectorized
+            .sketches()
+            .iter()
+            .zip(hybrid.sketches())
+            .zip(per_edge.sketches())
+        {
+            prop_assert_eq!(v.acceptance_bound(), h.acceptance_bound());
+            prop_assert_eq!(v.counters(), h.counters());
+            prop_assert_eq!(v.canonical_content(), h.canonical_content());
+            prop_assert_eq!(v.acceptance_bound(), p.acceptance_bound());
+            prop_assert_eq!(v.counters(), p.counters());
+            prop_assert_eq!(v.canonical_content(), p.canonical_content());
+        }
+    }
 
     /// The sketch's retained elements are exactly the arrived elements
     /// whose hash clears the final acceptance bound — the `H'_{p*}`
