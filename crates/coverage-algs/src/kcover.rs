@@ -154,6 +154,10 @@ pub fn solve_guesses_serial(sketches: &[ThresholdSketch]) -> Vec<GuessSolve> {
 /// scheduling cannot perturb the output: the returned traces are
 /// step-for-step identical to [`solve_guesses_serial`] (locked down by
 /// `tests/pipeline_equivalence.rs`).
+///
+/// A panic on a worker thread degrades to the serial solver instead of
+/// aborting the caller — the per-guess solves are pure functions of the
+/// sketches, so the serial pass produces the identical answer.
 pub fn solve_guesses_parallel(sketches: &[ThresholdSketch]) -> Vec<GuessSolve> {
     if sketches.len() < 2 {
         return solve_guesses_serial(sketches);
@@ -166,25 +170,33 @@ pub fn solve_guesses_parallel(sketches: &[ThresholdSketch]) -> Vec<GuessSolve> {
         .map(|_| std::sync::Mutex::new(None))
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= sketches.len() {
                     break;
                 }
-                *slots[i].lock().expect("guess slot poisoned") =
-                    Some(solve_one_guess(&sketches[i]));
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(solve_one_guess(&sketches[i]));
+                }
             });
         }
-    })
-    .expect("guess solve worker panicked");
+    });
+    if scope_result.is_err() {
+        // A worker panicked; its slots may be missing or torn. The
+        // solves are deterministic, so rebuild everything serially.
+        return solve_guesses_serial(sketches);
+    }
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("guess slot poisoned")
-                .expect("all guesses solved")
+        .enumerate()
+        .map(|(i, m)| match m.into_inner() {
+            Ok(Some(solve)) => solve,
+            // A poisoned or unfilled slot without a scope error cannot
+            // happen, but the inline solve is cheap insurance over a
+            // panic.
+            _ => solve_one_guess(&sketches[i]),
         })
         .collect()
 }

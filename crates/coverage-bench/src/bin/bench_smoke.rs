@@ -120,9 +120,16 @@
 //!   least **1.5×** faster than the sequential per-guess
 //!   `instance()` + lazy-greedy loop — the multi-guess solve perf gate.
 //!
+//! * **fails (exit 1)** if, under an injected worker crash plus an
+//!   injected infinite hang, the multiprocess executor does not land on
+//!   the bit-identical family within **2×** the fault-free wall clock —
+//!   the fault-recovery gate (→ `BENCH_9.json`; the deadline reaper,
+//!   retry/backoff, and reshard paths must all fire).
+//!
 //! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json
-//! [bench5.json [bench6.json [bench7.json [bench8.json]]]]]]]` (defaults
-//! `BENCH_2.json` … `BENCH_8.json` in the current directory).
+//! [bench5.json [bench6.json [bench7.json [bench8.json
+//! [bench9.json]]]]]]]]` (defaults `BENCH_2.json` … `BENCH_9.json` in
+//! the current directory).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -136,8 +143,8 @@ use coverage_core::offline::{bucket_greedy_k_cover, lazy_greedy_k_cover};
 use coverage_core::{CoverageView, SetId};
 use coverage_data::{churn_workload, planted_k_cover};
 use coverage_dist::{
-    distributed_k_cover_serial, dynamic_distributed_k_cover, partition_updates, DistConfig,
-    IngestMode, ParallelRunner, ProcessRunner, WorkerCommand,
+    distributed_k_cover_serial, dynamic_distributed_k_cover, partition_updates, DistConfig, Fault,
+    FaultPlan, IngestMode, ParallelRunner, ProcessRunner, WorkerCommand,
 };
 use coverage_serve::{answer_query, LiveStore, QueryAnswer, ServeConfig, ServeEngine, ServeFinish};
 use coverage_sketch::{
@@ -1036,6 +1043,107 @@ fn pipeline_smoke(
     (record, ok)
 }
 
+/// One multiprocess run of the fault smoke case (fault-free or
+/// faulted): the wall clock plus every recovery counter the runner
+/// keeps, so the record shows *how* the faulted run survived.
+#[derive(Serialize)]
+struct FaultCaseRecord {
+    wall_ms: f64,
+    workers_spawned: usize,
+    workers_lost: usize,
+    shards_resharded: usize,
+    shards_built_inline: usize,
+    deadline_reaps: usize,
+    retries: usize,
+    proto_faults: usize,
+    family: Vec<u32>,
+}
+
+#[derive(Serialize)]
+struct FaultSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    /// The injected schedule, in the CLI's `SEED:SPEC` spelling.
+    fault_plan: String,
+    /// Per-shard deadline of the faulted run, derived from the
+    /// fault-free wall clock so the gate scales with the machine.
+    job_timeout_ms: u64,
+    fault_free: FaultCaseRecord,
+    faulted: FaultCaseRecord,
+    /// `faulted / fault_free` wall clocks — the ≤2× gated number.
+    overhead_ratio: f64,
+    overhead_gate: f64,
+    /// Faulted == fault-free == serial-simulation families.
+    families_match: bool,
+}
+
+/// The fault-recovery smoke case (→ `BENCH_9.json`): the same planted
+/// stream through the multiprocess executor twice — once fault-free,
+/// once under an injected crash *and* an injected infinite hang — and
+/// gates that the faulted run lands on the bit-identical family within
+/// 2× the fault-free wall clock. The merge-composability of the `H≤n`
+/// sketch is what makes the requeue-and-rebuild recovery sound (any
+/// shard rebuilds bit-identically), so this is the robustness analogue
+/// of the BENCH_6 determinism gate.
+fn fault_smoke(
+    stream: &VecStream,
+    cfg: DistConfig,
+    serial_family: &[SetId],
+) -> (FaultSmokeRecord, bool) {
+    let command = WorkerCommand::current_exe(vec!["__worker".to_string()])
+        .expect("bench binary can locate itself");
+
+    let (free, free_ms) = best_of(REPS, || {
+        ProcessRunner::new(cfg, command.clone(), THREADS)
+            .run(stream)
+            .expect("fault-free multiprocess run")
+    });
+
+    // The hang can only be recovered by the deadline reaper, so the
+    // faulted run's overhead is dominated by the timeout: half the
+    // fault-free wall keeps the 2x gate honest while staying far above
+    // one shard's build time (clamped so tiny/huge machines behave).
+    let job_timeout_ms = ((free_ms * 0.5) as u64).clamp(100, 2_000);
+    let plan = FaultPlan::new(9)
+        .with_fault(0, Fault::Crash)
+        .with_fault(1, Fault::Hang);
+    let (faulted, faulted_ms) = best_of(REPS, || {
+        ProcessRunner::new(cfg, command.clone(), THREADS)
+            .with_fault_plan(plan.clone())
+            .with_job_timeout(Duration::from_millis(job_timeout_ms))
+            .run(stream)
+            .expect("faulted multiprocess run")
+    });
+
+    let case = |res: &coverage_dist::ProcessResult, wall_ms: f64| FaultCaseRecord {
+        wall_ms,
+        workers_spawned: res.workers_spawned,
+        workers_lost: res.workers_lost,
+        shards_resharded: res.shards_resharded,
+        shards_built_inline: res.shards_built_inline,
+        deadline_reaps: res.deadline_reaps,
+        retries: res.retries,
+        proto_faults: res.proto_faults,
+        family: res.family.iter().map(|s| s.0).collect(),
+    };
+    let families_match = free.family == serial_family && faulted.family == serial_family;
+    let overhead_ratio = faulted_ms / free_ms.max(1e-9);
+    let recovery_exercised = faulted.workers_lost >= 2 && faulted.deadline_reaps >= 1;
+    let ok = families_match && recovery_exercised && overhead_ratio <= 2.0;
+    let record = FaultSmokeRecord {
+        bench: "BENCH_9",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6)",
+        fault_plan: plan.to_string(),
+        job_timeout_ms,
+        fault_free: case(&free, free_ms),
+        faulted: case(&faulted, faulted_ms),
+        overhead_ratio,
+        overhead_gate: 2.0,
+        families_match,
+    };
+    (record, ok)
+}
+
 fn main() {
     // Hidden worker mode: `bench_smoke __worker` serves framed sketch
     // jobs on stdin/stdout — how BENCH_6 gets real subprocess workers
@@ -1064,6 +1172,9 @@ fn main() {
     let pipeline_out_path = std::env::args()
         .nth(7)
         .unwrap_or_else(|| "BENCH_8.json".to_string());
+    let fault_out_path = std::env::args()
+        .nth(8)
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -1260,6 +1371,30 @@ fn main() {
         pipeline_record.solve_speedup,
     );
 
+    // --- Fault-recovery smoke case → BENCH_9.json. ---
+    let (fault_record, fault_ok) = fault_smoke(&stream, cfg, &seq.family);
+    let fault_json = serde_json::to_string_pretty(&fault_record).expect("render json");
+    if let Err(e) = std::fs::write(&fault_out_path, &fault_json) {
+        eprintln!("bench_smoke: cannot write {fault_out_path}: {e}");
+        exit(1);
+    }
+    println!("{fault_json}");
+    println!(
+        "\nbench_smoke: fault-free multiprocess {:.1} ms; under crash+hang ({}, \
+         timeout {} ms): {:.1} ms → {:.2}x overhead (gate {:.1}x), {} lost, \
+         {} reaped, {} retried, families identical: {}",
+        fault_record.fault_free.wall_ms,
+        fault_record.fault_plan,
+        fault_record.job_timeout_ms,
+        fault_record.faulted.wall_ms,
+        fault_record.overhead_ratio,
+        fault_record.overhead_gate,
+        fault_record.faulted.workers_lost,
+        fault_record.faulted.deadline_reaps,
+        fault_record.faulted.retries,
+        fault_record.families_match,
+    );
+
     if !families_match {
         eprintln!(
             "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
@@ -1386,14 +1521,28 @@ fn main() {
         );
         exit(1);
     }
+    if !fault_ok {
+        eprintln!(
+            "bench_smoke: FAIL — BENCH_9 fault recovery: families identical {}, \
+             overhead {:.2}x (gate {:.1}x), workers lost {} (need ≥2), deadline \
+             reaps {} (need ≥1) under the injected crash+hang schedule",
+            fault_record.families_match,
+            fault_record.overhead_ratio,
+            fault_record.overhead_gate,
+            fault_record.faulted.workers_lost,
+            fault_record.faulted.deadline_reaps,
+        );
+        exit(1);
+    }
     println!(
         "bench_smoke: OK — families identical, parallel faster, dynamic within the \
          approximation bound, flat ingest engine ≥1.5x over the reference, \
          zero-rebuild solve path ≥2x over instance()+lazy, binary wire ≥5x smaller \
          and ≥3x faster than json, multiprocess (incl. kill-recovery) bit-identical, \
          serving answers replay exactly at ≥0.8x batch ingest throughput, \
-         batched-vectorized ingest ≥1.3x over the frozen per-edge scalar engine \
-         and the parallel multi-guess solve ≥1.5x over the sequential rebuild \
-         loop with all traces bit-identical"
+         batched-vectorized ingest ≥1.3x over the frozen per-edge scalar engine, \
+         the parallel multi-guess solve ≥1.5x over the sequential rebuild \
+         loop with all traces bit-identical, and crash+hang recovery \
+         bit-identical within the 2x overhead gate"
     );
 }

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod parallel;
 pub mod partition;
 pub mod proto;
@@ -66,6 +67,7 @@ pub mod rounds;
 pub mod runner;
 pub mod worker;
 
+pub use fault::{Fault, FaultPlan, SplitMix64};
 pub use parallel::{
     partition_edges, partition_updates, DynamicParallelResult, IngestMode, ParallelResult,
     ParallelRunner,
@@ -73,11 +75,11 @@ pub use parallel::{
 pub use partition::{shard_of_edge, DynamicShardedStream, ShardedStream};
 pub use proto::{Message, ProtoError};
 pub use rounds::{
-    tree_reduce, tree_reduce_via, tree_reduce_with, BinaryTransport, Composable, JsonTransport,
-    Loopback, RoundCost, RoundsReport, ShipFormat, Shipment, Transport,
+    tree_reduce, tree_reduce_via, tree_reduce_with, BinaryTransport, Composable, FaultyTransport,
+    JsonTransport, Loopback, RoundCost, RoundsReport, ShipFormat, Shipment, Transport,
 };
 pub use runner::{
     distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover, merge_all,
     DistConfig, DistResult, DynDistResult, DynProcessResult, ProcessResult, ProcessRunner,
-    WorkerCommand,
+    RetryPolicy, RunError, WorkerCommand,
 };

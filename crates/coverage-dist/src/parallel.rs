@@ -49,7 +49,7 @@ use coverage_stream::{DynamicEdgeStream, EdgeStream, SignedEdge, SpaceReport};
 
 use crate::partition::shard_of_edge;
 use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
-use crate::runner::DistConfig;
+use crate::runner::{panic_message, DistConfig, RunError};
 
 /// Default partition batch size: large enough to amortize virtual
 /// dispatch, small enough to stay cache-resident.
@@ -252,6 +252,10 @@ impl ParallelRunner {
     /// the caller thread's routing/shipping time (the pipelined
     /// "partition phase" — building overlaps it), `drain_ns` the
     /// remaining tail until all workers finish.
+    ///
+    /// A panic on any pipeline thread is returned as a typed
+    /// [`RunError::Panic`] (the partial builders are discarded — they
+    /// may be torn); callers degrade to a serial rebuild, never abort.
     fn pipelined_map<B, T>(
         &self,
         machines: usize,
@@ -259,7 +263,7 @@ impl ParallelRunner {
         route: impl Fn(B) -> usize,
         make: impl Fn() -> T + Sync,
         feed: impl Fn(&mut T, &[B]) + Sync,
-    ) -> (Vec<T>, u64, u64)
+    ) -> Result<(Vec<T>, u64, u64), RunError>
     where
         B: Copy + Send,
         T: Send,
@@ -295,17 +299,17 @@ impl ParallelRunner {
                     buf.push(e);
                     if buf.len() >= batch {
                         let full = std::mem::replace(buf, Vec::with_capacity(batch));
-                        senders[s / per_worker]
-                            .send((s % per_worker, full))
-                            .expect("pipeline worker alive");
+                        // A send can only fail when the owning worker
+                        // panicked; keep feeding the survivors — the
+                        // scope reports the panic as Err below and the
+                        // whole attempt is discarded.
+                        let _ = senders[s / per_worker].send((s % per_worker, full));
                     }
                 }
             });
             for (s, buf) in bufs.into_iter().enumerate() {
                 if !buf.is_empty() {
-                    senders[s / per_worker]
-                        .send((s % per_worker, buf))
-                        .expect("pipeline worker alive");
+                    let _ = senders[s / per_worker].send((s % per_worker, buf));
                 }
             }
             // Dropping the senders closes the channels; workers drain
@@ -313,13 +317,13 @@ impl ParallelRunner {
             drop(senders);
             t_feed.elapsed().as_nanos() as u64
         })
-        .expect("pipeline worker panicked");
+        .map_err(|p| RunError::Panic(panic_message(p)))?;
         let total_ns = t0.elapsed().as_nanos() as u64;
         let locals = locals
             .into_iter()
             .map(|s| s.expect("every shard slot is filled"))
             .collect();
-        (locals, feed_ns, total_ns.saturating_sub(feed_ns))
+        Ok((locals, feed_ns, total_ns.saturating_sub(feed_ns)))
     }
 
     /// Execute the full pipeline on `stream`.
@@ -343,13 +347,34 @@ impl ParallelRunner {
             }
             IngestMode::Pipelined => {
                 let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
-                self.pipelined_map(
+                let piped = self.pipelined_map(
                     machines,
                     |f| stream.for_each_batch(self.batch, f),
                     |e: Edge| shard_of_edge(e, machines, shard_seed),
                     || ThresholdSketch::new(params, cfg.seed),
                     |s: &mut ThresholdSketch, chunk: &[Edge]| s.update_batch(chunk),
-                )
+                );
+                match piped {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // A pipeline thread panicked: rebuild serially
+                        // on this thread (identical output by the
+                        // determinism contract, only slower).
+                        let t0 = Instant::now();
+                        let buffers = partition_edges(stream, machines, shard_seed, self.batch);
+                        let partition_ns = t0.elapsed().as_nanos() as u64;
+                        let t1 = Instant::now();
+                        let locals = buffers
+                            .iter()
+                            .map(|buf| {
+                                let mut s = ThresholdSketch::new(params, cfg.seed);
+                                s.update_batch(buf);
+                                s
+                            })
+                            .collect();
+                        (locals, partition_ns, t1.elapsed().as_nanos() as u64)
+                    }
+                }
             }
         };
         let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
@@ -378,7 +403,12 @@ impl ParallelRunner {
     /// affect the output, only the schedule). The shared scaffolding of
     /// every map-phase fan-out, generic over the buffer element so the
     /// signed (dynamic) and unsigned pipelines share it.
-    fn map_buffers<B, T, F>(&self, buffers: &[Vec<B>], build: F) -> Vec<T>
+    ///
+    /// A panic on any map thread is returned as a typed
+    /// [`RunError::Panic`]; see
+    /// [`map_buffers_resilient`](Self::map_buffers_resilient) for the
+    /// degrading wrapper every executor path uses.
+    fn map_buffers<B, T, F>(&self, buffers: &[Vec<B>], build: F) -> Result<Vec<T>, RunError>
     where
         B: Sync,
         T: Send,
@@ -400,11 +430,29 @@ impl ParallelRunner {
                 });
             }
         })
-        .expect("map worker panicked");
-        locals
+        .map_err(|p| RunError::Panic(panic_message(p)))?;
+        Ok(locals
             .into_iter()
             .map(|s| s.expect("every shard slot is filled"))
-            .collect()
+            .collect())
+    }
+
+    /// [`map_buffers`](Self::map_buffers) with panic degradation: when a
+    /// map thread panics, the parallel attempt is discarded (its slots
+    /// may be torn) and every buffer is rebuilt serially on the caller
+    /// thread. Shard builds are deterministic, so a panic is almost
+    /// surely deterministic too — but a transient environment failure
+    /// (allocation, runaway hook) should cost wall clock, not the run.
+    fn map_buffers_resilient<B, T, F>(&self, buffers: &[Vec<B>], build: F) -> Vec<T>
+    where
+        B: Sync,
+        T: Send,
+        F: Fn(&[B]) -> T + Sync,
+    {
+        match self.map_buffers(buffers, &build) {
+            Ok(locals) => locals,
+            Err(_) => buffers.iter().map(|buf| build(buf)).collect(),
+        }
     }
 
     /// Map phase: build one sketch per shard buffer.
@@ -414,7 +462,7 @@ impl ParallelRunner {
         params: SketchParams,
         seed: u64,
     ) -> Vec<ThresholdSketch> {
-        self.map_buffers(buffers, |buf| {
+        self.map_buffers_resilient(buffers, |buf| {
             let mut s = ThresholdSketch::new(params, seed);
             s.update_batch(buf);
             s
@@ -443,7 +491,7 @@ impl ParallelRunner {
                 let buffers = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
                 let partition_ns = t0.elapsed().as_nanos() as u64;
                 let t1 = Instant::now();
-                let locals = self.map_buffers(&buffers, |buf: &[SignedEdge]| {
+                let locals = self.map_buffers_resilient(&buffers, |buf: &[SignedEdge]| {
                     let mut s = DynamicSketch::new(params, cfg.seed);
                     s.update_batch(buf);
                     s
@@ -452,13 +500,33 @@ impl ParallelRunner {
             }
             IngestMode::Pipelined => {
                 let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
-                self.pipelined_map(
+                let piped = self.pipelined_map(
                     machines,
                     |f| stream.for_each_update_batch(self.batch, f),
                     |u: SignedEdge| shard_of_edge(u.edge, machines, shard_seed),
                     || DynamicSketch::new(params, cfg.seed),
                     |s: &mut DynamicSketch, chunk: &[SignedEdge]| s.update_batch(chunk),
-                )
+                );
+                match piped {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // Panic degradation: serial rebuild, identical
+                        // output (the dynamic sketch is linear).
+                        let t0 = Instant::now();
+                        let buffers = partition_updates(stream, machines, shard_seed, self.batch);
+                        let partition_ns = t0.elapsed().as_nanos() as u64;
+                        let t1 = Instant::now();
+                        let locals = buffers
+                            .iter()
+                            .map(|buf| {
+                                let mut s = DynamicSketch::new(params, cfg.seed);
+                                s.update_batch(buf);
+                                s
+                            })
+                            .collect();
+                        (locals, partition_ns, t1.elapsed().as_nanos() as u64)
+                    }
+                }
             }
         };
         let per_machine: Vec<SpaceReport> = locals.iter().map(|s| s.space_report()).collect();
@@ -497,7 +565,7 @@ impl ParallelRunner {
         let locals = match self.ingest {
             IngestMode::TwoBarrier => {
                 let buffers = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
-                self.map_buffers(&buffers, |buf| {
+                self.map_buffers_resilient(&buffers, |buf| {
                     let mut bank = SketchBank::new(guesses.iter().copied(), cfg.seed);
                     bank.update_batch(buf);
                     bank
@@ -505,14 +573,28 @@ impl ParallelRunner {
             }
             IngestMode::Pipelined => {
                 let (machines, shard_seed) = (cfg.machines, cfg.shard_seed());
-                self.pipelined_map(
+                let piped = self.pipelined_map(
                     machines,
                     |f| stream.for_each_batch(self.batch, f),
                     |e: Edge| shard_of_edge(e, machines, shard_seed),
                     || SketchBank::new(guesses.iter().copied(), cfg.seed),
                     |bank: &mut SketchBank, chunk: &[Edge]| bank.update_batch(chunk),
-                )
-                .0
+                );
+                match piped {
+                    Ok((locals, _, _)) => locals,
+                    Err(_) => {
+                        // Panic degradation: serial rebuild per shard.
+                        let buffers = partition_edges(stream, machines, shard_seed, self.batch);
+                        buffers
+                            .iter()
+                            .map(|buf| {
+                                let mut bank = SketchBank::new(guesses.iter().copied(), cfg.seed);
+                                bank.update_batch(buf);
+                                bank
+                            })
+                            .collect()
+                    }
+                }
             }
         };
         let mut banks = locals.into_iter();
@@ -789,6 +871,36 @@ mod tests {
         let one = VecStream::new(8, vec![Edge::new(0u32, 1u64)]);
         let res = ParallelRunner::new(cfg, 4).run(&one);
         assert_eq!(res.merged_edges, 1);
+    }
+
+    #[test]
+    fn map_panic_degrades_to_serial_rebuild() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cfg = DistConfig::new(4, 2, 0.3, 1);
+        let runner = ParallelRunner::new(cfg, 2);
+        let buffers: Vec<Vec<u64>> = (0..4u64).map(|i| vec![i]).collect();
+        // First build call panics (on a map thread); the resilient
+        // wrapper must retry everything serially and still produce all
+        // four results — never abort the caller.
+        let poisoned = AtomicBool::new(true);
+        let sums = runner.map_buffers_resilient(&buffers, |buf: &[u64]| {
+            if poisoned.swap(false, Ordering::SeqCst) {
+                panic!("injected map panic");
+            }
+            buf.iter().sum::<u64>()
+        });
+        assert_eq!(sums, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn map_panic_is_a_typed_error_not_an_abort() {
+        let cfg = DistConfig::new(2, 2, 0.3, 1);
+        let runner = ParallelRunner::new(cfg, 2);
+        let buffers: Vec<Vec<u64>> = vec![vec![1], vec![2]];
+        let err = runner
+            .map_buffers(&buffers, |_: &[u64]| -> u64 { panic!("always down") })
+            .unwrap_err();
+        assert!(matches!(err, RunError::Panic(_)));
     }
 
     #[test]

@@ -6,17 +6,25 @@
 //! (`coverage_sketch::wire`), under its own magic so a snapshot frame
 //! can never be confused for a protocol message.
 //!
-//! ## Frame layout (version 1)
+//! ## Frame layout (version 2)
 //!
 //! | offset   | size | field                                   |
 //! |----------|------|-----------------------------------------|
 //! | 0        | 4    | magic `b"CVPR"`                         |
-//! | 4        | 2    | protocol version, `u16` LE (currently 1)|
+//! | 4        | 2    | protocol version, `u16` LE (currently 2)|
 //! | 6        | 1    | message kind                            |
 //! | 7        | 1    | reserved (0)                            |
 //! | 8        | 8    | payload length `u64` LE                 |
 //! | 16       | len  | payload                                 |
 //! | 16 + len | 8    | FNV-1a 64 checksum of bytes `0..16+len` |
+//!
+//! Version 2 replaced version 1's boolean `fail` flag in the job
+//! payloads with a generalized fault descriptor (a [`Fault`] code plus
+//! argument) and added the [`Message::Heartbeat`] probe. A frame from
+//! either side of the version fence is reported as a **typed**
+//! [`WireError::UnsupportedVersion`] — an old-version worker can never
+//! look like a hang or a crash. Payloads above [`MAX_FRAME_PAYLOAD`]
+//! are rejected before any allocation.
 //!
 //! ## Conversation
 //!
@@ -24,11 +32,14 @@
 //! the sketch parameters) and the worker answers with one *reply*
 //! carrying its local sketch's snapshot, encoded per the job's requested
 //! [`ShipFormat`] (binary frames in deployment; JSON kept for
-//! wire-fidelity comparisons). A [`Message::Shutdown`] — or simply
-//! closing the pipe — ends the worker. Jobs carry a `fail` flag for
-//! fault-injection tests: a failing worker reads the job and exits
-//! without replying, which the parent observes as EOF and answers with
-//! re-sharding (see `runner.rs`).
+//! wire-fidelity comparisons). A [`Message::Heartbeat`] is echoed back
+//! verbatim — the parent's liveness/version probe. A
+//! [`Message::Shutdown`] — or simply closing the pipe — ends the worker.
+//! Jobs carry an optional [`Fault`] for deterministic fault injection:
+//! the worker executes it (crash without replying, hang forever, delay,
+//! or corrupt its reply frame), and the parent observes each through a
+//! different detector — EOF, the deadline reaper, nothing, or the frame
+//! checksum (see `runner.rs`).
 
 use std::io::{Read, Write};
 
@@ -39,21 +50,36 @@ use coverage_sketch::{
 };
 use coverage_stream::SignedEdge;
 
+use crate::fault::Fault;
 use crate::rounds::ShipFormat;
 
 /// Protocol frame magic (distinct from the snapshot frame magic).
 pub const PROTO_MAGIC: [u8; 4] = *b"CVPR";
-/// Current protocol version.
-pub const PROTO_VERSION: u16 = 1;
+/// Current protocol version. Version 2 generalized the job fault flag
+/// and added the heartbeat probe; version-1 frames are rejected as
+/// typed [`WireError::UnsupportedVersion`] errors.
+pub const PROTO_VERSION: u16 = 2;
+
+/// Hard cap on a frame's payload length. A length field above this is a
+/// typed wire error detected **before** the payload buffer is allocated,
+/// so a corrupt or hostile length can never balloon parent memory.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 28;
 
 const KIND_JOB_SKETCH: u8 = 1;
 const KIND_JOB_DYNAMIC: u8 = 2;
 const KIND_REPLY_SKETCH: u8 = 3;
 const KIND_REPLY_DYNAMIC: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
+const KIND_HEARTBEAT: u8 = 6;
 
 const SHIP_BINARY: u8 = 0;
 const SHIP_JSON: u8 = 1;
+
+const FAULT_NONE: u8 = 0;
+const FAULT_CRASH: u8 = 1;
+const FAULT_HANG: u8 = 2;
+const FAULT_DELAY: u8 = 3;
+const FAULT_CORRUPT: u8 = 4;
 
 /// A protocol failure: either the pipe broke or a frame was corrupt.
 #[derive(Debug)]
@@ -101,8 +127,9 @@ pub enum Message {
         seed: u64,
         /// How the reply snapshot travels back.
         ship: ShipFormat,
-        /// Fault injection: read the job, then die without replying.
-        fail: bool,
+        /// Deterministic fault injection: the worker executes this
+        /// fault instead of (or around) replying normally.
+        fault: Option<Fault>,
         /// Update-batch size (parity with the in-process executors).
         batch: usize,
         /// The shard of edges to ingest.
@@ -116,8 +143,9 @@ pub enum Message {
         seed: u64,
         /// How the reply snapshot travels back.
         ship: ShipFormat,
-        /// Fault injection: read the job, then die without replying.
-        fail: bool,
+        /// Deterministic fault injection: the worker executes this
+        /// fault instead of (or around) replying normally.
+        fault: Option<Fault>,
         /// Update-batch size (parity with the in-process executors).
         batch: usize,
         /// The shard of signed updates to ingest.
@@ -137,8 +165,41 @@ pub enum Message {
         /// The encoding it traveled in.
         ship: ShipFormat,
     },
+    /// Liveness/version probe. The parent sends it; a live,
+    /// version-compatible worker echoes the same nonce back. An
+    /// old-version worker answers with a frame the parent rejects as a
+    /// typed [`WireError::UnsupportedVersion`] — never a silent hang.
+    Heartbeat {
+        /// Opaque echo token chosen by the sender.
+        nonce: u64,
+    },
     /// Parent → worker: exit cleanly.
     Shutdown,
+}
+
+fn put_fault(w: &mut WireWriter, fault: &Option<Fault>) {
+    let (code, arg) = match fault {
+        None => (FAULT_NONE, 0),
+        Some(Fault::Crash) => (FAULT_CRASH, 0),
+        Some(Fault::Hang) => (FAULT_HANG, 0),
+        Some(Fault::Delay(ms)) => (FAULT_DELAY, *ms),
+        Some(Fault::CorruptReply) => (FAULT_CORRUPT, 0),
+    };
+    w.put_u8(code);
+    w.put_varint(arg);
+}
+
+fn get_fault(r: &mut WireReader<'_>) -> Result<Option<Fault>, ProtoError> {
+    let code = r.get_u8()?;
+    let arg = r.get_varint()?;
+    Ok(match code {
+        FAULT_NONE => None,
+        FAULT_CRASH => Some(Fault::Crash),
+        FAULT_HANG => Some(Fault::Hang),
+        FAULT_DELAY => Some(Fault::Delay(arg)),
+        FAULT_CORRUPT => Some(Fault::CorruptReply),
+        _ => return Err(WireError::Malformed("unknown fault code").into()),
+    })
 }
 
 fn put_ship(w: &mut WireWriter, ship: ShipFormat) {
@@ -191,14 +252,14 @@ fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
             params,
             seed,
             ship,
-            fail,
+            fault,
             batch,
             edges,
         } => {
             put_base_params(&mut w, params);
             w.put_u64(*seed);
             put_ship(&mut w, *ship);
-            w.put_u8(*fail as u8);
+            put_fault(&mut w, fault);
             w.put_varint(*batch as u64);
             w.put_varint(edges.len() as u64);
             for e in edges {
@@ -211,7 +272,7 @@ fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
             params,
             seed,
             ship,
-            fail,
+            fault,
             batch,
             updates,
         } => {
@@ -221,7 +282,7 @@ fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
             w.put_varint(params.row_len as u64);
             w.put_u64(*seed);
             put_ship(&mut w, *ship);
-            w.put_u8(*fail as u8);
+            put_fault(&mut w, fault);
             w.put_varint(*batch as u64);
             w.put_varint(updates.len() as u64);
             for u in updates {
@@ -251,6 +312,10 @@ fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
             w.put_bytes(&encoded);
             (KIND_REPLY_DYNAMIC, w.into_bytes())
         }
+        Message::Heartbeat { nonce } => {
+            w.put_u64(*nonce);
+            (KIND_HEARTBEAT, w.into_bytes())
+        }
         Message::Shutdown => (KIND_SHUTDOWN, Vec::new()),
     }
 }
@@ -262,7 +327,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
             let params = get_base_params(&mut r)?;
             let seed = r.get_u64()?;
             let ship = get_ship(&mut r)?;
-            let fail = r.get_u8()? != 0;
+            let fault = get_fault(&mut r)?;
             let batch = r.get_len()?;
             let n = r.get_len()?;
             if n > r.remaining() {
@@ -278,7 +343,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
                 params,
                 seed,
                 ship,
-                fail,
+                fault,
                 batch,
                 edges,
             }
@@ -296,7 +361,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
             };
             let seed = r.get_u64()?;
             let ship = get_ship(&mut r)?;
-            let fail = r.get_u8()? != 0;
+            let fault = get_fault(&mut r)?;
             let batch = r.get_len()?;
             let n = r.get_len()?;
             if n > r.remaining() {
@@ -318,7 +383,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
                 params,
                 seed,
                 ship,
-                fail,
+                fault,
                 batch,
                 updates,
             }
@@ -353,6 +418,9 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
             };
             Message::ReplyDynamic { snapshot, ship }
         }
+        KIND_HEARTBEAT => Message::Heartbeat {
+            nonce: r.get_u64()?,
+        },
         KIND_SHUTDOWN => Message::Shutdown,
         other => return Err(WireError::UnknownKind { found: other }.into()),
     };
@@ -376,6 +444,40 @@ pub fn write_message(out: &mut impl Write, msg: &Message) -> Result<u64, ProtoEr
     let sum = checksum64(&frame_body);
     out.write_all(&frame_body)?;
     out.write_all(&sum.to_le_bytes())?;
+    out.flush()?;
+    Ok(frame_body.len() as u64 + 8)
+}
+
+/// Write `msg` as a frame with exactly one bit flipped in its payload
+/// (or, for an empty payload, in its checksum), deterministically
+/// positioned by `seed` — the executable [`Fault::CorruptReply`]. The
+/// checksum is computed over the *pristine* body and the flip lands in
+/// the payload region (never the header), so the receiver is guaranteed
+/// a typed [`WireError::ChecksumMismatch`] — never silently merged
+/// garbage.
+pub fn write_corrupted_message(
+    out: &mut impl Write,
+    msg: &Message,
+    seed: u64,
+) -> Result<u64, ProtoError> {
+    let (kind, payload) = encode_payload(msg);
+    let mut w = WireWriter::new();
+    w.put_bytes(&PROTO_MAGIC);
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(kind);
+    w.put_u8(0);
+    w.put_u64(payload.len() as u64);
+    w.put_bytes(&payload);
+    let mut frame_body = w.into_bytes();
+    let mut sum = checksum64(&frame_body).to_le_bytes();
+    if payload.is_empty() {
+        sum[(seed % 8) as usize] ^= 1 << ((seed / 8) % 8);
+    } else {
+        let at = 16 + (seed as usize % payload.len());
+        frame_body[at] ^= 1 << ((seed / 7) % 8);
+    }
+    out.write_all(&frame_body)?;
+    out.write_all(&sum)?;
     out.flush()?;
     Ok(frame_body.len() as u64 + 8)
 }
@@ -413,6 +515,9 @@ pub fn read_message(input: &mut impl Read) -> Result<(Message, u64), ProtoError>
     let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
     let payload_len = usize::try_from(payload_len)
         .map_err(|_| WireError::Malformed("payload length exceeds the address space"))?;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Malformed("frame payload exceeds the size cap").into());
+    }
     let mut payload = vec![0u8; payload_len];
     input.read_exact(&mut payload)?;
     let mut sum = [0u8; 8];
@@ -450,7 +555,7 @@ mod tests {
             params: SketchParams::with_budget(6, 2, 0.5, 100),
             seed: 42,
             ship: ShipFormat::Binary,
-            fail: false,
+            fault: None,
             batch: 4096,
             edges: vec![Edge::new(0u32, 7u64), Edge::new(5u32, u64::MAX)],
         };
@@ -459,14 +564,14 @@ mod tests {
                 params,
                 seed,
                 ship,
-                fail,
+                fault,
                 batch,
                 edges,
             } => {
                 assert_eq!(params, SketchParams::with_budget(6, 2, 0.5, 100));
                 assert_eq!(seed, 42);
                 assert_eq!(ship, ShipFormat::Binary);
-                assert!(!fail);
+                assert_eq!(fault, None);
                 assert_eq!(batch, 4096);
                 assert_eq!(
                     edges,
@@ -478,13 +583,37 @@ mod tests {
     }
 
     #[test]
+    fn every_fault_kind_roundtrips() {
+        for fault in [
+            Some(Fault::Crash),
+            Some(Fault::Hang),
+            Some(Fault::Delay(1234)),
+            Some(Fault::CorruptReply),
+            None,
+        ] {
+            let msg = Message::JobSketch {
+                params: SketchParams::with_budget(4, 1, 0.5, 40),
+                seed: 3,
+                ship: ShipFormat::Binary,
+                fault,
+                batch: 16,
+                edges: vec![Edge::new(1u32, 2u64)],
+            };
+            match roundtrip(&msg) {
+                Message::JobSketch { fault: back, .. } => assert_eq!(back, fault),
+                other => panic!("wrong message: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn job_dynamic_roundtrips_signs() {
         let params = DynamicSketchParams::new(SketchParams::with_budget(3, 1, 0.5, 50));
         let msg = Message::JobDynamic {
             params,
             seed: 7,
             ship: ShipFormat::Json,
-            fail: true,
+            fault: Some(Fault::Crash),
             batch: 512,
             updates: vec![
                 SignedEdge::insert(Edge::new(1u32, 10u64)),
@@ -494,13 +623,13 @@ mod tests {
         match roundtrip(&msg) {
             Message::JobDynamic {
                 params: p,
-                fail,
+                fault,
                 updates,
                 ship,
                 ..
             } => {
                 assert_eq!(p, params);
-                assert!(fail);
+                assert_eq!(fault, Some(Fault::Crash));
                 assert_eq!(ship, ShipFormat::Json);
                 assert_eq!(updates.len(), 2);
                 assert!(updates[0].sign() > 0);
@@ -531,6 +660,79 @@ mod tests {
     #[test]
     fn shutdown_roundtrips() {
         assert!(matches!(roundtrip(&Message::Shutdown), Message::Shutdown));
+    }
+
+    #[test]
+    fn heartbeat_roundtrips_its_nonce() {
+        match roundtrip(&Message::Heartbeat { nonce: 0xDEAD_BEEF }) {
+            Message::Heartbeat { nonce } => assert_eq!(nonce, 0xDEAD_BEEF),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_version_frames_are_typed_not_fatal() {
+        // Hand-craft a version-1 frame: take a valid frame, rewrite the
+        // version field, and re-checksum — exactly the bytes an
+        // old-version worker would produce.
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Shutdown).unwrap();
+        let body_len = buf.len() - 8;
+        buf[4] = 1;
+        buf[5] = 0;
+        let sum = checksum64(&buf[..body_len]).to_le_bytes();
+        buf[body_len..].copy_from_slice(&sum);
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(ProtoError::Wire(WireError::UnsupportedVersion { found: 1 }))
+        ));
+    }
+
+    #[test]
+    fn corrupted_writer_output_is_a_typed_checksum_error() {
+        let msg = Message::JobSketch {
+            params: SketchParams::with_budget(4, 1, 0.5, 40),
+            seed: 5,
+            ship: ShipFormat::Binary,
+            fault: None,
+            batch: 16,
+            edges: vec![Edge::new(0u32, 1u64), Edge::new(2u32, 3u64)],
+        };
+        for seed in 0u64..32 {
+            let mut buf = Vec::new();
+            let written = write_corrupted_message(&mut buf, &msg, seed).unwrap();
+            assert_eq!(written as usize, buf.len());
+            match read_message(&mut &buf[..]) {
+                Err(ProtoError::Wire(_)) => {}
+                other => {
+                    panic!("seed {seed}: corrupt frame must be a typed wire error, got {other:?}")
+                }
+            }
+        }
+        // Empty payload: the flip lands in the checksum trailer.
+        let mut buf = Vec::new();
+        write_corrupted_message(&mut buf, &Message::Shutdown, 11).unwrap();
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(ProtoError::Wire(WireError::ChecksumMismatch))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocation() {
+        // A 16-byte header claiming a payload beyond the cap, with
+        // nothing behind it: if the reader tried to allocate/read it,
+        // this would be an Io error — the cap must fire first.
+        let mut header = Vec::new();
+        header.extend_from_slice(&PROTO_MAGIC);
+        header.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+        header.push(KIND_SHUTDOWN);
+        header.push(0);
+        header.extend_from_slice(&((MAX_FRAME_PAYLOAD as u64 + 1).to_le_bytes()));
+        assert!(matches!(
+            read_message(&mut &header[..]),
+            Err(ProtoError::Wire(WireError::Malformed(_)))
+        ));
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //!   Every transport must round-trip the full logical state, so any
 //!   [`ShipFormat`] yields the identical merged sketch.
 
-use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
+use std::cell::Cell;
+
+use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch, WireError};
+
+use crate::fault::SplitMix64;
 
 /// A mergeable, shippable sketch — what a reduce tree needs to know.
 ///
@@ -58,11 +62,19 @@ pub trait Composable: Sized {
     /// (`coverage_sketch::wire`, versioned + checksummed).
     fn ship_binary(&self) -> Vec<u8>;
 
-    /// Restore a binary shipment. Panics on a corrupt frame — the
-    /// decoder's typed [`WireError`](coverage_sketch::WireError) is the
-    /// recoverable path (used by the subprocess protocol); inside a
-    /// reduce tree a bad frame is a logic error.
-    fn unship_binary(bytes: &[u8]) -> Self;
+    /// Restore a binary shipment, reporting a corrupt frame as the
+    /// decoder's typed [`WireError`] — the recoverable path a transport
+    /// that detects-and-retransmits ([`FaultyTransport`]) or the
+    /// subprocess protocol builds on.
+    fn try_unship_binary(bytes: &[u8]) -> Result<Self, WireError>;
+
+    /// Restore a binary shipment. Panics on a corrupt frame — inside a
+    /// plain reduce tree a bad frame is a logic error;
+    /// [`try_unship_binary`](Self::try_unship_binary) is the recoverable
+    /// path.
+    fn unship_binary(bytes: &[u8]) -> Self {
+        Self::try_unship_binary(bytes).expect("binary frame must decode")
+    }
 }
 
 impl Composable for ThresholdSketch {
@@ -90,10 +102,8 @@ impl Composable for ThresholdSketch {
         SketchSnapshot::of(self).encode_binary()
     }
 
-    fn unship_binary(bytes: &[u8]) -> Self {
-        SketchSnapshot::decode_binary(bytes)
-            .expect("binary frame must decode")
-            .restore()
+    fn try_unship_binary(bytes: &[u8]) -> Result<Self, WireError> {
+        SketchSnapshot::decode_binary(bytes).map(|snap| snap.restore())
     }
 }
 
@@ -120,10 +130,8 @@ impl Composable for DynamicSketch {
         DynamicSnapshot::of(self).encode_binary()
     }
 
-    fn unship_binary(bytes: &[u8]) -> Self {
-        DynamicSnapshot::decode_binary(bytes)
-            .expect("binary frame must decode")
-            .restore()
+    fn try_unship_binary(bytes: &[u8]) -> Result<Self, WireError> {
+        DynamicSnapshot::decode_binary(bytes).map(|snap| snap.restore())
     }
 }
 
@@ -184,6 +192,90 @@ impl Transport for BinaryTransport {
         let frame = sketch.ship_binary();
         Shipment {
             bytes: frame.len() as u64,
+            sketch: S::unship_binary(&frame),
+        }
+    }
+}
+
+/// Lossy binary transport with deterministic, seeded frame corruption —
+/// the fault-injection counterpart of [`BinaryTransport`].
+///
+/// Each shipment encodes a binary frame and, with probability
+/// `corrupt_pct`%, flips one bit of the copy that goes "on the wire".
+/// The receiver decodes with [`Composable::try_unship_binary`]; a typed
+/// [`WireError`] (checksum/layout mismatch) counts as a *detected*
+/// corruption and triggers a retransmit of the pristine frame, so the
+/// delivered sketch is always faithful and the reduce-tree result is
+/// bit-identical to [`Loopback`]'s. [`Shipment::bytes`] accounts every
+/// transmitted frame, including the ones corruption wasted.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    rng: Cell<SplitMix64>,
+    corrupt_pct: u8,
+    detected: Cell<u64>,
+    retransmits: Cell<u64>,
+}
+
+impl FaultyTransport {
+    /// A transport that corrupts roughly `corrupt_pct`% of frames
+    /// (clamped to 100), scheduled deterministically from `seed`.
+    pub fn new(seed: u64, corrupt_pct: u8) -> Self {
+        FaultyTransport {
+            rng: Cell::new(SplitMix64::new(seed)),
+            corrupt_pct: corrupt_pct.min(100),
+            detected: Cell::new(0),
+            retransmits: Cell::new(0),
+        }
+    }
+
+    /// Corruptions detected (typed decode error) so far.
+    pub fn detected(&self) -> u64 {
+        self.detected.get()
+    }
+
+    /// Pristine retransmits performed so far (equals [`detected`](Self::detected)
+    /// unless a flipped bit slipped past the checksum, which the frame
+    /// format is designed to make vanishingly unlikely).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.get()
+    }
+
+    fn next_u64(&self) -> u64 {
+        let mut rng = self.rng.get();
+        let x = rng.next_u64();
+        self.rng.set(rng);
+        x
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn ship<S: Composable>(&self, sketch: S) -> Shipment<S> {
+        let frame = sketch.ship_binary();
+        let mut bytes = frame.len() as u64;
+        let corrupt = !frame.is_empty()
+            && self.corrupt_pct > 0
+            && (self.next_u64() % 100) < u64::from(self.corrupt_pct);
+        if corrupt {
+            let mut wire = frame.clone();
+            let r = self.next_u64();
+            let idx = (r as usize) % wire.len();
+            wire[idx] ^= 1 << ((r >> 32) % 8);
+            match S::try_unship_binary(&wire) {
+                Ok(sketch) => {
+                    // The flip happened to survive decoding (e.g. it
+                    // landed in checksummed-but-restored padding); trust
+                    // the checksum's verdict and deliver it.
+                    return Shipment { sketch, bytes };
+                }
+                Err(_) => {
+                    self.detected.set(self.detected.get() + 1);
+                    self.retransmits.set(self.retransmits.get() + 1);
+                    bytes += frame.len() as u64;
+                }
+            }
+        }
+        Shipment {
+            bytes,
             sketch: S::unship_binary(&frame),
         }
     }
@@ -452,6 +544,35 @@ mod tests {
         let (b, br) = tree_reduce_with(shards, 2, ShipFormat::Binary);
         assert_eq!(keys(&a), keys(&b));
         assert_eq!(ar.total_bytes(), br.total_bytes());
+    }
+
+    #[test]
+    fn corrupted_frames_are_detected_and_retransmitted() {
+        let (shards, single) = build_shards(6, 120);
+        // 100% corruption: every shipped frame gets one bit flipped.
+        let faulty = FaultyTransport::new(0xBAD5EED, 100);
+        let (merged, report) = tree_reduce_via(shards.clone(), 2, &faulty);
+        // The checksum catches the flip, the pristine frame is
+        // retransmitted, and the reduce result is bit-identical to an
+        // in-memory reduction.
+        assert_eq!(keys(&merged), keys(&single));
+        assert!(faulty.detected() > 0, "no corruption was ever detected");
+        assert_eq!(faulty.detected(), faulty.retransmits());
+        // Wasted retransmits show up in the byte accounting.
+        let (_, clean_report) = tree_reduce_via(shards, 2, &BinaryTransport);
+        assert!(report.total_bytes() > clean_report.total_bytes());
+    }
+
+    #[test]
+    fn faulty_transport_schedule_is_seed_deterministic() {
+        let (shards, _) = build_shards(5, 100);
+        let a = FaultyTransport::new(42, 35);
+        let b = FaultyTransport::new(42, 35);
+        let (ka, ra) = tree_reduce_via(shards.clone(), 2, &a);
+        let (kb, rb) = tree_reduce_via(shards, 2, &b);
+        assert_eq!(keys(&ka), keys(&kb));
+        assert_eq!(a.detected(), b.detected());
+        assert_eq!(ra.total_bytes(), rb.total_bytes());
     }
 
     #[test]

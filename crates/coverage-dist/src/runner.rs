@@ -15,7 +15,9 @@ use std::collections::VecDeque;
 use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::time::Instant;
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
@@ -25,10 +27,135 @@ use coverage_sketch::{
 };
 use coverage_stream::{DynamicEdgeStream, EdgeStream, SpaceReport};
 
+use crate::fault::{Fault, FaultPlan};
 use crate::parallel::{partition_edges, partition_updates};
 use crate::partition::{DynamicShardedStream, ShardedStream};
-use crate::proto::{read_message, write_message, Message};
+use crate::proto::{read_message, write_message, Message, ProtoError};
 use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
+
+/// A failure that ends a run with a typed error instead of a panic.
+///
+/// The taxonomy is deliberately small: everything a worker can do wrong
+/// (crash, hang, corrupt a frame, speak the wrong version) is *recovered*
+/// inside the dispatch loop, not surfaced here. Only two things abort a
+/// run: the environment refusing to start any worker at all, and a panic
+/// inside an in-process executor thread.
+#[derive(Debug)]
+pub enum RunError {
+    /// Not a single worker subprocess could be spawned.
+    Spawn(std::io::Error),
+    /// An in-process executor thread panicked; the message is the panic
+    /// payload when it was a string.
+    Panic(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Spawn(e) => write!(f, "no worker could be spawned: {e}"),
+            RunError::Panic(msg) => write!(f, "executor thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Spawn(e)
+    }
+}
+
+/// Render a panic payload (from `catch_unwind` / a failed scope) as a
+/// message for [`RunError::Panic`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Retry discipline for shard jobs that fail (worker crash, hang reaped
+/// by deadline, corrupt reply): bounded per-shard attempts with
+/// exponential backoff, plus a run-wide retry budget so a pathological
+/// environment degrades to inline rebuilds instead of retrying forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Dispatch attempts per shard before it is built inline (`≥ 1`).
+    pub max_attempts: usize,
+    /// Total re-dispatches across the whole run before every further
+    /// failure goes straight to inline rebuild.
+    pub budget: usize,
+    /// Backoff before the second attempt; doubles per attempt after.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            budget: 64,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to wait after `attempt` failed attempts (1-based):
+    /// `base · 2^(attempt−1)`, capped.
+    pub fn backoff_after(&self, attempt: usize) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Per-worker job deadlines. A "wheel" in spirit only: with at most a
+/// handful of workers a linear scan beats any bucketed structure, so the
+/// slots are a plain vector indexed by worker.
+struct DeadlineWheel {
+    slots: Vec<Option<Instant>>,
+}
+
+impl DeadlineWheel {
+    fn new(workers: usize) -> Self {
+        DeadlineWheel {
+            slots: vec![None; workers],
+        }
+    }
+
+    fn arm(&mut self, worker: usize, at: Instant) {
+        self.slots[worker] = Some(at);
+    }
+
+    fn disarm(&mut self, worker: usize) {
+        self.slots[worker] = None;
+    }
+
+    /// The soonest armed deadline, if any.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.slots.iter().flatten().min().copied()
+    }
+
+    /// Workers whose deadline is at or before `now`.
+    fn expired(&self, now: Instant) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(wi, t)| match t {
+                Some(at) if *at <= now => Some(wi),
+                _ => None,
+            })
+            .collect()
+    }
+}
 
 /// Configuration of a distributed k-cover run.
 #[derive(Clone, Copy, Debug)]
@@ -129,7 +256,7 @@ pub fn distributed_k_cover(stream: &(dyn EdgeStream + Sync), cfg: &DistConfig) -
 
     // Map phase: one sketch per machine, built concurrently.
     let mut locals: Vec<Option<ThresholdSketch>> = (0..cfg.machines).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for (i, slot) in locals.iter_mut().enumerate() {
             let stream_ref = stream;
             scope.spawn(move |_| {
@@ -137,8 +264,13 @@ pub fn distributed_k_cover(stream: &(dyn EdgeStream + Sync), cfg: &DistConfig) -
                 *slot = Some(ThresholdSketch::from_stream(params, cfg.seed, &shard));
             });
         }
-    })
-    .expect("machine thread panicked");
+    });
+    if scope_result.is_err() {
+        // A machine thread panicked mid-build, so `locals` may be torn.
+        // Discard it and degrade to the serial reference executor, which
+        // produces the identical family by the determinism contract.
+        return distributed_k_cover_serial(stream, cfg);
+    }
     let locals: Vec<ThresholdSketch> = locals.into_iter().map(|s| s.unwrap()).collect();
     solve_locals(locals, cfg)
 }
@@ -292,12 +424,26 @@ impl WorkerCommand {
     }
 }
 
-/// One spawned worker and its pipe endpoints.
+/// What a worker currently owes the parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Inflight {
+    /// Nothing outstanding; eligible for a job.
+    Idle,
+    /// Owes the echo of a liveness probe with this nonce.
+    Probe(u64),
+    /// Owes the reply for this shard's job.
+    Shard(usize),
+}
+
+/// One spawned worker: the child process, our write end, and the
+/// dedicated reader thread draining its stdout into the shared event
+/// channel (so a hung worker blocks its reader, never the parent).
 struct WorkerSlot {
     child: Child,
     stdin: Option<ChildStdin>,
-    stdout: BufReader<ChildStdout>,
+    reader: Option<JoinHandle<()>>,
     alive: bool,
+    inflight: Inflight,
 }
 
 impl WorkerSlot {
@@ -309,6 +455,34 @@ impl WorkerSlot {
     }
 }
 
+/// One event from a worker's reader thread: worker index plus either a
+/// decoded reply frame (with its wire size) or the typed read failure
+/// that ended the stream.
+type WorkerEvent = (usize, Result<(Message, u64), ProtoError>);
+
+/// Drain `stdout` into `tx` until the stream ends; the terminal error
+/// (including clean [`ProtoError::Eof`]) is forwarded as the thread's
+/// last event so the parent observes *why* the stream ended.
+fn spawn_reader(
+    wi: usize,
+    mut stdout: BufReader<ChildStdout>,
+    tx: Sender<WorkerEvent>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match read_message(&mut stdout) {
+            Ok(ok) => {
+                if tx.send((wi, Ok(ok))).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send((wi, Err(e)));
+                return;
+            }
+        }
+    })
+}
+
 /// Bookkeeping shared by both dispatch loops.
 struct DispatchOutcome<Snap> {
     snapshots: Vec<Snap>,
@@ -316,6 +490,9 @@ struct DispatchOutcome<Snap> {
     workers_lost: usize,
     shards_resharded: usize,
     shards_built_inline: usize,
+    deadline_reaps: usize,
+    retries: usize,
+    proto_faults: usize,
     wire_bytes: u64,
 }
 
@@ -340,8 +517,20 @@ pub struct ProcessResult {
     pub workers_lost: usize,
     /// Shard jobs re-dispatched to surviving workers after a loss.
     pub shards_resharded: usize,
-    /// Shards built inline in the parent because every worker died.
+    /// Shards built inline in the parent because every worker died or a
+    /// shard exhausted its retry allowance.
     pub shards_built_inline: usize,
+    /// Workers killed by the per-job deadline reaper (hangs and
+    /// over-deadline delays — failures EOF can never surface).
+    pub deadline_reaps: usize,
+    /// Shard jobs re-dispatched after a backoff (a subset of
+    /// `shards_resharded` timing: every retry waited out its
+    /// exponential backoff first).
+    pub retries: usize,
+    /// Typed protocol faults observed on worker pipes (corrupt frames,
+    /// version mismatches, unexpected replies) — each cost that worker
+    /// its life but never the run.
+    pub proto_faults: usize,
     /// Total pipe bytes of worker reply frames (the map→reduce
     /// shipment, in the job's [`ShipFormat`] encoding).
     pub wire_bytes: u64,
@@ -377,8 +566,15 @@ pub struct DynProcessResult {
     pub workers_lost: usize,
     /// Shard jobs re-dispatched to surviving workers after a loss.
     pub shards_resharded: usize,
-    /// Shards built inline in the parent because every worker died.
+    /// Shards built inline in the parent because every worker died or a
+    /// shard exhausted its retry allowance.
     pub shards_built_inline: usize,
+    /// Workers killed by the per-job deadline reaper.
+    pub deadline_reaps: usize,
+    /// Shard jobs re-dispatched after a backoff.
+    pub retries: usize,
+    /// Typed protocol faults observed on worker pipes.
+    pub proto_faults: usize,
     /// Total pipe bytes of worker reply frames.
     pub wire_bytes: u64,
     /// Wall-clock nanoseconds partitioning the stream.
@@ -405,15 +601,27 @@ pub struct DynProcessResult {
 ///
 /// ## Worker loss and recovery
 ///
-/// A worker that dies mid-round (crash, external kill, or the injected
-/// `fail` flag) is observed as EOF on its stdout. Its in-flight shard —
-/// and any shards still queued — are re-dispatched to the surviving
-/// workers. Because every shard job is self-contained (params + seed +
-/// edges) and `merge_from` is associative and commutative, recovery
-/// cannot change the result: the same locals are produced, only by
-/// different processes. If *every* worker dies the parent degrades to
-/// building the remaining shards inline (counted in
+/// Each worker gets a dedicated reader thread and a per-job deadline, so
+/// every way a worker can fail maps to a *typed* observation in the
+/// dispatch loop: a crash is EOF from its reader, a hang or
+/// over-deadline delay is reaped by the internal deadline wheel, a corrupt
+/// reply or version mismatch is a checksum/version error from
+/// [`read_message`]. In every case the worker is killed and its
+/// in-flight shard re-dispatched after an exponential backoff
+/// ([`RetryPolicy`]). Because every shard job is self-contained
+/// (params, seed, edges) and `merge_from` is associative and
+/// commutative, recovery cannot change the result: the same locals are
+/// produced, only by different processes. A shard that exhausts its
+/// attempts or the run-wide retry budget — or outlives every worker —
+/// is built inline in the parent (counted in
 /// [`ProcessResult::shards_built_inline`]) rather than failing the run.
+///
+/// ## Fault injection
+///
+/// A [`FaultPlan`] threads deterministic faults into the job frames
+/// ([`Self::with_fault_plan`]); each shard's planned fault is consumed
+/// on its first dispatch, so the recovery machinery above is exercised
+/// reproducibly from a seed (see `tests/chaos.rs`).
 #[derive(Clone, Debug)]
 pub struct ProcessRunner {
     cfg: DistConfig,
@@ -423,12 +631,18 @@ pub struct ProcessRunner {
     batch: usize,
     ship: ShipFormat,
     fail_shards: Vec<usize>,
+    fault_plan: FaultPlan,
+    job_timeout: Duration,
+    retry: RetryPolicy,
 }
 
 /// Update-batch size workers use (mirrors the parallel executor).
 const PROCESS_DEFAULT_BATCH: usize = 1 << 12;
 /// Reduce fan-in (mirrors the parallel executor).
 const PROCESS_DEFAULT_FAN_IN: usize = 4;
+/// Default per-job deadline — generous for real shard builds, tight
+/// enough that an operator notices a hung fleet inside a minute.
+const PROCESS_DEFAULT_JOB_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl ProcessRunner {
     /// A runner over `processes ≥ 1` workers spawned via `command`.
@@ -442,6 +656,9 @@ impl ProcessRunner {
             batch: PROCESS_DEFAULT_BATCH,
             ship: ShipFormat::Binary,
             fail_shards: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            job_timeout: PROCESS_DEFAULT_JOB_TIMEOUT,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -468,12 +685,39 @@ impl ProcessRunner {
         self
     }
 
-    /// Fault injection: the *first* dispatch of each listed shard index
-    /// carries the protocol `fail` flag, making its worker die without
-    /// replying — the simulated worker-kill the recovery tests and the
-    /// BENCH_6 gate exercise. The shard is then re-dispatched normally.
+    /// Fault injection shorthand: the *first* dispatch of each listed
+    /// shard index carries a [`Fault::Crash`], making its worker die
+    /// without replying — the simulated worker-kill the recovery tests
+    /// and the BENCH_6 gate exercise. The shard is then re-dispatched
+    /// normally. For richer schedules (hangs, delays, corrupt frames)
+    /// use [`Self::with_fault_plan`]; explicit crashes listed here
+    /// override the plan for those shards.
     pub fn with_injected_failures(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
         self.fail_shards = shards.into_iter().collect();
+        self
+    }
+
+    /// Thread a deterministic [`FaultPlan`] through the job frames: each
+    /// shard's scheduled fault is consumed on that shard's first
+    /// dispatch and executed by the worker that receives it.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the per-job deadline. A worker that has not replied
+    /// within this window is reaped (killed) and its shard re-dispatched
+    /// — the only detector that catches a *hung* worker.
+    pub fn with_job_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "job timeout must be positive");
+        self.job_timeout = timeout;
+        self
+    }
+
+    /// Override the retry/backoff discipline for failed shard jobs.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts >= 1, "need at least one attempt");
+        self.retry = retry;
         self
     }
 
@@ -487,22 +731,29 @@ impl ProcessRunner {
 
     /// Spawn workers and drive every shard job to a snapshot.
     ///
-    /// Lock-step rounds — at most one outstanding job per worker — so
-    /// parent and worker can never deadlock on full pipe buffers. A
-    /// failed write or read marks the worker dead and requeues its
-    /// shard; leftover shards after total worker loss are built inline
-    /// via `inline`.
+    /// Event-driven dispatch: each worker's stdout is drained by a
+    /// dedicated reader thread into one shared channel, and every
+    /// outstanding job (or liveness probe) is armed on the
+    /// [`DeadlineWheel`]. The loop waits for whichever comes first — a
+    /// reply, a deadline expiry, or a backoff maturing — so a hung
+    /// worker can never block the parent. At most one job is outstanding
+    /// per worker, so pipe buffers cannot deadlock. A failed shard
+    /// (crash, reaped hang, corrupt reply) is re-dispatched after an
+    /// exponential backoff until its [`RetryPolicy`] allowance runs out,
+    /// at which point — like any shard that outlives every worker — it
+    /// is built inline via `inline`.
     fn dispatch<Snap>(
         &self,
         n_shards: usize,
-        make_job: impl Fn(usize, bool) -> Message,
+        make_job: impl Fn(usize, Option<Fault>) -> Message,
         extract: impl Fn(Message) -> Option<Snap>,
         inline: impl Fn(usize) -> Snap,
-    ) -> std::io::Result<DispatchOutcome<Snap>> {
+    ) -> Result<DispatchOutcome<Snap>, RunError> {
         let want = self.processes.min(n_shards).max(1);
+        let (tx, rx) = channel::<WorkerEvent>();
         let mut slots: Vec<WorkerSlot> = Vec::with_capacity(want);
         let mut spawn_err: Option<std::io::Error> = None;
-        for _ in 0..want {
+        for wi in 0..want {
             match self.command.spawn() {
                 Ok(mut child) => {
                     let stdin = child.stdin.take().expect("worker stdin is piped");
@@ -510,86 +761,246 @@ impl ProcessRunner {
                     slots.push(WorkerSlot {
                         child,
                         stdin: Some(stdin),
-                        stdout: BufReader::new(stdout),
+                        reader: Some(spawn_reader(wi, BufReader::new(stdout), tx.clone())),
                         alive: true,
+                        inflight: Inflight::Idle,
                     });
                 }
                 Err(e) => spawn_err = Some(e),
             }
         }
+        // The readers hold the only remaining senders, so `rx` reports
+        // Disconnected exactly when every worker's stream has ended.
+        drop(tx);
         if slots.is_empty() {
-            return Err(
-                spawn_err.unwrap_or_else(|| std::io::Error::other("no worker could be spawned"))
-            );
+            return Err(RunError::Spawn(spawn_err.unwrap_or_else(|| {
+                std::io::Error::other("no worker could be spawned")
+            })));
         }
         let workers_spawned = slots.len();
+        let mut wheel = DeadlineWheel::new(slots.len());
 
-        let mut pending_failures = self.fail_shards.clone();
+        let mut faults = self.fault_plan.schedule(n_shards);
+        for &s in &self.fail_shards {
+            if s < n_shards {
+                faults[s] = Some(Fault::Crash);
+            }
+        }
+
+        let started = Instant::now();
         let mut queue: VecDeque<usize> = (0..n_shards).collect();
+        let mut ready_at: Vec<Instant> = vec![started; n_shards];
+        let mut attempts: Vec<usize> = vec![0; n_shards];
         let mut snapshots: Vec<Option<Snap>> = (0..n_shards).map(|_| None).collect();
+        let mut resolved = 0usize;
+        let mut retries_spent = 0usize;
         let mut workers_lost = 0usize;
         let mut shards_resharded = 0usize;
+        let mut shards_built_inline = 0usize;
+        let mut deadline_reaps = 0usize;
+        let mut retries = 0usize;
+        let mut proto_faults = 0usize;
         let mut wire_bytes = 0u64;
 
-        while !queue.is_empty() && slots.iter().any(|s| s.alive) {
-            // Assign phase: one job per alive worker.
-            let mut inflight: Vec<(usize, usize)> = Vec::new();
-            for (wi, slot) in slots.iter_mut().enumerate() {
-                if !slot.alive {
-                    continue;
+        // Kill a worker and stop tracking its deadline. Its reader
+        // thread drains to EOF on its own; any event it already queued
+        // is discarded later by the `alive` check.
+        macro_rules! reap_worker {
+            ($wi:expr) => {{
+                let wi = $wi;
+                slots[wi].mark_dead();
+                let _ = slots[wi].child.kill();
+                wheel.disarm(wi);
+                workers_lost += 1;
+            }};
+        }
+
+        // A shard's dispatch failed: retry it after a backoff, or build
+        // it inline once its attempts or the run-wide budget run out.
+        macro_rules! fail_shard {
+            ($shard:expr) => {{
+                let shard = $shard;
+                attempts[shard] += 1;
+                retries_spent += 1;
+                if attempts[shard] >= self.retry.max_attempts || retries_spent > self.retry.budget {
+                    snapshots[shard] = Some(inline(shard));
+                    shards_built_inline += 1;
+                    resolved += 1;
+                } else {
+                    retries += 1;
+                    shards_resharded += 1;
+                    ready_at[shard] = Instant::now() + self.retry.backoff_after(attempts[shard]);
+                    queue.push_front(shard);
                 }
-                let Some(shard) = queue.pop_front() else {
+            }};
+        }
+
+        // Handshake: probe every worker before trusting it with a
+        // shard. A live, version-compatible worker echoes the nonce; an
+        // old-version or broken one surfaces as a typed error or EOF
+        // and is reaped before it can eat a job.
+        for wi in 0..slots.len() {
+            let nonce = 0x5052_4F42_0000_0000 | wi as u64;
+            let stdin = slots[wi].stdin.as_mut().expect("alive worker has stdin");
+            match write_message(stdin, &Message::Heartbeat { nonce }) {
+                Ok(_) => {
+                    slots[wi].inflight = Inflight::Probe(nonce);
+                    wheel.arm(wi, started + self.job_timeout);
+                }
+                Err(_) => reap_worker!(wi),
+            }
+        }
+
+        while resolved < n_shards {
+            if !slots.iter().any(|s| s.alive) {
+                break; // Total worker loss: the tail below builds inline.
+            }
+
+            // Assign phase: every idle worker takes the next shard whose
+            // backoff has matured.
+            loop {
+                let now = Instant::now();
+                let Some(wi) = slots
+                    .iter()
+                    .position(|s| s.alive && s.inflight == Inflight::Idle)
+                else {
                     break;
                 };
-                let fail = pending_failures
-                    .iter()
-                    .position(|&s| s == shard)
-                    .map(|at| {
-                        pending_failures.swap_remove(at);
-                    })
-                    .is_some();
-                let job = make_job(shard, fail);
-                match write_message(slot.stdin.as_mut().expect("alive worker has stdin"), &job) {
-                    Ok(_) => inflight.push((wi, shard)),
-                    Err(_) => {
-                        slot.mark_dead();
-                        workers_lost += 1;
-                        shards_resharded += 1;
-                        queue.push_front(shard);
-                    }
-                }
-            }
-            // Collect phase: one reply per dispatched job, in order.
-            for (wi, shard) in inflight {
-                let slot = &mut slots[wi];
-                let recovered = match read_message(&mut slot.stdout) {
-                    Ok((msg, bytes)) => extract(msg).map(|snap| (snap, bytes)),
-                    Err(_) => None,
+                let Some(pos) = queue.iter().position(|&s| ready_at[s] <= now) else {
+                    break;
                 };
-                match recovered {
-                    Some((snap, bytes)) => {
-                        wire_bytes += bytes;
-                        snapshots[shard] = Some(snap);
+                let shard = queue.remove(pos).expect("position is in range");
+                let fault = faults[shard].take();
+                let job = make_job(shard, fault);
+                let stdin = slots[wi].stdin.as_mut().expect("alive worker has stdin");
+                match write_message(stdin, &job) {
+                    Ok(_) => {
+                        slots[wi].inflight = Inflight::Shard(shard);
+                        wheel.arm(wi, now + self.job_timeout);
                     }
-                    None => {
-                        slot.mark_dead();
-                        workers_lost += 1;
+                    Err(_) => {
+                        reap_worker!(wi);
                         shards_resharded += 1;
                         queue.push_front(shard);
                     }
                 }
             }
+
+            // Wait phase: the next reply, deadline expiry, or backoff
+            // maturing — whichever comes first.
+            let now = Instant::now();
+            let mut wake = wheel.next_deadline();
+            if slots
+                .iter()
+                .any(|s| s.alive && s.inflight == Inflight::Idle)
+            {
+                if let Some(t) = queue.iter().map(|&s| ready_at[s]).min() {
+                    wake = Some(wake.map_or(t, |w| w.min(t)));
+                }
+            }
+            let Some(wake) = wake else {
+                // Nothing inflight and nothing queued for an idle worker
+                // while shards remain: every survivor is idle and the
+                // queue is empty, which cannot happen — but degrade to
+                // inline rather than loop.
+                break;
+            };
+
+            match rx.recv_timeout(wake.saturating_duration_since(now)) {
+                Ok((wi, event)) => {
+                    if !slots[wi].alive {
+                        // A stale event from a worker reaped earlier
+                        // (its shard was already requeued or resolved).
+                        continue;
+                    }
+                    let state = std::mem::replace(&mut slots[wi].inflight, Inflight::Idle);
+                    wheel.disarm(wi);
+                    match event {
+                        Ok((msg, bytes)) => match (state, msg) {
+                            (Inflight::Probe(expect), Message::Heartbeat { nonce })
+                                if nonce == expect =>
+                            {
+                                // Live and version-compatible; now
+                                // eligible for jobs.
+                            }
+                            (Inflight::Shard(shard), msg) => match extract(msg) {
+                                Some(snap) => {
+                                    snapshots[shard] = Some(snap);
+                                    resolved += 1;
+                                    wire_bytes += bytes;
+                                }
+                                None => {
+                                    // Decoded frame, wrong species of
+                                    // reply: a protocol violation.
+                                    proto_faults += 1;
+                                    reap_worker!(wi);
+                                    fail_shard!(shard);
+                                }
+                            },
+                            _ => {
+                                // Unsolicited or mismatched frame.
+                                proto_faults += 1;
+                                reap_worker!(wi);
+                            }
+                        },
+                        Err(e) => {
+                            if matches!(e, ProtoError::Wire(_)) {
+                                // Corrupt frame or version mismatch —
+                                // typed, counted, recovered.
+                                proto_faults += 1;
+                            }
+                            reap_worker!(wi);
+                            if let Inflight::Shard(shard) = state {
+                                fail_shard!(shard);
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for wi in wheel.expired(now) {
+                        if !slots[wi].alive {
+                            continue;
+                        }
+                        // The deadline reaper: the only detector that
+                        // catches a hung (or over-deadline) worker.
+                        deadline_reaps += 1;
+                        let state = slots[wi].inflight;
+                        reap_worker!(wi);
+                        if let Inflight::Shard(shard) = state {
+                            fail_shard!(shard);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every reader exited: no worker can ever reply.
+                    for wi in 0..slots.len() {
+                        if !slots[wi].alive {
+                            continue;
+                        }
+                        let state = slots[wi].inflight;
+                        reap_worker!(wi);
+                        if let Inflight::Shard(shard) = state {
+                            fail_shard!(shard);
+                        }
+                    }
+                }
+            }
         }
 
-        // Every worker died with work left: degrade to inline builds so
-        // the run still completes (the counters expose the degradation).
-        let mut shards_built_inline = 0usize;
-        while let Some(shard) = queue.pop_front() {
-            snapshots[shard] = Some(inline(shard));
-            shards_built_inline += 1;
+        // Unresolved shards — total worker loss or exhausted budgets —
+        // degrade to inline builds so the run still completes (the
+        // counters expose the degradation).
+        for (shard, snap) in snapshots.iter_mut().enumerate() {
+            if snap.is_none() {
+                *snap = Some(inline(shard));
+                shards_built_inline += 1;
+            }
         }
 
-        // Wind down: polite shutdown for survivors, reap everything.
+        // Wind down: polite shutdown for survivors, reap everything,
+        // then join the readers (killing the children EOFs their
+        // streams, so every reader exits promptly).
         for slot in &mut slots {
             if slot.alive {
                 if let Some(stdin) = slot.stdin.as_mut() {
@@ -599,6 +1010,12 @@ impl ProcessRunner {
             slot.stdin = None;
             let _ = slot.child.kill();
             let _ = slot.child.wait();
+        }
+        drop(rx);
+        for slot in &mut slots {
+            if let Some(reader) = slot.reader.take() {
+                let _ = reader.join();
+            }
         }
 
         Ok(DispatchOutcome {
@@ -610,6 +1027,9 @@ impl ProcessRunner {
             workers_lost,
             shards_resharded,
             shards_built_inline,
+            deadline_reaps,
+            retries,
+            proto_faults,
             wire_bytes,
         })
     }
@@ -618,7 +1038,7 @@ impl ProcessRunner {
     ///
     /// Returns `Err` only when not a single worker could be spawned;
     /// worker loss after that is recovered per the type-level docs.
-    pub fn run(&self, stream: &dyn EdgeStream) -> std::io::Result<ProcessResult> {
+    pub fn run(&self, stream: &dyn EdgeStream) -> Result<ProcessResult, RunError> {
         let cfg = &self.cfg;
         let params = cfg.sketch_params(stream.num_sets());
         let ship = self.pipe_format();
@@ -630,11 +1050,11 @@ impl ProcessRunner {
         let t1 = Instant::now();
         let outcome = self.dispatch(
             shards.len(),
-            |shard, fail| Message::JobSketch {
+            |shard, fault| Message::JobSketch {
                 params,
                 seed: cfg.seed,
                 ship,
-                fail,
+                fault,
                 batch: self.batch,
                 edges: shards[shard].clone(),
             },
@@ -668,6 +1088,9 @@ impl ProcessRunner {
             workers_lost: outcome.workers_lost,
             shards_resharded: outcome.shards_resharded,
             shards_built_inline: outcome.shards_built_inline,
+            deadline_reaps: outcome.deadline_reaps,
+            retries: outcome.retries,
+            proto_faults: outcome.proto_faults,
             wire_bytes: outcome.wire_bytes,
             partition_ns,
             map_ns,
@@ -682,7 +1105,10 @@ impl ProcessRunner {
     ///
     /// Panics if no subsampling level of the merged sketch decodes (the
     /// sketch was sized with too few levels for the surviving edges).
-    pub fn run_dynamic(&self, stream: &dyn DynamicEdgeStream) -> std::io::Result<DynProcessResult> {
+    pub fn run_dynamic(
+        &self,
+        stream: &dyn DynamicEdgeStream,
+    ) -> Result<DynProcessResult, RunError> {
         let cfg = &self.cfg;
         let params = cfg.dynamic_sketch_params(stream.num_sets());
         let ship = self.pipe_format();
@@ -694,11 +1120,11 @@ impl ProcessRunner {
         let t1 = Instant::now();
         let outcome = self.dispatch(
             shards.len(),
-            |shard, fail| Message::JobDynamic {
+            |shard, fault| Message::JobDynamic {
                 params,
                 seed: cfg.seed,
                 ship,
-                fail,
+                fault,
                 batch: self.batch,
                 updates: shards[shard].clone(),
             },
@@ -733,6 +1159,9 @@ impl ProcessRunner {
             workers_lost: outcome.workers_lost,
             shards_resharded: outcome.shards_resharded,
             shards_built_inline: outcome.shards_built_inline,
+            deadline_reaps: outcome.deadline_reaps,
+            retries: outcome.retries,
+            proto_faults: outcome.proto_faults,
             wire_bytes: outcome.wire_bytes,
             partition_ns,
             map_ns,
@@ -842,6 +1271,56 @@ mod tests {
                 "dynamic result must not depend on machine count"
             );
         }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(retry.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(retry.backoff_after(3), Duration::from_millis(40));
+        assert_eq!(retry.backoff_after(20), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn deadline_wheel_tracks_the_soonest_deadline() {
+        let mut wheel = DeadlineWheel::new(3);
+        let now = Instant::now();
+        assert_eq!(wheel.next_deadline(), None);
+        assert!(wheel.expired(now).is_empty());
+        wheel.arm(0, now + Duration::from_secs(5));
+        wheel.arm(2, now + Duration::from_secs(1));
+        assert_eq!(wheel.next_deadline(), Some(now + Duration::from_secs(1)));
+        assert_eq!(wheel.expired(now + Duration::from_secs(2)), vec![2]);
+        wheel.disarm(2);
+        assert_eq!(wheel.next_deadline(), Some(now + Duration::from_secs(5)));
+        assert_eq!(
+            wheel.expired(now + Duration::from_secs(10)),
+            vec![0],
+            "disarmed slots never expire"
+        );
+    }
+
+    #[test]
+    fn run_error_is_typed_and_displayable() {
+        let spawn = RunError::from(std::io::Error::other("nope"));
+        assert!(matches!(spawn, RunError::Spawn(_)));
+        assert!(spawn.to_string().contains("nope"));
+        let panic = RunError::Panic(panic_message(Box::new("boom".to_string())));
+        assert!(panic.to_string().contains("boom"));
+        assert_eq!(panic_message(Box::new(17u32)), "non-string panic payload");
+    }
+
+    #[test]
+    fn threaded_simulation_survives_a_machine_panic() {
+        // The crossbeam shim converts a panicking scope into Err, which
+        // distributed_k_cover must turn into a serial rebuild — never an
+        // abort. Simulate by driving the shim directly the way the
+        // executor does.
+        let result = crossbeam::scope(|scope| {
+            scope.spawn(|_| panic!("machine down"));
+        });
+        assert!(result.is_err(), "the shim must capture scoped panics");
     }
 
     #[test]

@@ -8,16 +8,54 @@
 //! cross-job state: determinism lives entirely in the job (params +
 //! seed + shard), exactly as for the in-process executors.
 //!
-//! Fault injection: a job with `fail = true` makes the worker exit its
-//! loop without replying. Over a real pipe the parent sees EOF — the
-//! same observable as a crashed or killed worker — which triggers the
-//! re-shard recovery path in [`ProcessRunner`](crate::ProcessRunner).
+//! Fault injection: a job may carry a [`Fault`] the worker executes
+//! faithfully — [`Fault::Crash`] exits the loop without replying (the
+//! parent sees EOF, the same observable as a crashed or killed worker),
+//! [`Fault::Hang`] stalls forever (only the parent's deadline reaper
+//! can detect it), [`Fault::Delay`] sleeps before replying normally,
+//! and [`Fault::CorruptReply`] flips one bit of the reply frame (the
+//! parent's checksum catches it as a typed error). Each triggers the
+//! matching detection/recovery path in
+//! [`ProcessRunner`](crate::ProcessRunner). A [`Message::Heartbeat`] is
+//! echoed back verbatim — the parent's liveness/version probe.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 
 use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
 
-use crate::proto::{read_message, write_message, Message, ProtoError};
+use crate::fault::Fault;
+use crate::proto::{read_message, write_corrupted_message, write_message, Message, ProtoError};
+
+/// Execute a job's pre-reply fault, if any. Returns `false` when the
+/// worker must die silently (crash), `true` when it should proceed to
+/// reply (possibly after a delay). [`Fault::Hang`] never returns.
+fn pre_reply_fault(fault: &Option<Fault>) -> bool {
+    match fault {
+        Some(Fault::Crash) => false,
+        Some(Fault::Hang) => loop {
+            // Stall forever: the parent's deadline reaper kills us.
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+        Some(Fault::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            true
+        }
+        Some(Fault::CorruptReply) | None => true,
+    }
+}
+
+/// Write `reply`, honoring a [`Fault::CorruptReply`] injection.
+fn write_reply(
+    output: &mut impl Write,
+    reply: &Message,
+    fault: &Option<Fault>,
+    seed: u64,
+) -> Result<u64, ProtoError> {
+    match fault {
+        Some(Fault::CorruptReply) => write_corrupted_message(output, reply, seed),
+        _ => write_message(output, reply),
+    }
+}
 
 /// Serve framed jobs from `input` until EOF, shutdown, or an injected
 /// failure. Every job produces exactly one in-order reply on `output`.
@@ -37,11 +75,11 @@ pub fn worker_loop(input: &mut impl Read, output: &mut impl Write) -> Result<(),
                 params,
                 seed,
                 ship,
-                fail,
+                fault,
                 batch,
                 edges,
             } => {
-                if fail {
+                if !pre_reply_fault(&fault) {
                     // Injected death: leave without replying. The parent
                     // observes EOF on our stdout, indistinguishable from
                     // a crash.
@@ -51,36 +89,37 @@ pub fn worker_loop(input: &mut impl Read, output: &mut impl Write) -> Result<(),
                 for chunk in edges.chunks(batch.max(1)) {
                     sketch.update_batch(chunk);
                 }
-                write_message(
-                    output,
-                    &Message::ReplySketch {
-                        snapshot: SketchSnapshot::of(&sketch),
-                        ship,
-                    },
-                )?;
+                let reply = Message::ReplySketch {
+                    snapshot: SketchSnapshot::of(&sketch),
+                    ship,
+                };
+                write_reply(output, &reply, &fault, seed)?;
             }
             Message::JobDynamic {
                 params,
                 seed,
                 ship,
-                fail,
+                fault,
                 batch,
                 updates,
             } => {
-                if fail {
+                if !pre_reply_fault(&fault) {
                     return Ok(());
                 }
                 let mut sketch = DynamicSketch::new(params, seed);
                 for chunk in updates.chunks(batch.max(1)) {
                     sketch.update_batch(chunk);
                 }
-                write_message(
-                    output,
-                    &Message::ReplyDynamic {
-                        snapshot: DynamicSnapshot::of(&sketch),
-                        ship,
-                    },
-                )?;
+                let reply = Message::ReplyDynamic {
+                    snapshot: DynamicSnapshot::of(&sketch),
+                    ship,
+                };
+                write_reply(output, &reply, &fault, seed)?;
+            }
+            Message::Heartbeat { nonce } => {
+                // Liveness/version probe: echo the nonce verbatim so the
+                // parent can match reply to probe.
+                write_message(output, &Message::Heartbeat { nonce })?;
             }
             Message::Shutdown => return Ok(()),
             Message::ReplySketch { .. } | Message::ReplyDynamic { .. } => {
@@ -133,7 +172,7 @@ mod tests {
                 params,
                 seed: 33,
                 ship: ShipFormat::Binary,
-                fail: false,
+                fault: None,
                 batch: 128,
                 edges: edges.clone(),
             },
@@ -162,7 +201,7 @@ mod tests {
                     params,
                     seed,
                     ship: ShipFormat::Binary,
-                    fail: false,
+                    fault: None,
                     batch: 64,
                     edges: shard_edges(100),
                 },
@@ -194,7 +233,7 @@ mod tests {
                 params,
                 seed: 1,
                 ship: ShipFormat::Binary,
-                fail: true,
+                fault: Some(Fault::Crash),
                 batch: 64,
                 edges: shard_edges(50),
             },
@@ -207,7 +246,7 @@ mod tests {
                 params,
                 seed: 2,
                 ship: ShipFormat::Binary,
-                fail: false,
+                fault: None,
                 batch: 64,
                 edges: shard_edges(50),
             },
@@ -238,7 +277,7 @@ mod tests {
                 params,
                 seed: 19,
                 ship: ShipFormat::Json,
-                fail: false,
+                fault: None,
                 batch: 77,
                 updates: updates.clone(),
             },
@@ -263,6 +302,92 @@ mod tests {
         write_message(&mut jobs, &Message::Shutdown).unwrap();
         let mut replies = Vec::new();
         worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn delayed_job_still_replies_identically() {
+        let params = SketchParams::with_budget(3, 1, 0.5, 60);
+        let edges = shard_edges(80);
+        let replies = |fault| {
+            let mut jobs = Vec::new();
+            write_message(
+                &mut jobs,
+                &Message::JobSketch {
+                    params,
+                    seed: 4,
+                    ship: ShipFormat::Binary,
+                    fault,
+                    batch: 32,
+                    edges: edges.clone(),
+                },
+            )
+            .unwrap();
+            let mut out = Vec::new();
+            worker_loop(&mut &jobs[..], &mut out).unwrap();
+            out
+        };
+        // A short delay changes the timing, never the bytes.
+        assert_eq!(replies(Some(Fault::Delay(5))), replies(None));
+    }
+
+    #[test]
+    fn corrupt_reply_fails_the_parent_checksum() {
+        let params = SketchParams::with_budget(3, 1, 0.5, 60);
+        let mut jobs = Vec::new();
+        write_message(
+            &mut jobs,
+            &Message::JobSketch {
+                params,
+                seed: 21,
+                ship: ShipFormat::Binary,
+                fault: Some(Fault::CorruptReply),
+                batch: 32,
+                edges: shard_edges(120),
+            },
+        )
+        .unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        assert!(!replies.is_empty(), "corrupt replies still travel");
+        assert!(
+            matches!(read_message(&mut &replies[..]), Err(ProtoError::Wire(_))),
+            "a corrupted reply must be a typed wire error on the parent side"
+        );
+    }
+
+    #[test]
+    fn heartbeat_is_echoed_verbatim() {
+        let mut jobs = Vec::new();
+        write_message(&mut jobs, &Message::Heartbeat { nonce: 77 }).unwrap();
+        write_message(&mut jobs, &Message::Heartbeat { nonce: u64::MAX }).unwrap();
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let mut cursor = &replies[..];
+        for expect in [77u64, u64::MAX] {
+            match read_message(&mut cursor).unwrap().0 {
+                Message::Heartbeat { nonce } => assert_eq!(nonce, expect),
+                other => panic!("wrong reply: {other:?}"),
+            }
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn old_version_frame_is_a_typed_error_not_a_hang() {
+        // A version-1 frame (the version field is validated before the
+        // checksum, so patching the bytes is enough to simulate an old
+        // peer).
+        let mut jobs = Vec::new();
+        write_message(&mut jobs, &Message::Heartbeat { nonce: 1 }).unwrap();
+        jobs[4] = 1;
+        jobs[5] = 0;
+        let mut replies = Vec::new();
+        let err = worker_loop(&mut &jobs[..], &mut replies).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtoError::Wire(coverage_sketch::WireError::UnsupportedVersion { found: 1 })
+        ));
         assert!(replies.is_empty());
     }
 }

@@ -16,8 +16,49 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 
-use crate::engine::{ServeConfig, ServeEngine, ServeError, ServeStats};
+use crate::engine::{QueryHandle, ServeConfig, ServeEngine, ServeError, ServeStats};
 use crate::proto::{read_request, write_reply, ProtoError, Reply, Request};
+
+/// Journal restarts a single session will attempt before giving up on
+/// an engine that keeps dying (e.g. a persistent injected fault).
+const MAX_RECOVERIES: u32 = 8;
+
+/// If the engine degraded and the config allows it, replace the dead
+/// engine with a journal-replay restart pinned to the last published
+/// epoch ([`ServeEngine::recover_from_journal`]). Returns whether a
+/// recovery happened (the caller retries its operation once).
+fn try_recover(
+    engine: &mut ServeEngine,
+    queries: &mut QueryHandle,
+    config: &ServeConfig,
+    recoveries: &mut u32,
+) -> bool {
+    if !config.auto_recover || *recoveries >= MAX_RECOVERIES {
+        return false;
+    }
+    // The dying ingest thread drops its queue receiver while unwinding,
+    // so a submit/flush can observe `Closed` a beat before the degraded
+    // flag lands; grant the unwind a bounded grace period.
+    let mut waited = 0u32;
+    while !engine.is_degraded() && waited < 2000 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        waited += 1;
+    }
+    if !engine.is_degraded() {
+        return false;
+    }
+    *recoveries += 1;
+    let journal = engine.journal_snapshot();
+    let epoch = engine.stats().epoch;
+    let recovered = ServeEngine::recover_from_journal(config.clone(), journal, epoch);
+    *queries = recovered.query_handle();
+    drop(std::mem::replace(engine, recovered));
+    true
+}
+
+/// Consecutive malformed frames tolerated before the daemon gives up
+/// on a stream it can no longer resynchronize with.
+const MAX_CONSECUTIVE_BAD_FRAMES: u32 = 8;
 
 /// Serve framed requests from `input` until shutdown or client hangup;
 /// replies go to `output` in request order. Returns the final stats
@@ -27,28 +68,64 @@ pub fn serve_loop(
     output: &mut impl Write,
     config: ServeConfig,
 ) -> Result<ServeStats, ProtoError> {
-    let engine = ServeEngine::start(config);
+    let mut engine = ServeEngine::start(config.clone());
     let mut queries = engine.query_handle();
+    let mut bad_frames = 0u32;
+    let mut recoveries = 0u32;
     let shutdown_id = loop {
         let request = match read_request(input) {
-            Ok((request, _)) => request,
+            Ok((request, _)) => {
+                bad_frames = 0;
+                request
+            }
             Err(ProtoError::Eof) => break None,
+            // A corrupt, oversized, or malformed frame is the client's
+            // fault, not a daemon-fatal condition: answer a typed error
+            // (id 0 — the frame never yielded one) and keep serving.
+            // Checksum failures consume the whole bad frame, so the
+            // stream stays in sync; a run of undecodable frames means
+            // we lost framing and the stream is abandoned.
+            Err(ProtoError::Wire(e)) => {
+                bad_frames += 1;
+                write_reply(
+                    output,
+                    &Reply::Error {
+                        id: 0,
+                        message: format!("bad frame: {e}"),
+                    },
+                )?;
+                if bad_frames >= MAX_CONSECUTIVE_BAD_FRAMES {
+                    return Err(ProtoError::Wire(e));
+                }
+                continue;
+            }
             Err(e) => return Err(e),
         };
         match request {
-            Request::Update { id, updates } => match engine.submit(updates) {
-                Ok(()) => {}
-                Err(ServeError::DeleteInInsertOnly) => {
-                    write_reply(
-                        output,
-                        &Reply::Error {
-                            id,
-                            message: ServeError::DeleteInInsertOnly.to_string(),
-                        },
-                    )?;
+            Request::Update { id, updates } => {
+                let backup = config.auto_recover.then(|| updates.clone());
+                match engine.submit(updates) {
+                    Ok(()) => {}
+                    Err(ServeError::DeleteInInsertOnly) => {
+                        write_reply(
+                            output,
+                            &Reply::Error {
+                                id,
+                                message: ServeError::DeleteInInsertOnly.to_string(),
+                            },
+                        )?;
+                    }
+                    Err(e) => {
+                        if try_recover(&mut engine, &mut queries, &config, &mut recoveries) {
+                            engine
+                                .submit(backup.expect("auto_recover keeps a batch copy"))
+                                .map_err(ProtoError::from)?;
+                        } else {
+                            return Err(e.into());
+                        }
+                    }
                 }
-                Err(e) => return Err(e.into()),
-            },
+            }
             Request::Query { id, k } => {
                 let answer = queries.query(k);
                 write_reply(output, &Reply::Query { id, answer })?;
@@ -63,7 +140,16 @@ pub fn serve_loop(
                 )?;
             }
             Request::Flush { id } => {
-                let epoch = engine.flush()?;
+                let epoch = match engine.flush() {
+                    Ok(epoch) => epoch,
+                    Err(e) => {
+                        if try_recover(&mut engine, &mut queries, &config, &mut recoveries) {
+                            engine.flush().map_err(ProtoError::from)?
+                        } else {
+                            return Err(e.into());
+                        }
+                    }
+                };
                 let updates_applied = engine.stats().published_updates;
                 write_reply(
                     output,
@@ -75,7 +161,16 @@ pub fn serve_loop(
                 )?;
             }
             Request::Snapshot { id } => {
-                let (epoch, frames) = engine.ship_snapshots()?;
+                let (epoch, frames) = match engine.ship_snapshots() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        if try_recover(&mut engine, &mut queries, &config, &mut recoveries) {
+                            engine.ship_snapshots().map_err(ProtoError::from)?
+                        } else {
+                            return Err(e.into());
+                        }
+                    }
+                };
                 write_reply(output, &Reply::Snapshot { id, epoch, frames })?;
             }
             Request::Shutdown { id } => break Some(id),
@@ -137,12 +232,16 @@ mod tests {
     }
 
     fn drive(requests: &[Request]) -> (Vec<Reply>, ServeStats) {
+        drive_with(cfg(), requests)
+    }
+
+    fn drive_with(config: ServeConfig, requests: &[Request]) -> (Vec<Reply>, ServeStats) {
         let mut pipe_in = Vec::new();
         for r in requests {
             crate::proto::write_request(&mut pipe_in, r).unwrap();
         }
         let mut pipe_out = Vec::new();
-        let stats = serve_loop(&mut &pipe_in[..], &mut pipe_out, cfg()).unwrap();
+        let stats = serve_loop(&mut &pipe_in[..], &mut pipe_out, config).unwrap();
         let mut replies = Vec::new();
         let mut cursor = &pipe_out[..];
         loop {
@@ -234,6 +333,72 @@ mod tests {
         }
         assert!(matches!(&replies[1], Reply::Query { id: 9, .. }));
         assert_eq!(stats.updates_applied, 50, "rejected batch never applied");
+    }
+
+    #[test]
+    fn injected_ingest_crash_recovers_from_journal_and_keeps_serving() {
+        // The first batch of 120 crashes the ingest thread (injected
+        // after 100 applied updates, checked post-batch, so all 120 are
+        // journaled). The next flush observes the dead engine, replays
+        // the journal, and serving continues as if nothing happened.
+        let config = cfg().with_ingest_panic_after(100).with_auto_recover(true);
+        let (replies, stats) = drive_with(
+            config,
+            &[
+                Request::Update {
+                    id: 1,
+                    updates: inserts(0..120),
+                },
+                Request::Flush { id: 2 },
+                Request::Update {
+                    id: 3,
+                    updates: inserts(120..150),
+                },
+                Request::Flush { id: 4 },
+                Request::Query { id: 5, k: 2 },
+                Request::Shutdown { id: 6 },
+            ],
+        );
+        assert_eq!(replies.len(), 4, "updates succeed silently");
+        match &replies[0] {
+            Reply::Flush {
+                id,
+                updates_applied,
+                ..
+            } => {
+                assert_eq!(*id, 2);
+                assert_eq!(
+                    *updates_applied, 120,
+                    "journal replay covers the crash batch"
+                );
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match &replies[1] {
+            Reply::Flush {
+                id,
+                updates_applied,
+                ..
+            } => {
+                assert_eq!(*id, 4);
+                assert_eq!(*updates_applied, 150);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match &replies[2] {
+            Reply::Query { id, answer } => {
+                assert_eq!(*id, 5);
+                assert_eq!(answer.updates_applied, 150);
+                assert!(!answer.family.is_empty());
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert!(matches!(&replies[3], Reply::Stats { id: 6, .. }));
+        assert_eq!(stats.updates_applied, 150);
+        assert!(
+            !stats.degraded,
+            "the recovered engine serves at full fidelity"
+        );
     }
 
     #[test]

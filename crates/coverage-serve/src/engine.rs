@@ -33,9 +33,11 @@
 //! [`SketchBank`]: coverage_sketch::SketchBank
 //! [`DynamicSketch`]: coverage_sketch::DynamicSketch
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use coverage_core::offline::bucket_greedy_k_cover;
 use coverage_core::SetId;
@@ -82,6 +84,15 @@ pub struct ServeConfig {
     /// consistency oracle ([`replay prefix`](LiveStore::apply) →
     /// [`EpochSnapshot::content_eq`]); off by default for serving.
     pub journal: bool,
+    /// Test-only fault injection: panic the ingest thread after this
+    /// many applied updates (the panic fires *after* the update is
+    /// journaled, so recovery replay is exact). `None` (the default)
+    /// injects nothing.
+    pub ingest_panic_after: Option<u64>,
+    /// Let the daemon loop restart a degraded engine from its journal
+    /// ([`ServeEngine::recover_from_journal`]) instead of failing the
+    /// session. Requires [`journal`](Self::journal); off by default.
+    pub auto_recover: bool,
 }
 
 impl ServeConfig {
@@ -93,6 +104,8 @@ impl ServeConfig {
             publish_every: 65_536,
             queue_batches: 16,
             journal: false,
+            ingest_panic_after: None,
+            auto_recover: false,
         }
     }
 
@@ -119,6 +132,8 @@ impl ServeConfig {
             publish_every: 65_536,
             queue_batches: 16,
             journal: false,
+            ingest_panic_after: None,
+            auto_recover: false,
         }
     }
 
@@ -137,6 +152,26 @@ impl ServeConfig {
     /// Enable or disable the applied-update journal.
     pub fn with_journal(mut self, on: bool) -> Self {
         self.journal = on;
+        self
+    }
+
+    /// Deterministic fault injection: panic the ingest thread once it
+    /// has applied at least `updates` updates. The engine contains the
+    /// panic ([`ServeEngine::is_degraded`]) and keeps serving the last
+    /// published epoch. Test-only.
+    pub fn with_ingest_panic_after(mut self, updates: u64) -> Self {
+        self.ingest_panic_after = Some(updates);
+        self
+    }
+
+    /// Enable daemon-level journal recovery: a degraded engine is
+    /// replaced by [`ServeEngine::recover_from_journal`] mid-session
+    /// instead of ending it. Implies journaling.
+    pub fn with_auto_recover(mut self, on: bool) -> Self {
+        self.auto_recover = on;
+        if on {
+            self.journal = true;
+        }
         self
     }
 
@@ -161,6 +196,9 @@ pub enum ServeError {
     DeleteInInsertOnly,
     /// The engine is shut down (or its ingest thread died).
     Closed,
+    /// A deadline-bounded query ran out of time before covering every
+    /// guess ladder entry.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -170,6 +208,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "delete update submitted to an insertion-only store")
             }
             ServeError::Closed => write!(f, "serve engine is closed"),
+            ServeError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -350,8 +389,36 @@ impl QueryAnswer {
 /// estimate (ties → smallest guess index). Pure and deterministic —
 /// the same function answers live queries and replay verification.
 pub fn answer_query(snapshot: &EpochSnapshot, k: usize) -> QueryAnswer {
+    answer_query_inner(snapshot, k, None).expect("unbounded query cannot miss a deadline")
+}
+
+/// [`answer_query`] with a wall-clock budget: the deadline is checked
+/// before each guess's greedy solve (the unit of query work), and a
+/// query that runs out of time returns [`ServeError::DeadlineExceeded`]
+/// instead of a torn partial answer. A query that completes is
+/// bit-identical to the unbounded [`answer_query`] — the deadline never
+/// changes an answer, only refuses one.
+pub fn answer_query_deadline(
+    snapshot: &EpochSnapshot,
+    k: usize,
+    deadline: Duration,
+) -> Result<QueryAnswer, ServeError> {
+    answer_query_inner(snapshot, k, Some(deadline))
+}
+
+fn answer_query_inner(
+    snapshot: &EpochSnapshot,
+    k: usize,
+    deadline: Option<Duration>,
+) -> Result<QueryAnswer, ServeError> {
+    let start = Instant::now();
     let mut best: Option<QueryAnswer> = None;
     for (idx, guess) in snapshot.guesses.iter().enumerate() {
+        if let Some(limit) = deadline {
+            if start.elapsed() >= limit {
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
         let trace = bucket_greedy_k_cover(&guess.view, k);
         let family = trace.family();
         let covered = trace.coverage();
@@ -377,7 +444,7 @@ pub fn answer_query(snapshot: &EpochSnapshot, k: usize) -> QueryAnswer {
             });
         }
     }
-    best.unwrap_or(QueryAnswer {
+    Ok(best.unwrap_or(QueryAnswer {
         epoch: snapshot.epoch,
         updates_applied: snapshot.updates_applied,
         guess_index: 0,
@@ -386,7 +453,7 @@ pub fn answer_query(snapshot: &EpochSnapshot, k: usize) -> QueryAnswer {
         sketch_coverage: 0,
         estimate: 0.0,
         sampling_p: 0.0,
-    })
+    }))
 }
 
 /// Counters shared between the ingest thread and the API surface.
@@ -398,6 +465,7 @@ struct SharedStats {
     publish_failures: AtomicU64,
     published_updates: AtomicU64,
     queries_served: AtomicU64,
+    degraded: AtomicBool,
 }
 
 /// A point-in-time view of the engine's counters, with per-epoch
@@ -426,6 +494,11 @@ pub struct ServeStats {
     pub published_updates: u64,
     /// Queries answered from published snapshots.
     pub queries_served: u64,
+    /// True once the ingest thread has died (panic contained by the
+    /// engine): the last published epoch stays frozen, queries keep
+    /// answering from it (stale), and submits fail typed
+    /// ([`ServeError::Closed`]).
+    pub degraded: bool,
     /// One round per published epoch (see type-level docs).
     pub report: RoundsReport,
 }
@@ -457,11 +530,19 @@ pub struct ServeFinish {
     /// Final counters (epoch = the last published epoch, which covers
     /// every applied update).
     pub stats: ServeStats,
-    /// The live store, fully drained.
+    /// The live store, fully drained. If the ingest thread died
+    /// (`degraded`), this is the journal-replay rebuild — bit-identical
+    /// to the lost live store when journaling was on, a fresh store
+    /// otherwise.
     pub store: LiveStore,
     /// The applied-update journal in exact application order (empty
-    /// unless [`ServeConfig::journal`] was set).
+    /// unless [`ServeConfig::journal`] was set). The journal survives
+    /// an ingest-thread panic: every applied update was journaled
+    /// before the panic could observe it.
     pub journal: Vec<SignedEdge>,
+    /// True when the ingest thread panicked and the engine degraded to
+    /// frozen-epoch serving.
+    pub degraded: bool,
 }
 
 /// The serving engine: spawn with [`start`](ServeEngine::start),
@@ -473,8 +554,9 @@ pub struct ServeEngine {
     cell: Arc<SnapshotCell>,
     stats: Arc<SharedStats>,
     rounds: Arc<Mutex<Vec<RoundCost>>>,
+    journal: Arc<Mutex<Vec<SignedEdge>>>,
     tx: Option<mpsc::SyncSender<Command>>,
-    handle: Option<JoinHandle<(LiveStore, Vec<SignedEdge>)>>,
+    handle: Option<JoinHandle<Option<LiveStore>>>,
 }
 
 impl ServeEngine {
@@ -483,25 +565,73 @@ impl ServeEngine {
     /// and spawn the ingest thread.
     pub fn start(config: ServeConfig) -> Self {
         let store = LiveStore::new(&config);
-        let epoch0 = store
-            .snapshot(0, 0)
+        Self::start_inner(config, store, Vec::new(), 0, 0)
+    }
+
+    /// Journal-backed restart: rebuild the live store by replaying
+    /// `journal` (the exact application order a crashed engine's
+    /// [`ServeFinish::journal`] preserves), publish it as `epoch` with
+    /// `updates_applied = journal.len()`, and resume serving from
+    /// there. Passing the crashed engine's last published epoch makes
+    /// the recovered initial snapshot [`content_eq`] to the pre-crash
+    /// one when the journal prefix matches — the bit-identity contract
+    /// the chaos suite property-tests.
+    ///
+    /// [`content_eq`]: EpochSnapshot::content_eq
+    pub fn recover_from_journal(config: ServeConfig, journal: Vec<SignedEdge>, epoch: u64) -> Self {
+        let mut store = LiveStore::new(&config);
+        store.apply(&journal);
+        let applied = journal.len() as u64;
+        Self::start_inner(config, store, journal, applied, epoch)
+    }
+
+    fn start_inner(
+        config: ServeConfig,
+        store: LiveStore,
+        journal0: Vec<SignedEdge>,
+        applied0: u64,
+        epoch0: u64,
+    ) -> Self {
+        let initial = store
+            .snapshot(epoch0, applied0)
             .unwrap_or_else(|| EpochSnapshot::empty(config.num_sets()));
-        let cell = Arc::new(SnapshotCell::new(epoch0));
+        let cell = Arc::new(SnapshotCell::new(initial));
         let stats = Arc::new(SharedStats::default());
+        stats.updates_applied.store(applied0, Ordering::Relaxed);
+        stats.published_updates.store(applied0, Ordering::Relaxed);
         let rounds = Arc::new(Mutex::new(Vec::new()));
+        let journal = Arc::new(Mutex::new(journal0));
         let (tx, rx) = mpsc::sync_channel::<Command>(config.queue_batches);
         let handle = {
             let cell = Arc::clone(&cell);
             let stats = Arc::clone(&stats);
             let rounds = Arc::clone(&rounds);
+            let journal = Arc::clone(&journal);
             let config = config.clone();
-            std::thread::spawn(move || ingest_loop(&config, store, &cell, &stats, &rounds, &rx))
+            std::thread::spawn(move || {
+                // Contain ingest panics: the engine degrades to serving
+                // the last published epoch instead of wedging every
+                // queue peer on a join of a dead thread.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    ingest_loop(
+                        &config, store, &cell, &stats, &rounds, &journal, applied0, &rx,
+                    )
+                }));
+                match result {
+                    Ok(store) => Some(store),
+                    Err(_) => {
+                        stats.degraded.store(true, Ordering::Release);
+                        None
+                    }
+                }
+            })
         };
         ServeEngine {
             config,
             cell,
             stats,
             rounds,
+            journal,
             tx: Some(tx),
             handle: Some(handle),
         }
@@ -565,6 +695,29 @@ impl ServeEngine {
         answer
     }
 
+    /// One-shot query with a wall-clock budget (see
+    /// [`answer_query_deadline`]). Only completed queries count toward
+    /// `queries_served`.
+    pub fn query_deadline(&self, k: usize, timeout: Duration) -> Result<QueryAnswer, ServeError> {
+        let answer = answer_query_deadline(&self.cell.load(), k, timeout)?;
+        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+        Ok(answer)
+    }
+
+    /// True once the ingest thread has died and the engine froze the
+    /// last published epoch (stale-but-consistent serving).
+    pub fn is_degraded(&self) -> bool {
+        self.stats.degraded.load(Ordering::Acquire)
+    }
+
+    /// A copy of the applied-update journal so far (empty unless
+    /// [`ServeConfig::journal`] is on). Available even while the engine
+    /// runs — and, crucially, after an ingest panic — so a supervisor
+    /// can feed [`ServeEngine::recover_from_journal`].
+    pub fn journal_snapshot(&self) -> Vec<SignedEdge> {
+        self.journal.lock().expect("journal poisoned").clone()
+    }
+
     /// Current counters (see [`ServeStats`]).
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -575,6 +728,7 @@ impl ServeEngine {
             updates_applied: self.stats.updates_applied.load(Ordering::Relaxed),
             published_updates: self.stats.published_updates.load(Ordering::Relaxed),
             queries_served: self.stats.queries_served.load(Ordering::Relaxed),
+            degraded: self.stats.degraded.load(Ordering::Acquire),
             report: RoundsReport {
                 rounds: self.rounds.lock().expect("rounds poisoned").clone(),
             },
@@ -583,15 +737,30 @@ impl ServeEngine {
 
     /// Graceful drain: close the queue, let the ingest thread apply
     /// everything still buffered, publish a final epoch covering all
-    /// applied updates, and hand back the store + journal + stats.
+    /// applied updates, and hand back the store + journal + stats. If
+    /// the ingest thread died, the store is rebuilt by replaying the
+    /// surviving journal instead of propagating the panic.
     pub fn finish(mut self) -> ServeFinish {
         drop(self.tx.take());
         let handle = self.handle.take().expect("finish called once");
-        let (store, journal) = handle.join().expect("ingest thread panicked");
+        let store = match handle.join() {
+            Ok(Some(store)) => store,
+            // Panic contained (or the thread died before the catch):
+            // degrade, then rebuild from the journal.
+            _ => {
+                self.stats.degraded.store(true, Ordering::Release);
+                let journal = self.journal.lock().expect("journal poisoned");
+                let mut store = LiveStore::new(&self.config);
+                store.apply(&journal);
+                store
+            }
+        };
+        let journal = self.journal.lock().expect("journal poisoned").clone();
         ServeFinish {
             stats: self.stats(),
             store,
             journal,
+            degraded: self.stats.degraded.load(Ordering::Acquire),
         }
     }
 }
@@ -618,6 +787,18 @@ impl QueryHandle {
         let answer = answer_query(self.reader.current(), k);
         self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
         answer
+    }
+
+    /// Deadline-bounded query on the freshest published snapshot (see
+    /// [`answer_query_deadline`]).
+    pub fn query_deadline(
+        &mut self,
+        k: usize,
+        timeout: Duration,
+    ) -> Result<QueryAnswer, ServeError> {
+        let answer = answer_query_deadline(self.reader.current(), k, timeout)?;
+        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+        Ok(answer)
     }
 
     /// The freshest published snapshot itself.
@@ -669,16 +850,18 @@ impl Publisher<'_> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     config: &ServeConfig,
     mut store: LiveStore,
     cell: &SnapshotCell,
     stats: &SharedStats,
     rounds: &Mutex<Vec<RoundCost>>,
+    journal: &Mutex<Vec<SignedEdge>>,
+    applied0: u64,
     rx: &mpsc::Receiver<Command>,
-) -> (LiveStore, Vec<SignedEdge>) {
-    let mut journal: Vec<SignedEdge> = Vec::new();
-    let mut applied: u64 = 0;
+) -> LiveStore {
+    let mut applied: u64 = applied0;
     let mut since_publish: u64 = 0;
     let mut publisher = Publisher {
         cell,
@@ -693,9 +876,20 @@ fn ingest_loop(
                 applied += batch.len() as u64;
                 since_publish += batch.len() as u64;
                 if config.journal {
-                    journal.extend_from_slice(&batch);
+                    journal
+                        .lock()
+                        .expect("journal poisoned")
+                        .extend_from_slice(&batch);
                 }
                 stats.updates_applied.store(applied, Ordering::Relaxed);
+                // Deterministic fault injection: the update is applied
+                // AND journaled before the panic fires, so replaying
+                // the surviving journal rebuilds the lost store.
+                if let Some(limit) = config.ingest_panic_after {
+                    if applied >= limit + applied0 {
+                        panic!("injected ingest fault after {applied} applied updates");
+                    }
+                }
                 if since_publish >= config.publish_every {
                     publisher.publish(&store, applied);
                     since_publish = 0;
@@ -726,7 +920,7 @@ fn ingest_loop(
     if since_publish > 0 || !publisher.published_once {
         publisher.publish(&store, applied);
     }
-    (store, journal)
+    store
 }
 
 #[cfg(test)]
@@ -837,6 +1031,99 @@ mod tests {
         let shipped: u64 = frames.iter().map(|f| f.len() as u64).sum();
         assert_eq!(stats.report.total_bytes(), shipped);
         drop(engine);
+    }
+
+    fn wait_degraded(engine: &ServeEngine) {
+        for _ in 0..2_000 {
+            if engine.is_degraded() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("engine never degraded");
+    }
+
+    #[test]
+    fn ingest_panic_freezes_the_published_epoch_and_stays_queryable() {
+        // One big batch: the injected panic fires after apply+journal
+        // but before any publish, so the frozen epoch is the initial
+        // empty one.
+        let cfg = bank_cfg().with_ingest_panic_after(200);
+        let engine = ServeEngine::start(cfg);
+        engine.submit(inserts(0..300)).unwrap();
+        wait_degraded(&engine);
+        // Queries still answer, from the frozen (stale) epoch.
+        let answer = engine.query(2);
+        assert_eq!(answer.epoch, 0);
+        // Mutation APIs fail typed, not by panic or hang.
+        assert!(matches!(engine.flush(), Err(ServeError::Closed)));
+        assert!(matches!(
+            engine.submit(inserts(0..1)),
+            Err(ServeError::Closed)
+        ));
+        let stats = engine.stats();
+        assert!(stats.degraded);
+        // Every applied update made it into the surviving journal.
+        let fin = engine.finish();
+        assert!(fin.degraded);
+        assert_eq!(fin.journal.len(), 300);
+    }
+
+    #[test]
+    fn journal_recovery_is_bit_identical_to_the_pre_crash_epoch() {
+        let cfg = bank_cfg().with_ingest_panic_after(500);
+        let engine = ServeEngine::start(cfg.clone());
+        for chunk in inserts(0..630).chunks(90) {
+            if engine.submit(chunk.to_vec()).is_err() {
+                break;
+            }
+        }
+        wait_degraded(&engine);
+        let pre = engine.query_handle().snapshot();
+        assert!(pre.epoch >= 1, "a publish must precede the crash");
+        let fin = engine.finish();
+        assert!(fin.degraded);
+        assert!(fin.journal.len() >= pre.updates_applied as usize);
+        // Replay the journal prefix the pre-crash epoch covered.
+        let recovered = ServeEngine::recover_from_journal(
+            cfg,
+            fin.journal[..pre.updates_applied as usize].to_vec(),
+            pre.epoch,
+        );
+        let snap = recovered.query_handle().snapshot();
+        assert!(
+            snap.content_eq(&pre),
+            "recovered snapshot must be bit-identical to the pre-crash epoch"
+        );
+        // The recovered engine is live: it keeps ingesting and
+        // publishing past the restored epoch.
+        recovered.submit(inserts(1_000..1_100)).unwrap();
+        let epoch = recovered.flush().unwrap();
+        assert!(epoch > pre.epoch);
+        let after = recovered.query(2);
+        assert_eq!(after.updates_applied, pre.updates_applied + 100);
+        assert!(!recovered.finish().degraded);
+    }
+
+    #[test]
+    fn zero_deadline_query_is_refused_not_torn() {
+        let engine = ServeEngine::start(bank_cfg());
+        engine.submit(inserts(0..200)).unwrap();
+        engine.flush().unwrap();
+        let err = engine
+            .query_deadline(2, std::time::Duration::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded));
+        // A generous deadline changes nothing about the answer.
+        let bounded = engine
+            .query_deadline(2, std::time::Duration::from_secs(60))
+            .unwrap();
+        assert!(bounded.bit_eq(&engine.query(2)));
+        let mut handle = engine.query_handle();
+        let via_handle = handle
+            .query_deadline(2, std::time::Duration::from_secs(60))
+            .unwrap();
+        assert!(via_handle.bit_eq(&bounded));
     }
 
     #[test]

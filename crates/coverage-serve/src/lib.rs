@@ -42,8 +42,8 @@ pub mod proto;
 
 pub use daemon::{run_stdio, serve_loop};
 pub use engine::{
-    answer_query, LiveStore, QueryAnswer, QueryHandle, ServeConfig, ServeEngine, ServeError,
-    ServeFinish, ServeStats, StoreConfig,
+    answer_query, answer_query_deadline, LiveStore, QueryAnswer, QueryHandle, ServeConfig,
+    ServeEngine, ServeError, ServeFinish, ServeStats, StoreConfig,
 };
 pub use epoch::{EpochSnapshot, GuessView, SnapshotCell, SnapshotReader};
 pub use proto::{read_reply, read_request, write_reply, write_request, ProtoError, Reply, Request};

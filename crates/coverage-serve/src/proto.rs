@@ -5,12 +5,12 @@
 //! (`coverage_dist::proto`), under its own magic so a serve frame can
 //! never be confused with either.
 //!
-//! ## Frame layout (version 1)
+//! ## Frame layout (version 2)
 //!
 //! | offset   | size | field                                   |
 //! |----------|------|-----------------------------------------|
 //! | 0        | 4    | magic `b"CVSV"`                         |
-//! | 4        | 2    | protocol version, `u16` LE (currently 1)|
+//! | 4        | 2    | protocol version, `u16` LE (currently 2)|
 //! | 6        | 1    | frame kind                              |
 //! | 7        | 1    | reserved (0)                            |
 //! | 8        | 8    | payload length `u64` LE                 |
@@ -41,8 +41,14 @@ use crate::engine::{QueryAnswer, ServeError, ServeStats};
 
 /// Serve frame magic (distinct from snapshot `CVSK` and dist `CVPR`).
 pub const SERVE_MAGIC: [u8; 4] = *b"CVSV";
-/// Current serve protocol version.
-pub const SERVE_VERSION: u16 = 1;
+/// Current serve protocol version (2 added the degraded-mode flag to
+/// stats payloads).
+pub const SERVE_VERSION: u16 = 2;
+
+/// Hard ceiling on a frame's declared payload length, checked *before*
+/// the payload buffer is allocated so a corrupt or hostile length field
+/// cannot trigger an enormous allocation.
+pub const MAX_SERVE_PAYLOAD: u64 = 1 << 28;
 
 const KIND_UPDATE: u8 = 1;
 const KIND_QUERY: u8 = 2;
@@ -263,6 +269,7 @@ fn put_stats(w: &mut WireWriter, s: &ServeStats) {
     w.put_varint(s.updates_applied);
     w.put_varint(s.published_updates);
     w.put_varint(s.queries_served);
+    w.put_u8(u8::from(s.degraded));
     w.put_varint(s.report.rounds.len() as u64);
     for r in &s.report.rounds {
         w.put_varint(r.sketches_in as u64);
@@ -280,6 +287,11 @@ fn get_stats(r: &mut WireReader<'_>) -> Result<ServeStats, ProtoError> {
     let updates_applied = r.get_varint()?;
     let published_updates = r.get_varint()?;
     let queries_served = r.get_varint()?;
+    let degraded = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("unknown degraded flag").into()),
+    };
     let n = r.get_len()?;
     if n > r.remaining() {
         return Err(WireError::Malformed("round count exceeds payload size").into());
@@ -301,6 +313,7 @@ fn get_stats(r: &mut WireReader<'_>) -> Result<ServeStats, ProtoError> {
         updates_applied,
         published_updates,
         queries_served,
+        degraded,
         report: RoundsReport { rounds },
     })
 }
@@ -501,6 +514,9 @@ fn read_frame(input: &mut impl Read) -> Result<(u8, Vec<u8>, u64), ProtoError> {
     }
     let kind = header[6];
     let payload_len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if payload_len > MAX_SERVE_PAYLOAD {
+        return Err(WireError::Malformed("payload length exceeds the frame cap").into());
+    }
     let payload_len = usize::try_from(payload_len)
         .map_err(|_| WireError::Malformed("payload length exceeds the address space"))?;
     let mut payload = vec![0u8; payload_len];
@@ -642,6 +658,7 @@ mod tests {
             updates_applied: 480,
             published_updates: 400,
             queries_served: 42,
+            degraded: true,
             report: RoundsReport {
                 rounds: vec![
                     RoundCost {
@@ -665,6 +682,7 @@ mod tests {
         }) {
             Reply::Stats { stats: back, .. } => {
                 assert_eq!(back.epoch, 3);
+                assert!(back.degraded);
                 assert_eq!(back.staleness(), 80);
                 assert_eq!(back.queue_lag(), 20);
                 assert_eq!(back.report.rounds, stats.report.rounds);

@@ -363,7 +363,7 @@ impl ThresholdSketch {
     /// The retained pre-vectorization form of
     /// [`update_batch`](Self::update_batch): scalar hashing
     /// ([`UnitHash::hash_batch_scalar`]) and the ungrouped probe loop
-    /// ([`update_hashed_batch_scalar`](Self::update_hashed_batch_scalar)).
+    /// (`update_hashed_batch_scalar`).
     /// Bit-identical by construction and by the property suite; kept
     /// public as the executable baseline the `BENCH_8` ingest gate
     /// measures the vectorized path against.

@@ -63,6 +63,7 @@ USAGE:
   coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
   coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--parallel T] [--budget B] [--seed S]
                      [--processes P] [--ship json|binary] [--ingest pipelined|two-barrier]
+                     [--fault-plan SEED:SPEC] [--job-timeout-ms MS]
                      # --parallel T: run the parallel sharded executor on T threads
                      #   (one partition pass + concurrent map + tree reduce);
                      #   same selected cover as the sequential simulation, faster
@@ -75,8 +76,15 @@ USAGE:
                      #   `worker` mode, framed binary pipes); same family again
                      # --ship: snapshot wire format for the reduce (and the
                      #   worker pipes); binary is the compact framed codec
+                     # --fault-plan: deterministic fault injection for the
+                     #   multiprocess executor — SPEC is a comma list of
+                     #   crash@N, hang@N, delay<MS>@N, corrupt@N, rand<PCT>
+                     #   (e.g. 7:crash@0,delay40@2,rand10). The run must
+                     #   still produce the fault-free family.
+                     # --job-timeout-ms: per-shard deadline before a stalled
+                     #   worker is reaped and its shard requeued
   coverage serve     --n <sets> [--guesses G] [--dynamic [--k K]] [--eps E] [--budget B] [--seed S]
-                     [--publish-every U] [--queue Q] [--journal]
+                     [--publish-every U] [--queue Q] [--journal] [--journal-recover]
                      # long-lived serving daemon speaking the framed CVSV
                      #   protocol on stdin/stdout: writers stream signed edges
                      #   in (update frames), readers get k-cover answers from
@@ -86,7 +94,10 @@ USAGE:
                      #   bounded queue of Q batches (default 16) exerts
                      #   backpressure on writers. Default store: a G-guess H<=n
                      #   bank (insertion-only); --dynamic serves the l0 sketch
-                     #   and accepts deletes
+                     #   and accepts deletes. --journal-recover (implies
+                     #   --journal) restarts a crashed ingest thread from the
+                     #   applied-update journal, pinned to the last published
+                     #   epoch, instead of serving degraded
   coverage solve     --n <sets> --m <elements> --k <k> [--workload W] [--seed S]
                      # offline solver comparison: greedy / local search / stochastic / parallel
   coverage lemmas    [--n N] [--m M] [--seed S]        # empirical Section 2 lemma checks
@@ -460,9 +471,33 @@ fn cmd_dist(flags: &HashMap<String, String>) {
             exit(2);
         }
     };
+    let fault_plan = flags.get("fault-plan").map(|s| match FaultPlan::parse(s) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("invalid --fault-plan: {e}");
+            exit(2);
+        }
+    });
+    let job_timeout_ms: u64 = get(flags, "job-timeout-ms", 0);
     if processes > 0 {
-        cmd_dist_processes(cfg, processes, ship, &stream, &inst, opt, machines);
+        cmd_dist_processes(
+            cfg,
+            processes,
+            ship,
+            fault_plan,
+            job_timeout_ms,
+            &stream,
+            &inst,
+            opt,
+            machines,
+        );
         return;
+    }
+    if fault_plan.is_some() || job_timeout_ms > 0 {
+        eprintln!(
+            "--fault-plan/--job-timeout-ms require the multiprocess executor (--processes P)"
+        );
+        exit(2);
     }
     let (family, per_machine, merged_edges, extra_rows) = if threads > 0 {
         let res = ParallelRunner::new(cfg, threads)
@@ -523,10 +558,13 @@ fn cmd_dist(flags: &HashMap<String, String>) {
 /// `dist --processes P`: the multiprocess executor. Spawns `P` copies
 /// of this binary in the hidden `worker` mode and runs the identical
 /// partition → map → tree-reduce → solve pipeline over real pipes.
+#[allow(clippy::too_many_arguments)]
 fn cmd_dist_processes(
     cfg: DistConfig,
     processes: usize,
     ship: ShipFormat,
+    fault_plan: Option<FaultPlan>,
+    job_timeout_ms: u64,
     stream: &VecStream,
     inst: &coverage_suite::core::CoverageInstance,
     opt: Option<usize>,
@@ -539,7 +577,13 @@ fn cmd_dist_processes(
             exit(1);
         }
     };
-    let runner = ProcessRunner::new(cfg, command, processes).with_ship_format(ship);
+    let mut runner = ProcessRunner::new(cfg, command, processes).with_ship_format(ship);
+    if let Some(plan) = fault_plan {
+        runner = runner.with_fault_plan(plan);
+    }
+    if job_timeout_ms > 0 {
+        runner = runner.with_job_timeout(std::time::Duration::from_millis(job_timeout_ms));
+    }
     let res = match runner.run(stream) {
         Ok(r) => r,
         Err(e) => {
@@ -573,6 +617,12 @@ fn cmd_dist_processes(
         "shards resharded".into(),
         res.shards_resharded.to_string(),
     ]);
+    t.row(vec![
+        "deadline reaps".into(),
+        res.deadline_reaps.to_string(),
+    ]);
+    t.row(vec!["retries".into(), res.retries.to_string()]);
+    t.row(vec!["proto faults".into(), res.proto_faults.to_string()]);
     t.row(vec!["ship format".into(), format!("{ship:?}")]);
     t.row(vec!["pipe bytes".into(), fmt_count(res.wire_bytes)]);
     t.row(vec![
@@ -613,10 +663,22 @@ fn cmd_serve(flags: &HashMap<String, String>) {
         let guesses: usize = get(flags, "guesses", 8);
         ServeConfig::bank_ladder(n, guesses, eps, budget, seed)
     };
-    let config = config
+    let mut config = config
         .with_publish_every(publish_every)
         .with_queue_batches(queue)
         .with_journal(flags.contains_key("journal"));
+    if flags.contains_key("journal-recover") {
+        config = config.with_auto_recover(true);
+    }
+    // Hidden test hook: crash the ingest thread after N applied updates
+    // so the recovery path can be exercised end to end from the CLI.
+    if let Some(after) = flags.get("ingest-panic-after") {
+        let after: u64 = after.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --ingest-panic-after: {after}");
+            exit(2);
+        });
+        config = config.with_ingest_panic_after(after);
+    }
     exit(coverage_suite::serve::run_stdio(config));
 }
 

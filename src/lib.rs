@@ -87,14 +87,15 @@ pub mod prelude {
     };
     pub use coverage_dist::{
         distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover,
-        partition_edges, partition_updates, tree_reduce, DistConfig, DistResult, DynDistResult,
-        DynProcessResult, DynamicParallelResult, IngestMode, ParallelResult, ParallelRunner,
-        ProcessResult, ProcessRunner, ShipFormat, WorkerCommand,
+        partition_edges, partition_updates, tree_reduce, tree_reduce_via, DistConfig, DistResult,
+        DynDistResult, DynProcessResult, DynamicParallelResult, Fault, FaultPlan, FaultyTransport,
+        IngestMode, ParallelResult, ParallelRunner, ProcessResult, ProcessRunner, RetryPolicy,
+        RunError, ShipFormat, SplitMix64, WorkerCommand,
     };
     pub use coverage_serve::{
-        answer_query, EpochSnapshot, GuessView, LiveStore, QueryAnswer, QueryHandle, ServeConfig,
-        ServeEngine, ServeError, ServeFinish, ServeStats, SnapshotCell, SnapshotReader,
-        StoreConfig,
+        answer_query, answer_query_deadline, EpochSnapshot, GuessView, LiveStore, QueryAnswer,
+        QueryHandle, ServeConfig, ServeEngine, ServeError, ServeFinish, ServeStats, SnapshotCell,
+        SnapshotReader, StoreConfig,
     };
     pub use coverage_sketch::{
         AblatedSketch, DynamicSample, DynamicSketch, DynamicSketchParams, DynamicSnapshot,

@@ -1,0 +1,249 @@
+//! Chaos suite: randomized, **seeded** fault schedules thrown at every
+//! fault-hardened layer of the runtime. The contract under test is the
+//! robustness story the merge-composability of the `H≤n` sketch buys:
+//! any shard (or journal prefix) can be rebuilt bit-identically, so a
+//! run under injected crashes, hangs, delays, and corrupted frames must
+//! either complete **bit-identical to the fault-free reference** or
+//! fail with a typed error — never hang, never panic, never return a
+//! torn answer.
+//!
+//! Every schedule derives from a small integer seed, so a CI failure
+//! reproduces locally with the same seed. The default matrix covers
+//! `CHAOS_SEEDS` (default 8) seeds per test; CI can widen it via the
+//! environment variable without touching the code.
+
+use std::time::{Duration, Instant};
+
+use coverage_suite::prelude::*;
+
+/// Per-run wall-clock ceiling. Generous for slow CI machines, but an
+/// actual hang (the bug class this suite exists for) blows well past it.
+const RUN_BUDGET: Duration = Duration::from_secs(60);
+
+fn seed_matrix() -> Vec<u64> {
+    let n: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .max(8);
+    (1..=n).collect()
+}
+
+fn worker_command() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_coverage"), ["worker".to_string()])
+}
+
+fn chaos_stream(seed: u64) -> VecStream {
+    let inst = planted_k_cover(24, 2_000, 3, 120, seed);
+    let mut stream = VecStream::from_instance(&inst.instance);
+    ArrivalOrder::Random(seed ^ 0xC4A0).apply(stream.edges_mut());
+    stream
+}
+
+fn inserts(range: std::ops::Range<u64>) -> Vec<SignedEdge> {
+    range
+        .map(|e| SignedEdge::insert(Edge::new((e % 7) as u32, e * 13 % 900)))
+        .collect()
+}
+
+/// Random fault schedules against the multiprocess executor: ~a third
+/// of shards draw a crash, hang, delay, or corrupt-reply fault, chosen
+/// deterministically from the seed. Every run must finish inside the
+/// budget with the exact fault-free family.
+#[test]
+fn process_runner_survives_randomized_fault_schedules() {
+    for seed in seed_matrix() {
+        let stream = chaos_stream(seed);
+        let cfg = DistConfig::new(6, 3, 0.3, seed).with_sizing(SketchSizing::Budget(1_200));
+        let reference = distributed_k_cover(&stream, &cfg);
+        let plan = FaultPlan::new(seed).with_random_pct(35);
+        let start = Instant::now();
+        let run = ProcessRunner::new(cfg, worker_command(), 3)
+            .with_fault_plan(plan)
+            .with_job_timeout(Duration::from_millis(500))
+            .run(&stream);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < RUN_BUDGET,
+            "seed {seed}: chaos run took {elapsed:?} — the reaper failed to bound a stall"
+        );
+        // Retry + reshard + inline fallback means the run completes even
+        // when every worker misbehaves; an Err would still be typed, but
+        // with survivors-or-inline recovery it must not happen at all.
+        let run = run.unwrap_or_else(|e| panic!("seed {seed}: typed failure {e}"));
+        assert_eq!(
+            run.family, reference.family,
+            "seed {seed}: fault recovery changed the selected cover"
+        );
+        assert_eq!(run.merged_edges, reference.merged_edges);
+    }
+}
+
+/// The adversarial worst case, explicitly scheduled: a crash, an
+/// infinite hang, a corrupted reply, and a delayed shard all in one
+/// run, on every seed's workload.
+#[test]
+fn process_runner_survives_the_combined_worst_case_schedule() {
+    for seed in seed_matrix() {
+        let stream = chaos_stream(seed ^ 0x5107);
+        let cfg = DistConfig::new(8, 3, 0.3, seed).with_sizing(SketchSizing::Budget(1_200));
+        let reference = distributed_k_cover(&stream, &cfg);
+        let plan = FaultPlan::new(seed)
+            .with_fault(0, Fault::Crash)
+            .with_fault(1, Fault::Hang)
+            .with_fault(2, Fault::CorruptReply)
+            .with_fault(3, Fault::Delay(25));
+        let start = Instant::now();
+        let run = ProcessRunner::new(cfg, worker_command(), 3)
+            .with_fault_plan(plan)
+            .with_job_timeout(Duration::from_millis(500))
+            .run(&stream)
+            .unwrap_or_else(|e| panic!("seed {seed}: typed failure {e}"));
+        assert!(start.elapsed() < RUN_BUDGET, "seed {seed}: run over budget");
+        assert_eq!(run.family, reference.family, "seed {seed}: family diverged");
+        assert!(
+            run.workers_lost >= 1 && run.deadline_reaps >= 1 && run.proto_faults >= 1,
+            "seed {seed}: the schedule must actually exercise crash + hang + corrupt \
+             (lost={} reaps={} proto={})",
+            run.workers_lost,
+            run.deadline_reaps,
+            run.proto_faults
+        );
+    }
+}
+
+/// A lossy reduce transport that flips one bit in a seeded fraction of
+/// shipped frames: every corruption must be caught by the frame
+/// checksum and retransmitted, leaving the merged sketch bit-identical.
+#[test]
+fn tree_reduce_over_a_corrupting_transport_is_bit_identical() {
+    for seed in seed_matrix() {
+        let params = SketchParams::with_budget(8, 3, 0.4, 150);
+        let mut single = ThresholdSketch::new(params, seed);
+        let mut shards: Vec<ThresholdSketch> =
+            (0..6).map(|_| ThresholdSketch::new(params, seed)).collect();
+        for (i, s) in (0..8u32)
+            .flat_map(|s| (0..600u64).map(move |e| (s, e)))
+            .enumerate()
+        {
+            let edge = Edge::new(s.0, s.1 * 11 % 700);
+            single.update(edge);
+            shards[i % 6].update(edge);
+        }
+        let faulty = FaultyTransport::new(seed, 60);
+        let (merged, _) = tree_reduce_via(shards, 2, &faulty);
+        let key = |s: &ThresholdSketch| {
+            let mut v: Vec<u64> = s.retained().map(|(k, _, _)| k).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&merged), key(&single), "seed {seed}: reduce diverged");
+        assert_eq!(
+            faulty.detected(),
+            faulty.retransmits(),
+            "seed {seed}: every detected corruption is retransmitted exactly once"
+        );
+    }
+}
+
+/// Ingest-thread crashes at seeded points in the update stream: the
+/// engine must freeze the last published epoch (typed `Closed` on new
+/// writes, never a torn answer), and a journal replay pinned to that
+/// epoch must reproduce it bit-identically.
+#[test]
+fn serve_engine_crash_recovery_is_bit_identical_across_seeds() {
+    for seed in seed_matrix() {
+        let batch = 40 + (seed * 13) % 80;
+        let panic_after = 100 + (seed * 37) % 250;
+        let config = ServeConfig::bank_ladder(7, 3, 0.4, 600, seed)
+            .with_publish_every(batch)
+            .with_journal(true)
+            .with_ingest_panic_after(panic_after);
+        let engine = ServeEngine::start(config.clone());
+        let mut handle = engine.query_handle();
+        let start = Instant::now();
+        let mut submitted = 0u64;
+        let closed = loop {
+            if submitted >= 600 {
+                break false;
+            }
+            match engine.submit(inserts(submitted..submitted + batch)) {
+                Ok(()) => submitted += batch,
+                Err(ServeError::Closed) => break true,
+                Err(e) => panic!("seed {seed}: unexpected error {e}"),
+            }
+            assert!(start.elapsed() < RUN_BUDGET, "seed {seed}: ingest stalled");
+        };
+        // The crash fires inside the stream for every seed in the
+        // matrix; drain the race where the queue accepted the final
+        // batch before the thread died.
+        if !closed {
+            while !engine.is_degraded() && start.elapsed() < RUN_BUDGET {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(
+            engine.is_degraded(),
+            "seed {seed}: injected crash never fired"
+        );
+        // The frozen snapshot still answers queries (stale, not torn)…
+        let pre = handle.snapshot();
+        let frozen = answer_query(&pre, 2);
+        assert_eq!(frozen.updates_applied, pre.updates_applied);
+        // …and a journal replay of exactly that prefix rebuilds it
+        // bit-identically, pinned to the pre-crash epoch number.
+        let journal = engine.journal_snapshot();
+        assert!(journal.len() as u64 >= pre.updates_applied, "seed {seed}");
+        let recovered = ServeEngine::recover_from_journal(
+            config.clone(),
+            journal[..pre.updates_applied as usize].to_vec(),
+            pre.epoch,
+        );
+        let mut rh = recovered.query_handle();
+        assert!(
+            rh.snapshot().content_eq(&pre),
+            "seed {seed}: journal replay diverged from the pre-crash epoch"
+        );
+        assert!(
+            answer_query(&rh.snapshot(), 2).bit_eq(&frozen),
+            "seed {seed}: recovered answers must be bit-identical"
+        );
+        // The recovered engine is live again: it keeps ingesting past
+        // the original crash point.
+        recovered
+            .submit(inserts(0..batch))
+            .unwrap_or_else(|e| panic!("seed {seed}: recovered engine rejected writes: {e}"));
+        let fin = recovered.finish();
+        assert!(
+            !fin.stats.degraded,
+            "seed {seed}: recovery left the engine degraded"
+        );
+        let _ = engine.finish();
+    }
+}
+
+/// Deadline-bounded queries across seeds: a zero deadline is refused
+/// with a typed error (never a partial family), and a completed bounded
+/// query is bit-identical to the unbounded one.
+#[test]
+fn query_deadlines_never_tear_answers() {
+    for seed in seed_matrix() {
+        let config = ServeConfig::bank_ladder(7, 4, 0.4, 600, seed).with_publish_every(64);
+        let engine = ServeEngine::start(config);
+        engine.submit(inserts(0..320)).unwrap();
+        engine.flush().unwrap();
+        let mut handle = engine.query_handle();
+        let snap = handle.snapshot();
+        assert!(matches!(
+            answer_query_deadline(&snap, 2, Duration::ZERO),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        let bounded = answer_query_deadline(&snap, 2, Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("seed {seed}: generous deadline missed: {e}"));
+        assert!(
+            bounded.bit_eq(&answer_query(&snap, 2)),
+            "seed {seed}: a completed bounded query must match the unbounded one"
+        );
+        let _ = engine.finish();
+    }
+}

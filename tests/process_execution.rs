@@ -131,6 +131,50 @@ fn total_worker_loss_degrades_to_inline_and_still_matches() {
 }
 
 #[test]
+fn hung_worker_is_reaped_by_the_deadline_and_the_family_survives() {
+    let stream = generated_stream(2, 30, 3_000, 4, 47);
+    let cfg = DistConfig::new(8, 4, 0.3, 47).with_sizing(SketchSizing::Budget(1_500));
+    let serial = distributed_k_cover(&stream, &cfg);
+    // Shard 1's worker stalls forever; only the deadline reaper can get
+    // the shard back. A generous timeout keeps slow-CI runs honest while
+    // an infinite hang still trips it.
+    let process = ProcessRunner::new(cfg, worker_command(), 3)
+        .with_fault_plan(FaultPlan::new(47).with_fault(1, Fault::Hang))
+        .with_job_timeout(std::time::Duration::from_millis(500))
+        .run(&stream)
+        .expect("run past a hung worker");
+    assert_eq!(
+        process.family, serial.family,
+        "deadline-reaped shards must rebuild bit-identically"
+    );
+    assert!(
+        process.deadline_reaps >= 1,
+        "the stalled worker must be reaped by the deadline wheel"
+    );
+    assert!(process.workers_lost >= 1);
+    assert!(process.shards_resharded >= 1 || process.shards_built_inline >= 1);
+}
+
+#[test]
+fn corrupt_reply_is_detected_and_the_shard_requeued() {
+    let stream = generated_stream(0, 24, 2_000, 3, 53);
+    let cfg = DistConfig::new(6, 3, 0.3, 53).with_sizing(SketchSizing::Budget(1_200));
+    let serial = distributed_k_cover(&stream, &cfg);
+    let process = ProcessRunner::new(cfg, worker_command(), 2)
+        .with_fault_plan(FaultPlan::new(53).with_fault(2, Fault::CorruptReply))
+        .run(&stream)
+        .expect("run past a corrupted reply");
+    assert_eq!(
+        process.family, serial.family,
+        "a checksum-failed frame must be requeued, not trusted"
+    );
+    assert!(
+        process.proto_faults >= 1,
+        "the corrupted frame must surface as a typed protocol fault"
+    );
+}
+
+#[test]
 fn dynamic_multiprocess_matches_the_serial_dynamic_reference() {
     let stream = generated_stream(2, 24, 2_000, 3, 41);
     let dyn_stream = VecDynamicStream::new(24, signed_updates(&stream, 41));

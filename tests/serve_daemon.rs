@@ -271,6 +271,88 @@ fn dynamic_daemon_serves_churn_and_matches_rebuild() {
 }
 
 #[test]
+fn corrupt_and_oversized_frames_get_error_replies_and_serving_continues() {
+    let child = spawn_serve(&["--n", "4", "--guesses", "2", "--seed", "7"]);
+    let mut raw = Vec::new();
+    // 1. A valid update batch.
+    write_request(
+        &mut raw,
+        &Request::Update {
+            id: 1,
+            updates: (0..60u64)
+                .map(|e| SignedEdge::insert(Edge::new((e % 4) as u32, e * 5)))
+                .collect(),
+        },
+    )
+    .unwrap();
+    // 2. A checksum-corrupted frame: one payload bit flipped. The
+    //    daemon consumes the whole frame (length header is intact), so
+    //    the stream stays in sync.
+    let corrupt_start = raw.len();
+    write_request(&mut raw, &Request::Query { id: 2, k: 1 }).unwrap();
+    raw[corrupt_start + 17] ^= 0x40;
+    // 3. An oversized frame: a bare header whose declared payload
+    //    length exceeds the cap. Rejected before allocation, and only
+    //    the 16 header bytes are consumed.
+    raw.extend_from_slice(b"CVSV");
+    raw.extend_from_slice(&coverage_suite::serve::proto::SERVE_VERSION.to_le_bytes());
+    raw.push(1);
+    raw.push(0);
+    raw.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+    // 4. Serving continues: a valid flush, query, and shutdown still
+    //    answer.
+    write_request(&mut raw, &Request::Flush { id: 3 }).unwrap();
+    write_request(&mut raw, &Request::Query { id: 4, k: 1 }).unwrap();
+    write_request(&mut raw, &Request::Shutdown { id: 5 }).unwrap();
+
+    let mut child = child;
+    {
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        stdin.write_all(&raw).expect("write raw frames");
+        stdin.flush().expect("flush raw frames");
+    }
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let mut replies = Vec::new();
+    loop {
+        match read_reply(&mut stdout) {
+            Ok((reply, _)) => replies.push(reply),
+            Err(ProtoError::Eof) => break,
+            Err(e) => panic!("bad reply stream: {e}"),
+        }
+    }
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon must keep serving: {status}");
+
+    assert_eq!(replies.len(), 5);
+    match &replies[0] {
+        Reply::Error { id, message } => {
+            assert_eq!(*id, 0, "a frame that never decoded has no id");
+            assert!(message.contains("bad frame"), "got: {message}");
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    match &replies[1] {
+        Reply::Error { id, message } => {
+            assert_eq!(*id, 0);
+            assert!(message.contains("bad frame"), "got: {message}");
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    assert!(matches!(&replies[2], Reply::Flush { id: 3, .. }));
+    match &replies[3] {
+        Reply::Query { id, answer } => {
+            assert_eq!(*id, 4);
+            assert_eq!(
+                answer.updates_applied, 60,
+                "the valid batch before the garbage still applied"
+            );
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    assert!(matches!(&replies[4], Reply::Stats { id: 5, .. }));
+}
+
+#[test]
 fn eof_between_frames_drains_the_daemon_cleanly() {
     let child = spawn_serve(&["--n", "4", "--guesses", "2", "--seed", "7"]);
     let replies = converse(

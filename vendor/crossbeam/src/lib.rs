@@ -57,14 +57,20 @@ pub mod thread {
     }
 
     /// Create a scope for spawning threads that may borrow from the
-    /// enclosing stack frame. Unlike crossbeam, panics in unjoined
-    /// threads propagate (std semantics) instead of surfacing as `Err`;
-    /// every caller in this workspace immediately `expect`s the result,
-    /// so the observable behaviour is identical.
+    /// enclosing stack frame. As in crossbeam, a panic in a spawned
+    /// (unjoined) thread surfaces as `Err` carrying the panic payload
+    /// instead of unwinding through the caller: `std::thread::scope`
+    /// re-raises child panics on join, and this adapter catches that
+    /// unwind so callers can degrade typed-ly rather than abort. (A
+    /// panic in the scope closure itself is caught the same way — a
+    /// strictly wider net than crossbeam's, which every caller here
+    /// treats identically.)
     pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
     }
 }
