@@ -126,10 +126,18 @@
 //!   the fault-recovery gate (→ `BENCH_9.json`; the deadline reaper,
 //!   retry/backoff, and reshard paths must all fire).
 //!
+//! * **fails (exit 1)** if the loopback TCP socket executor is not
+//!   within **1.5×** the pipe executor's fault-free wall clock, if no
+//!   shard's chunked stream overlapped ingest with transfer, or if the
+//!   family diverges — fault-free or under a severed connection plus a
+//!   500ms stall — the socket-transport gate (→ `BENCH_10.json`; the
+//!   heartbeat liveness, shard-requeue, and chunk-streaming paths must
+//!   all fire).
+//!
 //! Usage: `bench_smoke [bench2.json [bench3.json [bench4.json
-//! [bench5.json [bench6.json [bench7.json [bench8.json
-//! [bench9.json]]]]]]]]` (defaults `BENCH_2.json` … `BENCH_9.json` in
-//! the current directory).
+//! [bench5.json [bench6.json [bench7.json [bench8.json [bench9.json
+//! [bench10.json]]]]]]]]]` (defaults `BENCH_2.json` … `BENCH_10.json`
+//! in the current directory).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -144,7 +152,7 @@ use coverage_core::{CoverageView, SetId};
 use coverage_data::{churn_workload, planted_k_cover};
 use coverage_dist::{
     distributed_k_cover_serial, dynamic_distributed_k_cover, partition_updates, DistConfig, Fault,
-    FaultPlan, IngestMode, ParallelRunner, ProcessRunner, WorkerCommand,
+    FaultPlan, IngestMode, ParallelRunner, ProcessRunner, SocketRunner, WorkerCommand,
 };
 use coverage_serve::{answer_query, LiveStore, QueryAnswer, ServeConfig, ServeEngine, ServeFinish};
 use coverage_sketch::{
@@ -1144,11 +1152,134 @@ fn fault_smoke(
     (record, ok)
 }
 
+#[derive(Serialize)]
+struct SocketCaseRecord {
+    wall_ms: f64,
+    workers_joined: usize,
+    late_joiners: usize,
+    workers_lost: usize,
+    suspect_transitions: usize,
+    suspect_recoveries: usize,
+    shards_requeued: usize,
+    chunks_streamed: usize,
+    overlap_shards: usize,
+    heartbeat_probes: u64,
+    heartbeat_mean_rtt_us: u64,
+    wire_bytes: u64,
+    family: Vec<u32>,
+}
+
+#[derive(Serialize)]
+struct SocketSmokeRecord {
+    bench: &'static str,
+    workload: &'static str,
+    /// The injected network schedule, in the CLI's `SEED:SPEC` spelling.
+    fault_plan: String,
+    /// The pipe executor on the same worker count — the baseline the
+    /// socket overhead is gated against.
+    pipes_wall_ms: f64,
+    socket: SocketCaseRecord,
+    socket_faulted: SocketCaseRecord,
+    /// `socket / pipes` fault-free wall clocks — the ≤1.5× gated number.
+    overhead_ratio: f64,
+    overhead_gate: f64,
+    /// ≥1 shard acked an early chunk before its last chunk was sent, so
+    /// ingest demonstrably overlapped transfer.
+    overlap_observed: bool,
+    /// Socket (fault-free and faulted) == pipes == serial families.
+    families_match: bool,
+}
+
+/// The socket-transport smoke case (→ `BENCH_10.json`): the same
+/// planted stream through the loopback TCP executor — once fault-free
+/// against the pipe executor's wall clock (≤1.5× gate), once under a
+/// severed connection and a 500ms stall — gating that chunked shard
+/// streaming overlaps ingest with transfer and that every run lands on
+/// the bit-identical family. The network analogue of BENCH_9.
+fn socket_smoke(
+    stream: &VecStream,
+    cfg: DistConfig,
+    serial_family: &[SetId],
+) -> (SocketSmokeRecord, bool) {
+    let command = WorkerCommand::current_exe(vec!["__worker".to_string()])
+        .expect("bench binary can locate itself");
+
+    let (pipes, pipes_ms) = best_of(REPS, || {
+        ProcessRunner::new(cfg, command.clone(), THREADS)
+            .run(stream)
+            .expect("pipe baseline run")
+    });
+    let (sock, sock_ms) = best_of(REPS, || {
+        SocketRunner::new(cfg, command.clone(), THREADS)
+            .run(stream)
+            .expect("fault-free socket run")
+    });
+
+    // Sever shard 0's stream after its first chunk and stall shard 1's
+    // for 500ms without closing (long enough to trip the default 400ms
+    // suspect threshold, short of the 3s dead one). Timed once: the
+    // stall is a constant injected cost, not executor overhead.
+    let plan = FaultPlan::new(10)
+        .with_fault(0, Fault::DropConn)
+        .with_fault(1, Fault::Stall(500));
+    let (faulted, faulted_ms) = best_of(1, || {
+        SocketRunner::new(cfg, command.clone(), THREADS)
+            .with_fault_plan(plan.clone())
+            .run(stream)
+            .expect("faulted socket run")
+    });
+
+    let case = |res: &coverage_dist::SocketResult, wall_ms: f64| SocketCaseRecord {
+        wall_ms,
+        workers_joined: res.stats.workers_joined,
+        late_joiners: res.stats.late_joiners,
+        workers_lost: res.stats.workers_lost,
+        suspect_transitions: res.stats.suspect_transitions,
+        suspect_recoveries: res.stats.suspect_recoveries,
+        shards_requeued: res.stats.shards_requeued,
+        chunks_streamed: res.stats.chunks_streamed,
+        overlap_shards: res.stats.overlap_shards,
+        heartbeat_probes: res.stats.heartbeat.probes,
+        heartbeat_mean_rtt_us: res.stats.heartbeat.mean_ns() / 1_000,
+        wire_bytes: res.stats.wire_bytes,
+        family: res.family.iter().map(|s| s.0).collect(),
+    };
+    let families_match = pipes.family == serial_family
+        && sock.family == serial_family
+        && faulted.family == serial_family;
+    let overhead_ratio = sock_ms / pipes_ms.max(1e-9);
+    let overlap_observed = sock.stats.overlap_shards >= 1;
+    let recovery_exercised = faulted.stats.workers_lost >= 1 && faulted.stats.shards_requeued >= 1;
+    let ok = families_match && overlap_observed && recovery_exercised && overhead_ratio <= 1.5;
+    let record = SocketSmokeRecord {
+        bench: "BENCH_10",
+        workload: "planted_k_cover(n=200, m=100_000, k=6, set_size=4_000, seed=6)",
+        fault_plan: plan.to_string(),
+        pipes_wall_ms: pipes_ms,
+        socket: case(&sock, sock_ms),
+        socket_faulted: case(&faulted, faulted_ms),
+        overhead_ratio,
+        overhead_gate: 1.5,
+        overlap_observed,
+        families_match,
+    };
+    (record, ok)
+}
+
 fn main() {
     // Hidden worker mode: `bench_smoke __worker` serves framed sketch
     // jobs on stdin/stdout — how BENCH_6 gets real subprocess workers
-    // without depending on another binary's build artifact.
+    // without depending on another binary's build artifact. With
+    // `--connect HOST:PORT` (how the BENCH_10 socket coordinator spawns
+    // its loopback workers) the same loop runs over a TCP stream.
     if std::env::args().nth(1).as_deref() == Some("__worker") {
+        if std::env::args().nth(2).as_deref() == Some("--connect") {
+            let addr = std::env::args().nth(3).unwrap_or_else(|| {
+                eprintln!("__worker --connect requires HOST:PORT");
+                exit(2);
+            });
+            exit(coverage_dist::worker::run_connect(&addr));
+        }
         exit(coverage_dist::worker::run_stdio());
     }
     let out_path = std::env::args()
@@ -1175,6 +1306,9 @@ fn main() {
     let fault_out_path = std::env::args()
         .nth(8)
         .unwrap_or_else(|| "BENCH_9.json".to_string());
+    let socket_out_path = std::env::args()
+        .nth(9)
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
 
     // Fixed smoke workload: planted 6-cover, n=200 sets, 100k elements,
     // ~860k edges against a 6k-edge sketch budget. Deliberately
@@ -1395,6 +1529,33 @@ fn main() {
         fault_record.families_match,
     );
 
+    // --- Socket-transport smoke case → BENCH_10.json. ---
+    let (socket_record, socket_ok) = socket_smoke(&stream, cfg, &seq.family);
+    let socket_json = serde_json::to_string_pretty(&socket_record).expect("render json");
+    if let Err(e) = std::fs::write(&socket_out_path, &socket_json) {
+        eprintln!("bench_smoke: cannot write {socket_out_path}: {e}");
+        exit(1);
+    }
+    println!("{socket_json}");
+    println!(
+        "\nbench_smoke: socket loopback {:.1} ms vs pipes {:.1} ms → {:.2}x overhead \
+         (gate {:.1}x), {} chunks streamed, {} shards overlapped ingest with transfer, \
+         mean heartbeat rtt {} us; under {}: {} lost, {} requeued, {} suspect \
+         transitions, families identical: {}",
+        socket_record.socket.wall_ms,
+        socket_record.pipes_wall_ms,
+        socket_record.overhead_ratio,
+        socket_record.overhead_gate,
+        socket_record.socket.chunks_streamed,
+        socket_record.socket.overlap_shards,
+        socket_record.socket.heartbeat_mean_rtt_us,
+        socket_record.fault_plan,
+        socket_record.socket_faulted.workers_lost,
+        socket_record.socket_faulted.shards_requeued,
+        socket_record.socket_faulted.suspect_transitions,
+        socket_record.families_match,
+    );
+
     if !families_match {
         eprintln!(
             "bench_smoke: FAIL — parallel family {:?} diverged from sequential {:?}",
@@ -1534,6 +1695,20 @@ fn main() {
         );
         exit(1);
     }
+    if !socket_ok {
+        eprintln!(
+            "bench_smoke: FAIL — BENCH_10 socket transport: families identical {}, \
+             overhead {:.2}x (gate {:.1}x), overlap observed {}, faulted run lost {} \
+             / requeued {} (need ≥1 each) under the injected drop+stall schedule",
+            socket_record.families_match,
+            socket_record.overhead_ratio,
+            socket_record.overhead_gate,
+            socket_record.overlap_observed,
+            socket_record.socket_faulted.workers_lost,
+            socket_record.socket_faulted.shards_requeued,
+        );
+        exit(1);
+    }
     println!(
         "bench_smoke: OK — families identical, parallel faster, dynamic within the \
          approximation bound, flat ingest engine ≥1.5x over the reference, \
@@ -1542,7 +1717,9 @@ fn main() {
          serving answers replay exactly at ≥0.8x batch ingest throughput, \
          batched-vectorized ingest ≥1.3x over the frozen per-edge scalar engine, \
          the parallel multi-guess solve ≥1.5x over the sequential rebuild \
-         loop with all traces bit-identical, and crash+hang recovery \
-         bit-identical within the 2x overhead gate"
+         loop with all traces bit-identical, crash+hang recovery \
+         bit-identical within the 2x overhead gate, and the socket transport \
+         bit-identical under drop+stall within the 1.5x overhead gate with \
+         chunked streaming overlapping ingest"
     );
 }

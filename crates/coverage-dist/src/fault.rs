@@ -21,7 +21,13 @@
 
 use std::fmt;
 
-/// One injectable fault, executed by the worker that receives it.
+/// One injectable fault. The first four are **worker faults**, executed
+/// by the worker that receives them inside its job frame; the last three
+/// are **network faults**, executed by the coordinator's fault-aware
+/// connection wrapper on the socket transport
+/// ([`SocketRunner`](crate::SocketRunner)) — the pipe transport has no
+/// network to break, so [`ProcessRunner`](crate::ProcessRunner) skips
+/// them (see [`Fault::is_network`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// Exit without replying (the parent sees EOF — a crashed worker).
@@ -36,6 +42,30 @@ pub enum Fault {
     /// a typed wire error; the worker is dropped and the shard
     /// re-dispatched).
     CorruptReply,
+    /// Network fault: sever the connection mid-chunk-stream (the worker
+    /// sees a mid-frame cut, the coordinator sees the connection die and
+    /// requeues the whole shard). Spelled `drop@N`.
+    DropConn,
+    /// Network fault: stop reading and writing for this many
+    /// milliseconds without closing the connection — the half-open link
+    /// that only missed heartbeats can detect, exercising the
+    /// live→suspect(→dead) path. Spelled `stall<MS>@N`.
+    Stall(u64),
+    /// Network fault: deliver one chunk frame twice; the worker's chunk
+    /// index must reject the duplicate or the shard's sketch is wrong.
+    /// Spelled `dup@N`.
+    DupChunk,
+}
+
+impl Fault {
+    /// Whether this is a network fault, executed by the coordinator's
+    /// connection wrapper rather than shipped to the worker. The pipe
+    /// transport ([`ProcessRunner`](crate::ProcessRunner)) ignores
+    /// network faults: a pipe cannot stall half-open or duplicate a
+    /// frame on its own.
+    pub fn is_network(&self) -> bool {
+        matches!(self, Fault::DropConn | Fault::Stall(_) | Fault::DupChunk)
+    }
 }
 
 impl fmt::Display for Fault {
@@ -45,9 +75,61 @@ impl fmt::Display for Fault {
             Fault::Hang => write!(f, "hang"),
             Fault::Delay(ms) => write!(f, "delay{ms}"),
             Fault::CorruptReply => write!(f, "corrupt"),
+            Fault::DropConn => write!(f, "drop"),
+            Fault::Stall(ms) => write!(f, "stall{ms}"),
+            Fault::DupChunk => write!(f, "dup"),
         }
     }
 }
+
+/// A typed parse failure from [`FaultPlan::parse`] — every way a CLI
+/// spec can be malformed gets its own variant, so callers (and the
+/// property tests) can assert on *which* rule was violated instead of
+/// string-matching an error message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultParseError {
+    /// The spec is not of the form `SEED:SPEC`.
+    MissingColon(String),
+    /// The seed before the colon is not a `u64`.
+    BadSeed(String),
+    /// A `rand<PCT>` percentage is not an integer in `0..=100`.
+    BadRandomPct(String),
+    /// A fault item is missing its `@SHARD` suffix.
+    MissingShard(String),
+    /// A fault item's shard index is not a number.
+    BadShard(String),
+    /// A `delay<MS>` or `stall<MS>` argument is not a number.
+    BadMillis(String),
+    /// The fault kind is not one of the known spellings.
+    UnknownKind(String),
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultParseError::MissingColon(s) => {
+                write!(f, "fault plan `{s}` is not of the form SEED:SPEC")
+            }
+            FaultParseError::BadSeed(s) => write!(f, "fault plan seed `{s}` is not a u64"),
+            FaultParseError::BadRandomPct(s) => {
+                write!(f, "random fault percentage `{s}` is not 0-100")
+            }
+            FaultParseError::MissingShard(s) => {
+                write!(f, "fault `{s}` is missing its `@SHARD` suffix")
+            }
+            FaultParseError::BadShard(s) => write!(f, "fault shard index `{s}` is not a number"),
+            FaultParseError::BadMillis(s) => {
+                write!(
+                    f,
+                    "fault `{s}` needs a millisecond count (delay<MS>/stall<MS>)"
+                )
+            }
+            FaultParseError::UnknownKind(s) => write!(f, "unknown fault kind `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 /// The tiny deterministic PRNG behind every random fault schedule
 /// (SplitMix64). Public so transports and tests can derive reproducible
@@ -109,11 +191,12 @@ impl FaultPlan {
     }
 
     /// Add an explicit fault for `shard` (consumed on that shard's first
-    /// dispatch). Delays are clamped to [`MAX_DELAY_MS`]. The last entry
-    /// for a shard wins.
+    /// dispatch). Delays and stalls are clamped to [`MAX_DELAY_MS`]. The
+    /// last entry for a shard wins.
     pub fn with_fault(mut self, shard: usize, fault: Fault) -> Self {
         let fault = match fault {
             Fault::Delay(ms) => Fault::Delay(ms.min(MAX_DELAY_MS)),
+            Fault::Stall(ms) => Fault::Stall(ms.min(MAX_DELAY_MS)),
             f => f,
         };
         self.entries.push((shard, fault));
@@ -170,43 +253,56 @@ impl FaultPlan {
     }
 
     /// Parse the CLI spelling `SEED:SPEC`, where `SPEC` is a comma list
-    /// of `crash@N`, `hang@N`, `delay<MS>@N`, `corrupt@N`, and
-    /// `rand<PCT>` (e.g. `7:crash@0,delay40@2,rand10`). An empty spec
-    /// after the colon is a valid no-fault plan.
-    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+    /// of `crash@N`, `hang@N`, `delay<MS>@N`, `corrupt@N`, the network
+    /// kinds `drop@N`, `stall<MS>@N`, `dup@N`, and `rand<PCT>` (e.g.
+    /// `7:crash@0,drop@1,stall500@2,rand10`). An empty spec after the
+    /// colon is a valid no-fault plan; every malformed spec is a typed
+    /// [`FaultParseError`].
+    pub fn parse(s: &str) -> Result<FaultPlan, FaultParseError> {
         let (seed_part, spec) = s
             .split_once(':')
-            .ok_or_else(|| format!("fault plan `{s}` is not of the form SEED:SPEC"))?;
+            .ok_or_else(|| FaultParseError::MissingColon(s.to_string()))?;
         let seed: u64 = seed_part
             .trim()
             .parse()
-            .map_err(|_| format!("fault plan seed `{seed_part}` is not a u64"))?;
+            .map_err(|_| FaultParseError::BadSeed(seed_part.to_string()))?;
         let mut plan = FaultPlan::new(seed);
         for item in spec.split(',').map(str::trim).filter(|i| !i.is_empty()) {
             if let Some(pct) = item.strip_prefix("rand") {
                 let pct: u8 = pct
                     .parse()
-                    .map_err(|_| format!("random fault percentage `{item}` is not 0-100"))?;
+                    .map_err(|_| FaultParseError::BadRandomPct(item.to_string()))?;
+                if pct > 100 {
+                    return Err(FaultParseError::BadRandomPct(item.to_string()));
+                }
                 plan = plan.with_random_pct(pct);
                 continue;
             }
             let (what, shard) = item
                 .split_once('@')
-                .ok_or_else(|| format!("fault `{item}` is missing its `@SHARD` suffix"))?;
+                .ok_or_else(|| FaultParseError::MissingShard(item.to_string()))?;
             let shard: usize = shard
                 .parse()
-                .map_err(|_| format!("fault shard index `{shard}` is not a number"))?;
+                .map_err(|_| FaultParseError::BadShard(shard.to_string()))?;
             let fault = match what {
                 "crash" => Fault::Crash,
                 "hang" => Fault::Hang,
                 "corrupt" => Fault::CorruptReply,
-                other => match other.strip_prefix("delay") {
-                    Some(ms) => Fault::Delay(
+                "drop" => Fault::DropConn,
+                "dup" => Fault::DupChunk,
+                other => {
+                    let (kind, ms) = if let Some(ms) = other.strip_prefix("delay") {
+                        (Fault::Delay as fn(u64) -> Fault, ms)
+                    } else if let Some(ms) = other.strip_prefix("stall") {
+                        (Fault::Stall as fn(u64) -> Fault, ms)
+                    } else {
+                        return Err(FaultParseError::UnknownKind(other.to_string()));
+                    };
+                    kind(
                         ms.parse::<u64>()
-                            .map_err(|_| format!("delay `{other}` is not delay<MS>"))?,
-                    ),
-                    None => return Err(format!("unknown fault kind `{other}`")),
-                },
+                            .map_err(|_| FaultParseError::BadMillis(other.to_string()))?,
+                    )
+                }
             };
             plan = plan.with_fault(shard, fault);
         }
@@ -291,17 +387,59 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed_specs() {
-        for bad in [
-            "nocolon",
-            "x:crash@0",
-            "1:crash",
-            "1:crash@x",
-            "1:frobnicate@0",
-            "1:delayxx@0",
-            "1:randmany",
+    fn network_fault_spellings_roundtrip() {
+        let plan = FaultPlan::new(4)
+            .with_fault(0, Fault::DropConn)
+            .with_fault(1, Fault::Stall(500))
+            .with_fault(2, Fault::DupChunk);
+        let spec = plan.to_string();
+        assert_eq!(spec, "4:drop@0,stall500@1,dup@2");
+        assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
+        for f in [Fault::DropConn, Fault::Stall(1), Fault::DupChunk] {
+            assert!(f.is_network(), "{f} is a network fault");
+        }
+        for f in [
+            Fault::Crash,
+            Fault::Hang,
+            Fault::Delay(1),
+            Fault::CorruptReply,
         ] {
-            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+            assert!(!f.is_network(), "{f} is a worker fault");
+        }
+    }
+
+    #[test]
+    fn rand_boundary_percentages_parse_and_roundtrip() {
+        // rand0 is a valid no-op random layer; its Display omits the
+        // clause, and re-parsing the display reproduces the plan.
+        let zero = FaultPlan::parse("3:rand0").unwrap();
+        assert!(zero.is_empty());
+        assert_eq!(FaultPlan::parse(&zero.to_string()).unwrap(), zero);
+        // rand100 faults every shard.
+        let full = FaultPlan::parse("3:rand100").unwrap();
+        assert!(full.schedule(16).iter().all(|s| s.is_some()));
+        assert_eq!(FaultPlan::parse(&full.to_string()).unwrap(), full);
+        // Above the boundary is a typed error, not a silent clamp.
+        assert_eq!(
+            FaultPlan::parse("3:rand101"),
+            Err(FaultParseError::BadRandomPct("rand101".to_string()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_typed_errors() {
+        use FaultParseError as E;
+        for (bad, want) in [
+            ("nocolon", E::MissingColon("nocolon".to_string())),
+            ("x:crash@0", E::BadSeed("x".to_string())),
+            ("1:crash", E::MissingShard("crash".to_string())),
+            ("1:crash@x", E::BadShard("x".to_string())),
+            ("1:frobnicate@0", E::UnknownKind("frobnicate".to_string())),
+            ("1:delayxx@0", E::BadMillis("delayxx".to_string())),
+            ("1:stall@0", E::BadMillis("stall".to_string())),
+            ("1:randmany", E::BadRandomPct("randmany".to_string())),
+        ] {
+            assert_eq!(FaultPlan::parse(bad), Err(want), "{bad}");
         }
         let empty = FaultPlan::parse("5:").unwrap();
         assert!(empty.is_empty());
@@ -309,9 +447,11 @@ mod tests {
     }
 
     #[test]
-    fn delays_are_clamped() {
+    fn delays_and_stalls_are_clamped() {
         let plan = FaultPlan::new(0).with_fault(0, Fault::Delay(u64::MAX));
         assert_eq!(plan.schedule(1)[0], Some(Fault::Delay(MAX_DELAY_MS)));
+        let plan = FaultPlan::new(0).with_fault(0, Fault::Stall(u64::MAX));
+        assert_eq!(plan.schedule(1)[0], Some(Fault::Stall(MAX_DELAY_MS)));
     }
 
     #[test]

@@ -55,11 +55,21 @@
 //! contract that survives worker loss, because a dead worker's shards
 //! are re-dispatched to survivors and `merge_from` is associative and
 //! commutative.
+//!
+//! ## Real networks
+//!
+//! [`SocketRunner`] moves the same pipeline onto TCP: workers dial the
+//! coordinator (`coverage worker --connect HOST:PORT`), liveness is
+//! heartbeat-graded instead of EOF-based (live → suspect → dead, with
+//! late joiners admitted mid-run), and shards travel as chunked streams
+//! so ingest overlaps transfer. The [`net`] module docs cover the fault
+//! model; the determinism contract is identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod net;
 pub mod parallel;
 pub mod partition;
 pub mod proto;
@@ -67,13 +77,17 @@ pub mod rounds;
 pub mod runner;
 pub mod worker;
 
-pub use fault::{Fault, FaultPlan, SplitMix64};
+pub use fault::{Fault, FaultParseError, FaultPlan, SplitMix64};
+pub use net::{
+    DynSocketResult, HeartbeatStats, SocketResult, SocketRunStats, SocketRunner, WorkerState,
+    WorkerSummary,
+};
 pub use parallel::{
     partition_edges, partition_updates, DynamicParallelResult, IngestMode, ParallelResult,
     ParallelRunner,
 };
 pub use partition::{shard_of_edge, DynamicShardedStream, ShardedStream};
-pub use proto::{Message, ProtoError};
+pub use proto::{ChunkPayload, Message, ProtoError};
 pub use rounds::{
     tree_reduce, tree_reduce_via, tree_reduce_with, BinaryTransport, Composable, FaultyTransport,
     JsonTransport, Loopback, RoundCost, RoundsReport, ShipFormat, Shipment, Transport,

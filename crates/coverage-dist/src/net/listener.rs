@@ -1,0 +1,1175 @@
+//! The socket executor: [`SocketRunner`] accepts TCP workers, streams
+//! shards to them in bounded chunks, and recovers from every network
+//! failure mode the fault plan can inject.
+//!
+//! ## Thread shape
+//!
+//! One **acceptor** thread polls the listener and forwards new
+//! connections; each connection gets a dedicated **reader** thread
+//! (frames → the shared event channel, so a stalled peer blocks its
+//! reader, never the coordinator) and a dedicated **writer** thread
+//! (commands → frames, so a peer that stops reading blocks its writer,
+//! never the coordinator). The main loop is single-threaded and
+//! event-driven, exactly like `ProcessRunner::dispatch`, waiting on
+//! whichever comes first: a frame, a heartbeat tick, a job deadline, a
+//! retry backoff maturing, a scheduled late spawn, or the empty-registry
+//! grace deadline.
+//!
+//! ## Why recovery cannot change the answer
+//!
+//! Every shard job is self-contained (params + seed + the shard's
+//! edges) and `merge_from` is associative and commutative, so a shard
+//! requeued after a mid-stream connection loss — or rebuilt inline when
+//! the registry empties — produces byte-identical locals. The reduce
+//! consumes locals in shard order regardless of which worker built
+//! them; the family is therefore bit-identical to the serial executor
+//! under **any** fault schedule, which `tests/socket_execution.rs` and
+//! the socket chaos leg assert.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use coverage_core::offline::bucket_greedy_k_cover;
+use coverage_core::SetId;
+use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
+use coverage_stream::{DynamicEdgeStream, EdgeStream};
+
+use crate::fault::{Fault, FaultPlan};
+use crate::parallel::{partition_edges, partition_updates};
+use crate::proto::{read_message, write_message, Message, ProtoError};
+use crate::rounds::{tree_reduce_with, RoundsReport, ShipFormat};
+use crate::runner::{
+    recover_and_solve, DeadlineWheel, DistConfig, RetryPolicy, RunError, WorkerCommand,
+};
+
+use super::chunk::{plan_dynamic, plan_sketch, ChunkPlan};
+use super::registry::{HeartbeatStats, Liveness, WorkerRegistry, WorkerSummary};
+
+/// Fault/recovery/registry accounting of one socket run, embedded in
+/// [`SocketResult`]/[`DynSocketResult`].
+#[derive(Clone, Debug, Default)]
+pub struct SocketRunStats {
+    /// Connections admitted to the registry over the whole run.
+    pub workers_joined: usize,
+    /// Of those, connections admitted after shard dispatch had begun
+    /// (late joiners and rejoining worker processes).
+    pub late_joiners: usize,
+    /// Workers declared dead (EOF, wire error, missed heartbeats, or
+    /// deadline reap).
+    pub workers_lost: usize,
+    /// Times a worker crossed live→suspect on missed heartbeats.
+    pub suspect_transitions: usize,
+    /// Times a suspect worker recovered to live on a late echo.
+    pub suspect_recoveries: usize,
+    /// Shard jobs requeued to survivors after their worker died
+    /// mid-job (including mid-stream connection losses).
+    pub shards_requeued: usize,
+    /// Shards built inline in the coordinator because the registry
+    /// emptied or the shard exhausted its retry allowance.
+    pub shards_built_inline: usize,
+    /// Workers reaped by the per-job deadline (hangs and over-deadline
+    /// stalls).
+    pub deadline_reaps: usize,
+    /// Shard jobs re-dispatched after waiting out a backoff.
+    pub retries: usize,
+    /// Typed protocol faults observed on connections (corrupt frames,
+    /// version mismatches, unexpected replies).
+    pub proto_faults: usize,
+    /// Injected `drop@N` faults: connections severed mid-stream.
+    pub conn_drops_injected: usize,
+    /// Injected `stall<MS>@N` faults: writes paused without closing.
+    pub stalls_injected: usize,
+    /// Injected `dup@N` faults: chunks delivered twice.
+    pub chunk_dups_injected: usize,
+    /// Total [`Message::JobChunk`] frames enqueued to workers.
+    pub chunks_streamed: usize,
+    /// Shards for which a chunk was acked (ingested) before the last
+    /// chunk had been sent — the observable proof that chunked
+    /// streaming overlapped transfer and ingest.
+    pub overlap_shards: usize,
+    /// Total connection bytes of worker reply frames.
+    pub wire_bytes: u64,
+    /// Heartbeat probe round-trip latency aggregated over every worker.
+    pub heartbeat: HeartbeatStats,
+    /// Per-worker registry summaries, in admission order.
+    pub workers: Vec<WorkerSummary>,
+}
+
+/// Result of a [`SocketRunner`] insertion-only run.
+#[derive(Clone, Debug)]
+pub struct SocketResult {
+    /// The selected family (identical to the serial, parallel, and
+    /// process executors').
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage.
+    pub estimated_coverage: f64,
+    /// The merged sketch's final size (edges).
+    pub merged_edges: usize,
+    /// Tree-reduce round/communication accounting.
+    pub rounds: RoundsReport,
+    /// Registry, fault, and recovery accounting.
+    pub stats: SocketRunStats,
+    /// Wall-clock nanoseconds partitioning the stream.
+    pub partition_ns: u64,
+    /// Wall-clock nanoseconds streaming shards and collecting replies.
+    pub map_ns: u64,
+    /// Wall-clock nanoseconds in the reduce + solve tail.
+    pub reduce_solve_ns: u64,
+}
+
+/// Result of a [`SocketRunner`] dynamic (insert/delete) run.
+#[derive(Clone, Debug)]
+pub struct DynSocketResult {
+    /// The selected family (identical to the serial dynamic executor's).
+    pub family: Vec<SetId>,
+    /// Inverse-probability estimate of the family's coverage on the
+    /// surviving graph.
+    pub estimated_coverage: f64,
+    /// The subsampling level the merged sketch decoded at.
+    pub sample_level: usize,
+    /// That level's sampling probability `p = 2^{−level}`.
+    pub sampling_p: f64,
+    /// Surviving edges recovered from the merged sketch.
+    pub recovered_edges: usize,
+    /// Tree-reduce round/communication accounting.
+    pub rounds: RoundsReport,
+    /// Registry, fault, and recovery accounting.
+    pub stats: SocketRunStats,
+    /// Wall-clock nanoseconds partitioning the stream.
+    pub partition_ns: u64,
+    /// Wall-clock nanoseconds streaming shards and collecting replies.
+    pub map_ns: u64,
+    /// Wall-clock nanoseconds in the reduce + recover + solve tail.
+    pub reduce_solve_ns: u64,
+}
+
+/// One event delivered to the coordinator's main loop.
+enum SockEvent {
+    /// The acceptor took a new connection.
+    Joined(TcpStream),
+    /// A frame (or the typed read failure that ended the stream) from
+    /// connection `0`'s reader.
+    Frame(usize, Result<(Message, u64), ProtoError>),
+    /// Connection `0`'s writer finished streaming shard `1`'s chunks.
+    SentAll(usize, usize),
+    /// Connection `0`'s writer hit an I/O error.
+    WriteErr(usize),
+}
+
+/// One command to a connection's writer thread.
+enum WriteCmd {
+    /// Write a single control frame (heartbeat probe, shutdown).
+    Frame(Message),
+    /// Stream one shard: the `ChunkStart*` frame, its chunks under
+    /// flow control, and optionally an injected network fault.
+    Shard {
+        shard: usize,
+        start: Message,
+        chunks: Vec<Message>,
+        net_fault: Option<Fault>,
+    },
+    /// Exit the writer thread.
+    Stop,
+}
+
+/// Coordinator-side handle on one connection (registry entry `ci`).
+struct Conn {
+    stream: TcpStream,
+    cmd: Option<Sender<WriteCmd>>,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    /// Chunks of the in-flight shard acked (ingested) so far — shared
+    /// with the writer for flow control.
+    acked: Arc<AtomicU32>,
+    /// Set when the connection is being torn down, so a writer blocked
+    /// in flow control or an injected stall bails out.
+    gone: Arc<AtomicBool>,
+    /// The shard whose reply this connection owes, if any.
+    inflight: Option<usize>,
+    /// Whether the writer has reported streaming every chunk of the
+    /// in-flight shard.
+    sent_all: bool,
+    /// Chunk count of the in-flight shard.
+    chunks_total: u32,
+    /// Whether this shard already counted toward `overlap_shards`.
+    overlap_counted: bool,
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    tx: Sender<SockEvent>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let _ = listener.set_nonblocking(true);
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(SockEvent::Joined(stream)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    })
+}
+
+fn spawn_conn_reader(ci: usize, stream: TcpStream, tx: Sender<SockEvent>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut input = BufReader::new(stream);
+        loop {
+            match read_message(&mut input) {
+                Ok(ok) => {
+                    if tx.send(SockEvent::Frame(ci, Ok(ok))).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(SockEvent::Frame(ci, Err(e)));
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// Drain queued control frames (heartbeat probes, shutdown) so a long
+/// chunk stream never starves liveness. Returns `Ok(false)` when a
+/// `Stop` was drained — the caller abandons its stream and exits.
+fn drain_control(
+    out: &mut BufWriter<&TcpStream>,
+    cmds: &Receiver<WriteCmd>,
+) -> Result<bool, ProtoError> {
+    loop {
+        match cmds.try_recv() {
+            Ok(WriteCmd::Frame(msg)) => {
+                write_message(out, &msg)?;
+            }
+            Ok(WriteCmd::Stop) => return Ok(false),
+            // The coordinator never queues a second shard while one is
+            // in flight; drop it defensively rather than interleave two
+            // streams.
+            Ok(WriteCmd::Shard { .. }) => {}
+            Err(TryRecvError::Empty) => return Ok(true),
+            Err(TryRecvError::Disconnected) => return Ok(false),
+        }
+    }
+}
+
+/// Stream one shard's chunks under flow control, executing an injected
+/// network fault mid-stream. Returns `Ok(true)` when every chunk was
+/// written (the caller reports `SentAll`) and `Ok(false)` when the
+/// stream was abandoned — injected drop, torn-down connection, or a
+/// drained `Stop`.
+#[allow(clippy::too_many_arguments)]
+fn stream_shard(
+    stream: &TcpStream,
+    out: &mut BufWriter<&TcpStream>,
+    cmds: &Receiver<WriteCmd>,
+    acked: &AtomicU32,
+    gone: &AtomicBool,
+    window: u32,
+    start: &Message,
+    chunks: &[Message],
+    net_fault: Option<Fault>,
+) -> Result<bool, ProtoError> {
+    write_message(out, start)?;
+    if chunks.is_empty() && matches!(net_fault, Some(Fault::DropConn)) {
+        // Even an empty shard's stream can be severed before the worker
+        // replies.
+        let _ = stream.shutdown(Shutdown::Both);
+        return Ok(false);
+    }
+    for (i, chunk) in chunks.iter().enumerate() {
+        if !drain_control(out, cmds)? {
+            return Ok(false);
+        }
+        // Flow control: at most `window` unacked chunks in flight, so a
+        // slow ingester applies backpressure instead of ballooning its
+        // socket buffer — and so acks arriving before the last chunk is
+        // sent are an honest overlap observation.
+        while (i as u32) >= acked.load(Ordering::Acquire).saturating_add(window) {
+            if gone.load(Ordering::Acquire) {
+                return Ok(false);
+            }
+            if !drain_control(out, cmds)? {
+                return Ok(false);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        write_message(out, chunk)?;
+        if i == 0 {
+            match net_fault {
+                Some(Fault::DropConn) => {
+                    // Sever mid-stream: the worker's build dies with the
+                    // connection; the reader's EOF requeues the shard.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return Ok(false);
+                }
+                Some(Fault::Stall(ms)) => {
+                    // Stop writing without closing. Heartbeat probes
+                    // queue unwritten behind the stall, so the pending
+                    // probe ages into the suspect threshold — the
+                    // half-open-connection detector under test.
+                    let mut left = ms;
+                    while left > 0 && !gone.load(Ordering::Acquire) {
+                        let step = left.min(10);
+                        std::thread::sleep(Duration::from_millis(step));
+                        left -= step;
+                    }
+                }
+                Some(Fault::DupChunk) => {
+                    // Deliver chunk 0 twice; the worker must reject the
+                    // replay by index without touching its sketch.
+                    write_message(out, chunk)?;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_conn_writer(
+    ci: usize,
+    stream: TcpStream,
+    cmds: Receiver<WriteCmd>,
+    acked: Arc<AtomicU32>,
+    gone: Arc<AtomicBool>,
+    window: u32,
+    tx: Sender<SockEvent>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut out = BufWriter::new(&stream);
+        while let Ok(cmd) = cmds.recv() {
+            match cmd {
+                WriteCmd::Stop => return,
+                WriteCmd::Frame(msg) => {
+                    if write_message(&mut out, &msg).is_err() {
+                        let _ = tx.send(SockEvent::WriteErr(ci));
+                        return;
+                    }
+                }
+                WriteCmd::Shard {
+                    shard,
+                    start,
+                    chunks,
+                    net_fault,
+                } => match stream_shard(
+                    &stream, &mut out, &cmds, &acked, &gone, window, &start, &chunks, net_fault,
+                ) {
+                    Ok(true) => {
+                        if tx.send(SockEvent::SentAll(ci, shard)).is_err() {
+                            return;
+                        }
+                    }
+                    // Abandoned stream (injected drop / teardown): the
+                    // reader-side EOF carries the news; nothing to send.
+                    Ok(false) => return,
+                    Err(_) => {
+                        let _ = tx.send(SockEvent::WriteErr(ci));
+                        return;
+                    }
+                },
+            }
+        }
+    })
+}
+
+/// The TCP executor: the same map → tree-reduce → solve pipeline as
+/// [`ProcessRunner`](crate::ProcessRunner), with workers on the far end
+/// of real socket connections instead of parent-owned pipes.
+///
+/// Two deployment shapes share the implementation:
+///
+/// - **Loopback self-spawn** ([`SocketRunner::new`]): bind an ephemeral
+///   loopback port and launch `processes` copies of the worker command
+///   with `--connect ADDR` appended — the tests/bench shape.
+/// - **Listen** ([`SocketRunner::listen`]): bind a given address and
+///   wait for externally-started `coverage worker --connect HOST:PORT`
+///   processes — the multi-host shape. Workers may connect at any
+///   point; a worker joining after dispatch began is admitted mid-run
+///   and handed queued shards.
+///
+/// Liveness is heartbeat-driven, not EOF-driven: the coordinator probes
+/// every connection on a fixed cadence, and the registry grades each
+/// worker by the age of its oldest unanswered probe
+/// (live → suspect → dead; see [`super::registry`]). Dead workers'
+/// in-flight shards are requeued to survivors through the same
+/// [`RetryPolicy`] + deadline machinery as the pipe executor, and when
+/// the registry empties (and stays empty past the join grace), the
+/// remaining shards degrade to inline builds — the run always
+/// completes, with the degradation visible in [`SocketRunStats`].
+///
+/// Shards travel as **chunked streams** ([`super::chunk`]): a
+/// `ChunkStart*` frame, then bounded `JobChunk` frames under an ack
+/// window, so workers ingest while the shard is still arriving. A
+/// connection lost mid-stream requeues the whole shard — idempotent
+/// because shard jobs are self-contained.
+#[derive(Clone, Debug)]
+pub struct SocketRunner {
+    cfg: DistConfig,
+    command: Option<WorkerCommand>,
+    processes: usize,
+    listen: String,
+    fan_in: usize,
+    batch: usize,
+    ship: ShipFormat,
+    fault_plan: FaultPlan,
+    job_timeout: Duration,
+    retry: RetryPolicy,
+    chunk_items: usize,
+    chunk_window: u32,
+    heartbeat_every: Duration,
+    suspect_after: Duration,
+    dead_after: Duration,
+    join_grace: Duration,
+    late_spawns: Vec<Duration>,
+}
+
+/// Mirrors the pipe executor's defaults.
+const SOCKET_DEFAULT_BATCH: usize = 1 << 12;
+const SOCKET_DEFAULT_FAN_IN: usize = 4;
+const SOCKET_DEFAULT_JOB_TIMEOUT: Duration = Duration::from_secs(30);
+/// Items (edges or signed updates) per [`Message::JobChunk`].
+const SOCKET_DEFAULT_CHUNK_ITEMS: usize = 16 * 1024;
+/// Unacked chunks allowed in flight per connection.
+const SOCKET_DEFAULT_CHUNK_WINDOW: u32 = 4;
+/// Heartbeat probe cadence per connection.
+const SOCKET_DEFAULT_HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+/// Unanswered-probe age that turns a worker suspect.
+const SOCKET_DEFAULT_SUSPECT_AFTER: Duration = Duration::from_millis(400);
+/// Unanswered-probe age that declares a worker dead.
+const SOCKET_DEFAULT_DEAD_AFTER: Duration = Duration::from_secs(3);
+/// How long an empty registry waits for a (re)connection before the
+/// remaining shards degrade to inline builds.
+const SOCKET_DEFAULT_JOIN_GRACE: Duration = Duration::from_secs(5);
+
+impl SocketRunner {
+    /// Loopback self-spawn mode: bind an ephemeral loopback port and
+    /// launch `processes ≥ 1` copies of `command` with
+    /// `--connect ADDR` appended.
+    pub fn new(cfg: DistConfig, command: WorkerCommand, processes: usize) -> Self {
+        assert!(processes >= 1, "need at least one worker process");
+        SocketRunner {
+            cfg,
+            command: Some(command),
+            processes,
+            listen: "127.0.0.1:0".to_string(),
+            fan_in: SOCKET_DEFAULT_FAN_IN,
+            batch: SOCKET_DEFAULT_BATCH,
+            ship: ShipFormat::Binary,
+            fault_plan: FaultPlan::none(),
+            job_timeout: SOCKET_DEFAULT_JOB_TIMEOUT,
+            retry: RetryPolicy::default(),
+            chunk_items: SOCKET_DEFAULT_CHUNK_ITEMS,
+            chunk_window: SOCKET_DEFAULT_CHUNK_WINDOW,
+            heartbeat_every: SOCKET_DEFAULT_HEARTBEAT_EVERY,
+            suspect_after: SOCKET_DEFAULT_SUSPECT_AFTER,
+            dead_after: SOCKET_DEFAULT_DEAD_AFTER,
+            join_grace: SOCKET_DEFAULT_JOIN_GRACE,
+            late_spawns: Vec::new(),
+        }
+    }
+
+    /// Listen mode: bind `addr` (e.g. `0.0.0.0:7700`) and serve
+    /// externally-started `coverage worker --connect HOST:PORT`
+    /// processes. No workers are spawned; if none connects within the
+    /// join grace, every shard is built inline.
+    pub fn listen(cfg: DistConfig, addr: impl Into<String>) -> Self {
+        SocketRunner {
+            cfg,
+            command: None,
+            processes: 0,
+            listen: addr.into(),
+            fan_in: SOCKET_DEFAULT_FAN_IN,
+            batch: SOCKET_DEFAULT_BATCH,
+            ship: ShipFormat::Binary,
+            fault_plan: FaultPlan::none(),
+            job_timeout: SOCKET_DEFAULT_JOB_TIMEOUT,
+            retry: RetryPolicy::default(),
+            chunk_items: SOCKET_DEFAULT_CHUNK_ITEMS,
+            chunk_window: SOCKET_DEFAULT_CHUNK_WINDOW,
+            heartbeat_every: SOCKET_DEFAULT_HEARTBEAT_EVERY,
+            suspect_after: SOCKET_DEFAULT_SUSPECT_AFTER,
+            dead_after: SOCKET_DEFAULT_DEAD_AFTER,
+            join_grace: SOCKET_DEFAULT_JOIN_GRACE,
+            late_spawns: Vec::new(),
+        }
+    }
+
+    /// Override the reduce fan-in (`≥ 2`).
+    pub fn with_fan_in(mut self, fan_in: usize) -> Self {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        self.fan_in = fan_in;
+        self
+    }
+
+    /// Override the worker update-batch size (`≥ 1`).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// Override the ship format for worker replies and the reduce.
+    /// [`ShipFormat::InMemory`] cannot cross a socket and is mapped to
+    /// [`ShipFormat::Binary`] for the replies.
+    pub fn with_ship_format(mut self, ship: ShipFormat) -> Self {
+        self.ship = ship;
+        self
+    }
+
+    /// Thread a deterministic [`FaultPlan`] through the run. Worker
+    /// faults (crash/hang/delay/corrupt) ride in the `ChunkStart*`
+    /// frame and are executed by the worker at stream completion;
+    /// network faults (drop/stall/dup) are executed coordinator-side by
+    /// the connection's fault-aware writer. Each shard's fault is
+    /// consumed on its first dispatch.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the per-job deadline (must exceed any injected stall or
+    /// the stall is indistinguishable from a hang and gets reaped).
+    pub fn with_job_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "job timeout must be positive");
+        self.job_timeout = timeout;
+        self
+    }
+
+    /// Override the retry/backoff discipline for failed shard jobs.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        assert!(retry.max_attempts >= 1, "need at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// Override the items carried per [`Message::JobChunk`] (`≥ 1`).
+    /// Smaller chunks mean earlier ingest overlap and more frames.
+    pub fn with_chunk_items(mut self, items: usize) -> Self {
+        assert!(items >= 1, "chunks must carry at least one item");
+        self.chunk_items = items;
+        self
+    }
+
+    /// Override the per-connection ack window (`≥ 1` unacked chunks).
+    pub fn with_chunk_window(mut self, window: u32) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        self.chunk_window = window;
+        self
+    }
+
+    /// Override the liveness timings: probe cadence, the unanswered
+    /// probe age that turns a worker suspect, and the age that declares
+    /// it dead (`every < suspect < dead`).
+    pub fn with_heartbeats(mut self, every: Duration, suspect: Duration, dead: Duration) -> Self {
+        assert!(
+            !every.is_zero() && every < suspect && suspect < dead,
+            "need probe cadence < suspect threshold < dead threshold"
+        );
+        self.heartbeat_every = every;
+        self.suspect_after = suspect;
+        self.dead_after = dead;
+        self
+    }
+
+    /// How long an empty registry waits for a (re)connection before the
+    /// remaining shards degrade to inline builds.
+    pub fn with_join_grace(mut self, grace: Duration) -> Self {
+        self.join_grace = grace;
+        self
+    }
+
+    /// Schedule one extra worker process to be spawned `after` the run
+    /// starts (loopback mode only) — deterministic late-joiner
+    /// admission for tests and the chaos suite. May be called multiple
+    /// times.
+    pub fn with_late_worker_after(mut self, after: Duration) -> Self {
+        self.late_spawns.push(after);
+        self
+    }
+
+    /// The reply encoding actually used on the sockets.
+    fn pipe_format(&self) -> ShipFormat {
+        match self.ship {
+            ShipFormat::Json => ShipFormat::Json,
+            _ => ShipFormat::Binary,
+        }
+    }
+
+    /// Bind, spawn/accept workers, and drive every shard job to a
+    /// snapshot. See the module docs for the thread shape; the recovery
+    /// discipline mirrors `ProcessRunner::dispatch` with liveness
+    /// generalized from "pipe EOF" to heartbeat grading.
+    fn dispatch<Snap>(
+        &self,
+        n_shards: usize,
+        plan_shard: impl Fn(usize, Option<Fault>) -> ChunkPlan,
+        extract: impl Fn(Message) -> Option<Snap>,
+        inline: impl Fn(usize) -> Snap,
+    ) -> Result<(Vec<Snap>, SocketRunStats), RunError> {
+        let listener = TcpListener::bind(&self.listen)?;
+        let addr = listener.local_addr()?.to_string();
+        let (tx, rx) = channel::<SockEvent>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(listener, stop.clone(), tx.clone());
+
+        let started = Instant::now();
+        let mut children: Vec<Child> = Vec::new();
+        let mut pending_spawns: Vec<Instant> = Vec::new();
+        if let Some(command) = &self.command {
+            let want = self.processes.min(n_shards).max(1);
+            let mut spawn_err: Option<std::io::Error> = None;
+            for _ in 0..want {
+                match command.spawn_connected(&addr) {
+                    Ok(child) => children.push(child),
+                    Err(e) => spawn_err = Some(e),
+                }
+            }
+            if children.is_empty() {
+                stop.store(true, Ordering::Release);
+                drop(tx);
+                let _ = acceptor.join();
+                return Err(RunError::Spawn(spawn_err.unwrap_or_else(|| {
+                    std::io::Error::other("no worker could be spawned")
+                })));
+            }
+            pending_spawns = self.late_spawns.iter().map(|d| started + *d).collect();
+            pending_spawns.sort();
+        }
+
+        let mut faults = self.fault_plan.schedule(n_shards);
+        let mut registry = WorkerRegistry::new();
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut wheel = DeadlineWheel::new(0);
+        let mut stats = SocketRunStats::default();
+
+        let mut queue: VecDeque<usize> = (0..n_shards).collect();
+        let mut ready_at: Vec<Instant> = vec![started; n_shards];
+        let mut attempts: Vec<usize> = vec![0; n_shards];
+        let mut snapshots: Vec<Option<Snap>> = (0..n_shards).map(|_| None).collect();
+        let mut resolved = 0usize;
+        let mut retries_spent = 0usize;
+        let mut nonce_counter: u64 = 0x4E45_5400_0000_0000;
+        let mut next_probe = started + self.heartbeat_every;
+        let mut dispatch_started = false;
+        // The registry starts empty; the grace clock starts now so a run
+        // nobody connects to still terminates (inline).
+        let mut empty_since: Option<Instant> = Some(started);
+
+        // A shard's dispatch failed: retry after a backoff, or build it
+        // inline once its attempts or the run-wide budget run out.
+        macro_rules! fail_shard {
+            ($shard:expr) => {{
+                let shard = $shard;
+                attempts[shard] += 1;
+                retries_spent += 1;
+                if attempts[shard] >= self.retry.max_attempts || retries_spent > self.retry.budget {
+                    snapshots[shard] = Some(inline(shard));
+                    stats.shards_built_inline += 1;
+                    resolved += 1;
+                } else {
+                    stats.retries += 1;
+                    stats.shards_requeued += 1;
+                    ready_at[shard] = Instant::now() + self.retry.backoff_after(attempts[shard]);
+                    queue.push_front(shard);
+                }
+            }};
+        }
+
+        // Declare a connection dead: sever it, unblock its writer, and
+        // requeue whatever it owed.
+        macro_rules! reap_conn {
+            ($ci:expr) => {{
+                let ci = $ci;
+                if registry.usable(ci) {
+                    stats.workers_lost += 1;
+                }
+                registry.mark_dead(ci);
+                wheel.disarm(ci);
+                conns[ci].gone.store(true, Ordering::Release);
+                let _ = conns[ci].stream.shutdown(Shutdown::Both);
+                conns[ci].cmd = None;
+                if let Some(shard) = conns[ci].inflight.take() {
+                    fail_shard!(shard);
+                }
+                if registry.usable_count() == 0 && empty_since.is_none() {
+                    empty_since = Some(Instant::now());
+                }
+            }};
+        }
+
+        while resolved < n_shards {
+            let now = Instant::now();
+
+            // Late spawns whose time has come (loopback mode).
+            if let Some(command) = &self.command {
+                while pending_spawns.first().is_some_and(|&at| at <= now) {
+                    pending_spawns.remove(0);
+                    if let Ok(child) = command.spawn_connected(&addr) {
+                        children.push(child);
+                    }
+                }
+            }
+
+            // Assign phase: every live idle connection takes the next
+            // shard whose backoff has matured.
+            loop {
+                let now = Instant::now();
+                let Some(ci) = (0..conns.len()).find(|&ci| {
+                    registry.dispatchable(ci)
+                        && conns[ci].inflight.is_none()
+                        && conns[ci].cmd.is_some()
+                }) else {
+                    break;
+                };
+                let Some(pos) = queue.iter().position(|&s| ready_at[s] <= now) else {
+                    break;
+                };
+                let shard = queue.remove(pos).expect("position is in range");
+                // Split the shard's scheduled fault by executor: worker
+                // faults ride in the ChunkStart frame; network faults
+                // are executed by this side's fault-aware writer.
+                let fault = faults[shard].take();
+                let (worker_fault, net_fault) = match fault {
+                    Some(f) if f.is_network() => (None, Some(f)),
+                    f => (f, None),
+                };
+                match net_fault {
+                    Some(Fault::DropConn) => stats.conn_drops_injected += 1,
+                    Some(Fault::Stall(_)) => stats.stalls_injected += 1,
+                    Some(Fault::DupChunk) => stats.chunk_dups_injected += 1,
+                    _ => {}
+                }
+                let plan = plan_shard(shard, worker_fault);
+                let chunks_total = plan.chunks.len() as u32;
+                stats.chunks_streamed += plan.chunks.len();
+                dispatch_started = true;
+                let conn = &mut conns[ci];
+                conn.acked.store(0, Ordering::Release);
+                conn.sent_all = false;
+                conn.chunks_total = chunks_total;
+                conn.overlap_counted = false;
+                let sent = conn
+                    .cmd
+                    .as_ref()
+                    .expect("dispatchable conn has a writer")
+                    .send(WriteCmd::Shard {
+                        shard,
+                        start: plan.start,
+                        chunks: plan.chunks,
+                        net_fault,
+                    })
+                    .is_ok();
+                if sent {
+                    conn.inflight = Some(shard);
+                    registry.job_started(ci);
+                    wheel.arm(ci, now + self.job_timeout);
+                } else {
+                    // Writer already gone: free requeue (no attempt
+                    // spent), like a pipe write failure.
+                    stats.shards_requeued += 1;
+                    queue.push_front(shard);
+                    reap_conn!(ci);
+                }
+            }
+
+            // Probe phase: a fixed cadence per connection, one probe
+            // outstanding at a time (the oldest governs liveness).
+            let now = Instant::now();
+            if now >= next_probe {
+                next_probe = now + self.heartbeat_every;
+                for ci in 0..conns.len() {
+                    if !registry.usable(ci) || registry.probe_pending(ci) {
+                        continue;
+                    }
+                    let Some(cmd) = conns[ci].cmd.as_ref() else {
+                        continue;
+                    };
+                    nonce_counter += 1;
+                    let nonce = nonce_counter;
+                    if cmd
+                        .send(WriteCmd::Frame(Message::Heartbeat { nonce }))
+                        .is_ok()
+                    {
+                        registry.note_probe(ci, nonce, now);
+                    } else {
+                        reap_conn!(ci);
+                    }
+                }
+            }
+
+            // Liveness phase: grade every pending probe's age.
+            for ci in 0..conns.len() {
+                match registry.check_liveness(ci, now, self.suspect_after, self.dead_after) {
+                    Liveness::TurnedDead => reap_conn!(ci),
+                    Liveness::TurnedSuspect | Liveness::Unchanged => {}
+                }
+            }
+
+            if resolved >= n_shards {
+                break;
+            }
+
+            // Degradation: registry empty, nothing scheduled to join,
+            // grace expired → build the rest inline.
+            if registry.usable_count() == 0 && pending_spawns.is_empty() {
+                let since = empty_since.get_or_insert(now);
+                if now.saturating_duration_since(*since) >= self.join_grace {
+                    break;
+                }
+            }
+
+            // Wait phase: the next frame, or whichever timer fires
+            // first. The probe cadence bounds the wait, so the loop
+            // always wakes.
+            let mut wake = next_probe;
+            if let Some(t) = wheel.next_deadline() {
+                wake = wake.min(t);
+            }
+            if let Some(&t) = pending_spawns.first() {
+                wake = wake.min(t);
+            }
+            if let Some(since) = empty_since {
+                if registry.usable_count() == 0 && pending_spawns.is_empty() {
+                    wake = wake.min(since + self.join_grace);
+                }
+            }
+            if (0..conns.len()).any(|ci| registry.dispatchable(ci) && conns[ci].inflight.is_none())
+            {
+                if let Some(t) = queue.iter().map(|&s| ready_at[s]).min() {
+                    wake = wake.min(t);
+                }
+            }
+
+            match rx.recv_timeout(wake.saturating_duration_since(Instant::now())) {
+                Ok(SockEvent::Joined(stream)) => {
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "unknown".to_string());
+                    let _ = stream.set_nodelay(true);
+                    let (Ok(rstream), Ok(wstream)) = (stream.try_clone(), stream.try_clone())
+                    else {
+                        continue;
+                    };
+                    let ci = registry.admit(peer, dispatch_started);
+                    stats.workers_joined += 1;
+                    if dispatch_started {
+                        stats.late_joiners += 1;
+                    }
+                    let (cmd_tx, cmd_rx) = channel::<WriteCmd>();
+                    let acked = Arc::new(AtomicU32::new(0));
+                    let gone = Arc::new(AtomicBool::new(false));
+                    let reader = spawn_conn_reader(ci, rstream, tx.clone());
+                    let writer = spawn_conn_writer(
+                        ci,
+                        wstream,
+                        cmd_rx,
+                        acked.clone(),
+                        gone.clone(),
+                        self.chunk_window,
+                        tx.clone(),
+                    );
+                    // Handshake probe: the first echo moves the worker
+                    // joining → live and it becomes dispatchable.
+                    nonce_counter += 1;
+                    let nonce = nonce_counter;
+                    let _ = cmd_tx.send(WriteCmd::Frame(Message::Heartbeat { nonce }));
+                    registry.note_probe(ci, nonce, Instant::now());
+                    conns.push(Conn {
+                        stream,
+                        cmd: Some(cmd_tx),
+                        reader: Some(reader),
+                        writer: Some(writer),
+                        acked,
+                        gone,
+                        inflight: None,
+                        sent_all: false,
+                        chunks_total: 0,
+                        overlap_counted: false,
+                    });
+                    empty_since = None;
+                }
+                Ok(SockEvent::Frame(ci, Ok((msg, bytes)))) => {
+                    if !registry.usable(ci) {
+                        continue; // Stale event from a reaped connection.
+                    }
+                    match msg {
+                        Message::Heartbeat { nonce } => {
+                            registry.note_echo(ci, nonce, Instant::now());
+                        }
+                        Message::ChunkAck { shard, index } => {
+                            let conn = &mut conns[ci];
+                            if conn.inflight == Some(shard as usize) {
+                                conn.acked.store(index + 1, Ordering::Release);
+                                if !conn.sent_all
+                                    && index + 1 < conn.chunks_total
+                                    && !conn.overlap_counted
+                                {
+                                    // Ingest demonstrably began before
+                                    // the stream finished sending.
+                                    conn.overlap_counted = true;
+                                    stats.overlap_shards += 1;
+                                }
+                            }
+                        }
+                        msg => {
+                            let inflight = conns[ci].inflight;
+                            match inflight {
+                                Some(shard) => match extract(msg) {
+                                    Some(snap) => {
+                                        if snapshots[shard].is_none() {
+                                            snapshots[shard] = Some(snap);
+                                            resolved += 1;
+                                        }
+                                        stats.wire_bytes += bytes;
+                                        conns[ci].inflight = None;
+                                        registry.job_finished(ci);
+                                        wheel.disarm(ci);
+                                    }
+                                    None => {
+                                        // Decoded frame, wrong species of
+                                        // reply: a protocol violation.
+                                        stats.proto_faults += 1;
+                                        reap_conn!(ci);
+                                    }
+                                },
+                                None => {
+                                    // Unsolicited reply.
+                                    stats.proto_faults += 1;
+                                    reap_conn!(ci);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(SockEvent::Frame(ci, Err(e))) => {
+                    if !registry.usable(ci) {
+                        continue;
+                    }
+                    if matches!(e, ProtoError::Wire(_)) {
+                        // Corrupt frame or version mismatch — typed,
+                        // counted, recovered.
+                        stats.proto_faults += 1;
+                    }
+                    reap_conn!(ci);
+                }
+                Ok(SockEvent::SentAll(ci, shard)) => {
+                    if registry.usable(ci) && conns[ci].inflight == Some(shard) {
+                        conns[ci].sent_all = true;
+                    }
+                }
+                Ok(SockEvent::WriteErr(ci)) => {
+                    if registry.usable(ci) {
+                        reap_conn!(ci);
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for ci in wheel.expired(now) {
+                        if !registry.usable(ci) {
+                            continue;
+                        }
+                        // The deadline reaper: catches hung workers and
+                        // over-deadline stalls.
+                        stats.deadline_reaps += 1;
+                        reap_conn!(ci);
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Unresolved shards — empty registry or exhausted budgets —
+        // degrade to inline builds so the run still completes.
+        for (shard, snap) in snapshots.iter_mut().enumerate() {
+            if snap.is_none() {
+                *snap = Some(inline(shard));
+                stats.shards_built_inline += 1;
+            }
+        }
+
+        // Wind down: stop accepting, polite shutdown to survivors, then
+        // sever everything and join the threads.
+        stop.store(true, Ordering::Release);
+        for (ci, conn) in conns.iter().enumerate() {
+            if registry.usable(ci) {
+                if let Some(cmd) = conn.cmd.as_ref() {
+                    let _ = cmd.send(WriteCmd::Frame(Message::Shutdown));
+                    let _ = cmd.send(WriteCmd::Stop);
+                }
+            }
+            conn.gone.store(true, Ordering::Release);
+        }
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        for conn in &mut conns {
+            conn.cmd = None;
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(writer) = conn.writer.take() {
+                let _ = writer.join();
+            }
+            if let Some(reader) = conn.reader.take() {
+                let _ = reader.join();
+            }
+        }
+        drop(tx);
+        let _ = acceptor.join();
+
+        stats.suspect_transitions = registry.suspect_transitions();
+        stats.suspect_recoveries = registry.suspect_recoveries();
+        stats.heartbeat = registry.aggregate_rtt();
+        stats.workers = registry.summaries();
+
+        Ok((
+            snapshots
+                .into_iter()
+                .map(|s| s.expect("every shard resolved"))
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Run the insertion-only pipeline over TCP workers.
+    ///
+    /// Returns `Err` only when the listener cannot bind or (in loopback
+    /// mode) not a single worker could be spawned; every failure after
+    /// that is recovered per the type-level docs.
+    pub fn run(&self, stream: &dyn EdgeStream) -> Result<SocketResult, RunError> {
+        let cfg = &self.cfg;
+        let params = cfg.sketch_params(stream.num_sets());
+        let ship = self.pipe_format();
+
+        let t0 = Instant::now();
+        let shards = partition_edges(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let (snapshots, stats) = self.dispatch(
+            shards.len(),
+            |shard, worker_fault| {
+                plan_sketch(
+                    shard as u32,
+                    &shards[shard],
+                    self.chunk_items,
+                    params,
+                    cfg.seed,
+                    ship,
+                    worker_fault,
+                    self.batch,
+                )
+            },
+            |msg| match msg {
+                Message::ReplySketch { snapshot, .. } => Some(snapshot),
+                _ => None,
+            },
+            |shard| {
+                let mut s = ThresholdSketch::new(params, cfg.seed);
+                for chunk in shards[shard].chunks(self.batch) {
+                    s.update_batch(chunk);
+                }
+                SketchSnapshot::of(&s)
+            },
+        )?;
+        let map_ns = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let locals: Vec<ThresholdSketch> = snapshots.iter().map(|s| s.restore()).collect();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let trace = bucket_greedy_k_cover(&merged.csr_view(), cfg.k);
+        let family = trace.family();
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        Ok(SocketResult {
+            estimated_coverage: merged.estimate_coverage(&family),
+            merged_edges: merged.edges_stored(),
+            family,
+            rounds,
+            stats,
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+        })
+    }
+
+    /// Run the dynamic (insert/delete) pipeline over TCP workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no subsampling level of the merged sketch decodes (the
+    /// sketch was sized with too few levels for the surviving edges).
+    pub fn run_dynamic(&self, stream: &dyn DynamicEdgeStream) -> Result<DynSocketResult, RunError> {
+        let cfg = &self.cfg;
+        let params = cfg.dynamic_sketch_params(stream.num_sets());
+        let ship = self.pipe_format();
+
+        let t0 = Instant::now();
+        let shards = partition_updates(stream, cfg.machines, cfg.shard_seed(), self.batch);
+        let partition_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let (snapshots, stats) = self.dispatch(
+            shards.len(),
+            |shard, worker_fault| {
+                plan_dynamic(
+                    shard as u32,
+                    &shards[shard],
+                    self.chunk_items,
+                    params,
+                    cfg.seed,
+                    ship,
+                    worker_fault,
+                    self.batch,
+                )
+            },
+            |msg| match msg {
+                Message::ReplyDynamic { snapshot, .. } => Some(snapshot),
+                _ => None,
+            },
+            |shard| {
+                let mut s = DynamicSketch::new(params, cfg.seed);
+                for chunk in shards[shard].chunks(self.batch) {
+                    s.update_batch(chunk);
+                }
+                DynamicSnapshot::of(&s)
+            },
+        )?;
+        let map_ns = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let locals: Vec<DynamicSketch> = snapshots.iter().map(|s| s.restore()).collect();
+        let (merged, rounds) = tree_reduce_with(locals, self.fan_in, self.ship);
+        let (family, estimated_coverage, sample) = recover_and_solve(&merged, cfg.k);
+        let reduce_solve_ns = t2.elapsed().as_nanos() as u64;
+
+        Ok(DynSocketResult {
+            family,
+            estimated_coverage,
+            sample_level: sample.level,
+            sampling_p: sample.sampling_p,
+            recovered_edges: sample.edges.len(),
+            rounds,
+            stats,
+            partition_ns,
+            map_ns,
+            reduce_solve_ns,
+        })
+    }
+}

@@ -1,0 +1,34 @@
+//! TCP socket workers: the distributed runtime over a transport that
+//! can actually lose things.
+//!
+//! The pipe executor ([`crate::ProcessRunner`]) owns its workers'
+//! stdin/stdout, so the only failure it ever sees is a clean EOF. Real
+//! networks fail differently — silent hangs, half-open connections,
+//! partitions, slow links — and this module rebuilds the same map →
+//! tree-reduce → solve pipeline on primitives that survive them:
+//!
+//! - [`listener::SocketRunner`] — the coordinator: listens on a TCP
+//!   address, accepts workers started as `coverage worker --connect
+//!   HOST:PORT` (or self-spawns them on loopback), and drives the run
+//!   with the same framed protocol ([`crate::proto`]) the pipes use —
+//!   the CVPR framing is transport-agnostic by design.
+//! - [`registry`] — the worker registry: heartbeat-probe liveness
+//!   grading (joining → live → suspect → dead), per-worker RTT stats,
+//!   and admission of late or rejoining workers mid-run.
+//! - [`chunk`] — chunked shard streaming: bounded `JobChunk` frames
+//!   with per-chunk checksums, strict in-order ingest, and duplicate
+//!   rejection by chunk index, so transfer and ingest overlap.
+//!
+//! The determinism contract is unchanged and non-negotiable: under any
+//! fault schedule — network faults (`drop@N`, `stall<MS>@N`, `dup@N`)
+//! layered over worker faults (crash/hang/delay/corrupt) — the family
+//! is bit-identical to the serial executor, because shard jobs are
+//! self-contained and `merge_from` is associative and commutative.
+
+pub mod chunk;
+pub mod listener;
+pub mod registry;
+
+pub use chunk::{ChunkPlan, ChunkVerdict, ChunkedBuild};
+pub use listener::{DynSocketResult, SocketResult, SocketRunStats, SocketRunner};
+pub use registry::{HeartbeatStats, Liveness, WorkerRegistry, WorkerState, WorkerSummary};

@@ -71,6 +71,10 @@ const KIND_REPLY_SKETCH: u8 = 3;
 const KIND_REPLY_DYNAMIC: u8 = 4;
 const KIND_SHUTDOWN: u8 = 5;
 const KIND_HEARTBEAT: u8 = 6;
+const KIND_CHUNK_START_SKETCH: u8 = 7;
+const KIND_CHUNK_START_DYNAMIC: u8 = 8;
+const KIND_JOB_CHUNK: u8 = 9;
+const KIND_CHUNK_ACK: u8 = 10;
 
 const SHIP_BINARY: u8 = 0;
 const SHIP_JSON: u8 = 1;
@@ -80,6 +84,12 @@ const FAULT_CRASH: u8 = 1;
 const FAULT_HANG: u8 = 2;
 const FAULT_DELAY: u8 = 3;
 const FAULT_CORRUPT: u8 = 4;
+const FAULT_DROP: u8 = 5;
+const FAULT_STALL: u8 = 6;
+const FAULT_DUP: u8 = 7;
+
+const CHUNK_EDGES: u8 = 0;
+const CHUNK_UPDATES: u8 = 1;
 
 /// A protocol failure: either the pipe broke or a frame was corrupt.
 #[derive(Debug)]
@@ -173,8 +183,101 @@ pub enum Message {
         /// Opaque echo token chosen by the sender.
         nonce: u64,
     },
+    /// Coordinator → worker: open a **chunked** insertion-only shard
+    /// stream. Everything a [`Message::JobSketch`] carries except the
+    /// edges, which follow in `chunks` bounded [`Message::JobChunk`]
+    /// frames — the worker starts ingesting on the first chunk instead
+    /// of waiting for the whole shard.
+    ChunkStartSketch {
+        /// Shard index this stream builds (echoed in every chunk/ack).
+        shard: u32,
+        /// How many [`Message::JobChunk`] frames follow (may be 0 for an
+        /// empty shard).
+        chunks: u32,
+        /// Sketch parameters for the worker's local sketch.
+        params: SketchParams,
+        /// Shared hash seed (workers must agree to merge).
+        seed: u64,
+        /// How the reply snapshot travels back.
+        ship: ShipFormat,
+        /// Deterministic **worker** fault, executed when the last chunk
+        /// has been ingested (network faults never ride in frames).
+        fault: Option<Fault>,
+        /// Update-batch size (parity with the in-process executors).
+        batch: usize,
+    },
+    /// Coordinator → worker: open a chunked **dynamic** shard stream;
+    /// the signed updates follow in [`Message::JobChunk`] frames.
+    ChunkStartDynamic {
+        /// Shard index this stream builds (echoed in every chunk/ack).
+        shard: u32,
+        /// How many [`Message::JobChunk`] frames follow.
+        chunks: u32,
+        /// Dynamic sketch parameters for the worker's local sketch.
+        params: DynamicSketchParams,
+        /// Shared hash seed (workers must agree to merge).
+        seed: u64,
+        /// How the reply snapshot travels back.
+        ship: ShipFormat,
+        /// Deterministic worker fault, executed at stream completion.
+        fault: Option<Fault>,
+        /// Update-batch size (parity with the in-process executors).
+        batch: usize,
+    },
+    /// Coordinator → worker: one bounded slice of a chunked shard
+    /// stream. Carries the shard id, its index in the stream, the total
+    /// chunk count, and a payload-level FNV checksum (verified at decode
+    /// on top of the frame checksum), so a duplicate, reordered, or torn
+    /// chunk is always a typed observation.
+    JobChunk {
+        /// The shard this chunk belongs to.
+        shard: u32,
+        /// 0-based position in the stream; the worker ingests chunks
+        /// strictly in order and rejects duplicates by this index.
+        index: u32,
+        /// Total chunks in the stream (repeated per chunk so a worker
+        /// can validate consistency without trusting its own state).
+        count: u32,
+        /// The slice of the shard's payload.
+        payload: ChunkPayload,
+    },
+    /// Worker → coordinator: chunk `index` of `shard` has been
+    /// **ingested** (not merely received). The coordinator uses acks for
+    /// flow control (bounded chunks in flight) and to observe that
+    /// ingest started before the last chunk was sent.
+    ChunkAck {
+        /// The shard whose chunk was ingested.
+        shard: u32,
+        /// The ingested chunk's index.
+        index: u32,
+    },
     /// Parent → worker: exit cleanly.
     Shutdown,
+}
+
+/// The payload of one [`Message::JobChunk`]: a slice of an
+/// insertion-only shard's edges or of a dynamic shard's signed updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkPayload {
+    /// A slice of an insertion-only shard.
+    Edges(Vec<Edge>),
+    /// A slice of a dynamic shard's signed updates.
+    Updates(Vec<SignedEdge>),
+}
+
+impl ChunkPayload {
+    /// Number of items (edges or updates) in this slice.
+    pub fn len(&self) -> usize {
+        match self {
+            ChunkPayload::Edges(e) => e.len(),
+            ChunkPayload::Updates(u) => u.len(),
+        }
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 fn put_fault(w: &mut WireWriter, fault: &Option<Fault>) {
@@ -184,6 +287,12 @@ fn put_fault(w: &mut WireWriter, fault: &Option<Fault>) {
         Some(Fault::Hang) => (FAULT_HANG, 0),
         Some(Fault::Delay(ms)) => (FAULT_DELAY, *ms),
         Some(Fault::CorruptReply) => (FAULT_CORRUPT, 0),
+        // Network faults are executed by the coordinator's connection
+        // wrapper and never ride in a job frame in practice, but the
+        // codec stays total so a round-trip can never panic.
+        Some(Fault::DropConn) => (FAULT_DROP, 0),
+        Some(Fault::Stall(ms)) => (FAULT_STALL, *ms),
+        Some(Fault::DupChunk) => (FAULT_DUP, 0),
     };
     w.put_u8(code);
     w.put_varint(arg);
@@ -198,6 +307,9 @@ fn get_fault(r: &mut WireReader<'_>) -> Result<Option<Fault>, ProtoError> {
         FAULT_HANG => Some(Fault::Hang),
         FAULT_DELAY => Some(Fault::Delay(arg)),
         FAULT_CORRUPT => Some(Fault::CorruptReply),
+        FAULT_DROP => Some(Fault::DropConn),
+        FAULT_STALL => Some(Fault::Stall(arg)),
+        FAULT_DUP => Some(Fault::DupChunk),
         _ => return Err(WireError::Malformed("unknown fault code").into()),
     })
 }
@@ -243,6 +355,11 @@ fn get_base_params(r: &mut WireReader<'_>) -> Result<SketchParams, ProtoError> {
             _ => return Err(WireError::Malformed("dedup flag is not 0 or 1").into()),
         },
     })
+}
+
+fn get_u32v(r: &mut WireReader<'_>) -> Result<u32, ProtoError> {
+    u32::try_from(r.get_varint()?)
+        .map_err(|_| WireError::Malformed("chunk field exceeds u32").into())
 }
 
 fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
@@ -315,6 +432,88 @@ fn encode_payload(msg: &Message) -> (u8, Vec<u8>) {
         Message::Heartbeat { nonce } => {
             w.put_u64(*nonce);
             (KIND_HEARTBEAT, w.into_bytes())
+        }
+        Message::ChunkStartSketch {
+            shard,
+            chunks,
+            params,
+            seed,
+            ship,
+            fault,
+            batch,
+        } => {
+            w.put_varint(*shard as u64);
+            w.put_varint(*chunks as u64);
+            put_base_params(&mut w, params);
+            w.put_u64(*seed);
+            put_ship(&mut w, *ship);
+            put_fault(&mut w, fault);
+            w.put_varint(*batch as u64);
+            (KIND_CHUNK_START_SKETCH, w.into_bytes())
+        }
+        Message::ChunkStartDynamic {
+            shard,
+            chunks,
+            params,
+            seed,
+            ship,
+            fault,
+            batch,
+        } => {
+            w.put_varint(*shard as u64);
+            w.put_varint(*chunks as u64);
+            put_base_params(&mut w, &params.base);
+            w.put_varint(params.levels as u64);
+            w.put_varint(params.rows as u64);
+            w.put_varint(params.row_len as u64);
+            w.put_u64(*seed);
+            put_ship(&mut w, *ship);
+            put_fault(&mut w, fault);
+            w.put_varint(*batch as u64);
+            (KIND_CHUNK_START_DYNAMIC, w.into_bytes())
+        }
+        Message::JobChunk {
+            shard,
+            index,
+            count,
+            payload,
+        } => {
+            w.put_varint(*shard as u64);
+            w.put_varint(*index as u64);
+            w.put_varint(*count as u64);
+            // Serialize the items into their own region so a per-chunk
+            // checksum can cover exactly the payload bytes.
+            let mut items = WireWriter::new();
+            let tag = match payload {
+                ChunkPayload::Edges(edges) => {
+                    items.put_varint(edges.len() as u64);
+                    for e in edges {
+                        items.put_varint(e.set.0 as u64);
+                        items.put_varint(e.element.0);
+                    }
+                    CHUNK_EDGES
+                }
+                ChunkPayload::Updates(updates) => {
+                    items.put_varint(updates.len() as u64);
+                    for u in updates {
+                        items.put_u8(if u.sign() >= 0 { 0 } else { 1 });
+                        items.put_varint(u.edge.set.0 as u64);
+                        items.put_varint(u.edge.element.0);
+                    }
+                    CHUNK_UPDATES
+                }
+            };
+            let items = items.into_bytes();
+            w.put_u8(tag);
+            w.put_u64(checksum64(&items));
+            w.put_varint(items.len() as u64);
+            w.put_bytes(&items);
+            (KIND_JOB_CHUNK, w.into_bytes())
+        }
+        Message::ChunkAck { shard, index } => {
+            w.put_varint(*shard as u64);
+            w.put_varint(*index as u64);
+            (KIND_CHUNK_ACK, w.into_bytes())
         }
         Message::Shutdown => (KIND_SHUTDOWN, Vec::new()),
     }
@@ -420,6 +619,105 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtoError> {
         }
         KIND_HEARTBEAT => Message::Heartbeat {
             nonce: r.get_u64()?,
+        },
+        KIND_CHUNK_START_SKETCH => {
+            let shard = get_u32v(&mut r)?;
+            let chunks = get_u32v(&mut r)?;
+            let params = get_base_params(&mut r)?;
+            let seed = r.get_u64()?;
+            let ship = get_ship(&mut r)?;
+            let fault = get_fault(&mut r)?;
+            let batch = r.get_len()?;
+            Message::ChunkStartSketch {
+                shard,
+                chunks,
+                params,
+                seed,
+                ship,
+                fault,
+                batch,
+            }
+        }
+        KIND_CHUNK_START_DYNAMIC => {
+            let shard = get_u32v(&mut r)?;
+            let chunks = get_u32v(&mut r)?;
+            let base = get_base_params(&mut r)?;
+            let params = DynamicSketchParams {
+                base,
+                levels: r.get_len()?,
+                rows: r.get_len()?,
+                row_len: r.get_len()?,
+            };
+            let seed = r.get_u64()?;
+            let ship = get_ship(&mut r)?;
+            let fault = get_fault(&mut r)?;
+            let batch = r.get_len()?;
+            Message::ChunkStartDynamic {
+                shard,
+                chunks,
+                params,
+                seed,
+                ship,
+                fault,
+                batch,
+            }
+        }
+        KIND_JOB_CHUNK => {
+            let shard = get_u32v(&mut r)?;
+            let index = get_u32v(&mut r)?;
+            let count = get_u32v(&mut r)?;
+            let tag = r.get_u8()?;
+            let sum = r.get_u64()?;
+            let len = r.get_len()?;
+            let items = r.get_bytes(len)?;
+            if checksum64(items) != sum {
+                return Err(WireError::ChecksumMismatch.into());
+            }
+            let mut ir = WireReader::new(items);
+            let n = ir.get_len()?;
+            if n > ir.remaining() {
+                return Err(WireError::Malformed("chunk item count exceeds payload size").into());
+            }
+            let payload = match tag {
+                CHUNK_EDGES => {
+                    let mut edges = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let set = u32::try_from(ir.get_varint()?)
+                            .map_err(|_| WireError::Malformed("set id exceeds u32"))?;
+                        edges.push(Edge::new(set, ir.get_varint()?));
+                    }
+                    ChunkPayload::Edges(edges)
+                }
+                CHUNK_UPDATES => {
+                    let mut updates = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let sign = ir.get_u8()?;
+                        let set = u32::try_from(ir.get_varint()?)
+                            .map_err(|_| WireError::Malformed("set id exceeds u32"))?;
+                        let edge = Edge::new(set, ir.get_varint()?);
+                        updates.push(match sign {
+                            0 => SignedEdge::insert(edge),
+                            1 => SignedEdge::delete(edge),
+                            _ => return Err(WireError::Malformed("unknown update sign").into()),
+                        });
+                    }
+                    ChunkPayload::Updates(updates)
+                }
+                _ => return Err(WireError::Malformed("unknown chunk payload tag").into()),
+            };
+            if !ir.is_done() {
+                return Err(WireError::Malformed("leftover chunk payload bytes").into());
+            }
+            Message::JobChunk {
+                shard,
+                index,
+                count,
+                payload,
+            }
+        }
+        KIND_CHUNK_ACK => Message::ChunkAck {
+            shard: get_u32v(&mut r)?,
+            index: get_u32v(&mut r)?,
         },
         KIND_SHUTDOWN => Message::Shutdown,
         other => return Err(WireError::UnknownKind { found: other }.into()),
@@ -668,6 +966,194 @@ mod tests {
             Message::Heartbeat { nonce } => assert_eq!(nonce, 0xDEAD_BEEF),
             other => panic!("wrong message: {other:?}"),
         }
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip() {
+        let start = Message::ChunkStartSketch {
+            shard: 3,
+            chunks: 7,
+            params: SketchParams::with_budget(6, 2, 0.5, 100),
+            seed: 42,
+            ship: ShipFormat::Binary,
+            fault: Some(Fault::Delay(5)),
+            batch: 4096,
+        };
+        match roundtrip(&start) {
+            Message::ChunkStartSketch {
+                shard,
+                chunks,
+                params,
+                seed,
+                fault,
+                ..
+            } => {
+                assert_eq!((shard, chunks, seed), (3, 7, 42));
+                assert_eq!(params, SketchParams::with_budget(6, 2, 0.5, 100));
+                assert_eq!(fault, Some(Fault::Delay(5)));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let dstart = Message::ChunkStartDynamic {
+            shard: 1,
+            chunks: 2,
+            params: DynamicSketchParams::new(SketchParams::with_budget(3, 1, 0.5, 50)),
+            seed: 9,
+            ship: ShipFormat::Json,
+            fault: None,
+            batch: 64,
+        };
+        match roundtrip(&dstart) {
+            Message::ChunkStartDynamic { shard, chunks, .. } => {
+                assert_eq!((shard, chunks), (1, 2));
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let chunk = Message::JobChunk {
+            shard: 3,
+            index: 2,
+            count: 7,
+            payload: ChunkPayload::Edges(vec![Edge::new(0u32, 7u64), Edge::new(5u32, u64::MAX)]),
+        };
+        match roundtrip(&chunk) {
+            Message::JobChunk {
+                shard,
+                index,
+                count,
+                payload,
+            } => {
+                assert_eq!((shard, index, count), (3, 2, 7));
+                assert_eq!(
+                    payload,
+                    ChunkPayload::Edges(vec![Edge::new(0u32, 7u64), Edge::new(5u32, u64::MAX)])
+                );
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        let dchunk = Message::JobChunk {
+            shard: 1,
+            index: 0,
+            count: 2,
+            payload: ChunkPayload::Updates(vec![
+                SignedEdge::insert(Edge::new(1u32, 10u64)),
+                SignedEdge::delete(Edge::new(1u32, 10u64)),
+            ]),
+        };
+        match roundtrip(&dchunk) {
+            Message::JobChunk {
+                payload: ChunkPayload::Updates(u),
+                ..
+            } => {
+                assert!(u[0].sign() > 0 && u[1].sign() < 0);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        match roundtrip(&Message::ChunkAck { shard: 5, index: 4 }) {
+            Message::ChunkAck { shard, index } => assert_eq!((shard, index), (5, 4)),
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_payload_checksum_catches_item_corruption() {
+        // Corrupt an item byte but fix up the frame checksum, simulating
+        // corruption that slipped past the outer envelope: the inner
+        // per-chunk checksum must still catch it.
+        let msg = Message::JobChunk {
+            shard: 0,
+            index: 0,
+            count: 1,
+            payload: ChunkPayload::Edges((0..50u64).map(|e| Edge::new(1u32, e)).collect()),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let body_len = buf.len() - 8;
+        buf[body_len - 1] ^= 0x40;
+        let sum = checksum64(&buf[..body_len]).to_le_bytes();
+        buf[body_len..].copy_from_slice(&sum);
+        assert!(matches!(
+            read_message(&mut &buf[..]),
+            Err(ProtoError::Wire(WireError::ChecksumMismatch))
+        ));
+    }
+
+    /// A reader that returns at most one byte per `read` call — the
+    /// worst-case TCP segmentation, which never respects frame
+    /// boundaries the way pipe writes mostly do.
+    struct OneByteReader<'a>(&'a [u8]);
+
+    impl std::io::Read for OneByteReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn every_message_decodes_from_a_one_byte_at_a_time_reader() {
+        let params = SketchParams::with_budget(4, 2, 0.5, 80);
+        let edges: Vec<Edge> = (0..200u64).map(|e| Edge::new((e % 4) as u32, e)).collect();
+        let sketch = ThresholdSketch::from_stream(params, 11, &VecStream::new(4, edges.clone()));
+        let messages = vec![
+            Message::JobSketch {
+                params,
+                seed: 42,
+                ship: ShipFormat::Binary,
+                fault: Some(Fault::Delay(3)),
+                batch: 64,
+                edges: edges.clone(),
+            },
+            Message::JobDynamic {
+                params: DynamicSketchParams::new(params),
+                seed: 7,
+                ship: ShipFormat::Json,
+                fault: None,
+                batch: 32,
+                updates: vec![SignedEdge::insert(Edge::new(1u32, 2u64))],
+            },
+            Message::ReplySketch {
+                snapshot: SketchSnapshot::of(&sketch),
+                ship: ShipFormat::Binary,
+            },
+            Message::Heartbeat { nonce: u64::MAX },
+            Message::ChunkStartSketch {
+                shard: 2,
+                chunks: 3,
+                params,
+                seed: 1,
+                ship: ShipFormat::Binary,
+                fault: None,
+                batch: 16,
+            },
+            Message::JobChunk {
+                shard: 2,
+                index: 1,
+                count: 3,
+                payload: ChunkPayload::Edges(edges),
+            },
+            Message::ChunkAck { shard: 2, index: 1 },
+            Message::Shutdown,
+        ];
+        // All frames concatenated through the 1-byte reader decode in
+        // order and byte-for-byte.
+        let mut buf = Vec::new();
+        for m in &messages {
+            write_message(&mut buf, m).unwrap();
+        }
+        let mut reader = OneByteReader(&buf);
+        for m in &messages {
+            let (back, _) = read_message(&mut reader).unwrap();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            write_message(&mut a, m).unwrap();
+            write_message(&mut b, &back).unwrap();
+            assert_eq!(a, b, "short-read decode must be byte-identical");
+        }
+        assert!(matches!(read_message(&mut reader), Err(ProtoError::Eof)));
     }
 
     #[test]

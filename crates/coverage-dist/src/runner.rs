@@ -28,6 +28,7 @@ use coverage_sketch::{
 use coverage_stream::{DynamicEdgeStream, EdgeStream, SpaceReport};
 
 use crate::fault::{Fault, FaultPlan};
+use crate::net::registry::HeartbeatStats;
 use crate::parallel::{partition_edges, partition_updates};
 use crate::partition::{DynamicShardedStream, ShardedStream};
 use crate::proto::{read_message, write_message, Message, ProtoError};
@@ -119,33 +120,40 @@ impl RetryPolicy {
 
 /// Per-worker job deadlines. A "wheel" in spirit only: with at most a
 /// handful of workers a linear scan beats any bucketed structure, so the
-/// slots are a plain vector indexed by worker.
-struct DeadlineWheel {
+/// slots are a plain vector indexed by worker. Shared with the socket
+/// executor ([`crate::net`]), whose registry grows as workers connect —
+/// hence [`arm`](Self::arm) grows the slot vector on demand.
+pub(crate) struct DeadlineWheel {
     slots: Vec<Option<Instant>>,
 }
 
 impl DeadlineWheel {
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         DeadlineWheel {
             slots: vec![None; workers],
         }
     }
 
-    fn arm(&mut self, worker: usize, at: Instant) {
+    pub(crate) fn arm(&mut self, worker: usize, at: Instant) {
+        if worker >= self.slots.len() {
+            self.slots.resize(worker + 1, None);
+        }
         self.slots[worker] = Some(at);
     }
 
-    fn disarm(&mut self, worker: usize) {
-        self.slots[worker] = None;
+    pub(crate) fn disarm(&mut self, worker: usize) {
+        if worker < self.slots.len() {
+            self.slots[worker] = None;
+        }
     }
 
     /// The soonest armed deadline, if any.
-    fn next_deadline(&self) -> Option<Instant> {
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
         self.slots.iter().flatten().min().copied()
     }
 
     /// Workers whose deadline is at or before `now`.
-    fn expired(&self, now: Instant) -> Vec<usize> {
+    pub(crate) fn expired(&self, now: Instant) -> Vec<usize> {
         self.slots
             .iter()
             .enumerate()
@@ -422,6 +430,21 @@ impl WorkerCommand {
             .stderr(Stdio::inherit())
             .spawn()
     }
+
+    /// Spawn the worker with `--connect ADDR` appended and **no**
+    /// parent-owned protocol pipes — how the socket executor
+    /// ([`crate::net::SocketRunner`]) launches loopback workers: the
+    /// framed protocol rides the TCP connection the child dials back.
+    pub(crate) fn spawn_connected(&self, addr: &str) -> std::io::Result<Child> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .arg("--connect")
+            .arg(addr)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+    }
 }
 
 /// What a worker currently owes the parent.
@@ -444,6 +467,9 @@ struct WorkerSlot {
     reader: Option<JoinHandle<()>>,
     alive: bool,
     inflight: Inflight,
+    /// When the outstanding liveness probe was written, so its echo
+    /// yields a round-trip sample for [`HeartbeatStats`].
+    probe_sent: Option<Instant>,
 }
 
 impl WorkerSlot {
@@ -494,6 +520,7 @@ struct DispatchOutcome<Snap> {
     retries: usize,
     proto_faults: usize,
     wire_bytes: u64,
+    heartbeat: HeartbeatStats,
 }
 
 /// Result of a [`ProcessRunner`] insertion-only run: the
@@ -534,6 +561,9 @@ pub struct ProcessResult {
     /// Total pipe bytes of worker reply frames (the map→reduce
     /// shipment, in the job's [`ShipFormat`] encoding).
     pub wire_bytes: u64,
+    /// Round-trip latency of answered liveness probes (the handshake
+    /// heartbeats), aggregated over every worker.
+    pub heartbeat: HeartbeatStats,
     /// Wall-clock nanoseconds partitioning the stream.
     pub partition_ns: u64,
     /// Wall-clock nanoseconds dispatching shards and collecting
@@ -577,6 +607,9 @@ pub struct DynProcessResult {
     pub proto_faults: usize,
     /// Total pipe bytes of worker reply frames.
     pub wire_bytes: u64,
+    /// Round-trip latency of answered liveness probes (the handshake
+    /// heartbeats), aggregated over every worker.
+    pub heartbeat: HeartbeatStats,
     /// Wall-clock nanoseconds partitioning the stream.
     pub partition_ns: u64,
     /// Wall-clock nanoseconds dispatching shards and collecting
@@ -764,6 +797,7 @@ impl ProcessRunner {
                         reader: Some(spawn_reader(wi, BufReader::new(stdout), tx.clone())),
                         alive: true,
                         inflight: Inflight::Idle,
+                        probe_sent: None,
                     });
                 }
                 Err(e) => spawn_err = Some(e),
@@ -801,6 +835,7 @@ impl ProcessRunner {
         let mut retries = 0usize;
         let mut proto_faults = 0usize;
         let mut wire_bytes = 0u64;
+        let mut heartbeat = HeartbeatStats::default();
 
         // Kill a worker and stop tracking its deadline. Its reader
         // thread drains to EOF on its own; any event it already queued
@@ -845,6 +880,7 @@ impl ProcessRunner {
             match write_message(stdin, &Message::Heartbeat { nonce }) {
                 Ok(_) => {
                     slots[wi].inflight = Inflight::Probe(nonce);
+                    slots[wi].probe_sent = Some(Instant::now());
                     wheel.arm(wi, started + self.job_timeout);
                 }
                 Err(_) => reap_worker!(wi),
@@ -870,7 +906,11 @@ impl ProcessRunner {
                     break;
                 };
                 let shard = queue.remove(pos).expect("position is in range");
-                let fault = faults[shard].take();
+                // Network faults (drop/stall/dup) model the transport;
+                // on parent-owned pipes there is no transport to break,
+                // so only worker faults ride in pipe jobs. The socket
+                // executor injects the network kinds itself.
+                let fault = faults[shard].take().filter(|f| !f.is_network());
                 let job = make_job(shard, fault);
                 let stdin = slots[wi].stdin.as_mut().expect("alive worker has stdin");
                 match write_message(stdin, &job) {
@@ -921,7 +961,11 @@ impl ProcessRunner {
                                 if nonce == expect =>
                             {
                                 // Live and version-compatible; now
-                                // eligible for jobs.
+                                // eligible for jobs. The echo closes the
+                                // probe's round-trip measurement.
+                                if let Some(at) = slots[wi].probe_sent.take() {
+                                    heartbeat.record(at.elapsed());
+                                }
                             }
                             (Inflight::Shard(shard), msg) => match extract(msg) {
                                 Some(snap) => {
@@ -1031,6 +1075,7 @@ impl ProcessRunner {
             retries,
             proto_faults,
             wire_bytes,
+            heartbeat,
         })
     }
 
@@ -1092,6 +1137,7 @@ impl ProcessRunner {
             retries: outcome.retries,
             proto_faults: outcome.proto_faults,
             wire_bytes: outcome.wire_bytes,
+            heartbeat: outcome.heartbeat,
             partition_ns,
             map_ns,
             reduce_solve_ns,
@@ -1163,6 +1209,7 @@ impl ProcessRunner {
             retries: outcome.retries,
             proto_faults: outcome.proto_faults,
             wire_bytes: outcome.wire_bytes,
+            heartbeat: outcome.heartbeat,
             partition_ns,
             map_ns,
             reduce_solve_ns,

@@ -24,6 +24,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use coverage_sketch::{DynamicSketch, DynamicSnapshot, SketchSnapshot, ThresholdSketch};
 
 use crate::fault::Fault;
+use crate::net::chunk::{ChunkVerdict, ChunkedBuild};
 use crate::proto::{read_message, write_corrupted_message, write_message, Message, ProtoError};
 
 /// Execute a job's pre-reply fault, if any. Returns `false` when the
@@ -41,6 +42,10 @@ fn pre_reply_fault(fault: &Option<Fault>) -> bool {
             true
         }
         Some(Fault::CorruptReply) | None => true,
+        // Network faults are executed coordinator-side by the socket
+        // writer and never ride in job frames; a worker that does see
+        // one treats it as no fault (the codec is total either way).
+        Some(Fault::DropConn) | Some(Fault::Stall(_)) | Some(Fault::DupChunk) => true,
     }
 }
 
@@ -64,6 +69,13 @@ fn write_reply(
 /// [`Message::Shutdown`], or an injected failure) and the underlying
 /// [`ProtoError`] when the pipe breaks or a frame is corrupt.
 pub fn worker_loop(input: &mut impl Read, output: &mut impl Write) -> Result<(), ProtoError> {
+    // At most one chunked shard stream is open at a time (the
+    // coordinator never pipelines a second job before the reply).
+    let mut chunked: Option<ChunkedBuild> = None;
+    // The (shard, chunk count) of the most recently completed stream,
+    // so a duplicate of its tail arriving *after* completion is
+    // recognized and dropped instead of killing the connection.
+    let mut finished: Option<(u32, u32)> = None;
     loop {
         let msg = match read_message(input) {
             Ok((msg, _)) => msg,
@@ -121,16 +133,112 @@ pub fn worker_loop(input: &mut impl Read, output: &mut impl Write) -> Result<(),
                 // parent can match reply to probe.
                 write_message(output, &Message::Heartbeat { nonce })?;
             }
+            Message::ChunkStartSketch {
+                shard,
+                chunks,
+                params,
+                seed,
+                ship,
+                fault,
+                batch,
+            } => {
+                if chunked.is_some() {
+                    return Err(ProtoError::Wire(coverage_sketch::WireError::Malformed(
+                        "chunk stream opened while one is in progress",
+                    )));
+                }
+                let build = ChunkedBuild::sketch(shard, chunks, params, seed, ship, fault, batch);
+                if build.complete() {
+                    // Empty shard: reply immediately.
+                    if !finish_chunked(output, build)? {
+                        return Ok(());
+                    }
+                } else {
+                    chunked = Some(build);
+                }
+            }
+            Message::ChunkStartDynamic {
+                shard,
+                chunks,
+                params,
+                seed,
+                ship,
+                fault,
+                batch,
+            } => {
+                if chunked.is_some() {
+                    return Err(ProtoError::Wire(coverage_sketch::WireError::Malformed(
+                        "chunk stream opened while one is in progress",
+                    )));
+                }
+                let build = ChunkedBuild::dynamic(shard, chunks, params, seed, ship, fault, batch);
+                if build.complete() {
+                    if !finish_chunked(output, build)? {
+                        return Ok(());
+                    }
+                } else {
+                    chunked = Some(build);
+                }
+            }
+            Message::JobChunk {
+                shard,
+                index,
+                count,
+                payload,
+            } => {
+                let Some(build) = chunked.as_mut() else {
+                    if finished == Some((shard, count)) && index < count {
+                        // A straggling duplicate from the stream that
+                        // just completed: dropped like any other replay.
+                        continue;
+                    }
+                    return Err(ProtoError::Wire(coverage_sketch::WireError::Malformed(
+                        "chunk without an open stream",
+                    )));
+                };
+                match build.accept(shard, index, count, payload)? {
+                    ChunkVerdict::Ingested => {
+                        // Ack means *ingested*: the coordinator's flow
+                        // control and overlap observation both rely on
+                        // that.
+                        write_message(output, &Message::ChunkAck { shard, index })?;
+                        if build.complete() {
+                            let build = chunked.take().expect("stream is open");
+                            finished = Some((shard, count));
+                            if !finish_chunked(output, build)? {
+                                return Ok(());
+                            }
+                        }
+                    }
+                    // A replayed chunk: dropped silently — no ack, no
+                    // ingest, sketch untouched.
+                    ChunkVerdict::DuplicateRejected => {}
+                }
+            }
             Message::Shutdown => return Ok(()),
-            Message::ReplySketch { .. } | Message::ReplyDynamic { .. } => {
-                // Replies flow worker → parent only; receiving one here
-                // means the pipes are crossed.
+            Message::ReplySketch { .. }
+            | Message::ReplyDynamic { .. }
+            | Message::ChunkAck { .. } => {
+                // Replies and acks flow worker → parent only; receiving
+                // one here means the pipes are crossed.
                 return Err(ProtoError::Wire(coverage_sketch::WireError::Malformed(
                     "worker received a reply message",
                 )));
             }
         }
     }
+}
+
+/// Close a completed chunk stream: execute its pre-reply fault and
+/// write the reply. Returns `false` when the injected fault says the
+/// worker must die silently.
+fn finish_chunked(output: &mut impl Write, build: ChunkedBuild) -> Result<bool, ProtoError> {
+    let (reply, fault, seed) = build.finish()?;
+    if !pre_reply_fault(&fault) {
+        return Ok(false);
+    }
+    write_reply(output, &reply, &fault, seed)?;
+    Ok(true)
 }
 
 /// Run [`worker_loop`] over this process's stdin/stdout — the body of
@@ -140,6 +248,40 @@ pub fn run_stdio() -> i32 {
     let stdout = std::io::stdout();
     let mut input = BufReader::new(stdin.lock());
     let mut output = BufWriter::new(stdout.lock());
+    match worker_loop(&mut input, &mut output) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("worker: {e}");
+            1
+        }
+    }
+}
+
+/// Dial the coordinator at `addr` and run [`worker_loop`] over the TCP
+/// connection — the body of `coverage worker --connect HOST:PORT`.
+/// Returns the process exit code. The framed protocol is byte-identical
+/// to the pipe transport; only the liveness story changes (the
+/// coordinator probes with heartbeats instead of watching for EOF).
+pub fn run_connect(addr: &str) -> i32 {
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    // Replies and acks are latency-sensitive (the coordinator's flow
+    // control waits on acks); don't let Nagle batch them.
+    let _ = stream.set_nodelay(true);
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker: {e}");
+            return 1;
+        }
+    };
+    let mut input = BufReader::new(read_half);
+    let mut output = BufWriter::new(stream);
     match worker_loop(&mut input, &mut output) {
         Ok(()) => 0,
         Err(e) => {
@@ -371,6 +513,142 @@ mod tests {
             }
         }
         assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn chunked_stream_acks_every_chunk_and_replies_like_a_blob_job() {
+        let params = SketchParams::with_budget(5, 2, 0.5, 120);
+        let edges = shard_edges(600);
+        let plan = crate::net::chunk::plan_sketch(
+            4,
+            &edges,
+            100,
+            params,
+            33,
+            ShipFormat::Binary,
+            None,
+            128,
+        );
+        let mut jobs = Vec::new();
+        write_message(&mut jobs, &plan.start).unwrap();
+        for chunk in &plan.chunks {
+            write_message(&mut jobs, chunk).unwrap();
+        }
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let mut cursor = &replies[..];
+        for expect in 0..6u32 {
+            match read_message(&mut cursor).unwrap().0 {
+                Message::ChunkAck { shard, index } => {
+                    assert_eq!((shard, index), (4, expect));
+                }
+                other => panic!("expected an ack: {other:?}"),
+            }
+        }
+        let inline = ThresholdSketch::from_stream(params, 33, &VecStream::new(5, edges));
+        match read_message(&mut cursor).unwrap().0 {
+            Message::ReplySketch { snapshot, .. } => {
+                assert_eq!(snapshot, SketchSnapshot::of(&inline));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn duplicated_chunks_are_not_acked_twice_and_never_double_ingested() {
+        // Dynamic build: the linear sketch is not idempotent, so a
+        // duplicate that slipped through would change the snapshot.
+        let params = DynamicSketchParams::new(SketchParams::with_budget(4, 2, 0.5, 90));
+        let updates: Vec<SignedEdge> = (0..300u64)
+            .map(|e| SignedEdge::insert(Edge::new((e % 4) as u32, e)))
+            .collect();
+        let plan = crate::net::chunk::plan_dynamic(
+            0,
+            &updates,
+            64,
+            params,
+            19,
+            ShipFormat::Binary,
+            None,
+            77,
+        );
+        let mut jobs = Vec::new();
+        write_message(&mut jobs, &plan.start).unwrap();
+        for chunk in &plan.chunks {
+            // Every chunk delivered twice — the dup@N fault's shape.
+            write_message(&mut jobs, chunk).unwrap();
+            write_message(&mut jobs, chunk).unwrap();
+        }
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let mut cursor = &replies[..];
+        let mut acks = 0;
+        loop {
+            match read_message(&mut cursor).unwrap().0 {
+                Message::ChunkAck { .. } => acks += 1,
+                Message::ReplyDynamic { snapshot, .. } => {
+                    let mut inline = DynamicSketch::new(params, 19);
+                    for sub in updates.chunks(77) {
+                        inline.update_batch(sub);
+                    }
+                    assert_eq!(snapshot, DynamicSnapshot::of(&inline));
+                    break;
+                }
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        assert_eq!(acks, plan.chunks.len(), "one ack per unique chunk");
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn chunk_gap_is_a_typed_error_and_crash_fault_ends_a_chunked_stream() {
+        let params = SketchParams::with_budget(3, 1, 0.5, 60);
+        // Gap: a chunk stream whose first frame has index 1.
+        let mut jobs = Vec::new();
+        let plan = crate::net::chunk::plan_sketch(
+            0,
+            &shard_edges(100),
+            40,
+            params,
+            1,
+            ShipFormat::Binary,
+            None,
+            32,
+        );
+        write_message(&mut jobs, &plan.start).unwrap();
+        write_message(&mut jobs, &plan.chunks[1]).unwrap();
+        let mut replies = Vec::new();
+        assert!(worker_loop(&mut &jobs[..], &mut replies).is_err());
+
+        // A crash fault on the stream kills the worker after the last
+        // chunk, without a reply (acks still travel).
+        let mut jobs = Vec::new();
+        let plan = crate::net::chunk::plan_sketch(
+            0,
+            &shard_edges(100),
+            40,
+            params,
+            1,
+            ShipFormat::Binary,
+            Some(Fault::Crash),
+            32,
+        );
+        write_message(&mut jobs, &plan.start).unwrap();
+        for chunk in &plan.chunks {
+            write_message(&mut jobs, chunk).unwrap();
+        }
+        let mut replies = Vec::new();
+        worker_loop(&mut &jobs[..], &mut replies).unwrap();
+        let mut cursor = &replies[..];
+        for _ in 0..plan.chunks.len() {
+            assert!(matches!(
+                read_message(&mut cursor).unwrap().0,
+                Message::ChunkAck { .. }
+            ));
+        }
+        assert!(cursor.is_empty(), "crashing stream must not reply");
     }
 
     #[test]

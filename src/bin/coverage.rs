@@ -24,10 +24,26 @@ use coverage_suite::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // The hidden `worker` mode must not go through flag parsing: it
-    // speaks the framed binary pipe protocol on stdin/stdout and is
-    // only ever spawned by `dist --processes` (or the tests/benches).
+    // speaks the framed binary protocol on stdin/stdout (pipe mode) or
+    // over a TCP connection (`worker --connect HOST:PORT`), and is
+    // spawned by `dist --processes` / `dist --sockets` (or started by
+    // hand against a `dist --listen` coordinator).
     if args.first().map(String::as_str) == Some("worker") {
-        exit(coverage_suite::dist::worker::run_stdio());
+        let code = match args.get(1).map(String::as_str) {
+            Some("--connect") => match args.get(2) {
+                Some(addr) => coverage_suite::dist::worker::run_connect(addr),
+                None => {
+                    eprintln!("worker --connect requires HOST:PORT");
+                    2
+                }
+            },
+            None => coverage_suite::dist::worker::run_stdio(),
+            Some(other) => {
+                eprintln!("unknown worker argument `{other}` (expected --connect HOST:PORT)");
+                2
+            }
+        };
+        exit(code);
     }
     let Some((cmd, flags)) = parse(&args) else {
         eprintln!("{USAGE}");
@@ -62,8 +78,9 @@ USAGE:
   coverage setcover  --n <sets> --m <elements> --kstar <k*> --lambda <L> [--budget B] [--eps E] [--seed S]
   coverage multipass --n <sets> --m <elements> --kstar <k*> --rounds <r> [--budget B] [--eps E] [--seed S]
   coverage dist      --n <sets> --m <elements> --k <k> --machines <w> [--parallel T] [--budget B] [--seed S]
-                     [--processes P] [--ship json|binary] [--ingest pipelined|two-barrier]
-                     [--fault-plan SEED:SPEC] [--job-timeout-ms MS]
+                     [--processes P] [--sockets P] [--listen ADDR] [--ship json|binary]
+                     [--ingest pipelined|two-barrier] [--fault-plan SEED:SPEC] [--job-timeout-ms MS]
+                     [--chunk-items N] [--late-worker-ms MS]
                      # --parallel T: run the parallel sharded executor on T threads
                      #   (one partition pass + concurrent map + tree reduce);
                      #   same selected cover as the sequential simulation, faster
@@ -76,13 +93,23 @@ USAGE:
                      #   `worker` mode, framed binary pipes); same family again
                      # --ship: snapshot wire format for the reduce (and the
                      #   worker pipes); binary is the compact framed codec
+                     # --sockets P: like --processes, but the workers dial
+                     #   back over loopback TCP (`worker --connect`) with
+                     #   heartbeat liveness and chunked shard streaming
+                     # --listen ADDR: socket coordinator without self-spawn —
+                     #   bind ADDR (e.g. 0.0.0.0:7700) and wait for workers
+                     #   started by hand as `coverage worker --connect ADDR`
                      # --fault-plan: deterministic fault injection for the
-                     #   multiprocess executor — SPEC is a comma list of
-                     #   crash@N, hang@N, delay<MS>@N, corrupt@N, rand<PCT>
-                     #   (e.g. 7:crash@0,delay40@2,rand10). The run must
+                     #   multiprocess/socket executors — SPEC is a comma list
+                     #   of crash@N, hang@N, delay<MS>@N, corrupt@N, rand<PCT>
+                     #   plus (sockets only) drop@N, stall<MS>@N, dup@N
+                     #   (e.g. 7:crash@0,drop@2,rand10). The run must
                      #   still produce the fault-free family.
                      # --job-timeout-ms: per-shard deadline before a stalled
                      #   worker is reaped and its shard requeued
+                     # --chunk-items N: socket streaming chunk size (items
+                     #   per JobChunk frame); --late-worker-ms MS: self-spawn
+                     #   one extra loopback worker MS into the run
   coverage serve     --n <sets> [--guesses G] [--dynamic [--k K]] [--eps E] [--budget B] [--seed S]
                      [--publish-every U] [--queue Q] [--journal] [--journal-recover]
                      # long-lived serving daemon speaking the framed CVSV
@@ -479,6 +506,24 @@ fn cmd_dist(flags: &HashMap<String, String>) {
         }
     });
     let job_timeout_ms: u64 = get(flags, "job-timeout-ms", 0);
+    let sockets: usize = get(flags, "sockets", 0);
+    let listen = flags.get("listen").cloned();
+    if sockets > 0 || listen.is_some() {
+        cmd_dist_sockets(
+            cfg,
+            sockets,
+            listen,
+            ship,
+            fault_plan,
+            job_timeout_ms,
+            flags,
+            &stream,
+            &inst,
+            opt,
+            machines,
+        );
+        return;
+    }
     if processes > 0 {
         cmd_dist_processes(
             cfg,
@@ -495,7 +540,8 @@ fn cmd_dist(flags: &HashMap<String, String>) {
     }
     if fault_plan.is_some() || job_timeout_ms > 0 {
         eprintln!(
-            "--fault-plan/--job-timeout-ms require the multiprocess executor (--processes P)"
+            "--fault-plan/--job-timeout-ms require the multiprocess executor \
+             (--processes P) or the socket executor (--sockets P / --listen ADDR)"
         );
         exit(2);
     }
@@ -629,6 +675,166 @@ fn cmd_dist_processes(
         "reduce bytes".into(),
         fmt_count(res.rounds.total_bytes()),
     ]);
+    t.row(vec![
+        "reduce rounds".into(),
+        res.rounds.num_rounds().to_string(),
+    ]);
+    t.row(vec![
+        "partition ms".into(),
+        fmt_f(res.partition_ns as f64 / 1e6, 2),
+    ]);
+    t.row(vec!["map ms".into(), fmt_f(res.map_ns as f64 / 1e6, 2)]);
+    t.row(vec![
+        "reduce+solve ms".into(),
+        fmt_f(res.reduce_solve_ns as f64 / 1e6, 2),
+    ]);
+    println!("{}", t.render());
+}
+
+/// `dist --sockets P` / `dist --listen ADDR`: the TCP socket executor.
+/// Loopback mode self-spawns `P` copies of this binary as
+/// `worker --connect`; listen mode binds `ADDR` and waits for workers
+/// started by hand. Either way the coordinator runs heartbeat-graded
+/// liveness, chunked shard streaming, and the identical partition →
+/// map → tree-reduce → solve pipeline.
+#[allow(clippy::too_many_arguments)]
+fn cmd_dist_sockets(
+    cfg: DistConfig,
+    sockets: usize,
+    listen: Option<String>,
+    ship: ShipFormat,
+    fault_plan: Option<FaultPlan>,
+    job_timeout_ms: u64,
+    flags: &HashMap<String, String>,
+    stream: &VecStream,
+    inst: &coverage_suite::core::CoverageInstance,
+    opt: Option<usize>,
+    machines: usize,
+) {
+    let mut runner = match listen {
+        Some(addr) => {
+            if sockets > 0 {
+                eprintln!("--listen and --sockets are mutually exclusive");
+                exit(2);
+            }
+            eprintln!("listening on {addr}; start workers with `coverage worker --connect {addr}`");
+            SocketRunner::listen(cfg, addr)
+        }
+        None => {
+            let command = match WorkerCommand::current_exe(vec!["worker".to_string()]) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot locate own executable for worker spawn: {e}");
+                    exit(1);
+                }
+            };
+            SocketRunner::new(cfg, command, sockets)
+        }
+    };
+    runner = runner.with_ship_format(ship);
+    if let Some(plan) = fault_plan {
+        runner = runner.with_fault_plan(plan);
+    }
+    if job_timeout_ms > 0 {
+        runner = runner.with_job_timeout(std::time::Duration::from_millis(job_timeout_ms));
+    }
+    let chunk_items: usize = get(flags, "chunk-items", 0);
+    if chunk_items > 0 {
+        runner = runner.with_chunk_items(chunk_items);
+    }
+    let late_worker_ms: u64 = get(flags, "late-worker-ms", 0);
+    if late_worker_ms > 0 {
+        runner = runner.with_late_worker_after(std::time::Duration::from_millis(late_worker_ms));
+    }
+    let res = match runner.run(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("socket run failed: {e}");
+            exit(1);
+        }
+    };
+    let covered = inst.coverage(&res.family);
+    let s = &res.stats;
+    let title = if sockets > 0 {
+        format!("distributed k-cover ({machines} machines, {sockets} loopback socket workers)")
+    } else {
+        format!("distributed k-cover ({machines} machines, TCP socket workers)")
+    };
+    let mut t = Table::new(title, &["metric", "value"]);
+    t.row(vec!["family".into(), format!("{:?}", res.family)]);
+    t.row(vec!["covered".into(), fmt_count(covered as u64)]);
+    if let Some(opt) = opt {
+        t.row(vec![
+            "coverage/OPT".into(),
+            fmt_f(covered as f64 / opt as f64, 4),
+        ]);
+    }
+    t.row(vec![
+        "merged edges".into(),
+        fmt_count(res.merged_edges as u64),
+    ]);
+    t.row(vec![
+        "workers joined".into(),
+        format!("{} ({} late)", s.workers_joined, s.late_joiners),
+    ]);
+    t.row(vec!["workers lost".into(), s.workers_lost.to_string()]);
+    t.row(vec![
+        "suspect transitions".into(),
+        format!(
+            "{} ({} recovered)",
+            s.suspect_transitions, s.suspect_recoveries
+        ),
+    ]);
+    t.row(vec![
+        "shards requeued".into(),
+        s.shards_requeued.to_string(),
+    ]);
+    t.row(vec![
+        "shards built inline".into(),
+        s.shards_built_inline.to_string(),
+    ]);
+    t.row(vec!["deadline reaps".into(), s.deadline_reaps.to_string()]);
+    t.row(vec!["retries".into(), s.retries.to_string()]);
+    t.row(vec!["proto faults".into(), s.proto_faults.to_string()]);
+    t.row(vec![
+        "net faults injected".into(),
+        format!(
+            "{} drop / {} stall / {} dup",
+            s.conn_drops_injected, s.stalls_injected, s.chunk_dups_injected
+        ),
+    ]);
+    t.row(vec![
+        "chunks streamed".into(),
+        fmt_count(s.chunks_streamed as u64),
+    ]);
+    t.row(vec![
+        "overlapped shards".into(),
+        s.overlap_shards.to_string(),
+    ]);
+    t.row(vec![
+        "heartbeat rtt us".into(),
+        format!(
+            "min {} / mean {} / max {} ({} probes)",
+            s.heartbeat.min_ns() / 1_000,
+            s.heartbeat.mean_ns() / 1_000,
+            s.heartbeat.max_ns() / 1_000,
+            s.heartbeat.probes
+        ),
+    ]);
+    for w in &s.workers {
+        t.row(vec![
+            format!("worker {}", w.id),
+            format!(
+                "{} {} shards={}{}",
+                w.addr,
+                w.state,
+                w.shards_completed,
+                if w.late_joiner { " (late)" } else { "" }
+            ),
+        ]);
+    }
+    t.row(vec!["ship format".into(), format!("{ship:?}")]);
+    t.row(vec!["wire bytes".into(), fmt_count(s.wire_bytes)]);
     t.row(vec![
         "reduce rounds".into(),
         res.rounds.num_rounds().to_string(),

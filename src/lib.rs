@@ -88,9 +88,10 @@ pub mod prelude {
     pub use coverage_dist::{
         distributed_k_cover, distributed_k_cover_serial, dynamic_distributed_k_cover,
         partition_edges, partition_updates, tree_reduce, tree_reduce_via, DistConfig, DistResult,
-        DynDistResult, DynProcessResult, DynamicParallelResult, Fault, FaultPlan, FaultyTransport,
-        IngestMode, ParallelResult, ParallelRunner, ProcessResult, ProcessRunner, RetryPolicy,
-        RunError, ShipFormat, SplitMix64, WorkerCommand,
+        DynDistResult, DynProcessResult, DynSocketResult, DynamicParallelResult, Fault, FaultPlan,
+        FaultyTransport, HeartbeatStats, IngestMode, ParallelResult, ParallelRunner, ProcessResult,
+        ProcessRunner, RetryPolicy, RunError, ShipFormat, SocketResult, SocketRunStats,
+        SocketRunner, SplitMix64, WorkerCommand, WorkerState, WorkerSummary,
     };
     pub use coverage_serve::{
         answer_query, answer_query_deadline, EpochSnapshot, GuessView, LiveStore, QueryAnswer,

@@ -112,6 +112,98 @@ fn process_runner_survives_the_combined_worst_case_schedule() {
     }
 }
 
+/// Network faults layered over randomized worker faults against the
+/// TCP socket executor: a mid-stream connection drop, a 300ms stall
+/// (suspect → recover), and a duplicated chunk on every seed's
+/// workload, plus ~a quarter of the remaining shards drawing a random
+/// crash/hang/delay/corrupt. The family must still be bit-identical to
+/// the fault-free reference, inside the budget.
+#[test]
+fn socket_runner_survives_network_faults_over_worker_faults() {
+    for seed in seed_matrix() {
+        let stream = chaos_stream(seed ^ 0x50C4);
+        let cfg = DistConfig::new(6, 3, 0.3, seed).with_sizing(SketchSizing::Budget(1_200));
+        let reference = distributed_k_cover(&stream, &cfg);
+        let plan = FaultPlan::new(seed)
+            .with_random_pct(25)
+            .with_fault(0, Fault::DropConn)
+            .with_fault(1, Fault::Stall(300))
+            .with_fault(2, Fault::DupChunk);
+        let start = Instant::now();
+        let run = SocketRunner::new(cfg, worker_command(), 3)
+            .with_fault_plan(plan)
+            .with_job_timeout(Duration::from_millis(800))
+            .with_heartbeats(
+                Duration::from_millis(40),
+                Duration::from_millis(150),
+                Duration::from_secs(2),
+            )
+            .with_join_grace(Duration::from_millis(300))
+            .run(&stream);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < RUN_BUDGET,
+            "seed {seed}: socket chaos run took {elapsed:?} — liveness failed to bound a stall"
+        );
+        let run = run.unwrap_or_else(|e| panic!("seed {seed}: typed failure {e}"));
+        assert_eq!(
+            run.family, reference.family,
+            "seed {seed}: network-fault recovery changed the selected cover"
+        );
+        assert_eq!(run.merged_edges, reference.merged_edges);
+        assert!(
+            run.stats.conn_drops_injected >= 1
+                && run.stats.stalls_injected >= 1
+                && run.stats.chunk_dups_injected >= 1,
+            "seed {seed}: the schedule must actually exercise drop + stall + dup"
+        );
+        assert!(
+            run.stats.shards_requeued >= 1 || run.stats.shards_built_inline >= 1,
+            "seed {seed}: the severed shard must be rebuilt somewhere"
+        );
+    }
+}
+
+/// Worker-pool churn: the only initial worker has its connection
+/// severed mid-stream, and a late worker dialing in ~30ms later must be
+/// admitted to the registry and finish the run — same family as the
+/// fault-free reference, on every seed.
+#[test]
+fn socket_late_joiner_rescues_a_run_that_lost_every_worker() {
+    for seed in seed_matrix() {
+        let stream = chaos_stream(seed ^ 0x1A7E);
+        let cfg = DistConfig::new(6, 3, 0.3, seed).with_sizing(SketchSizing::Budget(1_200));
+        let reference = distributed_k_cover(&stream, &cfg);
+        let start = Instant::now();
+        let run = SocketRunner::new(cfg, worker_command(), 1)
+            .with_fault_plan(FaultPlan::new(seed).with_fault(0, Fault::DropConn))
+            .with_late_worker_after(Duration::from_millis(30))
+            .run(&stream)
+            .unwrap_or_else(|e| panic!("seed {seed}: typed failure {e}"));
+        assert!(start.elapsed() < RUN_BUDGET, "seed {seed}: run over budget");
+        assert_eq!(run.family, reference.family, "seed {seed}: family diverged");
+        assert!(
+            run.stats.workers_lost >= 1,
+            "seed {seed}: the drop must sever the only initial worker"
+        );
+        assert!(
+            run.stats.late_joiners >= 1,
+            "seed {seed}: the late worker must be admitted mid-run"
+        );
+        let late_shards: usize = run
+            .stats
+            .workers
+            .iter()
+            .filter(|w| w.late_joiner)
+            .map(|w| w.shards_completed)
+            .sum();
+        assert!(
+            late_shards + run.stats.shards_built_inline >= 1,
+            "seed {seed}: the requeued work must land on the late joiner (or inline)"
+        );
+    }
+}
+
 /// A lossy reduce transport that flips one bit in a seeded fraction of
 /// shipped frames: every corruption must be caught by the frame
 /// checksum and retransmitted, leaving the merged sketch bit-identical.
